@@ -1,0 +1,143 @@
+//! Experiments X2 and X3 — ablations of the two state-space-control
+//! devices the paper leans on:
+//!
+//! * X2: the partial-order reduction (Lilius-style pruning, §4.4.1)
+//!   on versus off;
+//! * X3: EDF branch ordering versus naive FIFO ordering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ezrt_bench::{sweep_spec, SWEEP_SEEDS};
+use ezrt_compose::translate;
+use ezrt_scheduler::{synthesize, BranchOrdering, SchedulerConfig};
+use ezrt_spec::corpus::small_control;
+use std::hint::black_box;
+
+fn report_ablation_shape() {
+    let specs: Vec<_> = SWEEP_SEEDS.iter().map(|&s| sweep_spec(6, s)).collect();
+    let mut rows: Vec<(&str, SchedulerConfig)> = vec![
+        ("por=on,  edf", SchedulerConfig::default()),
+        (
+            "por=off, edf",
+            SchedulerConfig {
+                partial_order_reduction: false,
+                ..SchedulerConfig::default()
+            },
+        ),
+        (
+            "por=on,  fifo",
+            SchedulerConfig {
+                ordering: BranchOrdering::Fifo,
+                ..SchedulerConfig::default()
+            },
+        ),
+        (
+            "por=off, fifo",
+            SchedulerConfig {
+                partial_order_reduction: false,
+                ordering: BranchOrdering::Fifo,
+                ..SchedulerConfig::default()
+            },
+        ),
+    ];
+    for (label, config) in rows.iter_mut() {
+        config.max_states = 2_000_000;
+        let mut visited = 0usize;
+        let mut solved = 0usize;
+        for spec in &specs {
+            let tasknet = translate(spec);
+            if let Ok(s) = synthesize(&tasknet, config) {
+                visited += s.stats.states_visited;
+                solved += 1;
+            }
+        }
+        eprintln!(
+            "[X2/X3] {label}: mean visited {} ({} of {} solved)",
+            visited.checked_div(solved).unwrap_or(0),
+            solved,
+            specs.len()
+        );
+    }
+}
+
+/// POR earns its keep on simultaneous-arrival waves: the mine pump
+/// releases all 10 tasks at t = 0 and six more at every 500-boundary,
+/// and without the reduction the search wanders the permutation lattice
+/// of those independent arrival firings.
+fn report_mine_pump_por() {
+    use ezrt_spec::corpus::mine_pump;
+    let tasknet = translate(&mine_pump());
+    for (label, por) in [("por=on", true), ("por=off", false)] {
+        let config = SchedulerConfig {
+            partial_order_reduction: por,
+            max_states: 5_000_000,
+            ..SchedulerConfig::default()
+        };
+        match synthesize(&tasknet, &config) {
+            Ok(s) => eprintln!(
+                "[X2] mine pump {label}: visited {} (minimum {})",
+                s.stats.states_visited,
+                s.stats.minimum_states()
+            ),
+            Err(e) => eprintln!("[X2] mine pump {label}: {e}"),
+        }
+    }
+}
+
+/// Exhaustive-search cost (infeasibility proof) with and without the
+/// reduction: the delta equals the arrival-permutation lattice the
+/// reduction collapses (2^k − k for k simultaneous arrivals).
+fn report_infeasibility_proof_cost() {
+    use ezrt_spec::SpecBuilder;
+    let mut b = SpecBuilder::new("overload8");
+    for i in 0..8 {
+        b = b.task(format!("t{i}"), |t| t.computation(2).deadline(10).period(10));
+    }
+    let spec = b.build().expect("valid but overloaded");
+    let tasknet = translate(&spec);
+    for (label, por) in [("por=on ", true), ("por=off", false)] {
+        let config = SchedulerConfig {
+            partial_order_reduction: por,
+            max_states: 5_000_000,
+            ..SchedulerConfig::default()
+        };
+        if let Err(e) = synthesize(&tasknet, &config) {
+            eprintln!(
+                "[X2] infeasibility proof {label}: visited {}",
+                e.stats().states_visited
+            );
+        }
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    report_ablation_shape();
+    report_mine_pump_por();
+    report_infeasibility_proof_cost();
+    let spec = small_control();
+    let tasknet = translate(&spec);
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(20);
+
+    group.bench_function("por_on_edf", |b| {
+        let config = SchedulerConfig::default();
+        b.iter(|| black_box(synthesize(black_box(&tasknet), &config).expect("feasible")))
+    });
+    group.bench_function("por_off_edf", |b| {
+        let config = SchedulerConfig {
+            partial_order_reduction: false,
+            ..SchedulerConfig::default()
+        };
+        b.iter(|| black_box(synthesize(black_box(&tasknet), &config).expect("feasible")))
+    });
+    group.bench_function("por_on_fifo", |b| {
+        let config = SchedulerConfig {
+            ordering: BranchOrdering::Fifo,
+            ..SchedulerConfig::default()
+        };
+        b.iter(|| black_box(synthesize(black_box(&tasknet), &config).expect("feasible")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

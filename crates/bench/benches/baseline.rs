@@ -1,0 +1,51 @@
+//! Experiment X4 — the pre-runtime approach versus the classic online
+//! schedulers on the paper's case study: synthesis cost on one side,
+//! per-hyperperiod simulation cost and miss counts on the other.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ezrt_compose::translate;
+use ezrt_scheduler::{synthesize, SchedulerConfig};
+use ezrt_sim::{simulate_online, OnlinePolicy};
+use ezrt_spec::corpus::mine_pump;
+use std::hint::black_box;
+
+fn report_mine_pump_verdicts() {
+    let spec = mine_pump();
+    let pre = synthesize(&translate(&spec), &SchedulerConfig::default());
+    eprintln!("[X4] pre-runtime: feasible={}", pre.is_ok());
+    for policy in OnlinePolicy::ALL {
+        let report = simulate_online(&spec, policy, 1);
+        eprintln!(
+            "[X4] {}: misses={} preemptions={}",
+            policy.name(),
+            report.execution.deadline_misses.len(),
+            report.execution.preemptions,
+        );
+    }
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    report_mine_pump_verdicts();
+    let spec = mine_pump();
+    let tasknet = translate(&spec);
+
+    let mut group = c.benchmark_group("baseline");
+    group.sample_size(10);
+
+    group.bench_function("pre_runtime_synthesis", |b| {
+        let config = SchedulerConfig::default();
+        b.iter(|| black_box(synthesize(black_box(&tasknet), &config).expect("feasible")))
+    });
+
+    for policy in OnlinePolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("online", policy.name()),
+            &policy,
+            |b, &policy| b.iter(|| black_box(simulate_online(black_box(&spec), policy, 1))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

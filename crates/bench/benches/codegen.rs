@@ -1,0 +1,60 @@
+//! Experiment X5 — scheduled code generation (paper §4.4.2, Fig. 8):
+//! schedule-table derivation and C emission for every target, on both
+//! the preemptive figure-8 example and the 782-row mine pump table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ezrt_codegen::{CodeGenerator, ScheduleTable, Target};
+use ezrt_compose::translate;
+use ezrt_scheduler::{synthesize, SchedulerConfig, Timeline};
+use ezrt_spec::corpus::{figure8_spec, mine_pump};
+use ezrt_spec::EzSpec;
+use std::hint::black_box;
+
+fn prepared(spec: &EzSpec) -> (EzSpec, Timeline, ScheduleTable) {
+    let tasknet = translate(spec);
+    let synthesis = synthesize(&tasknet, &SchedulerConfig::default()).expect("feasible");
+    let timeline = Timeline::from_schedule(&tasknet, &synthesis.schedule);
+    let table = ScheduleTable::from_timeline(spec, &timeline);
+    (spec.clone(), timeline, table)
+}
+
+fn bench_codegen(c: &mut Criterion) {
+    let (mine, mine_timeline, mine_table) = prepared(&mine_pump());
+    let (fig8, _, fig8_table) = prepared(&figure8_spec());
+    eprintln!(
+        "[X5] mine pump table: {} rows; figure-8 table: {} rows",
+        mine_table.entries().len(),
+        fig8_table.entries().len()
+    );
+
+    let mut group = c.benchmark_group("codegen");
+
+    group.bench_function("table_mine_pump_782_rows", |b| {
+        b.iter(|| black_box(ScheduleTable::from_timeline(&mine, &mine_timeline)))
+    });
+
+    group.bench_function("c_array_mine_pump", |b| {
+        b.iter(|| black_box(mine_table.to_c_array()))
+    });
+
+    for target in Target::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("emit_mine_pump", target.name()),
+            &target,
+            |b, &target| {
+                let generator = CodeGenerator::new(target);
+                b.iter(|| black_box(generator.generate(&mine, &mine_table)))
+            },
+        );
+    }
+
+    group.bench_function("emit_figure8_posix", |b| {
+        let generator = CodeGenerator::new(Target::PosixSim);
+        b.iter(|| black_box(generator.generate(&fig8, &fig8_table)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_codegen);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Interchange throughput — the paper's §4.1 PNML pipeline and the
+//! Fig. 7 XML DSL: serialization and parsing of the full mine pump
+//! model in both formats.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ezrt_compose::translate;
+use ezrt_spec::corpus::mine_pump;
+use std::hint::black_box;
+
+fn bench_interchange(c: &mut Criterion) {
+    let spec = mine_pump();
+    let net = translate(&spec).into_net();
+    let pnml = ezrt_pnml::to_pnml(&net);
+    let dsl = ezrt_dsl::to_xml(&spec);
+    eprintln!(
+        "[interchange] mine pump: pnml {} bytes, dsl {} bytes",
+        pnml.len(),
+        dsl.len()
+    );
+
+    let mut group = c.benchmark_group("interchange");
+
+    group.throughput(Throughput::Bytes(pnml.len() as u64));
+    group.bench_function("pnml_write", |b| {
+        b.iter(|| black_box(ezrt_pnml::to_pnml(black_box(&net))))
+    });
+    group.bench_function("pnml_read", |b| {
+        b.iter(|| black_box(ezrt_pnml::from_pnml(black_box(&pnml)).expect("parses")))
+    });
+
+    group.throughput(Throughput::Bytes(dsl.len() as u64));
+    group.bench_function("dsl_write", |b| {
+        b.iter(|| black_box(ezrt_dsl::to_xml(black_box(&spec))))
+    });
+    group.bench_function("dsl_read", |b| {
+        b.iter(|| black_box(ezrt_dsl::from_xml(black_box(&dsl)).expect("parses")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_interchange);
+criterion_main!(benches);

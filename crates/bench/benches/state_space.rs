@@ -1,0 +1,57 @@
+//! Experiment X1 — scalability sweep: synthesis cost versus task-set
+//! size on synthetic non-preemptive workloads (the paper evaluates one
+//! case study; this sweep characterizes how the searched state count
+//! grows with the forced minimum).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ezrt_bench::{sweep_spec, SWEEP_SEEDS, SWEEP_TASK_COUNTS};
+use ezrt_compose::translate;
+use ezrt_scheduler::{synthesize, SchedulerConfig};
+use std::hint::black_box;
+
+fn report_sweep_shape() {
+    eprintln!("[X1] states visited vs task count (seed-averaged):");
+    for &tasks in &SWEEP_TASK_COUNTS {
+        let mut visited = 0usize;
+        let mut minimum = 0u64;
+        let mut feasible = 0usize;
+        for &seed in &SWEEP_SEEDS {
+            let tasknet = translate(&sweep_spec(tasks, seed));
+            if let Ok(s) = synthesize(&tasknet, &SchedulerConfig::default()) {
+                visited += s.stats.states_visited;
+                minimum += s.stats.minimum_states();
+                feasible += 1;
+            }
+        }
+        if let Some(mean_visited) = visited.checked_div(feasible) {
+            eprintln!(
+                "[X1]   {tasks:>2} tasks: visited≈{} minimum≈{} ({}/{} feasible)",
+                mean_visited,
+                minimum / feasible as u64,
+                feasible,
+                SWEEP_SEEDS.len()
+            );
+        }
+    }
+}
+
+fn bench_state_space(c: &mut Criterion) {
+    report_sweep_shape();
+    let mut group = c.benchmark_group("state_space");
+    group.sample_size(10);
+
+    for &tasks in &SWEEP_TASK_COUNTS {
+        // One representative seed per size keeps the benchmark wall time
+        // sane; the sweep above averages over all seeds.
+        let spec = sweep_spec(tasks, SWEEP_SEEDS[0]);
+        let tasknet = translate(&spec);
+        let config = SchedulerConfig::default();
+        group.bench_with_input(BenchmarkId::new("synthesize", tasks), &tasks, |b, _| {
+            b.iter(|| black_box(synthesize(black_box(&tasknet), &config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_state_space);
+criterion_main!(benches);

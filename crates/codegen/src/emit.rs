@@ -1,0 +1,359 @@
+//! Emission of the complete C translation unit.
+
+use crate::table::{c_identifier, ScheduleTable};
+use crate::target::Target;
+use ezrt_spec::EzSpec;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A generated header/source pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratedSource {
+    /// File name of the header (`ezrt_schedule.h`).
+    pub header_name: String,
+    /// Contents of the header.
+    pub header: String,
+    /// File name of the source file (`ezrt_app_<target>.c`).
+    pub source_name: String,
+    /// Contents of the source file.
+    pub source: String,
+}
+
+impl GeneratedSource {
+    /// Writes both files into `directory`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from creating the files.
+    pub fn write_to_dir(&self, directory: &Path) -> std::io::Result<()> {
+        std::fs::write(directory.join(&self.header_name), &self.header)?;
+        std::fs::write(directory.join(&self.source_name), &self.source)
+    }
+}
+
+/// Generates scheduled C code for one [`Target`] (paper §4.4.2): the
+/// schedule table, the task functions, a small dispatcher and the timer
+/// interrupt handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CodeGenerator {
+    target: Target,
+}
+
+impl CodeGenerator {
+    /// Creates a generator for `target`.
+    pub fn new(target: Target) -> Self {
+        CodeGenerator { target }
+    }
+
+    /// The configured target.
+    pub fn target(&self) -> Target {
+        self.target
+    }
+
+    /// Generates the header/source pair for `spec` and its synthesized
+    /// schedule `table`.
+    pub fn generate(&self, spec: &EzSpec, table: &ScheduleTable) -> GeneratedSource {
+        GeneratedSource {
+            header_name: "ezrt_schedule.h".to_owned(),
+            header: self.header(spec, table),
+            source_name: format!("ezrt_app_{}.c", self.target.name()),
+            source: self.source(spec, table),
+        }
+    }
+
+    fn header(&self, spec: &EzSpec, table: &ScheduleTable) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "/* ezRealtime generated schedule interface for specification {:?}. */",
+            spec.name()
+        );
+        out.push_str("#ifndef EZRT_SCHEDULE_H\n#define EZRT_SCHEDULE_H\n\n");
+        out.push_str("#include <stdint.h>\n#include <stdbool.h>\n\n");
+        let _ = writeln!(out, "#define EZRT_SCHEDULE_SIZE {}u", table.entries().len());
+        out.push_str("#define SCHEDULE_SIZE EZRT_SCHEDULE_SIZE\n");
+        let _ = writeln!(out, "#define EZRT_HYPERPERIOD {}u", table.hyperperiod());
+        let _ = writeln!(out, "#define EZRT_TASK_COUNT {}u", spec.task_count());
+        out.push_str(
+            "\n/* One execution part of a task instance (paper Fig. 8):\n \
+             *   start   - dispatch time within the schedule period\n \
+             *   resumed - the instance was preempted before; restore, do not call\n \
+             *   task_id - 1-based task identifier\n \
+             *   task    - pointer to the task function */\n",
+        );
+        out.push_str(
+            "struct ScheduleItem {\n    uint32_t start;\n    bool resumed;\n    uint8_t task_id;\n    void *task;\n};\n\n",
+        );
+        out.push_str("extern struct ScheduleItem scheduleTable [SCHEDULE_SIZE];\n\n");
+        for (_, task) in spec.tasks() {
+            let _ = writeln!(out, "void {}(void);", c_identifier(task.name()));
+        }
+        out.push_str("\nvoid ezrt_dispatch(void);\n");
+        if self.target != Target::Avr8 {
+            // The AVR ISR macro defines its own symbol.
+            let _ = writeln!(out, "{};", self.target.isr_signature());
+        }
+        out.push_str("\n#endif /* EZRT_SCHEDULE_H */\n");
+        out
+    }
+
+    fn source(&self, spec: &EzSpec, table: &ScheduleTable) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "/* ezRealtime synthesized scheduled code.\n * specification: {:?}\n * target: {}\n * {} execution parts over a schedule period of {} time units. */",
+            spec.name(),
+            self.target,
+            table.entries().len(),
+            table.hyperperiod(),
+        );
+        out.push_str(self.target.includes());
+        out.push_str("#include \"ezrt_schedule.h\"\n\n");
+
+        // --- task functions -------------------------------------------------
+        out.push_str("/* --- task functions (behavioural code, metamodel CS binding) --- */\n");
+        for (_, task) in spec.tasks() {
+            let function = c_identifier(task.name());
+            let _ = writeln!(out, "void {function}(void)\n{{");
+            match task.code() {
+                Some(code) if self.target == Target::PosixSim => {
+                    // Line comments survive behavioural code that itself
+                    // contains block comments (as the mine pump's does).
+                    out.push_str("    /* behavioural code (runs on the real target): */\n");
+                    for line in code.content().lines() {
+                        let _ = writeln!(out, "    // {line}");
+                    }
+                    let _ = writeln!(out, "    printf(\"  [{function}] executing\\n\");");
+                }
+                Some(code) => {
+                    let _ = writeln!(out, "    {}", code.content().replace('\n', "\n    "));
+                }
+                None if self.target == Target::PosixSim => {
+                    let _ = writeln!(out, "    printf(\"  [{function}] executing\\n\");");
+                }
+                None => {
+                    let _ = writeln!(out, "    /* no behavioural code attached */");
+                }
+            }
+            out.push_str("}\n\n");
+        }
+
+        // --- schedule table --------------------------------------------------
+        out.push_str("/* --- schedule table (paper Fig. 8) --- */\n");
+        out.push_str(&table.to_c_array());
+        out.push('\n');
+
+        if self.target == Target::PosixSim {
+            let _ = writeln!(out, "static const char *ezrt_task_name[EZRT_TASK_COUNT + 1] = {{");
+            out.push_str("    \"\",\n");
+            for (_, task) in spec.tasks() {
+                let _ = writeln!(out, "    \"{}\",", c_identifier(task.name()));
+            }
+            out.push_str("};\n\n");
+        }
+
+        // --- dispatcher -------------------------------------------------------
+        out.push_str(&self.dispatcher(spec));
+        out
+    }
+
+    fn dispatcher(&self, spec: &EzSpec) -> String {
+        let mut out = String::new();
+        out.push_str("/* --- dispatcher and timer interrupt handler --- */\n");
+        out.push_str("static uint32_t ezrt_now = 0;\nstatic uint16_t ezrt_next = 0;\n\n");
+        out.push_str(
+            "static void ezrt_call(const struct ScheduleItem *item)\n{\n    ((void (*)(void))item->task)();\n}\n\n",
+        );
+
+        if self.target == Target::PosixSim {
+            out.push_str(concat!(
+                "void ezrt_dispatch(void)\n{\n",
+                "    while (ezrt_next < SCHEDULE_SIZE && scheduleTable[ezrt_next].start == ezrt_now) {\n",
+                "        const struct ScheduleItem *item = &scheduleTable[ezrt_next++];\n",
+                "        printf(\"t=%4u dispatch task %u (%s)%s\\n\", (unsigned)ezrt_now,\n",
+                "               (unsigned)item->task_id, ezrt_task_name[item->task_id],\n",
+                "               item->resumed ? \" [resume]\" : \"\");\n",
+                "        if (!item->resumed) {\n",
+                "            ezrt_call(item);\n",
+                "        }\n",
+                "    }\n",
+                "}\n\n",
+                "void ezrt_timer_isr(void)\n{\n    ezrt_dispatch();\n    ezrt_now++;\n}\n\n",
+                "int main(void)\n{\n",
+                "    /* Virtual time: one loop iteration per time unit of one\n",
+                "     * schedule period. On a physical target this loop is replaced\n",
+                "     * by the programmed timer interrupt. */\n",
+                "    for (ezrt_now = 0; ezrt_now <= EZRT_HYPERPERIOD; ) {\n",
+                "        ezrt_timer_isr();\n",
+                "    }\n",
+                "    puts(\"ezrt: schedule period complete\");\n",
+                "    return 0;\n",
+                "}\n",
+            ));
+            return out;
+        }
+
+        // Bare-metal flavours share the save/restore dispatcher; the
+        // context-switch primitives are port hooks.
+        out.push_str(concat!(
+            "#ifndef EZRT_CONTEXT_SAVE\n",
+            "#define EZRT_CONTEXT_SAVE()       ezrt_port_context_save()\n",
+            "#define EZRT_CONTEXT_RESTORE(id)  ezrt_port_context_restore(id)\n",
+            "#endif\n",
+            "void ezrt_port_context_save(void);\n",
+            "void ezrt_port_context_restore(uint8_t task_id);\n\n",
+        ));
+        if self.target == Target::GenericBareMetal {
+            out.push_str("void ezrt_port_timer_init(uint32_t tick_hz);\n#define EZRT_TICK_HZ 1000u\n\n");
+        }
+        if self.target == Target::Arm9 {
+            out.push_str(concat!(
+                "/* Platform port: periodic interval timer register block. */\n",
+                "extern volatile uint32_t EZRT_PIT_MR;\n",
+                "#define EZRT_PIT_PIV 0x000FFFFFu\n#define EZRT_PIT_EN (1u << 24)\n",
+                "#define EZRT_PIT_IEN (1u << 25)\n#define EZRT_PIT_IRQ 3u\n",
+                "void ezrt_port_irq_enable(uint32_t irq, void (*handler)(void));\n",
+                "void ezrt_timer_isr(void);\n\n",
+            ));
+        }
+        if self.target == Target::I8051 {
+            out.push_str("#define EZRT_T0_RELOAD_HI 0xFCu\n#define EZRT_T0_RELOAD_LO 0x66u\n\n");
+        }
+        if self.target == Target::M68k {
+            out.push_str(concat!(
+                "/* Platform port: memory-mapped timer block and IPL control. */\n",
+                "extern volatile uint16_t *EZRT_TIMER_PRELOAD;\n",
+                "extern volatile uint16_t *EZRT_TIMER_CTRL;\n",
+                "#define EZRT_TICK_PRELOAD 0xF000u\n",
+                "#define EZRT_TIMER_ENABLE (1u << 0)\n#define EZRT_TIMER_IRQ_EN (1u << 1)\n",
+                "void ezrt_port_set_ipl(uint8_t level);\n\n",
+            ));
+        }
+        if self.target == Target::X86Bare {
+            out.push_str(concat!(
+                "/* Platform port: I/O port access and PIC masking. */\n",
+                "void ezrt_port_outb(uint16_t port, uint8_t value);\n",
+                "void ezrt_port_irq_unmask(uint8_t irq);\n",
+                "#define EZRT_PIT_DIVISOR 1193u /* ~1 kHz tick from 1.193182 MHz */\n\n",
+            ));
+        }
+        if self.target == Target::Avr8 {
+            out.push_str("#define EZRT_OCR1A_TICK 1999u\n\n");
+        }
+
+        out.push_str(concat!(
+            "void ezrt_dispatch(void)\n{\n",
+            "    while (ezrt_next < SCHEDULE_SIZE && scheduleTable[ezrt_next].start == ezrt_now) {\n",
+            "        const struct ScheduleItem *item = &scheduleTable[ezrt_next++];\n",
+            "        if (item->resumed) {\n",
+            "            EZRT_CONTEXT_RESTORE(item->task_id);\n",
+            "        } else {\n",
+            "            EZRT_CONTEXT_SAVE();\n",
+            "            ezrt_call(item);\n",
+            "        }\n",
+            "    }\n",
+            "    if (ezrt_now == EZRT_HYPERPERIOD) {\n",
+            "        ezrt_now = 0;   /* wrap to the next schedule period */\n",
+            "        ezrt_next = 0;\n",
+            "    }\n",
+            "}\n\n",
+        ));
+
+        let _ = writeln!(
+            out,
+            "{}\n{{\n    ezrt_now++;\n    ezrt_dispatch();\n}}\n",
+            self.target.isr_signature()
+        );
+
+        let _ = writeln!(
+            out,
+            "int main(void)\n{{\n{}    for (;;) {{\n        /* idle: all {} tasks run from the timer interrupt */\n    }}\n}}",
+            self.target.timer_setup(),
+            spec.task_count(),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScheduleTable;
+    use ezrt_compose::translate;
+    use ezrt_scheduler::{synthesize, SchedulerConfig, Timeline};
+    use ezrt_spec::corpus::{figure8_spec, small_control};
+
+    fn generated(spec: &EzSpec, target: Target) -> GeneratedSource {
+        let tasknet = translate(spec);
+        let synthesis = synthesize(&tasknet, &SchedulerConfig::default()).expect("feasible");
+        let timeline = Timeline::from_schedule(&tasknet, &synthesis.schedule);
+        let table = ScheduleTable::from_timeline(spec, &timeline);
+        CodeGenerator::new(target).generate(spec, &table)
+    }
+
+    #[test]
+    fn header_declares_interface() {
+        let code = generated(&small_control(), Target::PosixSim);
+        assert!(code.header.contains("#ifndef EZRT_SCHEDULE_H"));
+        assert!(code.header.contains("struct ScheduleItem"));
+        assert!(code.header.contains("void sense(void);"));
+        assert!(code.header.contains("#define EZRT_HYPERPERIOD 20u"));
+    }
+
+    #[test]
+    fn every_target_generates_its_dialect() {
+        let spec = small_control();
+        for target in Target::ALL {
+            let code = generated(&spec, target);
+            assert!(
+                code.source.contains("struct ScheduleItem scheduleTable"),
+                "{target}: schedule table missing"
+            );
+            assert!(
+                code.source.contains("ezrt_dispatch"),
+                "{target}: dispatcher missing"
+            );
+            assert_eq!(code.source_name, format!("ezrt_app_{}.c", target.name()));
+        }
+        assert!(generated(&spec, Target::I8051).source.contains("__interrupt(1)"));
+        assert!(generated(&spec, Target::Avr8).source.contains("ISR(TIMER1_COMPA_vect)"));
+        assert!(generated(&spec, Target::Arm9).source.contains("EZRT_PIT_MR"));
+        assert!(generated(&spec, Target::GenericBareMetal)
+            .source
+            .contains("ezrt_port_timer_init"));
+    }
+
+    #[test]
+    fn posix_sim_stubs_hardware_code_but_keeps_it_visible() {
+        let code = generated(&small_control(), Target::PosixSim);
+        // The behavioural code is preserved as a comment…
+        assert!(code.source.contains("adc_read(&sample);"));
+        // …but not compiled (it would reference missing hardware symbols).
+        assert!(code.source.contains("printf(\"  [sense] executing\\n\");"));
+    }
+
+    #[test]
+    fn bare_metal_embeds_behavioural_code_verbatim() {
+        let code = generated(&small_control(), Target::GenericBareMetal);
+        assert!(code.source.contains("    adc_read(&sample);"));
+        assert!(!code.source.contains("printf"));
+    }
+
+    #[test]
+    fn preemptive_schedules_emit_context_switch_paths() {
+        let code = generated(&figure8_spec(), Target::GenericBareMetal);
+        assert!(code.source.contains("EZRT_CONTEXT_RESTORE(item->task_id)"));
+        assert!(code.source.contains("true "), "resumed rows present");
+    }
+
+    #[test]
+    fn write_to_dir_creates_both_files() {
+        let code = generated(&small_control(), Target::PosixSim);
+        let dir = std::env::temp_dir().join(format!("ezrt_emit_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        code.write_to_dir(&dir).unwrap();
+        assert!(dir.join("ezrt_schedule.h").exists());
+        assert!(dir.join("ezrt_app_posix_sim.c").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,246 @@
+//! The schedule table of paper Fig. 8.
+
+use ezrt_scheduler::Timeline;
+use ezrt_spec::{EzSpec, ProcessorId, TaskId, Time};
+use std::fmt::Write as _;
+
+/// One execution part of a task instance — one row of the Fig. 8 table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableEntry {
+    /// Start time of this execution part.
+    pub start: Time,
+    /// Whether the instance was preempted before (the dispatcher restores
+    /// the saved context instead of calling the function).
+    pub resumed: bool,
+    /// 1-based task id, in specification order (TaskA = 1 in Fig. 8).
+    pub task_number: u8,
+    /// The task this part belongs to.
+    pub task: TaskId,
+    /// 0-based instance number within the schedule period.
+    pub instance: u64,
+    /// The C function name the row's pointer refers to.
+    pub function: String,
+    /// The human-readable annotation (`A1 starts`, `B1 preempts A1`,
+    /// `B1 resumes`).
+    pub comment: String,
+}
+
+/// The schedule table for one processor: every execution part of every
+/// task instance in the schedule period, in start-time order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleTable {
+    entries: Vec<TableEntry>,
+    hyperperiod: Time,
+}
+
+impl ScheduleTable {
+    /// Builds the table from a timeline, taking the slices of the first
+    /// (for the paper: only) processor.
+    pub fn from_timeline(spec: &EzSpec, timeline: &Timeline) -> Self {
+        let first = spec.processors().next().expect("specs have a processor").0;
+        Self::from_timeline_for(spec, timeline, first)
+    }
+
+    /// Builds the table for one specific processor of a multi-processor
+    /// specification.
+    pub fn from_timeline_for(spec: &EzSpec, timeline: &Timeline, processor: ProcessorId) -> Self {
+        let slices: Vec<_> = timeline
+            .slices()
+            .iter()
+            .filter(|s| s.processor == processor)
+            .collect();
+
+        let label = |task: TaskId, instance: u64| {
+            format!("{}{}", short_name(spec.task(task).name()), instance + 1)
+        };
+
+        let mut entries = Vec::with_capacity(slices.len());
+        for (i, slice) in slices.iter().enumerate() {
+            let comment = if slice.resumed {
+                format!("{} resumes", label(slice.task, slice.instance))
+            } else {
+                // "X preempts Y" when the previous slice ended exactly
+                // here with its instance still incomplete.
+                let preempted = i.checked_sub(1).map(|j| slices[j]).filter(|prev| {
+                    prev.end == slice.start
+                        && timeline
+                            .instance_completion(prev.task, prev.instance)
+                            .is_some_and(|done| done > slice.start)
+                });
+                match preempted {
+                    Some(prev) => format!(
+                        "{} preempts {}",
+                        label(slice.task, slice.instance),
+                        label(prev.task, prev.instance)
+                    ),
+                    None => format!("{} starts", label(slice.task, slice.instance)),
+                }
+            };
+            entries.push(TableEntry {
+                start: slice.start,
+                resumed: slice.resumed,
+                task_number: (slice.task.index() + 1) as u8,
+                task: slice.task,
+                instance: slice.instance,
+                function: c_identifier(spec.task(slice.task).name()),
+                comment,
+            });
+        }
+        ScheduleTable {
+            entries,
+            hyperperiod: timeline.hyperperiod(),
+        }
+    }
+
+    /// The rows in start-time order.
+    pub fn entries(&self) -> &[TableEntry] {
+        &self.entries
+    }
+
+    /// The schedule period after which the table wraps around.
+    pub fn hyperperiod(&self) -> Time {
+        self.hyperperiod
+    }
+
+    /// Renders the table as the C array of paper Fig. 8:
+    ///
+    /// ```c
+    /// struct ScheduleItem scheduleTable [SCHEDULE_SIZE] =
+    /// {{ 1, false, 1, (int *)TaskA}, /* A1 starts */
+    ///  { 4, false, 2, (int *)TaskB}, /* B1 preempts A1 */
+    ///  ...
+    /// ```
+    pub fn to_c_array(&self) -> String {
+        let width = self
+            .entries
+            .iter()
+            .map(|e| e.start.to_string().len())
+            .max()
+            .unwrap_or(1);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "struct ScheduleItem scheduleTable [SCHEDULE_SIZE] ="
+        );
+        for (i, entry) in self.entries.iter().enumerate() {
+            let opener = if i == 0 { "{" } else { " " };
+            let closer = if i + 1 == self.entries.len() { "};" } else { "," };
+            let _ = writeln!(
+                out,
+                "{opener}{{{start:>width$}, {resumed}, {id}, (int *){function}}}{closer} /* {comment} */",
+                start = entry.start,
+                resumed = if entry.resumed { "true " } else { "false" },
+                id = entry.task_number,
+                function = entry.function,
+                comment = entry.comment,
+                width = width,
+            );
+        }
+        out
+    }
+}
+
+/// Derives a valid C identifier from a task name: alphanumerics are
+/// kept, everything else becomes `_`, and a leading digit gets a `task_`
+/// prefix.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ezrt_codegen::c_identifier("TaskA"), "TaskA");
+/// assert_eq!(ezrt_codegen::c_identifier("CH4-sensor"), "CH4_sensor");
+/// assert_eq!(ezrt_codegen::c_identifier("42loop"), "task_42loop");
+/// ```
+pub fn c_identifier(name: &str) -> String {
+    let mut id: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if id.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        id.insert_str(0, "task_");
+    }
+    if id.is_empty() {
+        id.push_str("task_unnamed");
+    }
+    id
+}
+
+/// The single-letter-ish instance prefix used in the Fig. 8 comments:
+/// `TaskA` → `A`, `PMC` → `PMC`.
+fn short_name(name: &str) -> String {
+    name.strip_prefix("Task").filter(|r| !r.is_empty()).unwrap_or(name).to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezrt_compose::translate;
+    use ezrt_scheduler::{synthesize, SchedulerConfig, Timeline};
+    use ezrt_spec::corpus::{figure8_spec, small_control};
+
+    fn table_for(spec: &EzSpec) -> ScheduleTable {
+        let tasknet = translate(spec);
+        let synthesis = synthesize(&tasknet, &SchedulerConfig::default()).expect("feasible");
+        let timeline = Timeline::from_schedule(&tasknet, &synthesis.schedule);
+        ScheduleTable::from_timeline(spec, &timeline)
+    }
+
+    #[test]
+    fn nonpreemptive_tables_have_one_row_per_instance() {
+        let spec = small_control();
+        let table = table_for(&spec);
+        assert_eq!(table.entries().len() as u64, spec.total_instances());
+        assert!(table.entries().iter().all(|e| !e.resumed));
+        assert!(table
+            .entries()
+            .iter()
+            .all(|e| e.comment.ends_with("starts") || e.comment.contains("preempts")));
+    }
+
+    #[test]
+    fn preemptive_tables_mark_resumed_parts() {
+        let spec = figure8_spec();
+        let table = table_for(&spec);
+        assert!(table.entries().len() as u64 > spec.total_instances());
+        assert!(table.entries().iter().any(|e| e.resumed));
+        assert!(table
+            .entries()
+            .iter()
+            .any(|e| e.comment.contains("resumes")));
+        assert!(table
+            .entries()
+            .iter()
+            .any(|e| e.comment.contains("preempts")));
+    }
+
+    #[test]
+    fn entries_are_sorted_and_task_numbers_are_one_based() {
+        let table = table_for(&small_control());
+        let mut last = 0;
+        for e in table.entries() {
+            assert!(e.start >= last);
+            last = e.start;
+            assert!(e.task_number >= 1);
+        }
+    }
+
+    #[test]
+    fn c_array_has_figure8_shape() {
+        let spec = figure8_spec();
+        let table = table_for(&spec);
+        let c = table.to_c_array();
+        assert!(c.starts_with("struct ScheduleItem scheduleTable [SCHEDULE_SIZE] =\n{{"));
+        assert!(c.contains("(int *)TaskA}"));
+        assert!(c.trim_end().ends_with("*/"));
+        assert!(c.contains("};"), "array is terminated");
+        // One row per entry.
+        assert_eq!(c.matches("(int *)").count(), table.entries().len());
+    }
+
+    #[test]
+    fn identifier_sanitization() {
+        assert_eq!(c_identifier("WFC"), "WFC");
+        assert_eq!(c_identifier("pump ctrl"), "pump_ctrl");
+        assert_eq!(c_identifier(""), "task_unnamed");
+    }
+}

@@ -1,0 +1,604 @@
+//! The building blocks of paper Figs. 1 and 2.
+//!
+//! Each function grows a shared [`Assembly`] (a `TpnBuilder` plus the
+//! role map) by one block. Blocks are pure net surgery; the orchestration
+//! — which blocks to instantiate and how relation stages chain between
+//! release and grant — lives in [`translate`](crate::translate).
+
+use crate::priority::Priority;
+use crate::roles::TransitionRole;
+use ezrt_spec::{SchedulingMethod, Task, TaskId};
+use ezrt_tpn::{PlaceId, TimeInterval, TpnBuilder, TransitionId};
+
+/// A net under construction: the builder plus the transition role map,
+/// kept in lockstep (one role per transition, in creation order).
+#[derive(Debug, Default)]
+pub struct Assembly {
+    /// The underlying net builder.
+    pub builder: TpnBuilder,
+    /// Transition roles, indexed like the builder's transitions.
+    pub roles: Vec<TransitionRole>,
+}
+
+impl Assembly {
+    /// Starts an empty assembly for a net called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Assembly {
+            builder: TpnBuilder::new(name),
+            roles: Vec::new(),
+        }
+    }
+
+    /// Adds a transition together with its role.
+    pub fn transition(
+        &mut self,
+        name: String,
+        interval: TimeInterval,
+        priority: Priority,
+        role: TransitionRole,
+    ) -> TransitionId {
+        let id = self
+            .builder
+            .transition_full(name, interval, priority.value(), None);
+        self.roles.push(role);
+        debug_assert_eq!(self.roles.len(), self.builder.transition_count());
+        id
+    }
+}
+
+/// Handles to every place and transition of one task's blocks (arrival +
+/// deadline checking + task structure), as produced by
+/// [`add_task_blocks`].
+#[derive(Debug, Clone)]
+pub struct TaskBlocks {
+    /// The task these blocks model.
+    pub task: TaskId,
+    /// `p_st` — start place fed by the fork block.
+    pub start: PlaceId,
+    /// `p_wa` — wait-arrival pool holding the `N − 1` remaining instance
+    /// tokens (absent when the task has a single instance).
+    pub wait_arrival: Option<PlaceId>,
+    /// `p_wr` — wait-release: an instance has arrived.
+    pub wait_release: PlaceId,
+    /// `p_wg` — wait-grant: released (and past all relation stages),
+    /// competing for the processor.
+    pub wait_grant: PlaceId,
+    /// `p_wc` — executing on the processor.
+    pub computing: PlaceId,
+    /// `p_wf` — computed, awaiting finish bookkeeping (non-preemptive
+    /// shape only).
+    pub wait_finish: Option<PlaceId>,
+    /// `p_bud` — remaining computation budget (preemptive shape only).
+    pub budget: Option<PlaceId>,
+    /// `p_done` — completed unit steps (preemptive shape only).
+    pub done: Option<PlaceId>,
+    /// `p_wpc` — finished, awaiting the deadline-watcher disarm.
+    pub wait_check: PlaceId,
+    /// `p_wd` — the armed deadline watcher.
+    pub watcher: PlaceId,
+    /// `p_dm` — deadline-miss flag place; marked means "prune this state".
+    pub miss: PlaceId,
+    /// `p_f` — per-instance completion tokens consumed by the join block.
+    pub finished: PlaceId,
+    /// `t_ph` — phase transition, interval `[ph, ph]`.
+    pub t_phase: TransitionId,
+    /// `t_a` — periodic arrival, interval `[p, p]` (absent when `N == 1`).
+    pub t_arrival: Option<TransitionId>,
+    /// `t_r` — release, interval `[r, d − c]`. Its output arc is wired by
+    /// the caller (directly to `wait_grant`, or through relation stages).
+    pub t_release: TransitionId,
+    /// `t_g` — processor grant, interval `[0, 0]`.
+    pub t_grant: TransitionId,
+    /// `t_c` — computation: `[c, c]` non-preemptive, `[1, 1]` preemptive.
+    pub t_compute: TransitionId,
+    /// `t_f` — finish, interval `[0, 0]`.
+    pub t_finish: TransitionId,
+    /// `t_pc` — deadline-watcher disarm, interval `[0, 0]`.
+    pub t_check: TransitionId,
+    /// `t_d` — deadline miss, interval `[d, d]`.
+    pub t_miss: TransitionId,
+}
+
+/// Adds the fork block (Fig. 1(a)): one initially marked place and the
+/// `t_start [0,0]` transition placing one token into each target (the
+/// tasks' start places).
+pub fn add_fork(asm: &mut Assembly, targets: &[PlaceId]) -> (PlaceId, TransitionId) {
+    let p_start = asm.builder.place_with_tokens("pstart", 1);
+    let t_start = asm.transition(
+        "tstart".to_owned(),
+        TimeInterval::immediate(),
+        Priority::FORK_JOIN,
+        TransitionRole::Fork,
+    );
+    asm.builder.arc_place_to_transition(p_start, t_start, 1);
+    for &target in targets {
+        asm.builder.arc_transition_to_place(t_start, target, 1);
+    }
+    (p_start, t_start)
+}
+
+/// Adds the join block (Fig. 1(b)): `t_end [0,0]` consumes `weight`
+/// tokens from each finished place (one per task instance) and marks
+/// `p_end`, the place whose marking defines the desired final marking
+/// `MF`; `m(p_end) = 1` indicates a feasible firing schedule was found
+/// (Def. 3.2).
+pub fn add_join(asm: &mut Assembly, finished: &[(PlaceId, u32)]) -> (PlaceId, TransitionId) {
+    let p_end = asm.builder.place("pend");
+    let t_end = asm.transition(
+        "tend".to_owned(),
+        TimeInterval::immediate(),
+        Priority::FORK_JOIN,
+        TransitionRole::Join,
+    );
+    for &(place, weight) in finished {
+        asm.builder.arc_place_to_transition(place, t_end, weight);
+    }
+    asm.builder.arc_transition_to_place(t_end, p_end, 1);
+    (p_end, t_end)
+}
+
+/// Adds a processor block (Fig. 1, processor resource): a single place
+/// holding one token, used as a side condition by grant/compute
+/// transitions so execution is mutually exclusive per processor.
+pub fn add_processor(asm: &mut Assembly, name: &str) -> PlaceId {
+    asm.builder.place_with_tokens(format!("pproc_{name}"), 1)
+}
+
+/// Adds all three per-task blocks — periodic arrival (Fig. 1(c)),
+/// deadline checking (Fig. 1(d)) and the task structure (Fig. 2(a) or
+/// 2(b) depending on the scheduling method) — for `task`, bound to the
+/// processor resource place `processor`.
+///
+/// The release transition `t_r` is left without an output arc: the caller
+/// wires it either straight to `wait_grant` or through relation stages
+/// (paper §3.3.2).
+///
+/// # Panics
+///
+/// Panics if `instances == 0`; the hyper-period construction guarantees
+/// at least one instance per task.
+pub fn add_task_blocks(
+    asm: &mut Assembly,
+    task_id: TaskId,
+    task: &Task,
+    instances: u64,
+    processor: PlaceId,
+) -> TaskBlocks {
+    assert!(instances > 0, "a periodic task has at least one instance");
+    let timing = task.timing();
+    let n = task.name();
+    let i = task_id.index();
+
+    // ---- places shared by the three blocks -------------------------------
+    let start = asm.builder.place(format!("pst{i}_{n}"));
+    let wait_release = asm.builder.place(format!("pwr{i}_{n}"));
+    let wait_grant = asm.builder.place(format!("pwg{i}_{n}"));
+    let computing = asm.builder.place(format!("pwc{i}_{n}"));
+    let wait_check = asm.builder.place(format!("pwpc{i}_{n}"));
+    let watcher = asm.builder.place(format!("pwd{i}_{n}"));
+    let miss = asm.builder.place(format!("pdm{i}_{n}"));
+    let finished = asm.builder.place(format!("pf{i}_{n}"));
+
+    // ---- periodic task arrival block (Fig. 1(c)) -------------------------
+    // t_ph [ph, ph] releases the first instance (arming its deadline
+    // watcher) and parks the remaining N−1 instance tokens in p_wa; t_a
+    // [p, p] then releases one instance per period — its clock resets on
+    // every firing (Def. 3.1, case t_k = t), which is exactly the
+    // periodicity the block needs.
+    let t_phase = asm.transition(
+        format!("tph{i}_{n}"),
+        TimeInterval::exact(timing.phase),
+        Priority::SOURCE,
+        TransitionRole::Phase(task_id),
+    );
+    asm.builder.arc_place_to_transition(start, t_phase, 1);
+    asm.builder.arc_transition_to_place(t_phase, wait_release, 1);
+    asm.builder.arc_transition_to_place(t_phase, watcher, 1);
+
+    let (wait_arrival, t_arrival) = if instances > 1 {
+        let wait_arrival = asm.builder.place(format!("pwa{i}_{n}"));
+        // The weight a_i = N(t_i) − 1 "models the invocation of all
+        // remaining instances after the first task instance" (§3.3.1).
+        asm.builder
+            .arc_transition_to_place(t_phase, wait_arrival, (instances - 1) as u32);
+        let t_arrival = asm.transition(
+            format!("ta{i}_{n}"),
+            TimeInterval::exact(timing.period),
+            Priority::SOURCE,
+            TransitionRole::Arrival(task_id),
+        );
+        asm.builder.arc_place_to_transition(wait_arrival, t_arrival, 1);
+        asm.builder.arc_transition_to_place(t_arrival, wait_release, 1);
+        asm.builder.arc_transition_to_place(t_arrival, watcher, 1);
+        (Some(wait_arrival), Some(t_arrival))
+    } else {
+        (None, None)
+    };
+
+    // ---- deadline checking block (Fig. 1(d)) -----------------------------
+    // t_d [d, d] fires into the miss place while the watcher is armed;
+    // t_pc [0, 0] disarms it when the instance has finished. Priorities
+    // make "finish exactly at the deadline" count as met (see Priority).
+    let t_miss = asm.transition(
+        format!("td{i}_{n}"),
+        TimeInterval::exact(timing.deadline),
+        Priority::MISS,
+        TransitionRole::DeadlineMiss(task_id),
+    );
+    asm.builder.arc_place_to_transition(watcher, t_miss, 1);
+    asm.builder.arc_transition_to_place(t_miss, miss, 1);
+
+    let t_check = asm.transition(
+        format!("tpc{i}_{n}"),
+        TimeInterval::immediate(),
+        Priority::DEADLINE_CHECK,
+        TransitionRole::DeadlineCheck(task_id),
+    );
+    asm.builder.arc_place_to_transition(watcher, t_check, 1);
+    asm.builder.arc_place_to_transition(wait_check, t_check, 1);
+    asm.builder.arc_transition_to_place(t_check, finished, 1);
+
+    // ---- task structure block (Fig. 2) -----------------------------------
+    // t_r [r, d−c]: the window within which the instance must start; its
+    // output is wired by the caller (possibly through relation stages).
+    let t_release = asm.transition(
+        format!("tr{i}_{n}"),
+        TimeInterval::new(timing.release, timing.latest_start())
+            .expect("spec validation guarantees r + c <= d"),
+        Priority::DECISION,
+        TransitionRole::Release(task_id),
+    );
+    asm.builder.arc_place_to_transition(wait_release, t_release, 1);
+
+    let t_grant = asm.transition(
+        format!("tg{i}_{n}"),
+        TimeInterval::immediate(),
+        Priority::DECISION,
+        TransitionRole::Grant(task_id),
+    );
+    asm.builder.arc_place_to_transition(wait_grant, t_grant, 1);
+    asm.builder.arc_place_to_transition(processor, t_grant, 1);
+    asm.builder.arc_transition_to_place(t_grant, computing, 1);
+
+    let t_finish = asm.transition(
+        format!("tf{i}_{n}"),
+        TimeInterval::immediate(),
+        Priority::FINISH,
+        TransitionRole::Finish(task_id),
+    );
+
+    let (t_compute, wait_finish, budget, done) = match task.method() {
+        SchedulingMethod::NonPreemptive => {
+            // Fig. 2(a): t_c [c, c] holds the processor for the whole
+            // computation, then releases it.
+            let wait_finish = asm.builder.place(format!("pwf{i}_{n}"));
+            let t_compute = asm.transition(
+                format!("tc{i}_{n}"),
+                TimeInterval::exact(timing.computation),
+                Priority::DECISION,
+                TransitionRole::Compute(task_id),
+            );
+            asm.builder.arc_place_to_transition(computing, t_compute, 1);
+            asm.builder.arc_transition_to_place(t_compute, wait_finish, 1);
+            asm.builder.arc_transition_to_place(t_compute, processor, 1);
+            asm.builder.arc_place_to_transition(wait_finish, t_finish, 1);
+            (t_compute, Some(wait_finish), None, None)
+        }
+        SchedulingMethod::Preemptive => {
+            // Fig. 2(b): the computation is split into [1,1] unit steps;
+            // each step releases the processor (a preemption point) and
+            // moves one token from the budget pool to the done pool — the
+            // weight-c arcs visible in Fig. 4 ("10 10" / "20 20").
+            let budget = asm.builder.place(format!("pbud{i}_{n}"));
+            let done = asm.builder.place(format!("pdone{i}_{n}"));
+            asm.builder
+                .arc_transition_to_place(t_release, budget, timing.computation as u32);
+            let t_compute = asm.transition(
+                format!("tc{i}_{n}"),
+                TimeInterval::exact(1),
+                Priority::DECISION,
+                TransitionRole::Compute(task_id),
+            );
+            asm.builder.arc_place_to_transition(computing, t_compute, 1);
+            asm.builder.arc_place_to_transition(budget, t_compute, 1);
+            asm.builder.arc_transition_to_place(t_compute, wait_grant, 1);
+            asm.builder.arc_transition_to_place(t_compute, processor, 1);
+            asm.builder.arc_transition_to_place(t_compute, done, 1);
+            asm.builder
+                .arc_place_to_transition(done, t_finish, timing.computation as u32);
+            asm.builder.arc_place_to_transition(wait_grant, t_finish, 1);
+            (t_compute, None, Some(budget), Some(done))
+        }
+    };
+
+    asm.builder.arc_transition_to_place(t_finish, wait_check, 1);
+    if let Some(code) = task.code() {
+        asm.builder.set_code(t_compute, code.content());
+    }
+
+    TaskBlocks {
+        task: task_id,
+        start,
+        wait_arrival,
+        wait_release,
+        wait_grant,
+        computing,
+        wait_finish,
+        budget,
+        done,
+        wait_check,
+        watcher,
+        miss,
+        finished,
+        t_phase,
+        t_arrival,
+        t_release,
+        t_grant,
+        t_compute,
+        t_finish,
+        t_check,
+        t_miss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezrt_spec::SpecBuilder;
+    
+
+    fn single_task_spec(preemptive: bool) -> ezrt_spec::EzSpec {
+        SpecBuilder::new("one")
+            .task("T", move |t| {
+                let t = t.release(5).computation(10).deadline(40).period(50);
+                if preemptive {
+                    t.preemptive()
+                } else {
+                    t
+                }
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn assemble(preemptive: bool, instances: u64) -> (Assembly, TaskBlocks) {
+        let spec = single_task_spec(preemptive);
+        let mut asm = Assembly::new("blocks-test");
+        let proc_place = add_processor(&mut asm, "cpu0");
+        let blocks = add_task_blocks(
+            &mut asm,
+            TaskId::from_index(0),
+            spec.task_by_name("T").unwrap(),
+            instances,
+            proc_place,
+        );
+        (asm, blocks)
+    }
+
+    fn finish_net(mut asm: Assembly, blocks: &TaskBlocks, instances: u32) -> ezrt_tpn::TimePetriNet {
+        // Wire release directly to grant and close the net with fork/join
+        // so it builds.
+        asm.builder
+            .arc_transition_to_place(blocks.t_release, blocks.wait_grant, 1);
+        add_fork(&mut asm, &[blocks.start]);
+        add_join(&mut asm, &[(blocks.finished, instances)]);
+        asm.builder.build().unwrap()
+    }
+
+    #[test]
+    fn nonpreemptive_structure_matches_figure_2a() {
+        let (asm, blocks) = assemble(false, 3);
+        let net = finish_net(asm, &blocks, 3);
+        // t_r carries the release window [r, d - c] = [5, 30].
+        let tr = net.transition(blocks.t_release);
+        assert_eq!(tr.interval(), TimeInterval::new(5, 30).unwrap());
+        // t_g is immediate, t_c is [c, c], t_f immediate.
+        assert!(net.transition(blocks.t_grant).interval().is_immediate());
+        assert_eq!(
+            net.transition(blocks.t_compute).interval(),
+            TimeInterval::exact(10)
+        );
+        assert!(net.transition(blocks.t_finish).interval().is_immediate());
+        // Non-preemptive: no budget/done pools, a wait-finish place exists.
+        assert!(blocks.budget.is_none());
+        assert!(blocks.done.is_none());
+        assert!(blocks.wait_finish.is_some());
+    }
+
+    #[test]
+    fn preemptive_structure_matches_figure_2b() {
+        let (asm, blocks) = assemble(true, 1);
+        let net = finish_net(asm, &blocks, 1);
+        // Unit-step computation.
+        assert_eq!(
+            net.transition(blocks.t_compute).interval(),
+            TimeInterval::exact(1)
+        );
+        // Budget and done arcs carry weight c = 10 (the Fig. 4 weights).
+        let budget = blocks.budget.unwrap();
+        let done = blocks.done.unwrap();
+        assert!(net
+            .post_set(blocks.t_release)
+            .iter()
+            .any(|&(p, w)| p == budget && w == 10));
+        assert!(net
+            .pre_set(blocks.t_finish)
+            .iter()
+            .any(|&(p, w)| p == done && w == 10));
+        // Each unit step releases the processor: t_c produces into pproc.
+        let proc_place = net.place_id("pproc_cpu0").unwrap();
+        assert!(net
+            .post_set(blocks.t_compute)
+            .iter()
+            .any(|&(p, _)| p == proc_place));
+    }
+
+    #[test]
+    fn arrival_block_weights_model_remaining_instances() {
+        let (asm, blocks) = assemble(false, 4);
+        let net = finish_net(asm, &blocks, 4);
+        let wa = blocks.wait_arrival.unwrap();
+        // t_ph deposits N − 1 = 3 tokens into the wait-arrival pool.
+        assert!(net
+            .post_set(blocks.t_phase)
+            .iter()
+            .any(|&(p, w)| p == wa && w == 3));
+        // t_a is [p, p] = [50, 50].
+        assert_eq!(
+            net.transition(blocks.t_arrival.unwrap()).interval(),
+            TimeInterval::exact(50)
+        );
+        // Phase of this task is 0, so t_ph is [0, 0].
+        assert!(net.transition(blocks.t_phase).interval().is_immediate());
+    }
+
+    #[test]
+    fn single_instance_task_has_no_arrival_transition() {
+        let (asm, blocks) = assemble(false, 1);
+        assert!(blocks.wait_arrival.is_none());
+        assert!(blocks.t_arrival.is_none());
+        let net = finish_net(asm, &blocks, 1);
+        assert!(net.transition_id("ta0_T").is_none());
+    }
+
+    #[test]
+    fn deadline_block_intervals_and_arcs() {
+        let (asm, blocks) = assemble(false, 1);
+        let net = finish_net(asm, &blocks, 1);
+        assert_eq!(
+            net.transition(blocks.t_miss).interval(),
+            TimeInterval::exact(40)
+        );
+        assert!(net.transition(blocks.t_check).interval().is_immediate());
+        // Both arrival paths arm the watcher; the miss and check both
+        // consume it; check also needs the finish token.
+        assert!(net
+            .pre_set(blocks.t_miss)
+            .iter()
+            .any(|&(p, _)| p == blocks.watcher));
+        assert!(net
+            .pre_set(blocks.t_check)
+            .iter()
+            .any(|&(p, _)| p == blocks.watcher));
+        assert!(net
+            .pre_set(blocks.t_check)
+            .iter()
+            .any(|&(p, _)| p == blocks.wait_check));
+    }
+
+    #[test]
+    fn happy_path_run_of_a_single_np_instance() {
+        // Drive the assembled single-task net through one full instance
+        // and check we land exactly on MF = {pend, pproc}.
+        let (asm, blocks) = assemble(false, 1);
+        let net = finish_net(asm, &blocks, 1);
+        let mut state = net.initial_state();
+        let mut names = Vec::new();
+        for _ in 0..12 {
+            let fireable = net.fireable(&state);
+            if fireable.is_empty() {
+                break;
+            }
+            let t = fireable[0];
+            let (dlb, _) = net.firing_domain(&state, t).unwrap();
+            let (next, _) = net.fire(&state, t, dlb).unwrap();
+            names.push(net.transition(t).name().to_owned());
+            state = next;
+        }
+        assert_eq!(
+            names,
+            vec!["tstart", "tph0_T", "tr0_T", "tg0_T", "tc0_T", "tf0_T", "tpc0_T", "tend"],
+            "the single-instance happy path fires each block once"
+        );
+        let pend = net.place_id("pend").unwrap();
+        let pproc = net.place_id("pproc_cpu0").unwrap();
+        assert_eq!(state.marking().tokens(pend), 1);
+        assert_eq!(state.marking().tokens(pproc), 1);
+        assert_eq!(state.marking().total_tokens(), 2);
+    }
+
+    #[test]
+    fn preemptive_happy_path_counts_unit_steps() {
+        let (asm, blocks) = assemble(true, 1);
+        let net = finish_net(asm, &blocks, 1);
+        let mut state = net.initial_state();
+        let mut compute_firings = 0;
+        let mut clock = 0u64;
+        for _ in 0..40 {
+            let fireable = net.fireable(&state);
+            if fireable.is_empty() {
+                break;
+            }
+            let t = fireable[0];
+            let (dlb, _) = net.firing_domain(&state, t).unwrap();
+            let (next, firing) = net.fire(&state, t, dlb).unwrap();
+            clock += firing.delay();
+            if t == blocks.t_compute {
+                compute_firings += 1;
+            }
+            state = next;
+        }
+        assert_eq!(compute_firings, 10, "c = 10 unit steps");
+        let pend = net.place_id("pend").unwrap();
+        assert_eq!(state.marking().tokens(pend), 1);
+        // Released at r = 5 (earliest), computed 10 units back-to-back.
+        assert_eq!(clock, 15);
+    }
+
+    #[test]
+    fn processor_block_is_a_single_marked_place() {
+        let mut asm = Assembly::new("proc");
+        let p = add_processor(&mut asm, "arm9");
+        asm.builder.transition("t", TimeInterval::immediate());
+        asm.roles.push(TransitionRole::Fork); // keep maps aligned for the test
+        let net = asm.builder.build().unwrap();
+        assert_eq!(net.place(p).name(), "pproc_arm9");
+        assert_eq!(net.place(p).initial_tokens(), 1);
+    }
+
+    #[test]
+    fn missed_deadline_marks_the_miss_place() {
+        // A task that is never granted the processor (we steal the token)
+        // must fire t_d at exactly d and mark p_dm.
+        let spec = single_task_spec(false);
+        let mut asm = Assembly::new("miss");
+        let proc_place = add_processor(&mut asm, "cpu0");
+        let blocks = add_task_blocks(
+            &mut asm,
+            TaskId::from_index(0),
+            spec.task_by_name("T").unwrap(),
+            1,
+            proc_place,
+        );
+        asm.builder
+            .arc_transition_to_place(blocks.t_release, blocks.wait_grant, 1);
+        // A thief transition hogs the processor forever.
+        let hog = asm.builder.place_with_tokens("hog", 1);
+        let t_hog = asm.builder.transition("thog", TimeInterval::immediate());
+        asm.roles.push(TransitionRole::Fork);
+        asm.builder.arc_place_to_transition(hog, t_hog, 1);
+        asm.builder.arc_place_to_transition(proc_place, t_hog, 1);
+        add_fork(&mut asm, &[blocks.start]);
+        add_join(&mut asm, &[(blocks.finished, 1)]);
+        let net = asm.builder.build().unwrap();
+
+        let mut state = net.initial_state();
+        let mut miss_time = 0u64;
+        for _ in 0..10 {
+            let fireable = net.fireable(&state);
+            if fireable.is_empty() {
+                break;
+            }
+            let t = fireable[0];
+            let (dlb, _) = net.firing_domain(&state, t).unwrap();
+            let (next, firing) = net.fire(&state, t, dlb).unwrap();
+            miss_time += firing.delay();
+            state = next;
+            if state.marking().tokens(blocks.miss) > 0 {
+                break;
+            }
+        }
+        assert_eq!(state.marking().tokens(blocks.miss), 1);
+        assert_eq!(miss_time, 40, "t_d fires exactly at the deadline");
+    }
+}

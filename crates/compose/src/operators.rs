@@ -1,0 +1,252 @@
+//! Net composition operators.
+//!
+//! The paper builds task models "by composition of building blocks" and
+//! notes that "this work adopts several operators for building block
+//! compositions", deferring their definitions to Barreto's thesis. This
+//! module provides that operator algebra as a reusable public API over
+//! [`Assembly`]: the translation in [`translate`](crate::translate) is
+//! expressible entirely in terms of these operators, and they are
+//! available to users who want to hand-compose nets block by block.
+//!
+//! * [`sequence`] — serial composition: route a transition's output into
+//!   a place (arc addition);
+//! * [`fuse_places`] — place fusion: merge two places into one, the
+//!   classic operator for gluing blocks that share a state;
+//! * [`add_side_condition`] — self-loop composition: make a place a
+//!   side condition of a transition (test-and-restore), how resources
+//!   guard computations;
+//! * [`synchronize`] — transition synchronization: merge two `[0,0]`
+//!   transitions into one that fires their union atomically.
+
+use crate::blocks::Assembly;
+use ezrt_tpn::{PlaceId, TransitionId};
+
+/// Serial composition: adds the arc `transition → place` with `weight`,
+/// so whatever the transition produces continues into the block that
+/// `place` begins.
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_compose::blocks::Assembly;
+/// use ezrt_compose::operators::sequence;
+/// use ezrt_compose::{Priority, TransitionRole};
+/// use ezrt_tpn::TimeInterval;
+///
+/// let mut asm = Assembly::new("seq");
+/// let a = asm.builder.place_with_tokens("a", 1);
+/// let b = asm.builder.place("b");
+/// let t = asm.transition("t".into(), TimeInterval::immediate(),
+///                        Priority::DECISION, TransitionRole::Fork);
+/// asm.builder.arc_place_to_transition(a, t, 1);
+/// sequence(&mut asm, t, b, 1);
+/// let net = asm.builder.build().unwrap();
+/// assert_eq!(net.post_set(t), &[(b, 1)]);
+/// ```
+pub fn sequence(asm: &mut Assembly, transition: TransitionId, place: PlaceId, weight: u32) {
+    asm.builder.arc_transition_to_place(transition, place, weight);
+}
+
+/// Place fusion: redirects every arc touching `duplicate` onto `keep`
+/// and isolates `duplicate` (its initial tokens move to `keep`).
+///
+/// Petri-net composition glues blocks by identifying a place of one
+/// block with a place of another; since [`TpnBuilder`](ezrt_tpn::TpnBuilder)
+/// ids are stable, the fused-away place remains in the net as an
+/// isolated, empty place (harmless for behaviour; reported by
+/// [`analysis::isolated_places`](ezrt_tpn::analysis::isolated_places)).
+pub fn fuse_places(asm: &mut Assembly, keep: PlaceId, duplicate: PlaceId) {
+    assert_ne!(keep, duplicate, "cannot fuse a place with itself");
+    let moved = redirect_arcs(asm, duplicate, keep);
+    debug_assert!(moved || true);
+}
+
+/// Moves all arcs from `from` to `to`; returns whether any arc moved.
+fn redirect_arcs(asm: &mut Assembly, from: PlaceId, to: PlaceId) -> bool {
+    let mut moved = false;
+    let transition_count = asm.builder.transition_count();
+    for index in 0..transition_count {
+        let t = TransitionId::from_index(index);
+        if let Some(weight) = asm.builder.take_input_arc(from, t) {
+            asm.builder.arc_place_to_transition(to, t, weight);
+            moved = true;
+        }
+        if let Some(weight) = asm.builder.take_output_arc(t, from) {
+            asm.builder.arc_transition_to_place(t, to, weight);
+            moved = true;
+        }
+    }
+    let tokens = asm.builder.initial_tokens(from);
+    if tokens > 0 {
+        asm.builder.set_initial_tokens(from, 0);
+        let existing = asm.builder.initial_tokens(to);
+        asm.builder.set_initial_tokens(to, existing + tokens);
+        moved = true;
+    }
+    moved
+}
+
+/// Side-condition composition: `place` becomes both input and output of
+/// `transition` (a self-loop), so the transition *tests* the place
+/// without consuming it across the firing — the processor and lock
+/// places of the ezRealtime blocks are side conditions of grant/compute
+/// pairs split across two transitions; a true self-loop is the one-shot
+/// variant.
+pub fn add_side_condition(asm: &mut Assembly, place: PlaceId, transition: TransitionId) {
+    asm.builder.arc_place_to_transition(place, transition, 1);
+    asm.builder.arc_transition_to_place(transition, place, 1);
+}
+
+/// Transition synchronization: gives `absorbed`'s pre- and post-sets to
+/// `survivor` and disconnects `absorbed` by stripping all its arcs,
+/// then marking it structurally dead (an empty-pre-set transition would
+/// fire freely, so `absorbed` keeps one inhibiting input: a fresh,
+/// empty, producer-less place).
+///
+/// Both transitions should be immediate (`[0,0]`) for the merge to be
+/// behaviour-preserving; this is asserted.
+///
+/// # Panics
+///
+/// Panics if the transitions are equal or either is not immediate.
+pub fn synchronize(asm: &mut Assembly, survivor: TransitionId, absorbed: TransitionId) {
+    assert_ne!(survivor, absorbed, "cannot synchronize a transition with itself");
+    assert!(
+        asm.builder.interval_of(survivor).is_immediate()
+            && asm.builder.interval_of(absorbed).is_immediate(),
+        "synchronization requires immediate transitions"
+    );
+    let place_count = asm.builder.place_count();
+    for index in 0..place_count {
+        let p = PlaceId::from_index(index);
+        if let Some(weight) = asm.builder.take_input_arc(p, absorbed) {
+            asm.builder.arc_place_to_transition(p, survivor, weight);
+        }
+        if let Some(weight) = asm.builder.take_output_arc(absorbed, p) {
+            asm.builder.arc_transition_to_place(survivor, p, weight);
+        }
+    }
+    let blocker = asm
+        .builder
+        .place(format!("pdead_{}", absorbed.index()));
+    asm.builder.arc_place_to_transition(blocker, absorbed, 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority::Priority;
+    use crate::roles::TransitionRole;
+    use ezrt_tpn::{analysis, TimeInterval};
+
+    fn assembly() -> Assembly {
+        Assembly::new("operators")
+    }
+
+    fn immediate(asm: &mut Assembly, name: &str) -> TransitionId {
+        asm.transition(
+            name.to_owned(),
+            TimeInterval::immediate(),
+            Priority::DECISION,
+            TransitionRole::Fork,
+        )
+    }
+
+    #[test]
+    fn fuse_places_moves_arcs_and_tokens() {
+        let mut asm = assembly();
+        let keep = asm.builder.place("keep");
+        let dup = asm.builder.place_with_tokens("dup", 2);
+        let producer = immediate(&mut asm, "producer");
+        let consumer = immediate(&mut asm, "consumer");
+        let src = asm.builder.place_with_tokens("src", 1);
+        asm.builder.arc_place_to_transition(src, producer, 1);
+        asm.builder.arc_transition_to_place(producer, dup, 1);
+        asm.builder.arc_place_to_transition(dup, consumer, 2);
+
+        fuse_places(&mut asm, keep, dup);
+        let net = asm.builder.build().unwrap();
+        // All of dup's connections now belong to keep.
+        assert!(net.post_set(producer).iter().any(|&(p, w)| p == keep && w == 1));
+        assert!(net.pre_set(consumer).iter().any(|&(p, w)| p == keep && w == 2));
+        assert_eq!(net.place(keep).initial_tokens(), 2);
+        assert_eq!(net.place(dup).initial_tokens(), 0);
+        assert!(analysis::isolated_places(&net).contains(&dup));
+    }
+
+    #[test]
+    #[should_panic(expected = "fuse a place with itself")]
+    fn fuse_rejects_identity() {
+        let mut asm = assembly();
+        let p = asm.builder.place("p");
+        immediate(&mut asm, "t");
+        fuse_places(&mut asm, p, p);
+    }
+
+    #[test]
+    fn side_condition_restores_tokens() {
+        let mut asm = assembly();
+        let resource = asm.builder.place_with_tokens("res", 1);
+        let src = asm.builder.place_with_tokens("src", 1);
+        let t = immediate(&mut asm, "t");
+        asm.builder.arc_place_to_transition(src, t, 1);
+        add_side_condition(&mut asm, resource, t);
+        let net = asm.builder.build().unwrap();
+
+        let s0 = net.initial_state();
+        let (s1, _) = net.fire(&s0, t, 0).unwrap();
+        assert_eq!(s1.marking().tokens(resource), 1, "side condition restored");
+        assert_eq!(s1.marking().tokens(src), 0);
+    }
+
+    #[test]
+    fn synchronize_merges_pre_and_post_sets() {
+        let mut asm = assembly();
+        let a = asm.builder.place_with_tokens("a", 1);
+        let b = asm.builder.place_with_tokens("b", 1);
+        let out_a = asm.builder.place("out_a");
+        let out_b = asm.builder.place("out_b");
+        let ta = immediate(&mut asm, "ta");
+        let tb = immediate(&mut asm, "tb");
+        asm.builder.arc_place_to_transition(a, ta, 1);
+        asm.builder.arc_transition_to_place(ta, out_a, 1);
+        asm.builder.arc_place_to_transition(b, tb, 1);
+        asm.builder.arc_transition_to_place(tb, out_b, 1);
+
+        synchronize(&mut asm, ta, tb);
+        let net = asm.builder.build().unwrap();
+        // ta now consumes both inputs and produces both outputs.
+        let s0 = net.initial_state();
+        let (s1, _) = net.fire(&s0, ta, 0).unwrap();
+        assert_eq!(s1.marking().tokens(out_a), 1);
+        assert_eq!(s1.marking().tokens(out_b), 1);
+        // tb is structurally dead.
+        assert!(analysis::structurally_dead_transitions(&net).contains(&tb));
+    }
+
+    #[test]
+    #[should_panic(expected = "immediate transitions")]
+    fn synchronize_rejects_timed_transitions() {
+        let mut asm = assembly();
+        let timed = asm.transition(
+            "timed".into(),
+            TimeInterval::exact(3),
+            Priority::DECISION,
+            TransitionRole::Fork,
+        );
+        let quick = immediate(&mut asm, "quick");
+        synchronize(&mut asm, quick, timed);
+    }
+
+    #[test]
+    fn sequence_is_plain_arc_addition() {
+        let mut asm = assembly();
+        let p = asm.builder.place("p");
+        let t = immediate(&mut asm, "t");
+        let src = asm.builder.place_with_tokens("s", 1);
+        asm.builder.arc_place_to_transition(src, t, 1);
+        sequence(&mut asm, t, p, 3);
+        let net = asm.builder.build().unwrap();
+        assert_eq!(net.post_set(t), &[(p, 3)]);
+    }
+}

@@ -1,0 +1,402 @@
+//! Inter-task relation models (paper §3.3.2) and message pipelines.
+//!
+//! Relations are implemented as *stages*: extra `[0,0]` transitions
+//! inserted between a task's release (`t_r`) and grant (`t_g`)
+//! transitions. [`translate`](crate::translate) chains a task's stages in
+//! a canonical order — precedences, then message receives, then exclusion
+//! locks (sorted by partner) — and wires `t_r → stage₁ → … → p_wg`.
+
+use crate::blocks::{Assembly, TaskBlocks};
+use crate::priority::Priority;
+use crate::roles::TransitionRole;
+use ezrt_spec::{Message, MessageId};
+use ezrt_tpn::{PlaceId, TimeInterval, TransitionId};
+
+/// One relation stage: a transition waiting in `entry` for its extra
+/// pre-condition (a precedence token, an exclusion lock, a delivered
+/// message). The stage's output arc is wired by the chain assembler.
+#[derive(Debug, Clone, Copy)]
+pub struct Stage {
+    /// The place the previous element of the chain feeds.
+    pub entry: PlaceId,
+    /// The stage transition (interval `[0,0]`, priority `STAGE`).
+    pub transition: TransitionId,
+}
+
+/// Adds the precedence model of Fig. 3 for `from PRECEDES to`:
+///
+/// * `from`'s finish transition additionally produces into a buffer place
+///   `p_prec`;
+/// * `to` gets a stage consuming one `p_prec` token, so instance `k` of
+///   `to` can only pass once instance `k` of `from` has finished.
+pub fn add_precedence(asm: &mut Assembly, from: &TaskBlocks, to: &TaskBlocks) -> (PlaceId, Stage) {
+    let fi = from.task.index();
+    let ti = to.task.index();
+    let buffer = asm.builder.place(format!("pprec_{fi}_{ti}"));
+    asm.builder.arc_transition_to_place(from.t_finish, buffer, 1);
+
+    let entry = asm.builder.place(format!("pwp_{ti}_{fi}"));
+    let transition = asm.transition(
+        format!("tprec_{fi}_{ti}"),
+        TimeInterval::immediate(),
+        Priority::STAGE,
+        TransitionRole::PrecedenceGrant {
+            from: from.task,
+            to: to.task,
+        },
+    );
+    asm.builder.arc_place_to_transition(entry, transition, 1);
+    asm.builder.arc_place_to_transition(buffer, transition, 1);
+    (buffer, Stage { entry, transition })
+}
+
+/// Adds the exclusion model of Fig. 4 for `a EXCLUDES b` (symmetric):
+///
+/// * a shared lock place with a single token;
+/// * one acquire stage per task (`t_excl`), holding the lock from before
+///   the first processor grant until the instance's finish — so, per the
+///   paper, neither task can *start* while the other is executing, even
+///   across preemptions;
+/// * both finish transitions return the lock.
+///
+/// Returns the lock place and the two stages `(stage_a, stage_b)`.
+pub fn add_exclusion(
+    asm: &mut Assembly,
+    a: &TaskBlocks,
+    b: &TaskBlocks,
+) -> (PlaceId, Stage, Stage) {
+    let ai = a.task.index();
+    let bi = b.task.index();
+    let lock = asm
+        .builder
+        .place_with_tokens(format!("pexcl_{ai}_{bi}"), 1);
+
+    let mut acquire = |blocks: &TaskBlocks, partner: &TaskBlocks| -> Stage {
+        let i = blocks.task.index();
+        let j = partner.task.index();
+        let entry = asm.builder.place(format!("pwe_{i}_{j}"));
+        let transition = asm.transition(
+            format!("texcl_{i}_{j}"),
+            TimeInterval::immediate(),
+            Priority::STAGE,
+            TransitionRole::ExclusionAcquire {
+                task: blocks.task,
+                partner: partner.task,
+            },
+        );
+        asm.builder.arc_place_to_transition(entry, transition, 1);
+        asm.builder.arc_place_to_transition(lock, transition, 1);
+        asm.builder.arc_transition_to_place(blocks.t_finish, lock, 1);
+        Stage { entry, transition }
+    };
+
+    let stage_a = acquire(a, b);
+    let stage_b = acquire(b, a);
+    (lock, stage_a, stage_b)
+}
+
+/// Adds a message pipeline for `message` (metamodel `MessageC`):
+///
+/// * the sender's finish transition produces one message token;
+/// * `t_mg [g, g]` (bus grant) takes the shared `bus` resource after the
+///   worst-case arbitration delay;
+/// * `t_mt [ct, ct]` (bus transfer) returns the bus and delivers the
+///   message;
+/// * the receiver gets a stage consuming the delivered token.
+///
+/// With `g = ct = 0` on a mono-processor this degenerates to a precedence
+/// relation, which is the paper's "inter-task communication" in step iii
+/// of its model-generation recipe.
+pub fn add_message(
+    asm: &mut Assembly,
+    id: MessageId,
+    message: &Message,
+    sender: &TaskBlocks,
+    receiver: &TaskBlocks,
+    bus: PlaceId,
+) -> Stage {
+    let mi = id.index();
+    let name = message.name();
+
+    let outbox = asm.builder.place(format!("pmsg{mi}_{name}"));
+    asm.builder.arc_transition_to_place(sender.t_finish, outbox, 1);
+
+    let transferring = asm.builder.place(format!("ptx{mi}_{name}"));
+    let t_grant = asm.transition(
+        format!("tmg{mi}_{name}"),
+        TimeInterval::exact(message.grant_bus()),
+        Priority::DECISION,
+        TransitionRole::BusGrant(id),
+    );
+    asm.builder.arc_place_to_transition(outbox, t_grant, 1);
+    asm.builder.arc_place_to_transition(bus, t_grant, 1);
+    asm.builder.arc_transition_to_place(t_grant, transferring, 1);
+
+    let delivered = asm.builder.place(format!("pmd{mi}_{name}"));
+    let t_transfer = asm.transition(
+        format!("tmt{mi}_{name}"),
+        TimeInterval::exact(message.communication()),
+        Priority::DECISION,
+        TransitionRole::BusTransfer(id),
+    );
+    asm.builder.arc_place_to_transition(transferring, t_transfer, 1);
+    asm.builder.arc_transition_to_place(t_transfer, bus, 1);
+    asm.builder.arc_transition_to_place(t_transfer, delivered, 1);
+
+    let entry = asm.builder.place(format!("pwm_{}_{mi}", receiver.task.index()));
+    let transition = asm.transition(
+        format!("tmr{mi}_{name}"),
+        TimeInterval::immediate(),
+        Priority::STAGE,
+        TransitionRole::MessageReceive {
+            message: id,
+            to: receiver.task,
+        },
+    );
+    asm.builder.arc_place_to_transition(entry, transition, 1);
+    asm.builder.arc_place_to_transition(delivered, transition, 1);
+    Stage { entry, transition }
+}
+
+/// Wires a task's release transition through its relation stages into the
+/// wait-grant place: `t_r → stage₁.entry`, `stageₖ → stageₖ₊₁.entry`,
+/// `stage_last → p_wg` (or `t_r → p_wg` when there are no stages).
+pub fn wire_release_chain(asm: &mut Assembly, blocks: &TaskBlocks, stages: &[Stage]) {
+    match stages.split_first() {
+        None => {
+            asm.builder
+                .arc_transition_to_place(blocks.t_release, blocks.wait_grant, 1);
+        }
+        Some((first, rest)) => {
+            asm.builder
+                .arc_transition_to_place(blocks.t_release, first.entry, 1);
+            let mut previous = first;
+            for stage in rest {
+                asm.builder
+                    .arc_transition_to_place(previous.transition, stage.entry, 1);
+                previous = stage;
+            }
+            asm.builder
+                .arc_transition_to_place(previous.transition, blocks.wait_grant, 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::{add_fork, add_join, add_processor, add_task_blocks};
+    use ezrt_spec::{SpecBuilder, TaskId};
+
+    fn two_task_assembly(
+        preemptive: bool,
+    ) -> (Assembly, TaskBlocks, TaskBlocks, ezrt_spec::EzSpec) {
+        let spec = SpecBuilder::new("pair")
+            .task("A", move |t| {
+                let t = t.computation(2).deadline(10).period(20);
+                if preemptive {
+                    t.preemptive()
+                } else {
+                    t
+                }
+            })
+            .task("B", move |t| {
+                let t = t.computation(3).deadline(20).period(20);
+                if preemptive {
+                    t.preemptive()
+                } else {
+                    t
+                }
+            })
+            .build()
+            .unwrap();
+        let mut asm = Assembly::new("relations-test");
+        let cpu = add_processor(&mut asm, "cpu0");
+        let a = add_task_blocks(
+            &mut asm,
+            TaskId::from_index(0),
+            spec.task_by_name("A").unwrap(),
+            1,
+            cpu,
+        );
+        let b = add_task_blocks(
+            &mut asm,
+            TaskId::from_index(1),
+            spec.task_by_name("B").unwrap(),
+            1,
+            cpu,
+        );
+        (asm, a, b, spec)
+    }
+
+    fn close(mut asm: Assembly, a: &TaskBlocks, b: &TaskBlocks) -> ezrt_tpn::TimePetriNet {
+        add_fork(&mut asm, &[a.start, b.start]);
+        add_join(&mut asm, &[(a.finished, 1), (b.finished, 1)]);
+        asm.builder.build().unwrap()
+    }
+
+    /// Drive a net with the first-fireable policy until quiescent,
+    /// recording (name, absolute time).
+    fn run(net: &ezrt_tpn::TimePetriNet) -> Vec<(String, u64)> {
+        let mut state = net.initial_state();
+        let mut clock = 0;
+        let mut log = Vec::new();
+        for _ in 0..200 {
+            let fireable = net.fireable(&state);
+            let Some(&t) = fireable.first() else { break };
+            let (dlb, _) = net.firing_domain(&state, t).unwrap();
+            let (next, firing) = net.fire(&state, t, dlb).unwrap();
+            clock += firing.delay();
+            log.push((net.transition(t).name().to_owned(), clock));
+            state = next;
+        }
+        log
+    }
+
+    #[test]
+    fn precedence_orders_finish_before_successor_grant() {
+        let (mut asm, a, b, _spec) = two_task_assembly(false);
+        let (_, stage_b) = add_precedence(&mut asm, &a, &b);
+        wire_release_chain(&mut asm, &a, &[]);
+        wire_release_chain(&mut asm, &b, &[stage_b]);
+        let net = close(asm, &a, &b);
+        let log = run(&net);
+        let pos = |name: &str| log.iter().position(|(n, _)| n == name).unwrap();
+        assert!(
+            pos("tf0_A") < pos("tg1_B"),
+            "B may only be granted after A finished: {log:?}"
+        );
+        assert!(log.iter().any(|(n, _)| n == "tend"), "net completes");
+    }
+
+    #[test]
+    fn precedence_stage_structure_matches_figure_3() {
+        let (mut asm, a, b, _spec) = two_task_assembly(false);
+        let (buffer, stage_b) = add_precedence(&mut asm, &a, &b);
+        wire_release_chain(&mut asm, &a, &[]);
+        wire_release_chain(&mut asm, &b, &[stage_b]);
+        let net = close(asm, &a, &b);
+        // The stage transition is immediate and consumes entry + buffer.
+        let t = net.transition(stage_b.transition);
+        assert!(t.interval().is_immediate());
+        let pre: Vec<PlaceId> = net.pre_set(stage_b.transition).iter().map(|&(p, _)| p).collect();
+        assert!(pre.contains(&stage_b.entry));
+        assert!(pre.contains(&buffer));
+        // A's finish feeds the buffer.
+        assert!(net.post_set(a.t_finish).iter().any(|&(p, _)| p == buffer));
+    }
+
+    #[test]
+    fn exclusion_serializes_preemptive_tasks() {
+        let (mut asm, a, b, _spec) = two_task_assembly(true);
+        let (lock, stage_a, stage_b) = add_exclusion(&mut asm, &a, &b);
+        wire_release_chain(&mut asm, &a, &[stage_a]);
+        wire_release_chain(&mut asm, &b, &[stage_b]);
+        let net = close(asm, &a, &b);
+        assert_eq!(net.place(lock).initial_tokens(), 1);
+
+        let log = run(&net);
+        // Whoever acquires first must finish before the other's first
+        // grant — execution windows may not interleave.
+        let first_grant_a = log.iter().position(|(n, _)| n == "tg0_A");
+        let first_grant_b = log.iter().position(|(n, _)| n == "tg1_B");
+        let finish_a = log.iter().position(|(n, _)| n == "tf0_A");
+        let finish_b = log.iter().position(|(n, _)| n == "tf1_B");
+        let (ga, gb, fa, fb) = (
+            first_grant_a.unwrap(),
+            first_grant_b.unwrap(),
+            finish_a.unwrap(),
+            finish_b.unwrap(),
+        );
+        if ga < gb {
+            assert!(fa < gb, "A finished before B started: {log:?}");
+        } else {
+            assert!(fb < ga, "B finished before A started: {log:?}");
+        }
+        assert!(log.iter().any(|(n, _)| n == "tend"));
+    }
+
+    #[test]
+    fn exclusion_lock_is_returned_at_finish() {
+        let (mut asm, a, b, _spec) = two_task_assembly(false);
+        let (lock, stage_a, stage_b) = add_exclusion(&mut asm, &a, &b);
+        wire_release_chain(&mut asm, &a, &[stage_a]);
+        wire_release_chain(&mut asm, &b, &[stage_b]);
+        let net = close(asm, &a, &b);
+        assert!(net.post_set(a.t_finish).iter().any(|&(p, _)| p == lock));
+        assert!(net.post_set(b.t_finish).iter().any(|&(p, _)| p == lock));
+        // Both acquire transitions consume the same lock.
+        assert!(net.pre_set(stage_a.transition).iter().any(|&(p, _)| p == lock));
+        assert!(net.pre_set(stage_b.transition).iter().any(|&(p, _)| p == lock));
+    }
+
+    #[test]
+    fn message_pipeline_delivers_through_the_bus() {
+        let spec = SpecBuilder::new("msg")
+            .task("TX", |t| t.computation(2).deadline(10).period(20))
+            .task("RX", |t| t.computation(1).deadline(20).period(20))
+            .message("frame", "TX", "RX", "can0", 1, 2)
+            .build()
+            .unwrap();
+        let mut asm = Assembly::new("message-test");
+        let cpu = add_processor(&mut asm, "cpu0");
+        let tx = add_task_blocks(
+            &mut asm,
+            TaskId::from_index(0),
+            spec.task_by_name("TX").unwrap(),
+            1,
+            cpu,
+        );
+        let rx = add_task_blocks(
+            &mut asm,
+            TaskId::from_index(1),
+            spec.task_by_name("RX").unwrap(),
+            1,
+            cpu,
+        );
+        let bus = asm.builder.place_with_tokens("pbus_can0", 1);
+        let (mid, message) = spec.messages().next().unwrap();
+        let stage = add_message(&mut asm, mid, message, &tx, &rx, bus);
+        wire_release_chain(&mut asm, &tx, &[]);
+        wire_release_chain(&mut asm, &rx, &[stage]);
+        let net = close(asm, &tx, &rx);
+
+        let log = run(&net);
+        let time_of = |name: &str| log.iter().find(|(n, _)| n == name).map(|&(_, t)| t);
+        // TX computes during [0, 2); grant after 1 more unit; transfer 2.
+        assert_eq!(time_of("tf0_TX"), Some(2));
+        assert_eq!(time_of("tmg0_frame"), Some(3));
+        assert_eq!(time_of("tmt0_frame"), Some(5));
+        // RX may only be granted after delivery.
+        let grant_rx = time_of("tg1_RX").expect("RX runs");
+        assert!(grant_rx >= 5, "RX granted at {grant_rx}, before delivery");
+        assert!(log.iter().any(|(n, _)| n == "tend"));
+    }
+
+    #[test]
+    fn wire_release_chain_handles_multiple_stages_in_order() {
+        let (mut asm, a, b, _spec) = two_task_assembly(false);
+        let (_, prec_stage) = add_precedence(&mut asm, &a, &b);
+        let (_, excl_a, excl_b) = add_exclusion(&mut asm, &a, &b);
+        wire_release_chain(&mut asm, &a, &[excl_a]);
+        wire_release_chain(&mut asm, &b, &[prec_stage, excl_b]);
+        let net = close(asm, &a, &b);
+        // B's release feeds the precedence entry, whose transition feeds
+        // the exclusion entry, whose transition feeds wait-grant.
+        assert!(net
+            .post_set(b.t_release)
+            .iter()
+            .any(|&(p, _)| p == prec_stage.entry));
+        assert!(net
+            .post_set(prec_stage.transition)
+            .iter()
+            .any(|&(p, _)| p == excl_b.entry));
+        assert!(net
+            .post_set(excl_b.transition)
+            .iter()
+            .any(|&(p, _)| p == b.wait_grant));
+        // The run still completes despite the double gating.
+        let log = run(&net);
+        assert!(log.iter().any(|(n, _)| n == "tend"), "{log:?}");
+    }
+}

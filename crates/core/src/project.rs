@@ -1,0 +1,231 @@
+//! The [`Project`] facade and its synthesis [`Outcome`].
+
+use ezrt_codegen::{CodeGenerator, GeneratedSource, ScheduleTable, Target};
+use ezrt_compose::{translate, TaskNet};
+use ezrt_dsl::ParseDslError;
+use ezrt_scheduler::validate::ScheduleViolation;
+use ezrt_scheduler::{
+    synthesize, FeasibleSchedule, SchedulerConfig, SearchStats, SynthesizeError, Timeline,
+};
+use ezrt_sim::dispatch::{execute, DispatchConfig};
+use ezrt_sim::ExecutionReport;
+use ezrt_spec::EzSpec;
+
+/// An ezRealtime project: a specification plus the synthesis
+/// configuration, with every pipeline stage one method call away.
+#[derive(Debug, Clone)]
+pub struct Project {
+    spec: EzSpec,
+    config: SchedulerConfig,
+}
+
+impl Project {
+    /// Creates a project around a validated specification with the
+    /// default scheduler configuration.
+    pub fn new(spec: EzSpec) -> Self {
+        Project {
+            spec,
+            config: SchedulerConfig::default(),
+        }
+    }
+
+    /// Loads a project from an `<rt:ez-spec>` XML document (paper
+    /// Fig. 7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDslError`] when the document is malformed or the
+    /// specification fails validation.
+    pub fn from_dsl(document: &str) -> Result<Self, ParseDslError> {
+        Ok(Project::new(ezrt_dsl::from_xml(document)?))
+    }
+
+    /// Replaces the scheduler configuration.
+    pub fn with_config(mut self, config: SchedulerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The specification.
+    pub fn spec(&self) -> &EzSpec {
+        &self.spec
+    }
+
+    /// The scheduler configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Translates the specification into its time Petri net without
+    /// searching — useful for inspection, DOT rendering and PNML export
+    /// of unsolved models.
+    pub fn translate(&self) -> TaskNet {
+        translate(&self.spec)
+    }
+
+    /// Serializes the specification back to the XML DSL.
+    pub fn to_dsl(&self) -> String {
+        ezrt_dsl::to_xml(&self.spec)
+    }
+
+    /// Runs the full synthesis: translation, pre-runtime depth-first
+    /// search, timeline reconstruction and schedule-table derivation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesizeError`] when no feasible schedule exists or a
+    /// search budget is exhausted.
+    pub fn synthesize(&self) -> Result<Outcome, SynthesizeError> {
+        let tasknet = translate(&self.spec);
+        let synthesis = synthesize(&tasknet, &self.config)?;
+        let timeline = Timeline::from_schedule(&tasknet, &synthesis.schedule);
+        let table = ScheduleTable::from_timeline(&self.spec, &timeline);
+        Ok(Outcome {
+            spec: self.spec.clone(),
+            tasknet,
+            schedule: synthesis.schedule,
+            stats: synthesis.stats,
+            timeline,
+            table,
+        })
+    }
+}
+
+/// Everything a successful synthesis produces.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    spec: EzSpec,
+    /// The translated net with its semantic maps.
+    pub tasknet: TaskNet,
+    /// The feasible firing schedule (Def. 3.2).
+    pub schedule: FeasibleSchedule,
+    /// Search statistics (the §5 numbers).
+    pub stats: SearchStats,
+    /// The task-level execution timeline.
+    pub timeline: Timeline,
+    /// The Fig. 8 schedule table (first processor).
+    pub table: ScheduleTable,
+}
+
+impl Outcome {
+    /// The specification the outcome belongs to.
+    pub fn spec(&self) -> &EzSpec {
+        &self.spec
+    }
+
+    /// Generates the scheduled C code for `target` (paper §4.4.2).
+    pub fn generate_code(&self, target: Target) -> GeneratedSource {
+        CodeGenerator::new(target).generate(&self.spec, &self.table)
+    }
+
+    /// Executes the schedule on the simulated dispatcher for one
+    /// schedule period.
+    pub fn execute(&self) -> ExecutionReport {
+        self.execute_for(1)
+    }
+
+    /// Executes the schedule for `hyperperiods` schedule periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hyperperiods` is zero.
+    pub fn execute_for(&self, hyperperiods: u64) -> ExecutionReport {
+        execute(
+            &self.spec,
+            &self.timeline,
+            &DispatchConfig {
+                hyperperiods,
+                ..DispatchConfig::default()
+            },
+        )
+    }
+
+    /// Re-validates the timeline against the specification with the
+    /// net-independent checker; empty means valid.
+    pub fn validate(&self) -> Vec<ScheduleViolation> {
+        ezrt_scheduler::validate::check(&self.spec, &self.timeline)
+    }
+
+    /// Exports the synthesized time Petri net as PNML (ISO 15909-2).
+    pub fn to_pnml(&self) -> String {
+        ezrt_pnml::to_pnml(self.tasknet.net())
+    }
+
+    /// Renders the net as Graphviz DOT.
+    pub fn to_dot(&self) -> String {
+        ezrt_tpn::dot::to_dot(self.tasknet.net())
+    }
+
+    /// ASCII Gantt chart of the window `[from, to)`.
+    pub fn gantt(&self, from: u64, to: u64) -> String {
+        self.timeline.gantt(&self.tasknet, from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezrt_spec::corpus::{mine_pump, small_control};
+
+    #[test]
+    fn full_pipeline_on_the_mine_pump() {
+        let outcome = Project::new(mine_pump()).synthesize().expect("feasible");
+        // §5 shape: visited within a few percent of the forced minimum.
+        assert!(outcome.stats.overhead_ratio() < 1.05);
+        assert_eq!(outcome.table.entries().len(), 782);
+        assert!(outcome.validate().is_empty());
+        let report = outcome.execute();
+        assert!(report.is_timely());
+        assert_eq!(report.max_release_jitter(), 0);
+    }
+
+    #[test]
+    fn dsl_round_trip_through_project() {
+        let project = Project::new(small_control());
+        let document = project.to_dsl();
+        let reloaded = Project::from_dsl(&document).expect("own dsl reloads");
+        assert_eq!(reloaded.spec(), project.spec());
+    }
+
+    #[test]
+    fn from_dsl_rejects_garbage() {
+        assert!(Project::from_dsl("<nonsense/>").is_err());
+    }
+
+    #[test]
+    fn exports_are_consistent() {
+        let outcome = Project::new(small_control()).synthesize().unwrap();
+        let pnml = outcome.to_pnml();
+        assert!(pnml.contains("<pnml"));
+        let reread = ezrt_pnml::from_pnml(&pnml).expect("own pnml rereads");
+        assert_eq!(reread.place_count(), outcome.tasknet.net().place_count());
+        let dot = outcome.to_dot();
+        assert!(dot.starts_with("digraph"));
+        let gantt = outcome.gantt(0, 20);
+        assert!(gantt.contains('#'));
+    }
+
+    #[test]
+    fn custom_config_is_used() {
+        let config = SchedulerConfig {
+            max_states: 1,
+            ..SchedulerConfig::default()
+        };
+        let result = Project::new(small_control())
+            .with_config(config)
+            .synthesize();
+        assert!(matches!(
+            result,
+            Err(SynthesizeError::StateLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn code_generation_reaches_all_targets() {
+        let outcome = Project::new(small_control()).synthesize().unwrap();
+        for target in Target::ALL {
+            let code = outcome.generate_code(target);
+            assert!(code.source.contains("ezrt_dispatch"), "{target}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Integration tests for the `Outcome` artefact surface.
+
+use ezrt_core::Project;
+use ezrt_spec::corpus::{figure3_spec, figure8_spec, small_control};
+use ezrt_tpn::reachability::{explore, DelayMode, ExplorationLimits};
+
+#[test]
+fn execute_defaults_to_one_period() {
+    let outcome = Project::new(small_control()).synthesize().unwrap();
+    assert_eq!(outcome.execute(), outcome.execute_for(1));
+}
+
+#[test]
+fn outcome_spec_accessor_matches_project() {
+    let spec = figure3_spec();
+    let outcome = Project::new(spec.clone()).synthesize().unwrap();
+    assert_eq!(outcome.spec(), &spec);
+}
+
+#[test]
+fn schedule_and_timeline_agree_on_workload() {
+    let outcome = Project::new(figure8_spec()).synthesize().unwrap();
+    // Sum of compute firings' delays == sum of slice durations == total
+    // demand. For preemptive tasks each compute firing advances 1 unit.
+    let busy_from_slices: u64 = outcome
+        .timeline
+        .slices()
+        .iter()
+        .map(|s| s.end - s.start)
+        .sum();
+    let demand: u64 = outcome
+        .spec()
+        .tasks()
+        .map(|(id, t)| outcome.spec().instances_of(id) * t.timing().computation)
+        .sum();
+    assert_eq!(busy_from_slices, demand);
+}
+
+#[test]
+fn bounded_reachability_agrees_with_the_search_on_figure3() {
+    // The generic breadth-first explorer (analysis tool) and the
+    // goal-directed DFS walk the same TLTS: under the earliest-firing
+    // policy the whole reachable space of the Fig. 3 net is tiny and
+    // contains the final marking the search reports.
+    let project = Project::new(figure3_spec());
+    let tasknet = project.translate();
+    let report = explore(
+        tasknet.net(),
+        DelayMode::Earliest,
+        ExplorationLimits {
+            max_states: 10_000,
+            max_depth: 10_000,
+        },
+    );
+    assert!(!report.truncated);
+    // Eager exploration of a two-task precedence net: fork, two arrival
+    // chains, serialized executions — a few dozen states at most.
+    assert!(report.states_visited < 100, "got {}", report.states_visited);
+    // The deadlocks include the success state MF (nothing enabled there).
+    assert!(report.deadlocks >= 1);
+
+    let outcome = project.synthesize().unwrap();
+    assert!(outcome.stats.states_visited <= report.states_visited + 1);
+}
+
+#[test]
+fn gantt_respects_window_bounds() {
+    let outcome = Project::new(small_control()).synthesize().unwrap();
+    let narrow = outcome.gantt(0, 5);
+    let wide = outcome.gantt(0, 20);
+    // One row per task either way; narrow rows are shorter.
+    assert_eq!(narrow.lines().count(), wide.lines().count());
+    assert!(narrow.lines().next().unwrap().len() < wide.lines().next().unwrap().len());
+}
+
+#[test]
+fn pnml_and_dot_share_the_same_net() {
+    let outcome = Project::new(small_control()).synthesize().unwrap();
+    let pnml = outcome.to_pnml();
+    let dot = outcome.to_dot();
+    // Every transition name that appears in DOT also appears in PNML.
+    for (_, transition) in outcome.tasknet.net().transitions() {
+        assert!(dot.contains(transition.name()));
+        assert!(pnml.contains(transition.name()));
+    }
+}

@@ -1,0 +1,114 @@
+//! DSL parsing errors.
+
+use ezrt_spec::ValidateSpecError;
+use ezrt_xml::ParseXmlError;
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while reading an `<rt:ez-spec>` document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseDslError {
+    /// The document is not well-formed XML.
+    Xml(ParseXmlError),
+    /// The root element is not `rt:ez-spec`.
+    WrongRoot(String),
+    /// A required child element is missing.
+    MissingField {
+        /// The element lacking the field (e.g. `Task "T1"`).
+        element: String,
+        /// The missing child element name.
+        field: String,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// The element containing the field.
+        element: String,
+        /// The field name.
+        field: String,
+        /// The raw text that failed to parse.
+        text: String,
+    },
+    /// A `schedulingMode` value other than `NP` / `P`.
+    BadSchedulingMode(String),
+    /// A `#identifier` reference that resolves to nothing.
+    UnknownReference(String),
+    /// The parsed specification fails metamodel validation.
+    Invalid(ValidateSpecError),
+}
+
+impl fmt::Display for ParseDslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDslError::Xml(e) => write!(f, "malformed xml: {e}"),
+            ParseDslError::WrongRoot(name) => {
+                write!(f, "expected rt:ez-spec root element, found {name:?}")
+            }
+            ParseDslError::MissingField { element, field } => {
+                write!(f, "{element} is missing required field <{field}>")
+            }
+            ParseDslError::BadNumber { element, field, text } => {
+                write!(f, "{element}: field <{field}> is not a number: {text:?}")
+            }
+            ParseDslError::BadSchedulingMode(mode) => {
+                write!(f, "scheduling mode must be NP or P, found {mode:?}")
+            }
+            ParseDslError::UnknownReference(r) => write!(f, "unresolved reference {r:?}"),
+            ParseDslError::Invalid(e) => write!(f, "specification invalid: {e}"),
+        }
+    }
+}
+
+impl Error for ParseDslError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseDslError::Xml(e) => Some(e),
+            ParseDslError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseXmlError> for ParseDslError {
+    fn from(e: ParseXmlError) -> Self {
+        ParseDslError::Xml(e)
+    }
+}
+
+impl From<ValidateSpecError> for ParseDslError {
+    fn from(e: ValidateSpecError) -> Self {
+        ParseDslError::Invalid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(ParseDslError::WrongRoot("spec".into())
+            .to_string()
+            .contains("rt:ez-spec"));
+        assert!(ParseDslError::MissingField {
+            element: "Task \"T1\"".into(),
+            field: "period".into()
+        }
+        .to_string()
+        .contains("<period>"));
+        assert!(ParseDslError::BadSchedulingMode("X".into())
+            .to_string()
+            .contains("NP or P"));
+        assert!(ParseDslError::UnknownReference("#ez9".into())
+            .to_string()
+            .contains("#ez9"));
+    }
+
+    #[test]
+    fn conversions_and_source() {
+        let xml_err = ezrt_xml::parse("<open>").unwrap_err();
+        let err: ParseDslError = xml_err.into();
+        assert!(err.source().is_some());
+        let err: ParseDslError = ValidateSpecError::NoTasks.into();
+        assert!(err.to_string().contains("no tasks"));
+    }
+}

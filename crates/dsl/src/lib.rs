@@ -1,0 +1,58 @@
+//! The ezRealtime XML domain-specific language (paper Fig. 7).
+//!
+//! The original tool persists specifications as `<rt:ez-spec>` XML
+//! documents produced by its EMF editor. This crate reads and writes the
+//! same dialect:
+//!
+//! ```xml
+//! <?xml version="1.0" encoding="UTF-8"?>
+//! <rt:ez-spec xmlns:rt="http://pnmp.sf.net/EZRealtime">
+//!   <Task precedesTasks="#ez1151891690363" identifier="ez1151891">
+//!     <processor>p124365</processor>
+//!     <name>T1</name>
+//!     <period>9</period>
+//!     <power>10</power>
+//!     <schedulingMode>NP</schedulingMode>
+//!     <computing>1</computing>
+//!     <deadline>9</deadline>
+//!   </Task>
+//! </rt:ez-spec>
+//! ```
+//!
+//! Inter-task references use EMF's `#identifier` syntax; `precedesTasks`
+//! and `excludesTasks` are whitespace-separated reference lists. Fields
+//! the figure does not show (`phase`, `release`, `code`, `Processor` and
+//! `Message` elements, the `dispOveh` flag) follow the metamodel of
+//! Fig. 5.
+//!
+//! # Examples
+//!
+//! ```
+//! use ezrt_dsl::{from_xml, to_xml};
+//! use ezrt_spec::corpus::mine_pump;
+//!
+//! # fn main() -> Result<(), ezrt_dsl::ParseDslError> {
+//! let spec = mine_pump();
+//! let document = to_xml(&spec);
+//! let reparsed = from_xml(&document)?;
+//! assert_eq!(reparsed, spec);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod parse;
+mod print;
+
+pub use error::ParseDslError;
+pub use parse::from_xml;
+pub use print::to_xml;
+
+/// The namespace URI of the ezRealtime DSL, as printed in paper Fig. 7.
+pub const NAMESPACE: &str = "http://pnmp.sf.net/EZRealtime";
+
+/// The qualified root element name.
+pub const ROOT_ELEMENT: &str = "rt:ez-spec";

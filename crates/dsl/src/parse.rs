@@ -1,0 +1,327 @@
+//! Parsing `<rt:ez-spec>` documents into specifications.
+
+use crate::error::ParseDslError;
+use crate::ROOT_ELEMENT;
+use ezrt_spec::{EzSpec, SpecBuilder, Time};
+use ezrt_xml::Element;
+use std::collections::HashMap;
+
+/// Parses an `<rt:ez-spec>` XML document into a validated [`EzSpec`].
+///
+/// The parser accepts the exact dialect of paper Fig. 7 — including bare
+/// processor references to undeclared processors (auto-created by name)
+/// and EMF-style `#identifier` reference lists — plus the metamodel
+/// fields the figure elides (`phase`, `release`, `code`, `Processor`,
+/// `Message`, `dispOveh`).
+///
+/// # Errors
+///
+/// Returns [`ParseDslError`] on malformed XML, a wrong root element,
+/// missing or non-numeric required fields, unresolved references, or a
+/// specification failing metamodel validation.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), ezrt_dsl::ParseDslError> {
+/// let spec = ezrt_dsl::from_xml(r#"
+/// <rt:ez-spec xmlns:rt="http://pnmp.sf.net/EZRealtime" name="demo">
+///   <Task identifier="ez0">
+///     <name>T1</name><period>9</period><computing>1</computing><deadline>9</deadline>
+///   </Task>
+/// </rt:ez-spec>"#)?;
+/// assert_eq!(spec.task_count(), 1);
+/// assert_eq!(spec.name(), "demo");
+/// # Ok(())
+/// # }
+/// ```
+pub fn from_xml(document: &str) -> Result<EzSpec, ParseDslError> {
+    let root = ezrt_xml::parse(document)?;
+    if root.name != ROOT_ELEMENT {
+        return Err(ParseDslError::WrongRoot(root.name.clone()));
+    }
+    let spec_name = root.attr("name").unwrap_or("ez-spec").to_owned();
+    let dispatcher_overhead = root.attr("dispOveh") == Some("true");
+
+    // Pass 1: identifier → name tables for processors and tasks.
+    let mut processor_names: HashMap<String, String> = HashMap::new();
+    for p in root.children_named("Processor") {
+        let name = p
+            .child_text("name")
+            .ok_or_else(|| missing("Processor", "name"))?;
+        if let Some(id) = p.attr("identifier") {
+            processor_names.insert(id.to_owned(), name.clone());
+        }
+    }
+    let mut task_names: HashMap<String, String> = HashMap::new();
+    for t in root.children_named("Task") {
+        let name = t.child_text("name").ok_or_else(|| missing("Task", "name"))?;
+        if let Some(id) = t.attr("identifier") {
+            task_names.insert(id.to_owned(), name.clone());
+        }
+    }
+    let resolve_task = |reference: &str| -> Result<String, ParseDslError> {
+        let id = reference.trim().trim_start_matches('#');
+        task_names
+            .get(id)
+            .cloned()
+            .ok_or_else(|| ParseDslError::UnknownReference(reference.trim().to_owned()))
+    };
+
+    // Pass 2: build the specification.
+    let mut builder = SpecBuilder::new(spec_name).dispatcher_overhead(dispatcher_overhead);
+    for p in root.children_named("Processor") {
+        let name = p
+            .child_text("name")
+            .ok_or_else(|| missing("Processor", "name"))?;
+        builder = builder.processor(name);
+    }
+
+    for t in root.children_named("Task") {
+        let name = t.child_text("name").ok_or_else(|| missing("Task", "name"))?;
+        let element_label = format!("Task {name:?}");
+        let period = required_number(t, &element_label, "period")?;
+        let computation = required_number(t, &element_label, "computing")?;
+        let deadline = required_number(t, &element_label, "deadline")?;
+        let phase = optional_number(t, &element_label, "phase")?.unwrap_or(0);
+        let release = optional_number(t, &element_label, "release")?.unwrap_or(0);
+        let power = optional_number(t, &element_label, "power")?.unwrap_or(0);
+        let preemptive = match t.child_text("schedulingMode").as_deref() {
+            None | Some("NP") => false,
+            Some("P") => true,
+            Some(other) => return Err(ParseDslError::BadSchedulingMode(other.to_owned())),
+        };
+        let processor = t.child_text("processor").map(|reference| {
+            let id = reference.trim().trim_start_matches('#');
+            // Declared identifier, else treat the text as a processor name
+            // (the Fig. 7 snippet references an elided declaration).
+            processor_names.get(id).cloned().unwrap_or_else(|| id.to_owned())
+        });
+        let code = t.child_text("code").filter(|c| !c.is_empty());
+
+        builder = builder.task(&name, move |builder| {
+            let mut builder = builder
+                .phase(phase)
+                .release(release)
+                .computation(computation)
+                .deadline(deadline)
+                .period(period)
+                .energy(power);
+            if preemptive {
+                builder = builder.preemptive();
+            }
+            if let Some(processor) = processor {
+                builder = builder.on_processor(processor);
+            }
+            if let Some(code) = code {
+                builder = builder.code(code);
+            }
+            builder
+        });
+
+        for reference in reference_list(t.attr("precedesTasks")) {
+            builder = builder.precedes(&name, resolve_task(&reference)?);
+        }
+        for reference in reference_list(t.attr("excludesTasks")) {
+            builder = builder.excludes(&name, resolve_task(&reference)?);
+        }
+    }
+
+    for m in root.children_named("Message") {
+        let name = m
+            .child_text("name")
+            .ok_or_else(|| missing("Message", "name"))?;
+        let element_label = format!("Message {name:?}");
+        let bus = m.child_text("bus").unwrap_or_else(|| "bus0".to_owned());
+        let grant_bus = optional_number(m, &element_label, "grantBus")?.unwrap_or(0);
+        let communication = optional_number(m, &element_label, "communication")?.unwrap_or(0);
+        let sender = resolve_task(
+            m.attr("sender")
+                .ok_or_else(|| missing("Message", "sender"))?,
+        )?;
+        let receiver = resolve_task(
+            m.attr("receiver")
+                .ok_or_else(|| missing("Message", "receiver"))?,
+        )?;
+        builder = builder.message(name, sender, receiver, bus, grant_bus, communication);
+    }
+
+    Ok(builder.build()?)
+}
+
+fn missing(element: &str, field: &str) -> ParseDslError {
+    ParseDslError::MissingField {
+        element: element.to_owned(),
+        field: field.to_owned(),
+    }
+}
+
+fn reference_list(attr: Option<&str>) -> Vec<String> {
+    attr.map(|list| {
+        list.split_whitespace()
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+    })
+    .unwrap_or_default()
+}
+
+fn required_number(e: &Element, element: &str, field: &str) -> Result<Time, ParseDslError> {
+    optional_number(e, element, field)?.ok_or_else(|| missing(element, field))
+}
+
+fn optional_number(e: &Element, element: &str, field: &str) -> Result<Option<Time>, ParseDslError> {
+    match e.child_text(field) {
+        None => Ok(None),
+        Some(text) => text
+            .trim()
+            .parse::<Time>()
+            .map(Some)
+            .map_err(|_| ParseDslError::BadNumber {
+                element: element.to_owned(),
+                field: field.to_owned(),
+                text,
+            }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_xml;
+    use ezrt_spec::corpus::{figure3_spec, figure4_spec, figure8_spec, mine_pump, small_control};
+    use ezrt_spec::SchedulingMethod;
+
+    /// The exact Fig. 7 snippet, completed with the elided second task
+    /// and its elided processor declaration left implicit.
+    const FIGURE_7: &str = r##"<?xml version="1.0" encoding="UTF-8"?>
+<rt:ez-spec xmlns:rt="http://pnmp.sf.net/EZRealtime">
+<Task precedesTasks="#ez1151891690363" identifier="ez1151891">
+<processor>p124365</processor>
+<name>T1</name>
+<period>9</period>
+<power>10</power>
+<schedulingMode>NP</schedulingMode>
+<computing>1</computing>
+<deadline>9</deadline>
+</Task>
+<Task identifier="ez1151891690363">
+<processor>p124365</processor>
+<name>T2</name>
+<period>9</period>
+<power>5</power>
+<schedulingMode>P</schedulingMode>
+<computing>2</computing>
+<deadline>9</deadline>
+</Task>
+</rt:ez-spec>"##;
+
+    #[test]
+    fn parses_the_paper_figure7_snippet() {
+        let spec = from_xml(FIGURE_7).expect("figure 7 parses");
+        assert_eq!(spec.task_count(), 2);
+        let t1 = spec.task_by_name("T1").unwrap();
+        assert_eq!(t1.timing().period, 9);
+        assert_eq!(t1.timing().computation, 1);
+        assert_eq!(t1.timing().deadline, 9);
+        assert_eq!(t1.energy(), 10);
+        assert_eq!(t1.method(), SchedulingMethod::NonPreemptive);
+        // The precedence reference resolves across identifiers.
+        assert_eq!(spec.precedences().len(), 1);
+        let (from, to) = spec.precedences()[0];
+        assert_eq!(spec.task(from).name(), "T1");
+        assert_eq!(spec.task(to).name(), "T2");
+        // The undeclared processor reference became a named processor.
+        assert!(spec.processor_id("p124365").is_some());
+        assert_eq!(spec.task_by_name("T2").unwrap().method(), SchedulingMethod::Preemptive);
+    }
+
+    #[test]
+    fn round_trips_every_corpus_spec() {
+        for spec in [
+            mine_pump(),
+            figure3_spec(),
+            figure4_spec(),
+            figure8_spec(),
+            small_control(),
+        ] {
+            let xml = to_xml(&spec);
+            let reparsed = from_xml(&xml)
+                .unwrap_or_else(|e| panic!("{} failed to reparse: {e}", spec.name()));
+            assert_eq!(reparsed, spec, "{} round trip", spec.name());
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        let err = from_xml("<spec/>").unwrap_err();
+        assert!(matches!(err, ParseDslError::WrongRoot(_)));
+    }
+
+    #[test]
+    fn rejects_missing_required_fields() {
+        let err = from_xml(
+            r#"<rt:ez-spec xmlns:rt="x"><Task identifier="a"><name>t</name><period>5</period><deadline>5</deadline></Task></rt:ez-spec>"#,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ParseDslError::MissingField {
+                element: "Task \"t\"".into(),
+                field: "computing".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_numbers_and_modes() {
+        let err = from_xml(
+            r#"<rt:ez-spec xmlns:rt="x"><Task identifier="a"><name>t</name><period>soon</period><computing>1</computing><deadline>5</deadline></Task></rt:ez-spec>"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParseDslError::BadNumber { .. }));
+
+        let err = from_xml(
+            r#"<rt:ez-spec xmlns:rt="x"><Task identifier="a"><name>t</name><period>5</period><computing>1</computing><deadline>5</deadline><schedulingMode>RR</schedulingMode></Task></rt:ez-spec>"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, ParseDslError::BadSchedulingMode("RR".into()));
+    }
+
+    #[test]
+    fn rejects_unresolved_references() {
+        let err = from_xml(
+            r##"<rt:ez-spec xmlns:rt="x"><Task identifier="a" precedesTasks="#ghost"><name>t</name><period>5</period><computing>1</computing><deadline>5</deadline></Task></rt:ez-spec>"##,
+        )
+        .unwrap_err();
+        assert_eq!(err, ParseDslError::UnknownReference("#ghost".into()));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_at_validation() {
+        // computing > deadline.
+        let err = from_xml(
+            r#"<rt:ez-spec xmlns:rt="x"><Task identifier="a"><name>t</name><period>5</period><computing>9</computing><deadline>5</deadline></Task></rt:ez-spec>"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParseDslError::Invalid(_)));
+    }
+
+    #[test]
+    fn messages_round_trip() {
+        let xml = r##"<rt:ez-spec xmlns:rt="x" name="m">
+            <Task identifier="a"><name>tx</name><period>10</period><computing>1</computing><deadline>10</deadline></Task>
+            <Task identifier="b"><name>rx</name><period>10</period><computing>1</computing><deadline>10</deadline></Task>
+            <Message identifier="m0" sender="#a" receiver="#b">
+              <name>frame</name><bus>can0</bus><grantBus>1</grantBus><communication>2</communication>
+            </Message>
+        </rt:ez-spec>"##;
+        let spec = from_xml(xml).unwrap();
+        let (_, m) = spec.messages().next().unwrap();
+        assert_eq!(m.name(), "frame");
+        assert_eq!(m.bus(), "can0");
+        assert_eq!(m.grant_bus(), 1);
+        assert_eq!(m.communication(), 2);
+        let again = from_xml(&to_xml(&spec)).unwrap();
+        assert_eq!(again, spec);
+    }
+}

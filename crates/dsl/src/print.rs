@@ -1,0 +1,155 @@
+//! Serializing specifications to the `<rt:ez-spec>` dialect.
+
+use crate::{NAMESPACE, ROOT_ELEMENT};
+use ezrt_spec::{EzSpec, SchedulingMethod};
+use ezrt_xml::{Element, WriteOptions};
+
+/// Renders `spec` as an `<rt:ez-spec>` XML document in the style of
+/// paper Fig. 7.
+///
+/// Identifiers are regenerated deterministically (`p0, p1, …` for
+/// processors, `ez0, ez1, …` for tasks, `m0, …` for messages); the
+/// original tool used timestamps, but stable identifiers keep the output
+/// diffable and the round-trip testable.
+///
+/// # Examples
+///
+/// ```
+/// let xml = ezrt_dsl::to_xml(&ezrt_spec::corpus::figure3_spec());
+/// assert!(xml.contains("<rt:ez-spec"));
+/// assert!(xml.contains("precedesTasks=\"#ez1\""));
+/// ```
+pub fn to_xml(spec: &EzSpec) -> String {
+    let mut root = Element::new(ROOT_ELEMENT);
+    root.set_attr("xmlns:rt", NAMESPACE);
+    root.set_attr("name", spec.name());
+    if spec.dispatcher_overhead() {
+        root.set_attr("dispOveh", "true");
+    }
+
+    for (pid, processor) in spec.processors() {
+        let mut e = Element::new("Processor");
+        e.set_attr("identifier", format!("p{}", pid.index()));
+        e.push_text_child("name", processor.name());
+        root.push_child(e);
+    }
+
+    for (tid, task) in spec.tasks() {
+        let mut e = Element::new("Task");
+        e.set_attr("identifier", format!("ez{}", tid.index()));
+        let successors: Vec<String> = spec
+            .successors(tid)
+            .map(|s| format!("#ez{}", s.index()))
+            .collect();
+        if !successors.is_empty() {
+            e.set_attr("precedesTasks", successors.join(" "));
+        }
+        // Exclusion is symmetric; emit each pair once, on the lower id.
+        let partners: Vec<String> = spec
+            .exclusions()
+            .iter()
+            .filter(|&&(a, _)| a == tid)
+            .map(|&(_, b)| format!("#ez{}", b.index()))
+            .collect();
+        if !partners.is_empty() {
+            e.set_attr("excludesTasks", partners.join(" "));
+        }
+
+        e.push_text_child("processor", format!("p{}", task.processor().index()));
+        e.push_text_child("name", task.name());
+        let timing = task.timing();
+        e.push_text_child("period", timing.period.to_string());
+        if timing.phase != 0 {
+            e.push_text_child("phase", timing.phase.to_string());
+        }
+        if timing.release != 0 {
+            e.push_text_child("release", timing.release.to_string());
+        }
+        e.push_text_child("power", task.energy().to_string());
+        e.push_text_child(
+            "schedulingMode",
+            match task.method() {
+                SchedulingMethod::NonPreemptive => "NP",
+                SchedulingMethod::Preemptive => "P",
+            },
+        );
+        e.push_text_child("computing", timing.computation.to_string());
+        e.push_text_child("deadline", timing.deadline.to_string());
+        if let Some(code) = task.code() {
+            e.push_text_child("code", code.content());
+        }
+        root.push_child(e);
+    }
+
+    for (mid, message) in spec.messages() {
+        let mut e = Element::new("Message");
+        e.set_attr("identifier", format!("m{}", mid.index()));
+        e.set_attr("sender", format!("#ez{}", message.sender().index()));
+        e.set_attr("receiver", format!("#ez{}", message.receiver().index()));
+        e.push_text_child("name", message.name());
+        e.push_text_child("bus", message.bus());
+        e.push_text_child("grantBus", message.grant_bus().to_string());
+        e.push_text_child("communication", message.communication().to_string());
+        root.push_child(e);
+    }
+
+    ezrt_xml::write_document(&root, &WriteOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezrt_spec::corpus::{figure4_spec, mine_pump};
+    use ezrt_spec::SpecBuilder;
+
+    #[test]
+    fn output_matches_figure7_field_vocabulary() {
+        let xml = to_xml(&mine_pump());
+        for field in [
+            "<processor>", "<name>", "<period>", "<power>", "<schedulingMode>",
+            "<computing>", "<deadline>",
+        ] {
+            assert!(xml.contains(field), "missing {field}");
+        }
+        assert!(xml.contains("xmlns:rt=\"http://pnmp.sf.net/EZRealtime\""));
+        assert!(xml.contains("identifier=\"ez0\""));
+        assert!(xml.contains("<schedulingMode>NP</schedulingMode>"));
+    }
+
+    #[test]
+    fn exclusions_are_printed_once() {
+        let xml = to_xml(&figure4_spec());
+        assert_eq!(xml.matches("excludesTasks").count(), 1);
+        assert!(xml.contains("excludesTasks=\"#ez1\""));
+    }
+
+    #[test]
+    fn messages_and_flags_are_printed() {
+        let spec = SpecBuilder::new("msgful")
+            .dispatcher_overhead(true)
+            .task("tx", |t| t.computation(1).deadline(10).period(10))
+            .task("rx", |t| t.computation(1).deadline(10).period(10))
+            .message("frame", "tx", "rx", "can0", 1, 2)
+            .build()
+            .unwrap();
+        let xml = to_xml(&spec);
+        assert!(xml.contains("dispOveh=\"true\""));
+        assert!(xml.contains("<Message identifier=\"m0\""));
+        assert!(xml.contains("<grantBus>1</grantBus>"));
+        assert!(xml.contains("<communication>2</communication>"));
+        assert!(xml.contains("sender=\"#ez0\""));
+    }
+
+    #[test]
+    fn optional_fields_are_omitted_when_default() {
+        let spec = SpecBuilder::new("plain")
+            .task("t", |t| t.computation(1).deadline(5).period(5))
+            .build()
+            .unwrap();
+        let xml = to_xml(&spec);
+        assert!(!xml.contains("<phase>"));
+        assert!(!xml.contains("<release>"));
+        assert!(!xml.contains("<code>"));
+        assert!(!xml.contains("dispOveh"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Property test: DSL round trips are identity on generated workloads.
+
+use ezrt_dsl::{from_xml, to_xml};
+use ezrt_spec::generate::{synthetic_spec, WorkloadConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn generated_specs_round_trip(
+        tasks in 1usize..10,
+        util in 0.1f64..0.9,
+        prec in 0.0f64..0.5,
+        excl in 0.0f64..0.5,
+        preemptive in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let config = WorkloadConfig {
+            tasks,
+            total_utilization: util,
+            precedence_probability: prec,
+            exclusion_probability: excl,
+            preemptive_fraction: preemptive,
+            constrained_deadlines: true,
+            ..WorkloadConfig::default()
+        };
+        let spec = synthetic_spec(&config, seed);
+        let xml = to_xml(&spec);
+        let reparsed = from_xml(&xml).expect("printer output always parses");
+        prop_assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(document in "\\PC{0,400}") {
+        let _ = from_xml(&document);
+    }
+}

@@ -1,0 +1,101 @@
+//! PNML parsing errors.
+
+use ezrt_tpn::BuildNetError;
+use ezrt_xml::ParseXmlError;
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while reading a PNML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePnmlError {
+    /// The document is not well-formed XML.
+    Xml(ParseXmlError),
+    /// The root element is not `<pnml>`.
+    WrongRoot(String),
+    /// The document contains no `<net>` element.
+    NoNet,
+    /// A node lacks its required `id` attribute.
+    MissingId(String),
+    /// An arc lacks `source` or `target`, or references an unknown node.
+    BadArc {
+        /// The arc id (or `"?"` when missing).
+        arc: String,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// A numeric field (marking, inscription, eft/lft, priority) failed
+    /// to parse.
+    BadNumber {
+        /// The surrounding node id.
+        node: String,
+        /// The raw text.
+        text: String,
+    },
+    /// The parsed structure is not a valid net (duplicate names, …).
+    Structure(BuildNetError),
+}
+
+impl fmt::Display for ParsePnmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePnmlError::Xml(e) => write!(f, "malformed xml: {e}"),
+            ParsePnmlError::WrongRoot(name) => {
+                write!(f, "expected pnml root element, found {name:?}")
+            }
+            ParsePnmlError::NoNet => write!(f, "document contains no net element"),
+            ParsePnmlError::MissingId(node) => write!(f, "{node} element is missing its id"),
+            ParsePnmlError::BadArc { arc, detail } => write!(f, "arc {arc:?}: {detail}"),
+            ParsePnmlError::BadNumber { node, text } => {
+                write!(f, "node {node:?}: invalid number {text:?}")
+            }
+            ParsePnmlError::Structure(e) => write!(f, "invalid net structure: {e}"),
+        }
+    }
+}
+
+impl Error for ParsePnmlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParsePnmlError::Xml(e) => Some(e),
+            ParsePnmlError::Structure(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseXmlError> for ParsePnmlError {
+    fn from(e: ParseXmlError) -> Self {
+        ParsePnmlError::Xml(e)
+    }
+}
+
+impl From<BuildNetError> for ParsePnmlError {
+    fn from(e: BuildNetError) -> Self {
+        ParsePnmlError::Structure(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(ParsePnmlError::NoNet.to_string().contains("no net"));
+        assert!(ParsePnmlError::MissingId("place".into())
+            .to_string()
+            .contains("missing its id"));
+        assert!(ParsePnmlError::BadArc {
+            arc: "a0".into(),
+            detail: "unknown source".into()
+        }
+        .to_string()
+        .contains("unknown source"));
+    }
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_traits<T: Send + Sync + Error>() {}
+        assert_traits::<ParsePnmlError>();
+    }
+}

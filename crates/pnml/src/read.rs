@@ -1,0 +1,287 @@
+//! Reading PNML documents back into time Petri nets.
+
+use crate::error::ParsePnmlError;
+use crate::TOOL_NAME;
+use ezrt_tpn::{TimeInterval, TimePetriNet, TpnBuilder};
+use ezrt_xml::Element;
+use std::collections::HashMap;
+
+/// Parses a PNML (ISO 15909-2) document into a [`TimePetriNet`].
+///
+/// The first `<net>` element is read; `<page>` nesting is flattened.
+/// Transitions without an ezRealtime `<toolspecific>` timing block
+/// default to the untimed-compatible interval `[0, ∞)` and the default
+/// priority, so plain place/transition nets from other tools import
+/// cleanly.
+///
+/// # Errors
+///
+/// Returns [`ParsePnmlError`] on malformed XML, a missing `<net>`, nodes
+/// without ids, arcs referencing unknown nodes, or malformed numbers.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), ezrt_pnml::ParsePnmlError> {
+/// let net = ezrt_pnml::from_pnml(r#"
+/// <pnml xmlns="http://www.pnml.org/version-2009/grammar/pnml">
+///   <net id="n" type="http://www.pnml.org/version-2009/grammar/ptnet">
+///     <page id="g">
+///       <place id="p0"><initialMarking><text>1</text></initialMarking></place>
+///       <transition id="t0"/>
+///       <arc id="a0" source="p0" target="t0"/>
+///     </page>
+///   </net>
+/// </pnml>"#)?;
+/// assert_eq!(net.place_count(), 1);
+/// assert!(net.transition(ezrt_tpn::TransitionId::from_index(0)).interval().lft().is_infinite());
+/// # Ok(())
+/// # }
+/// ```
+pub fn from_pnml(document: &str) -> Result<TimePetriNet, ParsePnmlError> {
+    let root = ezrt_xml::parse(document)?;
+    if root.name != "pnml" {
+        return Err(ParsePnmlError::WrongRoot(root.name.clone()));
+    }
+    let net_element = root.child("net").ok_or(ParsePnmlError::NoNet)?;
+    let net_name = net_element
+        .child("name")
+        .and_then(|n| n.child_text("text"))
+        .unwrap_or_else(|| net_element.attr("id").unwrap_or("net").to_owned());
+
+    let mut builder = TpnBuilder::new(net_name);
+    let mut place_ids = HashMap::new();
+    let mut transition_ids = HashMap::new();
+
+    // Nodes may sit directly under <net> or inside <page> elements
+    // (recursively, per the standard). Collect in document order.
+    let mut nodes = Vec::new();
+    collect_nodes(net_element, &mut nodes);
+
+    for element in &nodes {
+        match element.name.as_str() {
+            "place" => {
+                let id = element
+                    .attr("id")
+                    .ok_or_else(|| ParsePnmlError::MissingId("place".into()))?;
+                let name = node_name(element).unwrap_or_else(|| id.to_owned());
+                let tokens = match element
+                    .child("initialMarking")
+                    .and_then(|m| m.child_text("text"))
+                {
+                    None => 0,
+                    Some(text) => parse_number(&text, id)? as u32,
+                };
+                place_ids.insert(id.to_owned(), builder.place_with_tokens(name, tokens));
+            }
+            "transition" => {
+                let id = element
+                    .attr("id")
+                    .ok_or_else(|| ParsePnmlError::MissingId("transition".into()))?;
+                let name = node_name(element).unwrap_or_else(|| id.to_owned());
+                let tool = element
+                    .children_named("toolspecific")
+                    .find(|t| t.attr("tool") == Some(TOOL_NAME));
+                let (interval, priority, code) = match tool {
+                    None => (TimeInterval::at_least(0), None, None),
+                    Some(tool) => {
+                        let interval = match tool.child("interval") {
+                            None => TimeInterval::at_least(0),
+                            Some(i) => {
+                                let eft = match i.child_text("eft") {
+                                    Some(text) => parse_number(&text, id)?,
+                                    None => 0,
+                                };
+                                match i.child_text("lft").as_deref() {
+                                    None | Some("inf") => TimeInterval::at_least(eft),
+                                    Some(text) => {
+                                        let lft = parse_number(text, id)?;
+                                        TimeInterval::new(eft, lft)
+                                            .map_err(ParsePnmlError::Structure)?
+                                    }
+                                }
+                            }
+                        };
+                        let priority = match tool.child_text("priority") {
+                            Some(text) => Some(parse_number(&text, id)? as u32),
+                            None => None,
+                        };
+                        (interval, priority, tool.child_text("code"))
+                    }
+                };
+                let tid = match priority {
+                    Some(priority) => builder.transition_full(name, interval, priority, code),
+                    None => {
+                        let tid = builder.transition(name, interval);
+                        if let Some(code) = code {
+                            builder.set_code(tid, code);
+                        }
+                        tid
+                    }
+                };
+                transition_ids.insert(id.to_owned(), tid);
+            }
+            _ => {}
+        }
+    }
+
+    for element in &nodes {
+        if element.name != "arc" {
+            continue;
+        }
+        let arc_id = element.attr("id").unwrap_or("?").to_owned();
+        let source = element.attr("source").ok_or_else(|| ParsePnmlError::BadArc {
+            arc: arc_id.clone(),
+            detail: "missing source".into(),
+        })?;
+        let target = element.attr("target").ok_or_else(|| ParsePnmlError::BadArc {
+            arc: arc_id.clone(),
+            detail: "missing target".into(),
+        })?;
+        let weight = match element
+            .child("inscription")
+            .and_then(|i| i.child_text("text"))
+        {
+            None => 1,
+            Some(text) => parse_number(&text, &arc_id)? as u32,
+        };
+        match (place_ids.get(source), transition_ids.get(target)) {
+            (Some(&p), Some(&t)) => builder.arc_place_to_transition(p, t, weight),
+            _ => match (transition_ids.get(source), place_ids.get(target)) {
+                (Some(&t), Some(&p)) => builder.arc_transition_to_place(t, p, weight),
+                _ => {
+                    return Err(ParsePnmlError::BadArc {
+                        arc: arc_id,
+                        detail: format!("unknown endpoints {source:?} -> {target:?}"),
+                    })
+                }
+            },
+        }
+    }
+
+    Ok(builder.build()?)
+}
+
+fn collect_nodes<'a>(parent: &'a Element, out: &mut Vec<&'a Element>) {
+    for child in parent.children() {
+        match child.name.as_str() {
+            "page" => collect_nodes(child, out),
+            "place" | "transition" | "arc" => out.push(child),
+            _ => {}
+        }
+    }
+}
+
+fn node_name(element: &Element) -> Option<String> {
+    element
+        .child("name")
+        .and_then(|n| n.child_text("text"))
+        .filter(|n| !n.is_empty())
+}
+
+fn parse_number(text: &str, node: &str) -> Result<u64, ParsePnmlError> {
+    text.trim()
+        .parse::<u64>()
+        .map_err(|_| ParsePnmlError::BadNumber {
+            node: node.to_owned(),
+            text: text.to_owned(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_pnml;
+    use ezrt_tpn::{TimeBound, TransitionId};
+
+    #[test]
+    fn reads_nested_pages() {
+        let net = from_pnml(
+            r#"<pnml><net id="n"><page id="a"><place id="p0"/><page id="b"><transition id="t0"/></page></page><arc id="x" source="p0" target="t0"/></net></pnml>"#,
+        )
+        .unwrap();
+        assert_eq!(net.place_count(), 1);
+        assert_eq!(net.transition_count(), 1);
+        assert_eq!(net.pre_set(TransitionId::from_index(0)).len(), 1);
+    }
+
+    #[test]
+    fn untimed_transitions_default_to_zero_inf() {
+        let net = from_pnml(
+            r#"<pnml><net id="n"><place id="p0"/><transition id="t0"/><arc id="a" source="t0" target="p0"/></net></pnml>"#,
+        )
+        .unwrap();
+        let t = net.transition(TransitionId::from_index(0));
+        assert_eq!(t.interval().eft(), 0);
+        assert_eq!(t.interval().lft(), TimeBound::Infinite);
+    }
+
+    #[test]
+    fn rejects_documents_without_net() {
+        assert_eq!(from_pnml("<pnml/>").unwrap_err(), ParsePnmlError::NoNet);
+        assert!(matches!(
+            from_pnml("<x/>").unwrap_err(),
+            ParsePnmlError::WrongRoot(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_arcs() {
+        let err = from_pnml(
+            r#"<pnml><net id="n"><place id="p0"/><transition id="t0"/><arc id="a" source="p0" target="ghost"/></net></pnml>"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParsePnmlError::BadArc { .. }));
+
+        let err = from_pnml(
+            r#"<pnml><net id="n"><place id="p0"/><transition id="t0"/><arc id="a" source="p0"/></net></pnml>"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParsePnmlError::BadArc { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let err = from_pnml(
+            r#"<pnml><net id="n"><place id="p0"><initialMarking><text>lots</text></initialMarking></place><transition id="t0"/><arc id="a" source="p0" target="t0"/></net></pnml>"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParsePnmlError::BadNumber { .. }));
+    }
+
+    #[test]
+    fn full_round_trip_preserves_structure_and_timing() {
+        use ezrt_tpn::{TimeInterval, TpnBuilder};
+        let mut b = TpnBuilder::new("rt");
+        let p0 = b.place_with_tokens("a", 3);
+        let p1 = b.place("b");
+        let t0 = b.transition_full(
+            "w",
+            TimeInterval::new(2, 9).unwrap(),
+            4,
+            Some("code();".to_owned()),
+        );
+        b.arc_place_to_transition(p0, t0, 2);
+        b.arc_transition_to_place(t0, p1, 5);
+        let original = b.build().unwrap();
+
+        let reread = from_pnml(&to_pnml(&original)).unwrap();
+        assert_eq!(reread.name(), original.name());
+        assert_eq!(reread.place_count(), original.place_count());
+        assert_eq!(reread.transition_count(), original.transition_count());
+        for (id, place) in original.places() {
+            let other = reread.place(id);
+            assert_eq!(other.name(), place.name());
+            assert_eq!(other.initial_tokens(), place.initial_tokens());
+        }
+        for (id, transition) in original.transitions() {
+            let other = reread.transition(id);
+            assert_eq!(other.name(), transition.name());
+            assert_eq!(other.interval(), transition.interval());
+            assert_eq!(other.priority(), transition.priority());
+            assert_eq!(other.code(), transition.code());
+            assert_eq!(reread.pre_set(id), original.pre_set(id));
+            assert_eq!(reread.post_set(id), original.post_set(id));
+        }
+    }
+}

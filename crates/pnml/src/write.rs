@@ -1,0 +1,182 @@
+//! Writing time Petri nets as PNML.
+
+use crate::{PNML_NAMESPACE, PTNET_TYPE, TOOL_NAME};
+use ezrt_tpn::{TimeBound, TimePetriNet};
+use ezrt_xml::{Element, WriteOptions};
+
+/// Serializes `net` as a PNML (ISO 15909-2) document.
+///
+/// Places carry `<name>` and `<initialMarking>`; transitions carry
+/// `<name>` plus an ezRealtime `<toolspecific>` block with the firing
+/// interval, priority and optional code binding; arcs carry
+/// `<inscription>` weights when greater than one. Node ids are dense
+/// (`p0…`, `t0…`, `a0…`) and stable across writes.
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_tpn::{TpnBuilder, TimeInterval};
+///
+/// # fn main() -> Result<(), ezrt_tpn::BuildNetError> {
+/// let mut b = TpnBuilder::new("tiny");
+/// let p = b.place_with_tokens("start", 1);
+/// let t = b.transition("go", TimeInterval::new(2, 5)?);
+/// b.arc_place_to_transition(p, t, 1);
+/// let document = ezrt_pnml::to_pnml(&b.build()?);
+/// assert!(document.contains("<pnml"));
+/// assert!(document.contains("<eft>2</eft>"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_pnml(net: &TimePetriNet) -> String {
+    let mut root = Element::new("pnml");
+    root.set_attr("xmlns", PNML_NAMESPACE);
+
+    let mut net_element = Element::new("net");
+    net_element.set_attr("id", "net0");
+    net_element.set_attr("type", PTNET_TYPE);
+    net_element.push_child(named(net.name()));
+
+    let mut page = Element::new("page");
+    page.set_attr("id", "page0");
+
+    for (id, place) in net.places() {
+        let mut e = Element::new("place");
+        e.set_attr("id", format!("p{}", id.index()));
+        e.push_child(named(place.name()));
+        if place.initial_tokens() > 0 {
+            let mut marking = Element::new("initialMarking");
+            marking.push_text_child("text", place.initial_tokens().to_string());
+            e.push_child(marking);
+        }
+        page.push_child(e);
+    }
+
+    for (id, transition) in net.transitions() {
+        let mut e = Element::new("transition");
+        e.set_attr("id", format!("t{}", id.index()));
+        e.push_child(named(transition.name()));
+
+        let mut tool = Element::new("toolspecific");
+        tool.set_attr("tool", TOOL_NAME);
+        tool.set_attr("version", "0.1");
+        let mut interval = Element::new("interval");
+        interval.push_text_child("eft", transition.interval().eft().to_string());
+        let lft = match transition.interval().lft() {
+            TimeBound::Finite(v) => v.to_string(),
+            TimeBound::Infinite => "inf".to_owned(),
+        };
+        interval.push_text_child("lft", lft);
+        tool.push_child(interval);
+        tool.push_text_child("priority", transition.priority().to_string());
+        if let Some(code) = transition.code() {
+            tool.push_text_child("code", code);
+        }
+        e.push_child(tool);
+        page.push_child(e);
+    }
+
+    let mut arc_index = 0usize;
+    for (tid, _) in net.transitions() {
+        for &(pid, weight) in net.pre_set(tid) {
+            page.push_child(arc(
+                arc_index,
+                &format!("p{}", pid.index()),
+                &format!("t{}", tid.index()),
+                weight,
+            ));
+            arc_index += 1;
+        }
+        for &(pid, weight) in net.post_set(tid) {
+            page.push_child(arc(
+                arc_index,
+                &format!("t{}", tid.index()),
+                &format!("p{}", pid.index()),
+                weight,
+            ));
+            arc_index += 1;
+        }
+    }
+
+    net_element.push_child(page);
+    root.push_child(net_element);
+    ezrt_xml::write_document(&root, &WriteOptions::default())
+}
+
+fn named(name: &str) -> Element {
+    let mut e = Element::new("name");
+    e.push_text_child("text", name);
+    e
+}
+
+fn arc(index: usize, source: &str, target: &str, weight: u32) -> Element {
+    let mut e = Element::new("arc");
+    e.set_attr("id", format!("a{index}"));
+    e.set_attr("source", source);
+    e.set_attr("target", target);
+    if weight > 1 {
+        let mut inscription = Element::new("inscription");
+        inscription.push_text_child("text", weight.to_string());
+        e.push_child(inscription);
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezrt_tpn::{TimeInterval, TpnBuilder};
+
+    fn sample_net() -> TimePetriNet {
+        let mut b = TpnBuilder::new("sample");
+        let p0 = b.place_with_tokens("start", 2);
+        let p1 = b.place("done");
+        let t = b.transition_full(
+            "work",
+            TimeInterval::new(1, 4).unwrap(),
+            7,
+            Some("do_work();".to_owned()),
+        );
+        let t2 = b.transition("open", TimeInterval::at_least(3));
+        b.arc_place_to_transition(p0, t, 2);
+        b.arc_transition_to_place(t, p1, 1);
+        b.arc_place_to_transition(p1, t2, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn document_structure_is_iso_15909() {
+        let doc = to_pnml(&sample_net());
+        assert!(doc.contains("<pnml xmlns=\"http://www.pnml.org/version-2009/grammar/pnml\">"));
+        assert!(doc.contains("type=\"http://www.pnml.org/version-2009/grammar/ptnet\""));
+        assert!(doc.contains("<page id=\"page0\">"));
+        assert!(doc.contains("<place id=\"p0\">"));
+        assert!(doc.contains("<transition id=\"t0\">"));
+        assert!(doc.contains("<arc id=\"a0\" source=\"p0\" target=\"t0\">"));
+    }
+
+    #[test]
+    fn markings_weights_and_timing_are_emitted() {
+        let doc = to_pnml(&sample_net());
+        assert!(doc.contains("<text>2</text>"), "initial marking and weight");
+        assert!(doc.contains("<eft>1</eft>"));
+        assert!(doc.contains("<lft>4</lft>"));
+        assert!(doc.contains("<lft>inf</lft>"), "unbounded interval");
+        assert!(doc.contains("<priority>7</priority>"));
+        assert!(doc.contains("<code>do_work();</code>"));
+    }
+
+    #[test]
+    fn weight_one_arcs_have_no_inscription() {
+        let doc = to_pnml(&sample_net());
+        // Three arcs, one of which (weight 2) has an inscription.
+        assert_eq!(doc.matches("<arc ").count(), 3);
+        assert_eq!(doc.matches("<inscription>").count(), 1);
+    }
+
+    #[test]
+    fn empty_places_have_no_marking_element() {
+        let doc = to_pnml(&sample_net());
+        assert_eq!(doc.matches("<initialMarking>").count(), 1);
+    }
+}

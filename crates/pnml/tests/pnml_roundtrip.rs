@@ -1,0 +1,87 @@
+//! Integration: PNML round trips of real translated nets, plus property
+//! tests over random nets.
+
+use ezrt_compose::translate;
+use ezrt_pnml::{from_pnml, to_pnml};
+use ezrt_spec::corpus::{figure3_spec, figure4_spec, figure8_spec, mine_pump, small_control};
+use ezrt_spec::generate::{synthetic_spec, WorkloadConfig};
+use ezrt_tpn::TimePetriNet;
+use proptest::prelude::*;
+
+fn assert_equivalent(a: &TimePetriNet, b: &TimePetriNet) {
+    assert_eq!(a.name(), b.name());
+    assert_eq!(a.place_count(), b.place_count());
+    assert_eq!(a.transition_count(), b.transition_count());
+    assert_eq!(a.initial_marking(), b.initial_marking());
+    for (id, pa) in a.places() {
+        assert_eq!(pa.name(), b.place(id).name());
+    }
+    for (id, ta) in a.transitions() {
+        let tb = b.transition(id);
+        assert_eq!(ta.name(), tb.name());
+        assert_eq!(ta.interval(), tb.interval());
+        assert_eq!(ta.priority(), tb.priority());
+        assert_eq!(ta.code(), tb.code());
+        assert_eq!(a.pre_set(id), b.pre_set(id));
+        assert_eq!(a.post_set(id), b.post_set(id));
+    }
+}
+
+#[test]
+fn corpus_nets_round_trip_through_pnml() {
+    for spec in [
+        mine_pump(),
+        figure3_spec(),
+        figure4_spec(),
+        figure8_spec(),
+        small_control(),
+    ] {
+        let name = spec.name().to_owned();
+        let net = translate(&spec).into_net();
+        let document = to_pnml(&net);
+        let reread = from_pnml(&document).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_equivalent(&net, &reread);
+    }
+}
+
+#[test]
+fn mine_pump_pnml_is_humanly_plausible() {
+    let net = translate(&mine_pump()).into_net();
+    let document = to_pnml(&net);
+    // All ten tasks appear by name in the place labels.
+    for task in ["PMC", "WFC", "RLWH", "CH4H", "CH4S", "COH", "AFH", "WFH", "PDL", "SDL"] {
+        assert!(document.contains(task), "missing task {task}");
+    }
+    // Arrival weights like 374 (PMC instances - 1) survive as inscriptions.
+    assert!(document.contains("<text>374</text>"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_translated_nets_round_trip(
+        tasks in 1usize..8,
+        util in 0.1f64..0.9,
+        seed in any::<u64>(),
+        preemptive in 0.0f64..1.0,
+        excl in 0.0f64..0.5,
+    ) {
+        let config = WorkloadConfig {
+            tasks,
+            total_utilization: util,
+            preemptive_fraction: preemptive,
+            exclusion_probability: excl,
+            ..WorkloadConfig::default()
+        };
+        let spec = synthetic_spec(&config, seed);
+        let net = translate(&spec).into_net();
+        let reread = from_pnml(&to_pnml(&net)).expect("writer output parses");
+        assert_equivalent(&net, &reread);
+    }
+
+    #[test]
+    fn reader_never_panics(document in "\\PC{0,400}") {
+        let _ = from_pnml(&document);
+    }
+}

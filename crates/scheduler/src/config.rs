@@ -1,0 +1,88 @@
+//! Search configuration.
+
+pub use ezrt_tpn::reachability::DelayMode;
+
+/// How the depth-first search orders sibling branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BranchOrdering {
+    /// Earliest-deadline-first: candidates are sorted by firing delay,
+    /// then by the absolute deadline of the task instance they advance.
+    /// The first descent then closely resembles an EDF schedule, which
+    /// minimizes backtracking on schedulable sets.
+    #[default]
+    Edf,
+    /// Net order (transition ids): the naive baseline, kept for the
+    /// ablation benchmarks.
+    Fifo,
+}
+
+/// Configuration of [`synthesize`](crate::synthesize).
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_scheduler::{SchedulerConfig, BranchOrdering};
+/// use ezrt_tpn::reachability::DelayMode;
+///
+/// let fast = SchedulerConfig::default();
+/// assert_eq!(fast.ordering, BranchOrdering::Edf);
+/// assert!(fast.partial_order_reduction);
+///
+/// let exhaustive = SchedulerConfig {
+///     delay_mode: DelayMode::Full,
+///     ..SchedulerConfig::default()
+/// };
+/// assert_eq!(exhaustive.delay_mode, DelayMode::Full);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerConfig {
+    /// Sibling ordering heuristic.
+    pub ordering: BranchOrdering,
+    /// How firing delays are enumerated within each firing domain.
+    /// [`DelayMode::Earliest`] (fire as soon as permitted) suffices for
+    /// the ezRealtime blocks, whose scheduling freedom lives in transition
+    /// *choice*; [`DelayMode::Corners`] and [`DelayMode::Full`] add
+    /// deliberate procrastination of releases at growing state-space
+    /// cost.
+    pub delay_mode: DelayMode,
+    /// Collapse independent bookkeeping firings into one canonical order
+    /// (the partial-order state-space reduction of paper §4.4.1).
+    pub partial_order_reduction: bool,
+    /// Abort after visiting this many states.
+    pub max_states: usize,
+    /// Abort after this much wall-clock time.
+    pub max_time: std::time::Duration,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            ordering: BranchOrdering::Edf,
+            delay_mode: DelayMode::Earliest,
+            partial_order_reduction: true,
+            max_states: 5_000_000,
+            max_time: std::time::Duration::from_secs(300),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configuration_matches_the_paper_setup() {
+        let config = SchedulerConfig::default();
+        assert_eq!(config.ordering, BranchOrdering::Edf);
+        assert_eq!(config.delay_mode, DelayMode::Earliest);
+        assert!(config.partial_order_reduction);
+        assert!(config.max_states >= 1_000_000);
+    }
+
+    #[test]
+    fn config_is_cloneable_and_comparable() {
+        let a = SchedulerConfig::default();
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

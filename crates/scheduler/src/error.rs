@@ -1,0 +1,103 @@
+//! Synthesis failure modes.
+
+use crate::stats::SearchStats;
+use std::error::Error;
+use std::fmt;
+
+/// Why [`synthesize`](crate::synthesize) did not produce a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesizeError {
+    /// The search exhausted the reachable state space without hitting the
+    /// final marking: no feasible pre-runtime schedule exists under the
+    /// configured delay mode.
+    Infeasible {
+        /// Search counters at exhaustion.
+        stats: SearchStats,
+        /// Names of tasks observed missing their deadline in pruned
+        /// states — the usual root cause, useful for diagnostics.
+        missed_tasks: Vec<String>,
+    },
+    /// The configured state budget was exceeded before a verdict.
+    StateLimitExceeded {
+        /// Search counters at abort time.
+        stats: SearchStats,
+    },
+    /// The configured time budget was exceeded before a verdict.
+    TimeLimitExceeded {
+        /// Search counters at abort time.
+        stats: SearchStats,
+    },
+}
+
+impl SynthesizeError {
+    /// The statistics gathered before the failure.
+    pub fn stats(&self) -> &SearchStats {
+        match self {
+            SynthesizeError::Infeasible { stats, .. }
+            | SynthesizeError::StateLimitExceeded { stats }
+            | SynthesizeError::TimeLimitExceeded { stats } => stats,
+        }
+    }
+}
+
+impl fmt::Display for SynthesizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesizeError::Infeasible { stats, missed_tasks } => {
+                write!(
+                    f,
+                    "no feasible schedule exists ({} states searched",
+                    stats.states_visited
+                )?;
+                if missed_tasks.is_empty() {
+                    write!(f, ")")
+                } else {
+                    write!(f, "; deadline misses observed for {})", missed_tasks.join(", "))
+                }
+            }
+            SynthesizeError::StateLimitExceeded { stats } => write!(
+                f,
+                "state limit exceeded after {} states",
+                stats.states_visited
+            ),
+            SynthesizeError::TimeLimitExceeded { stats } => write!(
+                f,
+                "time limit exceeded after {:?}",
+                stats.elapsed
+            ),
+        }
+    }
+}
+
+impl Error for SynthesizeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_cause() {
+        let stats = SearchStats {
+            states_visited: 42,
+            ..SearchStats::default()
+        };
+        let e = SynthesizeError::Infeasible {
+            stats: stats.clone(),
+            missed_tasks: vec!["PMC".into()],
+        };
+        assert!(e.to_string().contains("no feasible schedule"));
+        assert!(e.to_string().contains("PMC"));
+        assert_eq!(e.stats().states_visited, 42);
+
+        let e = SynthesizeError::StateLimitExceeded { stats: stats.clone() };
+        assert!(e.to_string().contains("state limit"));
+        let e = SynthesizeError::TimeLimitExceeded { stats };
+        assert!(e.to_string().contains("time limit"));
+    }
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_traits<T: Send + Sync + Error>() {}
+        assert_traits::<SynthesizeError>();
+    }
+}

@@ -1,0 +1,494 @@
+//! The depth-first schedule-synthesis search.
+
+use crate::config::{BranchOrdering, DelayMode, SchedulerConfig};
+use crate::error::SynthesizeError;
+use crate::schedule::{FeasibleSchedule, ScheduledFiring};
+use crate::stats::SearchStats;
+use ezrt_compose::{Priority, TaskNet, TransitionRole};
+use ezrt_tpn::{State, Time, TimeBound, TransitionId};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// The result of a successful synthesis: the feasible firing schedule and
+/// the search statistics (the numbers §5 of the paper reports).
+#[derive(Debug, Clone)]
+pub struct Synthesis {
+    /// The feasible firing schedule (Def. 3.2).
+    pub schedule: FeasibleSchedule,
+    /// Search counters.
+    pub stats: SearchStats,
+}
+
+/// One DFS frame: a state, its ordered candidate firings, and a cursor.
+struct Frame {
+    state: State,
+    candidates: Vec<(TransitionId, Time)>,
+    next: usize,
+    now: Time,
+}
+
+/// Per-task counters maintained along the DFS path, used by the EDF
+/// branch-ordering heuristic to compute the absolute deadline of the
+/// instance a candidate transition advances.
+struct InstanceCounters {
+    releases: Vec<u64>,
+    completed: Vec<u64>,
+}
+
+impl InstanceCounters {
+    fn new(tasks: usize) -> Self {
+        InstanceCounters {
+            releases: vec![0; tasks],
+            completed: vec![0; tasks],
+        }
+    }
+
+    fn apply(&mut self, role: TransitionRole) {
+        match role {
+            TransitionRole::Release(t) => self.releases[t.index()] += 1,
+            TransitionRole::DeadlineCheck(t) => self.completed[t.index()] += 1,
+            _ => {}
+        }
+    }
+
+    fn unapply(&mut self, role: TransitionRole) {
+        match role {
+            TransitionRole::Release(t) => self.releases[t.index()] -= 1,
+            TransitionRole::DeadlineCheck(t) => self.completed[t.index()] -= 1,
+            _ => {}
+        }
+    }
+}
+
+/// Synthesizes a pre-runtime schedule for the translated net by
+/// depth-first search over its TLTS (paper §4.4.1).
+///
+/// The search fires only legal labels (members of `FT(s)` with delays in
+/// `FD_s(t)`), prunes states marking a deadline-miss place, memoizes
+/// exhausted (dead) states, and stops as soon as the desired final
+/// marking `MF` is reached.
+///
+/// # Errors
+///
+/// * [`SynthesizeError::Infeasible`] — the reachable space was exhausted;
+/// * [`SynthesizeError::StateLimitExceeded`] /
+///   [`SynthesizeError::TimeLimitExceeded`] — a budget ran out first.
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_compose::translate;
+/// use ezrt_scheduler::{synthesize, SchedulerConfig};
+/// use ezrt_spec::corpus::figure3_spec;
+///
+/// # fn main() -> Result<(), ezrt_scheduler::SynthesizeError> {
+/// let synthesis = synthesize(&translate(&figure3_spec()), &SchedulerConfig::default())?;
+/// assert!(synthesis.schedule.is_feasible());
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthesize(tasknet: &TaskNet, config: &SchedulerConfig) -> Result<Synthesis, SynthesizeError> {
+    let net = tasknet.net();
+    let started = Instant::now();
+    let mut stats = SearchStats {
+        minimum_firings: tasknet.minimum_firing_count(),
+        ..SearchStats::default()
+    };
+    let mut dead: HashSet<State> = HashSet::new();
+    let mut counters = InstanceCounters::new(tasknet.spec().task_count());
+    let mut missed_task_names: HashSet<String> = HashSet::new();
+
+    let s0 = net.initial_state();
+    stats.states_visited = 1;
+    let root_candidates = candidates(tasknet, &s0, config, &counters);
+    let mut frames = vec![Frame {
+        state: s0,
+        candidates: root_candidates,
+        next: 0,
+        now: 0,
+    }];
+    let mut path: Vec<ScheduledFiring> = Vec::new();
+
+    loop {
+        // Budget checks (time checked coarsely to stay cheap).
+        if stats.states_visited > config.max_states {
+            stats.elapsed = started.elapsed();
+            return Err(SynthesizeError::StateLimitExceeded { stats });
+        }
+        if stats.states_visited.is_multiple_of(4096) && started.elapsed() > config.max_time {
+            stats.elapsed = started.elapsed();
+            return Err(SynthesizeError::TimeLimitExceeded { stats });
+        }
+
+        let Some(frame) = frames.last_mut() else {
+            stats.elapsed = started.elapsed();
+            stats.schedule_length = 0;
+            let mut missed: Vec<String> = missed_task_names.into_iter().collect();
+            missed.sort();
+            return Err(SynthesizeError::Infeasible {
+                stats,
+                missed_tasks: missed,
+            });
+        };
+
+        // Frame exhausted: this state is dead; backtrack.
+        if frame.next >= frame.candidates.len() {
+            dead.insert(frame.state.clone());
+            frames.pop();
+            if let Some(firing) = path.pop() {
+                counters.unapply(firing.role);
+                stats.backtracks += 1;
+            }
+            continue;
+        }
+
+        let (transition, delay) = frame.candidates[frame.next];
+        frame.next += 1;
+        let now = frame.now + delay;
+        let next_state = net.fire_unchecked(&frame.state, transition, delay);
+
+        if dead.contains(&next_state) {
+            stats.pruned_dead += 1;
+            continue;
+        }
+        stats.states_visited += 1;
+
+        if tasknet.has_deadline_miss(next_state.marking()) {
+            stats.pruned_misses += 1;
+            for task in tasknet.missed_tasks(next_state.marking()) {
+                missed_task_names.insert(tasknet.spec().task(task).name().to_owned());
+            }
+            dead.insert(next_state);
+            continue;
+        }
+
+        let role = tasknet.role(transition);
+        let firing = ScheduledFiring {
+            transition,
+            role,
+            delay,
+            at: now,
+        };
+
+        if tasknet.is_final(next_state.marking()) {
+            path.push(firing);
+            stats.schedule_length = path.len();
+            stats.elapsed = started.elapsed();
+            return Ok(Synthesis {
+                schedule: FeasibleSchedule::new(path),
+                stats,
+            });
+        }
+
+        counters.apply(role);
+        let next_candidates = candidates(tasknet, &next_state, config, &counters);
+        if next_candidates.is_empty() {
+            // Non-final deadlock: dead end.
+            counters.unapply(role);
+            stats.deadlocks += 1;
+            dead.insert(next_state);
+            continue;
+        }
+
+        path.push(firing);
+        frames.push(Frame {
+            state: next_state,
+            candidates: next_candidates,
+            next: 0,
+            now,
+        });
+    }
+}
+
+/// Generates the ordered candidate labels of a state: the fireable set
+/// `FT(s)`, expanded to `(t, q)` pairs per the delay mode, reduced by the
+/// bookkeeping partial-order rule, and sorted by the branch ordering.
+fn candidates(
+    tasknet: &TaskNet,
+    state: &State,
+    config: &SchedulerConfig,
+    counters: &InstanceCounters,
+) -> Vec<(TransitionId, Time)> {
+    let net = tasknet.net();
+    let fireable = net.fireable(state);
+    if fireable.is_empty() {
+        return Vec::new();
+    }
+
+    let mut labels: Vec<(TransitionId, Time)> = Vec::with_capacity(fireable.len());
+    for &t in &fireable {
+        let (dlb, upper) = net
+            .firing_domain(state, t)
+            .expect("fireable transitions have firing domains");
+        match config.delay_mode {
+            DelayMode::Earliest => labels.push((t, dlb)),
+            DelayMode::Corners => {
+                labels.push((t, dlb));
+                if let TimeBound::Finite(ub) = upper {
+                    if ub > dlb {
+                        labels.push((t, ub));
+                    }
+                }
+            }
+            DelayMode::Full => {
+                if let TimeBound::Finite(ub) = upper {
+                    labels.extend((dlb..=ub).map(|q| (t, q)));
+                } else {
+                    labels.push((t, dlb));
+                }
+            }
+        }
+    }
+
+    // Partial-order reduction: FT(s) is a single priority class by
+    // definition. If that class is bookkeeping (forced [0,0] or exact
+    // timed sources) and the members are pairwise conflict-free, their
+    // firing order cannot affect reachable schedules — explore only the
+    // earliest-delay candidate.
+    if config.partial_order_reduction {
+        let class = Priority(net.transition(fireable[0]).priority());
+        if class.is_bookkeeping() && pairwise_independent(tasknet, &fireable) {
+            let best = labels
+                .iter()
+                .copied()
+                .min_by_key(|&(t, q)| (q, t.index()))
+                .expect("labels is non-empty");
+            return vec![best];
+        }
+    }
+
+    match config.ordering {
+        BranchOrdering::Fifo => {
+            labels.sort_by_key(|&(t, q)| (q, t.index()));
+        }
+        BranchOrdering::Edf => {
+            labels.sort_by_key(|&(t, q)| {
+                (
+                    q,
+                    instance_deadline(tasknet, t, counters),
+                    role_rank(tasknet.role(t)),
+                    t.index(),
+                )
+            });
+        }
+    }
+    labels
+}
+
+/// Pairwise structural independence: no two fireable transitions share an
+/// input place, so firing one cannot disable another.
+fn pairwise_independent(tasknet: &TaskNet, fireable: &[TransitionId]) -> bool {
+    let net = tasknet.net();
+    let mut seen = HashSet::new();
+    for &t in fireable {
+        for &(p, _) in net.pre_set(t) {
+            if !seen.insert(p) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The absolute deadline of the task instance `t` advances — the EDF sort
+/// key. Non-task transitions sort first (they are bookkeeping).
+fn instance_deadline(tasknet: &TaskNet, t: TransitionId, counters: &InstanceCounters) -> Time {
+    let role = tasknet.role(t);
+    let Some(task) = role.task() else { return 0 };
+    let timing = tasknet.spec().task(task).timing();
+    let instance = match role {
+        TransitionRole::Release(_) => counters.releases[task.index()],
+        _ => counters.completed[task.index()],
+    };
+    timing.phase + instance * timing.period + timing.deadline
+}
+
+/// Among equal-deadline candidates, make progress on already-started work
+/// first (compute before grant before release).
+fn role_rank(role: TransitionRole) -> u8 {
+    match role {
+        TransitionRole::Compute(_) => 0,
+        TransitionRole::Grant(_) => 1,
+        TransitionRole::Release(_) => 2,
+        _ => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezrt_compose::translate;
+    use ezrt_spec::corpus::{figure3_spec, figure4_spec, figure8_spec, small_control};
+    use ezrt_spec::SpecBuilder;
+
+    fn default_synthesis(spec: &ezrt_spec::EzSpec) -> Synthesis {
+        synthesize(&translate(spec), &SchedulerConfig::default()).expect("feasible")
+    }
+
+    #[test]
+    fn figure3_precedence_schedule_is_found() {
+        let spec = figure3_spec();
+        let synthesis = default_synthesis(&spec);
+        let schedule = &synthesis.schedule;
+        // T1 finishes before T2 is granted (precedence).
+        let t1 = spec.task_id("T1").unwrap();
+        let t2 = spec.task_id("T2").unwrap();
+        let finish_t1 = schedule
+            .firings_where(|r| *r == TransitionRole::Finish(t1))
+            .next()
+            .unwrap()
+            .at;
+        let grant_t2 = schedule
+            .firings_where(|r| *r == TransitionRole::Grant(t2))
+            .next()
+            .unwrap()
+            .at;
+        assert!(finish_t1 <= grant_t2);
+        // Both deadlines hold: T1 done by 100, T2 by 150.
+        assert!(finish_t1 <= 100);
+        let finish_t2 = schedule
+            .firings_where(|r| *r == TransitionRole::Finish(t2))
+            .next()
+            .unwrap()
+            .at;
+        assert!(finish_t2 <= 150);
+    }
+
+    #[test]
+    fn figure4_exclusion_schedule_serializes_executions() {
+        let spec = figure4_spec();
+        let synthesis = default_synthesis(&spec);
+        let t0 = spec.task_id("T0").unwrap();
+        let t2 = spec.task_id("T2").unwrap();
+        let span = |task| {
+            let first_grant = synthesis
+                .schedule
+                .firings_where(|r| *r == TransitionRole::Grant(task))
+                .next()
+                .unwrap()
+                .at;
+            let finish = synthesis
+                .schedule
+                .firings_where(|r| *r == TransitionRole::Finish(task))
+                .next()
+                .unwrap()
+                .at;
+            (first_grant, finish)
+        };
+        let (s0, f0) = span(t0);
+        let (s2, f2) = span(t2);
+        assert!(
+            f0 <= s2 || f2 <= s0,
+            "exclusion violated: T0 [{s0},{f0}] vs T2 [{s2},{f2}]"
+        );
+    }
+
+    #[test]
+    fn small_control_completes_with_low_overhead() {
+        let synthesis = default_synthesis(&small_control());
+        assert_eq!(
+            synthesis.stats.schedule_length as u64,
+            synthesis.stats.minimum_firings,
+            "a schedulable set should be solved on the first descent"
+        );
+        assert!(synthesis.stats.overhead_ratio() < 1.5);
+    }
+
+    #[test]
+    fn figure8_preemptive_schedule_has_preemptions() {
+        let spec = figure8_spec();
+        let synthesis = default_synthesis(&spec);
+        // TaskA (c=8) must be preempted: count its grant firings — more
+        // grants than instances means resumed execution parts.
+        let a = spec.task_id("TaskA").unwrap();
+        let grants = synthesis
+            .schedule
+            .firings_where(|r| *r == TransitionRole::Grant(a))
+            .count();
+        assert!(grants > 2, "TaskA granted {grants} times");
+    }
+
+    #[test]
+    fn infeasible_sets_are_detected() {
+        // Two unit-period tasks with combined WCET above the period.
+        let spec = SpecBuilder::new("overload")
+            .task("x", |t| t.computation(3).deadline(4).period(4))
+            .task("y", |t| t.computation(2).deadline(4).period(4))
+            .build()
+            .unwrap();
+        let err = synthesize(&translate(&spec), &SchedulerConfig::default()).unwrap_err();
+        match err {
+            SynthesizeError::Infeasible { missed_tasks, .. } => {
+                assert!(!missed_tasks.is_empty());
+            }
+            other => panic!("expected infeasible, got {other}"),
+        }
+    }
+
+    #[test]
+    fn state_limit_aborts_search() {
+        let spec = figure8_spec();
+        let config = SchedulerConfig {
+            max_states: 5,
+            ..SchedulerConfig::default()
+        };
+        let err = synthesize(&translate(&spec), &config).unwrap_err();
+        assert!(matches!(err, SynthesizeError::StateLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn fifo_ordering_also_solves_simple_sets() {
+        let spec = figure3_spec();
+        let config = SchedulerConfig {
+            ordering: BranchOrdering::Fifo,
+            ..SchedulerConfig::default()
+        };
+        let synthesis = synthesize(&translate(&spec), &config).expect("feasible");
+        assert!(synthesis.schedule.is_feasible());
+    }
+
+    #[test]
+    fn disabling_por_still_finds_schedules_with_more_states() {
+        let spec = small_control();
+        let tasknet = translate(&spec);
+        let with = synthesize(&tasknet, &SchedulerConfig::default()).unwrap();
+        let without = synthesize(
+            &tasknet,
+            &SchedulerConfig {
+                partial_order_reduction: false,
+                ..SchedulerConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(without.schedule.is_feasible());
+        assert!(
+            without.stats.states_visited >= with.stats.states_visited,
+            "POR must not increase the state count ({} vs {})",
+            without.stats.states_visited,
+            with.stats.states_visited
+        );
+    }
+
+    #[test]
+    fn schedule_firing_times_are_monotone_and_within_hyperperiod() {
+        let spec = small_control();
+        let synthesis = default_synthesis(&spec);
+        let mut last = 0;
+        for firing in synthesis.schedule.firings() {
+            assert!(firing.at >= last);
+            last = firing.at;
+        }
+        assert!(synthesis.schedule.makespan() <= spec.hyperperiod());
+    }
+
+    #[test]
+    fn corners_delay_mode_explores_procrastinated_releases() {
+        let spec = figure3_spec();
+        let config = SchedulerConfig {
+            delay_mode: DelayMode::Corners,
+            ..SchedulerConfig::default()
+        };
+        let synthesis = synthesize(&translate(&spec), &config).expect("feasible");
+        assert!(synthesis.schedule.is_feasible());
+    }
+}

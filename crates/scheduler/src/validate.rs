@@ -1,0 +1,379 @@
+//! Independent schedule validation.
+//!
+//! [`check`] re-verifies a reconstructed [`Timeline`] directly against
+//! the *specification* — deliberately not against the Petri net — so a
+//! bug in the translation or the search cannot silently validate itself.
+//! The property-based test suite feeds every synthesized schedule through
+//! this checker.
+
+use crate::timeline::Timeline;
+use ezrt_spec::{EzSpec, SchedulingMethod, TaskId, Time};
+use std::fmt;
+
+/// A violation of the specification by a timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleViolation {
+    /// An instance did not receive exactly its WCET of processor time.
+    WrongExecutionTime {
+        /// The offending task.
+        task: String,
+        /// The 0-based instance.
+        instance: u64,
+        /// Time actually received.
+        executed: Time,
+        /// The WCET it should have received.
+        required: Time,
+    },
+    /// An instance started before its arrival plus release offset.
+    StartedTooEarly {
+        /// The offending task.
+        task: String,
+        /// The 0-based instance.
+        instance: u64,
+        /// Observed start.
+        start: Time,
+        /// Earliest legal start.
+        earliest: Time,
+    },
+    /// An instance completed after its absolute deadline.
+    DeadlineMissed {
+        /// The offending task.
+        task: String,
+        /// The 0-based instance.
+        instance: u64,
+        /// Observed completion.
+        completion: Time,
+        /// The absolute deadline.
+        deadline: Time,
+    },
+    /// A non-preemptive instance executed in more than one slice.
+    FragmentedNonPreemptive {
+        /// The offending task.
+        task: String,
+        /// The 0-based instance.
+        instance: u64,
+        /// Number of slices observed.
+        slices: usize,
+    },
+    /// Two slices overlap on the same processor.
+    ProcessorOverlap {
+        /// First involved task.
+        first: String,
+        /// Second involved task.
+        second: String,
+        /// Time at which both are scheduled.
+        at: Time,
+    },
+    /// A successor instance started before its predecessor completed.
+    PrecedenceViolated {
+        /// The predecessor task.
+        predecessor: String,
+        /// The successor task.
+        successor: String,
+        /// The 0-based instance.
+        instance: u64,
+    },
+    /// The execution windows of two mutually exclusive instances
+    /// interleaved.
+    ExclusionViolated {
+        /// First task of the pair.
+        first: String,
+        /// Second task of the pair.
+        second: String,
+    },
+    /// A message receiver started before the message could have been
+    /// delivered.
+    MessageTooEarly {
+        /// The message name.
+        message: String,
+        /// The 0-based instance.
+        instance: u64,
+        /// The receiver's start.
+        start: Time,
+        /// Earliest possible delivery.
+        delivered: Time,
+    },
+}
+
+impl fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleViolation::WrongExecutionTime {
+                task,
+                instance,
+                executed,
+                required,
+            } => write!(
+                f,
+                "{task}#{instance} executed {executed} of {required} time units"
+            ),
+            ScheduleViolation::StartedTooEarly {
+                task,
+                instance,
+                start,
+                earliest,
+            } => write!(f, "{task}#{instance} started at {start}, earliest legal {earliest}"),
+            ScheduleViolation::DeadlineMissed {
+                task,
+                instance,
+                completion,
+                deadline,
+            } => write!(
+                f,
+                "{task}#{instance} completed at {completion}, deadline {deadline}"
+            ),
+            ScheduleViolation::FragmentedNonPreemptive { task, instance, slices } => write!(
+                f,
+                "non-preemptive {task}#{instance} split into {slices} slices"
+            ),
+            ScheduleViolation::ProcessorOverlap { first, second, at } => {
+                write!(f, "{first} and {second} overlap on the processor at {at}")
+            }
+            ScheduleViolation::PrecedenceViolated {
+                predecessor,
+                successor,
+                instance,
+            } => write!(
+                f,
+                "{successor}#{instance} started before {predecessor}#{instance} finished"
+            ),
+            ScheduleViolation::ExclusionViolated { first, second } => {
+                write!(f, "exclusion between {first} and {second} violated")
+            }
+            ScheduleViolation::MessageTooEarly {
+                message,
+                instance,
+                start,
+                delivered,
+            } => write!(
+                f,
+                "message {message}#{instance}: receiver started at {start}, delivery at {delivered}"
+            ),
+        }
+    }
+}
+
+/// Checks `timeline` against `spec`, returning every violation found
+/// (empty means the schedule is valid).
+pub fn check(spec: &EzSpec, timeline: &Timeline) -> Vec<ScheduleViolation> {
+    let mut violations = Vec::new();
+    check_instances(spec, timeline, &mut violations);
+    check_processor_overlap(spec, timeline, &mut violations);
+    check_precedence(spec, timeline, &mut violations);
+    check_exclusion(spec, timeline, &mut violations);
+    check_messages(spec, timeline, &mut violations);
+    violations
+}
+
+fn name(spec: &EzSpec, task: TaskId) -> String {
+    spec.task(task).name().to_owned()
+}
+
+fn check_instances(spec: &EzSpec, timeline: &Timeline, out: &mut Vec<ScheduleViolation>) {
+    for (task, info) in spec.tasks() {
+        let timing = info.timing();
+        for instance in 0..spec.instances_of(task) {
+            let arrival = timing.phase + instance * timing.period;
+            let executed = timeline.instance_execution(task, instance);
+            if executed != timing.computation {
+                out.push(ScheduleViolation::WrongExecutionTime {
+                    task: name(spec, task),
+                    instance,
+                    executed,
+                    required: timing.computation,
+                });
+                continue;
+            }
+            let start = timeline
+                .instance_start(task, instance)
+                .expect("executed instances have a start");
+            let completion = timeline
+                .instance_completion(task, instance)
+                .expect("executed instances have a completion");
+            if start < arrival + timing.release {
+                out.push(ScheduleViolation::StartedTooEarly {
+                    task: name(spec, task),
+                    instance,
+                    start,
+                    earliest: arrival + timing.release,
+                });
+            }
+            if completion > arrival + timing.deadline {
+                out.push(ScheduleViolation::DeadlineMissed {
+                    task: name(spec, task),
+                    instance,
+                    completion,
+                    deadline: arrival + timing.deadline,
+                });
+            }
+            if info.method() == SchedulingMethod::NonPreemptive {
+                let slices = timeline
+                    .slices_of(task)
+                    .filter(|s| s.instance == instance)
+                    .count();
+                if slices != 1 {
+                    out.push(ScheduleViolation::FragmentedNonPreemptive {
+                        task: name(spec, task),
+                        instance,
+                        slices,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_processor_overlap(spec: &EzSpec, timeline: &Timeline, out: &mut Vec<ScheduleViolation>) {
+    let slices = timeline.slices();
+    for (i, a) in slices.iter().enumerate() {
+        for b in &slices[i + 1..] {
+            if b.start >= a.end {
+                break; // slices are sorted by start; no later b overlaps a
+            }
+            if a.processor == b.processor && b.start < a.end && a.start < b.end {
+                out.push(ScheduleViolation::ProcessorOverlap {
+                    first: name(spec, a.task),
+                    second: name(spec, b.task),
+                    at: b.start.max(a.start),
+                });
+            }
+        }
+    }
+}
+
+fn check_precedence(spec: &EzSpec, timeline: &Timeline, out: &mut Vec<ScheduleViolation>) {
+    for &(pred, succ) in spec.precedences() {
+        let instances = spec.instances_of(pred).min(spec.instances_of(succ));
+        for instance in 0..instances {
+            let (Some(done), Some(start)) = (
+                timeline.instance_completion(pred, instance),
+                timeline.instance_start(succ, instance),
+            ) else {
+                continue; // missing executions reported elsewhere
+            };
+            if start < done {
+                out.push(ScheduleViolation::PrecedenceViolated {
+                    predecessor: name(spec, pred),
+                    successor: name(spec, succ),
+                    instance,
+                });
+            }
+        }
+    }
+}
+
+fn check_exclusion(spec: &EzSpec, timeline: &Timeline, out: &mut Vec<ScheduleViolation>) {
+    for &(a, b) in spec.exclusions() {
+        // The execution window of an instance spans first start to final
+        // completion; exclusion demands the windows never interleave.
+        let windows = |task: TaskId| -> Vec<(Time, Time)> {
+            (0..spec.instances_of(task))
+                .filter_map(|k| {
+                    Some((
+                        timeline.instance_start(task, k)?,
+                        timeline.instance_completion(task, k)?,
+                    ))
+                })
+                .collect()
+        };
+        let wa = windows(a);
+        let wb = windows(b);
+        let violated = wa.iter().any(|&(sa, ea)| {
+            wb.iter().any(|&(sb, eb)| sa < eb && sb < ea)
+        });
+        if violated {
+            out.push(ScheduleViolation::ExclusionViolated {
+                first: name(spec, a),
+                second: name(spec, b),
+            });
+        }
+    }
+}
+
+fn check_messages(spec: &EzSpec, timeline: &Timeline, out: &mut Vec<ScheduleViolation>) {
+    for (_, message) in spec.messages() {
+        let sender = message.sender();
+        let receiver = message.receiver();
+        let instances = spec.instances_of(sender).min(spec.instances_of(receiver));
+        for instance in 0..instances {
+            let (Some(sent), Some(start)) = (
+                timeline.instance_completion(sender, instance),
+                timeline.instance_start(receiver, instance),
+            ) else {
+                continue;
+            };
+            let delivered = sent + message.grant_bus() + message.communication();
+            if start < delivered {
+                out.push(ScheduleViolation::MessageTooEarly {
+                    message: message.name().to_owned(),
+                    instance,
+                    start,
+                    delivered,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthesize, SchedulerConfig, Timeline};
+    use ezrt_compose::translate;
+    use ezrt_spec::corpus::{figure3_spec, figure4_spec, figure8_spec, small_control};
+
+    fn checked(spec: &EzSpec) -> Vec<ScheduleViolation> {
+        let tasknet = translate(spec);
+        let synthesis = synthesize(&tasknet, &SchedulerConfig::default()).expect("feasible");
+        let timeline = Timeline::from_schedule(&tasknet, &synthesis.schedule);
+        check(spec, &timeline)
+    }
+
+    #[test]
+    fn synthesized_schedules_pass_validation() {
+        for spec in [figure3_spec(), figure4_spec(), figure8_spec(), small_control()] {
+            let violations = checked(&spec);
+            assert!(
+                violations.is_empty(),
+                "{}: {:?}",
+                spec.name(),
+                violations
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_timeline_reports_missing_execution() {
+        let spec = small_control();
+        let empty = {
+            // A timeline with no slices: reconstruct from an empty schedule.
+            let tasknet = translate(&spec);
+            Timeline::from_schedule(&tasknet, &crate::FeasibleSchedule::new_for_tests(vec![]))
+        };
+        let violations = check(&spec, &empty);
+        let wrong_exec = violations
+            .iter()
+            .filter(|v| matches!(v, ScheduleViolation::WrongExecutionTime { .. }))
+            .count();
+        assert_eq!(wrong_exec as u64, spec.total_instances());
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = ScheduleViolation::DeadlineMissed {
+            task: "PMC".into(),
+            instance: 3,
+            completion: 260,
+            deadline: 255,
+        };
+        assert_eq!(v.to_string(), "PMC#3 completed at 260, deadline 255");
+        let v = ScheduleViolation::ExclusionViolated {
+            first: "a".into(),
+            second: "b".into(),
+        };
+        assert!(v.to_string().contains("exclusion"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Failure injection: the independent validator must catch every class
+//! of corruption we can inject into an otherwise-valid timeline. This
+//! guards the guard — a validator that accepts broken schedules would
+//! silently vouch for a broken search.
+
+use ezrt_compose::translate;
+use ezrt_scheduler::validate::{check, ScheduleViolation};
+use ezrt_scheduler::{synthesize, SchedulerConfig, Slice, Timeline};
+use ezrt_spec::corpus::{figure8_spec, small_control};
+use ezrt_spec::EzSpec;
+
+fn valid_slices(spec: &EzSpec) -> (Vec<Slice>, u64) {
+    let tasknet = translate(spec);
+    let synthesis = synthesize(&tasknet, &SchedulerConfig::default()).expect("feasible");
+    let timeline = Timeline::from_schedule(&tasknet, &synthesis.schedule);
+    (timeline.slices().to_vec(), timeline.hyperperiod())
+}
+
+fn violations_after(
+    spec: &EzSpec,
+    mutate: impl FnOnce(&mut Vec<Slice>),
+) -> Vec<ScheduleViolation> {
+    let (mut slices, hyperperiod) = valid_slices(spec);
+    mutate(&mut slices);
+    check(spec, &Timeline::from_slices(slices, hyperperiod))
+}
+
+#[test]
+fn untouched_timelines_pass() {
+    let spec = small_control();
+    let violations = violations_after(&spec, |_| {});
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn deleting_a_slice_is_missing_execution() {
+    let spec = small_control();
+    let violations = violations_after(&spec, |slices| {
+        slices.pop();
+    });
+    assert!(violations
+        .iter()
+        .any(|v| matches!(v, ScheduleViolation::WrongExecutionTime { .. })));
+}
+
+#[test]
+fn stretching_a_slice_is_caught() {
+    let spec = small_control();
+    let violations = violations_after(&spec, |slices| {
+        slices[0].end += 1; // executes one unit too many
+    });
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            ScheduleViolation::WrongExecutionTime { .. } | ScheduleViolation::ProcessorOverlap { .. }
+        )),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn shifting_past_the_deadline_is_a_miss() {
+    let spec = small_control();
+    // watchdog: c=1, d=10, p=10. Move its first slice to end at 11.
+    let watchdog = spec.task_id("watchdog").unwrap();
+    let violations = violations_after(&spec, |slices| {
+        let slice = slices
+            .iter_mut()
+            .find(|s| s.task == watchdog && s.instance == 0)
+            .expect("watchdog slice");
+        slice.start = 10;
+        slice.end = 11;
+    });
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            ScheduleViolation::DeadlineMissed { task, instance: 0, .. } if task == "watchdog"
+        )),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn starting_before_arrival_is_caught() {
+    let spec = small_control();
+    // Move the second watchdog instance (arrival 10) before time 10.
+    let watchdog = spec.task_id("watchdog").unwrap();
+    let violations = violations_after(&spec, |slices| {
+        let slice = slices
+            .iter_mut()
+            .find(|s| s.task == watchdog && s.instance == 1)
+            .expect("watchdog slice");
+        slice.start = 8;
+        slice.end = 9;
+    });
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, ScheduleViolation::StartedTooEarly { .. })),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn overlapping_two_tasks_is_caught() {
+    let spec = small_control();
+    let violations = violations_after(&spec, |slices| {
+        // Drag the second slice to start inside the first.
+        let first_start = slices[0].start;
+        let duration = slices[1].end - slices[1].start;
+        slices[1].start = first_start;
+        slices[1].end = first_start + duration;
+    });
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, ScheduleViolation::ProcessorOverlap { .. })),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn swapping_a_precedence_pair_is_caught() {
+    let spec = small_control();
+    // sense precedes filter; make filter run before sense completes.
+    let sense = spec.task_id("sense").unwrap();
+    let filter = spec.task_id("filter").unwrap();
+    let violations = violations_after(&spec, |slices| {
+        let sense_start = slices
+            .iter()
+            .find(|s| s.task == sense && s.instance == 0)
+            .unwrap()
+            .start;
+        let filter_slice = slices
+            .iter_mut()
+            .find(|s| s.task == filter && s.instance == 0)
+            .unwrap();
+        // Filter starts when sense starts (so before sense finishes).
+        let duration = filter_slice.end - filter_slice.start;
+        filter_slice.start = sense_start;
+        filter_slice.end = sense_start + duration;
+    });
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, ScheduleViolation::PrecedenceViolated { .. })),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn fragmenting_a_nonpreemptive_task_is_caught() {
+    let spec = small_control();
+    // filter has c=3; split its single slice into 1 + 2.
+    let filter = spec.task_id("filter").unwrap();
+    let violations = violations_after(&spec, |slices| {
+        let index = slices
+            .iter()
+            .position(|s| s.task == filter && s.instance == 0)
+            .unwrap();
+        let original = slices[index];
+        slices[index].end = original.start + 1;
+        slices.push(Slice {
+            start: original.end + 5,
+            end: original.end + 7,
+            resumed: true,
+            ..original
+        });
+    });
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, ScheduleViolation::FragmentedNonPreemptive { .. })),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn interleaving_excluded_windows_is_caught() {
+    // figure-4 style: build a fresh preemptive two-task exclusion spec
+    // and interleave their windows by hand.
+    let spec = ezrt_spec::corpus::figure4_spec();
+    let t0 = spec.task_id("T0").unwrap();
+    let t2 = spec.task_id("T2").unwrap();
+    let cpu = spec.task(t0).processor();
+    let slice = |task, start, end, resumed| Slice {
+        task,
+        instance: 0,
+        processor: cpu,
+        start,
+        end,
+        resumed,
+    };
+    // T0 runs [0,5) and [15,20); T2 runs [5,15)+[20,30) — windows
+    // interleave even though no slices overlap.
+    let slices = vec![
+        slice(t0, 0, 5, false),
+        slice(t2, 5, 15, false),
+        slice(t0, 15, 20, true),
+        slice(t2, 20, 30, true),
+    ];
+    let violations = check(&spec, &Timeline::from_slices(slices, spec.hyperperiod()));
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, ScheduleViolation::ExclusionViolated { .. })),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn preemptive_timelines_detect_budget_shortfall() {
+    let spec = figure8_spec();
+    let a = spec.task_id("TaskA").unwrap();
+    let violations = violations_after(&spec, |slices| {
+        // Remove one of TaskA's resumed parts entirely.
+        let index = slices
+            .iter()
+            .position(|s| s.task == a && s.resumed)
+            .expect("TaskA is preempted");
+        slices.remove(index);
+    });
+    assert!(violations
+        .iter()
+        .any(|v| matches!(v, ScheduleViolation::WrongExecutionTime { .. })));
+}

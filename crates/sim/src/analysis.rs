@@ -1,0 +1,322 @@
+//! Analytical schedulability tests.
+//!
+//! The DFS of `ezrt-scheduler` answers feasibility *constructively*;
+//! this module provides the closed-form counterparts from classical
+//! real-time scheduling theory, used as fast pre-checks, as oracles in
+//! the test suite (analysis and simulation must agree), and as rows in
+//! the comparison benches:
+//!
+//! * [`total_utilization`] and the exact-infeasibility test `U > 1`;
+//! * [`liu_layland_bound`] — the rate-monotonic sufficient bound
+//!   `n(2^{1/n} − 1)`;
+//! * [`demand_bound_infeasible`] — the processor demand criterion for
+//!   synchronous periodic sets with constrained deadlines: if
+//!   `h(t) > t` for some absolute deadline `t` in the first
+//!   hyper-period, no scheduler whatsoever can meet all deadlines;
+//! * [`response_time_analysis`] — exact worst-case response times for
+//!   fixed-priority preemptive scheduling (the recurrence
+//!   `R = C + Σ_{hp} ⌈R/T⌉·C`).
+
+use ezrt_spec::{EzSpec, ProcessorId, TaskId, Time};
+
+/// Total utilization `Σ c_i / p_i` of the tasks bound to `processor`.
+pub fn total_utilization(spec: &EzSpec, processor: ProcessorId) -> f64 {
+    spec.utilization(processor)
+}
+
+/// The Liu & Layland rate-monotonic utilization bound for `n` tasks:
+/// `n(2^{1/n} − 1)`. Utilization at or below this bound guarantees RM
+/// schedulability for independent implicit-deadline tasks.
+///
+/// # Examples
+///
+/// ```
+/// let b1 = ezrt_sim::analysis::liu_layland_bound(1);
+/// assert!((b1 - 1.0).abs() < 1e-12);
+/// let b3 = ezrt_sim::analysis::liu_layland_bound(3);
+/// assert!(b3 > 0.77 && b3 < 0.78);
+/// ```
+pub fn liu_layland_bound(n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let n = n as f64;
+    n * (2f64.powf(1.0 / n) - 1.0)
+}
+
+/// The processor demand `h(t)` of the synchronous arrival sequence: the
+/// total computation of jobs with both arrival and deadline inside
+/// `[0, t]`.
+pub fn demand_bound(spec: &EzSpec, processor: ProcessorId, t: Time) -> Time {
+    spec.tasks()
+        .filter(|(_, task)| task.processor() == processor)
+        .map(|(_, task)| {
+            let timing = task.timing();
+            if t < timing.phase + timing.deadline {
+                0
+            } else {
+                let jobs = (t - timing.phase - timing.deadline) / timing.period + 1;
+                jobs * timing.computation
+            }
+        })
+        .sum()
+}
+
+/// Checks the processor demand criterion: returns the first absolute
+/// deadline `t ≤ hyperperiod` with `h(t) > t`, which **proves** the
+/// specification infeasible under *any* scheduling policy (preemptive
+/// or not, online or pre-runtime). `None` means the necessary condition
+/// holds — not a feasibility guarantee for non-preemptive sets.
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_spec::SpecBuilder;
+///
+/// # fn main() -> Result<(), ezrt_spec::ValidateSpecError> {
+/// let overload = SpecBuilder::new("o")
+///     .task("x", |t| t.computation(3).deadline(4).period(4))
+///     .task("y", |t| t.computation(2).deadline(4).period(4))
+///     .build()?;
+/// let cpu = overload.processors().next().unwrap().0;
+/// assert_eq!(ezrt_sim::analysis::demand_bound_infeasible(&overload, cpu), Some(4));
+/// # Ok(())
+/// # }
+/// ```
+pub fn demand_bound_infeasible(spec: &EzSpec, processor: ProcessorId) -> Option<Time> {
+    let hyperperiod = spec.hyperperiod();
+    // Check points: every absolute deadline within the first hyperperiod.
+    let mut checkpoints: Vec<Time> = Vec::new();
+    for (_, task) in spec.tasks() {
+        if task.processor() != processor {
+            continue;
+        }
+        let timing = task.timing();
+        let mut k = 0;
+        loop {
+            let deadline = timing.phase + k * timing.period + timing.deadline;
+            if deadline > hyperperiod {
+                break;
+            }
+            checkpoints.push(deadline);
+            k += 1;
+        }
+    }
+    checkpoints.sort_unstable();
+    checkpoints.dedup();
+    checkpoints
+        .into_iter()
+        .find(|&t| demand_bound(spec, processor, t) > t)
+}
+
+/// Worst-case response times under fixed-priority *preemptive*
+/// scheduling for independent tasks, by the standard recurrence
+/// `R_i = C_i + Σ_{j ∈ hp(i)} ⌈R_i / T_j⌉ · C_j`.
+///
+/// `priority_of` maps each task to its priority key (smaller = higher;
+/// pass periods for RM, relative deadlines for DM). Returns `None` for a
+/// task whose recurrence diverges past its deadline (unschedulable).
+///
+/// The analysis assumes independent tasks; precedence, exclusion and
+/// messages are outside its model (use the simulators for those).
+pub fn response_time_analysis(
+    spec: &EzSpec,
+    processor: ProcessorId,
+    mut priority_of: impl FnMut(TaskId) -> Time,
+) -> Vec<(TaskId, Option<Time>)> {
+    let tasks: Vec<TaskId> = spec
+        .tasks()
+        .filter(|(_, task)| task.processor() == processor)
+        .map(|(id, _)| id)
+        .collect();
+
+    tasks
+        .iter()
+        .map(|&task| {
+            let timing = spec.task(task).timing();
+            let my_priority = priority_of(task);
+            let higher: Vec<TaskId> = tasks
+                .iter()
+                .copied()
+                .filter(|&other| {
+                    other != task
+                        && (priority_of(other), other.index()) < (my_priority, task.index())
+                })
+                .collect();
+
+            let mut response = timing.computation;
+            let result = loop {
+                let interference: Time = higher
+                    .iter()
+                    .map(|&j| {
+                        let tj = spec.task(j).timing();
+                        response.div_ceil(tj.period) * tj.computation
+                    })
+                    .sum();
+                let next = timing.computation + interference;
+                if next == response {
+                    break Some(response);
+                }
+                if next > timing.deadline {
+                    break None;
+                }
+                response = next;
+            };
+            (task, result)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::{simulate_online, OnlinePolicy};
+    use ezrt_spec::corpus::mine_pump;
+    use ezrt_spec::SpecBuilder;
+
+    fn cpu(spec: &EzSpec) -> ProcessorId {
+        spec.processors().next().unwrap().0
+    }
+
+    #[test]
+    fn liu_layland_bound_decreases_towards_ln2() {
+        assert!((liu_layland_bound(0) - 1.0).abs() < 1e-12);
+        assert!((liu_layland_bound(1) - 1.0).abs() < 1e-12);
+        let mut previous = 1.0;
+        for n in 2..20 {
+            let bound = liu_layland_bound(n);
+            assert!(bound < previous);
+            previous = bound;
+        }
+        assert!(previous > (2f64).ln() - 1e-3);
+    }
+
+    #[test]
+    fn demand_bound_counts_synchronous_jobs() {
+        let spec = SpecBuilder::new("d")
+            .task("a", |t| t.computation(2).deadline(5).period(10))
+            .task("b", |t| t.computation(3).deadline(10).period(10))
+            .build()
+            .unwrap();
+        let p = cpu(&spec);
+        assert_eq!(demand_bound(&spec, p, 4), 0);
+        assert_eq!(demand_bound(&spec, p, 5), 2);
+        assert_eq!(demand_bound(&spec, p, 10), 5);
+        assert_eq!(demand_bound(&spec, p, 15), 7);
+    }
+
+    #[test]
+    fn mine_pump_passes_the_necessary_condition() {
+        let spec = mine_pump();
+        assert_eq!(demand_bound_infeasible(&spec, cpu(&spec)), None);
+    }
+
+    #[test]
+    fn overload_is_proved_infeasible_at_the_right_instant() {
+        let spec = SpecBuilder::new("o")
+            .task("x", |t| t.computation(3).deadline(4).period(4))
+            .task("y", |t| t.computation(2).deadline(4).period(4))
+            .build()
+            .unwrap();
+        assert_eq!(demand_bound_infeasible(&spec, cpu(&spec)), Some(4));
+    }
+
+    #[test]
+    fn rta_matches_hand_computation() {
+        // Classic example: three tasks, RM priorities.
+        let spec = SpecBuilder::new("rta")
+            .task("hi", |t| t.computation(1).deadline(4).period(4))
+            .task("mid", |t| t.computation(2).deadline(6).period(6))
+            .task("lo", |t| t.computation(3).deadline(12).period(12))
+            .build()
+            .unwrap();
+        let p = cpu(&spec);
+        let results = response_time_analysis(&spec, p, |t| spec.task(t).timing().period);
+        let by_name = |name: &str| {
+            results
+                .iter()
+                .find(|(t, _)| spec.task(*t).name() == name)
+                .unwrap()
+                .1
+        };
+        assert_eq!(by_name("hi"), Some(1));
+        assert_eq!(by_name("mid"), Some(3));
+        // lo: R = 3 + ⌈R/4⌉·1 + ⌈R/6⌉·2 → 3+1+2=6 → 3+2+2=7 → 3+2+4=9 →
+        // 3+3+4=10 → 3+3+4=10 fixed point.
+        assert_eq!(by_name("lo"), Some(10));
+    }
+
+    #[test]
+    fn rta_detects_divergence() {
+        let spec = SpecBuilder::new("div")
+            .task("hog", |t| t.computation(5).deadline(8).period(8))
+            .task("late", |t| t.computation(4).deadline(9) .period(10))
+            .build()
+            .unwrap();
+        let p = cpu(&spec);
+        let results = response_time_analysis(&spec, p, |t| spec.task(t).timing().period);
+        // hog: fine. late: 4 + ⌈R/8⌉·5 ≥ 9 forever → None.
+        assert_eq!(results[0].1, Some(5));
+        assert_eq!(results[1].1, None);
+    }
+
+    /// The analytical RM verdict and the RM simulator agree on the mine
+    /// pump: COH diverges analytically and misses in simulation.
+    #[test]
+    fn rta_agrees_with_the_rm_simulation() {
+        let spec = mine_pump();
+        let p = cpu(&spec);
+        let results = response_time_analysis(&spec, p, |t| spec.task(t).timing().period);
+        let coh = spec.task_id("COH").unwrap();
+        let coh_verdict = results.iter().find(|(t, _)| *t == coh).unwrap().1;
+        assert_eq!(coh_verdict, None, "COH diverges under RM analysis");
+
+        let simulated = simulate_online(&spec, OnlinePolicy::RmPreemptive, 1);
+        assert!(simulated
+            .execution
+            .deadline_misses
+            .iter()
+            .any(|m| m.task == coh));
+
+        // Every task the analysis clears must also be miss-free in the
+        // simulation (RTA is exact for independent preemptive FP sets).
+        for (task, verdict) in results {
+            if verdict.is_some() {
+                assert!(
+                    !simulated.execution.deadline_misses.iter().any(|m| m.task == task),
+                    "{} cleared by RTA but missed in simulation",
+                    spec.task(task).name()
+                );
+            }
+        }
+    }
+
+    /// RTA response times upper-bound the simulated worst case and the
+    /// bound is tight at the critical instant (synchronous release).
+    #[test]
+    fn rta_bounds_are_tight_for_dm() {
+        let spec = mine_pump();
+        let p = cpu(&spec);
+        let results = response_time_analysis(&spec, p, |t| spec.task(t).timing().deadline);
+        let simulated = simulate_online(&spec, OnlinePolicy::DmPreemptive, 1);
+        for (task, verdict) in results {
+            let analytic = verdict.expect("DM schedules the mine pump");
+            let observed = simulated.execution.response[&task].max;
+            assert!(
+                observed <= analytic,
+                "{}: observed {} exceeds analytic {}",
+                spec.task(task).name(),
+                observed,
+                analytic
+            );
+            // All tasks share phase 0, so the critical instant occurs at
+            // time zero and the bound is met exactly.
+            assert_eq!(
+                observed,
+                analytic,
+                "{}: critical instant should be observed",
+                spec.task(task).name()
+            );
+        }
+    }
+}

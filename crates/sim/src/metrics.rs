@@ -1,0 +1,156 @@
+//! Execution metrics shared by the dispatcher executor and the online
+//! simulators.
+
+use ezrt_spec::{TaskId, Time};
+use std::collections::BTreeMap;
+
+/// A deadline miss observed during execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissRecord {
+    /// The missing task.
+    pub task: TaskId,
+    /// The 0-based absolute job index (across all simulated periods).
+    pub job: u64,
+    /// The job's absolute deadline.
+    pub deadline: Time,
+    /// Work still outstanding at the deadline.
+    pub remaining: Time,
+}
+
+/// Response-time statistics of one task (response = completion −
+/// arrival).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResponseStats {
+    /// Number of completed jobs measured.
+    pub jobs: u64,
+    /// Best observed response time.
+    pub min: Time,
+    /// Worst observed response time.
+    pub max: Time,
+    /// Sum of response times (for averaging).
+    pub total: Time,
+}
+
+impl ResponseStats {
+    /// Records one completed job's response time.
+    pub fn record(&mut self, response: Time) {
+        if self.jobs == 0 {
+            self.min = response;
+            self.max = response;
+        } else {
+            self.min = self.min.min(response);
+            self.max = self.max.max(response);
+        }
+        self.jobs += 1;
+        self.total += response;
+    }
+
+    /// Mean response time, or 0.0 when no job completed.
+    pub fn mean(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.jobs as f64
+        }
+    }
+}
+
+/// The outcome of executing a schedule (pre-runtime dispatch or online
+/// simulation) over a horizon.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecutionReport {
+    /// Simulated horizon in time units.
+    pub horizon: Time,
+    /// Deadline misses, in order of occurrence.
+    pub deadline_misses: Vec<MissRecord>,
+    /// Per-task response-time statistics.
+    pub response: BTreeMap<TaskId, ResponseStats>,
+    /// Per-task release jitter: for each instance slot within the
+    /// schedule period, the spread (max − min) of `start − arrival`
+    /// across the simulated periods; the map holds each task's worst
+    /// slot. Pre-runtime dispatch replays an identical timeline every
+    /// period, so its jitter is zero — the paper's predictability claim
+    /// as a measurement.
+    pub release_jitter: BTreeMap<TaskId, Time>,
+    /// Number of preemptions (a job's execution resumed after
+    /// interruption).
+    pub preemptions: u64,
+    /// Number of context switches (the processor changed jobs).
+    pub context_switches: u64,
+    /// Idle processor time within the horizon.
+    pub idle_time: Time,
+    /// Busy processor time within the horizon.
+    pub busy_time: Time,
+    /// Σ energy(task) × completed jobs, from the metamodel's per-task
+    /// energy attribute.
+    pub energy: u64,
+}
+
+impl ExecutionReport {
+    /// Whether every job met its deadline.
+    pub fn is_timely(&self) -> bool {
+        self.deadline_misses.is_empty()
+    }
+
+    /// The worst release jitter across all tasks — zero for pre-runtime
+    /// schedules, typically nonzero under online scheduling.
+    pub fn max_release_jitter(&self) -> Time {
+        self.release_jitter.values().copied().max().unwrap_or(0)
+    }
+
+    /// Processor utilization actually observed.
+    pub fn utilization(&self) -> f64 {
+        if self.horizon == 0 {
+            0.0
+        } else {
+            self.busy_time as f64 / self.horizon as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_stats_track_min_max_mean() {
+        let mut stats = ResponseStats::default();
+        stats.record(10);
+        stats.record(4);
+        stats.record(7);
+        assert_eq!(stats.jobs, 3);
+        assert_eq!(stats.min, 4);
+        assert_eq!(stats.max, 10);
+        assert!((stats.mean() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_mean() {
+        assert_eq!(ResponseStats::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn report_queries() {
+        let mut report = ExecutionReport {
+            horizon: 100,
+            busy_time: 40,
+            idle_time: 60,
+            ..ExecutionReport::default()
+        };
+        assert!(report.is_timely());
+        assert_eq!(report.max_release_jitter(), 0);
+        assert!((report.utilization() - 0.4).abs() < 1e-12);
+
+        report.release_jitter.insert(TaskId::from_index(0), 3);
+        report.release_jitter.insert(TaskId::from_index(1), 9);
+        assert_eq!(report.max_release_jitter(), 9);
+
+        report.deadline_misses.push(MissRecord {
+            task: TaskId::from_index(0),
+            job: 2,
+            deadline: 50,
+            remaining: 1,
+        });
+        assert!(!report.is_timely());
+    }
+}

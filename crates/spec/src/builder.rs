@@ -1,0 +1,635 @@
+//! Fluent construction and validation of specifications.
+
+use crate::error::ValidateSpecError;
+use crate::model::{
+    EzSpec, Message, Processor, ProcessorId, SchedulingMethod, SourceCode, Task, TaskId,
+    TimingConstraints,
+};
+use crate::Time;
+
+/// Name of the processor created implicitly when a specification never
+/// declares one — the paper's mono-processor default.
+pub const DEFAULT_PROCESSOR: &str = "cpu0";
+
+/// Fluent builder for [`EzSpec`], playing the role of the EMF tree editor
+/// in the original tool: users declare tasks, relations, processors and
+/// messages, and [`SpecBuilder::build`] validates the result.
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_spec::SpecBuilder;
+///
+/// # fn main() -> Result<(), ezrt_spec::ValidateSpecError> {
+/// let spec = SpecBuilder::new("mine-fragment")
+///     .task("pmc", |t| t.computation(10).deadline(20).period(80))
+///     .task("wfc", |t| t.computation(15).deadline(500).period(500))
+///     .excludes("pmc", "wfc")
+///     .build()?;
+/// assert_eq!(spec.task_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpecBuilder {
+    name: String,
+    dispatcher_overhead: bool,
+    tasks: Vec<Task>,
+    processors: Vec<Processor>,
+    messages: Vec<PendingMessage>,
+    precedences: Vec<(String, String)>,
+    exclusions: Vec<(String, String)>,
+    /// Tasks declared before their processor; resolved at build time.
+    pending_processors: Vec<(usize, String)>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingMessage {
+    name: String,
+    bus: String,
+    sender: String,
+    receiver: String,
+    grant_bus: Time,
+    communication: Time,
+}
+
+/// Per-task configuration closure argument of [`SpecBuilder::task`].
+///
+/// Defaults: `phase = 0`, `release = 0`, non-preemptive scheduling, the
+/// implicit [`DEFAULT_PROCESSOR`], zero energy, no code. `computation`,
+/// `deadline` and `period` have no defaults — forgetting them fails
+/// validation (`c ≥ 1` and `c ≤ d ≤ p`).
+#[derive(Debug, Clone)]
+pub struct TaskBuilder {
+    timing: TimingConstraints,
+    method: SchedulingMethod,
+    processor: Option<String>,
+    energy: u64,
+    code: Option<SourceCode>,
+}
+
+impl Default for TaskBuilder {
+    fn default() -> Self {
+        TaskBuilder {
+            timing: TimingConstraints {
+                phase: 0,
+                release: 0,
+                computation: 0,
+                deadline: 0,
+                period: 0,
+            },
+            method: SchedulingMethod::NonPreemptive,
+            processor: None,
+            energy: 0,
+            code: None,
+        }
+    }
+}
+
+impl TaskBuilder {
+    /// Sets the phase offset `ph_i`.
+    pub fn phase(mut self, phase: Time) -> Self {
+        self.timing.phase = phase;
+        self
+    }
+
+    /// Sets the release time `r_i`.
+    pub fn release(mut self, release: Time) -> Self {
+        self.timing.release = release;
+        self
+    }
+
+    /// Sets the worst-case execution time `c_i`.
+    pub fn computation(mut self, wcet: Time) -> Self {
+        self.timing.computation = wcet;
+        self
+    }
+
+    /// Sets the relative deadline `d_i`.
+    pub fn deadline(mut self, deadline: Time) -> Self {
+        self.timing.deadline = deadline;
+        self
+    }
+
+    /// Sets the period `p_i`.
+    pub fn period(mut self, period: Time) -> Self {
+        self.timing.period = period;
+        self
+    }
+
+    /// Replaces all timing constraints at once.
+    pub fn timing(mut self, timing: TimingConstraints) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Marks the task preemptive (Fig. 2(b) block).
+    pub fn preemptive(mut self) -> Self {
+        self.method = SchedulingMethod::Preemptive;
+        self
+    }
+
+    /// Sets the scheduling method explicitly.
+    pub fn method(mut self, method: SchedulingMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Binds the task to a named processor (declared via
+    /// [`SpecBuilder::processor`] or created on demand).
+    pub fn on_processor(mut self, name: impl Into<String>) -> Self {
+        self.processor = Some(name.into());
+        self
+    }
+
+    /// Sets the per-activation energy budget.
+    pub fn energy(mut self, energy: u64) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Attaches behavioural C source code.
+    pub fn code(mut self, source: impl Into<String>) -> Self {
+        self.code = Some(SourceCode::new(source));
+        self
+    }
+}
+
+impl SpecBuilder {
+    /// Starts a specification called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        SpecBuilder {
+            name: name.into(),
+            dispatcher_overhead: false,
+            tasks: Vec::new(),
+            processors: Vec::new(),
+            messages: Vec::new(),
+            precedences: Vec::new(),
+            exclusions: Vec::new(),
+            pending_processors: Vec::new(),
+        }
+    }
+
+    /// Enables the metamodel's `dispOveh` flag: generated code and the
+    /// simulator will account for dispatcher overhead.
+    pub fn dispatcher_overhead(mut self, enabled: bool) -> Self {
+        self.dispatcher_overhead = enabled;
+        self
+    }
+
+    /// Declares a processor.
+    pub fn processor(mut self, name: impl Into<String>) -> Self {
+        self.processors.push(Processor { name: name.into() });
+        self
+    }
+
+    /// Declares a task, configured through the closure.
+    pub fn task(
+        mut self,
+        name: impl Into<String>,
+        configure: impl FnOnce(TaskBuilder) -> TaskBuilder,
+    ) -> Self {
+        let tb = configure(TaskBuilder::default());
+        let index = self.tasks.len();
+        if let Some(proc_name) = tb.processor {
+            self.pending_processors.push((index, proc_name));
+        }
+        self.tasks.push(Task {
+            name: name.into(),
+            timing: tb.timing,
+            method: tb.method,
+            processor: ProcessorId::from_index(0), // resolved at build
+            energy: tb.energy,
+            code: tb.code,
+        });
+        self
+    }
+
+    /// Declares `predecessor PRECEDES successor`.
+    pub fn precedes(mut self, predecessor: impl Into<String>, successor: impl Into<String>) -> Self {
+        self.precedences.push((predecessor.into(), successor.into()));
+        self
+    }
+
+    /// Declares `a EXCLUDES b` (symmetric, per the paper).
+    pub fn excludes(mut self, a: impl Into<String>, b: impl Into<String>) -> Self {
+        self.exclusions.push((a.into(), b.into()));
+        self
+    }
+
+    /// Declares a message from `sender` to `receiver` on `bus` with the
+    /// given arbitration (`grant_bus`) and transfer (`communication`)
+    /// times.
+    pub fn message(
+        mut self,
+        name: impl Into<String>,
+        sender: impl Into<String>,
+        receiver: impl Into<String>,
+        bus: impl Into<String>,
+        grant_bus: Time,
+        communication: Time,
+    ) -> Self {
+        self.messages.push(PendingMessage {
+            name: name.into(),
+            bus: bus.into(),
+            sender: sender.into(),
+            receiver: receiver.into(),
+            grant_bus,
+            communication,
+        });
+        self
+    }
+
+    /// Resolves names, validates and freezes the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateSpecError`] encountered; see
+    /// [`EzSpec::validate`] for the full rule list.
+    pub fn build(mut self) -> Result<EzSpec, ValidateSpecError> {
+        // Ensure at least the default processor exists.
+        if self.processors.is_empty() {
+            self.processors.push(Processor {
+                name: DEFAULT_PROCESSOR.to_owned(),
+            });
+        }
+        // Auto-create named processors referenced by tasks.
+        for (_, proc_name) in &self.pending_processors {
+            if !self.processors.iter().any(|p| &p.name == proc_name) {
+                self.processors.push(Processor {
+                    name: proc_name.clone(),
+                });
+            }
+        }
+        // Resolve task → processor bindings.
+        for (task_index, proc_name) in &self.pending_processors {
+            let pid = self
+                .processors
+                .iter()
+                .position(|p| &p.name == proc_name)
+                .map(ProcessorId::from_index)
+                .ok_or_else(|| ValidateSpecError::UnknownProcessor(proc_name.clone()))?;
+            self.tasks[*task_index].processor = pid;
+        }
+
+        let task_id = |tasks: &[Task], name: &str| -> Result<TaskId, ValidateSpecError> {
+            tasks
+                .iter()
+                .position(|t| t.name == name)
+                .map(TaskId::from_index)
+                .ok_or_else(|| ValidateSpecError::UnknownTask(name.to_owned()))
+        };
+
+        let mut precedences = Vec::with_capacity(self.precedences.len());
+        for (from, to) in &self.precedences {
+            precedences.push((task_id(&self.tasks, from)?, task_id(&self.tasks, to)?));
+        }
+        let mut exclusions = Vec::with_capacity(self.exclusions.len());
+        for (a, b) in &self.exclusions {
+            let a = task_id(&self.tasks, a)?;
+            let b = task_id(&self.tasks, b)?;
+            let pair = (a.min(b), a.max(b));
+            if !exclusions.contains(&pair) {
+                exclusions.push(pair);
+            }
+        }
+        let mut messages = Vec::with_capacity(self.messages.len());
+        for m in &self.messages {
+            messages.push(Message {
+                name: m.name.clone(),
+                bus: m.bus.clone(),
+                sender: task_id(&self.tasks, &m.sender)?,
+                receiver: task_id(&self.tasks, &m.receiver)?,
+                grant_bus: m.grant_bus,
+                communication: m.communication,
+            });
+        }
+
+        let spec = EzSpec {
+            name: self.name,
+            dispatcher_overhead: self.dispatcher_overhead,
+            tasks: self.tasks,
+            processors: self.processors,
+            messages,
+            precedences,
+            exclusions,
+        };
+        validate(&spec)?;
+        Ok(spec)
+    }
+}
+
+/// The full validation suite shared by the builder and
+/// [`EzSpec::validate`].
+pub(crate) fn validate(spec: &EzSpec) -> Result<(), ValidateSpecError> {
+    if spec.tasks.is_empty() {
+        return Err(ValidateSpecError::NoTasks);
+    }
+
+    let mut names = std::collections::HashSet::new();
+    for t in &spec.tasks {
+        if !names.insert(t.name.as_str()) {
+            return Err(ValidateSpecError::DuplicateTaskName(t.name.clone()));
+        }
+    }
+    let mut names = std::collections::HashSet::new();
+    for p in &spec.processors {
+        if !names.insert(p.name.as_str()) {
+            return Err(ValidateSpecError::DuplicateProcessorName(p.name.clone()));
+        }
+    }
+    let mut names = std::collections::HashSet::new();
+    for m in &spec.messages {
+        if !names.insert(m.name.as_str()) {
+            return Err(ValidateSpecError::DuplicateMessageName(m.name.clone()));
+        }
+    }
+
+    for t in &spec.tasks {
+        let timing = t.timing;
+        let fail = |detail: String| ValidateSpecError::BadTiming {
+            task: t.name.clone(),
+            detail,
+        };
+        if timing.computation == 0 {
+            return Err(fail("computation time must be at least 1".into()));
+        }
+        if timing.computation > timing.deadline {
+            return Err(fail(format!(
+                "computation {} exceeds deadline {}",
+                timing.computation, timing.deadline
+            )));
+        }
+        if timing.deadline > timing.period {
+            return Err(fail(format!(
+                "deadline {} exceeds period {}",
+                timing.deadline, timing.period
+            )));
+        }
+        if timing.release + timing.computation > timing.deadline {
+            return Err(fail(format!(
+                "release {} + computation {} exceeds deadline {}",
+                timing.release, timing.computation, timing.deadline
+            )));
+        }
+        if t.processor.index() >= spec.processors.len() {
+            return Err(ValidateSpecError::UnknownProcessor(format!(
+                "{}",
+                t.processor
+            )));
+        }
+    }
+
+    // Relations: no self-relations; precedence & messages need equal
+    // periods so instance k of the predecessor pairs with instance k of
+    // the successor inside the schedule period.
+    let dependency_pairs: Vec<(TaskId, TaskId)> = spec
+        .precedences
+        .iter()
+        .copied()
+        .chain(spec.messages.iter().map(|m| (m.sender, m.receiver)))
+        .collect();
+    for &(from, to) in &dependency_pairs {
+        if from == to {
+            return Err(ValidateSpecError::SelfRelation(
+                spec.task(from).name().to_owned(),
+            ));
+        }
+        if spec.task(from).timing().period != spec.task(to).timing().period {
+            return Err(ValidateSpecError::PeriodMismatch {
+                from: spec.task(from).name().to_owned(),
+                to: spec.task(to).name().to_owned(),
+            });
+        }
+    }
+    for &(a, b) in &spec.exclusions {
+        if a == b {
+            return Err(ValidateSpecError::SelfRelation(
+                spec.task(a).name().to_owned(),
+            ));
+        }
+    }
+
+    // Cycle detection over precedence ∪ message edges (DFS, three colours).
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    fn visit(
+        node: TaskId,
+        colours: &mut [Colour],
+        edges: &[(TaskId, TaskId)],
+    ) -> Option<TaskId> {
+        colours[node.index()] = Colour::Grey;
+        for &(from, to) in edges {
+            if from == node {
+                match colours[to.index()] {
+                    Colour::Grey => return Some(to),
+                    Colour::White => {
+                        if let Some(witness) = visit(to, colours, edges) {
+                            return Some(witness);
+                        }
+                    }
+                    Colour::Black => {}
+                }
+            }
+        }
+        colours[node.index()] = Colour::Black;
+        None
+    }
+    let mut colours = vec![Colour::White; spec.tasks.len()];
+    for i in 0..spec.tasks.len() {
+        if colours[i] == Colour::White {
+            if let Some(witness) = visit(TaskId::from_index(i), &mut colours, &dependency_pairs) {
+                return Err(ValidateSpecError::PrecedenceCycle(
+                    spec.task(witness).name().to_owned(),
+                ));
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SpecBuilder {
+        SpecBuilder::new("t")
+            .task("a", |t| t.computation(1).deadline(5).period(10))
+            .task("b", |t| t.computation(2).deadline(8).period(10))
+    }
+
+    #[test]
+    fn builds_with_default_processor() {
+        let spec = base().build().unwrap();
+        assert_eq!(spec.processors().count(), 1);
+        assert_eq!(spec.processor_id(DEFAULT_PROCESSOR).unwrap().index(), 0);
+    }
+
+    #[test]
+    fn named_processors_are_auto_created_and_bound() {
+        let spec = SpecBuilder::new("mp")
+            .task("a", |t| t.computation(1).deadline(5).period(10).on_processor("arm9"))
+            .task("b", |t| t.computation(1).deadline(5).period(10))
+            .build()
+            .unwrap();
+        let arm = spec.processor_id("arm9").unwrap();
+        assert_eq!(spec.task_by_name("a").unwrap().processor(), arm);
+        assert_ne!(spec.task_by_name("b").unwrap().processor(), arm);
+    }
+
+    #[test]
+    fn rejects_zero_computation() {
+        let err = SpecBuilder::new("z")
+            .task("a", |t| t.deadline(5).period(10))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ValidateSpecError::BadTiming { .. }));
+    }
+
+    #[test]
+    fn rejects_c_greater_than_d_and_d_greater_than_p() {
+        assert!(matches!(
+            SpecBuilder::new("x")
+                .task("a", |t| t.computation(6).deadline(5).period(10))
+                .build(),
+            Err(ValidateSpecError::BadTiming { .. })
+        ));
+        assert!(matches!(
+            SpecBuilder::new("x")
+                .task("a", |t| t.computation(1).deadline(15).period(10))
+                .build(),
+            Err(ValidateSpecError::BadTiming { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_release_window_too_small() {
+        let err = SpecBuilder::new("r")
+            .task("a", |t| t.release(5).computation(3).deadline(6).period(10))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ValidateSpecError::BadTiming { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_task_names() {
+        let err = base()
+            .task("a", |t| t.computation(1).deadline(5).period(10))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ValidateSpecError::DuplicateTaskName("a".into()));
+    }
+
+    #[test]
+    fn rejects_unknown_relation_target() {
+        let err = base().precedes("a", "ghost").build().unwrap_err();
+        assert_eq!(err, ValidateSpecError::UnknownTask("ghost".into()));
+    }
+
+    #[test]
+    fn rejects_self_relations() {
+        assert!(matches!(
+            base().precedes("a", "a").build(),
+            Err(ValidateSpecError::SelfRelation(_))
+        ));
+        assert!(matches!(
+            base().excludes("b", "b").build(),
+            Err(ValidateSpecError::SelfRelation(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_precedence_period_mismatch() {
+        let err = SpecBuilder::new("pm")
+            .task("fast", |t| t.computation(1).deadline(5).period(5))
+            .task("slow", |t| t.computation(1).deadline(10).period(10))
+            .precedes("fast", "slow")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ValidateSpecError::PeriodMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_precedence_cycles() {
+        let err = SpecBuilder::new("cycle")
+            .task("a", |t| t.computation(1).deadline(5).period(10))
+            .task("b", |t| t.computation(1).deadline(5).period(10))
+            .task("c", |t| t.computation(1).deadline(5).period(10))
+            .precedes("a", "b")
+            .precedes("b", "c")
+            .precedes("c", "a")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ValidateSpecError::PrecedenceCycle(_)));
+    }
+
+    #[test]
+    fn message_cycles_are_also_rejected() {
+        let err = SpecBuilder::new("mcycle")
+            .task("a", |t| t.computation(1).deadline(5).period(10))
+            .task("b", |t| t.computation(1).deadline(5).period(10))
+            .precedes("a", "b")
+            .message("m", "b", "a", "can0", 0, 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ValidateSpecError::PrecedenceCycle(_)));
+    }
+
+    #[test]
+    fn exclusions_are_deduplicated_and_normalized() {
+        let spec = base().excludes("a", "b").excludes("b", "a").build().unwrap();
+        assert_eq!(spec.exclusions().len(), 1);
+        let (lo, hi) = spec.exclusions()[0];
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn messages_resolve_task_ids() {
+        let spec = SpecBuilder::new("msg")
+            .task("tx", |t| t.computation(1).deadline(5).period(10))
+            .task("rx", |t| t.computation(1).deadline(9).period(10))
+            .message("frame", "tx", "rx", "can0", 1, 2)
+            .build()
+            .unwrap();
+        let (_, m) = spec.messages().next().unwrap();
+        assert_eq!(spec.task(m.sender()).name(), "tx");
+        assert_eq!(spec.task(m.receiver()).name(), "rx");
+        assert_eq!(m.grant_bus(), 1);
+        assert_eq!(m.communication(), 2);
+        assert_eq!(m.bus(), "can0");
+    }
+
+    #[test]
+    fn task_builder_covers_all_fields() {
+        let spec = SpecBuilder::new("full")
+            .task("t", |t| {
+                t.phase(3)
+                    .release(1)
+                    .computation(2)
+                    .deadline(6)
+                    .period(12)
+                    .preemptive()
+                    .energy(7)
+                    .code("do_work();")
+            })
+            .build()
+            .unwrap();
+        let t = spec.task_by_name("t").unwrap();
+        assert_eq!(t.timing().phase, 3);
+        assert_eq!(t.timing().release, 1);
+        assert_eq!(t.method(), SchedulingMethod::Preemptive);
+        assert_eq!(t.energy(), 7);
+        assert_eq!(t.code().unwrap().content(), "do_work();");
+    }
+
+    #[test]
+    fn validate_is_idempotent_on_built_specs() {
+        let spec = base().excludes("a", "b").build().unwrap();
+        assert!(spec.validate().is_ok());
+    }
+}

@@ -1,0 +1,314 @@
+//! Ready-made specifications for every case study and figure of the paper.
+//!
+//! | Function | Paper artefact |
+//! |---|---|
+//! | [`mine_pump`] | Table 1 + §5 case study (10 tasks, 782 instances) |
+//! | [`figure3_spec`] | Fig. 3 precedence-relation example (T1 ⟶ T2) |
+//! | [`figure4_spec`] | Fig. 4 exclusion-relation example (T0 ⊗ T2, preemptive) |
+//! | [`figure8_spec`] | a 4-task preemptive system in the style of Fig. 8 |
+//! | [`small_control`] | a small non-preemptive control system for quickstarts |
+
+use crate::{EzSpec, SpecBuilder};
+
+/// The mine pump case study of §5 — exactly Table 1 of the paper.
+///
+/// A simplified pump control system for a mining environment: the pump
+/// drains a sump between low/high water levels but must stay off while the
+/// methane level is critical; carbon monoxide and air flow are monitored as
+/// well. Ten periodic tasks; `P_S = 30 000`; 782 task instances; all tasks
+/// arrive simultaneously at time zero.
+///
+/// | task | C | D | P |
+/// |------|---|---|---|
+/// | PMC  | 10 | 20 | 80 |
+/// | WFC  | 15 | 500 | 500 |
+/// | RLWH | 1 | 1000 | 1000 |
+/// | CH4H | 25 | 500 | 500 |
+/// | CH4S | 5 | 100 | 500 |
+/// | COH  | 15 | 100 | 2500 |
+/// | AFH  | 15 | 200 | 6000 |
+/// | WFH  | 15 | 300 | 500 |
+/// | PDL  | 15 | 500 | 500 |
+/// | SDL  | 10 | 500 | 500 |
+///
+/// # Examples
+///
+/// ```
+/// let spec = ezrt_spec::corpus::mine_pump();
+/// assert_eq!(spec.task_count(), 10);
+/// assert_eq!(spec.hyperperiod(), 30_000);
+/// assert_eq!(spec.total_instances(), 782);
+/// ```
+pub fn mine_pump() -> EzSpec {
+    SpecBuilder::new("mine-pump")
+        .task("PMC", |t| {
+            t.computation(10).deadline(20).period(80).code(
+                "/* pump motor control: drive the pump according to the last command */",
+            )
+        })
+        .task("WFC", |t| {
+            t.computation(15)
+                .deadline(500)
+                .period(500)
+                .code("/* water flow check: verify pump effect on water flow */")
+        })
+        .task("RLWH", |t| {
+            t.computation(1)
+                .deadline(1000)
+                .period(1000)
+                .code("/* read low water handler */")
+        })
+        .task("CH4H", |t| {
+            t.computation(25)
+                .deadline(500)
+                .period(500)
+                .code("/* methane high-level handler */")
+        })
+        .task("CH4S", |t| {
+            t.computation(5)
+                .deadline(100)
+                .period(500)
+                .code("/* methane sensor sampling */")
+        })
+        .task("COH", |t| {
+            t.computation(15)
+                .deadline(100)
+                .period(2500)
+                .code("/* carbon monoxide handler */")
+        })
+        .task("AFH", |t| {
+            t.computation(15)
+                .deadline(200)
+                .period(6000)
+                .code("/* air flow handler */")
+        })
+        .task("WFH", |t| {
+            t.computation(15)
+                .deadline(300)
+                .period(500)
+                .code("/* water flow handler */")
+        })
+        .task("PDL", |t| {
+            t.computation(15)
+                .deadline(500)
+                .period(500)
+                .code("/* pump data logger */")
+        })
+        .task("SDL", |t| {
+            t.computation(10)
+                .deadline(500)
+                .period(500)
+                .code("/* sensor data logger */")
+        })
+        .build()
+        .expect("the paper's Table 1 is a valid specification")
+}
+
+/// The two-task precedence example of Fig. 3.
+///
+/// `T1 (c=15, d=100, p=250)` precedes `T2 (c=20, d=150, p=250)`; the
+/// figure's release transitions carry the windows `[0, 85]` (= `d₁ − c₁`)
+/// and `[0, 130]` (= `d₂ − c₂`) and the arrival transitions `[250, 250]`.
+///
+/// # Examples
+///
+/// ```
+/// let spec = ezrt_spec::corpus::figure3_spec();
+/// assert_eq!(spec.precedences().len(), 1);
+/// assert_eq!(spec.task_by_name("T1").unwrap().timing().latest_start(), 85);
+/// assert_eq!(spec.task_by_name("T2").unwrap().timing().latest_start(), 130);
+/// ```
+pub fn figure3_spec() -> EzSpec {
+    SpecBuilder::new("figure3-precedence")
+        .task("T1", |t| t.computation(15).deadline(100).period(250))
+        .task("T2", |t| t.computation(20).deadline(150).period(250))
+        .precedes("T1", "T2")
+        .build()
+        .expect("figure 3 example is a valid specification")
+}
+
+/// The two-task exclusion example of Fig. 4.
+///
+/// Preemptive tasks `T0 (c=10, d=100, p=250)` and `T2 (c=20, d=150,
+/// p=250)` with `T0 EXCLUDES T2`; the figure's computation transitions are
+/// the unit-step `[1, 1]` and the budget arcs carry weights 10 and 20.
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_spec::SchedulingMethod;
+/// let spec = ezrt_spec::corpus::figure4_spec();
+/// assert_eq!(spec.exclusions().len(), 1);
+/// assert_eq!(spec.task_by_name("T0").unwrap().method(), SchedulingMethod::Preemptive);
+/// ```
+pub fn figure4_spec() -> EzSpec {
+    SpecBuilder::new("figure4-exclusion")
+        .task("T0", |t| t.computation(10).deadline(100).period(250).preemptive())
+        .task("T2", |t| t.computation(20).deadline(150).period(250).preemptive())
+        .excludes("T0", "T2")
+        .build()
+        .expect("figure 4 example is a valid specification")
+}
+
+/// A four-task preemptive system in the spirit of the Fig. 8 schedule
+/// table: short urgent tasks (C, D) repeatedly preempt longer background
+/// work (A, B), so the synthesized table exercises the `resumed` flag and
+/// multiple execution parts per instance.
+///
+/// # Examples
+///
+/// ```
+/// let spec = ezrt_spec::corpus::figure8_spec();
+/// assert_eq!(spec.task_count(), 4);
+/// assert_eq!(spec.hyperperiod(), 24);
+/// ```
+pub fn figure8_spec() -> EzSpec {
+    SpecBuilder::new("figure8-preemptive")
+        .task("TaskA", |t| {
+            t.computation(7).deadline(24).period(24).preemptive().code("task_a_body();")
+        })
+        .task("TaskB", |t| {
+            t.computation(4).deadline(12).period(12).preemptive().code("task_b_body();")
+        })
+        .task("TaskC", |t| {
+            t.computation(2).deadline(4).period(8).preemptive().code("task_c_body();")
+        })
+        .task("TaskD", |t| {
+            t.computation(1).deadline(3).period(24).phase(5).preemptive().code("task_d_body();")
+        })
+        .build()
+        .expect("figure 8 style example is a valid specification")
+}
+
+/// A compact non-preemptive sensor→filter→actuator pipeline used by the
+/// quickstart example and the documentation.
+///
+/// # Examples
+///
+/// ```
+/// let spec = ezrt_spec::corpus::small_control();
+/// assert!(spec.total_instances() <= 8);
+/// ```
+pub fn small_control() -> EzSpec {
+    SpecBuilder::new("small-control")
+        .task("sense", |t| {
+            t.computation(2).deadline(8).period(20).code("adc_read(&sample);")
+        })
+        .task("filter", |t| {
+            t.computation(3).deadline(14).period(20).code("filter_update(&sample);")
+        })
+        .task("actuate", |t| {
+            t.computation(2).deadline(20).period(20).code("dac_write(output);")
+        })
+        .task("watchdog", |t| {
+            t.computation(1).deadline(10).period(10).code("wdt_kick();")
+        })
+        .precedes("sense", "filter")
+        .precedes("filter", "actuate")
+        .excludes("sense", "actuate")
+        .build()
+        .expect("small control example is a valid specification")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchedulingMethod;
+
+    #[test]
+    fn mine_pump_matches_table_1() {
+        let spec = mine_pump();
+        let expect = [
+            ("PMC", 10u64, 20u64, 80u64),
+            ("WFC", 15, 500, 500),
+            ("RLWH", 1, 1000, 1000),
+            ("CH4H", 25, 500, 500),
+            ("CH4S", 5, 100, 500),
+            ("COH", 15, 100, 2500),
+            ("AFH", 15, 200, 6000),
+            ("WFH", 15, 300, 500),
+            ("PDL", 15, 500, 500),
+            ("SDL", 10, 500, 500),
+        ];
+        assert_eq!(spec.task_count(), expect.len());
+        for (name, c, d, p) in expect {
+            let t = spec.task_by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(t.timing().computation, c, "{name} computation");
+            assert_eq!(t.timing().deadline, d, "{name} deadline");
+            assert_eq!(t.timing().period, p, "{name} period");
+            assert_eq!(t.timing().phase, 0, "{name}: all tasks arrive at time 0");
+            assert_eq!(t.method(), SchedulingMethod::NonPreemptive);
+        }
+    }
+
+    #[test]
+    fn mine_pump_instance_counts_match_section_5() {
+        let spec = mine_pump();
+        assert_eq!(spec.hyperperiod(), 30_000);
+        assert_eq!(spec.total_instances(), 782);
+        assert_eq!(spec.instances_of(spec.task_id("PMC").unwrap()), 375);
+        assert_eq!(spec.instances_of(spec.task_id("AFH").unwrap()), 5);
+        assert_eq!(spec.instances_of(spec.task_id("COH").unwrap()), 12);
+        assert_eq!(spec.instances_of(spec.task_id("RLWH").unwrap()), 30);
+    }
+
+    #[test]
+    fn mine_pump_utilization_is_feasible() {
+        let spec = mine_pump();
+        let cpu = spec.processors().next().unwrap().0;
+        let u = spec.utilization(cpu);
+        assert!(u < 1.0, "utilization {u} must be below 1");
+        assert!(u > 0.3, "Table 1 yields a busy system (PMC alone is 0.125)");
+    }
+
+    #[test]
+    fn figure3_release_windows() {
+        let spec = figure3_spec();
+        assert_eq!(spec.hyperperiod(), 250);
+        assert_eq!(spec.task_by_name("T1").unwrap().timing().latest_start(), 85);
+        assert_eq!(spec.task_by_name("T2").unwrap().timing().latest_start(), 130);
+    }
+
+    #[test]
+    fn figure4_tasks_are_preemptive_with_exclusion() {
+        let spec = figure4_spec();
+        for (_, t) in spec.tasks() {
+            assert_eq!(t.method(), SchedulingMethod::Preemptive);
+        }
+        let t0 = spec.task_id("T0").unwrap();
+        let t2 = spec.task_id("T2").unwrap();
+        assert!(spec.excludes(t0, t2));
+        assert_eq!(spec.task(t0).timing().latest_start(), 90);
+    }
+
+    #[test]
+    fn figure8_spec_is_schedulable_looking() {
+        let spec = figure8_spec();
+        let cpu = spec.processors().next().unwrap().0;
+        assert!(spec.utilization(cpu) <= 1.0);
+        // Hyperperiod: lcm(24, 12, 8, 24) = 24.
+        assert_eq!(spec.hyperperiod(), 24);
+        assert_eq!(spec.total_instances(), 1 + 2 + 3 + 1);
+    }
+
+    #[test]
+    fn all_corpus_specs_validate() {
+        for spec in [
+            mine_pump(),
+            figure3_spec(),
+            figure4_spec(),
+            figure8_spec(),
+            small_control(),
+        ] {
+            assert!(spec.validate().is_ok(), "{} failed validation", spec.name());
+        }
+    }
+
+    #[test]
+    fn corpus_tasks_carry_behavioural_code_where_expected() {
+        let spec = mine_pump();
+        for (_, task) in spec.tasks() {
+            assert!(task.code().is_some(), "{} has no code", task.name());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Validation errors for ezRealtime specifications.
+
+use std::error::Error;
+use std::fmt;
+
+/// A well-formedness violation detected while validating an
+/// [`EzSpec`](crate::EzSpec).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidateSpecError {
+    /// The specification contains no tasks.
+    NoTasks,
+    /// Two tasks share a name.
+    DuplicateTaskName(String),
+    /// Two processors share a name.
+    DuplicateProcessorName(String),
+    /// Two messages share a name.
+    DuplicateMessageName(String),
+    /// A task violates `1 ≤ c_i ≤ d_i ≤ p_i`.
+    BadTiming {
+        /// The offending task.
+        task: String,
+        /// Human-readable description of the violated inequality.
+        detail: String,
+    },
+    /// A relation references a task name that does not exist.
+    UnknownTask(String),
+    /// A task references a processor that does not exist.
+    UnknownProcessor(String),
+    /// A task precedes or excludes itself.
+    SelfRelation(String),
+    /// A precedence or message pair has differing periods, so its instances
+    /// cannot be matched one-to-one within the schedule period.
+    PeriodMismatch {
+        /// The predecessor / sender task.
+        from: String,
+        /// The successor / receiver task.
+        to: String,
+    },
+    /// The precedence graph (including message-induced precedences) has a
+    /// cycle through the named task.
+    PrecedenceCycle(String),
+}
+
+impl fmt::Display for ValidateSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateSpecError::NoTasks => write!(f, "specification has no tasks"),
+            ValidateSpecError::DuplicateTaskName(n) => write!(f, "duplicate task name {n:?}"),
+            ValidateSpecError::DuplicateProcessorName(n) => {
+                write!(f, "duplicate processor name {n:?}")
+            }
+            ValidateSpecError::DuplicateMessageName(n) => {
+                write!(f, "duplicate message name {n:?}")
+            }
+            ValidateSpecError::BadTiming { task, detail } => {
+                write!(f, "task {task:?} has invalid timing: {detail}")
+            }
+            ValidateSpecError::UnknownTask(n) => write!(f, "unknown task {n:?}"),
+            ValidateSpecError::UnknownProcessor(n) => write!(f, "unknown processor {n:?}"),
+            ValidateSpecError::SelfRelation(n) => {
+                write!(f, "task {n:?} cannot relate to itself")
+            }
+            ValidateSpecError::PeriodMismatch { from, to } => write!(
+                f,
+                "precedence between {from:?} and {to:?} requires equal periods"
+            ),
+            ValidateSpecError::PrecedenceCycle(n) => {
+                write!(f, "precedence cycle through task {n:?}")
+            }
+        }
+    }
+}
+
+impl Error for ValidateSpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ValidateSpecError::NoTasks.to_string(),
+            "specification has no tasks"
+        );
+        assert!(ValidateSpecError::BadTiming {
+            task: "t".into(),
+            detail: "c > d".into()
+        }
+        .to_string()
+        .contains("invalid timing"));
+        assert!(ValidateSpecError::PeriodMismatch {
+            from: "a".into(),
+            to: "b".into()
+        }
+        .to_string()
+        .contains("equal periods"));
+    }
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_traits<T: Send + Sync + Error>() {}
+        assert_traits::<ValidateSpecError>();
+    }
+}

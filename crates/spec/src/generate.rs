@@ -1,0 +1,261 @@
+//! Seeded synthetic workload generation for benchmarks.
+//!
+//! The paper evaluates on a single case study; the benchmark harness of
+//! this reproduction adds scalability sweeps over synthetic task sets. Task
+//! utilizations are drawn with the standard **UUniFast** algorithm (Bini &
+//! Buttazzo), periods from a harmonic-friendly pool (so hyper-periods stay
+//! small), and optional precedence/exclusion relations are sprinkled over
+//! same-period task pairs.
+
+use crate::{EzSpec, SchedulingMethod, SpecBuilder, Time};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`synthetic_spec`].
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of tasks to generate.
+    pub tasks: usize,
+    /// Target total processor utilization in `(0, 1]`.
+    pub total_utilization: f64,
+    /// Pool of candidate periods; chosen uniformly per task.
+    pub periods: Vec<Time>,
+    /// Fraction of tasks scheduled preemptively (`0.0` = all
+    /// non-preemptive, matching the mine pump).
+    pub preemptive_fraction: f64,
+    /// Probability that an ordered same-period task pair gets a precedence
+    /// edge (cycle-safe: edges always point from lower to higher index).
+    pub precedence_probability: f64,
+    /// Probability that an unordered same-period task pair gets an
+    /// exclusion edge.
+    pub exclusion_probability: f64,
+    /// Whether deadlines are implicit (`d = p`) or constrained (uniform in
+    /// `[c, p]`).
+    pub constrained_deadlines: bool,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            tasks: 5,
+            total_utilization: 0.6,
+            periods: vec![50, 100, 200, 400],
+            preemptive_fraction: 0.0,
+            precedence_probability: 0.0,
+            exclusion_probability: 0.0,
+            constrained_deadlines: false,
+        }
+    }
+}
+
+/// Draws `n` utilizations summing to `total` with the UUniFast algorithm.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `total <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let u = ezrt_spec::generate::uunifast(4, 0.8, &mut rng);
+/// assert_eq!(u.len(), 4);
+/// let sum: f64 = u.iter().sum();
+/// assert!((sum - 0.8).abs() < 1e-9);
+/// ```
+pub fn uunifast(n: usize, total: f64, rng: &mut StdRng) -> Vec<f64> {
+    assert!(n > 0, "cannot distribute utilization over zero tasks");
+    assert!(total > 0.0, "total utilization must be positive");
+    let mut utilizations = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        let next: f64 = sum * rng.gen::<f64>().powf(1.0 / (n - i) as f64);
+        utilizations.push(sum - next);
+        sum = next;
+    }
+    utilizations.push(sum);
+    utilizations
+}
+
+/// Generates a validated synthetic specification. Deterministic for a
+/// given `(config, seed)` pair.
+///
+/// Computation times are clamped to at least 1 time unit and deadlines to
+/// at least the computation time, so the result always satisfies
+/// `1 ≤ c ≤ d ≤ p`.
+///
+/// # Panics
+///
+/// Panics if `config.tasks == 0`, `config.periods` is empty, or
+/// `config.total_utilization <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_spec::generate::{synthetic_spec, WorkloadConfig};
+///
+/// let spec = synthetic_spec(&WorkloadConfig::default(), 42);
+/// assert_eq!(spec.task_count(), 5);
+/// assert!(spec.validate().is_ok());
+/// let again = synthetic_spec(&WorkloadConfig::default(), 42);
+/// assert_eq!(spec, again, "generation is deterministic per seed");
+/// ```
+pub fn synthetic_spec(config: &WorkloadConfig, seed: u64) -> EzSpec {
+    assert!(!config.periods.is_empty(), "period pool must not be empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let utilizations = uunifast(config.tasks, config.total_utilization, &mut rng);
+
+    struct Draft {
+        name: String,
+        computation: Time,
+        deadline: Time,
+        period: Time,
+        preemptive: bool,
+    }
+
+    let mut drafts = Vec::with_capacity(config.tasks);
+    for (i, u) in utilizations.iter().enumerate() {
+        let period = *config
+            .periods
+            .choose(&mut rng)
+            .expect("period pool is non-empty");
+        let computation = ((u * period as f64).round() as Time).clamp(1, period);
+        let deadline = if config.constrained_deadlines {
+            rng.gen_range(computation..=period)
+        } else {
+            period
+        };
+        let preemptive = rng.gen::<f64>() < config.preemptive_fraction;
+        drafts.push(Draft {
+            name: format!("task{i}"),
+            computation,
+            deadline,
+            period,
+            preemptive,
+        });
+    }
+
+    let mut builder = SpecBuilder::new(format!("synthetic-{seed}"));
+    for d in &drafts {
+        let (c, dl, p, preemptive) = (d.computation, d.deadline, d.period, d.preemptive);
+        builder = builder.task(&d.name, move |t| {
+            let t = t.computation(c).deadline(dl).period(p);
+            if preemptive {
+                t.preemptive()
+            } else {
+                t.method(SchedulingMethod::NonPreemptive)
+            }
+        });
+    }
+
+    // Relations between same-period pairs only (validation requires it).
+    for i in 0..drafts.len() {
+        for j in (i + 1)..drafts.len() {
+            if drafts[i].period != drafts[j].period {
+                continue;
+            }
+            if rng.gen::<f64>() < config.precedence_probability {
+                builder = builder.precedes(&drafts[i].name, &drafts[j].name);
+            } else if rng.gen::<f64>() < config.exclusion_probability {
+                builder = builder.excludes(&drafts[i].name, &drafts[j].name);
+            }
+        }
+    }
+
+    builder
+        .build()
+        .expect("generator output satisfies all validation rules by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uunifast_sums_to_total() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 5, 20] {
+            let u = uunifast(n, 0.75, &mut rng);
+            assert_eq!(u.len(), n);
+            let sum: f64 = u.iter().sum();
+            assert!((sum - 0.75).abs() < 1e-9, "n={n}: sum={sum}");
+            assert!(u.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn synthetic_specs_are_valid_across_seeds() {
+        let config = WorkloadConfig {
+            tasks: 8,
+            total_utilization: 0.9,
+            preemptive_fraction: 0.5,
+            precedence_probability: 0.3,
+            exclusion_probability: 0.3,
+            constrained_deadlines: true,
+            ..WorkloadConfig::default()
+        };
+        for seed in 0..25 {
+            let spec = synthetic_spec(&config, seed);
+            assert!(spec.validate().is_ok(), "seed {seed} produced invalid spec");
+            assert_eq!(spec.task_count(), 8);
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let config = WorkloadConfig::default();
+        assert_eq!(synthetic_spec(&config, 9), synthetic_spec(&config, 9));
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let config = WorkloadConfig::default();
+        assert_ne!(synthetic_spec(&config, 1), synthetic_spec(&config, 2));
+    }
+
+    #[test]
+    fn preemptive_fraction_zero_yields_nonpreemptive_only() {
+        let spec = synthetic_spec(&WorkloadConfig::default(), 3);
+        for (_, t) in spec.tasks() {
+            assert_eq!(t.method(), SchedulingMethod::NonPreemptive);
+        }
+    }
+
+    #[test]
+    fn preemptive_fraction_one_yields_preemptive_only() {
+        let config = WorkloadConfig {
+            preemptive_fraction: 1.0,
+            ..WorkloadConfig::default()
+        };
+        let spec = synthetic_spec(&config, 3);
+        for (_, t) in spec.tasks() {
+            assert_eq!(t.method(), SchedulingMethod::Preemptive);
+        }
+    }
+
+    #[test]
+    fn utilization_roughly_matches_target() {
+        let config = WorkloadConfig {
+            tasks: 10,
+            total_utilization: 0.5,
+            ..WorkloadConfig::default()
+        };
+        let spec = synthetic_spec(&config, 11);
+        let cpu = spec.processors().next().unwrap().0;
+        let u = spec.utilization(cpu);
+        // Rounding c to integers distorts utilization; allow slack.
+        assert!(u > 0.2 && u < 0.8, "utilization {u} too far from 0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "period pool")]
+    fn empty_period_pool_panics() {
+        let config = WorkloadConfig {
+            periods: vec![],
+            ..WorkloadConfig::default()
+        };
+        let _ = synthetic_spec(&config, 0);
+    }
+}

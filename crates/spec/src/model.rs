@@ -1,0 +1,543 @@
+//! The metamodel types of paper Fig. 5.
+
+use crate::error::ValidateSpecError;
+use crate::hyperperiod;
+use crate::Time;
+use std::fmt;
+
+/// Index of a task within an [`EzSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub(crate) u32);
+
+/// Index of a processor within an [`EzSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessorId(pub(crate) u32);
+
+/// Index of a message within an [`EzSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MessageId(pub(crate) u32);
+
+macro_rules! impl_spec_id {
+    ($ty:ident, $prefix:literal) => {
+        impl $ty {
+            /// The dense index of this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense index (caller keeps it in range).
+            pub fn from_index(index: usize) -> Self {
+                $ty(index as u32)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+impl_spec_id!(TaskId, "task");
+impl_spec_id!(ProcessorId, "proc");
+impl_spec_id!(MessageId, "msg");
+
+/// The scheduling method of a task (the metamodel's `SchedulingType`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulingMethod {
+    /// The task owns the processor for its whole computation time; the
+    /// paper's Fig. 2(a) block.
+    #[default]
+    NonPreemptive,
+    /// The task is implicitly split into one-time-unit subtasks and may be
+    /// preempted between any two of them; the paper's Fig. 2(b) block.
+    Preemptive,
+}
+
+impl fmt::Display for SchedulingMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulingMethod::NonPreemptive => write!(f, "NP"),
+            SchedulingMethod::Preemptive => write!(f, "P"),
+        }
+    }
+}
+
+/// The timing constraints `(ph_i, r_i, c_i, d_i, p_i)` of a periodic task
+/// (paper §3.2).
+///
+/// `phase` delays the very first request after system start; `release`,
+/// `computation` (WCET) and `deadline` are relative to the start of each
+/// period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimingConstraints {
+    /// Phase offset `ph_i` of the first activation.
+    pub phase: Time,
+    /// Earliest start `r_i` within the period.
+    pub release: Time,
+    /// Worst-case execution time `c_i`.
+    pub computation: Time,
+    /// Relative deadline `d_i`.
+    pub deadline: Time,
+    /// Period `p_i`.
+    pub period: Time,
+}
+
+impl TimingConstraints {
+    /// Shorthand for the common case `ph = r = 0`, used by Table 1 of the
+    /// paper.
+    pub fn cdp(computation: Time, deadline: Time, period: Time) -> Self {
+        TimingConstraints {
+            phase: 0,
+            release: 0,
+            computation,
+            deadline,
+            period,
+        }
+    }
+
+    /// The latest start time `d_i − c_i` within the period — the upper
+    /// bound of the release transition `t_r` in the task-structure blocks.
+    pub fn latest_start(&self) -> Time {
+        self.deadline.saturating_sub(self.computation)
+    }
+
+    /// Processor utilization `c_i / p_i` contributed by this task.
+    pub fn utilization(&self) -> f64 {
+        self.computation as f64 / self.period as f64
+    }
+}
+
+impl fmt::Display for TimingConstraints {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(ph={}, r={}, c={}, d={}, p={})",
+            self.phase, self.release, self.computation, self.deadline, self.period
+        )
+    }
+}
+
+/// A behavioural source-code attachment (the metamodel's `SourceCodeC`):
+/// the body of the C function that implements the task.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SourceCode {
+    content: String,
+}
+
+impl SourceCode {
+    /// Wraps raw C source text.
+    pub fn new(content: impl Into<String>) -> Self {
+        SourceCode {
+            content: content.into(),
+        }
+    }
+
+    /// The raw C source text.
+    pub fn content(&self) -> &str {
+        &self.content
+    }
+}
+
+/// A periodic hard real-time task (the metamodel's `TaskC`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    pub(crate) name: String,
+    pub(crate) timing: TimingConstraints,
+    pub(crate) method: SchedulingMethod,
+    pub(crate) processor: ProcessorId,
+    pub(crate) energy: u64,
+    pub(crate) code: Option<SourceCode>,
+}
+
+impl Task {
+    /// The task's unique name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The timing constraints `(ph, r, c, d, p)`.
+    pub fn timing(&self) -> TimingConstraints {
+        self.timing
+    }
+
+    /// The scheduling method (preemptive / non-preemptive).
+    pub fn method(&self) -> SchedulingMethod {
+        self.method
+    }
+
+    /// The processor this task is bound to.
+    pub fn processor(&self) -> ProcessorId {
+        self.processor
+    }
+
+    /// The per-activation energy budget (the metamodel's `energy`, printed
+    /// as `<power>` by the DSL of Fig. 7). Unused by the scheduler; carried
+    /// for the energy-accounting extension in `ezrt-sim`.
+    pub fn energy(&self) -> u64 {
+        self.energy
+    }
+
+    /// The behavioural C code, if attached.
+    pub fn code(&self) -> Option<&SourceCode> {
+        self.code.as_ref()
+    }
+}
+
+/// A processing element (the metamodel's `ProcessorC`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Processor {
+    pub(crate) name: String,
+}
+
+impl Processor {
+    /// The processor's unique name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// An inter-task message over a named bus (the metamodel's `MessageC`).
+///
+/// A message imposes a data dependency: each instance of the receiver may
+/// only start after the corresponding instance of the sender finished *and*
+/// the message spent `communication` time units on the bus (after waiting
+/// `grant_bus` for arbitration). On a mono-processor configuration with a
+/// zero-cost bus this degenerates to a plain precedence relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    pub(crate) name: String,
+    pub(crate) bus: String,
+    pub(crate) sender: TaskId,
+    pub(crate) receiver: TaskId,
+    pub(crate) grant_bus: Time,
+    pub(crate) communication: Time,
+}
+
+impl Message {
+    /// The message's unique name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The bus the message travels on.
+    pub fn bus(&self) -> &str {
+        &self.bus
+    }
+
+    /// The producing task.
+    pub fn sender(&self) -> TaskId {
+        self.sender
+    }
+
+    /// The consuming task.
+    pub fn receiver(&self) -> TaskId {
+        self.receiver
+    }
+
+    /// Worst-case bus arbitration delay (the metamodel's `grantBus`).
+    pub fn grant_bus(&self) -> Time {
+        self.grant_bus
+    }
+
+    /// Worst-case transfer time (the metamodel's `communication`).
+    pub fn communication(&self) -> Time {
+        self.communication
+    }
+}
+
+/// A complete ezRealtime specification (the metamodel's `EzRTSpecC`).
+///
+/// Construct through [`SpecBuilder`](crate::SpecBuilder); instances are
+/// immutable and pre-validated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EzSpec {
+    pub(crate) name: String,
+    pub(crate) dispatcher_overhead: bool,
+    pub(crate) tasks: Vec<Task>,
+    pub(crate) processors: Vec<Processor>,
+    pub(crate) messages: Vec<Message>,
+    /// `(predecessor, successor)` pairs.
+    pub(crate) precedences: Vec<(TaskId, TaskId)>,
+    /// Normalized `(min, max)` pairs; the relation is symmetric.
+    pub(crate) exclusions: Vec<(TaskId, TaskId)>,
+}
+
+impl EzSpec {
+    /// The specification name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether generated code should model dispatcher overhead (the
+    /// metamodel's `dispOveh` flag).
+    pub fn dispatcher_overhead(&self) -> bool {
+        self.dispatcher_overhead
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Iterates over `(id, task)` pairs.
+    pub fn tasks(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TaskId::from_index(i), t))
+    }
+
+    /// Accesses a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// Looks up a task by name.
+    pub fn task_by_name(&self, name: &str) -> Option<&Task> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// Looks up a task id by name.
+    pub fn task_id(&self, name: &str) -> Option<TaskId> {
+        self.tasks
+            .iter()
+            .position(|t| t.name == name)
+            .map(TaskId::from_index)
+    }
+
+    /// Iterates over `(id, processor)` pairs.
+    pub fn processors(&self) -> impl Iterator<Item = (ProcessorId, &Processor)> {
+        self.processors
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ProcessorId::from_index(i), p))
+    }
+
+    /// Accesses a processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn processor(&self, id: ProcessorId) -> &Processor {
+        &self.processors[id.index()]
+    }
+
+    /// Looks up a processor id by name.
+    pub fn processor_id(&self, name: &str) -> Option<ProcessorId> {
+        self.processors
+            .iter()
+            .position(|p| p.name == name)
+            .map(ProcessorId::from_index)
+    }
+
+    /// Iterates over `(id, message)` pairs.
+    pub fn messages(&self) -> impl Iterator<Item = (MessageId, &Message)> {
+        self.messages
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MessageId::from_index(i), m))
+    }
+
+    /// The `PRECEDES` pairs `(predecessor, successor)`.
+    pub fn precedences(&self) -> &[(TaskId, TaskId)] {
+        &self.precedences
+    }
+
+    /// The `EXCLUDES` pairs, normalized so the smaller id comes first.
+    pub fn exclusions(&self) -> &[(TaskId, TaskId)] {
+        &self.exclusions
+    }
+
+    /// Whether `a` and `b` mutually exclude each other (symmetric query).
+    pub fn excludes(&self, a: TaskId, b: TaskId) -> bool {
+        let key = (a.min(b), a.max(b));
+        self.exclusions.contains(&key)
+    }
+
+    /// The schedule period `P_S`: the least common multiple of all task
+    /// periods (paper §3.3.1).
+    pub fn hyperperiod(&self) -> Time {
+        hyperperiod::lcm_all(self.tasks.iter().map(|t| t.timing.period))
+    }
+
+    /// Number of instances `N(t_i) = P_S / p_i` of a task within the
+    /// schedule period.
+    pub fn instances_of(&self, id: TaskId) -> u64 {
+        self.hyperperiod() / self.task(id).timing.period
+    }
+
+    /// Total task instances within the schedule period — 782 for the
+    /// paper's mine pump.
+    pub fn total_instances(&self) -> u64 {
+        let hp = self.hyperperiod();
+        self.tasks.iter().map(|t| hp / t.timing.period).sum()
+    }
+
+    /// Aggregate processor utilization `Σ c_i/p_i` of the tasks bound to
+    /// `processor`. A value above 1.0 proves infeasibility.
+    pub fn utilization(&self, processor: ProcessorId) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.processor == processor)
+            .map(|t| t.timing.utilization())
+            .sum()
+    }
+
+    /// Direct predecessors of `task` in the precedence relation.
+    pub fn predecessors(&self, task: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.precedences
+            .iter()
+            .filter(move |&&(_, s)| s == task)
+            .map(|&(p, _)| p)
+    }
+
+    /// Direct successors of `task` in the precedence relation.
+    pub fn successors(&self, task: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.precedences
+            .iter()
+            .filter(move |&&(p, _)| p == task)
+            .map(|&(_, s)| s)
+    }
+
+    /// Exclusion partners of `task`.
+    pub fn exclusion_partners(&self, task: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.exclusions.iter().filter_map(move |&(a, b)| {
+            if a == task {
+                Some(b)
+            } else if b == task {
+                Some(a)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Re-runs the full validation suite; builder-produced specifications
+    /// always pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateSpecError`] violated, checking: task
+    /// presence, name uniqueness, `1 ≤ c ≤ d ≤ p`, `r + c ≤ d`, processor
+    /// references, relation well-formedness (no self-relations, equal
+    /// periods on precedence/message pairs, acyclic precedence graph) and
+    /// message task references.
+    pub fn validate(&self) -> Result<(), ValidateSpecError> {
+        crate::builder::validate(self)
+    }
+}
+
+impl fmt::Display for EzSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "spec {:?}: {} task(s), {} processor(s), hyperperiod {}",
+            self.name,
+            self.tasks.len(),
+            self.processors.len(),
+            self.hyperperiod()
+        )?;
+        for t in &self.tasks {
+            writeln!(
+                f,
+                "  {} {} {} on {}",
+                t.name,
+                t.timing,
+                t.method,
+                self.processors[t.processor.index()].name
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpecBuilder;
+
+    fn two_task_spec() -> EzSpec {
+        SpecBuilder::new("two")
+            .task("a", |t| t.computation(1).deadline(4).period(10))
+            .task("b", |t| t.computation(2).deadline(5).period(5))
+            .excludes("a", "b")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn id_displays() {
+        assert_eq!(TaskId::from_index(1).to_string(), "task1");
+        assert_eq!(ProcessorId::from_index(0).to_string(), "proc0");
+        assert_eq!(MessageId::from_index(2).to_string(), "msg2");
+    }
+
+    #[test]
+    fn timing_helpers() {
+        let t = TimingConstraints::cdp(10, 20, 80);
+        assert_eq!(t.latest_start(), 10);
+        assert!((t.utilization() - 0.125).abs() < 1e-12);
+        assert_eq!(t.to_string(), "(ph=0, r=0, c=10, d=20, p=80)");
+    }
+
+    #[test]
+    fn hyperperiod_and_instances() {
+        let spec = two_task_spec();
+        assert_eq!(spec.hyperperiod(), 10);
+        assert_eq!(spec.instances_of(spec.task_id("a").unwrap()), 1);
+        assert_eq!(spec.instances_of(spec.task_id("b").unwrap()), 2);
+        assert_eq!(spec.total_instances(), 3);
+    }
+
+    #[test]
+    fn exclusion_is_symmetric() {
+        let spec = two_task_spec();
+        let a = spec.task_id("a").unwrap();
+        let b = spec.task_id("b").unwrap();
+        assert!(spec.excludes(a, b));
+        assert!(spec.excludes(b, a));
+        assert_eq!(spec.exclusion_partners(a).collect::<Vec<_>>(), vec![b]);
+    }
+
+    #[test]
+    fn utilization_sums_over_processor() {
+        let spec = two_task_spec();
+        let cpu = spec.processor_id("cpu0").unwrap();
+        assert!((spec.utilization(cpu) - (0.1 + 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precedence_queries() {
+        let spec = SpecBuilder::new("chain")
+            .task("x", |t| t.computation(1).deadline(5).period(10))
+            .task("y", |t| t.computation(1).deadline(10).period(10))
+            .precedes("x", "y")
+            .build()
+            .unwrap();
+        let x = spec.task_id("x").unwrap();
+        let y = spec.task_id("y").unwrap();
+        assert_eq!(spec.successors(x).collect::<Vec<_>>(), vec![y]);
+        assert_eq!(spec.predecessors(y).collect::<Vec<_>>(), vec![x]);
+        assert_eq!(spec.predecessors(x).count(), 0);
+    }
+
+    #[test]
+    fn display_summarizes_tasks() {
+        let text = two_task_spec().to_string();
+        assert!(text.contains("2 task(s)"));
+        assert!(text.contains("hyperperiod 10"));
+        assert!(text.contains("NP"));
+    }
+
+    #[test]
+    fn scheduling_method_display() {
+        assert_eq!(SchedulingMethod::NonPreemptive.to_string(), "NP");
+        assert_eq!(SchedulingMethod::Preemptive.to_string(), "P");
+    }
+}

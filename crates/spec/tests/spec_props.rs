@@ -1,0 +1,97 @@
+//! Property tests for the specification metamodel.
+
+use ezrt_spec::generate::{synthetic_spec, uunifast, WorkloadConfig};
+use ezrt_spec::hyperperiod::{gcd, lcm, lcm_all};
+use ezrt_spec::{SpecBuilder, TimingConstraints};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn gcd_divides_both(a in 1u64..10_000, b in 1u64..10_000) {
+        let g = gcd(a, b);
+        prop_assert!(g > 0);
+        prop_assert_eq!(a % g, 0);
+        prop_assert_eq!(b % g, 0);
+    }
+
+    #[test]
+    fn lcm_is_common_multiple(a in 1u64..1_000, b in 1u64..1_000) {
+        let l = lcm(a, b);
+        prop_assert_eq!(l % a, 0);
+        prop_assert_eq!(l % b, 0);
+        prop_assert!(l <= a * b);
+    }
+
+    #[test]
+    fn lcm_all_divisible_by_each(periods in prop::collection::vec(1u64..500, 1..6)) {
+        let l = lcm_all(periods.iter().copied());
+        for p in periods {
+            prop_assert_eq!(l % p, 0);
+        }
+    }
+
+    #[test]
+    fn uunifast_total_and_bounds(n in 1usize..30, total in 0.05f64..1.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = uunifast(n, total, &mut rng);
+        prop_assert_eq!(u.len(), n);
+        let sum: f64 = u.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-9);
+        prop_assert!(u.iter().all(|&x| (-1e-12..=total + 1e-12).contains(&x)));
+    }
+
+    /// Any spec produced by the generator validates, and its instance
+    /// accounting is internally consistent.
+    #[test]
+    fn generated_specs_are_consistent(
+        tasks in 1usize..10,
+        util in 0.1f64..0.95,
+        seed in any::<u64>(),
+        prec in 0.0f64..0.5,
+        excl in 0.0f64..0.5,
+        constrained in any::<bool>(),
+    ) {
+        let config = WorkloadConfig {
+            tasks,
+            total_utilization: util,
+            precedence_probability: prec,
+            exclusion_probability: excl,
+            constrained_deadlines: constrained,
+            ..WorkloadConfig::default()
+        };
+        let spec = synthetic_spec(&config, seed);
+        prop_assert!(spec.validate().is_ok());
+
+        let hp = spec.hyperperiod();
+        let mut total = 0;
+        for (id, task) in spec.tasks() {
+            let timing = task.timing();
+            prop_assert!(timing.computation >= 1);
+            prop_assert!(timing.computation <= timing.deadline);
+            prop_assert!(timing.deadline <= timing.period);
+            prop_assert_eq!(hp % timing.period, 0);
+            total += spec.instances_of(id);
+        }
+        prop_assert_eq!(total, spec.total_instances());
+    }
+
+    /// Validation rejects any timing triple violating c <= d <= p.
+    #[test]
+    fn validation_enforces_timing_chain(c in 0u64..50, d in 0u64..50, p in 1u64..50) {
+        let result = SpecBuilder::new("chain")
+            .task("t", move |t| t.computation(c).deadline(d).period(p))
+            .build();
+        let valid = c >= 1 && c <= d && d <= p;
+        prop_assert_eq!(result.is_ok(), valid);
+    }
+
+    /// latest_start is consistent with the timing chain.
+    #[test]
+    fn latest_start_bounds(c in 1u64..100, slack in 0u64..100, pslack in 0u64..100) {
+        let t = TimingConstraints::cdp(c, c + slack, c + slack + pslack);
+        prop_assert_eq!(t.latest_start(), slack);
+        prop_assert!(t.latest_start() + c <= t.deadline);
+    }
+}

@@ -1,0 +1,243 @@
+//! Structural analysis of time Petri nets.
+//!
+//! These checks operate on the net graph only (no state-space exploration)
+//! and are used both as sanity checks on composed nets and as building
+//! blocks for the schedule-synthesis diagnostics: a net whose structure is
+//! already broken (dead transitions, leaking invariants) can never yield a
+//! feasible schedule.
+
+use crate::{PlaceId, TimePetriNet, TransitionId};
+
+/// A pair of transitions in *structural conflict*: they share at least one
+/// input place, so firing one may disable the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conflict {
+    /// First transition of the pair (lower id).
+    pub first: TransitionId,
+    /// Second transition of the pair (higher id).
+    pub second: TransitionId,
+    /// A witness shared input place.
+    pub place: PlaceId,
+}
+
+/// Finds all structural conflict pairs.
+///
+/// In the ezRealtime translation the only intended conflicts are (a) tasks
+/// competing for a processor or exclusion lock and (b) the deadline-miss
+/// race `t_pc` vs `t_d`; anything else indicates a malformed composition.
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_tpn::{TpnBuilder, TimeInterval, analysis};
+///
+/// # fn main() -> Result<(), ezrt_tpn::BuildNetError> {
+/// let mut b = TpnBuilder::new("c");
+/// let p = b.place_with_tokens("p", 1);
+/// let t0 = b.transition("t0", TimeInterval::immediate());
+/// let t1 = b.transition("t1", TimeInterval::immediate());
+/// b.arc_place_to_transition(p, t0, 1);
+/// b.arc_place_to_transition(p, t1, 1);
+/// let net = b.build()?;
+/// assert_eq!(analysis::structural_conflicts(&net).len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn structural_conflicts(net: &TimePetriNet) -> Vec<Conflict> {
+    let mut conflicts = Vec::new();
+    for (p, _) in net.places() {
+        let consumers = net.consumers(p);
+        for (i, &a) in consumers.iter().enumerate() {
+            for &b in &consumers[i + 1..] {
+                conflicts.push(Conflict {
+                    first: a.min(b),
+                    second: a.max(b),
+                    place: p,
+                });
+            }
+        }
+    }
+    conflicts
+}
+
+/// Transitions with an empty pre-set. A source transition is enabled in
+/// *every* marking and usually indicates a modelling mistake in the
+/// ezRealtime context (all block transitions consume something).
+pub fn source_transitions(net: &TimePetriNet) -> Vec<TransitionId> {
+    net.transitions()
+        .filter(|&(t, _)| net.pre_set(t).is_empty())
+        .map(|(t, _)| t)
+        .collect()
+}
+
+/// Transitions with an empty post-set (token sinks).
+pub fn sink_transitions(net: &TimePetriNet) -> Vec<TransitionId> {
+    net.transitions()
+        .filter(|&(t, _)| net.post_set(t).is_empty())
+        .map(|(t, _)| t)
+        .collect()
+}
+
+/// Places that no transition consumes from or produces into.
+pub fn isolated_places(net: &TimePetriNet) -> Vec<PlaceId> {
+    net.places()
+        .filter(|&(p, _)| net.consumers(p).is_empty() && net.producers(p).is_empty())
+        .map(|(p, _)| p)
+        .collect()
+}
+
+/// Conservatively detects *structurally dead* transitions: transitions with
+/// an input place that (a) is under-marked initially and (b) has no
+/// producer, so the place can never accumulate the required tokens.
+///
+/// This is a sound under-approximation — a transition it reports can truly
+/// never fire; transitions it does not report may still be dead for
+/// behavioural reasons.
+pub fn structurally_dead_transitions(net: &TimePetriNet) -> Vec<TransitionId> {
+    net.transitions()
+        .filter(|&(t, _)| {
+            net.pre_set(t).iter().any(|&(p, w)| {
+                net.initial_marking().tokens(p) < w && net.producers(p).is_empty()
+            })
+        })
+        .map(|(t, _)| t)
+        .collect()
+}
+
+/// Checks whether the weighted token sum over `component` is preserved by
+/// every transition of the net — a *place invariant* in Petri-net terms.
+///
+/// The ezRealtime processor block yields such an invariant: the processor
+/// place plus all "running" places always hold exactly one token, which is
+/// how the model guarantees mutually exclusive processor use.
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_tpn::{TpnBuilder, TimeInterval, analysis};
+///
+/// # fn main() -> Result<(), ezrt_tpn::BuildNetError> {
+/// let mut b = TpnBuilder::new("inv");
+/// let proc_ = b.place_with_tokens("proc", 1);
+/// let run = b.place("run");
+/// let grab = b.transition("grab", TimeInterval::immediate());
+/// let free = b.transition("free", TimeInterval::exact(3));
+/// b.arc_place_to_transition(proc_, grab, 1);
+/// b.arc_transition_to_place(grab, run, 1);
+/// b.arc_place_to_transition(run, free, 1);
+/// b.arc_transition_to_place(free, proc_, 1);
+/// let net = b.build()?;
+/// assert!(analysis::is_place_invariant(&net, &[(proc_, 1), (run, 1)]));
+/// # Ok(())
+/// # }
+/// ```
+pub fn is_place_invariant(net: &TimePetriNet, component: &[(PlaceId, i64)]) -> bool {
+    let weight_of = |p: PlaceId| -> i64 {
+        component
+            .iter()
+            .find(|(q, _)| *q == p)
+            .map(|&(_, w)| w)
+            .unwrap_or(0)
+    };
+    net.transitions().all(|(t, _)| {
+        let consumed: i64 = net
+            .pre_set(t)
+            .iter()
+            .map(|&(p, w)| weight_of(p) * i64::from(w))
+            .sum();
+        let produced: i64 = net
+            .post_set(t)
+            .iter()
+            .map(|&(p, w)| weight_of(p) * i64::from(w))
+            .sum();
+        consumed == produced
+    })
+}
+
+/// The weighted token count of `component` under the initial marking —
+/// combined with [`is_place_invariant`] this gives the constant value the
+/// invariant maintains.
+pub fn invariant_value(net: &TimePetriNet, component: &[(PlaceId, i64)]) -> i64 {
+    component
+        .iter()
+        .map(|&(p, w)| w * i64::from(net.initial_marking().tokens(p)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TimeInterval, TpnBuilder};
+
+    fn cycle_net() -> TimePetriNet {
+        let mut b = TpnBuilder::new("cycle");
+        let a = b.place_with_tokens("a", 1);
+        let c = b.place("c");
+        let t0 = b.transition("t0", TimeInterval::immediate());
+        let t1 = b.transition("t1", TimeInterval::exact(2));
+        b.arc_place_to_transition(a, t0, 1);
+        b.arc_transition_to_place(t0, c, 1);
+        b.arc_place_to_transition(c, t1, 1);
+        b.arc_transition_to_place(t1, a, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cycle_net_is_conflict_free_and_invariant() {
+        let net = cycle_net();
+        assert!(structural_conflicts(&net).is_empty());
+        let a = net.place_id("a").unwrap();
+        let c = net.place_id("c").unwrap();
+        assert!(is_place_invariant(&net, &[(a, 1), (c, 1)]));
+        assert_eq!(invariant_value(&net, &[(a, 1), (c, 1)]), 1);
+        // An incomplete component is not invariant.
+        assert!(!is_place_invariant(&net, &[(a, 1)]));
+    }
+
+    #[test]
+    fn detects_sources_sinks_and_isolated_places() {
+        let mut b = TpnBuilder::new("odd");
+        let _iso = b.place_with_tokens("iso", 2);
+        let p = b.place("p");
+        let src = b.transition("src", TimeInterval::exact(1));
+        let snk = b.transition("snk", TimeInterval::immediate());
+        b.arc_transition_to_place(src, p, 1);
+        b.arc_place_to_transition(p, snk, 1);
+        let net = b.build().unwrap();
+        assert_eq!(source_transitions(&net), vec![src]);
+        assert_eq!(sink_transitions(&net), vec![snk]);
+        assert_eq!(isolated_places(&net).len(), 1);
+    }
+
+    #[test]
+    fn detects_structurally_dead_transitions() {
+        let mut b = TpnBuilder::new("dead");
+        let starved = b.place("starved"); // empty, no producers
+        let t = b.transition("t", TimeInterval::immediate());
+        b.arc_place_to_transition(starved, t, 1);
+        let net = b.build().unwrap();
+        assert_eq!(structurally_dead_transitions(&net), vec![t]);
+    }
+
+    #[test]
+    fn live_transition_is_not_reported_dead() {
+        let net = cycle_net();
+        assert!(structurally_dead_transitions(&net).is_empty());
+    }
+
+    #[test]
+    fn conflict_reports_witness_place() {
+        let mut b = TpnBuilder::new("w");
+        let p = b.place_with_tokens("shared", 1);
+        let t0 = b.transition("t0", TimeInterval::immediate());
+        let t1 = b.transition("t1", TimeInterval::immediate());
+        b.arc_place_to_transition(p, t0, 1);
+        b.arc_place_to_transition(p, t1, 1);
+        let net = b.build().unwrap();
+        let conflicts = structural_conflicts(&net);
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].place, p);
+        assert_eq!(conflicts[0].first, t0);
+        assert_eq!(conflicts[0].second, t1);
+    }
+}

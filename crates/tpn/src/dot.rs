@@ -1,0 +1,173 @@
+//! Graphviz (DOT) export of time Petri nets.
+//!
+//! The output mirrors the visual conventions of the paper's figures:
+//! places are circles annotated with their initial tokens, transitions are
+//! black bars labelled with name, firing interval, non-default priority,
+//! and arc weights greater than one are printed on the edges.
+
+use crate::net::DEFAULT_PRIORITY;
+use crate::{Marking, TimePetriNet};
+use std::fmt::Write as _;
+
+/// Renders the net as a DOT digraph.
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_tpn::{TpnBuilder, TimeInterval, dot};
+///
+/// # fn main() -> Result<(), ezrt_tpn::BuildNetError> {
+/// let mut b = TpnBuilder::new("demo");
+/// let p = b.place_with_tokens("start", 1);
+/// let t = b.transition("go", TimeInterval::exact(3));
+/// b.arc_place_to_transition(p, t, 1);
+/// let net = b.build()?;
+/// let text = dot::to_dot(&net);
+/// assert!(text.starts_with("digraph"));
+/// assert!(text.contains("go"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(net: &TimePetriNet) -> String {
+    to_dot_with_marking(net, net.initial_marking())
+}
+
+/// Renders the net as a DOT digraph showing the token counts of `marking`
+/// instead of the initial marking — handy for visualizing a search state.
+///
+/// # Panics
+///
+/// Panics if `marking` ranges over a different number of places than the
+/// net has.
+pub fn to_dot_with_marking(net: &TimePetriNet, marking: &Marking) -> String {
+    assert_eq!(
+        marking.place_count(),
+        net.place_count(),
+        "marking must range over the net's places"
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(net.name()));
+    out.push_str("  rankdir=LR;\n");
+    out.push_str("  node [fontsize=10];\n");
+
+    for (id, place) in net.places() {
+        let tokens = marking.tokens(id);
+        let label = if tokens == 0 {
+            sanitize(place.name())
+        } else {
+            format!("{}\\n●{}", sanitize(place.name()), tokens)
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=circle, label=\"{}\"];",
+            sanitize(place.name()),
+            label
+        );
+    }
+    for (id, transition) in net.transitions() {
+        let mut label = format!(
+            "{}\\n{}",
+            sanitize(transition.name()),
+            transition.interval()
+        );
+        if transition.priority() != DEFAULT_PRIORITY {
+            let _ = write!(label, "\\nπ={}", transition.priority());
+        }
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=box, style=filled, fillcolor=black, fontcolor=white, label=\"{}\"];",
+            sanitize(transition.name()),
+            label
+        );
+        for &(p, w) in net.pre_set(id) {
+            let _ = write!(
+                out,
+                "  \"{}\" -> \"{}\"",
+                sanitize(net.place(p).name()),
+                sanitize(transition.name())
+            );
+            write_weight(&mut out, w);
+        }
+        for &(p, w) in net.post_set(id) {
+            let _ = write!(
+                out,
+                "  \"{}\" -> \"{}\"",
+                sanitize(transition.name()),
+                sanitize(net.place(p).name())
+            );
+            write_weight(&mut out, w);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn write_weight(out: &mut String, weight: u32) {
+    if weight > 1 {
+        let _ = writeln!(out, " [label=\"{weight}\"];");
+    } else {
+        out.push_str(";\n");
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.replace('"', "'").replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TimeInterval, TpnBuilder};
+
+    fn net() -> TimePetriNet {
+        let mut b = TpnBuilder::new("dot-test");
+        let p = b.place_with_tokens("wait", 2);
+        let q = b.place("done");
+        let t = b.transition_full("work", TimeInterval::new(1, 4).unwrap(), 3, None);
+        b.arc_place_to_transition(p, t, 2);
+        b.arc_transition_to_place(t, q, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_arcs() {
+        let text = to_dot(&net());
+        assert!(text.contains("\"wait\""));
+        assert!(text.contains("\"done\""));
+        assert!(text.contains("\"work\""));
+        assert!(text.contains("\"wait\" -> \"work\" [label=\"2\"]"));
+        assert!(text.contains("\"work\" -> \"done\";"));
+    }
+
+    #[test]
+    fn dot_shows_tokens_interval_and_priority() {
+        let text = to_dot(&net());
+        assert!(text.contains("●2"), "initial tokens rendered");
+        assert!(text.contains("[1, 4]"), "interval rendered");
+        assert!(text.contains("π=3"), "non-default priority rendered");
+    }
+
+    #[test]
+    fn custom_marking_changes_token_annotations() {
+        let net = net();
+        let mut m = net.initial_marking().clone();
+        m.set(net.place_id("wait").unwrap(), 0);
+        m.set(net.place_id("done").unwrap(), 1);
+        let text = to_dot_with_marking(&net, &m);
+        assert!(text.contains("done\\n●1"));
+        assert!(!text.contains("wait\\n●"));
+    }
+
+    #[test]
+    #[should_panic(expected = "marking must range over")]
+    fn mismatched_marking_panics() {
+        let net = net();
+        let m = Marking::empty(1);
+        let _ = to_dot_with_marking(&net, &m);
+    }
+
+    #[test]
+    fn quotes_are_sanitized() {
+        assert_eq!(sanitize("a\"b\\c"), "a'b/c");
+    }
+}

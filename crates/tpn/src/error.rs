@@ -1,0 +1,147 @@
+//! Error types for net construction and firing.
+
+use crate::{PlaceId, Time, TransitionId};
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while constructing a [`TimePetriNet`](crate::TimePetriNet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildNetError {
+    /// A firing interval with `EFT > LFT` was supplied.
+    EmptyInterval {
+        /// The offending earliest firing time.
+        eft: Time,
+        /// The offending latest firing time.
+        lft: Time,
+    },
+    /// An arc referenced a place id not belonging to the net under
+    /// construction.
+    UnknownPlace(PlaceId),
+    /// An arc referenced a transition id not belonging to the net under
+    /// construction.
+    UnknownTransition(TransitionId),
+    /// An arc was declared with weight zero, which ISO 15909 forbids.
+    ZeroWeightArc {
+        /// The place side of the offending arc.
+        place: PlaceId,
+        /// The transition side of the offending arc.
+        transition: TransitionId,
+    },
+    /// Two places were given the same name, which would make PNML output
+    /// ambiguous.
+    DuplicatePlaceName(String),
+    /// Two transitions were given the same name.
+    DuplicateTransitionName(String),
+    /// The net has no transitions, so no TLTS can be derived from it.
+    NoTransitions,
+}
+
+impl fmt::Display for BuildNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildNetError::EmptyInterval { eft, lft } => {
+                write!(f, "empty firing interval [{eft}, {lft}]")
+            }
+            BuildNetError::UnknownPlace(p) => write!(f, "unknown place {p}"),
+            BuildNetError::UnknownTransition(t) => write!(f, "unknown transition {t}"),
+            BuildNetError::ZeroWeightArc { place, transition } => {
+                write!(f, "zero-weight arc between {place} and {transition}")
+            }
+            BuildNetError::DuplicatePlaceName(n) => write!(f, "duplicate place name {n:?}"),
+            BuildNetError::DuplicateTransitionName(n) => {
+                write!(f, "duplicate transition name {n:?}")
+            }
+            BuildNetError::NoTransitions => write!(f, "net has no transitions"),
+        }
+    }
+}
+
+impl Error for BuildNetError {}
+
+/// An error raised by [`TimePetriNet::fire`](crate::TimePetriNet::fire) when
+/// the requested firing is not allowed in the given state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FireError {
+    /// The transition is not enabled: some input place lacks tokens.
+    NotEnabled(TransitionId),
+    /// The transition is enabled but not fireable: its priority or dynamic
+    /// bounds exclude it from `FT(s)`.
+    NotFireable(TransitionId),
+    /// The firing delay lies outside the firing domain `FD_s(t)`.
+    DelayOutOfDomain {
+        /// The transition whose domain was violated.
+        transition: TransitionId,
+        /// The requested delay.
+        delay: Time,
+        /// The domain's lower bound `DLB(t)`.
+        lower: Time,
+        /// The domain's upper bound `min_k DUB(t_k)` (finite in any state
+        /// with at least one urgent transition).
+        upper: crate::TimeBound,
+    },
+}
+
+impl fmt::Display for FireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FireError::NotEnabled(t) => write!(f, "transition {t} is not enabled"),
+            FireError::NotFireable(t) => write!(f, "transition {t} is not fireable"),
+            FireError::DelayOutOfDomain {
+                transition,
+                delay,
+                lower,
+                upper,
+            } => write!(
+                f,
+                "delay {delay} outside firing domain [{lower}, {upper}] of {transition}"
+            ),
+        }
+    }
+}
+
+impl Error for FireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TimeBound;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(String, &str)> = vec![
+            (
+                BuildNetError::EmptyInterval { eft: 5, lft: 2 }.to_string(),
+                "empty firing interval",
+            ),
+            (
+                BuildNetError::UnknownPlace(PlaceId::from_index(3)).to_string(),
+                "unknown place p3",
+            ),
+            (
+                FireError::NotEnabled(TransitionId::from_index(1)).to_string(),
+                "not enabled",
+            ),
+            (
+                FireError::DelayOutOfDomain {
+                    transition: TransitionId::from_index(0),
+                    delay: 9,
+                    lower: 1,
+                    upper: TimeBound::Finite(3),
+                }
+                .to_string(),
+                "outside firing domain [1, 3]",
+            ),
+        ];
+        for (msg, needle) in cases {
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync_error() {
+        fn assert_traits<T: Send + Sync + Error>() {}
+        assert_traits::<BuildNetError>();
+        assert_traits::<FireError>();
+    }
+}

@@ -1,0 +1,329 @@
+//! Place-invariant computation (the Farkas algorithm).
+//!
+//! A *place invariant* (P-semiflow) is a non-negative weight vector
+//! `y ∈ ℕ^{|P|}` with `yᵀ · C = 0` for the incidence matrix `C`: the
+//! weighted token sum `yᵀ · m` is constant across all reachable
+//! markings. Invariants are the structural backbone of the ezRealtime
+//! translation's correctness argument — every processor, exclusion lock
+//! and bus place generates one, which is how the model guarantees
+//! mutually exclusive resource use without exploring any state.
+//!
+//! [`place_invariants`] computes a generating set of minimal-support
+//! non-negative invariants with the classic Farkas/Fourier–Motzkin
+//! elimination, bounded by a configurable row budget (the algorithm is
+//! worst-case exponential; translated ezRealtime nets stay tiny).
+
+use crate::{PlaceId, TimePetriNet};
+
+/// A non-negative place invariant: weights per place (sparse view via
+/// [`InvariantVector::support`]) whose weighted token sum is constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantVector {
+    weights: Vec<u64>,
+}
+
+impl InvariantVector {
+    /// The weight of `place` in this invariant.
+    pub fn weight(&self, place: PlaceId) -> u64 {
+        self.weights[place.index()]
+    }
+
+    /// The full weight vector, indexed by place.
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// The places with nonzero weight, with their weights.
+    pub fn support(&self) -> impl Iterator<Item = (PlaceId, u64)> + '_ {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > 0)
+            .map(|(i, &w)| (PlaceId::from_index(i), w))
+    }
+
+    /// The constant value `yᵀ · m0` this invariant maintains.
+    pub fn value(&self, net: &TimePetriNet) -> u64 {
+        self.support()
+            .map(|(p, w)| w * u64::from(net.initial_marking().tokens(p)))
+            .sum()
+    }
+}
+
+/// The outcome of [`place_invariants`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantReport {
+    /// Minimal-support non-negative invariants found.
+    pub invariants: Vec<InvariantVector>,
+    /// Whether the row budget truncated the computation (the returned
+    /// vectors are still genuine invariants, the set just may be
+    /// incomplete).
+    pub truncated: bool,
+}
+
+/// Computes a generating set of non-negative place invariants with the
+/// Farkas algorithm, capping intermediate rows at `max_rows`.
+///
+/// # Examples
+///
+/// A processor-style resource cycle has the invariant
+/// `proc + running = 1`:
+///
+/// ```
+/// use ezrt_tpn::{TpnBuilder, TimeInterval, invariants::place_invariants};
+///
+/// # fn main() -> Result<(), ezrt_tpn::BuildNetError> {
+/// let mut b = TpnBuilder::new("cycle");
+/// let proc_ = b.place_with_tokens("proc", 1);
+/// let run = b.place("run");
+/// let grab = b.transition("grab", TimeInterval::immediate());
+/// let free = b.transition("free", TimeInterval::exact(2));
+/// b.arc_place_to_transition(proc_, grab, 1);
+/// b.arc_transition_to_place(grab, run, 1);
+/// b.arc_place_to_transition(run, free, 1);
+/// b.arc_transition_to_place(free, proc_, 1);
+/// let net = b.build()?;
+///
+/// let report = place_invariants(&net, 10_000);
+/// assert!(!report.truncated);
+/// assert_eq!(report.invariants.len(), 1);
+/// assert_eq!(report.invariants[0].value(&net), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn place_invariants(net: &TimePetriNet, max_rows: usize) -> InvariantReport {
+    let places = net.place_count();
+    let transitions = net.transition_count();
+
+    // Row layout: [incidence row (|T| entries) | identity row (|P|)].
+    // Start with one row per place.
+    let mut rows: Vec<Vec<i128>> = (0..places)
+        .map(|p| {
+            let mut row = vec![0i128; transitions + places];
+            row[transitions + p] = 1;
+            row
+        })
+        .collect();
+    for (tid, _) in net.transitions() {
+        for &(p, w) in net.pre_set(tid) {
+            rows[p.index()][tid.index()] -= i128::from(w);
+        }
+        for &(p, w) in net.post_set(tid) {
+            rows[p.index()][tid.index()] += i128::from(w);
+        }
+    }
+
+    let mut truncated = false;
+    for t in 0..transitions {
+        let (zero, nonzero): (Vec<_>, Vec<_>) = rows.into_iter().partition(|r| r[t] == 0);
+        let mut next = zero;
+        let positive: Vec<&Vec<i128>> = nonzero.iter().filter(|r| r[t] > 0).collect();
+        let negative: Vec<&Vec<i128>> = nonzero.iter().filter(|r| r[t] < 0).collect();
+        'pairs: for pos in &positive {
+            for neg in &negative {
+                if next.len() >= max_rows {
+                    truncated = true;
+                    break 'pairs;
+                }
+                // Combine so column t cancels: |neg[t]|·pos + pos[t]·neg.
+                let a = neg[t].unsigned_abs() as i128;
+                let b = pos[t];
+                let mut combined: Vec<i128> = pos
+                    .iter()
+                    .zip(neg.iter())
+                    .map(|(&x, &y)| a * x + b * y)
+                    .collect();
+                normalize(&mut combined);
+                if combined[transitions..].iter().any(|&w| w != 0)
+                    && !next.contains(&combined)
+                {
+                    next.push(combined);
+                }
+            }
+        }
+        rows = next;
+    }
+
+    // Remaining rows annihilate the whole incidence matrix; keep
+    // minimal-support representatives.
+    let mut invariants: Vec<Vec<i128>> = Vec::new();
+    for row in rows {
+        let support: Vec<usize> = (0..places)
+            .filter(|&p| row[transitions + p] != 0)
+            .collect();
+        if support.is_empty() {
+            continue;
+        }
+        let dominated = invariants.iter().any(|existing| {
+            (0..places).all(|p| existing[transitions + p] == 0 || row[transitions + p] != 0)
+        });
+        if !dominated {
+            invariants.retain(|existing| {
+                !(0..places).all(|p| row[transitions + p] == 0 || existing[transitions + p] != 0)
+            });
+            invariants.push(row);
+        }
+    }
+
+    let invariants = invariants
+        .into_iter()
+        .map(|row| InvariantVector {
+            weights: (0..places)
+                .map(|p| row[transitions + p] as u64)
+                .collect(),
+        })
+        .collect();
+    InvariantReport {
+        invariants,
+        truncated,
+    }
+}
+
+/// Divides a row by the gcd of its entries.
+fn normalize(row: &mut [i128]) {
+    let mut g: i128 = 0;
+    for &x in row.iter() {
+        g = gcd(g, x.abs());
+    }
+    if g > 1 {
+        for x in row.iter_mut() {
+            *x /= g;
+        }
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TimeInterval, TpnBuilder};
+
+    #[test]
+    fn pure_sink_net_has_no_invariants() {
+        let mut b = TpnBuilder::new("sink");
+        let p = b.place_with_tokens("p", 1);
+        let t = b.transition("t", TimeInterval::immediate());
+        b.arc_place_to_transition(p, t, 1);
+        let net = b.build().unwrap();
+        let report = place_invariants(&net, 1000);
+        assert!(report.invariants.is_empty());
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn two_independent_cycles_give_two_invariants() {
+        let mut b = TpnBuilder::new("two-cycles");
+        for name in ["x", "y"] {
+            let a = b.place_with_tokens(format!("{name}_a"), 1);
+            let c = b.place(format!("{name}_c"));
+            let t0 = b.transition(format!("{name}_t0"), TimeInterval::immediate());
+            let t1 = b.transition(format!("{name}_t1"), TimeInterval::exact(1));
+            b.arc_place_to_transition(a, t0, 1);
+            b.arc_transition_to_place(t0, c, 1);
+            b.arc_place_to_transition(c, t1, 1);
+            b.arc_transition_to_place(t1, a, 1);
+        }
+        let net = b.build().unwrap();
+        let report = place_invariants(&net, 10_000);
+        assert_eq!(report.invariants.len(), 2);
+        for invariant in &report.invariants {
+            assert_eq!(invariant.value(&net), 1);
+            assert_eq!(invariant.support().count(), 2);
+        }
+    }
+
+    #[test]
+    fn weighted_cycle_invariant_scales() {
+        // t consumes 2 from a and produces 1 into c; u consumes 1 from c
+        // and produces 2 into a ⇒ invariant a + 2·c.
+        let mut b = TpnBuilder::new("weighted");
+        let a = b.place_with_tokens("a", 4);
+        let c = b.place("c");
+        let t = b.transition("t", TimeInterval::immediate());
+        let u = b.transition("u", TimeInterval::exact(1));
+        b.arc_place_to_transition(a, t, 2);
+        b.arc_transition_to_place(t, c, 1);
+        b.arc_place_to_transition(c, u, 1);
+        b.arc_transition_to_place(u, a, 2);
+        let net = b.build().unwrap();
+        let report = place_invariants(&net, 10_000);
+        assert_eq!(report.invariants.len(), 1);
+        let inv = &report.invariants[0];
+        assert_eq!(inv.weight(a), 1);
+        assert_eq!(inv.weight(c), 2);
+        assert_eq!(inv.value(&net), 4);
+    }
+
+    #[test]
+    fn invariants_are_checked_against_the_analysis_module() {
+        // Every computed invariant must pass the independent
+        // place-invariant verifier.
+        let mut b = TpnBuilder::new("verify");
+        let free = b.place_with_tokens("free", 1);
+        let busy_a = b.place("busy_a");
+        let busy_b = b.place("busy_b");
+        let grab_a = b.transition("grab_a", TimeInterval::immediate());
+        let grab_b = b.transition("grab_b", TimeInterval::immediate());
+        let rel_a = b.transition("rel_a", TimeInterval::exact(2));
+        let rel_b = b.transition("rel_b", TimeInterval::exact(3));
+        b.arc_place_to_transition(free, grab_a, 1);
+        b.arc_transition_to_place(grab_a, busy_a, 1);
+        b.arc_place_to_transition(busy_a, rel_a, 1);
+        b.arc_transition_to_place(rel_a, free, 1);
+        b.arc_place_to_transition(free, grab_b, 1);
+        b.arc_transition_to_place(grab_b, busy_b, 1);
+        b.arc_place_to_transition(busy_b, rel_b, 1);
+        b.arc_transition_to_place(rel_b, free, 1);
+        let net = b.build().unwrap();
+
+        let report = place_invariants(&net, 10_000);
+        assert!(!report.invariants.is_empty());
+        for invariant in &report.invariants {
+            let component: Vec<(PlaceId, i64)> = invariant
+                .support()
+                .map(|(p, w)| (p, w as i64))
+                .collect();
+            assert!(
+                crate::analysis::is_place_invariant(&net, &component),
+                "farkas produced a non-invariant: {component:?}"
+            );
+        }
+        // The resource invariant free + busy_a + busy_b = 1 is found.
+        assert!(report.invariants.iter().any(|inv| {
+            inv.weight(free) == 1 && inv.weight(busy_a) == 1 && inv.weight(busy_b) == 1
+        }));
+    }
+
+    #[test]
+    fn row_budget_truncates_gracefully() {
+        // A dense conflict net that forces many combinations.
+        let mut b = TpnBuilder::new("dense");
+        let places: Vec<_> = (0..6).map(|i| b.place_with_tokens(format!("p{i}"), 1)).collect();
+        for t in 0..6 {
+            let tr = b.transition(format!("t{t}"), TimeInterval::immediate());
+            for (i, &p) in places.iter().enumerate() {
+                if (t + i) % 2 == 0 {
+                    b.arc_place_to_transition(p, tr, 1);
+                } else {
+                    b.arc_transition_to_place(tr, p, 1);
+                }
+            }
+        }
+        let net = b.build().unwrap();
+        let report = place_invariants(&net, 2);
+        // With such a tiny budget the computation flags truncation (or
+        // legitimately finishes if elimination collapses early).
+        for invariant in &report.invariants {
+            let component: Vec<(PlaceId, i64)> =
+                invariant.support().map(|(p, w)| (p, w as i64)).collect();
+            assert!(crate::analysis::is_place_invariant(&net, &component));
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Markings: token counts per place.
+
+use crate::PlaceId;
+use std::fmt;
+
+/// A marking `m ∈ ℕ^{|P|}`: the number of tokens on each place.
+///
+/// Markings are plain value types; all net-aware operations (enabledness,
+/// firing) live on [`TimePetriNet`](crate::TimePetriNet).
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_tpn::{Marking, PlaceId};
+///
+/// let mut m = Marking::empty(3);
+/// m.set(PlaceId::from_index(1), 2);
+/// assert_eq!(m.tokens(PlaceId::from_index(1)), 2);
+/// assert_eq!(m.total_tokens(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Marking {
+    tokens: Vec<u32>,
+}
+
+impl Marking {
+    /// The empty marking over `place_count` places.
+    pub fn empty(place_count: usize) -> Self {
+        Marking {
+            tokens: vec![0; place_count],
+        }
+    }
+
+    /// Builds a marking from a raw token vector.
+    pub fn from_vec(tokens: Vec<u32>) -> Self {
+        Marking { tokens }
+    }
+
+    /// Number of places this marking ranges over.
+    pub fn place_count(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Tokens on `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` is out of range for this marking.
+    pub fn tokens(&self, place: PlaceId) -> u32 {
+        self.tokens[place.index()]
+    }
+
+    /// Sets the token count of `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` is out of range for this marking.
+    pub fn set(&mut self, place: PlaceId, count: u32) {
+        self.tokens[place.index()] = count;
+    }
+
+    /// Adds `count` tokens to `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` is out of range or on token-count overflow.
+    pub fn add(&mut self, place: PlaceId, count: u32) {
+        let slot = &mut self.tokens[place.index()];
+        *slot = slot.checked_add(count).expect("token count overflow");
+    }
+
+    /// Removes `count` tokens from `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the place holds fewer than `count` tokens — firing logic
+    /// must check enabledness first.
+    pub fn remove(&mut self, place: PlaceId, count: u32) {
+        let slot = &mut self.tokens[place.index()];
+        *slot = slot
+            .checked_sub(count)
+            .expect("removing tokens from an insufficiently marked place");
+    }
+
+    /// Whether `place` holds at least `count` tokens.
+    pub fn covers(&self, place: PlaceId, count: u32) -> bool {
+        self.tokens(place) >= count
+    }
+
+    /// Total number of tokens in the marking.
+    pub fn total_tokens(&self) -> u64 {
+        self.tokens.iter().map(|&t| u64::from(t)).sum()
+    }
+
+    /// Iterates over `(place, tokens)` pairs for marked places only.
+    pub fn marked_places(&self) -> impl Iterator<Item = (PlaceId, u32)> + '_ {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t > 0)
+            .map(|(i, &t)| (PlaceId::from_index(i), t))
+    }
+
+    /// Raw view of the token vector.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.tokens
+    }
+}
+
+impl fmt::Display for Marking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (p, t) in self.marked_places() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            if t == 1 {
+                write!(f, "{p}")?;
+            } else {
+                write!(f, "{p}:{t}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> PlaceId {
+        PlaceId::from_index(i)
+    }
+
+    #[test]
+    fn empty_marking_has_no_tokens() {
+        let m = Marking::empty(4);
+        assert_eq!(m.place_count(), 4);
+        assert_eq!(m.total_tokens(), 0);
+        assert_eq!(m.marked_places().count(), 0);
+    }
+
+    #[test]
+    fn add_remove_and_covers() {
+        let mut m = Marking::empty(2);
+        m.add(p(0), 3);
+        assert!(m.covers(p(0), 3));
+        assert!(!m.covers(p(0), 4));
+        m.remove(p(0), 2);
+        assert_eq!(m.tokens(p(0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "insufficiently marked")]
+    fn remove_below_zero_panics() {
+        let mut m = Marking::empty(1);
+        m.remove(p(0), 1);
+    }
+
+    #[test]
+    fn display_shows_multiset_notation() {
+        let mut m = Marking::empty(3);
+        m.set(p(0), 1);
+        m.set(p(2), 5);
+        assert_eq!(m.to_string(), "{p0, p2:5}");
+    }
+
+    #[test]
+    fn from_vec_round_trips() {
+        let m = Marking::from_vec(vec![1, 0, 2]);
+        assert_eq!(m.as_slice(), &[1, 0, 2]);
+        assert_eq!(m.total_tokens(), 3);
+    }
+
+    #[test]
+    fn equality_and_hash_are_structural() {
+        use std::collections::HashSet;
+        let a = Marking::from_vec(vec![1, 2]);
+        let b = Marking::from_vec(vec![1, 2]);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+}

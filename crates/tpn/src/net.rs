@@ -1,0 +1,814 @@
+//! Net structure: places, transitions, arcs, and the firing rule.
+
+use crate::error::{BuildNetError, FireError};
+use crate::ids::{PlaceId, TransitionId};
+use crate::interval::{TimeBound, TimeInterval};
+use crate::marking::Marking;
+use crate::state::{Firing, State};
+use crate::Time;
+
+/// A place of a time Petri net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Place {
+    name: String,
+    initial_tokens: u32,
+}
+
+impl Place {
+    /// The place's unique name (e.g. `pwr_PMC` for "waiting release of PMC").
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Tokens on this place in the initial marking `m0`.
+    pub fn initial_tokens(&self) -> u32 {
+        self.initial_tokens
+    }
+}
+
+/// A transition of a time Petri net, extended ezRealtime-style with a
+/// priority (`π`, smaller = higher priority) and an optional behavioural
+/// source-code binding (`CS`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    name: String,
+    interval: TimeInterval,
+    priority: u32,
+    code: Option<String>,
+}
+
+impl Transition {
+    /// The transition's unique name (e.g. `tc_PMC` for "computation of PMC").
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The static firing interval `I(t) = [EFT, LFT]`.
+    pub fn interval(&self) -> TimeInterval {
+        self.interval
+    }
+
+    /// The priority `π(t)`; smaller values win conflicts.
+    pub fn priority(&self) -> u32 {
+        self.priority
+    }
+
+    /// The behavioural source code assigned by the partial function `CS`,
+    /// if any. In the ezRealtime translation only computation transitions
+    /// carry code.
+    pub fn code(&self) -> Option<&str> {
+        self.code.as_deref()
+    }
+}
+
+/// Default priority for transitions that do not take part in prioritized
+/// conflicts.
+pub(crate) const DEFAULT_PRIORITY: u32 = 100;
+
+/// Incremental builder for [`TimePetriNet`].
+///
+/// The ezRealtime building-block composition (paper §3.3) is implemented in
+/// `ezrt-compose` as a sequence of builder operations; the builder therefore
+/// exposes enough surgery (arc merging, priority/code updates, lookup by
+/// name) for block composition operators to work on a single growing net.
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_tpn::{TpnBuilder, TimeInterval};
+///
+/// # fn main() -> Result<(), ezrt_tpn::BuildNetError> {
+/// let mut b = TpnBuilder::new("tiny");
+/// let p = b.place_with_tokens("start", 1);
+/// let t = b.transition("go", TimeInterval::immediate());
+/// b.arc_place_to_transition(p, t, 1);
+/// let net = b.build()?;
+/// assert_eq!(net.place_count(), 1);
+/// assert_eq!(net.transition_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TpnBuilder {
+    name: String,
+    places: Vec<Place>,
+    transitions: Vec<Transition>,
+    /// Pre-sets per transition: `(place, weight)`.
+    pre: Vec<Vec<(PlaceId, u32)>>,
+    /// Post-sets per transition: `(place, weight)`.
+    post: Vec<Vec<(PlaceId, u32)>>,
+}
+
+impl TpnBuilder {
+    /// Creates an empty builder for a net called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        TpnBuilder {
+            name: name.into(),
+            ..TpnBuilder::default()
+        }
+    }
+
+    /// The net name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an initially empty place.
+    pub fn place(&mut self, name: impl Into<String>) -> PlaceId {
+        self.place_with_tokens(name, 0)
+    }
+
+    /// Adds a place carrying `tokens` in the initial marking.
+    pub fn place_with_tokens(&mut self, name: impl Into<String>, tokens: u32) -> PlaceId {
+        let id = PlaceId::from_index(self.places.len());
+        self.places.push(Place {
+            name: name.into(),
+            initial_tokens: tokens,
+        });
+        id
+    }
+
+    /// Adds a transition with default priority and no code binding.
+    pub fn transition(&mut self, name: impl Into<String>, interval: TimeInterval) -> TransitionId {
+        self.transition_full(name, interval, DEFAULT_PRIORITY, None)
+    }
+
+    /// Adds a transition with explicit priority and optional code binding.
+    pub fn transition_full(
+        &mut self,
+        name: impl Into<String>,
+        interval: TimeInterval,
+        priority: u32,
+        code: Option<String>,
+    ) -> TransitionId {
+        let id = TransitionId::from_index(self.transitions.len());
+        self.transitions.push(Transition {
+            name: name.into(),
+            interval,
+            priority,
+            code,
+        });
+        self.pre.push(Vec::new());
+        self.post.push(Vec::new());
+        id
+    }
+
+    /// Adds (or merges into an existing) input arc `place → transition`.
+    ///
+    /// Repeated calls for the same pair accumulate weight, which is how the
+    /// composition operators "strengthen" an arc.
+    pub fn arc_place_to_transition(&mut self, place: PlaceId, transition: TransitionId, weight: u32) {
+        merge_arc(&mut self.pre[transition.index()], place, weight);
+    }
+
+    /// Adds (or merges into an existing) output arc `transition → place`.
+    pub fn arc_transition_to_place(&mut self, transition: TransitionId, place: PlaceId, weight: u32) {
+        merge_arc(&mut self.post[transition.index()], place, weight);
+    }
+
+    /// Looks up a place id by name.
+    pub fn place_id(&self, name: &str) -> Option<PlaceId> {
+        self.places
+            .iter()
+            .position(|p| p.name == name)
+            .map(PlaceId::from_index)
+    }
+
+    /// Looks up a transition id by name.
+    pub fn transition_id(&self, name: &str) -> Option<TransitionId> {
+        self.transitions
+            .iter()
+            .position(|t| t.name == name)
+            .map(TransitionId::from_index)
+    }
+
+    /// Overrides the priority of an existing transition.
+    pub fn set_priority(&mut self, transition: TransitionId, priority: u32) {
+        self.transitions[transition.index()].priority = priority;
+    }
+
+    /// Attaches (or replaces) the code binding of an existing transition.
+    pub fn set_code(&mut self, transition: TransitionId, code: impl Into<String>) {
+        self.transitions[transition.index()].code = Some(code.into());
+    }
+
+    /// Sets the initial token count of an existing place.
+    pub fn set_initial_tokens(&mut self, place: PlaceId, tokens: u32) {
+        self.places[place.index()].initial_tokens = tokens;
+    }
+
+    /// The current initial token count of a place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` is out of range.
+    pub fn initial_tokens(&self, place: PlaceId) -> u32 {
+        self.places[place.index()].initial_tokens
+    }
+
+    /// The firing interval of a transition under construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transition` is out of range.
+    pub fn interval_of(&self, transition: TransitionId) -> TimeInterval {
+        self.transitions[transition.index()].interval
+    }
+
+    /// Removes the input arc `place → transition`, returning its weight
+    /// (or `None` when absent). Composition operators use this to
+    /// redirect arcs during place fusion and transition synchronization.
+    pub fn take_input_arc(&mut self, place: PlaceId, transition: TransitionId) -> Option<u32> {
+        take_arc(&mut self.pre[transition.index()], place)
+    }
+
+    /// Removes the output arc `transition → place`, returning its weight.
+    pub fn take_output_arc(&mut self, transition: TransitionId, place: PlaceId) -> Option<u32> {
+        take_arc(&mut self.post[transition.index()], place)
+    }
+
+    /// Number of places added so far.
+    pub fn place_count(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions added so far.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Validates the accumulated structure and freezes it into an immutable
+    /// [`TimePetriNet`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildNetError`] on duplicate place/transition names, arcs
+    /// with zero weight, or a transition-free net.
+    pub fn build(self) -> Result<TimePetriNet, BuildNetError> {
+        if self.transitions.is_empty() {
+            return Err(BuildNetError::NoTransitions);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for p in &self.places {
+            if !seen.insert(p.name.as_str()) {
+                return Err(BuildNetError::DuplicatePlaceName(p.name.clone()));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for t in &self.transitions {
+            if !seen.insert(t.name.as_str()) {
+                return Err(BuildNetError::DuplicateTransitionName(t.name.clone()));
+            }
+        }
+        for (ti, arcs) in self.pre.iter().chain(self.post.iter()).enumerate() {
+            for &(p, w) in arcs {
+                if p.index() >= self.places.len() {
+                    return Err(BuildNetError::UnknownPlace(p));
+                }
+                if w == 0 {
+                    return Err(BuildNetError::ZeroWeightArc {
+                        place: p,
+                        transition: TransitionId::from_index(ti % self.transitions.len()),
+                    });
+                }
+            }
+        }
+
+        let mut consumers = vec![Vec::new(); self.places.len()];
+        let mut producers = vec![Vec::new(); self.places.len()];
+        for (ti, arcs) in self.pre.iter().enumerate() {
+            for &(p, _) in arcs {
+                consumers[p.index()].push(TransitionId::from_index(ti));
+            }
+        }
+        for (ti, arcs) in self.post.iter().enumerate() {
+            for &(p, _) in arcs {
+                producers[p.index()].push(TransitionId::from_index(ti));
+            }
+        }
+
+        let initial = Marking::from_vec(self.places.iter().map(|p| p.initial_tokens).collect());
+        Ok(TimePetriNet {
+            name: self.name,
+            places: self.places,
+            transitions: self.transitions,
+            pre: self.pre,
+            post: self.post,
+            consumers,
+            producers,
+            initial,
+        })
+    }
+}
+
+fn merge_arc(arcs: &mut Vec<(PlaceId, u32)>, place: PlaceId, weight: u32) {
+    if let Some(slot) = arcs.iter_mut().find(|(p, _)| *p == place) {
+        slot.1 += weight;
+    } else {
+        arcs.push((place, weight));
+    }
+}
+
+fn take_arc(arcs: &mut Vec<(PlaceId, u32)>, place: PlaceId) -> Option<u32> {
+    let index = arcs.iter().position(|&(p, _)| p == place)?;
+    Some(arcs.swap_remove(index).1)
+}
+
+/// An immutable time Petri net `P = (P, T, F, W, m0, I)` extended with
+/// priorities and code bindings (`Pa = (P, CS, π)`).
+///
+/// All semantic queries — enabledness, fireability (`FT(s)`), firing domains
+/// (`FD_s(t)`) and the firing rule (Def. 3.1) — are methods on this type;
+/// see [`State`] for the state representation.
+#[derive(Debug, Clone)]
+pub struct TimePetriNet {
+    name: String,
+    places: Vec<Place>,
+    transitions: Vec<Transition>,
+    pre: Vec<Vec<(PlaceId, u32)>>,
+    post: Vec<Vec<(PlaceId, u32)>>,
+    consumers: Vec<Vec<TransitionId>>,
+    producers: Vec<Vec<TransitionId>>,
+    initial: Marking,
+}
+
+impl TimePetriNet {
+    /// The net name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of places `|P|`.
+    pub fn place_count(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions `|T|`.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Accesses a place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn place(&self, id: PlaceId) -> &Place {
+        &self.places[id.index()]
+    }
+
+    /// Accesses a transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn transition(&self, id: TransitionId) -> &Transition {
+        &self.transitions[id.index()]
+    }
+
+    /// Iterates over `(id, place)` pairs.
+    pub fn places(&self) -> impl Iterator<Item = (PlaceId, &Place)> {
+        self.places
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PlaceId::from_index(i), p))
+    }
+
+    /// Iterates over `(id, transition)` pairs.
+    pub fn transitions(&self) -> impl Iterator<Item = (TransitionId, &Transition)> {
+        self.transitions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TransitionId::from_index(i), t))
+    }
+
+    /// Looks up a place id by name.
+    pub fn place_id(&self, name: &str) -> Option<PlaceId> {
+        self.places
+            .iter()
+            .position(|p| p.name == name)
+            .map(PlaceId::from_index)
+    }
+
+    /// Looks up a transition id by name.
+    pub fn transition_id(&self, name: &str) -> Option<TransitionId> {
+        self.transitions
+            .iter()
+            .position(|t| t.name == name)
+            .map(TransitionId::from_index)
+    }
+
+    /// The pre-set of `t`: input `(place, weight)` pairs.
+    pub fn pre_set(&self, t: TransitionId) -> &[(PlaceId, u32)] {
+        &self.pre[t.index()]
+    }
+
+    /// The post-set of `t`: output `(place, weight)` pairs.
+    pub fn post_set(&self, t: TransitionId) -> &[(PlaceId, u32)] {
+        &self.post[t.index()]
+    }
+
+    /// Transitions that consume from `p`.
+    pub fn consumers(&self, p: PlaceId) -> &[TransitionId] {
+        &self.consumers[p.index()]
+    }
+
+    /// Transitions that produce into `p`.
+    pub fn producers(&self, p: PlaceId) -> &[TransitionId] {
+        &self.producers[p.index()]
+    }
+
+    /// The initial marking `m0`.
+    pub fn initial_marking(&self) -> &Marking {
+        &self.initial
+    }
+
+    /// The initial TLTS state `s0 = (m0, 0⃗)`.
+    pub fn initial_state(&self) -> State {
+        State::new(self.initial.clone(), vec![0; self.transitions.len()])
+    }
+
+    /// Whether `t` is enabled in marking `m` (every input place covered).
+    pub fn is_enabled(&self, m: &Marking, t: TransitionId) -> bool {
+        self.pre[t.index()].iter().all(|&(p, w)| m.covers(p, w))
+    }
+
+    /// The enabled set `ET(m)` in ascending transition order.
+    pub fn enabled(&self, m: &Marking) -> Vec<TransitionId> {
+        (0..self.transitions.len())
+            .map(TransitionId::from_index)
+            .filter(|&t| self.is_enabled(m, t))
+            .collect()
+    }
+
+    /// `min_{t_k ∈ ET(m)} DUB(t_k)`: the latest instant to which time may
+    /// advance before *some* enabled transition becomes overdue. Returns
+    /// [`TimeBound::Infinite`] when nothing is enabled or no enabled
+    /// transition has a finite latest firing time.
+    pub fn min_dynamic_upper_bound(&self, state: &State) -> TimeBound {
+        let mut min = TimeBound::Infinite;
+        for t in self.enabled(state.marking()) {
+            let dub = self.transitions[t.index()]
+                .interval
+                .dynamic_upper_bound(state.clock(t));
+            min = min.min(dub);
+        }
+        min
+    }
+
+    /// The fireable set `FT(s)` of the paper:
+    ///
+    /// ```text
+    /// FT(s) = { tᵢ ∈ ET(m) | π(tᵢ) = min π(tₖ)  ∧  DLB(tᵢ) ≤ min DUB(tₖ), ∀tₖ ∈ ET(m) }
+    /// ```
+    ///
+    /// i.e. among the enabled transitions that can still fire no later than
+    /// the earliest urgency deadline (`DLB ≤ min DUB`), keep those of
+    /// minimal (= highest) priority.
+    pub fn fireable(&self, state: &State) -> Vec<TransitionId> {
+        let min_dub = self.min_dynamic_upper_bound(state);
+        let mut candidates: Vec<TransitionId> = self
+            .enabled(state.marking())
+            .into_iter()
+            .filter(|&t| {
+                let dlb = self.transitions[t.index()]
+                    .interval
+                    .dynamic_lower_bound(state.clock(t));
+                TimeBound::Finite(dlb) <= min_dub
+            })
+            .collect();
+        let best = candidates
+            .iter()
+            .map(|&t| self.transitions[t.index()].priority)
+            .min();
+        if let Some(best) = best {
+            candidates.retain(|&t| self.transitions[t.index()].priority == best);
+        }
+        candidates
+    }
+
+    /// The firing domain `FD_s(t) = [DLB(t), min_k DUB(t_k)]`, or `None`
+    /// when `t` is not enabled in `s`.
+    pub fn firing_domain(&self, state: &State, t: TransitionId) -> Option<(Time, TimeBound)> {
+        if !self.is_enabled(state.marking(), t) {
+            return None;
+        }
+        let dlb = self.transitions[t.index()]
+            .interval
+            .dynamic_lower_bound(state.clock(t));
+        Some((dlb, self.min_dynamic_upper_bound(state)))
+    }
+
+    /// Fires transition `t` after waiting `delay` time units, producing the
+    /// successor state per Definition 3.1 of the paper:
+    ///
+    /// 1. `m' (p) = m(p) − W(p,t) + W(t,p)` for every place `p`;
+    /// 2. for every `t_k ∈ ET(m')`: the clock is reset to `0` if `t_k = t`
+    ///    or `t_k` is newly enabled (`t_k ∈ ET(m') − ET(m)`), and advanced
+    ///    to `c(t_k) + delay` otherwise. Disabled transitions' clocks are
+    ///    normalized to `0` so states compare structurally.
+    ///
+    /// # Errors
+    ///
+    /// * [`FireError::NotEnabled`] — `t` has an uncovered input place;
+    /// * [`FireError::NotFireable`] — `t` is enabled but excluded from
+    ///   `FT(s)` by priority or urgency;
+    /// * [`FireError::DelayOutOfDomain`] — `delay ∉ FD_s(t)`.
+    pub fn fire(&self, state: &State, t: TransitionId, delay: Time) -> Result<(State, Firing), FireError> {
+        if !self.is_enabled(state.marking(), t) {
+            return Err(FireError::NotEnabled(t));
+        }
+        if !self.fireable(state).contains(&t) {
+            return Err(FireError::NotFireable(t));
+        }
+        let (dlb, upper) = self
+            .firing_domain(state, t)
+            .expect("enabled transition has a firing domain");
+        if delay < dlb || TimeBound::Finite(delay) > upper {
+            return Err(FireError::DelayOutOfDomain {
+                transition: t,
+                delay,
+                lower: dlb,
+                upper,
+            });
+        }
+        Ok((self.fire_unchecked(state, t, delay), Firing::new(t, delay)))
+    }
+
+    /// The firing rule without fireability/domain validation. Used by the
+    /// schedule-synthesis search, which enumerates only legal firings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not enabled (token removal underflows).
+    pub fn fire_unchecked(&self, state: &State, t: TransitionId, delay: Time) -> State {
+        let mut marking = state.marking().clone();
+        for &(p, w) in &self.pre[t.index()] {
+            marking.remove(p, w);
+        }
+        for &(p, w) in &self.post[t.index()] {
+            marking.add(p, w);
+        }
+
+        let mut clocks = vec![0; self.transitions.len()];
+        for (k, clock) in clocks.iter_mut().enumerate() {
+            let tk = TransitionId::from_index(k);
+            if !self.is_enabled(&marking, tk) {
+                continue; // disabled ⇒ normalized clock 0
+            }
+            if tk == t || !self.is_enabled(state.marking(), tk) {
+                *clock = 0; // fired or newly enabled
+            } else {
+                *clock = state.clock(tk) + delay; // persistent
+            }
+        }
+        State::new(marking, clocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic 2-transition conflict: one token, two consumers with
+    /// different intervals and priorities.
+    fn conflict_net() -> (TimePetriNet, TransitionId, TransitionId) {
+        let mut b = TpnBuilder::new("conflict");
+        let p = b.place_with_tokens("p", 1);
+        let fast = b.transition_full("fast", TimeInterval::new(2, 4).unwrap(), 1, None);
+        let slow = b.transition_full("slow", TimeInterval::new(3, 10).unwrap(), 2, None);
+        b.arc_place_to_transition(p, fast, 1);
+        b.arc_place_to_transition(p, slow, 1);
+        (b.build().unwrap(), fast, slow)
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_names() {
+        let mut b = TpnBuilder::new("dup");
+        b.place("p");
+        b.place("p");
+        b.transition("t", TimeInterval::immediate());
+        assert!(matches!(
+            b.build(),
+            Err(BuildNetError::DuplicatePlaceName(_))
+        ));
+
+        let mut b = TpnBuilder::new("dup");
+        b.transition("t", TimeInterval::immediate());
+        b.transition("t", TimeInterval::immediate());
+        assert!(matches!(
+            b.build(),
+            Err(BuildNetError::DuplicateTransitionName(_))
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_empty_net_and_zero_weights() {
+        assert!(matches!(
+            TpnBuilder::new("empty").build(),
+            Err(BuildNetError::NoTransitions)
+        ));
+
+        let mut b = TpnBuilder::new("zero");
+        let p = b.place("p");
+        let t = b.transition("t", TimeInterval::immediate());
+        b.arc_place_to_transition(p, t, 0);
+        assert!(matches!(
+            b.build(),
+            Err(BuildNetError::ZeroWeightArc { .. })
+        ));
+    }
+
+    #[test]
+    fn arcs_merge_by_accumulating_weight() {
+        let mut b = TpnBuilder::new("merge");
+        let p = b.place_with_tokens("p", 5);
+        let t = b.transition("t", TimeInterval::immediate());
+        b.arc_place_to_transition(p, t, 1);
+        b.arc_place_to_transition(p, t, 2);
+        let net = b.build().unwrap();
+        assert_eq!(net.pre_set(t), &[(p, 3)]);
+    }
+
+    #[test]
+    fn enabledness_respects_weights() {
+        let mut b = TpnBuilder::new("w");
+        let p = b.place_with_tokens("p", 1);
+        let t = b.transition("t", TimeInterval::immediate());
+        b.arc_place_to_transition(p, t, 2);
+        let net = b.build().unwrap();
+        assert!(!net.is_enabled(net.initial_marking(), t));
+    }
+
+    #[test]
+    fn fireable_applies_urgency_filter() {
+        let (net, fast, _slow) = conflict_net();
+        let s0 = net.initial_state();
+        // DLB(fast)=2, DLB(slow)=3, min DUB = 4 ⇒ both pass urgency, but
+        // priority keeps only `fast`.
+        assert_eq!(net.fireable(&s0), vec![fast]);
+    }
+
+    #[test]
+    fn fireable_filters_by_priority_only_among_candidates() {
+        // High-priority transition whose DLB exceeds min DUB must not
+        // starve the net: the candidate filter applies first.
+        let mut b = TpnBuilder::new("prio");
+        let p = b.place_with_tokens("p", 1);
+        let urgent = b.transition_full("urgent", TimeInterval::new(0, 1).unwrap(), 5, None);
+        let later = b.transition_full("later", TimeInterval::new(4, 9).unwrap(), 1, None);
+        b.arc_place_to_transition(p, urgent, 1);
+        b.arc_place_to_transition(p, later, 1);
+        let net = b.build().unwrap();
+        let s0 = net.initial_state();
+        // min DUB = 1 (urgent), DLB(later) = 4 > 1 ⇒ later is not a
+        // candidate despite its better priority.
+        assert_eq!(net.fireable(&s0), vec![urgent]);
+    }
+
+    #[test]
+    fn firing_domain_matches_definition() {
+        let (net, fast, slow) = conflict_net();
+        let s0 = net.initial_state();
+        assert_eq!(net.firing_domain(&s0, fast), Some((2, TimeBound::Finite(4))));
+        assert_eq!(net.firing_domain(&s0, slow), Some((3, TimeBound::Finite(4))));
+    }
+
+    #[test]
+    fn fire_rejects_out_of_domain_delays() {
+        let (net, fast, _) = conflict_net();
+        let s0 = net.initial_state();
+        assert!(matches!(
+            net.fire(&s0, fast, 1),
+            Err(FireError::DelayOutOfDomain { .. })
+        ));
+        assert!(matches!(
+            net.fire(&s0, fast, 5),
+            Err(FireError::DelayOutOfDomain { .. })
+        ));
+        assert!(net.fire(&s0, fast, 2).is_ok());
+        assert!(net.fire(&s0, fast, 4).is_ok());
+    }
+
+    #[test]
+    fn fire_rejects_lower_priority_conflict_loser() {
+        let (net, _, slow) = conflict_net();
+        let s0 = net.initial_state();
+        assert!(matches!(net.fire(&s0, slow, 3), Err(FireError::NotFireable(_))));
+    }
+
+    #[test]
+    fn fire_rejects_disabled_transition() {
+        let mut b = TpnBuilder::new("dis");
+        let p = b.place("p");
+        let t = b.transition("t", TimeInterval::immediate());
+        b.arc_place_to_transition(p, t, 1);
+        let net = b.build().unwrap();
+        assert!(matches!(
+            net.fire(&net.initial_state(), t, 0),
+            Err(FireError::NotEnabled(_))
+        ));
+    }
+
+    #[test]
+    fn firing_moves_tokens_per_weights() {
+        let mut b = TpnBuilder::new("flow");
+        let a = b.place_with_tokens("a", 3);
+        let c = b.place("c");
+        let t = b.transition("t", TimeInterval::immediate());
+        b.arc_place_to_transition(a, t, 2);
+        b.arc_transition_to_place(t, c, 5);
+        let net = b.build().unwrap();
+        let (s1, firing) = net.fire(&net.initial_state(), t, 0).unwrap();
+        assert_eq!(s1.marking().tokens(a), 1);
+        assert_eq!(s1.marking().tokens(c), 5);
+        assert_eq!(firing.transition(), t);
+        assert_eq!(firing.delay(), 0);
+    }
+
+    #[test]
+    fn persistent_transition_clock_advances() {
+        // Two independent transitions; firing one advances the other's clock.
+        let mut b = TpnBuilder::new("persist");
+        let pa = b.place_with_tokens("pa", 1);
+        let pb = b.place_with_tokens("pb", 1);
+        let ta = b.transition("ta", TimeInterval::new(2, 8).unwrap());
+        let tb = b.transition("tb", TimeInterval::new(5, 9).unwrap());
+        b.arc_place_to_transition(pa, ta, 1);
+        b.arc_place_to_transition(pb, tb, 1);
+        let net = b.build().unwrap();
+        let (s1, _) = net.fire(&net.initial_state(), ta, 3).unwrap();
+        assert_eq!(s1.clock(tb), 3, "tb stayed enabled, clock advances by q");
+        // After 3 units, DLB(tb) = 5-3 = 2.
+        assert_eq!(net.firing_domain(&s1, tb), Some((2, TimeBound::Finite(6))));
+    }
+
+    #[test]
+    fn fired_transition_clock_resets_when_still_enabled() {
+        // Self-loop with multiple tokens: the fired transition stays
+        // enabled and must restart from clock zero (Def. 3.1 case t_k = t).
+        let mut b = TpnBuilder::new("reset");
+        let p = b.place_with_tokens("p", 2);
+        let t = b.transition("t", TimeInterval::exact(4));
+        b.arc_place_to_transition(p, t, 1);
+        let net = b.build().unwrap();
+        let (s1, _) = net.fire(&net.initial_state(), t, 4).unwrap();
+        assert_eq!(s1.clock(t), 0);
+        assert!(net.is_enabled(s1.marking(), t));
+    }
+
+    #[test]
+    fn newly_enabled_transition_starts_at_zero() {
+        let mut b = TpnBuilder::new("fresh");
+        let p0 = b.place_with_tokens("p0", 1);
+        let p1 = b.place("p1");
+        let t0 = b.transition("t0", TimeInterval::exact(3));
+        let t1 = b.transition("t1", TimeInterval::exact(7));
+        b.arc_place_to_transition(p0, t0, 1);
+        b.arc_transition_to_place(t0, p1, 1);
+        b.arc_place_to_transition(p1, t1, 1);
+        let net = b.build().unwrap();
+        let (s1, _) = net.fire(&net.initial_state(), t0, 3).unwrap();
+        assert_eq!(s1.clock(t1), 0, "t1 was just enabled");
+    }
+
+    #[test]
+    fn disabled_transition_clock_is_normalized() {
+        let (net, fast, slow) = conflict_net();
+        let (s1, _) = net.fire(&net.initial_state(), fast, 2).unwrap();
+        assert_eq!(s1.clock(slow), 0, "slow lost the conflict; clock normalized");
+        assert!(!net.is_enabled(s1.marking(), slow));
+    }
+
+    #[test]
+    fn name_lookups() {
+        let (net, fast, _) = conflict_net();
+        assert_eq!(net.transition_id("fast"), Some(fast));
+        assert_eq!(net.place_id("p"), Some(PlaceId::from_index(0)));
+        assert_eq!(net.transition_id("nope"), None);
+        assert_eq!(net.place_id("nope"), None);
+    }
+
+    #[test]
+    fn consumers_and_producers_indexes() {
+        let mut b = TpnBuilder::new("idx");
+        let p = b.place_with_tokens("p", 1);
+        let q = b.place("q");
+        let t = b.transition("t", TimeInterval::immediate());
+        b.arc_place_to_transition(p, t, 1);
+        b.arc_transition_to_place(t, q, 1);
+        let net = b.build().unwrap();
+        assert_eq!(net.consumers(p), &[t]);
+        assert_eq!(net.producers(q), &[t]);
+        assert!(net.consumers(q).is_empty());
+    }
+
+    #[test]
+    fn initial_state_has_zero_clocks() {
+        let (net, fast, slow) = conflict_net();
+        let s0 = net.initial_state();
+        assert_eq!(s0.clock(fast), 0);
+        assert_eq!(s0.clock(slow), 0);
+        assert_eq!(s0.marking(), net.initial_marking());
+    }
+}

@@ -1,0 +1,265 @@
+//! Bounded exploration of the timed state space.
+//!
+//! This module provides a *generic* breadth-first exploration used for
+//! diagnostics (boundedness checks, deadlock hunting, state counting).
+//! The goal-directed depth-first search that actually synthesizes
+//! schedules lives in `ezrt-scheduler`; both walk the same TLTS defined by
+//! [`TimePetriNet::fire`](crate::TimePetriNet::fire).
+
+use crate::{Firing, State, TimeBound, TimePetriNet, Time};
+use std::collections::{HashSet, VecDeque};
+
+/// How firing delays are enumerated when generating successors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DelayMode {
+    /// Fire each fireable transition as early as possible (`q = DLB`).
+    /// Smallest state space; sufficient for nets whose flexibility lives in
+    /// transition *choice* rather than delay (the ezRealtime blocks).
+    #[default]
+    Earliest,
+    /// Fire at both corners of the firing domain (`q = DLB` and
+    /// `q = min DUB`) when they differ.
+    Corners,
+    /// Enumerate every integer delay in the firing domain. Complete for the
+    /// discrete-time semantics, exponentially larger.
+    Full,
+}
+
+/// Limits that keep an exploration finite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExplorationLimits {
+    /// Maximum number of distinct states to visit.
+    pub max_states: usize,
+    /// Maximum depth (number of firings from the initial state).
+    pub max_depth: usize,
+}
+
+impl Default for ExplorationLimits {
+    fn default() -> Self {
+        ExplorationLimits {
+            max_states: 100_000,
+            max_depth: 100_000,
+        }
+    }
+}
+
+/// Result of a bounded exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachabilityReport {
+    /// Number of distinct states visited (including the initial state).
+    pub states_visited: usize,
+    /// Number of TLTS edges generated.
+    pub edges: usize,
+    /// Deadlock states encountered (no enabled transition).
+    pub deadlocks: usize,
+    /// Largest number of tokens observed on any single place.
+    pub max_place_tokens: u32,
+    /// Whether a limit stopped the exploration before exhaustion.
+    pub truncated: bool,
+}
+
+/// Enumerates the successor firings of `state` under `mode`.
+///
+/// Every returned `(firing, successor)` pair is legal with respect to
+/// `FT(s)` and `FD_s(t)`; the list is empty exactly when the state is a
+/// deadlock (nothing enabled) — with the caveat that an enabled transition
+/// always yields at least one candidate under the paper's fireable-set
+/// definition.
+pub fn successors(net: &TimePetriNet, state: &State, mode: DelayMode) -> Vec<(Firing, State)> {
+    let mut out = Vec::new();
+    let min_dub = net.min_dynamic_upper_bound(state);
+    for t in net.fireable(state) {
+        let (dlb, _) = net
+            .firing_domain(state, t)
+            .expect("fireable transitions are enabled");
+        let delays: Vec<Time> = match (mode, min_dub) {
+            (DelayMode::Earliest, _) => vec![dlb],
+            (DelayMode::Corners, TimeBound::Finite(ub)) if ub > dlb => vec![dlb, ub],
+            (DelayMode::Corners, _) => vec![dlb],
+            (DelayMode::Full, TimeBound::Finite(ub)) => (dlb..=ub).collect(),
+            (DelayMode::Full, TimeBound::Infinite) => vec![dlb],
+        };
+        for q in delays {
+            let next = net.fire_unchecked(state, t, q);
+            out.push((Firing::new(t, q), next));
+        }
+    }
+    out
+}
+
+/// Breadth-first exploration of the reachable timed state space from the
+/// initial state, bounded by `limits`.
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_tpn::{TpnBuilder, TimeInterval};
+/// use ezrt_tpn::reachability::{explore, DelayMode, ExplorationLimits};
+///
+/// # fn main() -> Result<(), ezrt_tpn::BuildNetError> {
+/// let mut b = TpnBuilder::new("loop");
+/// let a = b.place_with_tokens("a", 1);
+/// let t = b.transition("t", TimeInterval::exact(1));
+/// b.arc_place_to_transition(a, t, 1);
+/// b.arc_transition_to_place(t, a, 1);
+/// let net = b.build()?;
+/// let report = explore(&net, DelayMode::Earliest, ExplorationLimits::default());
+/// assert_eq!(report.states_visited, 1, "self-loop returns to the same state");
+/// assert_eq!(report.deadlocks, 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn explore(net: &TimePetriNet, mode: DelayMode, limits: ExplorationLimits) -> ReachabilityReport {
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut queue: VecDeque<(State, usize)> = VecDeque::new();
+    let mut report = ReachabilityReport {
+        states_visited: 0,
+        edges: 0,
+        deadlocks: 0,
+        max_place_tokens: 0,
+        truncated: false,
+    };
+
+    let s0 = net.initial_state();
+    track_tokens(&mut report, &s0);
+    visited.insert(s0.clone());
+    queue.push_back((s0, 0));
+    report.states_visited = 1;
+
+    while let Some((state, depth)) = queue.pop_front() {
+        if depth >= limits.max_depth {
+            report.truncated = true;
+            continue;
+        }
+        let succs = successors(net, &state, mode);
+        if succs.is_empty() {
+            report.deadlocks += 1;
+            continue;
+        }
+        for (_, next) in succs {
+            report.edges += 1;
+            if visited.contains(&next) {
+                continue;
+            }
+            if report.states_visited >= limits.max_states {
+                report.truncated = true;
+                continue;
+            }
+            track_tokens(&mut report, &next);
+            visited.insert(next.clone());
+            report.states_visited += 1;
+            queue.push_back((next, depth + 1));
+        }
+    }
+    report
+}
+
+fn track_tokens(report: &mut ReachabilityReport, state: &State) {
+    for (_, tokens) in state.marking().marked_places() {
+        report.max_place_tokens = report.max_place_tokens.max(tokens);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TimeInterval, TpnBuilder};
+
+    /// A diamond: start branches to two independent chains that rejoin.
+    fn diamond() -> TimePetriNet {
+        let mut b = TpnBuilder::new("diamond");
+        let start = b.place_with_tokens("start", 1);
+        let left = b.place("left");
+        let right = b.place("right");
+        let done = b.place("done");
+        let tl = b.transition("tl", TimeInterval::immediate());
+        let tr = b.transition("tr", TimeInterval::immediate());
+        let jl = b.transition("jl", TimeInterval::exact(1));
+        let jr = b.transition("jr", TimeInterval::exact(2));
+        b.arc_place_to_transition(start, tl, 1);
+        b.arc_place_to_transition(start, tr, 1);
+        b.arc_transition_to_place(tl, left, 1);
+        b.arc_transition_to_place(tr, right, 1);
+        b.arc_place_to_transition(left, jl, 1);
+        b.arc_place_to_transition(right, jr, 1);
+        b.arc_transition_to_place(jl, done, 1);
+        b.arc_transition_to_place(jr, done, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn explores_branching_state_space() {
+        let report = explore(&diamond(), DelayMode::Earliest, ExplorationLimits::default());
+        // s0 -> {left} -> {done} and s0 -> {right} -> {done}; the two
+        // `done` states coincide (clocks normalized).
+        assert_eq!(report.states_visited, 4);
+        assert_eq!(report.deadlocks, 1);
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn max_states_limit_truncates() {
+        let report = explore(
+            &diamond(),
+            DelayMode::Earliest,
+            ExplorationLimits {
+                max_states: 2,
+                max_depth: 100,
+            },
+        );
+        assert!(report.truncated);
+        assert_eq!(report.states_visited, 2);
+    }
+
+    #[test]
+    fn depth_limit_truncates() {
+        let report = explore(
+            &diamond(),
+            DelayMode::Earliest,
+            ExplorationLimits {
+                max_states: 100,
+                max_depth: 1,
+            },
+        );
+        assert!(report.truncated);
+    }
+
+    #[test]
+    fn full_delay_mode_enumerates_domain() {
+        let mut b = TpnBuilder::new("window");
+        let p = b.place_with_tokens("p", 1);
+        let t = b.transition("t", TimeInterval::new(1, 3).unwrap());
+        b.arc_place_to_transition(p, t, 1);
+        let net = b.build().unwrap();
+        let s0 = net.initial_state();
+        assert_eq!(successors(&net, &s0, DelayMode::Earliest).len(), 1);
+        assert_eq!(successors(&net, &s0, DelayMode::Corners).len(), 2);
+        assert_eq!(successors(&net, &s0, DelayMode::Full).len(), 3);
+    }
+
+    #[test]
+    fn corners_collapse_for_punctual_intervals() {
+        let mut b = TpnBuilder::new("punct");
+        let p = b.place_with_tokens("p", 1);
+        let t = b.transition("t", TimeInterval::exact(5));
+        b.arc_place_to_transition(p, t, 1);
+        let net = b.build().unwrap();
+        assert_eq!(
+            successors(&net, &net.initial_state(), DelayMode::Corners).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn tracks_max_place_tokens() {
+        let mut b = TpnBuilder::new("acc");
+        let src = b.place_with_tokens("src", 1);
+        let acc = b.place("acc");
+        let t = b.transition("t", TimeInterval::immediate());
+        b.arc_place_to_transition(src, t, 1);
+        b.arc_transition_to_place(t, acc, 7);
+        let net = b.build().unwrap();
+        let report = explore(&net, DelayMode::Earliest, ExplorationLimits::default());
+        assert_eq!(report.max_place_tokens, 7);
+    }
+}

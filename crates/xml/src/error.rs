@@ -1,0 +1,72 @@
+//! Error type reported by the XML parser.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing an XML document.
+///
+/// Carries the byte offset at which the problem was detected together with a
+/// human-readable description, so callers can point users at the offending
+/// position of a DSL or PNML file.
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_xml::parse;
+///
+/// let err = parse("<open>").unwrap_err();
+/// assert!(err.to_string().contains("unclosed element"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseXmlError {
+    /// Byte offset into the input where the error was detected.
+    offset: usize,
+    /// Description of the problem, lowercase per Rust error conventions.
+    message: String,
+}
+
+impl ParseXmlError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParseXmlError {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    /// Byte offset into the input at which the error was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The error description without position information.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseXmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl Error for ParseXmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_offset_and_message() {
+        let e = ParseXmlError::new(17, "unexpected end of input");
+        assert_eq!(e.to_string(), "unexpected end of input at byte 17");
+        assert_eq!(e.offset(), 17);
+        assert_eq!(e.message(), "unexpected end of input");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<ParseXmlError>();
+    }
+}

@@ -1,0 +1,324 @@
+//! A recursive-descent parser for the XML subset.
+
+use crate::escape::unescape;
+use crate::tree::{Element, Node};
+use crate::ParseXmlError;
+
+/// Parses an XML document and returns its root element.
+///
+/// Comments, processing instructions, the XML declaration and a DOCTYPE line
+/// are tolerated and skipped. Character data is unescaped. CDATA sections
+/// are taken verbatim.
+///
+/// # Errors
+///
+/// Returns [`ParseXmlError`] on malformed input: mismatched tags, unclosed
+/// elements, bad attribute syntax, unknown entities, or trailing content
+/// after the root element.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), ezrt_xml::ParseXmlError> {
+/// let root = ezrt_xml::parse(r#"<?xml version="1.0"?>
+/// <rt:ez-spec xmlns:rt="http://pnmp.sf.net/EZRealtime">
+///   <Task identifier="ez1"><name>T1</name></Task>
+/// </rt:ez-spec>"#)?;
+/// assert_eq!(root.name, "rt:ez-spec");
+/// assert_eq!(root.child("Task").unwrap().child_text("name").as_deref(), Some("T1"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(input: &str) -> Result<Element, ParseXmlError> {
+    let mut p = Parser {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_prolog()?;
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if p.pos < p.bytes.len() {
+        return Err(p.error("content after document root"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> ParseXmlError {
+        ParseXmlError::new(self.pos, message)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, prefix: &str) -> bool {
+        self.input[self.pos..].starts_with(prefix)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips the XML declaration, DOCTYPE, comments and PIs before the root.
+    fn skip_prolog(&mut self) -> Result<(), ParseXmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                self.skip_until(">")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skips trailing whitespace, comments and PIs after the root.
+    fn skip_misc(&mut self) -> Result<(), ParseXmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_until(&mut self, terminator: &str) -> Result<(), ParseXmlError> {
+        match self.input[self.pos..].find(terminator) {
+            Some(idx) => {
+                self.pos += idx + terminator.len();
+                Ok(())
+            }
+            None => Err(self.error("unterminated markup")),
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<&'a str, ParseXmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ch = c as char;
+            if ch.is_ascii_alphanumeric() || matches!(ch, '_' | '-' | '.' | ':') || c >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected name"));
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    fn expect(&mut self, ch: u8, what: &str) -> Result<(), ParseXmlError> {
+        if self.peek() == Some(ch) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(what))
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<Element, ParseXmlError> {
+        self.expect(b'<', "expected element start")?;
+        let name = self.parse_name()?;
+        let mut element = Element::new(name);
+
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>', "expected '>' after '/'")?;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect(b'=', "expected '=' in attribute")?;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.error("expected quoted attribute value")),
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.pos += 1;
+                    }
+                    if self.peek().is_none() {
+                        return Err(self.error("unterminated attribute value"));
+                    }
+                    let raw = &self.input[start..self.pos];
+                    self.pos += 1;
+                    let value = unescape(raw, start)?;
+                    element.attributes.push((attr_name.to_owned(), value));
+                }
+                None => return Err(self.error("unclosed element")),
+            }
+        }
+
+        // Content until the matching close tag.
+        loop {
+            if self.pos >= self.bytes.len() {
+                return Err(self.error("unclosed element"));
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != element.name {
+                    return Err(self.error("mismatched closing tag"));
+                }
+                self.skip_ws();
+                self.expect(b'>', "expected '>' in closing tag")?;
+                return Ok(element);
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<![CDATA[") {
+                self.pos += "<![CDATA[".len();
+                let start = self.pos;
+                match self.input[self.pos..].find("]]>") {
+                    Some(idx) => {
+                        element
+                            .nodes
+                            .push(Node::Text(self.input[start..start + idx].to_owned()));
+                        self.pos += idx + 3;
+                    }
+                    None => return Err(self.error("unterminated CDATA section")),
+                }
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.peek() == Some(b'<') {
+                let child = self.parse_element()?;
+                element.nodes.push(Node::Element(child));
+            } else {
+                let start = self.pos;
+                while self.peek().is_some_and(|c| c != b'<') {
+                    self.pos += 1;
+                }
+                let raw = &self.input[start..self.pos];
+                let text = unescape(raw, start)?;
+                if !text.trim().is_empty() {
+                    element.nodes.push(Node::Text(text));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_self_closing_root() {
+        let e = parse("<empty/>").unwrap();
+        assert_eq!(e.name, "empty");
+        assert!(e.nodes.is_empty());
+    }
+
+    #[test]
+    fn parses_attributes_with_both_quote_styles() {
+        let e = parse(r#"<t a="1" b='two'/>"#).unwrap();
+        assert_eq!(e.attr("a"), Some("1"));
+        assert_eq!(e.attr("b"), Some("two"));
+    }
+
+    #[test]
+    fn parses_nested_elements_and_text() {
+        let e = parse("<a><b>hello</b><b>world</b></a>").unwrap();
+        let texts: Vec<String> = e.children_named("b").map(Element::text).collect();
+        assert_eq!(texts, ["hello", "world"]);
+    }
+
+    #[test]
+    fn skips_declaration_doctype_comments_and_pis() {
+        let doc = "<?xml version=\"1.0\"?><!DOCTYPE x><!-- c --><x><!-- inner --><?pi data?></x><!-- after -->";
+        let e = parse(doc).unwrap();
+        assert_eq!(e.name, "x");
+        assert!(e.nodes.is_empty());
+    }
+
+    #[test]
+    fn unescapes_text_and_attributes() {
+        let e = parse(r#"<t msg="a &amp; b">1 &lt; 2</t>"#).unwrap();
+        assert_eq!(e.attr("msg"), Some("a & b"));
+        assert_eq!(e.text(), "1 < 2");
+    }
+
+    #[test]
+    fn cdata_is_verbatim() {
+        let e = parse("<code><![CDATA[if (a < b && c) { x(); }]]></code>").unwrap();
+        assert_eq!(e.text(), "if (a < b && c) { x(); }");
+    }
+
+    #[test]
+    fn namespace_prefixes_are_preserved() {
+        let e = parse(r#"<rt:ez-spec xmlns:rt="http://pnmp.sf.net/EZRealtime"/>"#).unwrap();
+        assert_eq!(e.name, "rt:ez-spec");
+        assert_eq!(
+            e.attr("xmlns:rt"),
+            Some("http://pnmp.sf.net/EZRealtime"),
+            "namespace declarations are plain attributes in this subset"
+        );
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let e = parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(e.nodes.len(), 1);
+    }
+
+    #[test]
+    fn rejects_mismatched_close_tag() {
+        assert!(parse("<a></b>").is_err());
+    }
+
+    #[test]
+    fn rejects_unclosed_element() {
+        assert!(parse("<a><b></b>").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_attribute_syntax() {
+        assert!(parse("<a x=1/>").is_err());
+        assert!(parse("<a x=\"1/>").is_err());
+    }
+
+    #[test]
+    fn error_offsets_point_into_input() {
+        let doc = "<a><b></c></a>";
+        let err = parse(doc).unwrap_err();
+        assert!(err.offset() <= doc.len());
+    }
+
+    #[test]
+    fn parses_unicode_content() {
+        let e = parse("<t>período</t>").unwrap();
+        assert_eq!(e.text(), "período");
+    }
+}

@@ -1,0 +1,219 @@
+//! The XML document tree: [`Element`] and [`Node`].
+
+/// A node in an XML element's content.
+///
+/// The parser only materializes element and text nodes; comments and
+/// processing instructions are skipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A child element.
+    Element(Element),
+    /// Character data (already unescaped).
+    Text(String),
+}
+
+impl Node {
+    /// Returns the contained element, if this node is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// Returns the contained text, if this node is character data.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Element(_) => None,
+            Node::Text(t) => Some(t),
+        }
+    }
+}
+
+/// An XML element: a name, attributes in document order, and content nodes.
+///
+/// Attribute and element names keep any namespace prefix verbatim (e.g.
+/// `rt:ez-spec`); the ezRealtime dialects treat prefixed names as opaque.
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_xml::Element;
+///
+/// let mut task = Element::new("Task");
+/// task.set_attr("identifier", "ez1");
+/// task.push_text_child("name", "T1");
+/// assert_eq!(task.attr("identifier"), Some("ez1"));
+/// assert_eq!(task.child_text("name").as_deref(), Some("T1"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name, including any namespace prefix.
+    pub name: String,
+    /// Attributes as `(name, value)` pairs in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Ordered content of the element.
+    pub nodes: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an empty element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Looks up an attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Sets (or replaces) an attribute.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.attributes.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.attributes.push((name, value));
+        }
+        self
+    }
+
+    /// Appends a child element.
+    pub fn push_child(&mut self, child: Element) -> &mut Self {
+        self.nodes.push(Node::Element(child));
+        self
+    }
+
+    /// Appends raw character data.
+    pub fn push_text(&mut self, text: impl Into<String>) -> &mut Self {
+        self.nodes.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Appends a child element that wraps a single text node, a very common
+    /// pattern in both the ezRealtime DSL and PNML
+    /// (`<period>9</period>`, `<text>label</text>`).
+    pub fn push_text_child(
+        &mut self,
+        name: impl Into<String>,
+        text: impl Into<String>,
+    ) -> &mut Self {
+        let mut child = Element::new(name);
+        child.push_text(text);
+        self.push_child(child)
+    }
+
+    /// Iterates over child *elements*, skipping text nodes.
+    pub fn children(&self) -> impl Iterator<Item = &Element> {
+        self.nodes.iter().filter_map(Node::as_element)
+    }
+
+    /// Iterates over child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children().filter(move |e| e.name == name)
+    }
+
+    /// Returns the first child element with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.children().find(|e| e.name == name)
+    }
+
+    /// Returns the concatenated text content of this element (direct text
+    /// nodes only), trimmed of surrounding whitespace.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for node in &self.nodes {
+            if let Node::Text(t) = node {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_owned()
+    }
+
+    /// Returns the trimmed text content of the first child with `name`.
+    pub fn child_text(&self, name: &str) -> Option<String> {
+        self.child(name).map(Element::text)
+    }
+
+    /// Serializes this element (and its subtree) as a standalone XML
+    /// document with declaration, using default formatting.
+    pub fn to_xml_string(&self) -> String {
+        crate::writer::write_document(self, &crate::writer::WriteOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        let mut root = Element::new("spec");
+        root.set_attr("version", "1");
+        let mut t1 = Element::new("task");
+        t1.set_attr("name", "T1");
+        t1.push_text_child("period", "9");
+        root.push_child(t1);
+        root.push_text("   ");
+        let mut t2 = Element::new("task");
+        t2.set_attr("name", "T2");
+        root.push_child(t2);
+        root
+    }
+
+    #[test]
+    fn attr_lookup_and_replacement() {
+        let mut e = sample();
+        assert_eq!(e.attr("version"), Some("1"));
+        assert_eq!(e.attr("missing"), None);
+        e.set_attr("version", "2");
+        assert_eq!(e.attr("version"), Some("2"));
+        assert_eq!(e.attributes.len(), 1, "set_attr must replace in place");
+    }
+
+    #[test]
+    fn children_iterators_skip_text() {
+        let e = sample();
+        assert_eq!(e.children().count(), 2);
+        assert_eq!(e.children_named("task").count(), 2);
+        assert_eq!(e.children_named("nothing").count(), 0);
+    }
+
+    #[test]
+    fn child_text_extracts_trimmed_content() {
+        let e = sample();
+        let t1 = e.child("task").unwrap();
+        assert_eq!(t1.child_text("period").as_deref(), Some("9"));
+        assert_eq!(t1.child_text("deadline"), None);
+    }
+
+    #[test]
+    fn text_concatenates_direct_text_nodes_only() {
+        let mut e = Element::new("x");
+        e.push_text("a");
+        e.push_child({
+            let mut c = Element::new("c");
+            c.push_text("inner");
+            c
+        });
+        e.push_text("b");
+        assert_eq!(e.text(), "ab");
+    }
+
+    #[test]
+    fn node_accessors() {
+        let e = Node::Element(Element::new("e"));
+        let t = Node::Text("hi".into());
+        assert!(e.as_element().is_some());
+        assert!(e.as_text().is_none());
+        assert_eq!(t.as_text(), Some("hi"));
+        assert!(t.as_element().is_none());
+    }
+}

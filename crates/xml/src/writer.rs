@@ -1,0 +1,192 @@
+//! Serialization of element trees back to XML text.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::tree::{Element, Node};
+use std::fmt::Write as _;
+
+/// Formatting options for [`write_document`].
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_xml::{Element, WriteOptions, write_document};
+///
+/// let mut root = Element::new("spec");
+/// root.push_text_child("period", "9");
+/// let compact = write_document(&root, &WriteOptions { indent: None, declaration: false });
+/// assert_eq!(compact, "<spec><period>9</period></spec>");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOptions {
+    /// Number of spaces per nesting level, or `None` for compact output.
+    pub indent: Option<usize>,
+    /// Whether to emit the `<?xml version="1.0" encoding="UTF-8"?>` line.
+    pub declaration: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions {
+            indent: Some(2),
+            declaration: true,
+        }
+    }
+}
+
+/// Serializes `root` as an XML document according to `options`.
+///
+/// Elements whose content is a single text node are written on one line
+/// (`<period>9</period>`), matching the style of the paper's Fig. 7 listing.
+pub fn write_document(root: &Element, options: &WriteOptions) -> String {
+    let mut out = String::new();
+    if options.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if options.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    write_element(&mut out, root, options, 0);
+    if options.indent.is_some() {
+        out.push('\n');
+    }
+    out
+}
+
+fn write_element(out: &mut String, element: &Element, options: &WriteOptions, depth: usize) {
+    let pad = |out: &mut String, depth: usize| {
+        if let Some(width) = options.indent {
+            for _ in 0..depth * width {
+                out.push(' ');
+            }
+        }
+    };
+
+    pad(out, depth);
+    out.push('<');
+    out.push_str(&element.name);
+    for (name, value) in &element.attributes {
+        let _ = write!(out, " {}=\"{}\"", name, escape_attr(value));
+    }
+
+    if element.nodes.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+
+    let single_text = element.nodes.len() == 1 && matches!(element.nodes[0], Node::Text(_));
+    out.push('>');
+    if single_text {
+        if let Node::Text(t) = &element.nodes[0] {
+            out.push_str(&escape_text(t));
+        }
+    } else {
+        for node in &element.nodes {
+            if options.indent.is_some() {
+                out.push('\n');
+            }
+            match node {
+                Node::Element(child) => write_element(out, child, options, depth + 1),
+                Node::Text(text) => {
+                    pad(out, depth + 1);
+                    out.push_str(&escape_text(text));
+                }
+            }
+        }
+        if options.indent.is_some() {
+            out.push('\n');
+        }
+        pad(out, depth);
+    }
+    out.push_str("</");
+    out.push_str(&element.name);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn sample() -> Element {
+        let mut root = Element::new("rt:ez-spec");
+        root.set_attr("xmlns:rt", "http://pnmp.sf.net/EZRealtime");
+        let mut task = Element::new("Task");
+        task.set_attr("identifier", "ez1");
+        task.push_text_child("name", "T1");
+        task.push_text_child("period", "9");
+        root.push_child(task);
+        root
+    }
+
+    #[test]
+    fn default_output_has_declaration_and_indent() {
+        let text = write_document(&sample(), &WriteOptions::default());
+        assert!(text.starts_with("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"));
+        assert!(text.contains("\n  <Task identifier=\"ez1\">"));
+        assert!(text.contains("\n    <name>T1</name>"));
+    }
+
+    #[test]
+    fn compact_output_has_no_whitespace() {
+        let text = write_document(
+            &sample(),
+            &WriteOptions {
+                indent: None,
+                declaration: false,
+            },
+        );
+        assert!(!text.contains('\n'));
+        assert!(text.contains("<period>9</period>"));
+    }
+
+    #[test]
+    fn attribute_values_are_escaped() {
+        let mut e = Element::new("x");
+        e.set_attr("msg", "a \"b\" & <c>");
+        let text = write_document(
+            &e,
+            &WriteOptions {
+                indent: None,
+                declaration: false,
+            },
+        );
+        assert_eq!(text, "<x msg=\"a &quot;b&quot; &amp; &lt;c&gt;\"/>");
+    }
+
+    #[test]
+    fn round_trip_parse_of_written_document() {
+        let original = sample();
+        let text = write_document(&original, &WriteOptions::default());
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed, original);
+    }
+
+    #[test]
+    fn round_trip_compact() {
+        let original = sample();
+        let text = write_document(
+            &original,
+            &WriteOptions {
+                indent: None,
+                declaration: false,
+            },
+        );
+        assert_eq!(parse(&text).unwrap(), original);
+    }
+
+    #[test]
+    fn mixed_content_round_trips_shape() {
+        let mut e = Element::new("m");
+        e.push_text("hello");
+        e.push_child(Element::new("c"));
+        let text = write_document(
+            &e,
+            &WriteOptions {
+                indent: None,
+                declaration: false,
+            },
+        );
+        assert_eq!(text, "<m>hello<c/></m>");
+        assert_eq!(parse(&text).unwrap(), e);
+    }
+}

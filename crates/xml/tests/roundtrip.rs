@@ -1,0 +1,82 @@
+//! Property tests: arbitrary element trees survive write→parse round trips.
+
+use ezrt_xml::{parse, write_document, Element, WriteOptions};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_.-]{0,8}".prop_map(|s| s)
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Printable text with XML specials mixed in; no leading/trailing
+    // whitespace because the parser drops whitespace-only nodes and the
+    // tree getter trims.
+    "[ -~]{1,20}"
+        .prop_map(|s| s.trim().to_owned())
+        .prop_filter("non-empty after trim", |s| !s.is_empty())
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (
+        name_strategy(),
+        prop::collection::vec((name_strategy(), text_strategy()), 0..3),
+        prop::option::of(text_strategy()),
+    )
+        .prop_map(|(name, attrs, text)| {
+            let mut e = Element::new(name);
+            for (n, v) in attrs {
+                // Duplicate attribute names are invalid XML; set_attr dedups.
+                e.set_attr(n, v);
+            }
+            if let Some(t) = text {
+                e.push_text(t);
+            }
+            e
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), text_strategy()), 0..3),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                for (n, v) in attrs {
+                    e.set_attr(n, v);
+                }
+                for c in children {
+                    e.push_child(c);
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn pretty_round_trip(root in element_strategy()) {
+        let text = write_document(&root, &WriteOptions::default());
+        let reparsed = parse(&text).expect("written document must parse");
+        prop_assert_eq!(reparsed, root);
+    }
+
+    #[test]
+    fn compact_round_trip(root in element_strategy()) {
+        let text = write_document(&root, &WriteOptions { indent: None, declaration: false });
+        let reparsed = parse(&text).expect("written document must parse");
+        prop_assert_eq!(reparsed, root);
+    }
+
+    #[test]
+    fn escape_unescape_identity(s in "[ -~]{0,64}") {
+        let escaped = ezrt_xml::escape_text(&s);
+        prop_assert_eq!(ezrt_xml::unescape(&escaped, 0).unwrap(), s.clone());
+        let escaped_attr = ezrt_xml::escape_attr(&s);
+        prop_assert_eq!(ezrt_xml::unescape(&escaped_attr, 0).unwrap(), s);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,200}") {
+        let _ = parse(&s);
+    }
+}

@@ -1,0 +1,304 @@
+//! `ezrt` — the ezRealtime command-line tool.
+//!
+//! The original ezRealtime is an Eclipse GUI; this binary exposes the
+//! same flow on the command line, reading `<rt:ez-spec>` XML documents
+//! (paper Fig. 7) and driving the pipeline of Fig. 6:
+//!
+//! ```text
+//! ezrt check     spec.xml             validate the specification
+//! ezrt schedule  spec.xml             synthesize and report statistics
+//! ezrt gantt     spec.xml [from to]   ASCII timeline of the schedule
+//! ezrt table     spec.xml             the Fig. 8 schedule table
+//! ezrt codegen   spec.xml [target]    emit C (posix_sim|generic|i8051|avr8|arm9|m68k|x86)
+//! ezrt pnml      spec.xml             export the net as ISO 15909-2 PNML
+//! ezrt dot       spec.xml             export the net as Graphviz DOT
+//! ezrt simulate  spec.xml [periods]   execute on the simulated dispatcher
+//! ezrt compare   spec.xml             pre-runtime vs online schedulers
+//! ezrt analyze   spec.xml             utilization, demand-bound and RTA verdicts
+//! ezrt invariants spec.xml            place invariants of the translated net
+//! ```
+//!
+//! All output goes to stdout so results compose with shell pipelines;
+//! diagnostics go to stderr and failures exit nonzero.
+
+use ezrealtime::codegen::Target;
+use ezrealtime::core::Project;
+use ezrealtime::sim::{simulate_online, OnlinePolicy};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("ezrt: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        println!("{}", usage());
+        return Ok(());
+    }
+    let path = args.get(1).ok_or_else(usage)?;
+    let document =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let project = Project::from_dsl(&document).map_err(|e| format!("{path}: {e}"))?;
+
+    match command.as_str() {
+        "check" => check(&project),
+        "schedule" => schedule(&project),
+        "gantt" => gantt(&project, args.get(2), args.get(3)),
+        "table" => table(&project),
+        "codegen" => codegen(&project, args.get(2)),
+        "pnml" => {
+            let outcome = synthesize(&project)?;
+            println!("{}", outcome.to_pnml());
+            Ok(())
+        }
+        "dot" => {
+            println!("{}", ezrealtime::tpn::dot::to_dot(project.translate().net()));
+            Ok(())
+        }
+        "simulate" => simulate(&project, args.get(2)),
+        "compare" => compare(&project),
+        "analyze" => analyze(&project),
+        "invariants" => invariants(&project),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: ezrt <command> <spec.xml> [args]\n\
+     commands:\n\
+     \x20 check     validate the specification\n\
+     \x20 schedule  synthesize the pre-runtime schedule and print statistics\n\
+     \x20 gantt     [from to] print an ASCII timeline (default first 120 units)\n\
+     \x20 table     print the schedule table as a C array (paper Fig. 8)\n\
+     \x20 codegen   [target] emit scheduled C code (posix_sim|generic|i8051|avr8|arm9|m68k|x86)\n\
+     \x20 pnml      export the synthesized time Petri net as PNML\n\
+     \x20 dot       export the translated net as Graphviz DOT\n\
+     \x20 simulate  [periods] execute the schedule on the simulated dispatcher\n\
+     \x20 compare   pre-runtime synthesis vs online EDF/RM/DM baselines\n\
+     \x20 analyze   analytical schedulability: utilization, demand bound, RTA\n\
+     \x20 invariants place invariants (Farkas) of the translated Petri net"
+        .to_owned()
+}
+
+fn synthesize(project: &Project) -> Result<ezrealtime::core::Outcome, String> {
+    project
+        .synthesize()
+        .map_err(|e| format!("schedule synthesis failed: {e}"))
+}
+
+fn check(project: &Project) -> Result<(), String> {
+    let spec = project.spec();
+    spec.validate().map_err(|e| e.to_string())?;
+    println!(
+        "ok: {} task(s), {} processor(s), {} message(s), hyperperiod {}",
+        spec.task_count(),
+        spec.processors().count(),
+        spec.messages().count(),
+        spec.hyperperiod()
+    );
+    println!("   {} task instance(s) per schedule period", spec.total_instances());
+    for (pid, processor) in spec.processors() {
+        let utilization = spec.utilization(pid);
+        let verdict = if utilization > 1.0 { " (OVERLOADED)" } else { "" };
+        println!("   {}: utilization {:.3}{verdict}", processor.name(), utilization);
+    }
+    Ok(())
+}
+
+fn schedule(project: &Project) -> Result<(), String> {
+    let outcome = synthesize(project)?;
+    println!("feasible schedule found");
+    println!("  firings          {}", outcome.schedule.firings().len());
+    println!("  makespan         {}", outcome.schedule.makespan());
+    println!("  states visited   {}", outcome.stats.states_visited);
+    println!("  minimum states   {}", outcome.stats.minimum_states());
+    println!("  overhead ratio   {:.4}", outcome.stats.overhead_ratio());
+    println!("  backtracks       {}", outcome.stats.backtracks);
+    println!("  elapsed          {:?}", outcome.stats.elapsed);
+    let violations = outcome.validate();
+    println!("  validator        {} violation(s)", violations.len());
+    for violation in violations {
+        println!("    {violation}");
+    }
+    Ok(())
+}
+
+fn gantt(project: &Project, from: Option<&String>, to: Option<&String>) -> Result<(), String> {
+    let outcome = synthesize(project)?;
+    let from = parse_number(from, 0)?;
+    let default_to = (from + 120).min(project.spec().hyperperiod().max(from + 1));
+    let to = parse_number(to, default_to)?;
+    if to <= from {
+        return Err("gantt window must be non-empty".to_owned());
+    }
+    print!("{}", outcome.gantt(from, to));
+    Ok(())
+}
+
+fn table(project: &Project) -> Result<(), String> {
+    let outcome = synthesize(project)?;
+    print!("{}", outcome.table.to_c_array());
+    Ok(())
+}
+
+fn codegen(project: &Project, target: Option<&String>) -> Result<(), String> {
+    let target = match target.map(String::as_str) {
+        None | Some("posix_sim") => Target::PosixSim,
+        Some("generic") => Target::GenericBareMetal,
+        Some("i8051") => Target::I8051,
+        Some("avr8") => Target::Avr8,
+        Some("arm9") => Target::Arm9,
+        Some("m68k") => Target::M68k,
+        Some("x86") => Target::X86Bare,
+        Some(other) => return Err(format!("unknown target {other:?}")),
+    };
+    let outcome = synthesize(project)?;
+    let code = outcome.generate_code(target);
+    println!("/* ===== {} ===== */", code.header_name);
+    println!("{}", code.header);
+    println!("/* ===== {} ===== */", code.source_name);
+    println!("{}", code.source);
+    Ok(())
+}
+
+fn simulate(project: &Project, periods: Option<&String>) -> Result<(), String> {
+    let periods = parse_number(periods, 1)?.max(1);
+    let outcome = synthesize(project)?;
+    let report = outcome.execute_for(periods);
+    println!("simulated {periods} schedule period(s), horizon {}", report.horizon);
+    println!("  deadline misses  {}", report.deadline_misses.len());
+    println!("  release jitter   {}", report.max_release_jitter());
+    println!("  preemptions      {}", report.preemptions);
+    println!("  context switches {}", report.context_switches);
+    println!("  utilization      {:.3}", report.utilization());
+    println!("  energy           {}", report.energy);
+    for (task, stats) in &report.response {
+        println!(
+            "  {:<12} response min/mean/max = {}/{:.1}/{}",
+            project.spec().task(*task).name(),
+            stats.min,
+            stats.mean(),
+            stats.max
+        );
+    }
+    Ok(())
+}
+
+fn compare(project: &Project) -> Result<(), String> {
+    let spec = project.spec();
+    println!(
+        "{:<14} {:>8} {:>12} {:>14}",
+        "scheduler", "misses", "preemptions", "ctx switches"
+    );
+    match project.synthesize() {
+        Ok(outcome) => {
+            let report = outcome.execute_for(1);
+            println!(
+                "{:<14} {:>8} {:>12} {:>14}",
+                "pre-runtime",
+                report.deadline_misses.len(),
+                report.preemptions,
+                report.context_switches
+            );
+        }
+        Err(e) => println!("{:<14} {e}", "pre-runtime"),
+    }
+    for policy in OnlinePolicy::ALL {
+        let report = simulate_online(spec, policy, 1);
+        println!(
+            "{:<14} {:>8} {:>12} {:>14}",
+            policy.name(),
+            report.execution.deadline_misses.len(),
+            report.execution.preemptions,
+            report.execution.context_switches
+        );
+    }
+    Ok(())
+}
+
+fn analyze(project: &Project) -> Result<(), String> {
+    use ezrealtime::sim::analysis;
+    let spec = project.spec();
+    for (pid, processor) in spec.processors() {
+        let tasks_on: Vec<_> = spec.tasks().filter(|(_, t)| t.processor() == pid).collect();
+        if tasks_on.is_empty() {
+            continue;
+        }
+        println!("processor {}:", processor.name());
+        let utilization = analysis::total_utilization(spec, pid);
+        let bound = analysis::liu_layland_bound(tasks_on.len());
+        println!("  utilization      {utilization:.3}");
+        println!(
+            "  liu-layland      {bound:.3} ({})",
+            if utilization <= bound {
+                "RM-schedulable by the sufficient bound"
+            } else {
+                "inconclusive for RM"
+            }
+        );
+        match analysis::demand_bound_infeasible(spec, pid) {
+            Some(t) => println!("  demand bound     INFEASIBLE under any policy (h(t) > t at t = {t})"),
+            None => println!("  demand bound     necessary condition holds"),
+        }
+        println!("  RTA (deadline-monotonic, preemptive):");
+        for (task, verdict) in
+            analysis::response_time_analysis(spec, pid, |t| spec.task(t).timing().deadline)
+        {
+            match verdict {
+                Some(r) => println!(
+                    "    {:<12} worst response {r} (deadline {})",
+                    spec.task(task).name(),
+                    spec.task(task).timing().deadline
+                ),
+                None => println!("    {:<12} DIVERGES (misses its deadline)", spec.task(task).name()),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn invariants(project: &Project) -> Result<(), String> {
+    use ezrealtime::tpn::invariants::place_invariants;
+    let tasknet = project.translate();
+    let net = tasknet.net();
+    let report = place_invariants(net, 100_000);
+    println!(
+        "{} place invariant(s){}:",
+        report.invariants.len(),
+        if report.truncated { " (budget truncated)" } else { "" }
+    );
+    for invariant in &report.invariants {
+        let terms: Vec<String> = invariant
+            .support()
+            .map(|(p, w)| {
+                let name = net.place(p).name();
+                if w == 1 {
+                    name.to_owned()
+                } else {
+                    format!("{w}*{name}")
+                }
+            })
+            .collect();
+        println!("  {} = {}", terms.join(" + "), invariant.value(net));
+    }
+    Ok(())
+}
+
+fn parse_number(arg: Option<&String>, default: u64) -> Result<u64, String> {
+    match arg {
+        None => Ok(default),
+        Some(text) => text
+            .parse()
+            .map_err(|_| format!("expected a number, found {text:?}")),
+    }
+}

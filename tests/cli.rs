@@ -1,0 +1,239 @@
+//! Integration tests for the `ezrt` command-line tool.
+
+use std::process::Command;
+
+fn ezrt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ezrt"))
+}
+
+fn spec_file() -> tempfile_lite::TempFile {
+    let spec = ezrealtime::spec::corpus::small_control();
+    let document = ezrealtime::dsl::to_xml(&spec);
+    tempfile_lite::TempFile::with_content("spec.xml", &document)
+}
+
+/// A tiny self-contained temp-file helper (no external crates).
+mod tempfile_lite {
+    use std::path::PathBuf;
+
+    pub struct TempFile {
+        pub path: PathBuf,
+    }
+
+    impl TempFile {
+        pub fn with_content(name: &str, content: &str) -> Self {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            static COUNTER: AtomicUsize = AtomicUsize::new(0);
+            let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let dir = std::env::temp_dir().join(format!(
+                "ezrt_cli_{}_{}_{}",
+                std::process::id(),
+                unique,
+                name.replace('.', "_")
+            ));
+            std::fs::create_dir_all(&dir).expect("temp dir");
+            let path = dir.join(name);
+            let mut file = std::fs::File::create(&path).expect("temp file");
+            use std::io::Write;
+            file.write_all(content.as_bytes()).expect("write");
+            TempFile { path }
+        }
+    }
+
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            if let Some(parent) = self.path.parent() {
+                let _ = std::fs::remove_dir_all(parent);
+            }
+        }
+    }
+}
+
+#[test]
+fn check_reports_utilization() {
+    let file = spec_file();
+    let output = ezrt()
+        .args(["check", file.path.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("4 task(s)"));
+    assert!(stdout.contains("utilization"));
+}
+
+#[test]
+fn schedule_prints_search_statistics() {
+    let file = spec_file();
+    let output = ezrt()
+        .args(["schedule", file.path.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("feasible schedule found"));
+    assert!(stdout.contains("states visited"));
+    assert!(stdout.contains("0 violation(s)"));
+}
+
+#[test]
+fn table_emits_the_c_array() {
+    let file = spec_file();
+    let output = ezrt()
+        .args(["table", file.path.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.starts_with("struct ScheduleItem scheduleTable"));
+    assert!(stdout.contains("(int *)sense"));
+}
+
+#[test]
+fn codegen_validates_targets() {
+    let file = spec_file();
+    let ok = ezrt()
+        .args(["codegen", file.path.to_str().unwrap(), "i8051"])
+        .output()
+        .expect("runs");
+    assert!(ok.status.success());
+    assert!(String::from_utf8(ok.stdout).unwrap().contains("__interrupt(1)"));
+
+    let bad = ezrt()
+        .args(["codegen", file.path.to_str().unwrap(), "z80"])
+        .output()
+        .expect("runs");
+    assert!(!bad.status.success());
+    assert!(String::from_utf8(bad.stderr).unwrap().contains("unknown target"));
+}
+
+#[test]
+fn pnml_output_reimports() {
+    let file = spec_file();
+    let output = ezrt()
+        .args(["pnml", file.path.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(ezrealtime::pnml::from_pnml(&stdout).is_ok());
+}
+
+#[test]
+fn simulate_and_compare_run() {
+    let file = spec_file();
+    let output = ezrt()
+        .args(["simulate", file.path.to_str().unwrap(), "3"])
+        .output()
+        .expect("runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("deadline misses  0"));
+
+    let output = ezrt()
+        .args(["compare", file.path.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("pre-runtime"));
+    assert!(stdout.contains("edf-p"));
+}
+
+#[test]
+fn gantt_window_arguments() {
+    let file = spec_file();
+    let output = ezrt()
+        .args(["gantt", file.path.to_str().unwrap(), "0", "20"])
+        .output()
+        .expect("runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("sense"));
+    assert!(stdout.contains('#'));
+
+    let bad = ezrt()
+        .args(["gantt", file.path.to_str().unwrap(), "9", "9"])
+        .output()
+        .expect("runs");
+    assert!(!bad.status.success());
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    // Missing file.
+    let output = ezrt().args(["check", "/nonexistent.xml"]).output().expect("runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8(output.stderr).unwrap().contains("cannot read"));
+
+    // Unknown command.
+    let file = spec_file();
+    let output = ezrt()
+        .args(["frobnicate", file.path.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(!output.status.success());
+
+    // No arguments: usage on stderr.
+    let output = ezrt().output().expect("runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8(output.stderr).unwrap().contains("usage"));
+}
+
+#[test]
+fn analyze_reports_schedulability_verdicts() {
+    let file = spec_file();
+    let output = ezrt()
+        .args(["analyze", file.path.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("utilization"));
+    assert!(stdout.contains("demand bound"));
+    assert!(stdout.contains("RTA"));
+    assert!(stdout.contains("worst response"));
+}
+
+#[test]
+fn invariants_lists_resource_conservation_laws() {
+    let file = spec_file();
+    let output = ezrt()
+        .args(["invariants", file.path.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    // small_control: the processor and one exclusion lock conserve.
+    assert!(stdout.contains("pproc_cpu0"));
+    assert!(stdout.contains("pexcl_"));
+    assert!(stdout.contains("= 1"));
+}
+
+#[test]
+fn help_prints_usage_successfully() {
+    let output = ezrt().arg("--help").output().expect("runs");
+    assert!(output.status.success());
+    assert!(String::from_utf8(output.stdout).unwrap().contains("usage"));
+}
+
+#[test]
+fn infeasible_specs_fail_cleanly() {
+    let overload = ezrealtime::spec::SpecBuilder::new("overload")
+        .task("x", |t| t.computation(3).deadline(4).period(4))
+        .task("y", |t| t.computation(2).deadline(4).period(4))
+        .build()
+        .unwrap();
+    let document = ezrealtime::dsl::to_xml(&overload);
+    let file = tempfile_lite::TempFile::with_content("overload.xml", &document);
+    let output = ezrt()
+        .args(["schedule", file.path.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8(output.stderr)
+        .unwrap()
+        .contains("no feasible schedule"));
+    // stdout stays machine-friendly (empty).
+    assert!(output.stdout.is_empty());
+}

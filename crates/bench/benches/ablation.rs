@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ezrt_bench::{sweep_spec, SWEEP_SEEDS};
 use ezrt_compose::translate;
-use ezrt_scheduler::{synthesize, BranchOrdering, SchedulerConfig};
+use ezrt_scheduler::{synthesize, synthesize_reference, BranchOrdering, SchedulerConfig};
 use ezrt_spec::corpus::small_control;
 use std::hint::black_box;
 
@@ -90,7 +90,9 @@ fn report_infeasibility_proof_cost() {
     use ezrt_spec::SpecBuilder;
     let mut b = SpecBuilder::new("overload8");
     for i in 0..8 {
-        b = b.task(format!("t{i}"), |t| t.computation(2).deadline(10).period(10));
+        b = b.task(format!("t{i}"), |t| {
+            t.computation(2).deadline(10).period(10)
+        });
     }
     let spec = b.build().expect("valid but overloaded");
     let tasknet = translate(&spec);
@@ -109,10 +111,32 @@ fn report_infeasibility_proof_cost() {
     }
 }
 
+/// X6 — the packed-kernel ablation: the same search with the preserved
+/// value-typed kernel versus the packed one, on the mine pump. Both visit
+/// identical states (equivalence-tested), so the throughput delta is
+/// purely the state representation and duplicate detection.
+fn report_kernel_ablation() {
+    use ezrt_spec::corpus::mine_pump;
+    let tasknet = translate(&mine_pump());
+    let config = SchedulerConfig::default();
+    let packed = synthesize(&tasknet, &config);
+    let reference = synthesize_reference(&tasknet, &config);
+    if let (Ok(packed), Ok(reference)) = (packed, reference) {
+        eprintln!(
+            "[X6] mine pump kernels: packed {:.0} states/s ({} dead-set bytes) vs reference {:.0} states/s ({} bytes)",
+            packed.stats.states_per_second(),
+            packed.stats.dead_set_bytes,
+            reference.stats.states_per_second(),
+            reference.stats.dead_set_bytes,
+        );
+    }
+}
+
 fn bench_ablation(c: &mut Criterion) {
     report_ablation_shape();
     report_mine_pump_por();
     report_infeasibility_proof_cost();
+    report_kernel_ablation();
     let spec = small_control();
     let tasknet = translate(&spec);
     let mut group = c.benchmark_group("ablation");

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ezrt_compose::translate;
-use ezrt_scheduler::{synthesize, SchedulerConfig};
+use ezrt_scheduler::{synthesize, synthesize_reference, SchedulerConfig};
 use ezrt_sim::{simulate_online, OnlinePolicy};
 use ezrt_spec::corpus::mine_pump;
 use std::hint::black_box;
@@ -13,6 +13,13 @@ fn report_mine_pump_verdicts() {
     let spec = mine_pump();
     let pre = synthesize(&translate(&spec), &SchedulerConfig::default());
     eprintln!("[X4] pre-runtime: feasible={}", pre.is_ok());
+    if let Ok(synthesis) = &pre {
+        eprintln!(
+            "[X4] pre-runtime kernel: {:.0} states/s, dead-set {} bytes",
+            synthesis.stats.states_per_second(),
+            synthesis.stats.dead_set_bytes,
+        );
+    }
     for policy in OnlinePolicy::ALL {
         let report = simulate_online(&spec, policy, 1);
         eprintln!(
@@ -35,6 +42,12 @@ fn bench_baseline(c: &mut Criterion) {
     group.bench_function("pre_runtime_synthesis", |b| {
         let config = SchedulerConfig::default();
         b.iter(|| black_box(synthesize(black_box(&tasknet), &config).expect("feasible")))
+    });
+
+    // The preserved value-typed kernel, for the packed-vs-old comparison.
+    group.bench_function("pre_runtime_synthesis_reference", |b| {
+        let config = SchedulerConfig::default();
+        b.iter(|| black_box(synthesize_reference(black_box(&tasknet), &config).expect("feasible")))
     });
 
     for policy in OnlinePolicy::ALL {

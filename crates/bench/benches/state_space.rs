@@ -2,32 +2,43 @@
 //! size on synthetic non-preemptive workloads (the paper evaluates one
 //! case study; this sweep characterizes how the searched state count
 //! grows with the forced minimum).
+//!
+//! Since the packed-kernel refactor this bench also reports the kernel
+//! metrics the ROADMAP tracks — states/second and peak dead-set bytes —
+//! and times the preserved value-typed reference kernel next to the
+//! packed one, so the speedup is visible in every run's output.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ezrt_bench::{sweep_spec, SWEEP_SEEDS, SWEEP_TASK_COUNTS};
 use ezrt_compose::translate;
-use ezrt_scheduler::{synthesize, SchedulerConfig};
+use ezrt_scheduler::{synthesize, synthesize_reference, SchedulerConfig};
 use std::hint::black_box;
 
 fn report_sweep_shape() {
-    eprintln!("[X1] states visited vs task count (seed-averaged):");
+    eprintln!("[X1] packed kernel: states visited / throughput vs task count (seed-averaged):");
     for &tasks in &SWEEP_TASK_COUNTS {
         let mut visited = 0usize;
         let mut minimum = 0u64;
         let mut feasible = 0usize;
+        let mut states_per_second = 0.0f64;
+        let mut dead_set_bytes = 0usize;
         for &seed in &SWEEP_SEEDS {
             let tasknet = translate(&sweep_spec(tasks, seed));
             if let Ok(s) = synthesize(&tasknet, &SchedulerConfig::default()) {
                 visited += s.stats.states_visited;
                 minimum += s.stats.minimum_states();
+                states_per_second += s.stats.states_per_second();
+                dead_set_bytes = dead_set_bytes.max(s.stats.dead_set_bytes);
                 feasible += 1;
             }
         }
         if let Some(mean_visited) = visited.checked_div(feasible) {
             eprintln!(
-                "[X1]   {tasks:>2} tasks: visited≈{} minimum≈{} ({}/{} feasible)",
+                "[X1]   {tasks:>2} tasks: visited≈{} minimum≈{} {:.0} states/s peak dead-set {} bytes ({}/{} feasible)",
                 mean_visited,
                 minimum / feasible as u64,
+                states_per_second / feasible as f64,
+                dead_set_bytes,
                 feasible,
                 SWEEP_SEEDS.len()
             );
@@ -35,8 +46,30 @@ fn report_sweep_shape() {
     }
 }
 
+/// The packed-versus-reference kernel comparison on the largest sweep
+/// size: the headline number for the alloc-free firing + interned
+/// dead-set refactor.
+fn report_kernel_comparison() {
+    let tasks = *SWEEP_TASK_COUNTS.last().expect("sweep sizes");
+    let tasknet = translate(&sweep_spec(tasks, SWEEP_SEEDS[0]));
+    let config = SchedulerConfig::default();
+    let packed = synthesize(&tasknet, &config);
+    let reference = synthesize_reference(&tasknet, &config);
+    if let (Ok(packed), Ok(reference)) = (packed, reference) {
+        eprintln!(
+            "[X1] kernel comparison ({tasks} tasks): packed {:.0} states/s vs reference {:.0} states/s ({:.2}x); dead-set {} vs {} bytes",
+            packed.stats.states_per_second(),
+            reference.stats.states_per_second(),
+            packed.stats.states_per_second() / reference.stats.states_per_second().max(1.0),
+            packed.stats.dead_set_bytes,
+            reference.stats.dead_set_bytes,
+        );
+    }
+}
+
 fn bench_state_space(c: &mut Criterion) {
     report_sweep_shape();
+    report_kernel_comparison();
     let mut group = c.benchmark_group("state_space");
     group.sample_size(10);
 
@@ -49,6 +82,11 @@ fn bench_state_space(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("synthesize", tasks), &tasks, |b, _| {
             b.iter(|| black_box(synthesize(black_box(&tasknet), &config)))
         });
+        group.bench_with_input(
+            BenchmarkId::new("synthesize_reference", tasks),
+            &tasks,
+            |b, _| b.iter(|| black_box(synthesize_reference(black_box(&tasknet), &config))),
+        );
     }
     group.finish();
 }

@@ -48,7 +48,10 @@ fn main() {
 /// Table 1: the mine pump specification.
 fn table_1() {
     println!("== Table 1: Specification for Mine Pump ==");
-    println!("{:<6} {:>11} {:>8} {:>6}", "task", "Computation", "Deadline", "Period");
+    println!(
+        "{:<6} {:>11} {:>8} {:>6}",
+        "task", "Computation", "Deadline", "Period"
+    );
     let spec = mine_pump();
     for (_, task) in spec.tasks() {
         let t = task.timing();
@@ -76,14 +79,21 @@ fn section_5() {
     let synthesis = synthesize(&tasknet, &SchedulerConfig::default()).expect("feasible");
     let elapsed = started.elapsed();
     println!("{:<26} {:>12} {:>12}", "", "paper", "this repo");
-    println!("{:<26} {:>12} {:>12}", "task instances", 782, spec.total_instances());
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "task instances",
+        782,
+        spec.total_instances()
+    );
     println!(
         "{:<26} {:>12} {:>12}",
         "states visited", 3268, synthesis.stats.states_visited
     );
     println!(
         "{:<26} {:>12} {:>12}",
-        "minimum states", 3130, synthesis.stats.minimum_states()
+        "minimum states",
+        3130,
+        synthesis.stats.minimum_states()
     );
     println!(
         "{:<26} {:>12.4} {:>12.4}",

@@ -144,7 +144,10 @@ impl CodeGenerator {
         out.push('\n');
 
         if self.target == Target::PosixSim {
-            let _ = writeln!(out, "static const char *ezrt_task_name[EZRT_TASK_COUNT + 1] = {{");
+            let _ = writeln!(
+                out,
+                "static const char *ezrt_task_name[EZRT_TASK_COUNT + 1] = {{"
+            );
             out.push_str("    \"\",\n");
             for (_, task) in spec.tasks() {
                 let _ = writeln!(out, "    \"{}\",", c_identifier(task.name()));
@@ -204,7 +207,9 @@ impl CodeGenerator {
             "void ezrt_port_context_restore(uint8_t task_id);\n\n",
         ));
         if self.target == Target::GenericBareMetal {
-            out.push_str("void ezrt_port_timer_init(uint32_t tick_hz);\n#define EZRT_TICK_HZ 1000u\n\n");
+            out.push_str(
+                "void ezrt_port_timer_init(uint32_t tick_hz);\n#define EZRT_TICK_HZ 1000u\n\n",
+            );
         }
         if self.target == Target::Arm9 {
             out.push_str(concat!(
@@ -315,9 +320,15 @@ mod tests {
             );
             assert_eq!(code.source_name, format!("ezrt_app_{}.c", target.name()));
         }
-        assert!(generated(&spec, Target::I8051).source.contains("__interrupt(1)"));
-        assert!(generated(&spec, Target::Avr8).source.contains("ISR(TIMER1_COMPA_vect)"));
-        assert!(generated(&spec, Target::Arm9).source.contains("EZRT_PIT_MR"));
+        assert!(generated(&spec, Target::I8051)
+            .source
+            .contains("__interrupt(1)"));
+        assert!(generated(&spec, Target::Avr8)
+            .source
+            .contains("ISR(TIMER1_COMPA_vect)"));
+        assert!(generated(&spec, Target::Arm9)
+            .source
+            .contains("EZRT_PIT_MR"));
         assert!(generated(&spec, Target::GenericBareMetal)
             .source
             .contains("ezrt_port_timer_init"));

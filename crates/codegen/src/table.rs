@@ -118,13 +118,14 @@ impl ScheduleTable {
             .max()
             .unwrap_or(1);
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "struct ScheduleItem scheduleTable [SCHEDULE_SIZE] ="
-        );
+        let _ = writeln!(out, "struct ScheduleItem scheduleTable [SCHEDULE_SIZE] =");
         for (i, entry) in self.entries.iter().enumerate() {
             let opener = if i == 0 { "{" } else { " " };
-            let closer = if i + 1 == self.entries.len() { "};" } else { "," };
+            let closer = if i + 1 == self.entries.len() {
+                "};"
+            } else {
+                ","
+            };
             let _ = writeln!(
                 out,
                 "{opener}{{{start:>width$}, {resumed}, {id}, (int *){function}}}{closer} /* {comment} */",
@@ -168,7 +169,10 @@ pub fn c_identifier(name: &str) -> String {
 /// The single-letter-ish instance prefix used in the Fig. 8 comments:
 /// `TaskA` → `A`, `PMC` → `PMC`.
 fn short_name(name: &str) -> String {
-    name.strip_prefix("Task").filter(|r| !r.is_empty()).unwrap_or(name).to_owned()
+    name.strip_prefix("Task")
+        .filter(|r| !r.is_empty())
+        .unwrap_or(name)
+        .to_owned()
 }
 
 #[cfg(test)]

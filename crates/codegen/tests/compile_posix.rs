@@ -9,7 +9,10 @@ use ezrt_spec::EzSpec;
 use std::process::Command;
 
 fn host_cc() -> Option<&'static str> {
-    ["cc", "gcc", "clang"].into_iter().find(|&cc| Command::new(cc).arg("--version").output().is_ok()).map(|v| v as _)
+    ["cc", "gcc", "clang"]
+        .into_iter()
+        .find(|&cc| Command::new(cc).arg("--version").output().is_ok())
+        .map(|v| v as _)
 }
 
 fn build_and_run(spec: &EzSpec, label: &str) -> Option<(ScheduleTable, String)> {
@@ -53,7 +56,10 @@ fn small_control_program_dispatches_every_instance() {
         eprintln!("no host C compiler; skipping");
         return;
     };
-    let dispatches = stdout.lines().filter(|l| l.contains("dispatch task")).count();
+    let dispatches = stdout
+        .lines()
+        .filter(|l| l.contains("dispatch task"))
+        .count();
     assert_eq!(dispatches, table.entries().len());
     assert!(stdout.contains("ezrt: schedule period complete"));
     // Every task function executed at least once.
@@ -87,7 +93,10 @@ fn mine_pump_table_compiles_at_scale() {
         return;
     };
     assert_eq!(table.entries().len(), 782);
-    let dispatches = stdout.lines().filter(|l| l.contains("dispatch task")).count();
+    let dispatches = stdout
+        .lines()
+        .filter(|l| l.contains("dispatch task"))
+        .count();
     assert_eq!(dispatches, 782);
 }
 

@@ -192,7 +192,8 @@ pub fn add_task_blocks(
         TransitionRole::Phase(task_id),
     );
     asm.builder.arc_place_to_transition(start, t_phase, 1);
-    asm.builder.arc_transition_to_place(t_phase, wait_release, 1);
+    asm.builder
+        .arc_transition_to_place(t_phase, wait_release, 1);
     asm.builder.arc_transition_to_place(t_phase, watcher, 1);
 
     let (wait_arrival, t_arrival) = if instances > 1 {
@@ -207,8 +208,10 @@ pub fn add_task_blocks(
             Priority::SOURCE,
             TransitionRole::Arrival(task_id),
         );
-        asm.builder.arc_place_to_transition(wait_arrival, t_arrival, 1);
-        asm.builder.arc_transition_to_place(t_arrival, wait_release, 1);
+        asm.builder
+            .arc_place_to_transition(wait_arrival, t_arrival, 1);
+        asm.builder
+            .arc_transition_to_place(t_arrival, wait_release, 1);
         asm.builder.arc_transition_to_place(t_arrival, watcher, 1);
         (Some(wait_arrival), Some(t_arrival))
     } else {
@@ -248,7 +251,8 @@ pub fn add_task_blocks(
         Priority::DECISION,
         TransitionRole::Release(task_id),
     );
-    asm.builder.arc_place_to_transition(wait_release, t_release, 1);
+    asm.builder
+        .arc_place_to_transition(wait_release, t_release, 1);
 
     let t_grant = asm.transition(
         format!("tg{i}_{n}"),
@@ -279,9 +283,11 @@ pub fn add_task_blocks(
                 TransitionRole::Compute(task_id),
             );
             asm.builder.arc_place_to_transition(computing, t_compute, 1);
-            asm.builder.arc_transition_to_place(t_compute, wait_finish, 1);
+            asm.builder
+                .arc_transition_to_place(t_compute, wait_finish, 1);
             asm.builder.arc_transition_to_place(t_compute, processor, 1);
-            asm.builder.arc_place_to_transition(wait_finish, t_finish, 1);
+            asm.builder
+                .arc_place_to_transition(wait_finish, t_finish, 1);
             (t_compute, Some(wait_finish), None, None)
         }
         SchedulingMethod::Preemptive => {
@@ -301,7 +307,8 @@ pub fn add_task_blocks(
             );
             asm.builder.arc_place_to_transition(computing, t_compute, 1);
             asm.builder.arc_place_to_transition(budget, t_compute, 1);
-            asm.builder.arc_transition_to_place(t_compute, wait_grant, 1);
+            asm.builder
+                .arc_transition_to_place(t_compute, wait_grant, 1);
             asm.builder.arc_transition_to_place(t_compute, processor, 1);
             asm.builder.arc_transition_to_place(t_compute, done, 1);
             asm.builder
@@ -345,7 +352,6 @@ pub fn add_task_blocks(
 mod tests {
     use super::*;
     use ezrt_spec::SpecBuilder;
-    
 
     fn single_task_spec(preemptive: bool) -> ezrt_spec::EzSpec {
         SpecBuilder::new("one")
@@ -375,7 +381,11 @@ mod tests {
         (asm, blocks)
     }
 
-    fn finish_net(mut asm: Assembly, blocks: &TaskBlocks, instances: u32) -> ezrt_tpn::TimePetriNet {
+    fn finish_net(
+        mut asm: Assembly,
+        blocks: &TaskBlocks,
+        instances: u32,
+    ) -> ezrt_tpn::TimePetriNet {
         // Wire release directly to grant and close the net with fork/join
         // so it builds.
         asm.builder

@@ -54,9 +54,18 @@ mod tests {
 
     #[test]
     fn ordering_encodes_the_three_rules() {
-        assert!(Priority::DEADLINE_CHECK < Priority::MISS, "disarm before miss");
-        assert!(Priority::FINISH < Priority::DECISION, "bookkeeping before decisions");
-        assert!(Priority::DECISION < Priority::MISS, "computation beats miss at the deadline");
+        assert!(
+            Priority::DEADLINE_CHECK < Priority::MISS,
+            "disarm before miss"
+        );
+        assert!(
+            Priority::FINISH < Priority::DECISION,
+            "bookkeeping before decisions"
+        );
+        assert!(
+            Priority::DECISION < Priority::MISS,
+            "computation beats miss at the deadline"
+        );
         assert!(Priority::FORK_JOIN < Priority::DEADLINE_CHECK);
         assert!(Priority::STAGE < Priority::SOURCE);
     }

@@ -33,7 +33,8 @@ pub fn add_precedence(asm: &mut Assembly, from: &TaskBlocks, to: &TaskBlocks) ->
     let fi = from.task.index();
     let ti = to.task.index();
     let buffer = asm.builder.place(format!("pprec_{fi}_{ti}"));
-    asm.builder.arc_transition_to_place(from.t_finish, buffer, 1);
+    asm.builder
+        .arc_transition_to_place(from.t_finish, buffer, 1);
 
     let entry = asm.builder.place(format!("pwp_{ti}_{fi}"));
     let transition = asm.transition(
@@ -67,9 +68,7 @@ pub fn add_exclusion(
 ) -> (PlaceId, Stage, Stage) {
     let ai = a.task.index();
     let bi = b.task.index();
-    let lock = asm
-        .builder
-        .place_with_tokens(format!("pexcl_{ai}_{bi}"), 1);
+    let lock = asm.builder.place_with_tokens(format!("pexcl_{ai}_{bi}"), 1);
 
     let mut acquire = |blocks: &TaskBlocks, partner: &TaskBlocks| -> Stage {
         let i = blocks.task.index();
@@ -86,7 +85,8 @@ pub fn add_exclusion(
         );
         asm.builder.arc_place_to_transition(entry, transition, 1);
         asm.builder.arc_place_to_transition(lock, transition, 1);
-        asm.builder.arc_transition_to_place(blocks.t_finish, lock, 1);
+        asm.builder
+            .arc_transition_to_place(blocks.t_finish, lock, 1);
         Stage { entry, transition }
     };
 
@@ -119,7 +119,8 @@ pub fn add_message(
     let name = message.name();
 
     let outbox = asm.builder.place(format!("pmsg{mi}_{name}"));
-    asm.builder.arc_transition_to_place(sender.t_finish, outbox, 1);
+    asm.builder
+        .arc_transition_to_place(sender.t_finish, outbox, 1);
 
     let transferring = asm.builder.place(format!("ptx{mi}_{name}"));
     let t_grant = asm.transition(
@@ -130,7 +131,8 @@ pub fn add_message(
     );
     asm.builder.arc_place_to_transition(outbox, t_grant, 1);
     asm.builder.arc_place_to_transition(bus, t_grant, 1);
-    asm.builder.arc_transition_to_place(t_grant, transferring, 1);
+    asm.builder
+        .arc_transition_to_place(t_grant, transferring, 1);
 
     let delivered = asm.builder.place(format!("pmd{mi}_{name}"));
     let t_transfer = asm.transition(
@@ -139,11 +141,15 @@ pub fn add_message(
         Priority::DECISION,
         TransitionRole::BusTransfer(id),
     );
-    asm.builder.arc_place_to_transition(transferring, t_transfer, 1);
+    asm.builder
+        .arc_place_to_transition(transferring, t_transfer, 1);
     asm.builder.arc_transition_to_place(t_transfer, bus, 1);
-    asm.builder.arc_transition_to_place(t_transfer, delivered, 1);
+    asm.builder
+        .arc_transition_to_place(t_transfer, delivered, 1);
 
-    let entry = asm.builder.place(format!("pwm_{}_{mi}", receiver.task.index()));
+    let entry = asm
+        .builder
+        .place(format!("pwm_{}_{mi}", receiver.task.index()));
     let transition = asm.transition(
         format!("tmr{mi}_{name}"),
         TimeInterval::immediate(),
@@ -154,7 +160,8 @@ pub fn add_message(
         },
     );
     asm.builder.arc_place_to_transition(entry, transition, 1);
-    asm.builder.arc_place_to_transition(delivered, transition, 1);
+    asm.builder
+        .arc_place_to_transition(delivered, transition, 1);
     Stage { entry, transition }
 }
 
@@ -279,7 +286,11 @@ mod tests {
         // The stage transition is immediate and consumes entry + buffer.
         let t = net.transition(stage_b.transition);
         assert!(t.interval().is_immediate());
-        let pre: Vec<PlaceId> = net.pre_set(stage_b.transition).iter().map(|&(p, _)| p).collect();
+        let pre: Vec<PlaceId> = net
+            .pre_set(stage_b.transition)
+            .iter()
+            .map(|&(p, _)| p)
+            .collect();
         assert!(pre.contains(&stage_b.entry));
         assert!(pre.contains(&buffer));
         // A's finish feeds the buffer.
@@ -326,8 +337,14 @@ mod tests {
         assert!(net.post_set(a.t_finish).iter().any(|&(p, _)| p == lock));
         assert!(net.post_set(b.t_finish).iter().any(|&(p, _)| p == lock));
         // Both acquire transitions consume the same lock.
-        assert!(net.pre_set(stage_a.transition).iter().any(|&(p, _)| p == lock));
-        assert!(net.pre_set(stage_b.transition).iter().any(|&(p, _)| p == lock));
+        assert!(net
+            .pre_set(stage_a.transition)
+            .iter()
+            .any(|&(p, _)| p == lock));
+        assert!(net
+            .pre_set(stage_b.transition)
+            .iter()
+            .any(|&(p, _)| p == lock));
     }
 
     #[test]

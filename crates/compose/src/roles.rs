@@ -138,7 +138,10 @@ mod tests {
             "a precedence stage belongs to the admitted successor"
         );
         assert_eq!(TransitionRole::Fork.task(), None);
-        assert_eq!(TransitionRole::BusGrant(MessageId::from_index(0)).task(), None);
+        assert_eq!(
+            TransitionRole::BusGrant(MessageId::from_index(0)).task(),
+            None
+        );
     }
 
     #[test]

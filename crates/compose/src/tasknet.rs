@@ -127,6 +127,28 @@ impl TaskNet {
         self.miss_places.iter().any(|&p| marking.tokens(p) > 0)
     }
 
+    /// Packed-kernel counterpart of [`has_deadline_miss`](Self::has_deadline_miss):
+    /// reads the token prefix of a packed state slice (see
+    /// [`StateLayout`](ezrt_tpn::StateLayout)) without unpacking.
+    pub fn has_deadline_miss_packed(&self, state: &[u32]) -> bool {
+        self.miss_places.iter().any(|&p| state[p.index()] > 0)
+    }
+
+    /// Packed-kernel counterpart of [`is_final`](Self::is_final).
+    pub fn is_final_packed(&self, state: &[u32]) -> bool {
+        state[..self.final_marking.place_count()] == *self.final_marking.as_slice()
+    }
+
+    /// Packed-kernel counterpart of [`missed_tasks`](Self::missed_tasks).
+    pub fn missed_tasks_packed(&self, state: &[u32]) -> Vec<TaskId> {
+        self.miss_places
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| state[p.index()] > 0)
+            .map(|(i, _)| TaskId::from_index(i))
+            .collect()
+    }
+
     /// The tasks whose miss place is marked in `marking` — diagnostics
     /// for infeasibility reports.
     pub fn missed_tasks(&self, marking: &Marking) -> Vec<TaskId> {
@@ -153,10 +175,7 @@ impl TaskNet {
         let mut total = 2; // fork + join
         for (id, task) in self.spec.tasks() {
             let n = self.instances[id.index()];
-            let stages = self
-                .spec
-                .predecessors(id)
-                .count()
+            let stages = self.spec.predecessors(id).count()
                 + self
                     .spec
                     .messages()

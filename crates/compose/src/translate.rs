@@ -75,9 +75,10 @@ pub fn translate(spec: &EzSpec) -> TaskNet {
     // Bus resource places, one per distinct bus name.
     let mut bus_places = BTreeMap::new();
     for (_, m) in spec.messages() {
-        bus_places
-            .entry(m.bus().to_owned())
-            .or_insert_with(|| asm.builder.place_with_tokens(format!("pbus_{}", m.bus()), 1));
+        bus_places.entry(m.bus().to_owned()).or_insert_with(|| {
+            asm.builder
+                .place_with_tokens(format!("pbus_{}", m.bus()), 1)
+        });
     }
 
     // Steps ii and iii: relations and communications become stages.
@@ -186,7 +187,11 @@ mod tests {
         // NP plus wa) + fork/join/proc: sanity-check the magnitude rather
         // than an exact constant.
         assert!(net.place_count() >= 90, "got {}", net.place_count());
-        assert!(net.transition_count() >= 80, "got {}", net.transition_count());
+        assert!(
+            net.transition_count() >= 80,
+            "got {}",
+            net.transition_count()
+        );
         // Every task contributes exactly one miss place.
         assert_eq!(tasknet.miss_places().len(), 10);
         // The net is structurally clean.
@@ -355,8 +360,12 @@ mod tests {
     #[test]
     fn multiprocessor_specs_get_one_resource_place_each() {
         let spec = SpecBuilder::new("dual")
-            .task("a", |t| t.computation(1).deadline(5).period(10).on_processor("p0"))
-            .task("b", |t| t.computation(1).deadline(5).period(10).on_processor("p1"))
+            .task("a", |t| {
+                t.computation(1).deadline(5).period(10).on_processor("p0")
+            })
+            .task("b", |t| {
+                t.computation(1).deadline(5).period(10).on_processor("p1")
+            })
             .build()
             .unwrap();
         let tasknet = translate(&spec);

@@ -46,7 +46,11 @@ impl fmt::Display for ParseDslError {
             ParseDslError::MissingField { element, field } => {
                 write!(f, "{element} is missing required field <{field}>")
             }
-            ParseDslError::BadNumber { element, field, text } => {
+            ParseDslError::BadNumber {
+                element,
+                field,
+                text,
+            } => {
                 write!(f, "{element}: field <{field}> is not a number: {text:?}")
             }
             ParseDslError::BadSchedulingMode(mode) => {

@@ -55,7 +55,9 @@ pub fn from_xml(document: &str) -> Result<EzSpec, ParseDslError> {
     }
     let mut task_names: HashMap<String, String> = HashMap::new();
     for t in root.children_named("Task") {
-        let name = t.child_text("name").ok_or_else(|| missing("Task", "name"))?;
+        let name = t
+            .child_text("name")
+            .ok_or_else(|| missing("Task", "name"))?;
         if let Some(id) = t.attr("identifier") {
             task_names.insert(id.to_owned(), name.clone());
         }
@@ -78,7 +80,9 @@ pub fn from_xml(document: &str) -> Result<EzSpec, ParseDslError> {
     }
 
     for t in root.children_named("Task") {
-        let name = t.child_text("name").ok_or_else(|| missing("Task", "name"))?;
+        let name = t
+            .child_text("name")
+            .ok_or_else(|| missing("Task", "name"))?;
         let element_label = format!("Task {name:?}");
         let period = required_number(t, &element_label, "period")?;
         let computation = required_number(t, &element_label, "computing")?;
@@ -95,7 +99,10 @@ pub fn from_xml(document: &str) -> Result<EzSpec, ParseDslError> {
             let id = reference.trim().trim_start_matches('#');
             // Declared identifier, else treat the text as a processor name
             // (the Fig. 7 snippet references an elided declaration).
-            processor_names.get(id).cloned().unwrap_or_else(|| id.to_owned())
+            processor_names
+                .get(id)
+                .cloned()
+                .unwrap_or_else(|| id.to_owned())
         });
         let code = t.child_text("code").filter(|c| !c.is_empty());
 
@@ -232,7 +239,10 @@ mod tests {
         assert_eq!(spec.task(to).name(), "T2");
         // The undeclared processor reference became a named processor.
         assert!(spec.processor_id("p124365").is_some());
-        assert_eq!(spec.task_by_name("T2").unwrap().method(), SchedulingMethod::Preemptive);
+        assert_eq!(
+            spec.task_by_name("T2").unwrap().method(),
+            SchedulingMethod::Preemptive
+        );
     }
 
     #[test]
@@ -245,8 +255,8 @@ mod tests {
             small_control(),
         ] {
             let xml = to_xml(&spec);
-            let reparsed = from_xml(&xml)
-                .unwrap_or_else(|e| panic!("{} failed to reparse: {e}", spec.name()));
+            let reparsed =
+                from_xml(&xml).unwrap_or_else(|e| panic!("{} failed to reparse: {e}", spec.name()));
             assert_eq!(reparsed, spec, "{} round trip", spec.name());
         }
     }

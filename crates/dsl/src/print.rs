@@ -106,8 +106,13 @@ mod tests {
     fn output_matches_figure7_field_vocabulary() {
         let xml = to_xml(&mine_pump());
         for field in [
-            "<processor>", "<name>", "<period>", "<power>", "<schedulingMode>",
-            "<computing>", "<deadline>",
+            "<processor>",
+            "<name>",
+            "<period>",
+            "<power>",
+            "<schedulingMode>",
+            "<computing>",
+            "<deadline>",
         ] {
             assert!(xml.contains(field), "missing {field}");
         }

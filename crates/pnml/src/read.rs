@@ -130,14 +130,18 @@ pub fn from_pnml(document: &str) -> Result<TimePetriNet, ParsePnmlError> {
             continue;
         }
         let arc_id = element.attr("id").unwrap_or("?").to_owned();
-        let source = element.attr("source").ok_or_else(|| ParsePnmlError::BadArc {
-            arc: arc_id.clone(),
-            detail: "missing source".into(),
-        })?;
-        let target = element.attr("target").ok_or_else(|| ParsePnmlError::BadArc {
-            arc: arc_id.clone(),
-            detail: "missing target".into(),
-        })?;
+        let source = element
+            .attr("source")
+            .ok_or_else(|| ParsePnmlError::BadArc {
+                arc: arc_id.clone(),
+                detail: "missing source".into(),
+            })?;
+        let target = element
+            .attr("target")
+            .ok_or_else(|| ParsePnmlError::BadArc {
+                arc: arc_id.clone(),
+                detail: "missing target".into(),
+            })?;
         let weight = match element
             .child("inscription")
             .and_then(|i| i.child_text("text"))

@@ -49,7 +49,9 @@ fn mine_pump_pnml_is_humanly_plausible() {
     let net = translate(&mine_pump()).into_net();
     let document = to_pnml(&net);
     // All ten tasks appear by name in the place labels.
-    for task in ["PMC", "WFC", "RLWH", "CH4H", "CH4S", "COH", "AFH", "WFH", "PDL", "SDL"] {
+    for task in [
+        "PMC", "WFC", "RLWH", "CH4H", "CH4S", "COH", "AFH", "WFH", "PDL", "SDL",
+    ] {
         assert!(document.contains(task), "missing task {task}");
     }
     // Arrival weights like 374 (PMC instances - 1) survive as inscriptions.

@@ -1,6 +1,6 @@
 //! Search configuration.
 
-pub use ezrt_tpn::reachability::DelayMode;
+pub use ezrt_tpn::DelayMode;
 
 /// How the depth-first search orders sibling branches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -43,7 +43,10 @@ impl SynthesizeError {
 impl fmt::Display for SynthesizeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SynthesizeError::Infeasible { stats, missed_tasks } => {
+            SynthesizeError::Infeasible {
+                stats,
+                missed_tasks,
+            } => {
                 write!(
                     f,
                     "no feasible schedule exists ({} states searched",
@@ -52,7 +55,11 @@ impl fmt::Display for SynthesizeError {
                 if missed_tasks.is_empty() {
                     write!(f, ")")
                 } else {
-                    write!(f, "; deadline misses observed for {})", missed_tasks.join(", "))
+                    write!(
+                        f,
+                        "; deadline misses observed for {})",
+                        missed_tasks.join(", ")
+                    )
                 }
             }
             SynthesizeError::StateLimitExceeded { stats } => write!(
@@ -60,11 +67,9 @@ impl fmt::Display for SynthesizeError {
                 "state limit exceeded after {} states",
                 stats.states_visited
             ),
-            SynthesizeError::TimeLimitExceeded { stats } => write!(
-                f,
-                "time limit exceeded after {:?}",
-                stats.elapsed
-            ),
+            SynthesizeError::TimeLimitExceeded { stats } => {
+                write!(f, "time limit exceeded after {:?}", stats.elapsed)
+            }
         }
     }
 }
@@ -89,7 +94,9 @@ mod tests {
         assert!(e.to_string().contains("PMC"));
         assert_eq!(e.stats().states_visited, 42);
 
-        let e = SynthesizeError::StateLimitExceeded { stats: stats.clone() };
+        let e = SynthesizeError::StateLimitExceeded {
+            stats: stats.clone(),
+        };
         assert!(e.to_string().contains("state limit"));
         let e = SynthesizeError::TimeLimitExceeded { stats };
         assert!(e.to_string().contains("time limit"));

@@ -40,6 +40,7 @@
 
 mod config;
 mod error;
+pub mod reference;
 mod schedule;
 mod search;
 mod stats;
@@ -48,6 +49,7 @@ pub mod validate;
 
 pub use config::{BranchOrdering, SchedulerConfig};
 pub use error::SynthesizeError;
+pub use reference::synthesize_reference;
 pub use schedule::{FeasibleSchedule, ScheduledFiring};
 pub use search::{synthesize, Synthesis};
 pub use stats::SearchStats;

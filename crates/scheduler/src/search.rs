@@ -1,11 +1,22 @@
-//! The depth-first schedule-synthesis search.
+//! The depth-first schedule-synthesis search on the packed state kernel.
+//!
+//! The DFS walks the TLTS through
+//! [`Explorer`](ezrt_tpn::reachability::Explorer): states are interned to
+//! dense [`StateId`]s in a slab arena, successors are fired into reusable
+//! scratch buffers, the dead-set is a bitvector over ids, and frames pool
+//! their candidate vectors across pushes — so in the steady state the
+//! inner loop performs **zero heap allocations per explored successor**.
+//! The original value-typed search is preserved in
+//! [`reference`](crate::reference) and the two are equivalence-tested to
+//! return byte-identical schedules.
 
 use crate::config::{BranchOrdering, DelayMode, SchedulerConfig};
 use crate::error::SynthesizeError;
 use crate::schedule::{FeasibleSchedule, ScheduledFiring};
 use crate::stats::SearchStats;
 use ezrt_compose::{Priority, TaskNet, TransitionRole};
-use ezrt_tpn::{State, Time, TimeBound, TransitionId};
+use ezrt_tpn::reachability::Explorer;
+use ezrt_tpn::{StateId, Time, TimeBound, TransitionId};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -19,31 +30,67 @@ pub struct Synthesis {
     pub stats: SearchStats,
 }
 
-/// One DFS frame: a state, its ordered candidate firings, and a cursor.
+/// One DFS frame over interned states. Frames are pooled: popping a frame
+/// leaves its candidate vector allocated for the next push at that depth.
+#[derive(Default)]
 struct Frame {
-    state: State,
+    state: Option<StateId>,
     candidates: Vec<(TransitionId, Time)>,
     next: usize,
     now: Time,
 }
 
+/// A dead-state index over dense [`StateId`]s: one bit per interned state.
+#[derive(Debug, Default)]
+struct DeadSet {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl DeadSet {
+    fn insert(&mut self, id: StateId) {
+        let (word, bit) = (id.index() / 64, id.index() % 64);
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        if self.bits[word] & mask == 0 {
+            self.bits[word] |= mask;
+            self.len += 1;
+        }
+    }
+
+    fn contains(&self, id: StateId) -> bool {
+        let (word, bit) = (id.index() / 64, id.index() % 64);
+        self.bits.get(word).is_some_and(|w| w & (1u64 << bit) != 0)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.bits.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
 /// Per-task counters maintained along the DFS path, used by the EDF
 /// branch-ordering heuristic to compute the absolute deadline of the
 /// instance a candidate transition advances.
-struct InstanceCounters {
+pub(crate) struct InstanceCounters {
     releases: Vec<u64>,
     completed: Vec<u64>,
 }
 
 impl InstanceCounters {
-    fn new(tasks: usize) -> Self {
+    pub(crate) fn new(tasks: usize) -> Self {
         InstanceCounters {
             releases: vec![0; tasks],
             completed: vec![0; tasks],
         }
     }
 
-    fn apply(&mut self, role: TransitionRole) {
+    pub(crate) fn apply(&mut self, role: TransitionRole) {
         match role {
             TransitionRole::Release(t) => self.releases[t.index()] += 1,
             TransitionRole::DeadlineCheck(t) => self.completed[t.index()] += 1,
@@ -51,7 +98,7 @@ impl InstanceCounters {
         }
     }
 
-    fn unapply(&mut self, role: TransitionRole) {
+    pub(crate) fn unapply(&mut self, role: TransitionRole) {
         match role {
             TransitionRole::Release(t) => self.releases[t.index()] -= 1,
             TransitionRole::DeadlineCheck(t) => self.completed[t.index()] -= 1,
@@ -87,41 +134,65 @@ impl InstanceCounters {
 /// # Ok(())
 /// # }
 /// ```
-pub fn synthesize(tasknet: &TaskNet, config: &SchedulerConfig) -> Result<Synthesis, SynthesizeError> {
+pub fn synthesize(
+    tasknet: &TaskNet,
+    config: &SchedulerConfig,
+) -> Result<Synthesis, SynthesizeError> {
     let net = tasknet.net();
     let started = Instant::now();
     let mut stats = SearchStats {
         minimum_firings: tasknet.minimum_firing_count(),
         ..SearchStats::default()
     };
-    let mut dead: HashSet<State> = HashSet::new();
+    let mut explorer = Explorer::new(net);
+    let mut dead = DeadSet::default();
     let mut counters = InstanceCounters::new(tasknet.spec().task_count());
     let mut missed_task_names: HashSet<String> = HashSet::new();
+    let mut domains: Vec<(TransitionId, Time, TimeBound)> = Vec::new();
 
-    let s0 = net.initial_state();
+    let s0 = explorer.intern_initial();
     stats.states_visited = 1;
-    let root_candidates = candidates(tasknet, &s0, config, &counters);
-    let mut frames = vec![Frame {
-        state: s0,
-        candidates: root_candidates,
-        next: 0,
-        now: 0,
+    let mut frames: Vec<Frame> = vec![Frame {
+        state: Some(s0),
+        ..Frame::default()
     }];
+    candidates_into(
+        tasknet,
+        &explorer,
+        s0,
+        config,
+        &counters,
+        &mut domains,
+        &mut frames[0].candidates,
+    );
+    // Frames `0..depth` are active; `depth..frames.len()` are pooled spares.
+    let mut depth: usize = 1;
     let mut path: Vec<ScheduledFiring> = Vec::new();
+    let mut ticks: u64 = 0;
+
+    let finish_stats = |stats: &mut SearchStats, dead: &DeadSet, explorer: &Explorer<'_>| {
+        stats.elapsed = started.elapsed();
+        stats.dead_states = dead.len();
+        stats.dead_set_bytes = dead.resident_bytes() + explorer.arena().resident_bytes();
+    };
 
     loop {
-        // Budget checks (time checked coarsely to stay cheap).
+        // Budget checks. The time budget is gated on the loop tick, not on
+        // `states_visited`: long pruning streaks (dead-set hits, deadline
+        // misses) advance the tick every iteration but may not visit any
+        // fresh state, and must still hit the check.
+        ticks += 1;
         if stats.states_visited > config.max_states {
-            stats.elapsed = started.elapsed();
+            finish_stats(&mut stats, &dead, &explorer);
             return Err(SynthesizeError::StateLimitExceeded { stats });
         }
-        if stats.states_visited.is_multiple_of(4096) && started.elapsed() > config.max_time {
-            stats.elapsed = started.elapsed();
+        if ticks.is_multiple_of(4096) && started.elapsed() > config.max_time {
+            finish_stats(&mut stats, &dead, &explorer);
             return Err(SynthesizeError::TimeLimitExceeded { stats });
         }
 
-        let Some(frame) = frames.last_mut() else {
-            stats.elapsed = started.elapsed();
+        if depth == 0 {
+            finish_stats(&mut stats, &dead, &explorer);
             stats.schedule_length = 0;
             let mut missed: Vec<String> = missed_task_names.into_iter().collect();
             missed.sort();
@@ -129,12 +200,14 @@ pub fn synthesize(tasknet: &TaskNet, config: &SchedulerConfig) -> Result<Synthes
                 stats,
                 missed_tasks: missed,
             });
-        };
+        }
+        let frame = &mut frames[depth - 1];
+        let frame_state = frame.state.expect("active frames hold a state");
 
         // Frame exhausted: this state is dead; backtrack.
         if frame.next >= frame.candidates.len() {
-            dead.insert(frame.state.clone());
-            frames.pop();
+            dead.insert(frame_state);
+            depth -= 1;
             if let Some(firing) = path.pop() {
                 counters.unapply(firing.role);
                 stats.backtracks += 1;
@@ -145,17 +218,18 @@ pub fn synthesize(tasknet: &TaskNet, config: &SchedulerConfig) -> Result<Synthes
         let (transition, delay) = frame.candidates[frame.next];
         frame.next += 1;
         let now = frame.now + delay;
-        let next_state = net.fire_unchecked(&frame.state, transition, delay);
+        let (next_state, _) = explorer.fire(frame_state, transition, delay);
 
-        if dead.contains(&next_state) {
+        if dead.contains(next_state) {
             stats.pruned_dead += 1;
             continue;
         }
         stats.states_visited += 1;
 
-        if tasknet.has_deadline_miss(next_state.marking()) {
+        let packed = explorer.state(next_state);
+        if tasknet.has_deadline_miss_packed(packed) {
             stats.pruned_misses += 1;
-            for task in tasknet.missed_tasks(next_state.marking()) {
+            for task in tasknet.missed_tasks_packed(packed) {
                 missed_task_names.insert(tasknet.spec().task(task).name().to_owned());
             }
             dead.insert(next_state);
@@ -170,10 +244,10 @@ pub fn synthesize(tasknet: &TaskNet, config: &SchedulerConfig) -> Result<Synthes
             at: now,
         };
 
-        if tasknet.is_final(next_state.marking()) {
+        if tasknet.is_final_packed(packed) {
             path.push(firing);
             stats.schedule_length = path.len();
-            stats.elapsed = started.elapsed();
+            finish_stats(&mut stats, &dead, &explorer);
             return Ok(Synthesis {
                 schedule: FeasibleSchedule::new(path),
                 stats,
@@ -181,8 +255,23 @@ pub fn synthesize(tasknet: &TaskNet, config: &SchedulerConfig) -> Result<Synthes
         }
 
         counters.apply(role);
-        let next_candidates = candidates(tasknet, &next_state, config, &counters);
-        if next_candidates.is_empty() {
+        if depth == frames.len() {
+            frames.push(Frame::default());
+        }
+        let frame = &mut frames[depth];
+        frame.state = Some(next_state);
+        frame.next = 0;
+        frame.now = now;
+        candidates_into(
+            tasknet,
+            &explorer,
+            next_state,
+            config,
+            &counters,
+            &mut domains,
+            &mut frame.candidates,
+        );
+        if frame.candidates.is_empty() {
             // Non-final deadlock: dead end.
             counters.unapply(role);
             stats.deadlocks += 1;
@@ -191,35 +280,31 @@ pub fn synthesize(tasknet: &TaskNet, config: &SchedulerConfig) -> Result<Synthes
         }
 
         path.push(firing);
-        frames.push(Frame {
-            state: next_state,
-            candidates: next_candidates,
-            next: 0,
-            now,
-        });
+        depth += 1;
     }
 }
 
-/// Generates the ordered candidate labels of a state: the fireable set
-/// `FT(s)`, expanded to `(t, q)` pairs per the delay mode, reduced by the
-/// bookkeeping partial-order rule, and sorted by the branch ordering.
-fn candidates(
+/// Generates the ordered candidate labels of an interned state into the
+/// caller's reusable buffer: the fireable set `FT(s)`, expanded to
+/// `(t, q)` pairs per the delay mode, reduced by the bookkeeping
+/// partial-order rule, and sorted by the branch ordering.
+fn candidates_into(
     tasknet: &TaskNet,
-    state: &State,
+    explorer: &Explorer<'_>,
+    state: StateId,
     config: &SchedulerConfig,
     counters: &InstanceCounters,
-) -> Vec<(TransitionId, Time)> {
+    domains: &mut Vec<(TransitionId, Time, TimeBound)>,
+    labels: &mut Vec<(TransitionId, Time)>,
+) {
+    labels.clear();
     let net = tasknet.net();
-    let fireable = net.fireable(state);
-    if fireable.is_empty() {
-        return Vec::new();
+    explorer.fireable_domains_into(state, domains);
+    if domains.is_empty() {
+        return;
     }
 
-    let mut labels: Vec<(TransitionId, Time)> = Vec::with_capacity(fireable.len());
-    for &t in &fireable {
-        let (dlb, upper) = net
-            .firing_domain(state, t)
-            .expect("fireable transitions have firing domains");
+    for &(t, dlb, upper) in domains.iter() {
         match config.delay_mode {
             DelayMode::Earliest => labels.push((t, dlb)),
             DelayMode::Corners => {
@@ -246,14 +331,16 @@ fn candidates(
     // firing order cannot affect reachable schedules — explore only the
     // earliest-delay candidate.
     if config.partial_order_reduction {
-        let class = Priority(net.transition(fireable[0]).priority());
-        if class.is_bookkeeping() && pairwise_independent(tasknet, &fireable) {
+        let class = Priority(net.transition(domains[0].0).priority());
+        if class.is_bookkeeping() && pairwise_independent(tasknet, domains) {
             let best = labels
                 .iter()
                 .copied()
                 .min_by_key(|&(t, q)| (q, t.index()))
                 .expect("labels is non-empty");
-            return vec![best];
+            labels.clear();
+            labels.push(best);
+            return;
         }
     }
 
@@ -272,18 +359,19 @@ fn candidates(
             });
         }
     }
-    labels
 }
 
 /// Pairwise structural independence: no two fireable transitions share an
-/// input place, so firing one cannot disable another.
-fn pairwise_independent(tasknet: &TaskNet, fireable: &[TransitionId]) -> bool {
+/// input place, so firing one cannot disable another. Fireable sets are
+/// small, so the quadratic scan beats building a hash set per state.
+fn pairwise_independent(tasknet: &TaskNet, fireable: &[(TransitionId, Time, TimeBound)]) -> bool {
     let net = tasknet.net();
-    let mut seen = HashSet::new();
-    for &t in fireable {
-        for &(p, _) in net.pre_set(t) {
-            if !seen.insert(p) {
-                return false;
+    for (i, &(a, _, _)) in fireable.iter().enumerate() {
+        for &(b, _, _) in &fireable[i + 1..] {
+            for &(p, _) in net.pre_set(a) {
+                if net.pre_set(b).iter().any(|&(q, _)| q == p) {
+                    return false;
+                }
             }
         }
     }
@@ -292,7 +380,11 @@ fn pairwise_independent(tasknet: &TaskNet, fireable: &[TransitionId]) -> bool {
 
 /// The absolute deadline of the task instance `t` advances — the EDF sort
 /// key. Non-task transitions sort first (they are bookkeeping).
-fn instance_deadline(tasknet: &TaskNet, t: TransitionId, counters: &InstanceCounters) -> Time {
+pub(crate) fn instance_deadline(
+    tasknet: &TaskNet,
+    t: TransitionId,
+    counters: &InstanceCounters,
+) -> Time {
     let role = tasknet.role(t);
     let Some(task) = role.task() else { return 0 };
     let timing = tasknet.spec().task(task).timing();
@@ -305,7 +397,7 @@ fn instance_deadline(tasknet: &TaskNet, t: TransitionId, counters: &InstanceCoun
 
 /// Among equal-deadline candidates, make progress on already-started work
 /// first (compute before grant before release).
-fn role_rank(role: TransitionRole) -> u8 {
+pub(crate) fn role_rank(role: TransitionRole) -> u8 {
     match role {
         TransitionRole::Compute(_) => 0,
         TransitionRole::Grant(_) => 1,
@@ -387,8 +479,7 @@ mod tests {
     fn small_control_completes_with_low_overhead() {
         let synthesis = default_synthesis(&small_control());
         assert_eq!(
-            synthesis.stats.schedule_length as u64,
-            synthesis.stats.minimum_firings,
+            synthesis.stats.schedule_length as u64, synthesis.stats.minimum_firings,
             "a schedulable set should be solved on the first descent"
         );
         assert!(synthesis.stats.overhead_ratio() < 1.5);
@@ -490,5 +581,30 @@ mod tests {
         };
         let synthesis = synthesize(&translate(&spec), &config).expect("feasible");
         assert!(synthesis.schedule.is_feasible());
+    }
+
+    #[test]
+    fn stats_report_dedup_structure_sizes() {
+        let synthesis = default_synthesis(&small_control());
+        assert!(
+            synthesis.stats.dead_set_bytes > 0,
+            "arena bytes are counted"
+        );
+        assert!(synthesis.stats.elapsed > std::time::Duration::ZERO);
+        assert!(synthesis.stats.states_per_second() > 0.0);
+    }
+
+    #[test]
+    fn dead_set_bits_round_trip() {
+        let mut dead = DeadSet::default();
+        assert!(!dead.contains(StateId::from_index(100)));
+        dead.insert(StateId::from_index(100));
+        dead.insert(StateId::from_index(0));
+        dead.insert(StateId::from_index(100));
+        assert!(dead.contains(StateId::from_index(100)));
+        assert!(dead.contains(StateId::from_index(0)));
+        assert!(!dead.contains(StateId::from_index(63)));
+        assert_eq!(dead.len(), 2);
+        assert!(dead.resident_bytes() >= 16);
     }
 }

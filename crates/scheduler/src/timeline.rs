@@ -74,7 +74,10 @@ impl Timeline {
     pub fn from_slices(slices: impl IntoIterator<Item = Slice>, hyperperiod: Time) -> Self {
         let mut slices: Vec<Slice> = slices.into_iter().collect();
         slices.sort_by_key(|s| (s.start, s.processor, s.task));
-        Timeline { slices, hyperperiod }
+        Timeline {
+            slices,
+            hyperperiod,
+        }
     }
 
     /// Reconstructs the timeline of `schedule` by pairing each processor
@@ -326,7 +329,9 @@ mod tests {
     #[test]
     fn single_task_timeline_is_exact() {
         let spec = SpecBuilder::new("solo")
-            .task("only", |t| t.release(2).computation(3).deadline(9).period(10))
+            .task("only", |t| {
+                t.release(2).computation(3).deadline(9).period(10)
+            })
             .build()
             .unwrap();
         let (_, timeline) = timeline_of(&spec);

@@ -112,7 +112,10 @@ impl fmt::Display for ScheduleViolation {
                 instance,
                 start,
                 earliest,
-            } => write!(f, "{task}#{instance} started at {start}, earliest legal {earliest}"),
+            } => write!(
+                f,
+                "{task}#{instance} started at {start}, earliest legal {earliest}"
+            ),
             ScheduleViolation::DeadlineMissed {
                 task,
                 instance,
@@ -122,7 +125,11 @@ impl fmt::Display for ScheduleViolation {
                 f,
                 "{task}#{instance} completed at {completion}, deadline {deadline}"
             ),
-            ScheduleViolation::FragmentedNonPreemptive { task, instance, slices } => write!(
+            ScheduleViolation::FragmentedNonPreemptive {
+                task,
+                instance,
+                slices,
+            } => write!(
                 f,
                 "non-preemptive {task}#{instance} split into {slices} slices"
             ),
@@ -278,9 +285,9 @@ fn check_exclusion(spec: &EzSpec, timeline: &Timeline, out: &mut Vec<ScheduleVio
         };
         let wa = windows(a);
         let wb = windows(b);
-        let violated = wa.iter().any(|&(sa, ea)| {
-            wb.iter().any(|&(sb, eb)| sa < eb && sb < ea)
-        });
+        let violated = wa
+            .iter()
+            .any(|&(sa, ea)| wb.iter().any(|&(sb, eb)| sa < eb && sb < ea));
         if violated {
             out.push(ScheduleViolation::ExclusionViolated {
                 first: name(spec, a),
@@ -331,7 +338,12 @@ mod tests {
 
     #[test]
     fn synthesized_schedules_pass_validation() {
-        for spec in [figure3_spec(), figure4_spec(), figure8_spec(), small_control()] {
+        for spec in [
+            figure3_spec(),
+            figure4_spec(),
+            figure8_spec(),
+            small_control(),
+        ] {
             let violations = checked(&spec);
             assert!(
                 violations.is_empty(),

@@ -18,22 +18,20 @@ fn workload_strategy() -> impl Strategy<Value = (WorkloadConfig, u64)> {
         any::<bool>(),
         any::<u64>(),
     )
-        .prop_map(
-            |(tasks, util, prec, excl, preemptive, constrained, seed)| {
-                (
-                    WorkloadConfig {
-                        tasks,
-                        total_utilization: util,
-                        periods: vec![20, 40, 80],
-                        preemptive_fraction: preemptive,
-                        precedence_probability: prec,
-                        exclusion_probability: excl,
-                        constrained_deadlines: constrained,
-                    },
-                    seed,
-                )
-            },
-        )
+        .prop_map(|(tasks, util, prec, excl, preemptive, constrained, seed)| {
+            (
+                WorkloadConfig {
+                    tasks,
+                    total_utilization: util,
+                    periods: vec![20, 40, 80],
+                    preemptive_fraction: preemptive,
+                    precedence_probability: prec,
+                    exclusion_probability: excl,
+                    constrained_deadlines: constrained,
+                },
+                seed,
+            )
+        })
 }
 
 proptest! {

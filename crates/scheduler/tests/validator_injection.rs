@@ -16,10 +16,7 @@ fn valid_slices(spec: &EzSpec) -> (Vec<Slice>, u64) {
     (timeline.slices().to_vec(), timeline.hyperperiod())
 }
 
-fn violations_after(
-    spec: &EzSpec,
-    mutate: impl FnOnce(&mut Vec<Slice>),
-) -> Vec<ScheduleViolation> {
+fn violations_after(spec: &EzSpec, mutate: impl FnOnce(&mut Vec<Slice>)) -> Vec<ScheduleViolation> {
     let (mut slices, hyperperiod) = valid_slices(spec);
     mutate(&mut slices);
     check(spec, &Timeline::from_slices(slices, hyperperiod))
@@ -52,7 +49,8 @@ fn stretching_a_slice_is_caught() {
     assert!(
         violations.iter().any(|v| matches!(
             v,
-            ScheduleViolation::WrongExecutionTime { .. } | ScheduleViolation::ProcessorOverlap { .. }
+            ScheduleViolation::WrongExecutionTime { .. }
+                | ScheduleViolation::ProcessorOverlap { .. }
         )),
         "{violations:?}"
     );

@@ -250,7 +250,7 @@ mod tests {
     fn rta_detects_divergence() {
         let spec = SpecBuilder::new("div")
             .task("hog", |t| t.computation(5).deadline(8).period(8))
-            .task("late", |t| t.computation(4).deadline(9) .period(10))
+            .task("late", |t| t.computation(4).deadline(9).period(10))
             .build()
             .unwrap();
         let p = cpu(&spec);
@@ -283,7 +283,11 @@ mod tests {
         for (task, verdict) in results {
             if verdict.is_some() {
                 assert!(
-                    !simulated.execution.deadline_misses.iter().any(|m| m.task == task),
+                    !simulated
+                        .execution
+                        .deadline_misses
+                        .iter()
+                        .any(|m| m.task == task),
                     "{} cleared by RTA but missed in simulation",
                     spec.task(task).name()
                 );

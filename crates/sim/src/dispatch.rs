@@ -122,7 +122,9 @@ pub fn execute(spec: &EzSpec, timeline: &Timeline, config: &DispatchConfig) -> E
         // Charged overhead is reported through busy time accounting only
         // when the metamodel flag asks for it.
         report.busy_time += dispatches * config.dispatch_overhead;
-        report.idle_time = report.idle_time.saturating_sub(dispatches * config.dispatch_overhead);
+        report.idle_time = report
+            .idle_time
+            .saturating_sub(dispatches * config.dispatch_overhead);
     }
     report
 }
@@ -191,8 +193,12 @@ mod tests {
     #[test]
     fn energy_accounting_uses_metamodel_attribute() {
         let spec = ezrt_spec::SpecBuilder::new("energetic")
-            .task("hungry", |t| t.computation(1).deadline(5).period(10).energy(7))
-            .task("frugal", |t| t.computation(1).deadline(5).period(5).energy(1))
+            .task("hungry", |t| {
+                t.computation(1).deadline(5).period(10).energy(7)
+            })
+            .task("frugal", |t| {
+                t.computation(1).deadline(5).period(5).energy(1)
+            })
             .build()
             .unwrap();
         let timeline = timeline_of(&spec);

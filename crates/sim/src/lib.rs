@@ -17,6 +17,11 @@
 //! The benchmark harness uses it to regenerate the pre-runtime-vs-online
 //! feasibility and jitter comparisons.
 //!
+//! The [`replay`] module closes the loop at the net level: it replays a
+//! synthesized firing schedule through the same packed
+//! [`Explorer`](ezrt_tpn::reachability::Explorer) kernel the scheduler
+//! searched with, re-validating every firing against the TLTS semantics.
+//!
 //! # Examples
 //!
 //! ```
@@ -44,7 +49,9 @@ pub mod analysis;
 pub mod dispatch;
 pub mod metrics;
 pub mod online;
+pub mod replay;
 
 pub use dispatch::{execute, DispatchConfig};
 pub use metrics::{ExecutionReport, MissRecord, ResponseStats};
 pub use online::{simulate_online, OnlinePolicy, OnlineReport};
+pub use replay::{replay, ReplayError, ReplayReport};

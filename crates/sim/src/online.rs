@@ -142,6 +142,7 @@ pub fn simulate_online(spec: &EzSpec, policy: OnlinePolicy, hyperperiods: u64) -
     };
     let mut jobs: Vec<Job> = Vec::new();
     let mut completed: Vec<u64> = vec![0; task_count]; // includes dropped jobs
+
     // Release jitter: per (task, instance-within-period) spread of the
     // start offset across periods. Pre-runtime schedules repeat exactly,
     // so this is their zero-jitter guarantee made measurable.
@@ -190,8 +191,7 @@ pub fn simulate_online(spec: &EzSpec, policy: OnlinePolicy, hyperperiods: u64) -
             // processor until completion.
             if !policy.preemptive() {
                 if let Some((task, index)) = running[p] {
-                    if let Some(slot) =
-                        jobs.iter().position(|j| j.task == task && j.index == index)
+                    if let Some(slot) = jobs.iter().position(|j| j.task == task && j.index == index)
                     {
                         chosen[p] = Some(slot);
                         continue;
@@ -322,7 +322,11 @@ mod tests {
     #[test]
     fn edf_preemptive_schedules_the_mine_pump() {
         let report = simulate_online(&mine_pump(), OnlinePolicy::EdfPreemptive, 1);
-        assert!(report.schedulable(), "misses: {:?}", report.execution.deadline_misses.len());
+        assert!(
+            report.schedulable(),
+            "misses: {:?}",
+            report.execution.deadline_misses.len()
+        );
         // Truly preemptive EDF preempts long handlers when PMC arrives.
         assert!(report.execution.preemptions > 0);
         // All 782 jobs completed.
@@ -381,8 +385,12 @@ mod tests {
     #[test]
     fn exclusion_blocks_interleaving_online() {
         let spec = SpecBuilder::new("excl")
-            .task("a", |t| t.computation(4).deadline(10).period(10).preemptive())
-            .task("b", |t| t.computation(4).deadline(10).period(10).preemptive())
+            .task("a", |t| {
+                t.computation(4).deadline(10).period(10).preemptive()
+            })
+            .task("b", |t| {
+                t.computation(4).deadline(10).period(10).preemptive()
+            })
             .excludes("a", "b")
             .build()
             .unwrap();

@@ -206,8 +206,13 @@ impl SpecBuilder {
     }
 
     /// Declares `predecessor PRECEDES successor`.
-    pub fn precedes(mut self, predecessor: impl Into<String>, successor: impl Into<String>) -> Self {
-        self.precedences.push((predecessor.into(), successor.into()));
+    pub fn precedes(
+        mut self,
+        predecessor: impl Into<String>,
+        successor: impl Into<String>,
+    ) -> Self {
+        self.precedences
+            .push((predecessor.into(), successor.into()));
         self
     }
 
@@ -417,11 +422,7 @@ pub(crate) fn validate(spec: &EzSpec) -> Result<(), ValidateSpecError> {
         Grey,
         Black,
     }
-    fn visit(
-        node: TaskId,
-        colours: &mut [Colour],
-        edges: &[(TaskId, TaskId)],
-    ) -> Option<TaskId> {
+    fn visit(node: TaskId, colours: &mut [Colour], edges: &[(TaskId, TaskId)]) -> Option<TaskId> {
         colours[node.index()] = Colour::Grey;
         for &(from, to) in edges {
             if from == node {
@@ -473,7 +474,9 @@ mod tests {
     #[test]
     fn named_processors_are_auto_created_and_bound() {
         let spec = SpecBuilder::new("mp")
-            .task("a", |t| t.computation(1).deadline(5).period(10).on_processor("arm9"))
+            .task("a", |t| {
+                t.computation(1).deadline(5).period(10).on_processor("arm9")
+            })
             .task("b", |t| t.computation(1).deadline(5).period(10))
             .build()
             .unwrap();
@@ -582,7 +585,11 @@ mod tests {
 
     #[test]
     fn exclusions_are_deduplicated_and_normalized() {
-        let spec = base().excludes("a", "b").excludes("b", "a").build().unwrap();
+        let spec = base()
+            .excludes("a", "b")
+            .excludes("b", "a")
+            .build()
+            .unwrap();
         assert_eq!(spec.exclusions().len(), 1);
         let (lo, hi) = spec.exclusions()[0];
         assert!(lo < hi);

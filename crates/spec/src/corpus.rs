@@ -42,9 +42,10 @@ use crate::{EzSpec, SpecBuilder};
 pub fn mine_pump() -> EzSpec {
     SpecBuilder::new("mine-pump")
         .task("PMC", |t| {
-            t.computation(10).deadline(20).period(80).code(
-                "/* pump motor control: drive the pump according to the last command */",
-            )
+            t.computation(10)
+                .deadline(20)
+                .period(80)
+                .code("/* pump motor control: drive the pump according to the last command */")
         })
         .task("WFC", |t| {
             t.computation(15)
@@ -143,8 +144,12 @@ pub fn figure3_spec() -> EzSpec {
 /// ```
 pub fn figure4_spec() -> EzSpec {
     SpecBuilder::new("figure4-exclusion")
-        .task("T0", |t| t.computation(10).deadline(100).period(250).preemptive())
-        .task("T2", |t| t.computation(20).deadline(150).period(250).preemptive())
+        .task("T0", |t| {
+            t.computation(10).deadline(100).period(250).preemptive()
+        })
+        .task("T2", |t| {
+            t.computation(20).deadline(150).period(250).preemptive()
+        })
         .excludes("T0", "T2")
         .build()
         .expect("figure 4 example is a valid specification")
@@ -165,16 +170,33 @@ pub fn figure4_spec() -> EzSpec {
 pub fn figure8_spec() -> EzSpec {
     SpecBuilder::new("figure8-preemptive")
         .task("TaskA", |t| {
-            t.computation(7).deadline(24).period(24).preemptive().code("task_a_body();")
+            t.computation(7)
+                .deadline(24)
+                .period(24)
+                .preemptive()
+                .code("task_a_body();")
         })
         .task("TaskB", |t| {
-            t.computation(4).deadline(12).period(12).preemptive().code("task_b_body();")
+            t.computation(4)
+                .deadline(12)
+                .period(12)
+                .preemptive()
+                .code("task_b_body();")
         })
         .task("TaskC", |t| {
-            t.computation(2).deadline(4).period(8).preemptive().code("task_c_body();")
+            t.computation(2)
+                .deadline(4)
+                .period(8)
+                .preemptive()
+                .code("task_c_body();")
         })
         .task("TaskD", |t| {
-            t.computation(1).deadline(3).period(24).phase(5).preemptive().code("task_d_body();")
+            t.computation(1)
+                .deadline(3)
+                .period(24)
+                .phase(5)
+                .preemptive()
+                .code("task_d_body();")
         })
         .build()
         .expect("figure 8 style example is a valid specification")
@@ -192,13 +214,22 @@ pub fn figure8_spec() -> EzSpec {
 pub fn small_control() -> EzSpec {
     SpecBuilder::new("small-control")
         .task("sense", |t| {
-            t.computation(2).deadline(8).period(20).code("adc_read(&sample);")
+            t.computation(2)
+                .deadline(8)
+                .period(20)
+                .code("adc_read(&sample);")
         })
         .task("filter", |t| {
-            t.computation(3).deadline(14).period(20).code("filter_update(&sample);")
+            t.computation(3)
+                .deadline(14)
+                .period(20)
+                .code("filter_update(&sample);")
         })
         .task("actuate", |t| {
-            t.computation(2).deadline(20).period(20).code("dac_write(output);")
+            t.computation(2)
+                .deadline(20)
+                .period(20)
+                .code("dac_write(output);")
         })
         .task("watchdog", |t| {
             t.computation(1).deadline(10).period(10).code("wdt_kick();")
@@ -232,7 +263,9 @@ mod tests {
         ];
         assert_eq!(spec.task_count(), expect.len());
         for (name, c, d, p) in expect {
-            let t = spec.task_by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            let t = spec
+                .task_by_name(name)
+                .unwrap_or_else(|| panic!("missing {name}"));
             assert_eq!(t.timing().computation, c, "{name} computation");
             assert_eq!(t.timing().deadline, d, "{name} deadline");
             assert_eq!(t.timing().period, p, "{name} period");
@@ -266,7 +299,10 @@ mod tests {
         let spec = figure3_spec();
         assert_eq!(spec.hyperperiod(), 250);
         assert_eq!(spec.task_by_name("T1").unwrap().timing().latest_start(), 85);
-        assert_eq!(spec.task_by_name("T2").unwrap().timing().latest_start(), 130);
+        assert_eq!(
+            spec.task_by_name("T2").unwrap().timing().latest_start(),
+            130
+        );
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub fn lcm(a: Time, b: Time) -> Time {
     if a == 0 || b == 0 {
         return 0;
     }
-    (a / gcd(a, b)).checked_mul(b).expect("hyperperiod overflow")
+    (a / gcd(a, b))
+        .checked_mul(b)
+        .expect("hyperperiod overflow")
 }
 
 /// LCM over an iterator of periods; `0` for an empty iterator.
@@ -53,13 +55,9 @@ pub fn lcm(a: Time, b: Time) -> Time {
 /// assert_eq!(ezrt_spec::hyperperiod::lcm_all(mine_pump_periods), 30_000);
 /// ```
 pub fn lcm_all(periods: impl IntoIterator<Item = Time>) -> Time {
-    periods.into_iter().fold(0, |acc, p| {
-        if acc == 0 {
-            p
-        } else {
-            lcm(acc, p)
-        }
-    })
+    periods
+        .into_iter()
+        .fold(0, |acc, p| if acc == 0 { p } else { lcm(acc, p) })
 }
 
 /// Number of instances of a task with period `period` inside the schedule

@@ -62,8 +62,8 @@ mod model;
 pub use builder::{SpecBuilder, TaskBuilder, DEFAULT_PROCESSOR};
 pub use error::ValidateSpecError;
 pub use model::{
-    EzSpec, Message, MessageId, Processor, ProcessorId, SchedulingMethod, SourceCode, Task,
-    TaskId, TimingConstraints,
+    EzSpec, Message, MessageId, Processor, ProcessorId, SchedulingMethod, SourceCode, Task, TaskId,
+    TimingConstraints,
 };
 
 /// Discrete specification time (same unit convention as `ezrt_tpn::Time`).

@@ -96,9 +96,9 @@ pub fn isolated_places(net: &TimePetriNet) -> Vec<PlaceId> {
 pub fn structurally_dead_transitions(net: &TimePetriNet) -> Vec<TransitionId> {
     net.transitions()
         .filter(|&(t, _)| {
-            net.pre_set(t).iter().any(|&(p, w)| {
-                net.initial_marking().tokens(p) < w && net.producers(p).is_empty()
-            })
+            net.pre_set(t)
+                .iter()
+                .any(|&(p, w)| net.initial_marking().tokens(p) < w && net.producers(p).is_empty())
         })
         .map(|(t, _)| t)
         .collect()

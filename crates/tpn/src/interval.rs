@@ -242,13 +242,19 @@ mod tests {
             TimeBound::Infinite.min(TimeBound::Finite(9)),
             TimeBound::Finite(9)
         );
-        assert_eq!(TimeBound::Infinite.min(TimeBound::Infinite), TimeBound::Infinite);
+        assert_eq!(
+            TimeBound::Infinite.min(TimeBound::Infinite),
+            TimeBound::Infinite
+        );
     }
 
     #[test]
     fn bound_ordering_treats_infinity_as_top() {
         assert!(TimeBound::Finite(u64::MAX) < TimeBound::Infinite);
-        assert_eq!(TimeBound::Finite(3).min(TimeBound::Finite(5)), TimeBound::Finite(3));
+        assert_eq!(
+            TimeBound::Finite(3).min(TimeBound::Finite(5)),
+            TimeBound::Finite(3)
+        );
     }
 
     #[test]

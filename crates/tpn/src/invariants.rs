@@ -134,9 +134,7 @@ pub fn place_invariants(net: &TimePetriNet, max_rows: usize) -> InvariantReport 
                     .map(|(&x, &y)| a * x + b * y)
                     .collect();
                 normalize(&mut combined);
-                if combined[transitions..].iter().any(|&w| w != 0)
-                    && !next.contains(&combined)
-                {
+                if combined[transitions..].iter().any(|&w| w != 0) && !next.contains(&combined) {
                     next.push(combined);
                 }
             }
@@ -148,9 +146,7 @@ pub fn place_invariants(net: &TimePetriNet, max_rows: usize) -> InvariantReport 
     // minimal-support representatives.
     let mut invariants: Vec<Vec<i128>> = Vec::new();
     for row in rows {
-        let support: Vec<usize> = (0..places)
-            .filter(|&p| row[transitions + p] != 0)
-            .collect();
+        let support: Vec<usize> = (0..places).filter(|&p| row[transitions + p] != 0).collect();
         if support.is_empty() {
             continue;
         }
@@ -168,9 +164,7 @@ pub fn place_invariants(net: &TimePetriNet, max_rows: usize) -> InvariantReport 
     let invariants = invariants
         .into_iter()
         .map(|row| InvariantVector {
-            weights: (0..places)
-                .map(|p| row[transitions + p] as u64)
-                .collect(),
+            weights: (0..places).map(|p| row[transitions + p] as u64).collect(),
         })
         .collect();
     InvariantReport {
@@ -286,10 +280,8 @@ mod tests {
         let report = place_invariants(&net, 10_000);
         assert!(!report.invariants.is_empty());
         for invariant in &report.invariants {
-            let component: Vec<(PlaceId, i64)> = invariant
-                .support()
-                .map(|(p, w)| (p, w as i64))
-                .collect();
+            let component: Vec<(PlaceId, i64)> =
+                invariant.support().map(|(p, w)| (p, w as i64)).collect();
             assert!(
                 crate::analysis::is_place_invariant(&net, &component),
                 "farkas produced a non-invariant: {component:?}"
@@ -305,7 +297,9 @@ mod tests {
     fn row_budget_truncates_gracefully() {
         // A dense conflict net that forces many combinations.
         let mut b = TpnBuilder::new("dense");
-        let places: Vec<_> = (0..6).map(|i| b.place_with_tokens(format!("p{i}"), 1)).collect();
+        let places: Vec<_> = (0..6)
+            .map(|i| b.place_with_tokens(format!("p{i}"), 1))
+            .collect();
         for t in 0..6 {
             let tr = b.transition(format!("t{t}"), TimeInterval::immediate());
             for (i, &p) in places.iter().enumerate() {

@@ -63,16 +63,18 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod arena;
 pub mod dot;
-pub mod invariants;
 mod error;
 mod ids;
 mod interval;
+pub mod invariants;
 mod marking;
 mod net;
 pub mod reachability;
 mod state;
 
+pub use arena::{StateArena, StateId, StateLayout};
 pub use error::{BuildNetError, FireError};
 pub use ids::{PlaceId, TransitionId};
 pub use interval::{TimeBound, TimeInterval};
@@ -83,3 +85,25 @@ pub use state::{Firing, State};
 /// Discrete model time, in the specification's abstract *task time units*
 /// (the paper's mine pump uses milliseconds).
 pub type Time = u64;
+
+/// How firing delays are enumerated when generating successors.
+///
+/// This is the **single shared** delay-enumeration type for every explorer
+/// in the workspace: the bounded reachability search
+/// ([`reachability::explore`]), the scheduler's synthesis DFS
+/// (`ezrt_scheduler`) and the simulator's replay oracle (`ezrt_sim`) all
+/// take it, so a configuration travels unchanged across layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DelayMode {
+    /// Fire each fireable transition as early as possible (`q = DLB`).
+    /// Smallest state space; sufficient for nets whose flexibility lives in
+    /// transition *choice* rather than delay (the ezRealtime blocks).
+    #[default]
+    Earliest,
+    /// Fire at both corners of the firing domain (`q = DLB` and
+    /// `q = min DUB`) when they differ.
+    Corners,
+    /// Enumerate every integer delay in the firing domain. Complete for the
+    /// discrete-time semantics, exponentially larger.
+    Full,
+}

@@ -1,5 +1,6 @@
 //! Net structure: places, transitions, arcs, and the firing rule.
 
+use crate::arena::StateLayout;
 use crate::error::{BuildNetError, FireError};
 use crate::ids::{PlaceId, TransitionId};
 use crate::interval::{TimeBound, TimeInterval};
@@ -157,12 +158,22 @@ impl TpnBuilder {
     ///
     /// Repeated calls for the same pair accumulate weight, which is how the
     /// composition operators "strengthen" an arc.
-    pub fn arc_place_to_transition(&mut self, place: PlaceId, transition: TransitionId, weight: u32) {
+    pub fn arc_place_to_transition(
+        &mut self,
+        place: PlaceId,
+        transition: TransitionId,
+        weight: u32,
+    ) {
         merge_arc(&mut self.pre[transition.index()], place, weight);
     }
 
     /// Adds (or merges into an existing) output arc `transition → place`.
-    pub fn arc_transition_to_place(&mut self, transition: TransitionId, place: PlaceId, weight: u32) {
+    pub fn arc_transition_to_place(
+        &mut self,
+        transition: TransitionId,
+        place: PlaceId,
+        weight: u32,
+    ) {
         merge_arc(&mut self.post[transition.index()], place, weight);
     }
 
@@ -514,7 +525,12 @@ impl TimePetriNet {
     /// * [`FireError::NotFireable`] — `t` is enabled but excluded from
     ///   `FT(s)` by priority or urgency;
     /// * [`FireError::DelayOutOfDomain`] — `delay ∉ FD_s(t)`.
-    pub fn fire(&self, state: &State, t: TransitionId, delay: Time) -> Result<(State, Firing), FireError> {
+    pub fn fire(
+        &self,
+        state: &State,
+        t: TransitionId,
+        delay: Time,
+    ) -> Result<(State, Firing), FireError> {
         if !self.is_enabled(state.marking(), t) {
             return Err(FireError::NotEnabled(t));
         }
@@ -563,6 +579,184 @@ impl TimePetriNet {
             }
         }
         State::new(marking, clocks)
+    }
+}
+
+/// The packed state kernel: the same TLTS semantics as the value-typed
+/// methods above, but operating on contiguous `u32` slices (see
+/// [`StateLayout`]) with caller-provided scratch buffers, so exploration
+/// inner loops perform no heap allocation per successor.
+impl TimePetriNet {
+    /// The packed encoding layout of this net's states.
+    pub fn layout(&self) -> StateLayout {
+        StateLayout::of(self)
+    }
+
+    /// Writes the packed initial state `s0 = (m0, 0⃗)` into `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() != self.layout().words()`.
+    pub fn write_initial_packed(&self, dst: &mut [u32]) {
+        assert_eq!(
+            dst.len(),
+            self.layout().words(),
+            "destination length mismatch"
+        );
+        dst[..self.places.len()].copy_from_slice(self.initial.as_slice());
+        dst[self.places.len()..].fill(0);
+    }
+
+    /// Whether `t` is enabled in the packed `state` (only the token prefix
+    /// is read, so any slice whose first `place_count` words are a marking
+    /// works).
+    #[inline]
+    pub fn is_enabled_packed(&self, state: &[u32], t: TransitionId) -> bool {
+        self.pre[t.index()]
+            .iter()
+            .all(|&(p, w)| state[p.index()] >= w)
+    }
+
+    /// Packed counterpart of [`min_dynamic_upper_bound`](Self::min_dynamic_upper_bound).
+    pub fn min_dynamic_upper_bound_packed(&self, state: &[u32]) -> TimeBound {
+        let layout = self.layout();
+        let mut min = TimeBound::Infinite;
+        for (k, transition) in self.transitions.iter().enumerate() {
+            let t = TransitionId::from_index(k);
+            if !self.is_enabled_packed(state, t) {
+                continue;
+            }
+            let dub = transition
+                .interval
+                .dynamic_upper_bound(layout.clock(state, t));
+            min = min.min(dub);
+        }
+        min
+    }
+
+    /// Packed counterpart of [`fireable`](Self::fireable): computes the
+    /// fireable set `FT(s)` into the caller's reusable buffer instead of a
+    /// fresh vector.
+    pub fn fireable_into(&self, state: &[u32], out: &mut Vec<TransitionId>) {
+        out.clear();
+        let layout = self.layout();
+        let min_dub = self.min_dynamic_upper_bound_packed(state);
+        let mut best_priority = u32::MAX;
+        for (k, transition) in self.transitions.iter().enumerate() {
+            let t = TransitionId::from_index(k);
+            if !self.is_enabled_packed(state, t) {
+                continue;
+            }
+            let dlb = transition
+                .interval
+                .dynamic_lower_bound(layout.clock(state, t));
+            if TimeBound::Finite(dlb) > min_dub {
+                continue;
+            }
+            best_priority = best_priority.min(transition.priority);
+            out.push(t);
+        }
+        out.retain(|&t| self.transitions[t.index()].priority == best_priority);
+    }
+
+    /// The one-pass hot-path primitive behind candidate enumeration:
+    /// computes the fireable set `FT(s)` *together with* the shared firing
+    /// domains — `(t, DLB(t), min_k DUB(t_k))` triples — into the caller's
+    /// reusable buffer.
+    ///
+    /// Equivalent to calling [`fireable_into`](Self::fireable_into) and
+    /// then [`firing_domain_packed`](Self::firing_domain_packed) per
+    /// member, but scans the transition array once instead of once per
+    /// member (the domain's upper bound is the same `min DUB` for every
+    /// fireable transition).
+    pub fn fireable_domains_into(
+        &self,
+        state: &[u32],
+        out: &mut Vec<(TransitionId, Time, TimeBound)>,
+    ) {
+        out.clear();
+        let layout = self.layout();
+        // Single pass: enabled transitions with their DLBs, and min DUB.
+        let mut min_dub = TimeBound::Infinite;
+        for (k, transition) in self.transitions.iter().enumerate() {
+            let t = TransitionId::from_index(k);
+            if !self.is_enabled_packed(state, t) {
+                continue;
+            }
+            let clock = layout.clock(state, t);
+            min_dub = min_dub.min(transition.interval.dynamic_upper_bound(clock));
+            let dlb = transition.interval.dynamic_lower_bound(clock);
+            out.push((t, dlb, TimeBound::Infinite));
+        }
+        // Urgency filter, then the minimal (= highest) priority class.
+        out.retain(|&(_, dlb, _)| TimeBound::Finite(dlb) <= min_dub);
+        let mut best_priority = u32::MAX;
+        for &(t, _, _) in out.iter() {
+            best_priority = best_priority.min(self.transitions[t.index()].priority);
+        }
+        out.retain(|&(t, _, _)| self.transitions[t.index()].priority == best_priority);
+        for slot in out.iter_mut() {
+            slot.2 = min_dub;
+        }
+    }
+
+    /// Packed counterpart of [`firing_domain`](Self::firing_domain).
+    pub fn firing_domain_packed(
+        &self,
+        state: &[u32],
+        t: TransitionId,
+    ) -> Option<(Time, TimeBound)> {
+        if !self.is_enabled_packed(state, t) {
+            return None;
+        }
+        let dlb = self.transitions[t.index()]
+            .interval
+            .dynamic_lower_bound(self.layout().clock(state, t));
+        Some((dlb, self.min_dynamic_upper_bound_packed(state)))
+    }
+
+    /// Packed counterpart of [`fire_unchecked`](Self::fire_unchecked):
+    /// fires `t` after `delay` time units from the packed `src` state into
+    /// the caller's `dst` scratch buffer, allocating nothing.
+    ///
+    /// Like `fire_unchecked`, fireability and the firing domain are *not*
+    /// validated — explorers enumerate only legal labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not enabled in `src` (token removal underflows) or
+    /// the buffer lengths do not match the layout.
+    pub fn fire_into(&self, src: &[u32], t: TransitionId, delay: Time, dst: &mut [u32]) {
+        let layout = self.layout();
+        assert_eq!(src.len(), layout.words(), "source length mismatch");
+        assert_eq!(dst.len(), layout.words(), "destination length mismatch");
+
+        // 1. Token flow: m'(p) = m(p) − W(p,t) + W(t,p).
+        dst[..self.places.len()].copy_from_slice(&src[..self.places.len()]);
+        for &(p, w) in &self.pre[t.index()] {
+            let slot = &mut dst[p.index()];
+            *slot = slot
+                .checked_sub(w)
+                .expect("firing a disabled transition (insufficient tokens)");
+        }
+        for &(p, w) in &self.post[t.index()] {
+            let slot = &mut dst[p.index()];
+            *slot = slot.checked_add(w).expect("token count overflow");
+        }
+
+        // 2. Clocks: zero for the disabled (normalization), the fired and
+        // the newly enabled; advance by `delay` for the persistent.
+        for k in 0..self.transitions.len() {
+            let tk = TransitionId::from_index(k);
+            let persistent =
+                tk != t && self.is_enabled_packed(dst, tk) && self.is_enabled_packed(src, tk);
+            let clock = if persistent {
+                layout.clock(src, tk) + delay
+            } else {
+                0
+            };
+            layout.set_clock(dst, tk, clock);
+        }
     }
 }
 
@@ -670,8 +864,14 @@ mod tests {
     fn firing_domain_matches_definition() {
         let (net, fast, slow) = conflict_net();
         let s0 = net.initial_state();
-        assert_eq!(net.firing_domain(&s0, fast), Some((2, TimeBound::Finite(4))));
-        assert_eq!(net.firing_domain(&s0, slow), Some((3, TimeBound::Finite(4))));
+        assert_eq!(
+            net.firing_domain(&s0, fast),
+            Some((2, TimeBound::Finite(4)))
+        );
+        assert_eq!(
+            net.firing_domain(&s0, slow),
+            Some((3, TimeBound::Finite(4)))
+        );
     }
 
     #[test]
@@ -694,7 +894,10 @@ mod tests {
     fn fire_rejects_lower_priority_conflict_loser() {
         let (net, _, slow) = conflict_net();
         let s0 = net.initial_state();
-        assert!(matches!(net.fire(&s0, slow, 3), Err(FireError::NotFireable(_))));
+        assert!(matches!(
+            net.fire(&s0, slow, 3),
+            Err(FireError::NotFireable(_))
+        ));
     }
 
     #[test]
@@ -776,7 +979,11 @@ mod tests {
     fn disabled_transition_clock_is_normalized() {
         let (net, fast, slow) = conflict_net();
         let (s1, _) = net.fire(&net.initial_state(), fast, 2).unwrap();
-        assert_eq!(s1.clock(slow), 0, "slow lost the conflict; clock normalized");
+        assert_eq!(
+            s1.clock(slow),
+            0,
+            "slow lost the conflict; clock normalized"
+        );
         assert!(!net.is_enabled(s1.marking(), slow));
     }
 
@@ -801,6 +1008,65 @@ mod tests {
         assert_eq!(net.consumers(p), &[t]);
         assert_eq!(net.producers(q), &[t]);
         assert!(net.consumers(q).is_empty());
+    }
+
+    #[test]
+    fn packed_ops_agree_with_value_semantics() {
+        let (net, fast, slow) = conflict_net();
+        let layout = net.layout();
+        let mut packed = vec![0u32; layout.words()];
+        net.write_initial_packed(&mut packed);
+        let s0 = net.initial_state();
+
+        assert!(net.is_enabled_packed(&packed, fast));
+        assert_eq!(
+            net.min_dynamic_upper_bound_packed(&packed),
+            net.min_dynamic_upper_bound(&s0)
+        );
+        let mut fireable = Vec::new();
+        net.fireable_into(&packed, &mut fireable);
+        assert_eq!(fireable, net.fireable(&s0));
+        assert_eq!(
+            net.firing_domain_packed(&packed, fast),
+            net.firing_domain(&s0, fast)
+        );
+        assert_eq!(
+            net.firing_domain_packed(&packed, slow),
+            net.firing_domain(&s0, slow)
+        );
+
+        let mut successor = vec![0u32; layout.words()];
+        net.fire_into(&packed, fast, 3, &mut successor);
+        assert_eq!(layout.unpack(&successor), net.fire_unchecked(&s0, fast, 3));
+    }
+
+    #[test]
+    fn fireable_into_reuses_the_buffer() {
+        let (net, fast, _) = conflict_net();
+        let mut packed = vec![0u32; net.layout().words()];
+        net.write_initial_packed(&mut packed);
+        let mut buffer = vec![TransitionId::from_index(9); 4];
+        net.fireable_into(&packed, &mut buffer);
+        assert_eq!(buffer, vec![fast], "buffer is cleared before filling");
+    }
+
+    #[test]
+    fn persistent_clock_advances_in_packed_firing() {
+        let mut b = TpnBuilder::new("persist-packed");
+        let pa = b.place_with_tokens("pa", 1);
+        let pb = b.place_with_tokens("pb", 1);
+        let ta = b.transition("ta", TimeInterval::new(2, 8).unwrap());
+        let tb = b.transition("tb", TimeInterval::new(5, 9).unwrap());
+        b.arc_place_to_transition(pa, ta, 1);
+        b.arc_place_to_transition(pb, tb, 1);
+        let net = b.build().unwrap();
+        let layout = net.layout();
+        let mut packed = vec![0u32; layout.words()];
+        let mut next = vec![0u32; layout.words()];
+        net.write_initial_packed(&mut packed);
+        net.fire_into(&packed, ta, 3, &mut next);
+        assert_eq!(layout.clock(&next, tb), 3, "tb stayed enabled");
+        assert_eq!(layout.clock(&next, ta), 0, "ta disabled; normalized");
     }
 
     #[test]

@@ -1,29 +1,29 @@
 //! Bounded exploration of the timed state space.
 //!
-//! This module provides a *generic* breadth-first exploration used for
-//! diagnostics (boundedness checks, deadlock hunting, state counting).
-//! The goal-directed depth-first search that actually synthesizes
-//! schedules lives in `ezrt-scheduler`; both walk the same TLTS defined by
-//! [`TimePetriNet::fire`](crate::TimePetriNet::fire).
+//! This module provides the workspace's **shared packed explorer**
+//! ([`Explorer`]) — the one state-space kernel every TLTS walker drives:
+//! the generic breadth-first exploration here ([`explore`], used for
+//! boundedness checks, deadlock hunting and state counting), the
+//! goal-directed depth-first synthesis search in `ezrt-scheduler`, and the
+//! schedule replay oracle in `ezrt-sim`. All of them walk the same TLTS
+//! defined by [`TimePetriNet::fire`](crate::TimePetriNet::fire), and all
+//! of them do it through the packed representation of
+//! [`arena`](crate::arena): states live interned in a [`StateArena`],
+//! successors are generated into reusable scratch buffers with
+//! [`TimePetriNet::fire_into`], and set membership is integer arithmetic
+//! over [`StateId`]s — no heap allocation per successor in the steady
+//! state.
+//!
+//! The value-typed [`successors`] function remains as the ergonomic
+//! boundary API for small-scale semantic checks and property tests.
 
-use crate::{Firing, State, TimeBound, TimePetriNet, Time};
-use std::collections::{HashSet, VecDeque};
+use crate::arena::{StateArena, StateId, StateLayout};
+use crate::{Firing, State, Time, TimeBound, TimePetriNet, TransitionId};
+use std::collections::VecDeque;
 
-/// How firing delays are enumerated when generating successors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum DelayMode {
-    /// Fire each fireable transition as early as possible (`q = DLB`).
-    /// Smallest state space; sufficient for nets whose flexibility lives in
-    /// transition *choice* rather than delay (the ezRealtime blocks).
-    #[default]
-    Earliest,
-    /// Fire at both corners of the firing domain (`q = DLB` and
-    /// `q = min DUB`) when they differ.
-    Corners,
-    /// Enumerate every integer delay in the firing domain. Complete for the
-    /// discrete-time semantics, exponentially larger.
-    Full,
-}
+// The shared delay-enumeration mode lives at the crate root; re-exported
+// here because this is where explorers historically picked it up.
+pub use crate::DelayMode;
 
 /// Limits that keep an exploration finite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,13 +58,192 @@ pub struct ReachabilityReport {
     pub truncated: bool,
 }
 
-/// Enumerates the successor firings of `state` under `mode`.
+/// One generated successor edge: the label, the interned successor state,
+/// and whether that state was seen for the first time.
+pub type SuccessorEdge = (Firing, StateId, bool);
+
+/// The shared packed state-space explorer.
+///
+/// An `Explorer` bundles a net with a [`StateArena`] and the scratch
+/// buffers the alloc-free firing API needs. Successor generation
+/// ([`successors_into`](Self::successors_into)) and single firings
+/// ([`fire`](Self::fire)) intern their results, so a state is stored
+/// exactly once no matter how many paths reach it, and every consumer
+/// (DFS, BFS, replay) shares identical TLTS semantics.
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_tpn::reachability::Explorer;
+/// use ezrt_tpn::{DelayMode, TimeInterval, TpnBuilder};
+///
+/// # fn main() -> Result<(), ezrt_tpn::BuildNetError> {
+/// let mut b = TpnBuilder::new("loop");
+/// let a = b.place_with_tokens("a", 1);
+/// let t = b.transition("t", TimeInterval::exact(1));
+/// b.arc_place_to_transition(a, t, 1);
+/// b.arc_transition_to_place(t, a, 1);
+/// let net = b.build()?;
+///
+/// let mut explorer = Explorer::new(&net);
+/// let s0 = explorer.intern_initial();
+/// let mut successors = Vec::new();
+/// explorer.successors_into(s0, DelayMode::Earliest, &mut successors);
+/// let (firing, next, fresh) = successors[0];
+/// assert_eq!(firing.delay(), 1);
+/// assert_eq!(next, s0, "the self-loop dedups back to the initial state");
+/// assert!(!fresh);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Explorer<'net> {
+    net: &'net TimePetriNet,
+    layout: StateLayout,
+    arena: StateArena,
+    /// Scratch buffer `fire_into` writes successors into.
+    successor: Vec<u32>,
+    /// Scratch buffer for the fireable set with firing domains.
+    domains: Vec<(TransitionId, Time, TimeBound)>,
+}
+
+impl<'net> Explorer<'net> {
+    /// A fresh explorer over `net` with an empty arena.
+    pub fn new(net: &'net TimePetriNet) -> Self {
+        let layout = net.layout();
+        Explorer {
+            net,
+            layout,
+            arena: StateArena::new(layout),
+            successor: vec![0; layout.words()],
+            domains: Vec::new(),
+        }
+    }
+
+    /// The net being explored.
+    pub fn net(&self) -> &'net TimePetriNet {
+        self.net
+    }
+
+    /// The packed state layout.
+    pub fn layout(&self) -> StateLayout {
+        self.layout
+    }
+
+    /// The arena of states interned so far.
+    pub fn arena(&self) -> &StateArena {
+        &self.arena
+    }
+
+    /// Interns the initial state `s0 = (m0, 0⃗)` and returns its id.
+    pub fn intern_initial(&mut self) -> StateId {
+        self.net.write_initial_packed(&mut self.successor);
+        self.arena.intern(&self.successor).0
+    }
+
+    /// The packed words of an interned state.
+    pub fn state(&self, id: StateId) -> &[u32] {
+        self.arena.get(id)
+    }
+
+    /// Unpacks an interned state into the boundary [`State`] value type.
+    pub fn unpack(&self, id: StateId) -> State {
+        self.layout.unpack(self.arena.get(id))
+    }
+
+    /// Interns a boundary [`State`] value (one packing per call; use the
+    /// packed entry points for hot loops).
+    pub fn intern_state(&mut self, state: &State) -> (StateId, bool) {
+        self.layout.pack(state, &mut self.successor);
+        self.arena.intern(&self.successor)
+    }
+
+    /// Computes the fireable set `FT(s)` of an interned state into the
+    /// caller's reusable buffer.
+    pub fn fireable_into(&self, id: StateId, out: &mut Vec<TransitionId>) {
+        self.net.fireable_into(self.arena.get(id), out);
+    }
+
+    /// Computes the fireable set of an interned state together with the
+    /// firing domains, `(t, DLB(t), min DUB)` triples, in one pass over
+    /// the net (see [`TimePetriNet::fireable_domains_into`]).
+    pub fn fireable_domains_into(
+        &self,
+        id: StateId,
+        out: &mut Vec<(TransitionId, Time, TimeBound)>,
+    ) {
+        self.net.fireable_domains_into(self.arena.get(id), out);
+    }
+
+    /// The firing domain `FD_s(t)` of an interned state, or `None` when
+    /// `t` is disabled.
+    pub fn firing_domain(&self, id: StateId, t: TransitionId) -> Option<(Time, TimeBound)> {
+        self.net.firing_domain_packed(self.arena.get(id), t)
+    }
+
+    /// Fires `t` after `delay` from the interned state `from`, interning
+    /// the successor. Returns its id and whether it is a fresh state.
+    ///
+    /// Like [`TimePetriNet::fire_unchecked`], legality of the label is not
+    /// re-validated.
+    pub fn fire(&mut self, from: StateId, t: TransitionId, delay: Time) -> (StateId, bool) {
+        self.net
+            .fire_into(self.arena.get(from), t, delay, &mut self.successor);
+        self.arena.intern(&self.successor)
+    }
+
+    /// Enumerates the successor edges of an interned state under `mode`
+    /// into the caller's reusable buffer (cleared first).
+    ///
+    /// Every edge is legal with respect to `FT(s)` and `FD_s(t)`; the
+    /// buffer is left empty exactly when the state is a deadlock. Edge
+    /// order matches the value-typed [`successors`]: ascending transition
+    /// id, then ascending delay.
+    pub fn successors_into(&mut self, id: StateId, mode: DelayMode, out: &mut Vec<SuccessorEdge>) {
+        out.clear();
+        let mut domains = std::mem::take(&mut self.domains);
+        self.net
+            .fireable_domains_into(self.arena.get(id), &mut domains);
+        for &(t, dlb, upper) in &domains {
+            match (mode, upper) {
+                (DelayMode::Earliest, _) => self.push_edge(id, t, dlb, out),
+                (DelayMode::Corners, TimeBound::Finite(ub)) if ub > dlb => {
+                    self.push_edge(id, t, dlb, out);
+                    self.push_edge(id, t, ub, out);
+                }
+                (DelayMode::Corners, _) => self.push_edge(id, t, dlb, out),
+                (DelayMode::Full, TimeBound::Finite(ub)) => {
+                    for q in dlb..=ub {
+                        self.push_edge(id, t, q, out);
+                    }
+                }
+                (DelayMode::Full, TimeBound::Infinite) => self.push_edge(id, t, dlb, out),
+            }
+        }
+        self.domains = domains;
+    }
+
+    fn push_edge(
+        &mut self,
+        from: StateId,
+        t: TransitionId,
+        delay: Time,
+        out: &mut Vec<SuccessorEdge>,
+    ) {
+        let (next, fresh) = self.fire(from, t, delay);
+        out.push((Firing::new(t, delay), next, fresh));
+    }
+}
+
+/// Enumerates the successor firings of `state` under `mode` through the
+/// boundary value types.
 ///
 /// Every returned `(firing, successor)` pair is legal with respect to
 /// `FT(s)` and `FD_s(t)`; the list is empty exactly when the state is a
 /// deadlock (nothing enabled) — with the caveat that an enabled transition
 /// always yields at least one candidate under the paper's fireable-set
-/// definition.
+/// definition. Hot loops should prefer [`Explorer::successors_into`],
+/// which allocates nothing per successor.
 pub fn successors(net: &TimePetriNet, state: &State, mode: DelayMode) -> Vec<(Firing, State)> {
     let mut out = Vec::new();
     let min_dub = net.min_dynamic_upper_bound(state);
@@ -88,7 +267,7 @@ pub fn successors(net: &TimePetriNet, state: &State, mode: DelayMode) -> Vec<(Fi
 }
 
 /// Breadth-first exploration of the reachable timed state space from the
-/// initial state, bounded by `limits`.
+/// initial state, bounded by `limits`, on the packed kernel.
 ///
 /// # Examples
 ///
@@ -109,9 +288,14 @@ pub fn successors(net: &TimePetriNet, state: &State, mode: DelayMode) -> Vec<(Fi
 /// # Ok(())
 /// # }
 /// ```
-pub fn explore(net: &TimePetriNet, mode: DelayMode, limits: ExplorationLimits) -> ReachabilityReport {
-    let mut visited: HashSet<State> = HashSet::new();
-    let mut queue: VecDeque<(State, usize)> = VecDeque::new();
+pub fn explore(
+    net: &TimePetriNet,
+    mode: DelayMode,
+    limits: ExplorationLimits,
+) -> ReachabilityReport {
+    let mut explorer = Explorer::new(net);
+    let mut queue: VecDeque<(StateId, usize)> = VecDeque::new();
+    let mut edges: Vec<SuccessorEdge> = Vec::new();
     let mut report = ReachabilityReport {
         states_visited: 0,
         edges: 0,
@@ -120,33 +304,31 @@ pub fn explore(net: &TimePetriNet, mode: DelayMode, limits: ExplorationLimits) -
         truncated: false,
     };
 
-    let s0 = net.initial_state();
-    track_tokens(&mut report, &s0);
-    visited.insert(s0.clone());
+    let s0 = explorer.intern_initial();
+    track_tokens(&mut report, &explorer, s0);
     queue.push_back((s0, 0));
     report.states_visited = 1;
 
-    while let Some((state, depth)) = queue.pop_front() {
+    while let Some((id, depth)) = queue.pop_front() {
         if depth >= limits.max_depth {
             report.truncated = true;
             continue;
         }
-        let succs = successors(net, &state, mode);
-        if succs.is_empty() {
+        explorer.successors_into(id, mode, &mut edges);
+        if edges.is_empty() {
             report.deadlocks += 1;
             continue;
         }
-        for (_, next) in succs {
+        for &(_, next, fresh) in &edges {
             report.edges += 1;
-            if visited.contains(&next) {
+            if !fresh {
                 continue;
             }
             if report.states_visited >= limits.max_states {
                 report.truncated = true;
                 continue;
             }
-            track_tokens(&mut report, &next);
-            visited.insert(next.clone());
+            track_tokens(&mut report, &explorer, next);
             report.states_visited += 1;
             queue.push_back((next, depth + 1));
         }
@@ -154,8 +336,9 @@ pub fn explore(net: &TimePetriNet, mode: DelayMode, limits: ExplorationLimits) -
     report
 }
 
-fn track_tokens(report: &mut ReachabilityReport, state: &State) {
-    for (_, tokens) in state.marking().marked_places() {
+fn track_tokens(report: &mut ReachabilityReport, explorer: &Explorer<'_>, id: StateId) {
+    let place_count = explorer.layout().place_count();
+    for &tokens in &explorer.state(id)[..place_count] {
         report.max_place_tokens = report.max_place_tokens.max(tokens);
     }
 }
@@ -189,7 +372,11 @@ mod tests {
 
     #[test]
     fn explores_branching_state_space() {
-        let report = explore(&diamond(), DelayMode::Earliest, ExplorationLimits::default());
+        let report = explore(
+            &diamond(),
+            DelayMode::Earliest,
+            ExplorationLimits::default(),
+        );
         // s0 -> {left} -> {done} and s0 -> {right} -> {done}; the two
         // `done` states coincide (clocks normalized).
         assert_eq!(report.states_visited, 4);
@@ -261,5 +448,53 @@ mod tests {
         let net = b.build().unwrap();
         let report = explore(&net, DelayMode::Earliest, ExplorationLimits::default());
         assert_eq!(report.max_place_tokens, 7);
+    }
+
+    #[test]
+    fn explorer_edges_match_value_successors() {
+        let net = diamond();
+        let mut explorer = Explorer::new(&net);
+        let s0 = explorer.intern_initial();
+        for mode in [DelayMode::Earliest, DelayMode::Corners, DelayMode::Full] {
+            let mut packed_edges = Vec::new();
+            explorer.successors_into(s0, mode, &mut packed_edges);
+            let value_edges = successors(&net, &net.initial_state(), mode);
+            assert_eq!(packed_edges.len(), value_edges.len());
+            for ((firing_p, next_p, _), (firing_v, next_v)) in packed_edges.iter().zip(&value_edges)
+            {
+                assert_eq!(firing_p, firing_v);
+                assert_eq!(&explorer.unpack(*next_p), next_v);
+            }
+        }
+    }
+
+    #[test]
+    fn explorer_fire_interns_each_state_once() {
+        let net = diamond();
+        let mut explorer = Explorer::new(&net);
+        let s0 = explorer.intern_initial();
+        let tl = net.transition_id("tl").unwrap();
+        let (left_a, fresh_a) = explorer.fire(s0, tl, 0);
+        let (left_b, fresh_b) = explorer.fire(s0, tl, 0);
+        assert!(fresh_a);
+        assert!(!fresh_b);
+        assert_eq!(left_a, left_b);
+        assert_eq!(explorer.arena().len(), 2);
+    }
+
+    #[test]
+    fn explorer_boundary_conversions_round_trip() {
+        let net = diamond();
+        let mut explorer = Explorer::new(&net);
+        let s0 = explorer.intern_initial();
+        let value = explorer.unpack(s0);
+        assert_eq!(value, net.initial_state());
+        assert_eq!(explorer.intern_state(&value), (s0, false));
+        let mut fireable = Vec::new();
+        explorer.fireable_into(s0, &mut fireable);
+        assert_eq!(fireable, net.fireable(&value));
+        for &t in &fireable {
+            assert_eq!(explorer.firing_domain(s0, t), net.firing_domain(&value, t));
+        }
     }
 }

@@ -1,0 +1,243 @@
+//! Packed-kernel oracles: the packed firing/enumeration API must agree
+//! with the value-typed boundary API on arbitrary nets, and the delay
+//! modes must visit monotonically growing state spaces.
+
+use ezrt_compose::translate;
+use ezrt_spec::corpus::{figure3_spec, figure4_spec, figure8_spec, small_control};
+use ezrt_tpn::reachability::{explore, successors, ExplorationLimits, Explorer};
+use ezrt_tpn::{DelayMode, StateLayout, TimeInterval, TimePetriNet, TpnBuilder};
+use proptest::prelude::*;
+
+/// A compact random-net description that is always well-formed.
+#[derive(Debug, Clone)]
+struct RandomNet {
+    place_tokens: Vec<u32>,
+    transitions: Vec<RandomTransition>,
+}
+
+#[derive(Debug, Clone)]
+struct RandomTransition {
+    eft: u64,
+    width: u64,
+    priority: u32,
+    inputs: Vec<(usize, u32)>,
+    outputs: Vec<(usize, u32)>,
+}
+
+fn random_net_strategy() -> impl Strategy<Value = RandomNet> {
+    let places = prop::collection::vec(0u32..3, 1..6);
+    places.prop_flat_map(|place_tokens| {
+        let n = place_tokens.len();
+        let transition = (
+            0u64..6,
+            0u64..4,
+            0u32..4,
+            prop::collection::vec((0..n, 1u32..3), 0..3),
+            prop::collection::vec((0..n, 1u32..3), 0..3),
+        )
+            .prop_map(|(eft, width, priority, inputs, outputs)| RandomTransition {
+                eft,
+                width,
+                priority,
+                inputs,
+                outputs,
+            });
+        prop::collection::vec(transition, 1..6).prop_map(move |transitions| RandomNet {
+            place_tokens: place_tokens.clone(),
+            transitions,
+        })
+    })
+}
+
+fn build(desc: &RandomNet) -> TimePetriNet {
+    let mut b = TpnBuilder::new("random");
+    let places: Vec<_> = desc
+        .place_tokens
+        .iter()
+        .enumerate()
+        .map(|(i, &tok)| b.place_with_tokens(format!("p{i}"), tok))
+        .collect();
+    for (i, t) in desc.transitions.iter().enumerate() {
+        let interval = TimeInterval::new(t.eft, t.eft + t.width).expect("eft <= lft");
+        let id = b.transition_full(format!("t{i}"), interval, t.priority, None);
+        for &(p, w) in &t.inputs {
+            b.arc_place_to_transition(places[p], id, w);
+        }
+        for &(p, w) in &t.outputs {
+            b.arc_transition_to_place(id, places[p], w);
+        }
+    }
+    b.build().expect("random nets are structurally valid")
+}
+
+fn corpus_nets() -> Vec<(String, TimePetriNet)> {
+    [
+        figure3_spec(),
+        figure4_spec(),
+        figure8_spec(),
+        small_control(),
+    ]
+    .into_iter()
+    .map(|spec| (spec.name().to_owned(), translate(&spec).into_net()))
+    .collect()
+}
+
+const MODES: [DelayMode; 3] = [DelayMode::Earliest, DelayMode::Corners, DelayMode::Full];
+
+/// Earliest ⊆ Corners ⊆ Full: under a common state cap, the visited state
+/// counts must grow monotonically with the delay mode — on every
+/// translated corpus net.
+#[test]
+fn corpus_delay_modes_visit_monotonically_growing_spaces() {
+    let limits = ExplorationLimits {
+        max_states: 10_000,
+        max_depth: 100_000,
+    };
+    for (name, net) in corpus_nets() {
+        let earliest = explore(&net, DelayMode::Earliest, limits);
+        let corners = explore(&net, DelayMode::Corners, limits);
+        let full = explore(&net, DelayMode::Full, limits);
+        assert!(
+            earliest.states_visited <= corners.states_visited,
+            "{name}: earliest {} > corners {}",
+            earliest.states_visited,
+            corners.states_visited
+        );
+        assert!(
+            corners.states_visited <= full.states_visited,
+            "{name}: corners {} > full {}",
+            corners.states_visited,
+            full.states_visited
+        );
+        assert!(earliest.states_visited > 1, "{name}: net explores");
+    }
+}
+
+/// The packed BFS must report the same numbers as a value-typed
+/// re-exploration done with the boundary API.
+#[test]
+fn corpus_explorations_match_value_walks() {
+    use std::collections::{HashSet, VecDeque};
+    let limits = ExplorationLimits {
+        max_states: 4_000,
+        max_depth: 100_000,
+    };
+    for (name, net) in corpus_nets() {
+        for mode in MODES {
+            let report = explore(&net, mode, limits);
+            // Value-typed reference BFS, mirroring the old implementation.
+            let mut visited = HashSet::new();
+            let mut queue = VecDeque::new();
+            let s0 = net.initial_state();
+            visited.insert(s0.clone());
+            queue.push_back((s0, 0usize));
+            let (mut states, mut edges, mut deadlocks, mut truncated) =
+                (1usize, 0usize, 0usize, false);
+            while let Some((state, depth)) = queue.pop_front() {
+                if depth >= limits.max_depth {
+                    truncated = true;
+                    continue;
+                }
+                let succs = successors(&net, &state, mode);
+                if succs.is_empty() {
+                    deadlocks += 1;
+                    continue;
+                }
+                for (_, next) in succs {
+                    edges += 1;
+                    if visited.contains(&next) {
+                        continue;
+                    }
+                    if states >= limits.max_states {
+                        truncated = true;
+                        continue;
+                    }
+                    visited.insert(next.clone());
+                    states += 1;
+                    queue.push_back((next, depth + 1));
+                }
+            }
+            assert_eq!(report.states_visited, states, "{name} {mode:?}");
+            assert_eq!(report.edges, edges, "{name} {mode:?}");
+            assert_eq!(report.deadlocks, deadlocks, "{name} {mode:?}");
+            assert_eq!(report.truncated, truncated, "{name} {mode:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Walking random nets, the packed explorer must generate exactly the
+    /// successor edges of the value API, with identical successor states.
+    #[test]
+    fn packed_successors_match_value_successors(
+        desc in random_net_strategy(),
+        choices in prop::collection::vec(any::<prop::sample::Index>(), 12),
+    ) {
+        let net = build(&desc);
+        let mut explorer = Explorer::new(&net);
+        let mut id = explorer.intern_initial();
+        let mut state = net.initial_state();
+        let mut edges = Vec::new();
+        for choice in choices {
+            for mode in MODES {
+                explorer.successors_into(id, mode, &mut edges);
+                let value_edges = successors(&net, &state, mode);
+                prop_assert_eq!(edges.len(), value_edges.len());
+                for ((firing_p, next_p, _), (firing_v, next_v)) in
+                    edges.iter().zip(&value_edges)
+                {
+                    prop_assert_eq!(firing_p, firing_v);
+                    prop_assert_eq!(&explorer.unpack(*next_p), next_v);
+                }
+            }
+            explorer.successors_into(id, DelayMode::Full, &mut edges);
+            if edges.is_empty() {
+                break; // deadlock
+            }
+            let pick = choice.index(edges.len());
+            let (firing, next_id, _) = edges[pick];
+            id = next_id;
+            state = net.fire_unchecked(&state, firing.transition(), firing.delay());
+        }
+    }
+
+    /// Delay-mode monotonicity on random nets, under a common cap.
+    #[test]
+    fn random_delay_modes_are_monotone(desc in random_net_strategy()) {
+        let net = build(&desc);
+        let limits = ExplorationLimits { max_states: 1_500, max_depth: 60 };
+        let earliest = explore(&net, DelayMode::Earliest, limits);
+        let corners = explore(&net, DelayMode::Corners, limits);
+        let full = explore(&net, DelayMode::Full, limits);
+        prop_assert!(earliest.states_visited <= corners.states_visited);
+        prop_assert!(corners.states_visited <= full.states_visited);
+    }
+
+    /// Pack/unpack round trips along random walks: interning is lossless.
+    #[test]
+    fn interning_round_trips_along_walks(
+        desc in random_net_strategy(),
+        choices in prop::collection::vec(any::<prop::sample::Index>(), 12),
+    ) {
+        let net = build(&desc);
+        let layout = StateLayout::of(&net);
+        let mut explorer = Explorer::new(&net);
+        let mut id = explorer.intern_initial();
+        let mut edges = Vec::new();
+        for choice in choices {
+            let value = explorer.unpack(id);
+            let mut packed = vec![0u32; layout.words()];
+            layout.pack(&value, &mut packed);
+            prop_assert_eq!(&packed[..], explorer.state(id));
+            prop_assert_eq!(explorer.intern_state(&value), (id, false));
+
+            explorer.successors_into(id, DelayMode::Earliest, &mut edges);
+            if edges.is_empty() {
+                break;
+            }
+            id = edges[choice.index(edges.len())].1;
+        }
+    }
+}

@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let emitted = project.to_dsl();
     let reloaded = Project::from_dsl(&emitted)?;
     assert_eq!(reloaded.spec(), project.spec());
-    println!("\nDSL round trip: identical model ({} bytes)", emitted.len());
+    println!(
+        "\nDSL round trip: identical model ({} bytes)",
+        emitted.len()
+    );
 
     // And the synthesized net travels as PNML.
     let pnml = outcome.to_pnml();

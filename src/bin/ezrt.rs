@@ -46,8 +46,7 @@ fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let path = args.get(1).ok_or_else(usage)?;
-    let document =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let document = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let project = Project::from_dsl(&document).map_err(|e| format!("{path}: {e}"))?;
 
     match command.as_str() {
@@ -62,7 +61,10 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "dot" => {
-            println!("{}", ezrealtime::tpn::dot::to_dot(project.translate().net()));
+            println!(
+                "{}",
+                ezrealtime::tpn::dot::to_dot(project.translate().net())
+            );
             Ok(())
         }
         "simulate" => simulate(&project, args.get(2)),
@@ -106,11 +108,22 @@ fn check(project: &Project) -> Result<(), String> {
         spec.messages().count(),
         spec.hyperperiod()
     );
-    println!("   {} task instance(s) per schedule period", spec.total_instances());
+    println!(
+        "   {} task instance(s) per schedule period",
+        spec.total_instances()
+    );
     for (pid, processor) in spec.processors() {
         let utilization = spec.utilization(pid);
-        let verdict = if utilization > 1.0 { " (OVERLOADED)" } else { "" };
-        println!("   {}: utilization {:.3}{verdict}", processor.name(), utilization);
+        let verdict = if utilization > 1.0 {
+            " (OVERLOADED)"
+        } else {
+            ""
+        };
+        println!(
+            "   {}: utilization {:.3}{verdict}",
+            processor.name(),
+            utilization
+        );
     }
     Ok(())
 }
@@ -175,7 +188,10 @@ fn simulate(project: &Project, periods: Option<&String>) -> Result<(), String> {
     let periods = parse_number(periods, 1)?.max(1);
     let outcome = synthesize(project)?;
     let report = outcome.execute_for(periods);
-    println!("simulated {periods} schedule period(s), horizon {}", report.horizon);
+    println!(
+        "simulated {periods} schedule period(s), horizon {}",
+        report.horizon
+    );
     println!("  deadline misses  {}", report.deadline_misses.len());
     println!("  release jitter   {}", report.max_release_jitter());
     println!("  preemptions      {}", report.preemptions);
@@ -247,7 +263,9 @@ fn analyze(project: &Project) -> Result<(), String> {
             }
         );
         match analysis::demand_bound_infeasible(spec, pid) {
-            Some(t) => println!("  demand bound     INFEASIBLE under any policy (h(t) > t at t = {t})"),
+            Some(t) => {
+                println!("  demand bound     INFEASIBLE under any policy (h(t) > t at t = {t})")
+            }
             None => println!("  demand bound     necessary condition holds"),
         }
         println!("  RTA (deadline-monotonic, preemptive):");
@@ -260,7 +278,10 @@ fn analyze(project: &Project) -> Result<(), String> {
                     spec.task(task).name(),
                     spec.task(task).timing().deadline
                 ),
-                None => println!("    {:<12} DIVERGES (misses its deadline)", spec.task(task).name()),
+                None => println!(
+                    "    {:<12} DIVERGES (misses its deadline)",
+                    spec.task(task).name()
+                ),
             }
         }
     }
@@ -275,7 +296,11 @@ fn invariants(project: &Project) -> Result<(), String> {
     println!(
         "{} place invariant(s){}:",
         report.invariants.len(),
-        if report.truncated { " (budget truncated)" } else { "" }
+        if report.truncated {
+            " (budget truncated)"
+        } else {
+            ""
+        }
     );
     for invariant in &report.invariants {
         let terms: Vec<String> = invariant

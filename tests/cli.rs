@@ -97,14 +97,18 @@ fn codegen_validates_targets() {
         .output()
         .expect("runs");
     assert!(ok.status.success());
-    assert!(String::from_utf8(ok.stdout).unwrap().contains("__interrupt(1)"));
+    assert!(String::from_utf8(ok.stdout)
+        .unwrap()
+        .contains("__interrupt(1)"));
 
     let bad = ezrt()
         .args(["codegen", file.path.to_str().unwrap(), "z80"])
         .output()
         .expect("runs");
     assert!(!bad.status.success());
-    assert!(String::from_utf8(bad.stderr).unwrap().contains("unknown target"));
+    assert!(String::from_utf8(bad.stderr)
+        .unwrap()
+        .contains("unknown target"));
 }
 
 #[test]
@@ -162,9 +166,14 @@ fn gantt_window_arguments() {
 #[test]
 fn errors_are_reported_with_nonzero_exit() {
     // Missing file.
-    let output = ezrt().args(["check", "/nonexistent.xml"]).output().expect("runs");
+    let output = ezrt()
+        .args(["check", "/nonexistent.xml"])
+        .output()
+        .expect("runs");
     assert!(!output.status.success());
-    assert!(String::from_utf8(output.stderr).unwrap().contains("cannot read"));
+    assert!(String::from_utf8(output.stderr)
+        .unwrap()
+        .contains("cannot read"));
 
     // Unknown command.
     let file = spec_file();

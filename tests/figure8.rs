@@ -33,10 +33,18 @@ fn figure8_paper_spec() -> ezrealtime::spec::EzSpec {
     // Two instances of TaskA, TaskB and TaskC and one of TaskD inside a
     // schedule period of 34, as the paper describes the example.
     SpecBuilder::new("figure8-paper")
-        .task("TaskA", |t| t.computation(8).deadline(17).period(17).preemptive())
-        .task("TaskB", |t| t.computation(6).deadline(17).period(17).preemptive())
-        .task("TaskC", |t| t.computation(2).deadline(17).period(17).preemptive())
-        .task("TaskD", |t| t.computation(1).deadline(34).period(34).preemptive())
+        .task("TaskA", |t| {
+            t.computation(8).deadline(17).period(17).preemptive()
+        })
+        .task("TaskB", |t| {
+            t.computation(6).deadline(17).period(17).preemptive()
+        })
+        .task("TaskC", |t| {
+            t.computation(2).deadline(17).period(17).preemptive()
+        })
+        .task("TaskD", |t| {
+            t.computation(1).deadline(34).period(34).preemptive()
+        })
         .build()
         .expect("valid")
 }
@@ -89,9 +97,7 @@ fn schedule_table_reproduces_figure_8_rows() {
     ];
 
     assert_eq!(table.entries().len(), expected.len());
-    for (entry, (start, resumed, id, function, comment)) in
-        table.entries().iter().zip(expected)
-    {
+    for (entry, (start, resumed, id, function, comment)) in table.entries().iter().zip(expected) {
         assert_eq!(entry.start, start, "row at {start}");
         assert_eq!(entry.resumed, resumed, "row at {start}");
         assert_eq!(entry.task_number, id, "row at {start}");

@@ -14,16 +14,28 @@ fn dual_node_spec() -> ezrealtime::spec::EzSpec {
         .processor("sensor_mcu")
         .processor("control_mcu")
         .task("sample", |t| {
-            t.computation(3).deadline(10).period(40).on_processor("sensor_mcu")
+            t.computation(3)
+                .deadline(10)
+                .period(40)
+                .on_processor("sensor_mcu")
         })
         .task("transmit", |t| {
-            t.computation(2).deadline(20).period(40).on_processor("sensor_mcu")
+            t.computation(2)
+                .deadline(20)
+                .period(40)
+                .on_processor("sensor_mcu")
         })
         .task("actuate", |t| {
-            t.computation(4).deadline(40).period(40).on_processor("control_mcu")
+            t.computation(4)
+                .deadline(40)
+                .period(40)
+                .on_processor("control_mcu")
         })
         .task("local_watch", |t| {
-            t.computation(2).deadline(10).period(20).on_processor("control_mcu")
+            t.computation(2)
+                .deadline(10)
+                .period(20)
+                .on_processor("control_mcu")
         })
         .precedes("sample", "transmit")
         .message("frame", "transmit", "actuate", "can0", 1, 2)
@@ -33,15 +45,25 @@ fn dual_node_spec() -> ezrealtime::spec::EzSpec {
 
 #[test]
 fn multiprocessor_schedule_synthesizes_and_validates() {
-    let outcome = Project::new(dual_node_spec()).synthesize().expect("feasible");
+    let outcome = Project::new(dual_node_spec())
+        .synthesize()
+        .expect("feasible");
     assert!(outcome.validate().is_empty());
 
     let spec = outcome.spec().clone();
     // Tasks run on their own processors — the two MCUs overlap in time.
     let sensor = spec.processor_id("sensor_mcu").unwrap();
     let control = spec.processor_id("control_mcu").unwrap();
-    assert!(outcome.timeline.slices().iter().any(|s| s.processor == sensor));
-    assert!(outcome.timeline.slices().iter().any(|s| s.processor == control));
+    assert!(outcome
+        .timeline
+        .slices()
+        .iter()
+        .any(|s| s.processor == sensor));
+    assert!(outcome
+        .timeline
+        .slices()
+        .iter()
+        .any(|s| s.processor == control));
 
     // The message chain: actuate starts only after transmit finished
     // plus grant (1) plus transfer (2).
@@ -59,7 +81,9 @@ fn multiprocessor_schedule_synthesizes_and_validates() {
 #[test]
 fn per_processor_schedule_tables() {
     use ezrealtime::codegen::ScheduleTable;
-    let outcome = Project::new(dual_node_spec()).synthesize().expect("feasible");
+    let outcome = Project::new(dual_node_spec())
+        .synthesize()
+        .expect("feasible");
     let spec = outcome.spec().clone();
     let sensor = spec.processor_id("sensor_mcu").unwrap();
     let control = spec.processor_id("control_mcu").unwrap();
@@ -81,7 +105,9 @@ fn per_processor_schedule_tables() {
 
 #[test]
 fn parallel_execution_is_reflected_in_the_report() {
-    let outcome = Project::new(dual_node_spec()).synthesize().expect("feasible");
+    let outcome = Project::new(dual_node_spec())
+        .synthesize()
+        .expect("feasible");
     let report = outcome.execute_for(2);
     assert!(report.is_timely());
     // Both processors contribute busy time:
@@ -97,10 +123,18 @@ fn bus_resource_serializes_competing_messages() {
         .processor("a")
         .processor("b")
         .processor("c")
-        .task("tx1", |t| t.computation(2).deadline(10).period(30).on_processor("a"))
-        .task("tx2", |t| t.computation(2).deadline(10).period(30).on_processor("b"))
-        .task("rx1", |t| t.computation(1).deadline(30).period(30).on_processor("c"))
-        .task("rx2", |t| t.computation(1).deadline(30).period(30).on_processor("c"))
+        .task("tx1", |t| {
+            t.computation(2).deadline(10).period(30).on_processor("a")
+        })
+        .task("tx2", |t| {
+            t.computation(2).deadline(10).period(30).on_processor("b")
+        })
+        .task("rx1", |t| {
+            t.computation(1).deadline(30).period(30).on_processor("c")
+        })
+        .task("rx2", |t| {
+            t.computation(1).deadline(30).period(30).on_processor("c")
+        })
         .message("m1", "tx1", "rx1", "shared_bus", 0, 4)
         .message("m2", "tx2", "rx2", "shared_bus", 0, 4)
         .build()

@@ -20,10 +20,7 @@ fn dsl_to_code_to_simulation() {
         let code = outcome.generate_code(target);
         assert!(code.source.contains("scheduleTable"));
         assert!(
-            code.source
-                .matches("(int *)")
-                .count()
-                >= outcome.table.entries().len(),
+            code.source.matches("(int *)").count() >= outcome.table.entries().len(),
             "{target}: one pointer per execution part"
         );
     }
@@ -36,7 +33,12 @@ fn dsl_to_code_to_simulation() {
 
 #[test]
 fn pnml_export_of_synthesized_nets_reimports() {
-    for spec in [figure3_spec(), figure4_spec(), figure8_spec(), small_control()] {
+    for spec in [
+        figure3_spec(),
+        figure4_spec(),
+        figure8_spec(),
+        small_control(),
+    ] {
         let outcome = Project::new(spec.clone()).synthesize().expect("feasible");
         let pnml = outcome.to_pnml();
         let reread = ezrealtime::pnml::from_pnml(&pnml).expect("reimports");
@@ -72,7 +74,10 @@ fn figure3_and_figure4_schedules_respect_their_relations() {
         outcome.timeline.instance_start(t2, 0).unwrap(),
         outcome.timeline.instance_completion(t2, 0).unwrap(),
     );
-    assert!(e0 <= s2 || e2 <= s0, "windows [{s0},{e0}] and [{s2},{e2}] interleave");
+    assert!(
+        e0 <= s2 || e2 <= s0,
+        "windows [{s0},{e0}] and [{s2},{e2}] interleave"
+    );
 }
 
 #[test]

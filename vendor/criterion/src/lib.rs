@@ -1,0 +1,235 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API
+//! this workspace uses.
+//!
+//! The workspace must build without network access, so the bench harness
+//! vendors this minimal implementation instead of the real crates.io
+//! dependency. It keeps the call sites source-compatible (`Criterion`,
+//! benchmark groups, `BenchmarkId`, `Throughput`, the `criterion_group!` /
+//! `criterion_main!` macros) and produces simple wall-clock measurements:
+//! each benchmark is warmed up, then timed over enough iterations to cross
+//! a fixed measurement window, and the mean time per iteration is printed.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement settings shared by every benchmark in the process.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    warmup: Duration,
+    measurement: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            warmup: Duration::from_millis(100),
+            measurement: Duration::from_millis(400),
+        }
+    }
+}
+
+/// The benchmark manager, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.settings, &id.into().label, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes samples by time.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in reports time only.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&self.criterion.settings, &label, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&self.criterion.settings, &label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Throughput annotation, mirroring `criterion::Throughput`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The per-benchmark timing driver handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it as many times as the measurement
+    /// window allows.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(settings: &Settings, label: &str, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm up and estimate the per-iteration cost with batches of growing
+    // size, then measure one batch sized to fill the measurement window.
+    let mut batch = 1u64;
+    let warmup_start = Instant::now();
+    let per_iteration = loop {
+        let mut bencher = Bencher {
+            iterations: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if warmup_start.elapsed() >= settings.warmup {
+            break bencher.elapsed / (batch.max(1) as u32);
+        }
+        batch = batch.saturating_mul(2).min(1 << 20);
+    };
+
+    let target = settings.measurement.as_nanos();
+    let cost = per_iteration.as_nanos().max(1);
+    let iterations = ((target / cost) as u64).clamp(1, 10_000_000);
+    let mut bencher = Bencher {
+        iterations,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let mean = bencher.elapsed / (iterations.max(1) as u32);
+    println!("{label:<40} time: [{mean:?} per iter, {iterations} iters]");
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut criterion = Criterion {
+            settings: Settings {
+                warmup: Duration::from_millis(1),
+                measurement: Duration::from_millis(2),
+            },
+        };
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Bytes(1));
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &p| {
+            b.iter(|| ran += p as u64)
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! `any::<T>()` — canonical strategies per type.
+
+use crate::sample::Index;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical strategy, mirroring `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Canonical full-range strategy for primitive types.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_primitive {
+    ($($t:ty => $sample:expr),* $(,)?) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let sample: fn(&mut TestRng) -> $t = $sample;
+                sample(rng)
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_primitive! {
+    u64 => |rng| rng.next_u64(),
+    u32 => |rng| (rng.next_u64() >> 32) as u32,
+    usize => |rng| rng.next_u64() as usize,
+    bool => |rng| rng.next_u64() & 1 == 1,
+    f64 => |rng| rng.unit_f64(),
+    Index => |rng| Index::new(rng.next_u64()),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_generates_varied_values() {
+        let mut rng = TestRng::new(3);
+        let strategy = any::<u64>();
+        let a = strategy.new_value(&mut rng);
+        let b = strategy.new_value(&mut rng);
+        assert_ne!(a, b);
+        let _: bool = any::<bool>().new_value(&mut rng);
+        let index = any::<Index>().new_value(&mut rng);
+        assert!(index.index(10) < 10);
+    }
+}

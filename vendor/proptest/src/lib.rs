@@ -1,0 +1,138 @@
+//! Offline stand-in for the subset of the `proptest` crate API this
+//! workspace uses.
+//!
+//! The workspace must build without network access, so instead of the real
+//! crates.io dependency it vendors this minimal property-testing engine:
+//! deterministic seeded generation, the [`Strategy`] combinators the test
+//! suite calls (`prop_map`, `prop_flat_map`, `prop_filter`,
+//! `prop_recursive`, ranges, tuples, collections, a small regex subset for
+//! string strategies) and the `proptest!` / `prop_assert!` macro family.
+//! There is **no shrinking**: a failing case reports its seed and panics.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests, mirroring `proptest::proptest!`.
+///
+/// Supports an optional leading `#![proptest_config(...)]` attribute and
+/// any number of `fn name(pattern in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __ezrt_config = $config;
+            $crate::test_runner::run(&__ezrt_config, stringify!($name), |__ezrt_rng| {
+                $(
+                    let $pat = $crate::strategy::Strategy::new_value(&($strat), __ezrt_rng);
+                )+
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test, mirroring `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            panic!("property assertion failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Asserts equality inside a property test, mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__ezrt_left, __ezrt_right) = (&$left, &$right);
+        if !(*__ezrt_left == *__ezrt_right) {
+            panic!(
+                "property assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __ezrt_left,
+                __ezrt_right
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__ezrt_left, __ezrt_right) = (&$left, &$right);
+        if !(*__ezrt_left == *__ezrt_right) {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test, mirroring `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__ezrt_left, __ezrt_right) = (&$left, &$right);
+        if *__ezrt_left == *__ezrt_right {
+            panic!(
+                "property assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __ezrt_left
+            );
+        }
+    }};
+}
+
+/// Rejects the current case when an assumption fails, mirroring
+/// `prop_assume!`. The runner retries with a fresh input.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

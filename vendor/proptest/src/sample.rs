@@ -1,0 +1,41 @@
+//! Index sampling, mirroring `proptest::sample`.
+
+/// A length-independent random index: generated once, projected onto any
+/// collection length with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    pub(crate) fn new(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Projects this index onto a collection of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_projects_within_bounds() {
+        let index = Index::new(u64::MAX - 3);
+        for len in 1..50 {
+            assert!(index.index(len) < len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn empty_collection_panics() {
+        Index::new(1).index(0);
+    }
+}

@@ -1,0 +1,235 @@
+//! String strategies from a small regex subset, mirroring proptest's
+//! `impl Strategy for &str`.
+//!
+//! Supported syntax — enough for the patterns this workspace's tests use:
+//!
+//! * literal characters and `\`-escaped literals;
+//! * character classes `[...]` with ranges (`A-Z`) and literal members
+//!   (a trailing `-` is literal);
+//! * `\PC`, proptest's "printable character" class (generated here as
+//!   printable ASCII plus a sprinkling of Latin-1 and Greek);
+//! * quantifiers `{n}`, `{m,n}`, `*`, `+`, `?` applied to the preceding
+//!   atom.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// One generatable unit: a set of character ranges plus a repetition count.
+#[derive(Debug, Clone)]
+struct Piece {
+    ranges: Vec<(char, char)>,
+    min: u32,
+    max: u32,
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let pieces = parse(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = rng.between(u64::from(piece.min), u64::from(piece.max));
+            for _ in 0..count {
+                out.push(sample_char(&piece.ranges, rng));
+            }
+        }
+        out
+    }
+}
+
+fn sample_char(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges
+        .iter()
+        .map(|&(lo, hi)| u64::from(hi) - u64::from(lo) + 1)
+        .sum();
+    let mut pick = rng.below(total);
+    for &(lo, hi) in ranges {
+        let span = u64::from(hi) - u64::from(lo) + 1;
+        if pick < span {
+            return char::from_u32(lo as u32 + pick as u32).expect("ranges hold valid chars");
+        }
+        pick -= span;
+    }
+    unreachable!("pick is below the total span")
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let ranges = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // Proptest's printable-character escape `\PC`.
+                    let class = chars.next();
+                    assert_eq!(class, Some('C'), "unsupported \\P class in {pattern:?}");
+                    printable_ranges()
+                }
+                Some(escaped) => vec![(escaped, escaped)],
+                None => panic!("dangling escape in pattern {pattern:?}"),
+            },
+            literal => vec![(literal, literal)],
+        };
+        let (min, max) = parse_quantifier(&mut chars, pattern);
+        pieces.push(Piece { ranges, min, max });
+    }
+    pieces
+}
+
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                ranges.push((escaped, escaped));
+            }
+            lo => {
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    match chars.peek() {
+                        // A `-` before the closing bracket is a literal.
+                        Some(']') | None => {
+                            ranges.push((lo, lo));
+                            ranges.push(('-', '-'));
+                        }
+                        Some(&hi) => {
+                            chars.next();
+                            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                            ranges.push((lo, hi));
+                        }
+                    }
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+        }
+    }
+    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+    ranges
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (u32, u32) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                body.push(c);
+            }
+            let parse_int = |text: &str| -> u32 {
+                text.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad quantifier in pattern {pattern:?}"))
+            };
+            match body.split_once(',') {
+                Some((min, max)) => (parse_int(min), parse_int(max)),
+                None => {
+                    let exact = parse_int(&body);
+                    (exact, exact)
+                }
+            }
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn printable_ranges() -> Vec<(char, char)> {
+    vec![
+        (' ', '~'),
+        ('\u{00A1}', '\u{00FF}'),
+        ('\u{0391}', '\u{03A9}'),
+        ('\u{2190}', '\u{2199}'),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(17)
+    }
+
+    #[test]
+    fn xml_name_pattern_generates_names() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[A-Za-z][A-Za-z0-9_.-]{0,8}".new_value(&mut rng);
+            assert!((1..=9).contains(&s.chars().count()), "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic(), "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn printable_escape_generates_bounded_strings() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = "\\PC{0,200}".new_value(&mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn ascii_printable_class_covers_specials() {
+        let mut rng = rng();
+        let mut saw_special = false;
+        for _ in 0..400 {
+            let s = "[ -~]{1,20}".new_value(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 20);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            saw_special |= s.contains(['<', '&', '>']);
+        }
+        assert!(saw_special, "XML specials should appear eventually");
+    }
+
+    #[test]
+    fn quantifier_forms_parse() {
+        let mut rng = rng();
+        assert_eq!("a{3}".new_value(&mut rng), "aaa");
+        let star = "b*".new_value(&mut rng);
+        assert!(star.len() <= 8);
+        let plus = "c+".new_value(&mut rng);
+        assert!(!plus.is_empty() && plus.len() <= 8);
+        let opt = "d?".new_value(&mut rng);
+        assert!(opt.len() <= 1);
+        let escaped = "\\[x\\]".new_value(&mut rng);
+        assert_eq!(escaped, "[x]");
+    }
+}

@@ -1,0 +1,185 @@
+//! The case runner: deterministic seeded generation, reject handling and
+//! failure reporting (no shrinking).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Why a single test case did not complete normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assumption failed (`prop_assume!`); try another input.
+    Reject,
+}
+
+/// The outcome of one test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator with an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot draw below zero");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform draw in `[min, max]` (inclusive).
+    pub fn between(&mut self, min: u64, max: u64) -> u64 {
+        debug_assert!(min <= max);
+        if min == 0 && max == u64::MAX {
+            return self.next_u64();
+        }
+        min + self.below(max - min + 1)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs `body` for `config.cases` accepted inputs, with deterministic
+/// per-test seeds. Rejected cases (`prop_assume!`) are retried with fresh
+/// seeds up to a bounded budget; a panicking case reports its seed before
+/// propagating.
+pub fn run<F>(config: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let base = fnv1a(name.as_bytes());
+    let mut accepted: u32 = 0;
+    let mut attempt: u64 = 0;
+    let max_attempts = u64::from(config.cases) * 16 + 256;
+    while accepted < config.cases {
+        attempt += 1;
+        if attempt > max_attempts {
+            panic!(
+                "property {name:?} rejected too many inputs \
+                 ({accepted}/{} accepted after {attempt} attempts)",
+                config.cases
+            );
+        }
+        let seed = base ^ attempt.wrapping_mul(0xA076_1D64_78BD_642F);
+        let mut rng = TestRng::new(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        match outcome {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(TestCaseError::Reject)) => continue,
+            Err(panic) => {
+                eprintln!("property {name:?} failed on case {accepted} (seed {seed:#018x})");
+                resume_unwind(panic);
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        hash = (hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_the_configured_number_of_cases() {
+        let mut count = 0u32;
+        run(&ProptestConfig::with_cases(10), "counter", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn rejects_are_retried() {
+        let mut total = 0u32;
+        let mut accepted = 0u32;
+        run(&ProptestConfig::with_cases(5), "rejecting", |rng| {
+            total += 1;
+            if rng.next_u64() % 2 == 0 {
+                return Err(TestCaseError::Reject);
+            }
+            accepted += 1;
+            Ok(())
+        });
+        assert_eq!(accepted, 5);
+        assert!(total >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected too many")]
+    fn hopeless_assumptions_abort() {
+        run(&ProptestConfig::with_cases(4), "hopeless", |_| {
+            Err(TestCaseError::Reject)
+        });
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = TestRng::new(5);
+        let mut b = TestRng::new(5);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn bounded_draws_respect_bounds() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+            let v = rng.between(3, 9);
+            assert!((3..=9).contains(&v));
+            let f = rng.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -11,8 +11,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ezrt_bench::{sweep_spec, SWEEP_SEEDS, SWEEP_TASK_COUNTS};
 use ezrt_compose::translate;
-use ezrt_scheduler::{synthesize, synthesize_reference, SchedulerConfig};
+use ezrt_scheduler::{
+    synthesize, synthesize_parallel, synthesize_reference, Parallelism, SchedulerConfig,
+};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn report_sweep_shape() {
     eprintln!("[X1] packed kernel: states visited / throughput vs task count (seed-averaged):");
@@ -67,9 +70,65 @@ fn report_kernel_comparison() {
     }
 }
 
+/// The sequential-versus-parallel engine comparison on the 10-task sweep:
+/// wall time and speedup per worker count, on both workload shapes — a
+/// feasible set (first-feasible-wins wall time; every parallel schedule is
+/// re-checked through the `ezrt_sim::replay` net-semantics oracle) and an
+/// infeasible set (the exhaustion proof, which parallel workers genuinely
+/// divide through the shared dead-set).
+fn report_parallel_scaling() {
+    let tasks = *SWEEP_TASK_COUNTS.last().expect("sweep sizes");
+    eprintln!(
+        "[X1] parallel scaling ({tasks} tasks; host has {} core(s) available):",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    for (shape, seed) in [
+        ("feasible", ezrt_bench::SWEEP_FEASIBLE_SEED),
+        ("infeasible proof", ezrt_bench::SWEEP_INFEASIBLE_SEED),
+    ] {
+        let tasknet = translate(&sweep_spec(tasks, seed));
+        let started = Instant::now();
+        let sequential = synthesize(&tasknet, &SchedulerConfig::default());
+        let sequential_wall = started.elapsed();
+        eprintln!(
+            "[X1]   {shape} (seed {seed}): sequential {:.1} ms, {} states",
+            sequential_wall.as_secs_f64() * 1e3,
+            sequential
+                .as_ref()
+                .map(|s| s.stats.states_visited)
+                .unwrap_or_else(|e| e.stats().states_visited),
+        );
+        for jobs in [1usize, 2, 4] {
+            let config = SchedulerConfig {
+                parallelism: Parallelism::new(jobs),
+                ..SchedulerConfig::default()
+            };
+            let started = Instant::now();
+            let result = synthesize_parallel(&tasknet, &config);
+            let wall = started.elapsed();
+            if let Ok(synthesis) = &result {
+                ezrt_sim::replay::replay(&tasknet, &synthesis.schedule)
+                    .expect("parallel schedule must replay through the net oracle");
+            }
+            let visited = result
+                .as_ref()
+                .map(|s| s.stats.states_visited)
+                .unwrap_or_else(|e| e.stats().states_visited);
+            eprintln!(
+                "[X1]     jobs={jobs}: {:.1} ms wall ({:.2}x), {} states visited{}",
+                wall.as_secs_f64() * 1e3,
+                sequential_wall.as_secs_f64() / wall.as_secs_f64().max(1e-9),
+                visited,
+                if result.is_ok() { ", replay ok" } else { "" },
+            );
+        }
+    }
+}
+
 fn bench_state_space(c: &mut Criterion) {
     report_sweep_shape();
     report_kernel_comparison();
+    report_parallel_scaling();
     let mut group = c.benchmark_group("state_space");
     group.sample_size(10);
 
@@ -86,6 +145,23 @@ fn bench_state_space(c: &mut Criterion) {
             BenchmarkId::new("synthesize_reference", tasks),
             &tasks,
             |b, _| b.iter(|| black_box(synthesize_reference(black_box(&tasknet), &config))),
+        );
+    }
+    // The parallel engine on the largest size only, one row per worker
+    // count, so the seq-vs-parallel trend shows up in every criterion run
+    // (the feasible deep-search seed; the infeasible exhaustion shape is
+    // covered by the report above).
+    let tasks = *SWEEP_TASK_COUNTS.last().expect("sweep sizes");
+    let tasknet = translate(&sweep_spec(tasks, ezrt_bench::SWEEP_FEASIBLE_SEED));
+    for jobs in [2usize, 4] {
+        let config = SchedulerConfig {
+            parallelism: Parallelism::new(jobs),
+            ..SchedulerConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new(format!("synthesize_parallel_j{jobs}"), tasks),
+            &tasks,
+            |b, _| b.iter(|| black_box(synthesize_parallel(black_box(&tasknet), &config))),
         );
     }
     group.finish();

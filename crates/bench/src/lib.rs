@@ -32,6 +32,16 @@ pub fn sweep_spec(tasks: usize, seed: u64) -> EzSpec {
     synthetic_spec(&sweep_config(tasks), seed)
 }
 
+/// The sweep seed whose 10-task workload is **feasible** with the deepest
+/// search among [`SWEEP_SEEDS`] — the parallel-scaling benchmarks use it
+/// for first-feasible-wins wall-time rows.
+pub const SWEEP_FEASIBLE_SEED: u64 = 53;
+
+/// A sweep seed whose 10-task workload is **infeasible**: proving that
+/// exhausts the reachable space (~286k states sequentially), which is the
+/// workload shape where parallel workers genuinely divide the proof.
+pub const SWEEP_INFEASIBLE_SEED: u64 = 11;
+
 /// Utilization levels for the feasibility comparison (experiment X4).
 pub const UTILIZATION_LEVELS: [f64; 4] = [0.3, 0.5, 0.7, 0.9];
 

@@ -139,14 +139,18 @@ impl TaskNet {
         state[..self.final_marking.place_count()] == *self.final_marking.as_slice()
     }
 
-    /// Packed-kernel counterpart of [`missed_tasks`](Self::missed_tasks).
-    pub fn missed_tasks_packed(&self, state: &[u32]) -> Vec<TaskId> {
+    /// Packed-kernel counterpart of [`missed_tasks`](Self::missed_tasks):
+    /// yields the missed tasks without allocating, so the searches'
+    /// miss-pruning branches can mark a dense per-task flag directly.
+    pub fn missed_tasks_packed_iter<'a>(
+        &'a self,
+        state: &'a [u32],
+    ) -> impl Iterator<Item = TaskId> + 'a {
         self.miss_places
             .iter()
             .enumerate()
             .filter(|&(_, &p)| state[p.index()] > 0)
             .map(|(i, _)| TaskId::from_index(i))
-            .collect()
     }
 
     /// The tasks whose miss place is marked in `marking` — diagnostics

@@ -5,7 +5,8 @@ use ezrt_compose::{translate, TaskNet};
 use ezrt_dsl::ParseDslError;
 use ezrt_scheduler::validate::ScheduleViolation;
 use ezrt_scheduler::{
-    synthesize, FeasibleSchedule, SchedulerConfig, SearchStats, SynthesizeError, Timeline,
+    synthesize, synthesize_parallel, FeasibleSchedule, Parallelism, SchedulerConfig, SearchStats,
+    SynthesizeError, Timeline,
 };
 use ezrt_sim::dispatch::{execute, DispatchConfig};
 use ezrt_sim::ExecutionReport;
@@ -46,6 +47,14 @@ impl Project {
         self
     }
 
+    /// Sets the synthesis worker count (the CLI's `--jobs`). One job —
+    /// the default — runs the sequential search; more jobs route
+    /// [`synthesize`](Self::synthesize) through the parallel engine.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.config.parallelism = Parallelism::new(jobs);
+        self
+    }
+
     /// The specification.
     pub fn spec(&self) -> &EzSpec {
         &self.spec
@@ -68,16 +77,39 @@ impl Project {
         ezrt_dsl::to_xml(&self.spec)
     }
 
-    /// Runs the full synthesis: translation, pre-runtime depth-first
-    /// search, timeline reconstruction and schedule-table derivation.
+    /// Runs the full synthesis: translation, pre-runtime search (the
+    /// sequential DFS, or the parallel engine when
+    /// [`SchedulerConfig::parallelism`] asks for more than one job),
+    /// timeline reconstruction and schedule-table derivation.
+    ///
+    /// Parallel results are double-checked before this returns: the
+    /// scheduler already re-validated the schedule against the
+    /// specification, and this method additionally replays it through the
+    /// `ezrt_sim::replay` net-semantics oracle.
     ///
     /// # Errors
     ///
     /// Returns [`SynthesizeError`] when no feasible schedule exists or a
     /// search budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parallel-found schedule fails the replay oracle — a
+    /// kernel bug, never a property of the specification.
     pub fn synthesize(&self) -> Result<Outcome, SynthesizeError> {
         let tasknet = translate(&self.spec);
-        let synthesis = synthesize(&tasknet, &self.config)?;
+        let synthesis = if self.config.parallelism.is_sequential() {
+            synthesize(&tasknet, &self.config)?
+        } else {
+            let synthesis = synthesize_parallel(&tasknet, &self.config)?;
+            if let Err(error) = ezrt_sim::replay::replay(&tasknet, &synthesis.schedule) {
+                panic!(
+                    "parallel synthesis produced a schedule the net-level replay oracle \
+                     rejects (kernel bug): {error}"
+                );
+            }
+            synthesis
+        };
         let timeline = Timeline::from_schedule(&tasknet, &synthesis.schedule);
         let table = ScheduleTable::from_timeline(&self.spec, &timeline);
         Ok(Outcome {
@@ -218,6 +250,29 @@ mod tests {
             result,
             Err(SynthesizeError::StateLimitExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn parallel_project_synthesis_validates_and_executes() {
+        for jobs in [2, 4] {
+            let outcome = Project::new(small_control())
+                .with_jobs(jobs)
+                .synthesize()
+                .expect("feasible");
+            assert_eq!(outcome.stats.jobs, jobs);
+            assert!(outcome.validate().is_empty());
+            assert!(outcome.execute().is_timely());
+        }
+        // with_jobs(1) stays on the sequential path.
+        let sequential = Project::new(small_control())
+            .with_jobs(1)
+            .synthesize()
+            .expect("feasible");
+        assert_eq!(sequential.stats.jobs, 1);
+        assert_eq!(
+            sequential.schedule,
+            Project::new(small_control()).synthesize().unwrap().schedule
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Search configuration.
 
 pub use ezrt_tpn::DelayMode;
+pub use ezrt_tpn::Parallelism;
 
 /// How the depth-first search orders sibling branches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -52,6 +53,12 @@ pub struct SchedulerConfig {
     pub max_states: usize,
     /// Abort after this much wall-clock time.
     pub max_time: std::time::Duration,
+    /// Worker count for [`synthesize_parallel`](crate::synthesize_parallel)
+    /// (and the parallel reachability exploration). The sequential
+    /// [`synthesize`](crate::synthesize) ignores it, and one job — the
+    /// default — makes the parallel entry points delegate to the exact
+    /// sequential code path.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SchedulerConfig {
@@ -62,6 +69,7 @@ impl Default for SchedulerConfig {
             partial_order_reduction: true,
             max_states: 5_000_000,
             max_time: std::time::Duration::from_secs(300),
+            parallelism: Parallelism::SEQUENTIAL,
         }
     }
 }
@@ -77,6 +85,7 @@ mod tests {
         assert_eq!(config.delay_mode, DelayMode::Earliest);
         assert!(config.partial_order_reduction);
         assert!(config.max_states >= 1_000_000);
+        assert!(config.parallelism.is_sequential(), "sequential by default");
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 mod config;
 mod error;
+mod parallel;
 pub mod reference;
 mod schedule;
 mod search;
@@ -47,8 +48,9 @@ mod stats;
 pub mod timeline;
 pub mod validate;
 
-pub use config::{BranchOrdering, SchedulerConfig};
+pub use config::{BranchOrdering, Parallelism, SchedulerConfig};
 pub use error::SynthesizeError;
+pub use parallel::synthesize_parallel;
 pub use reference::synthesize_reference;
 pub use schedule::{FeasibleSchedule, ScheduledFiring};
 pub use search::{synthesize, Synthesis};

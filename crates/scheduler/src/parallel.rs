@@ -1,0 +1,767 @@
+//! Multi-core schedule synthesis: a work-distributing parallel DFS over
+//! the shared sharded state kernel.
+//!
+//! [`synthesize_parallel`] distributes root-level DFS subtrees (one work
+//! item per ordered root candidate) across
+//! [`std::thread::scope`] workers. Every worker runs the same
+//! depth-first loop as the sequential [`synthesize`](crate::synthesize) —
+//! identical candidate generation through
+//! [`candidates_from_packed`](crate::search), identical pruning rules —
+//! but states are interned into one shared
+//! [`ShardedArena`](ezrt_tpn::ShardedArena) and proven-dead states are
+//! memoized in one shared atomic bitset, so a subtree one worker proves
+//! fruitless is pruned by every other worker from then on.
+//!
+//! Work distribution is dynamic: when a worker goes hungry (the shared
+//! queue is empty), busy workers split their **shallowest** unexplored
+//! sibling candidates off as new work items — frontier-level splitting,
+//! shallow first, because shallow siblings root the largest unexplored
+//! subtrees.
+//!
+//! ## Determinism contract
+//!
+//! * `jobs == 1` delegates to the sequential search outright and is
+//!   **byte-identical** to [`synthesize`](crate::synthesize).
+//! * `jobs > 1` races subtrees and the **first feasible schedule wins**;
+//!   which one that is may vary run to run, and counters aggregate over
+//!   all workers. Every winning schedule is re-checked against the
+//!   specification through the independent
+//!   [`validate`](crate::validate::check) oracle before it is returned
+//!   (and callers are expected to replay it through `ezrt_sim::replay`,
+//!   as `ezrt_core::Project` does).
+//! * Infeasibility verdicts do not race: the space is exhausted by all
+//!   workers together before `Infeasible` is reported.
+
+use crate::config::SchedulerConfig;
+use crate::error::SynthesizeError;
+use crate::schedule::{FeasibleSchedule, ScheduledFiring};
+use crate::search::{candidates_from_packed, InstanceCounters, MissedTasks, Synthesis};
+use crate::stats::SearchStats;
+use crate::timeline::Timeline;
+use crate::validate;
+use ezrt_compose::TaskNet;
+use ezrt_tpn::{ShardedArena, StateId, Time, TimeBound, TransitionId, WorkerExplorer};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Instant;
+
+/// A concurrently updatable dead-state index over dense [`StateId`]s: one
+/// bit per interned state, `fetch_or` inserts, geometric growth behind a
+/// write lock that is only taken when the id range actually extends.
+#[derive(Debug)]
+pub(crate) struct AtomicDeadSet {
+    words: RwLock<Vec<AtomicU64>>,
+    len: AtomicUsize,
+}
+
+impl AtomicDeadSet {
+    /// An empty set pre-sized for `bits` state ids (capped at 1 MiB of
+    /// words — beyond that the geometric growth path takes over), so
+    /// budget-bounded searches never pay a growth stall: state ids are
+    /// bounded by the `max_states` abort, and a pre-sized set keeps every
+    /// insert/contains on the read-lock fast path.
+    pub(crate) fn with_bit_capacity(bits: usize) -> Self {
+        let words = bits.div_ceil(64).min(128 * 1024);
+        AtomicDeadSet {
+            words: RwLock::new((0..words).map(|_| AtomicU64::new(0)).collect()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn insert(&self, id: StateId) {
+        let (word, bit) = (id.index() / 64, id.index() % 64);
+        let mask = 1u64 << bit;
+        loop {
+            {
+                let words = self.words.read().expect("dead-set lock poisoned");
+                if let Some(slot) = words.get(word) {
+                    if slot.fetch_or(mask, Ordering::AcqRel) & mask == 0 {
+                        self.len.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return;
+                }
+            }
+            let mut words = self.words.write().expect("dead-set lock poisoned");
+            if word >= words.len() {
+                // Same amortized-doubling policy as the sequential DeadSet.
+                let grown = (word + 1).max(words.len() * 2).max(64);
+                let missing = grown - words.len();
+                words.extend(std::iter::repeat_with(|| AtomicU64::new(0)).take(missing));
+            }
+        }
+    }
+
+    pub(crate) fn contains(&self, id: StateId) -> bool {
+        let (word, bit) = (id.index() / 64, id.index() % 64);
+        let words = self.words.read().expect("dead-set lock poisoned");
+        words
+            .get(word)
+            .is_some_and(|w| w.load(Ordering::Acquire) & (1u64 << bit) != 0)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.words
+            .read()
+            .expect("dead-set lock poisoned")
+            .capacity()
+            * std::mem::size_of::<AtomicU64>()
+    }
+}
+
+/// One unit of distributable work: an unexplored candidate edge out of an
+/// already-reached state, plus everything a worker needs to resume the
+/// DFS there (the packed parent state and the path prefix that reached
+/// it).
+/// Sibling items donated from the same frame share one packed-state and
+/// one path-prefix allocation through `Arc`, so splitting a frame with
+/// `K` unexplored candidates is `O(1)` in copies, not `O(K)`.
+struct WorkItem {
+    parent_id: StateId,
+    parent_words: Arc<Vec<u32>>,
+    label: (TransitionId, Time),
+    /// Absolute time at the parent state.
+    now: Time,
+    /// The firings from `s0` to the parent, in order.
+    path: Arc<Vec<ScheduledFiring>>,
+}
+
+/// How a finished search ended, before assembly into the public types.
+enum Verdict {
+    Feasible(FeasibleSchedule),
+    StateLimit,
+    TimeLimit,
+}
+
+struct WorkQueue {
+    items: VecDeque<WorkItem>,
+    idle: usize,
+    finished: bool,
+}
+
+/// State shared by all workers of one parallel synthesis.
+struct Shared<'a> {
+    tasknet: &'a TaskNet,
+    config: &'a SchedulerConfig,
+    arena: ShardedArena,
+    dead: AtomicDeadSet,
+    queue: Mutex<WorkQueue>,
+    signal: Condvar,
+    /// Workers currently blocked waiting for work — the starvation signal
+    /// busy workers poll to decide when to split their frontier.
+    hungry: AtomicUsize,
+    /// Total states visited across workers (seeded with 1 for `s0`),
+    /// checked against `config.max_states`.
+    states: AtomicUsize,
+    /// Raised on first-feasible, budget exhaustion, or space exhaustion;
+    /// workers drain promptly once set.
+    stop: AtomicBool,
+    outcome: Mutex<Option<Verdict>>,
+    started: Instant,
+    jobs: usize,
+}
+
+impl Shared<'_> {
+    /// Blocks until a work item, a stop flag, or global exhaustion (all
+    /// workers idle with an empty queue).
+    fn next_item(&self) -> Option<WorkItem> {
+        let mut queue = self.queue.lock().expect("work queue poisoned");
+        loop {
+            if self.stop.load(Ordering::Acquire) || queue.finished {
+                return None;
+            }
+            if let Some(item) = queue.items.pop_front() {
+                return Some(item);
+            }
+            queue.idle += 1;
+            if queue.idle == self.jobs {
+                queue.finished = true;
+                self.signal.notify_all();
+                return None;
+            }
+            self.hungry.fetch_add(1, Ordering::Relaxed);
+            queue = self.signal.wait(queue).expect("work queue poisoned");
+            self.hungry.fetch_sub(1, Ordering::Relaxed);
+            queue.idle -= 1;
+        }
+    }
+
+    fn push_work(&self, items: Vec<WorkItem>) {
+        let mut queue = self.queue.lock().expect("work queue poisoned");
+        queue.items.extend(items);
+        drop(queue);
+        self.signal.notify_all();
+    }
+
+    /// Records a verdict and raises the stop flag. A feasible schedule
+    /// overrides a racing budget verdict; among feasible schedules the
+    /// first recorded wins.
+    fn finish(&self, verdict: Verdict) {
+        {
+            let mut slot = self.outcome.lock().expect("outcome slot poisoned");
+            let replace = matches!(
+                (&*slot, &verdict),
+                (None, _)
+                    | (
+                        Some(Verdict::StateLimit | Verdict::TimeLimit),
+                        Verdict::Feasible(_)
+                    )
+            );
+            if replace {
+                *slot = Some(verdict);
+            }
+        }
+        // Take the queue lock around the stop store so a worker that just
+        // checked the flag cannot fall asleep and miss the wakeup.
+        let queue = self.queue.lock().expect("work queue poisoned");
+        self.stop.store(true, Ordering::Release);
+        drop(queue);
+        self.signal.notify_all();
+    }
+}
+
+/// Unwind guard: if a worker dies panicking (a kernel bug surfacing as an
+/// assert), peers parked in [`Shared::next_item`]'s condvar wait would
+/// otherwise never be woken — the dead worker still counts as busy, so
+/// `idle` can never reach `jobs` and `std::thread::scope` would block
+/// joining them forever. On a panicking drop this raises the stop flag
+/// (under the queue lock, same lost-wakeup discipline as
+/// [`Shared::finish`]) and wakes everyone, letting the panic propagate
+/// out of the scope as a crash with its diagnostic.
+struct PanicGuard<'a, 'b>(&'a Shared<'b>);
+
+impl Drop for PanicGuard<'_, '_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // A poisoned queue mutex means the panicker held it — waiters
+            // then unwind out of `wait` on their own; entering anyway is
+            // still the right wake-up protocol.
+            let guard = match self.0.queue.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            self.0.stop.store(true, Ordering::Release);
+            drop(guard);
+            self.0.signal.notify_all();
+        }
+    }
+}
+
+/// One worker-local DFS frame; `words` holds the frame's packed state so
+/// firing never reads back through the shared arena.
+#[derive(Default)]
+struct PFrame {
+    id: Option<StateId>,
+    words: Vec<u32>,
+    candidates: Vec<(TransitionId, Time)>,
+    next: usize,
+    now: Time,
+    /// Whether this worker is responsible for the state's dead-marking.
+    /// `false` for work-item roots (siblings live in other items) and for
+    /// frames that donated candidates away.
+    owned: bool,
+}
+
+/// Per-worker counters, merged into the aggregate [`SearchStats`] after
+/// the scope joins.
+struct WorkerLocal {
+    backtracks: usize,
+    pruned_misses: usize,
+    pruned_dead: usize,
+    deadlocks: usize,
+    missed: MissedTasks,
+}
+
+/// Synthesizes a pre-runtime schedule with
+/// [`config.parallelism`](SchedulerConfig::parallelism) worker threads
+/// sharing one interning arena and one dead-state index.
+///
+/// With one job this delegates to the sequential
+/// [`synthesize`](crate::synthesize) and is byte-identical to it. With
+/// more jobs the first feasible schedule found wins (see the module docs
+/// for the determinism contract); the winner is always re-checked through
+/// the independent [`validate`](crate::validate::check) oracle.
+///
+/// # Errors
+///
+/// Same failure modes as [`synthesize`](crate::synthesize); counters in
+/// the returned [`SearchStats`] aggregate over all workers.
+///
+/// # Panics
+///
+/// Panics if a returned schedule fails the independent validation oracle
+/// — that means a kernel bug, never a property of the input.
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_compose::translate;
+/// use ezrt_scheduler::{synthesize_parallel, Parallelism, SchedulerConfig};
+/// use ezrt_spec::corpus::figure3_spec;
+///
+/// # fn main() -> Result<(), ezrt_scheduler::SynthesizeError> {
+/// let config = SchedulerConfig {
+///     parallelism: Parallelism::new(2),
+///     ..SchedulerConfig::default()
+/// };
+/// let synthesis = synthesize_parallel(&translate(&figure3_spec()), &config)?;
+/// assert!(synthesis.schedule.is_feasible());
+/// assert_eq!(synthesis.stats.jobs, 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthesize_parallel(
+    tasknet: &TaskNet,
+    config: &SchedulerConfig,
+) -> Result<Synthesis, SynthesizeError> {
+    if config.parallelism.is_sequential() {
+        return crate::search::synthesize(tasknet, config);
+    }
+    let jobs = config.parallelism.jobs();
+    let net = tasknet.net();
+    let started = Instant::now();
+    let task_count = tasknet.spec().task_count();
+
+    let arena = ShardedArena::new(net.layout(), jobs);
+    let mut seed = WorkerExplorer::new(net, &arena);
+    let s0 = seed.intern_initial();
+    let s0_words = seed.successor_words().to_vec();
+
+    // Root-level distribution: one work item per ordered root candidate.
+    let mut domains: Vec<(TransitionId, Time, TimeBound)> = Vec::new();
+    let mut root_labels: Vec<(TransitionId, Time)> = Vec::new();
+    candidates_from_packed(
+        tasknet,
+        &s0_words,
+        config,
+        &InstanceCounters::new(task_count),
+        &mut domains,
+        &mut root_labels,
+    );
+
+    let s0_words = Arc::new(s0_words);
+    let empty_path = Arc::new(Vec::new());
+    let shared = Shared {
+        tasknet,
+        config,
+        arena,
+        dead: AtomicDeadSet::with_bit_capacity(config.max_states),
+        queue: Mutex::new(WorkQueue {
+            items: root_labels
+                .iter()
+                .map(|&label| WorkItem {
+                    parent_id: s0,
+                    parent_words: Arc::clone(&s0_words),
+                    label,
+                    now: 0,
+                    path: Arc::clone(&empty_path),
+                })
+                .collect(),
+            idle: 0,
+            finished: root_labels.is_empty(),
+        }),
+        signal: Condvar::new(),
+        hungry: AtomicUsize::new(0),
+        states: AtomicUsize::new(1),
+        stop: AtomicBool::new(false),
+        outcome: Mutex::new(None),
+        started,
+        jobs,
+    };
+
+    let locals: Vec<WorkerLocal> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs).map(|_| scope.spawn(|| worker(&shared))).collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("synthesis worker panicked"))
+            .collect()
+    });
+
+    let mut stats = SearchStats {
+        states_visited: shared.states.load(Ordering::Relaxed),
+        minimum_firings: tasknet.minimum_firing_count(),
+        dead_states: shared.dead.len(),
+        dead_set_bytes: shared.dead.resident_bytes() + shared.arena.resident_bytes(),
+        elapsed: started.elapsed(),
+        jobs,
+        ..SearchStats::default()
+    };
+    let mut missed = MissedTasks::new(task_count);
+    for local in &locals {
+        stats.backtracks += local.backtracks;
+        stats.pruned_misses += local.pruned_misses;
+        stats.pruned_dead += local.pruned_dead;
+        stats.deadlocks += local.deadlocks;
+        missed.merge(&local.missed);
+    }
+
+    let outcome = shared.outcome.into_inner().expect("outcome slot poisoned");
+    match outcome {
+        Some(Verdict::Feasible(schedule)) => {
+            stats.schedule_length = schedule.firings().len();
+            let timeline = Timeline::from_schedule(tasknet, &schedule);
+            let violations = validate::check(tasknet.spec(), &timeline);
+            assert!(
+                violations.is_empty(),
+                "parallel synthesis produced a schedule the independent validator rejects \
+                 (kernel bug): {violations:?}"
+            );
+            Ok(Synthesis { schedule, stats })
+        }
+        Some(Verdict::StateLimit) => Err(SynthesizeError::StateLimitExceeded { stats }),
+        Some(Verdict::TimeLimit) => Err(SynthesizeError::TimeLimitExceeded { stats }),
+        None => Err(SynthesizeError::Infeasible {
+            missed_tasks: missed.sorted_names(tasknet),
+            stats,
+        }),
+    }
+}
+
+/// One worker: pop work items, run the DFS under each, split the
+/// shallowest frontier when peers starve, stop on the shared flag.
+fn worker(shared: &Shared<'_>) -> WorkerLocal {
+    let _panic_guard = PanicGuard(shared);
+    let tasknet = shared.tasknet;
+    let config = shared.config;
+    let mut explorer = WorkerExplorer::new(tasknet.net(), &shared.arena);
+    let mut local = WorkerLocal {
+        backtracks: 0,
+        pruned_misses: 0,
+        pruned_dead: 0,
+        deadlocks: 0,
+        missed: MissedTasks::new(tasknet.spec().task_count()),
+    };
+    let mut frames: Vec<PFrame> = Vec::new();
+    let mut domains: Vec<(TransitionId, Time, TimeBound)> = Vec::new();
+    let mut counters = InstanceCounters::new(tasknet.spec().task_count());
+    let mut ticks: u64 = 0;
+
+    'items: while let Some(item) = shared.next_item() {
+        // Rebuild the path-dependent EDF counters for this subtree's
+        // prefix, then seed frame 0 with the item's single candidate.
+        counters.reset();
+        for firing in item.path.iter() {
+            counters.apply(firing.role);
+        }
+        // The worker's own growable copy of the shared prefix.
+        let mut path: Vec<ScheduledFiring> = item.path.to_vec();
+        let base_len = path.len();
+        if frames.is_empty() {
+            frames.push(PFrame::default());
+        }
+        let root = &mut frames[0];
+        root.id = Some(item.parent_id);
+        root.words.clear();
+        root.words.extend_from_slice(&item.parent_words);
+        root.candidates.clear();
+        root.candidates.push(item.label);
+        root.next = 0;
+        root.now = item.now;
+        root.owned = false;
+        let mut depth = 1usize;
+
+        loop {
+            ticks += 1;
+            if shared.stop.load(Ordering::Acquire) {
+                break 'items;
+            }
+            if ticks.is_multiple_of(4096) && shared.started.elapsed() > config.max_time {
+                shared.finish(Verdict::TimeLimit);
+                break 'items;
+            }
+            if ticks.is_multiple_of(64) && shared.hungry.load(Ordering::Relaxed) > 0 {
+                donate(shared, &mut frames, depth, &path, base_len);
+            }
+
+            if depth == 0 {
+                // This subtree is exhausted; its root's dead-marking (if
+                // any) belongs to whoever owns the sibling items.
+                continue 'items;
+            }
+
+            let (transition, delay, now) = {
+                let frame = &mut frames[depth - 1];
+                // Frame exhausted: dead if this worker owns the proof.
+                if frame.next >= frame.candidates.len() {
+                    if frame.owned {
+                        shared
+                            .dead
+                            .insert(frame.id.expect("active frames hold a state"));
+                    }
+                    depth -= 1;
+                    if path.len() > base_len {
+                        let firing = path.pop().expect("local path is non-empty");
+                        counters.unapply(firing.role);
+                        local.backtracks += 1;
+                    }
+                    continue;
+                }
+                let (t, q) = frame.candidates[frame.next];
+                frame.next += 1;
+                (t, q, frame.now + q)
+            };
+
+            let (next_state, _) = explorer.fire_from(&frames[depth - 1].words, transition, delay);
+            if shared.dead.contains(next_state) {
+                local.pruned_dead += 1;
+                continue;
+            }
+            let total = shared.states.fetch_add(1, Ordering::Relaxed) + 1;
+            if total > config.max_states {
+                shared.finish(Verdict::StateLimit);
+                break 'items;
+            }
+
+            let successor = explorer.successor_words();
+            if tasknet.has_deadline_miss_packed(successor) {
+                local.pruned_misses += 1;
+                for task in tasknet.missed_tasks_packed_iter(successor) {
+                    local.missed.record(task);
+                }
+                shared.dead.insert(next_state);
+                continue;
+            }
+
+            let role = tasknet.role(transition);
+            let firing = ScheduledFiring {
+                transition,
+                role,
+                delay,
+                at: now,
+            };
+
+            if tasknet.is_final_packed(successor) {
+                path.push(firing);
+                shared.finish(Verdict::Feasible(FeasibleSchedule::new(path)));
+                break 'items;
+            }
+
+            counters.apply(role);
+            if depth == frames.len() {
+                frames.push(PFrame::default());
+            }
+            let frame = &mut frames[depth];
+            frame.id = Some(next_state);
+            frame.words.clear();
+            frame.words.extend_from_slice(successor);
+            frame.next = 0;
+            frame.now = now;
+            frame.owned = true;
+            candidates_from_packed(
+                tasknet,
+                &frame.words,
+                config,
+                &counters,
+                &mut domains,
+                &mut frame.candidates,
+            );
+            if frame.candidates.is_empty() {
+                // Non-final deadlock: dead end.
+                counters.unapply(role);
+                local.deadlocks += 1;
+                shared.dead.insert(next_state);
+                continue;
+            }
+
+            path.push(firing);
+            depth += 1;
+        }
+    }
+    local
+}
+
+/// Splits unexplored sibling candidates off the donor's stack into the
+/// shared queue: the shallowest donatable frame goes first (it roots the
+/// largest unexplored subtrees); the deepest frame keeps one candidate so
+/// the donor itself never starves.
+fn donate(
+    shared: &Shared<'_>,
+    frames: &mut [PFrame],
+    depth: usize,
+    path: &[ScheduledFiring],
+    base_len: usize,
+) {
+    let mut donated: Vec<WorkItem> = Vec::new();
+    for i in 0..depth {
+        let keep = if i + 1 == depth { 1 } else { 0 };
+        let frame = &mut frames[i];
+        let remaining = frame.candidates.len().saturating_sub(frame.next);
+        if remaining <= keep {
+            continue;
+        }
+        let start = frame.next + keep;
+        // One shared copy of the parent state and prefix for all siblings.
+        let parent_words = Arc::new(frame.words.clone());
+        let prefix = Arc::new(path[..base_len + i].to_vec());
+        for &label in &frame.candidates[start..] {
+            donated.push(WorkItem {
+                parent_id: frame.id.expect("active frames hold a state"),
+                parent_words: Arc::clone(&parent_words),
+                label,
+                now: frame.now,
+                path: Arc::clone(&prefix),
+            });
+        }
+        frame.candidates.truncate(start);
+        // The proof obligation for this state is now split across items;
+        // nobody may claim it dead from local exhaustion alone.
+        frame.owned = false;
+        break;
+    }
+    if !donated.is_empty() {
+        shared.push_work(donated);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Parallelism;
+    use crate::search::synthesize;
+    use ezrt_compose::translate;
+    use ezrt_spec::corpus::{figure3_spec, figure4_spec, figure8_spec, small_control};
+    use ezrt_spec::SpecBuilder;
+
+    fn parallel_config(jobs: usize) -> SchedulerConfig {
+        SchedulerConfig {
+            parallelism: Parallelism::new(jobs),
+            ..SchedulerConfig::default()
+        }
+    }
+
+    #[test]
+    fn atomic_dead_set_inserts_and_grows() {
+        let dead = AtomicDeadSet::with_bit_capacity(0);
+        assert!(!dead.contains(StateId::from_index(100)));
+        dead.insert(StateId::from_index(100));
+        dead.insert(StateId::from_index(0));
+        dead.insert(StateId::from_index(100));
+        assert!(dead.contains(StateId::from_index(100)));
+        assert!(dead.contains(StateId::from_index(0)));
+        assert!(!dead.contains(StateId::from_index(63)));
+        assert_eq!(dead.len(), 2);
+        // Sparse high-id insert grows geometrically and stays readable.
+        dead.insert(StateId::from_index(1 << 20));
+        assert!(dead.contains(StateId::from_index(1 << 20)));
+        assert_eq!(dead.len(), 3);
+        assert!(dead.resident_bytes() >= (1 << 20) / 8);
+    }
+
+    #[test]
+    fn atomic_dead_set_is_race_safe() {
+        let dead = AtomicDeadSet::with_bit_capacity(0);
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let dead = &dead;
+                scope.spawn(move || {
+                    for i in 0..2000usize {
+                        // Overlapping ranges: every id inserted by two workers.
+                        dead.insert(StateId::from_index(i + (worker % 2) * 1000));
+                    }
+                });
+            }
+        });
+        assert_eq!(dead.len(), 3000);
+        for i in 0..3000 {
+            assert!(dead.contains(StateId::from_index(i)));
+        }
+    }
+
+    #[test]
+    fn one_job_is_byte_identical_to_sequential() {
+        for spec in [figure3_spec(), figure8_spec(), small_control()] {
+            let tasknet = translate(&spec);
+            let config = parallel_config(1);
+            let parallel = synthesize_parallel(&tasknet, &config).expect("feasible");
+            let sequential = synthesize(&tasknet, &config).expect("feasible");
+            assert_eq!(parallel.schedule, sequential.schedule, "{}", spec.name());
+            // Everything but wall time must match exactly.
+            let normalize = |mut stats: SearchStats| {
+                stats.elapsed = std::time::Duration::ZERO;
+                stats
+            };
+            assert_eq!(
+                normalize(parallel.stats),
+                normalize(sequential.stats),
+                "{}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_is_solved_at_two_and_four_jobs() {
+        for spec in [
+            figure3_spec(),
+            figure4_spec(),
+            figure8_spec(),
+            small_control(),
+        ] {
+            for jobs in [2, 4] {
+                let tasknet = translate(&spec);
+                let synthesis =
+                    synthesize_parallel(&tasknet, &parallel_config(jobs)).expect("feasible");
+                assert!(synthesis.schedule.is_feasible());
+                assert_eq!(synthesis.stats.jobs, jobs);
+                assert!(synthesis.stats.states_visited >= synthesis.schedule.firings().len());
+                // The independent validator ran inside synthesize_parallel;
+                // re-run it here so the test fails loudly if that check is
+                // ever removed.
+                let timeline = Timeline::from_schedule(&tasknet, &synthesis.schedule);
+                assert!(
+                    validate::check(tasknet.spec(), &timeline).is_empty(),
+                    "{} at {jobs} jobs",
+                    spec.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_sets_are_detected_in_parallel() {
+        let spec = SpecBuilder::new("overload")
+            .task("x", |t| t.computation(3).deadline(4).period(4))
+            .task("y", |t| t.computation(2).deadline(4).period(4))
+            .build()
+            .unwrap();
+        let tasknet = translate(&spec);
+        for jobs in [2, 4] {
+            let err = synthesize_parallel(&tasknet, &parallel_config(jobs)).unwrap_err();
+            match err {
+                SynthesizeError::Infeasible { missed_tasks, .. } => {
+                    assert!(!missed_tasks.is_empty(), "{jobs} jobs")
+                }
+                other => panic!("expected infeasible at {jobs} jobs, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn state_limit_aborts_parallel_search() {
+        let tasknet = translate(&figure8_spec());
+        let config = SchedulerConfig {
+            max_states: 5,
+            ..parallel_config(2)
+        };
+        let err = synthesize_parallel(&tasknet, &config).unwrap_err();
+        assert!(matches!(err, SynthesizeError::StateLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn parallel_stats_aggregate_workers() {
+        let tasknet = translate(&small_control());
+        let synthesis = synthesize_parallel(&tasknet, &parallel_config(2)).expect("feasible");
+        assert_eq!(synthesis.stats.jobs, 2);
+        assert!(synthesis.stats.states_visited > 0);
+        assert!(synthesis.stats.dead_set_bytes > 0);
+        assert!(synthesis.stats.schedule_length > 0);
+        assert_eq!(
+            synthesis.stats.schedule_length,
+            synthesis.schedule.firings().len()
+        );
+    }
+}

@@ -10,14 +10,14 @@
 //! [`reference`](crate::reference) and the two are equivalence-tested to
 //! return byte-identical schedules.
 
-use crate::config::{BranchOrdering, DelayMode, SchedulerConfig};
+use crate::config::{BranchOrdering, SchedulerConfig};
 use crate::error::SynthesizeError;
 use crate::schedule::{FeasibleSchedule, ScheduledFiring};
 use crate::stats::SearchStats;
 use ezrt_compose::{Priority, TaskNet, TransitionRole};
+use ezrt_spec::TaskId;
 use ezrt_tpn::reachability::Explorer;
 use ezrt_tpn::{StateId, Time, TimeBound, TransitionId};
-use std::collections::HashSet;
 use std::time::Instant;
 
 /// The result of a successful synthesis: the feasible firing schedule and
@@ -51,7 +51,12 @@ impl DeadSet {
     fn insert(&mut self, id: StateId) {
         let (word, bit) = (id.index() / 64, id.index() % 64);
         if word >= self.bits.len() {
-            self.bits.resize(word + 1, 0);
+            // Geometric growth: out-of-range inserts arrive in id order
+            // almost always, so per-word `resize(word + 1)` would be a
+            // reallocation per 64 states; doubling keeps it amortized O(1)
+            // and also handles sparse high-id inserts gracefully.
+            let grown = (word + 1).max(self.bits.len() * 2);
+            self.bits.resize(grown, 0);
         }
         let mask = 1u64 << bit;
         if self.bits[word] & mask == 0 {
@@ -74,6 +79,46 @@ impl DeadSet {
     }
 }
 
+/// Dense per-task deadline-miss flags: the diagnostics the infeasibility
+/// report needs, tracked without any structural hashing on the hot path
+/// (the predecessor was a `HashSet<String>` insert per pruned state).
+#[derive(Debug, Clone)]
+pub(crate) struct MissedTasks {
+    flags: Vec<bool>,
+}
+
+impl MissedTasks {
+    pub(crate) fn new(tasks: usize) -> Self {
+        MissedTasks {
+            flags: vec![false; tasks],
+        }
+    }
+
+    pub(crate) fn record(&mut self, task: TaskId) {
+        self.flags[task.index()] = true;
+    }
+
+    pub(crate) fn merge(&mut self, other: &MissedTasks) {
+        for (flag, &seen) in self.flags.iter_mut().zip(&other.flags) {
+            *flag |= seen;
+        }
+    }
+
+    /// The missed task names, sorted — the shape
+    /// [`SynthesizeError::Infeasible`] reports.
+    pub(crate) fn sorted_names(&self, tasknet: &TaskNet) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .flags
+            .iter()
+            .enumerate()
+            .filter(|&(_, &missed)| missed)
+            .map(|(i, _)| tasknet.spec().task(TaskId::from_index(i)).name().to_owned())
+            .collect();
+        names.sort();
+        names
+    }
+}
+
 /// Per-task counters maintained along the DFS path, used by the EDF
 /// branch-ordering heuristic to compute the absolute deadline of the
 /// instance a candidate transition advances.
@@ -88,6 +133,13 @@ impl InstanceCounters {
             releases: vec![0; tasks],
             completed: vec![0; tasks],
         }
+    }
+
+    /// Clears all counters — used when a parallel worker re-seeds its DFS
+    /// from a new work item's path prefix.
+    pub(crate) fn reset(&mut self) {
+        self.releases.fill(0);
+        self.completed.fill(0);
     }
 
     pub(crate) fn apply(&mut self, role: TransitionRole) {
@@ -147,7 +199,7 @@ pub fn synthesize(
     let mut explorer = Explorer::new(net);
     let mut dead = DeadSet::default();
     let mut counters = InstanceCounters::new(tasknet.spec().task_count());
-    let mut missed_task_names: HashSet<String> = HashSet::new();
+    let mut missed = MissedTasks::new(tasknet.spec().task_count());
     let mut domains: Vec<(TransitionId, Time, TimeBound)> = Vec::new();
 
     let s0 = explorer.intern_initial();
@@ -194,11 +246,9 @@ pub fn synthesize(
         if depth == 0 {
             finish_stats(&mut stats, &dead, &explorer);
             stats.schedule_length = 0;
-            let mut missed: Vec<String> = missed_task_names.into_iter().collect();
-            missed.sort();
             return Err(SynthesizeError::Infeasible {
                 stats,
-                missed_tasks: missed,
+                missed_tasks: missed.sorted_names(tasknet),
             });
         }
         let frame = &mut frames[depth - 1];
@@ -229,8 +279,8 @@ pub fn synthesize(
         let packed = explorer.state(next_state);
         if tasknet.has_deadline_miss_packed(packed) {
             stats.pruned_misses += 1;
-            for task in tasknet.missed_tasks_packed(packed) {
-                missed_task_names.insert(tasknet.spec().task(task).name().to_owned());
+            for task in tasknet.missed_tasks_packed_iter(packed) {
+                missed.record(task);
             }
             dead.insert(next_state);
             continue;
@@ -297,33 +347,36 @@ fn candidates_into(
     domains: &mut Vec<(TransitionId, Time, TimeBound)>,
     labels: &mut Vec<(TransitionId, Time)>,
 ) {
+    candidates_from_packed(
+        tasknet,
+        explorer.state(state),
+        config,
+        counters,
+        domains,
+        labels,
+    );
+}
+
+/// [`candidates_into`] over raw packed state words — the shared core both
+/// the sequential DFS (through an [`Explorer`]-interned id) and the
+/// parallel workers (through their own frame-resident state copies) drive,
+/// so candidate order is identical by construction across kernels.
+pub(crate) fn candidates_from_packed(
+    tasknet: &TaskNet,
+    state: &[u32],
+    config: &SchedulerConfig,
+    counters: &InstanceCounters,
+    domains: &mut Vec<(TransitionId, Time, TimeBound)>,
+    labels: &mut Vec<(TransitionId, Time)>,
+) {
     labels.clear();
     let net = tasknet.net();
-    explorer.fireable_domains_into(state, domains);
+    net.fireable_domains_into(state, domains);
     if domains.is_empty() {
         return;
     }
 
-    for &(t, dlb, upper) in domains.iter() {
-        match config.delay_mode {
-            DelayMode::Earliest => labels.push((t, dlb)),
-            DelayMode::Corners => {
-                labels.push((t, dlb));
-                if let TimeBound::Finite(ub) = upper {
-                    if ub > dlb {
-                        labels.push((t, ub));
-                    }
-                }
-            }
-            DelayMode::Full => {
-                if let TimeBound::Finite(ub) = upper {
-                    labels.extend((dlb..=ub).map(|q| (t, q)));
-                } else {
-                    labels.push((t, dlb));
-                }
-            }
-        }
-    }
+    ezrt_tpn::reachability::expand_delay_labels(config.delay_mode, domains, labels);
 
     // Partial-order reduction: FT(s) is a single priority class by
     // definition. If that class is bookkeeping (forced [0,0] or exact
@@ -409,6 +462,7 @@ pub(crate) fn role_rank(role: TransitionRole) -> u8 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::DelayMode;
     use ezrt_compose::translate;
     use ezrt_spec::corpus::{figure3_spec, figure4_spec, figure8_spec, small_control};
     use ezrt_spec::SpecBuilder;
@@ -606,5 +660,50 @@ mod tests {
         assert!(!dead.contains(StateId::from_index(63)));
         assert_eq!(dead.len(), 2);
         assert!(dead.resident_bytes() >= 16);
+    }
+
+    #[test]
+    fn dead_set_grows_geometrically_on_sparse_high_ids() {
+        let mut dead = DeadSet::default();
+        // A sparse spray of high ids: each insert at most doubles the
+        // backing words (or jumps straight to the needed word), and every
+        // inserted bit stays set.
+        let ids = [5usize, 1 << 10, 1 << 16, (1 << 16) + 1, 1 << 20, 7];
+        for (i, &id) in ids.iter().enumerate() {
+            let before = dead.bits.len();
+            dead.insert(StateId::from_index(id));
+            let needed = id / 64 + 1;
+            assert!(
+                dead.bits.len() >= needed,
+                "insert {i}: {} words < {needed} needed",
+                dead.bits.len()
+            );
+            assert!(
+                dead.bits.len() == before || dead.bits.len() >= needed.max(before * 2),
+                "insert {i}: growth {} -> {} is not geometric",
+                before,
+                dead.bits.len()
+            );
+        }
+        for &id in &ids {
+            assert!(dead.contains(StateId::from_index(id)));
+        }
+        assert_eq!(dead.len(), ids.len());
+        assert!(!dead.contains(StateId::from_index(1 << 19)));
+    }
+
+    #[test]
+    fn missed_tasks_flags_produce_sorted_names() {
+        let spec = figure3_spec();
+        let tasknet = translate(&spec);
+        let mut missed = MissedTasks::new(spec.task_count());
+        missed.record(spec.task_id("T2").unwrap());
+        missed.record(spec.task_id("T2").unwrap());
+        assert_eq!(missed.sorted_names(&tasknet), vec!["T2"]);
+
+        let mut other = MissedTasks::new(spec.task_count());
+        other.record(spec.task_id("T1").unwrap());
+        other.merge(&missed);
+        assert_eq!(other.sorted_names(&tasknet), vec!["T1", "T2"]);
     }
 }

@@ -17,7 +17,7 @@
 //! The benchmark harness uses it to regenerate the pre-runtime-vs-online
 //! feasibility and jitter comparisons.
 //!
-//! The [`replay`] module closes the loop at the net level: it replays a
+//! The [`mod@replay`] module closes the loop at the net level: it replays a
 //! synthesized firing schedule through the same packed
 //! [`Explorer`](ezrt_tpn::reachability::Explorer) kernel the scheduler
 //! searched with, re-validating every firing against the TLTS semantics.

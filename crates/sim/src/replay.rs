@@ -5,7 +5,7 @@
 //! *net semantics*: every firing must be a member of `FT(s)` with a delay
 //! inside `FD_s(t)`, and the run must end in the desired final marking
 //! `MF`. The replay drives the same packed
-//! [`Explorer`](ezrt_tpn::reachability::Explorer) the synthesis search and
+//! [`Explorer`] the synthesis search and
 //! the reachability exploration use, so it doubles as an end-to-end oracle
 //! for the shared kernel: a schedule produced by the DFS replays through
 //! the explorer without allocating per step.

@@ -4,7 +4,7 @@
 //! The TLTS explorers (the scheduler's DFS, [`reachability`](crate::reachability)'s
 //! BFS, the simulator's replay oracle) spend their time generating
 //! successor states and asking "have I seen this state before?". The
-//! boundary [`State`]/[`Marking`](crate::Marking) value types answer that
+//! boundary [`State`]/[`Marking`] value types answer that
 //! with per-state heap allocations and structural hashing of two separate
 //! vectors. This module packs a state into **one contiguous `u32` slice**
 //! — token counts followed by split 64-bit clocks — described by a
@@ -133,7 +133,7 @@ impl std::fmt::Display for StateId {
     }
 }
 
-const EMPTY_SLOT: u32 = u32::MAX;
+pub(crate) const EMPTY_SLOT: u32 = u32::MAX;
 
 /// An interning arena for packed states: one contiguous slab holding every
 /// distinct state seen so far, plus an open-addressing hash table that
@@ -280,8 +280,9 @@ impl StateArena {
 
 /// FxHash-style multiply-mix over the packed words, two words at a time —
 /// fast, and good enough distribution for the near-canonical token/clock
-/// words states are made of.
-fn hash_words(words: &[u32]) -> u64 {
+/// words states are made of. Shared with the sharded arena so both tables
+/// agree on state hashes.
+pub(crate) fn hash_words(words: &[u32]) -> u64 {
     const SEED: u64 = 0x51_7C_C1_B7_27_22_0A_95;
     let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
     let mut chunks = words.chunks_exact(2);

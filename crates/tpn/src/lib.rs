@@ -72,6 +72,7 @@ pub mod invariants;
 mod marking;
 mod net;
 pub mod reachability;
+pub mod sharded;
 mod state;
 
 pub use arena::{StateArena, StateId, StateLayout};
@@ -80,6 +81,7 @@ pub use ids::{PlaceId, TransitionId};
 pub use interval::{TimeBound, TimeInterval};
 pub use marking::Marking;
 pub use net::{Place, TimePetriNet, TpnBuilder, Transition};
+pub use sharded::{Parallelism, ShardedArena, WorkerExplorer};
 pub use state::{Firing, State};
 
 /// Discrete model time, in the specification's abstract *task time units*

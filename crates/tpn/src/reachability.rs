@@ -18,8 +18,11 @@
 //! boundary API for small-scale semantic checks and property tests.
 
 use crate::arena::{StateArena, StateId, StateLayout};
+use crate::sharded::{Parallelism, ShardedArena, WorkerExplorer};
 use crate::{Firing, State, Time, TimeBound, TimePetriNet, TransitionId};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 // The shared delay-enumeration mode lives at the crate root; re-exported
 // here because this is where explorers historically picked it up.
@@ -61,6 +64,36 @@ pub struct ReachabilityReport {
 /// One generated successor edge: the label, the interned successor state,
 /// and whether that state was seen for the first time.
 pub type SuccessorEdge = (Firing, StateId, bool);
+
+/// Expands fireable-set firing domains into concrete labels `(t, q)`
+/// under `mode`, appending to `out` in the canonical order every explorer
+/// uses: domains order (ascending transition id), then ascending delay.
+///
+/// This is the **single** delay-enumeration implementation behind
+/// [`Explorer::successors_into`], the per-worker
+/// [`WorkerExplorer`] and the scheduler's
+/// candidate generation, so label order agrees across the sequential and
+/// parallel kernels by construction.
+pub fn expand_delay_labels(
+    mode: DelayMode,
+    domains: &[(TransitionId, Time, TimeBound)],
+    out: &mut Vec<(TransitionId, Time)>,
+) {
+    for &(t, dlb, upper) in domains {
+        match (mode, upper) {
+            (DelayMode::Earliest, _) => out.push((t, dlb)),
+            (DelayMode::Corners, TimeBound::Finite(ub)) if ub > dlb => {
+                out.push((t, dlb));
+                out.push((t, ub));
+            }
+            (DelayMode::Corners, _) => out.push((t, dlb)),
+            (DelayMode::Full, TimeBound::Finite(ub)) => {
+                out.extend((dlb..=ub).map(|q| (t, q)));
+            }
+            (DelayMode::Full, TimeBound::Infinite) => out.push((t, dlb)),
+        }
+    }
+}
 
 /// The shared packed state-space explorer.
 ///
@@ -105,6 +138,8 @@ pub struct Explorer<'net> {
     successor: Vec<u32>,
     /// Scratch buffer for the fireable set with firing domains.
     domains: Vec<(TransitionId, Time, TimeBound)>,
+    /// Scratch buffer for the expanded labels.
+    labels: Vec<(TransitionId, Time)>,
 }
 
 impl<'net> Explorer<'net> {
@@ -117,6 +152,7 @@ impl<'net> Explorer<'net> {
             arena: StateArena::new(layout),
             successor: vec![0; layout.words()],
             domains: Vec::new(),
+            labels: Vec::new(),
         }
     }
 
@@ -202,36 +238,17 @@ impl<'net> Explorer<'net> {
     pub fn successors_into(&mut self, id: StateId, mode: DelayMode, out: &mut Vec<SuccessorEdge>) {
         out.clear();
         let mut domains = std::mem::take(&mut self.domains);
+        let mut labels = std::mem::take(&mut self.labels);
         self.net
             .fireable_domains_into(self.arena.get(id), &mut domains);
-        for &(t, dlb, upper) in &domains {
-            match (mode, upper) {
-                (DelayMode::Earliest, _) => self.push_edge(id, t, dlb, out),
-                (DelayMode::Corners, TimeBound::Finite(ub)) if ub > dlb => {
-                    self.push_edge(id, t, dlb, out);
-                    self.push_edge(id, t, ub, out);
-                }
-                (DelayMode::Corners, _) => self.push_edge(id, t, dlb, out),
-                (DelayMode::Full, TimeBound::Finite(ub)) => {
-                    for q in dlb..=ub {
-                        self.push_edge(id, t, q, out);
-                    }
-                }
-                (DelayMode::Full, TimeBound::Infinite) => self.push_edge(id, t, dlb, out),
-            }
+        labels.clear();
+        expand_delay_labels(mode, &domains, &mut labels);
+        for &(t, q) in &labels {
+            let (next, fresh) = self.fire(id, t, q);
+            out.push((Firing::new(t, q), next, fresh));
         }
         self.domains = domains;
-    }
-
-    fn push_edge(
-        &mut self,
-        from: StateId,
-        t: TransitionId,
-        delay: Time,
-        out: &mut Vec<SuccessorEdge>,
-    ) {
-        let (next, fresh) = self.fire(from, t, delay);
-        out.push((Firing::new(t, delay), next, fresh));
+        self.labels = labels;
     }
 }
 
@@ -334,6 +351,147 @@ pub fn explore(
         }
     }
     report
+}
+
+/// Parallel breadth-first exploration: the multi-worker counterpart of
+/// [`explore`], distributing each BFS level over `parallelism.jobs()`
+/// workers that intern into one shared [`ShardedArena`].
+///
+/// The exploration is level-synchronized: workers claim frontier states
+/// through an atomic cursor, generate successors into per-worker scratch
+/// buffers, and fresh states (first global intern wins) form the next
+/// level. Because duplicate detection is a property of the shared arena,
+/// the *set* of visited states — and therefore every reported counter
+/// except truncation boundaries — is identical to the sequential
+/// exploration's for any worker count. With `Parallelism::SEQUENTIAL`
+/// this delegates to [`explore`] outright.
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_tpn::{Parallelism, TpnBuilder, TimeInterval};
+/// use ezrt_tpn::reachability::{explore, explore_parallel, DelayMode, ExplorationLimits};
+///
+/// # fn main() -> Result<(), ezrt_tpn::BuildNetError> {
+/// let mut b = TpnBuilder::new("loop");
+/// let a = b.place_with_tokens("a", 1);
+/// let t = b.transition("t", TimeInterval::exact(1));
+/// b.arc_place_to_transition(a, t, 1);
+/// b.arc_transition_to_place(t, a, 1);
+/// let net = b.build()?;
+/// let limits = ExplorationLimits::default();
+/// let parallel = explore_parallel(&net, DelayMode::Earliest, limits, Parallelism::new(2));
+/// assert_eq!(parallel, explore(&net, DelayMode::Earliest, limits));
+/// # Ok(())
+/// # }
+/// ```
+pub fn explore_parallel(
+    net: &TimePetriNet,
+    mode: DelayMode,
+    limits: ExplorationLimits,
+    parallelism: Parallelism,
+) -> ReachabilityReport {
+    if parallelism.is_sequential() {
+        return explore(net, mode, limits);
+    }
+    let jobs = parallelism.jobs();
+    let place_count = net.layout().place_count();
+    let arena = ShardedArena::new(net.layout(), jobs);
+    let mut seed = WorkerExplorer::new(net, &arena);
+    let s0 = seed.intern_initial();
+
+    let visited = AtomicUsize::new(1);
+    let edges = AtomicUsize::new(0);
+    let deadlocks = AtomicUsize::new(0);
+    let truncated = AtomicBool::new(false);
+    let initial_max = seed.successor_words()[..place_count]
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0);
+    let max_tokens = AtomicU32::new(initial_max);
+
+    let mut frontier: Vec<StateId> = vec![s0];
+    let mut depth = 0usize;
+    while !frontier.is_empty() {
+        if depth >= limits.max_depth {
+            truncated.store(true, Ordering::Relaxed);
+            break;
+        }
+        let cursor = AtomicUsize::new(0);
+        let next: Mutex<Vec<StateId>> = Mutex::new(Vec::new());
+        // One level worker; shared state is claimed through atomics, so
+        // the same closure runs inline or spawned.
+        let drain_level = || {
+            let mut worker = WorkerExplorer::new(net, &arena);
+            let mut words: Vec<u32> = Vec::new();
+            let mut labels: Vec<(TransitionId, Time)> = Vec::new();
+            let mut local_next: Vec<StateId> = Vec::new();
+            let mut local_edges = 0usize;
+            let mut local_deadlocks = 0usize;
+            let mut local_max_tokens = 0u32;
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&id) = frontier.get(i) else { break };
+                worker.read_into(id, &mut words);
+                worker.successor_labels_into(&words, mode, &mut labels);
+                if labels.is_empty() {
+                    local_deadlocks += 1;
+                    continue;
+                }
+                for &(t, q) in &labels {
+                    local_edges += 1;
+                    let (successor, fresh) = worker.fire_from(&words, t, q);
+                    if !fresh {
+                        continue;
+                    }
+                    let admitted = visited
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                            (v < limits.max_states).then_some(v + 1)
+                        })
+                        .is_ok();
+                    if !admitted {
+                        truncated.store(true, Ordering::Relaxed);
+                        continue;
+                    }
+                    for &tokens in &worker.successor_words()[..place_count] {
+                        local_max_tokens = local_max_tokens.max(tokens);
+                    }
+                    local_next.push(successor);
+                }
+            }
+            edges.fetch_add(local_edges, Ordering::Relaxed);
+            deadlocks.fetch_add(local_deadlocks, Ordering::Relaxed);
+            max_tokens.fetch_max(local_max_tokens, Ordering::Relaxed);
+            next.lock()
+                .expect("frontier lock poisoned")
+                .append(&mut local_next);
+        };
+        // Narrow levels are not worth fanning out: run them inline on the
+        // calling thread (no spawn at all), so deep-but-thin spaces pay no
+        // per-level thread churn. Wide levels spawn `jobs - 1` helpers and
+        // the calling thread participates as the last worker.
+        if frontier.len() < jobs * 4 {
+            drain_level();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 1..jobs {
+                    scope.spawn(drain_level);
+                }
+                drain_level();
+            });
+        }
+        frontier = next.into_inner().expect("frontier lock poisoned");
+        depth += 1;
+    }
+
+    ReachabilityReport {
+        states_visited: visited.into_inner(),
+        edges: edges.into_inner(),
+        deadlocks: deadlocks.into_inner(),
+        max_place_tokens: max_tokens.into_inner(),
+        truncated: truncated.into_inner(),
+    }
 }
 
 fn track_tokens(report: &mut ReachabilityReport, explorer: &Explorer<'_>, id: StateId) {
@@ -448,6 +606,50 @@ mod tests {
         let net = b.build().unwrap();
         let report = explore(&net, DelayMode::Earliest, ExplorationLimits::default());
         assert_eq!(report.max_place_tokens, 7);
+    }
+
+    #[test]
+    fn parallel_exploration_matches_sequential_reports() {
+        let net = diamond();
+        for mode in [DelayMode::Earliest, DelayMode::Corners, DelayMode::Full] {
+            let sequential = explore(&net, mode, ExplorationLimits::default());
+            for jobs in [1, 2, 4] {
+                let parallel = explore_parallel(
+                    &net,
+                    mode,
+                    ExplorationLimits::default(),
+                    Parallelism::new(jobs),
+                );
+                assert_eq!(parallel, sequential, "{mode:?} at {jobs} jobs");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_exploration_truncates_on_limits() {
+        let net = diamond();
+        let by_states = explore_parallel(
+            &net,
+            DelayMode::Earliest,
+            ExplorationLimits {
+                max_states: 2,
+                max_depth: 100,
+            },
+            Parallelism::new(2),
+        );
+        assert!(by_states.truncated);
+        assert_eq!(by_states.states_visited, 2);
+
+        let by_depth = explore_parallel(
+            &net,
+            DelayMode::Earliest,
+            ExplorationLimits {
+                max_states: 100,
+                max_depth: 1,
+            },
+            Parallelism::new(2),
+        );
+        assert!(by_depth.truncated);
     }
 
     #[test]

@@ -1,0 +1,580 @@
+//! The concurrent state-interning kernel: a sharded arena plus cheap
+//! per-worker explorer handles.
+//!
+//! [`StateArena`](crate::StateArena) is single-threaded by construction —
+//! one slab, one probe table, `&mut self` interning. Parallel exploration
+//! needs the *same* dedup guarantees (a state is stored exactly once, ids
+//! are dense and stable) while many workers intern concurrently. This
+//! module provides that as a [`ShardedArena`]: `N` independent slab+table
+//! shards keyed by the high bits of the state hash, each behind its own
+//! mutex, plus a global append-only directory that assigns **globally
+//! dense** [`StateId`]s in interning order. Two workers interning the same
+//! state always race on the same shard, so exactly one of them observes
+//! `fresh == true` — the property every parallel explorer's "first visit"
+//! logic rests on.
+//!
+//! Workers do not share scratch state: each holds a [`WorkerExplorer`], a
+//! cheap handle bundling the net, a reference to the shared arena and
+//! private successor buffers. Firing reads the parent's packed words from
+//! the worker's own frame (never from the arena), so in the steady state a
+//! worker only touches shared memory to intern a successor (one shard
+//! lock) and, for fresh states, to append one directory entry.
+
+use crate::arena::{hash_words, StateId, StateLayout, EMPTY_SLOT};
+use crate::{DelayMode, Time, TimeBound, TimePetriNet, TransitionId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// Worker-count configuration shared by every parallel entry point in the
+/// workspace: the scheduler's `synthesize_parallel`, the reachability
+/// BFS ([`explore_parallel`](crate::reachability::explore_parallel)), the
+/// `ezrt` CLI's `--jobs` flag and the benchmark harness all consume this
+/// one type, so a thread-count choice travels unchanged across layers.
+///
+/// `jobs == 1` (the default) means strictly sequential execution through
+/// the exact single-threaded code paths — parallel entry points delegate,
+/// so `Parallelism::default()` is byte-identical to not opting in at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    jobs: usize,
+}
+
+impl Parallelism {
+    /// Strictly sequential execution (one worker).
+    pub const SEQUENTIAL: Parallelism = Parallelism { jobs: 1 };
+
+    /// `jobs` workers; zero is clamped to one.
+    pub fn new(jobs: usize) -> Self {
+        Parallelism { jobs: jobs.max(1) }
+    }
+
+    /// The configured worker count (always ≥ 1).
+    pub fn jobs(self) -> usize {
+        self.jobs
+    }
+
+    /// Whether this configuration runs the sequential code path.
+    pub fn is_sequential(self) -> bool {
+        self.jobs <= 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::SEQUENTIAL
+    }
+}
+
+/// One shard: a private slab + open-addressing table, exactly the
+/// [`StateArena`](crate::StateArena) structure, holding the subset of
+/// states whose hash routes here.
+#[derive(Debug)]
+struct Shard {
+    /// Packed states local to this shard, back to back.
+    slab: Vec<u32>,
+    /// Hash of each local state, for probe short-circuiting.
+    hashes: Vec<u64>,
+    /// The global [`StateId`] of each local state.
+    globals: Vec<u32>,
+    /// Open-addressing table of *local* indices; `EMPTY_SLOT` is free.
+    table: Vec<u32>,
+    mask: usize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        let capacity = 256;
+        Shard {
+            slab: Vec::new(),
+            hashes: Vec::new(),
+            globals: Vec::new(),
+            table: vec![EMPTY_SLOT; capacity],
+            mask: capacity - 1,
+        }
+    }
+
+    fn grow(&mut self) {
+        let capacity = self.table.len() * 2;
+        let mask = capacity - 1;
+        let mut table = vec![EMPTY_SLOT; capacity];
+        for (local, &hash) in self.hashes.iter().enumerate() {
+            let mut slot = (hash as usize) & mask;
+            while table[slot] != EMPTY_SLOT {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = local as u32;
+        }
+        self.table = table;
+        self.mask = mask;
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.slab.capacity() * std::mem::size_of::<u32>()
+            + self.hashes.capacity() * std::mem::size_of::<u64>()
+            + self.globals.capacity() * std::mem::size_of::<u32>()
+            + self.table.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Directory entry packing: shard index in the high 16 bits, local slab
+/// index in the low 48.
+const LOCAL_BITS: u32 = 48;
+const LOCAL_MASK: u64 = (1 << LOCAL_BITS) - 1;
+
+/// A concurrently internable state arena: `N` independent
+/// slab-plus-probe-table shards keyed by state hash, handing out globally
+/// dense, stable [`StateId`]s.
+///
+/// Interning takes one shard mutex (hash-routed, so contention spreads
+/// across shards) and, for *fresh* states only, one short append under the
+/// directory write lock that assigns the next dense id. Duplicate hits —
+/// the common case in saturating explorations — never touch the
+/// directory.
+///
+/// Unlike [`StateArena`](crate::StateArena), reads copy out
+/// ([`read_into`](Self::read_into)) instead of borrowing: states live
+/// behind shard locks, and a copy of a few dozen words is cheaper than
+/// any sharable-borrow scheme that would need `unsafe` (which this crate
+/// forbids).
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_tpn::{ShardedArena, StateLayout, TimeInterval, TpnBuilder};
+///
+/// # fn main() -> Result<(), ezrt_tpn::BuildNetError> {
+/// let mut b = TpnBuilder::new("tiny");
+/// let p = b.place_with_tokens("p", 1);
+/// let t = b.transition("t", TimeInterval::exact(1));
+/// b.arc_place_to_transition(p, t, 1);
+/// let net = b.build()?;
+///
+/// let arena = ShardedArena::new(StateLayout::of(&net), 4);
+/// let mut packed = vec![0u32; arena.layout().words()];
+/// net.write_initial_packed(&mut packed);
+/// let (id, fresh) = arena.intern(&packed);
+/// assert!(fresh);
+/// assert_eq!(arena.intern(&packed), (id, false), "re-interning dedups");
+/// let mut out = Vec::new();
+/// arena.read_into(id, &mut out);
+/// assert_eq!(out, packed);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedArena {
+    layout: StateLayout,
+    shards: Vec<Mutex<Shard>>,
+    shard_mask: u64,
+    /// Global id → packed `(shard, local)` location, in interning order.
+    directory: RwLock<Vec<u64>>,
+    /// Mirror of `directory.len()` for lock-free length queries.
+    len: AtomicUsize,
+}
+
+impl ShardedArena {
+    /// An empty arena with a shard count sized for `workers` concurrent
+    /// interners (shards are over-provisioned 4× and rounded to a power of
+    /// two so hash routing is a mask).
+    pub fn new(layout: StateLayout, workers: usize) -> Self {
+        let shards = (workers.max(1) * 4).next_power_of_two().min(256);
+        ShardedArena {
+            layout,
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_mask: shards as u64 - 1,
+            directory: RwLock::new(Vec::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// The layout states in this arena use.
+    pub fn layout(&self) -> StateLayout {
+        self.layout
+    }
+
+    /// Number of shards the hash space is split over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of distinct states interned so far.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether no state has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Interns `state`, returning its globally dense id and whether it was
+    /// freshly inserted. When several workers intern the same state
+    /// concurrently, they all receive the same id and exactly one receives
+    /// `fresh == true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state`'s length does not match the arena layout.
+    pub fn intern(&self, state: &[u32]) -> (StateId, bool) {
+        let words = self.layout.words();
+        assert_eq!(state.len(), words, "state length mismatch");
+        let hash = hash_words(state);
+        // Shard routing uses the high bits, in-shard probing the low bits,
+        // so the two decisions stay independent.
+        let shard_index = ((hash >> LOCAL_BITS) & self.shard_mask) as usize;
+        let mut shard = self.shards[shard_index]
+            .lock()
+            .expect("arena shard lock poisoned");
+        let mut slot = (hash as usize) & shard.mask;
+        loop {
+            let entry = shard.table[slot];
+            if entry == EMPTY_SLOT {
+                let local = shard.hashes.len();
+                shard.slab.extend_from_slice(state);
+                shard.hashes.push(hash);
+                let global = {
+                    let mut directory = self
+                        .directory
+                        .write()
+                        .expect("arena directory lock poisoned");
+                    let id = directory.len();
+                    directory.push(((shard_index as u64) << LOCAL_BITS) | local as u64);
+                    self.len.store(directory.len(), Ordering::Release);
+                    id as u32
+                };
+                shard.globals.push(global);
+                shard.table[slot] = local as u32;
+                if shard.hashes.len() * 10 >= shard.table.len() * 7 {
+                    shard.grow();
+                }
+                return (StateId::from_index(global as usize), true);
+            }
+            let candidate = entry as usize;
+            if shard.hashes[candidate] == hash {
+                let start = candidate * words;
+                if &shard.slab[start..start + words] == state {
+                    let global = shard.globals[candidate];
+                    return (StateId::from_index(global as usize), false);
+                }
+            }
+            slot = (slot + 1) & shard.mask;
+        }
+    }
+
+    /// Copies the packed words of an interned state into `out` (cleared
+    /// first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this arena.
+    pub fn read_into(&self, id: StateId, out: &mut Vec<u32>) {
+        let entry = self
+            .directory
+            .read()
+            .expect("arena directory lock poisoned")[id.index()];
+        let shard_index = (entry >> LOCAL_BITS) as usize;
+        let local = (entry & LOCAL_MASK) as usize;
+        let words = self.layout.words();
+        let shard = self.shards[shard_index]
+            .lock()
+            .expect("arena shard lock poisoned");
+        out.clear();
+        out.extend_from_slice(&shard.slab[local * words..(local + 1) * words]);
+    }
+
+    /// Approximate resident size in bytes: every shard's slab, hash cache,
+    /// id map and probe table, plus the global directory. Interned states
+    /// are never evicted, so the current size is also the peak.
+    pub fn resident_bytes(&self) -> usize {
+        let shards: usize = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("arena shard lock poisoned")
+                    .resident_bytes()
+            })
+            .sum();
+        let directory = self
+            .directory
+            .read()
+            .expect("arena directory lock poisoned")
+            .capacity()
+            * std::mem::size_of::<u64>();
+        shards + directory
+    }
+}
+
+/// A cheap per-worker handle over shared interning state: the parallel
+/// counterpart of [`Explorer`](crate::reachability::Explorer).
+///
+/// Each worker owns one handle; the arena is shared. The firing and
+/// candidate-enumeration entry points take the parent state's packed words
+/// from the *caller* (workers keep their current frame's words in their
+/// own stack), so the only shared-memory traffic in the steady state is
+/// the intern of each generated successor.
+#[derive(Debug)]
+pub struct WorkerExplorer<'a> {
+    net: &'a TimePetriNet,
+    arena: &'a ShardedArena,
+    layout: StateLayout,
+    /// Scratch buffer `fire_into` writes successors into.
+    successor: Vec<u32>,
+    /// Scratch buffer for the fireable set with firing domains.
+    domains: Vec<(TransitionId, Time, TimeBound)>,
+}
+
+impl<'a> WorkerExplorer<'a> {
+    /// A handle for one worker over `net` and the shared `arena`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena's layout does not match the net's.
+    pub fn new(net: &'a TimePetriNet, arena: &'a ShardedArena) -> Self {
+        let layout = net.layout();
+        assert_eq!(layout, arena.layout(), "arena layout mismatch");
+        WorkerExplorer {
+            net,
+            arena,
+            layout,
+            successor: vec![0; layout.words()],
+            domains: Vec::new(),
+        }
+    }
+
+    /// The net being explored.
+    pub fn net(&self) -> &'a TimePetriNet {
+        self.net
+    }
+
+    /// The shared arena.
+    pub fn arena(&self) -> &'a ShardedArena {
+        self.arena
+    }
+
+    /// Interns the initial state `s0 = (m0, 0⃗)` and returns its id. The
+    /// packed words remain available via
+    /// [`successor_words`](Self::successor_words).
+    pub fn intern_initial(&mut self) -> StateId {
+        self.net.write_initial_packed(&mut self.successor);
+        self.arena.intern(&self.successor).0
+    }
+
+    /// Copies an interned state's packed words into `out`.
+    pub fn read_into(&self, id: StateId, out: &mut Vec<u32>) {
+        self.arena.read_into(id, out);
+    }
+
+    /// Fires `t` after `delay` from the packed parent state `src`,
+    /// interning the successor. Returns its id and whether it is globally
+    /// fresh; the successor's packed words stay in
+    /// [`successor_words`](Self::successor_words) until the next firing.
+    ///
+    /// Like [`TimePetriNet::fire_unchecked`], legality of the label is not
+    /// re-validated.
+    pub fn fire_from(&mut self, src: &[u32], t: TransitionId, delay: Time) -> (StateId, bool) {
+        self.net.fire_into(src, t, delay, &mut self.successor);
+        self.arena.intern(&self.successor)
+    }
+
+    /// The packed words of the most recently generated successor (or the
+    /// initial state right after [`intern_initial`](Self::intern_initial)).
+    pub fn successor_words(&self) -> &[u32] {
+        &self.successor
+    }
+
+    /// Computes the fireable set of the packed state `src` together with
+    /// the firing domains into the caller's reusable buffer (see
+    /// [`TimePetriNet::fireable_domains_into`]).
+    pub fn fireable_domains_into(
+        &self,
+        src: &[u32],
+        out: &mut Vec<(TransitionId, Time, TimeBound)>,
+    ) {
+        self.net.fireable_domains_into(src, out);
+    }
+
+    /// Enumerates the successor labels `(t, q)` of the packed state `src`
+    /// under `mode` into the caller's reusable buffer (cleared first), in
+    /// the same order as [`Explorer::successors_into`]
+    /// (ascending transition id, then ascending delay).
+    ///
+    /// [`Explorer::successors_into`]: crate::reachability::Explorer::successors_into
+    pub fn successor_labels_into(
+        &mut self,
+        src: &[u32],
+        mode: DelayMode,
+        out: &mut Vec<(TransitionId, Time)>,
+    ) {
+        out.clear();
+        let mut domains = std::mem::take(&mut self.domains);
+        self.net.fireable_domains_into(src, &mut domains);
+        crate::reachability::expand_delay_labels(mode, &domains, out);
+        self.domains = domains;
+    }
+
+    /// The packed state layout.
+    pub fn layout(&self) -> StateLayout {
+        self.layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reachability::Explorer;
+    use crate::{TimeInterval, TpnBuilder};
+
+    fn layout() -> StateLayout {
+        StateLayout::of(&chain_net(1))
+    }
+
+    /// A linear chain of `n` exact-delay transitions.
+    fn chain_net(n: usize) -> TimePetriNet {
+        let mut b = TpnBuilder::new("chain");
+        let mut prev = b.place_with_tokens("p0", 1);
+        for i in 0..n {
+            let next = b.place(format!("p{}", i + 1));
+            let t = b.transition(format!("t{i}"), TimeInterval::exact(1));
+            b.arc_place_to_transition(prev, t, 1);
+            b.arc_transition_to_place(t, next, 1);
+            prev = next;
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parallelism_clamps_and_defaults() {
+        assert_eq!(Parallelism::default(), Parallelism::SEQUENTIAL);
+        assert_eq!(Parallelism::new(0).jobs(), 1);
+        assert_eq!(Parallelism::new(4).jobs(), 4);
+        assert!(Parallelism::new(1).is_sequential());
+        assert!(!Parallelism::new(2).is_sequential());
+    }
+
+    #[test]
+    fn interning_dedups_and_assigns_dense_ids() {
+        let arena = ShardedArena::new(layout(), 4);
+        let words = arena.layout().words();
+        let mut seen = Vec::new();
+        for i in 0..100u32 {
+            let mut state = vec![0u32; words];
+            state[0] = i;
+            let (id, fresh) = arena.intern(&state);
+            assert!(fresh);
+            assert_eq!(arena.intern(&state), (id, false));
+            seen.push((id, state));
+        }
+        assert_eq!(arena.len(), 100);
+        // Ids are dense: every index in 0..100 is assigned exactly once.
+        let mut indexes: Vec<usize> = seen.iter().map(|(id, _)| id.index()).collect();
+        indexes.sort_unstable();
+        assert_eq!(indexes, (0..100).collect::<Vec<_>>());
+        let mut out = Vec::new();
+        for (id, state) in &seen {
+            arena.read_into(*id, &mut out);
+            assert_eq!(&out, state);
+        }
+        assert!(arena.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn concurrent_interning_yields_one_fresh_insert_per_state() {
+        let net = chain_net(1);
+        let arena = ShardedArena::new(StateLayout::of(&net), 4);
+        let words = arena.layout().words();
+        let fresh_count = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..1000u32 {
+                        let mut state = vec![0u32; words];
+                        state[0] = i;
+                        state[1] = i.rotate_left(16);
+                        let (_, fresh) = arena.intern(&state);
+                        if fresh {
+                            fresh_count.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            fresh_count.load(Ordering::Relaxed),
+            1000,
+            "each distinct state is fresh exactly once across threads"
+        );
+        assert_eq!(arena.len(), 1000);
+    }
+
+    #[test]
+    fn concurrent_ids_agree_across_threads() {
+        let net = chain_net(1);
+        let arena = ShardedArena::new(StateLayout::of(&net), 2);
+        let words = arena.layout().words();
+        let ids: Vec<Vec<StateId>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    scope.spawn(|| {
+                        (0..200u32)
+                            .map(|i| {
+                                let mut state = vec![0u32; words];
+                                state[0] = i;
+                                arena.intern(&state).0
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[1], ids[2]);
+    }
+
+    #[test]
+    fn worker_explorer_matches_sequential_explorer() {
+        let net = chain_net(3);
+        let arena = ShardedArena::new(net.layout(), 2);
+        let mut worker = WorkerExplorer::new(&net, &arena);
+        let mut sequential = Explorer::new(&net);
+
+        let w0 = worker.intern_initial();
+        let s0 = sequential.intern_initial();
+        let mut words = worker.successor_words().to_vec();
+
+        let mut labels = Vec::new();
+        let mut edges = Vec::new();
+        let mut state = w0;
+        let mut sstate = s0;
+        loop {
+            worker.successor_labels_into(&words, DelayMode::Earliest, &mut labels);
+            sequential.successors_into(sstate, DelayMode::Earliest, &mut edges);
+            assert_eq!(labels.len(), edges.len());
+            let Some(&(t, q)) = labels.first() else { break };
+            let (firing, snext, _) = edges[0];
+            assert_eq!((firing.transition(), firing.delay()), (t, q));
+            let (wnext, _) = worker.fire_from(&words, t, q);
+            words.clear();
+            words.extend_from_slice(worker.successor_words());
+            assert_eq!(sequential.state(snext), &words[..], "same packed state");
+            state = wnext;
+            sstate = snext;
+        }
+        let _ = state;
+        assert_eq!(arena.len(), sequential.arena().len());
+    }
+
+    #[test]
+    fn read_into_round_trips_through_shards() {
+        let net = chain_net(2);
+        let arena = ShardedArena::new(net.layout(), 8);
+        let mut worker = WorkerExplorer::new(&net, &arena);
+        let id = worker.intern_initial();
+        let initial = worker.successor_words().to_vec();
+        let mut out = Vec::new();
+        worker.read_into(id, &mut out);
+        assert_eq!(out, initial);
+        assert!(arena.shard_count() >= 8);
+    }
+}

@@ -18,6 +18,10 @@
 //! ezrt invariants spec.xml            place invariants of the translated net
 //! ```
 //!
+//! The global `--jobs N` flag runs the synthesis on `N` worker threads
+//! (default 1, the sequential search); `ezrt schedule --json` emits the
+//! search statistics as one flat JSON object for scripting.
+//!
 //! All output goes to stdout so results compose with shell pipelines;
 //! diagnostics go to stderr and failures exit nonzero.
 
@@ -38,6 +42,17 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
+    let mut args: Vec<String> = args.to_vec();
+    let jobs = match take_option_value(&mut args, "--jobs")? {
+        Some(value) => value
+            .parse::<usize>()
+            .ok()
+            .filter(|&jobs| jobs >= 1)
+            .ok_or_else(|| format!("--jobs expects a positive number, found {value:?}"))?,
+        None => 1,
+    };
+    let json = take_flag(&mut args, "--json");
+
     let Some(command) = args.first() else {
         return Err(usage());
     };
@@ -45,13 +60,18 @@ fn run(args: &[String]) -> Result<(), String> {
         println!("{}", usage());
         return Ok(());
     }
+    if json && command != "schedule" {
+        return Err("--json is only supported by `ezrt schedule`".to_owned());
+    }
     let path = args.get(1).ok_or_else(usage)?;
     let document = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let project = Project::from_dsl(&document).map_err(|e| format!("{path}: {e}"))?;
+    let project = Project::from_dsl(&document)
+        .map_err(|e| format!("{path}: {e}"))?
+        .with_jobs(jobs);
 
     match command.as_str() {
         "check" => check(&project),
-        "schedule" => schedule(&project),
+        "schedule" => schedule(&project, json),
         "gantt" => gantt(&project, args.get(2), args.get(3)),
         "table" => table(&project),
         "codegen" => codegen(&project, args.get(2)),
@@ -75,11 +95,34 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Removes `--flag value` from `args`, returning the value when present.
+fn take_option_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(at) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if at + 1 >= args.len() {
+        return Err(format!("{flag} expects a value"));
+    }
+    let value = args.remove(at + 1);
+    args.remove(at);
+    Ok(Some(value))
+}
+
+/// Removes a bare `--flag` from `args`, returning whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let Some(at) = args.iter().position(|a| a == flag) else {
+        return false;
+    };
+    args.remove(at);
+    true
+}
+
 fn usage() -> String {
-    "usage: ezrt <command> <spec.xml> [args]\n\
+    "usage: ezrt [--jobs N] <command> <spec.xml> [args]\n\
      commands:\n\
      \x20 check     validate the specification\n\
      \x20 schedule  synthesize the pre-runtime schedule and print statistics\n\
+     \x20           (--json: machine-readable SearchStats on stdout)\n\
      \x20 gantt     [from to] print an ASCII timeline (default first 120 units)\n\
      \x20 table     print the schedule table as a C array (paper Fig. 8)\n\
      \x20 codegen   [target] emit scheduled C code (posix_sim|generic|i8051|avr8|arm9|m68k|x86)\n\
@@ -88,7 +131,10 @@ fn usage() -> String {
      \x20 simulate  [periods] execute the schedule on the simulated dispatcher\n\
      \x20 compare   pre-runtime synthesis vs online EDF/RM/DM baselines\n\
      \x20 analyze   analytical schedulability: utilization, demand bound, RTA\n\
-     \x20 invariants place invariants (Farkas) of the translated Petri net"
+     \x20 invariants place invariants (Farkas) of the translated Petri net\n\
+     global flags:\n\
+     \x20 --jobs N  synthesis worker threads (default 1 = sequential;\n\
+     \x20           N > 1 races DFS subtrees, first feasible schedule wins)"
         .to_owned()
 }
 
@@ -128,8 +174,60 @@ fn check(project: &Project) -> Result<(), String> {
     Ok(())
 }
 
-fn schedule(project: &Project) -> Result<(), String> {
-    let outcome = synthesize(project)?;
+fn schedule(project: &Project, json: bool) -> Result<(), String> {
+    let outcome = match project.synthesize() {
+        Ok(outcome) => outcome,
+        Err(error) => {
+            // The scripting contract holds on failure too: one JSON
+            // object on stdout (feasible: false plus the search
+            // counters), the human-readable diagnostic on stderr, and a
+            // nonzero exit either way.
+            if json {
+                let stats = error.stats();
+                println!("{{");
+                println!("  \"feasible\": false,");
+                println!("  \"error\": \"{}\",", json_escape(&error.to_string()));
+                println!("  \"states_visited\": {},", stats.states_visited);
+                println!("  \"dead_states\": {},", stats.dead_states);
+                println!("  \"peak_dead_set_bytes\": {},", stats.dead_set_bytes);
+                println!("  \"states_per_second\": {:.1},", stats.states_per_second());
+                println!(
+                    "  \"wall_time_ms\": {:.3},",
+                    stats.elapsed.as_secs_f64() * 1e3
+                );
+                println!("  \"jobs\": {}", stats.jobs);
+                println!("}}");
+            }
+            return Err(format!("schedule synthesis failed: {error}"));
+        }
+    };
+    let violations = outcome.validate();
+    if json {
+        // Hand-rolled JSON (the workspace builds offline, without serde):
+        // one flat object so bench trajectories can be scripted with jq.
+        let stats = &outcome.stats;
+        println!("{{");
+        println!("  \"feasible\": true,");
+        println!("  \"firings\": {},", outcome.schedule.firings().len());
+        println!("  \"makespan\": {},", outcome.schedule.makespan());
+        println!("  \"states_visited\": {},", stats.states_visited);
+        println!("  \"minimum_states\": {},", stats.minimum_states());
+        println!("  \"overhead_ratio\": {:.6},", stats.overhead_ratio());
+        println!("  \"backtracks\": {},", stats.backtracks);
+        println!("  \"pruned_misses\": {},", stats.pruned_misses);
+        println!("  \"pruned_dead\": {},", stats.pruned_dead);
+        println!("  \"dead_states\": {},", stats.dead_states);
+        println!("  \"peak_dead_set_bytes\": {},", stats.dead_set_bytes);
+        println!("  \"states_per_second\": {:.1},", stats.states_per_second());
+        println!(
+            "  \"wall_time_ms\": {:.3},",
+            stats.elapsed.as_secs_f64() * 1e3
+        );
+        println!("  \"jobs\": {},", stats.jobs);
+        println!("  \"violations\": {}", violations.len());
+        println!("}}");
+        return Ok(());
+    }
     println!("feasible schedule found");
     println!("  firings          {}", outcome.schedule.firings().len());
     println!("  makespan         {}", outcome.schedule.makespan());
@@ -138,7 +236,7 @@ fn schedule(project: &Project) -> Result<(), String> {
     println!("  overhead ratio   {:.4}", outcome.stats.overhead_ratio());
     println!("  backtracks       {}", outcome.stats.backtracks);
     println!("  elapsed          {:?}", outcome.stats.elapsed);
-    let violations = outcome.validate();
+    println!("  jobs             {}", outcome.stats.jobs);
     println!("  validator        {} violation(s)", violations.len());
     for violation in violations {
         println!("    {violation}");
@@ -317,6 +415,23 @@ fn invariants(project: &Project) -> Result<(), String> {
         println!("  {} = {}", terms.join(" + "), invariant.value(net));
     }
     Ok(())
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(text: &str) -> String {
+    let mut escaped = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            '\r' => escaped.push_str("\\r"),
+            '\t' => escaped.push_str("\\t"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    escaped
 }
 
 fn parse_number(arg: Option<&String>, default: u64) -> Result<u64, String> {

@@ -77,6 +77,67 @@ fn schedule_prints_search_statistics() {
 }
 
 #[test]
+fn schedule_json_emits_machine_readable_stats() {
+    let file = spec_file();
+    let output = ezrt()
+        .args(["schedule", file.path.to_str().unwrap(), "--json"])
+        .output()
+        .expect("runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    for key in [
+        "\"feasible\": true",
+        "\"states_visited\"",
+        "\"states_per_second\"",
+        "\"peak_dead_set_bytes\"",
+        "\"wall_time_ms\"",
+        "\"jobs\": 1",
+        "\"violations\": 0",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+    // Shape check: one flat object, balanced braces, no trailing comma.
+    assert!(stdout.trim_start().starts_with('{'));
+    assert!(stdout.trim_end().ends_with('}'));
+    assert!(!stdout.contains(",\n}"));
+}
+
+#[test]
+fn jobs_flag_runs_the_parallel_engine() {
+    let file = spec_file();
+    let output = ezrt()
+        .args([
+            "--jobs",
+            "2",
+            "schedule",
+            file.path.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .expect("runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("\"jobs\": 2"), "{stdout}");
+    assert!(stdout.contains("\"violations\": 0"), "{stdout}");
+
+    let bad = ezrt()
+        .args(["--jobs", "zero", "schedule", file.path.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(!bad.status.success());
+    assert!(String::from_utf8(bad.stderr).unwrap().contains("--jobs"));
+
+    let misplaced = ezrt()
+        .args(["check", file.path.to_str().unwrap(), "--json"])
+        .output()
+        .expect("runs");
+    assert!(!misplaced.status.success());
+    assert!(String::from_utf8(misplaced.stderr)
+        .unwrap()
+        .contains("only supported by"));
+}
+
+#[test]
 fn table_emits_the_c_array() {
     let file = spec_file();
     let output = ezrt()
@@ -245,4 +306,19 @@ fn infeasible_specs_fail_cleanly() {
         .contains("no feasible schedule"));
     // stdout stays machine-friendly (empty).
     assert!(output.stdout.is_empty());
+
+    // With --json the scripting contract holds on failure too: one JSON
+    // object on stdout, still a nonzero exit.
+    let output = ezrt()
+        .args(["schedule", file.path.to_str().unwrap(), "--json"])
+        .output()
+        .expect("runs");
+    assert!(!output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("\"feasible\": false"), "{stdout}");
+    assert!(stdout.contains("\"error\": \""), "{stdout}");
+    assert!(stdout.contains("\"states_visited\""), "{stdout}");
+    assert!(stdout.trim_start().starts_with('{'));
+    assert!(stdout.trim_end().ends_with('}'));
+    assert!(!stdout.contains(",\n}"));
 }

@@ -3,7 +3,7 @@
 //!
 //! The workspace must build without network access, so instead of the real
 //! crates.io dependency it vendors this minimal property-testing engine:
-//! deterministic seeded generation, the [`Strategy`] combinators the test
+//! deterministic seeded generation, the [`Strategy`](prelude::Strategy) combinators the test
 //! suite calls (`prop_map`, `prop_flat_map`, `prop_filter`,
 //! `prop_recursive`, ranges, tuples, collections, a small regex subset for
 //! string strategies) and the `proptest!` / `prop_assert!` macro family.

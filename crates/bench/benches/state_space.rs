@@ -14,7 +14,10 @@ use ezrt_compose::translate;
 use ezrt_scheduler::{
     synthesize, synthesize_parallel, synthesize_reference, Parallelism, SchedulerConfig,
 };
+use ezrt_tpn::{ShardedArena, StateLayout, TimeInterval, TpnBuilder};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
 use std::time::Instant;
 
 fn report_sweep_shape() {
@@ -125,10 +128,205 @@ fn report_parallel_scaling() {
     }
 }
 
+/// A baseline replica of the PR 2 interning design: the same per-shard
+/// slab+probe-table structure as `ShardedArena`, but with the global
+/// **`RwLock<Vec<u64>>` directory appended once per fresh state** — the
+/// serialization point the id-block scheme removed. Only the directory
+/// strategy differs between the two arms of the contention microbench,
+/// so the throughput gap is attributable to the directory.
+struct RwLockDirectoryArena {
+    words: usize,
+    shards: Vec<Mutex<BaselineShard>>,
+    shard_mask: u64,
+    directory: RwLock<Vec<u64>>,
+    /// Mirror of `directory.len()`, maintained like the PR 2 arena did.
+    len: AtomicUsize,
+}
+
+struct BaselineShard {
+    slab: Vec<u32>,
+    hashes: Vec<u64>,
+    globals: Vec<u32>,
+    table: Vec<u32>,
+    mask: usize,
+}
+
+const BASELINE_EMPTY: u32 = u32::MAX;
+
+/// The kernel's FxHash-style multiply-mix (`ezrt_tpn::arena::hash_words`
+/// is crate-private), reproduced verbatim so the two microbench arms pay
+/// the same hashing cost and differ only in the directory strategy.
+fn baseline_hash(words: &[u32]) -> u64 {
+    const SEED: u64 = 0x51_7C_C1_B7_27_22_0A_95;
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut chunks = words.chunks_exact(2);
+    for pair in &mut chunks {
+        let v = u64::from(pair[0]) | (u64::from(pair[1]) << 32);
+        hash = (hash.rotate_left(5) ^ v).wrapping_mul(SEED);
+    }
+    if let [last] = chunks.remainder() {
+        hash = (hash.rotate_left(5) ^ u64::from(*last)).wrapping_mul(SEED);
+    }
+    hash
+}
+
+impl RwLockDirectoryArena {
+    fn new(words: usize, workers: usize) -> Self {
+        let shards = (workers.max(1) * 4).next_power_of_two().min(256);
+        RwLockDirectoryArena {
+            words,
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(BaselineShard {
+                        slab: Vec::new(),
+                        hashes: Vec::new(),
+                        globals: Vec::new(),
+                        table: vec![BASELINE_EMPTY; 256],
+                        mask: 255,
+                    })
+                })
+                .collect(),
+            shard_mask: shards as u64 - 1,
+            directory: RwLock::new(Vec::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    fn intern(&self, state: &[u32]) -> (u32, bool) {
+        assert_eq!(state.len(), self.words, "state length mismatch");
+        let hash = baseline_hash(state);
+        let shard_index = ((hash >> 48) & self.shard_mask) as usize;
+        let mut shard = self.shards[shard_index].lock().unwrap();
+        let mut slot = (hash as usize) & shard.mask;
+        loop {
+            let entry = shard.table[slot];
+            if entry == BASELINE_EMPTY {
+                let local = shard.hashes.len();
+                shard.slab.extend_from_slice(state);
+                shard.hashes.push(hash);
+                let global = {
+                    let mut directory = self.directory.write().unwrap();
+                    let id = directory.len() as u32;
+                    directory.push(((shard_index as u64) << 48) | local as u64);
+                    self.len.store(directory.len(), Ordering::Release);
+                    id
+                };
+                shard.globals.push(global);
+                shard.table[slot] = local as u32;
+                if shard.hashes.len() * 10 >= shard.table.len() * 7 {
+                    let capacity = shard.table.len() * 2;
+                    let mask = capacity - 1;
+                    let mut table = vec![BASELINE_EMPTY; capacity];
+                    for (i, &h) in shard.hashes.iter().enumerate() {
+                        let mut s = (h as usize) & mask;
+                        while table[s] != BASELINE_EMPTY {
+                            s = (s + 1) & mask;
+                        }
+                        table[s] = i as u32;
+                    }
+                    shard.table = table;
+                    shard.mask = mask;
+                }
+                return (global, true);
+            }
+            let candidate = entry as usize;
+            if shard.hashes[candidate] == hash {
+                let start = candidate * self.words;
+                if &shard.slab[start..start + self.words] == state {
+                    return (shard.globals[candidate], false);
+                }
+            }
+            slot = (slot + 1) & shard.mask;
+        }
+    }
+}
+
+/// The directory-contention microbench: pure fresh-state interning
+/// throughput at 1–8 interning threads, id-block `ShardedArena` versus
+/// the `RwLock`-directory baseline. Every thread interns a disjoint
+/// range of synthetic states (all fresh — the worst case for the
+/// directory, since duplicate hits never touched it in either design).
+fn report_directory_contention() {
+    let mut b = TpnBuilder::new("contention");
+    let p = b.place_with_tokens("p", 1);
+    let t = b.transition("t", TimeInterval::exact(1));
+    b.arc_place_to_transition(p, t, 1);
+    let net = b.build().expect("tiny net");
+    let layout = StateLayout::of(&net);
+    let words = layout.words();
+    const TOTAL: usize = 400_000;
+
+    eprintln!(
+        "[X1] directory contention: fresh-intern throughput, id-block arena vs RwLock directory \
+         ({TOTAL} states, {} core(s) available):",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    for jobs in [1usize, 2, 4, 8] {
+        let per_thread = TOTAL / jobs;
+        let run = |intern: &(dyn Fn(&[u32]) + Sync)| {
+            let started = Instant::now();
+            std::thread::scope(|scope| {
+                for worker in 0..jobs {
+                    scope.spawn(move || {
+                        let mut state = vec![0u32; words];
+                        let base = (worker * per_thread) as u32;
+                        for i in 0..per_thread as u32 {
+                            let value = base + i;
+                            state[0] = value;
+                            state[1] = value.rotate_left(16) ^ 0x5bd1e995;
+                            intern(&state);
+                        }
+                    });
+                }
+            });
+            started.elapsed()
+        };
+
+        // Best of three fills per arm (fresh arena each fill), so one
+        // badly scheduled fill doesn't decide the comparison.
+        let sharded_wall = (0..3)
+            .map(|_| {
+                let sharded = ShardedArena::new(layout, jobs);
+                let count = AtomicUsize::new(0);
+                let wall = run(&|state: &[u32]| {
+                    if sharded.intern(state).1 {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert_eq!(count.load(Ordering::Relaxed), TOTAL, "every state fresh");
+                assert_eq!(sharded.len(), TOTAL);
+                wall
+            })
+            .min()
+            .expect("three fills");
+
+        let baseline_wall = (0..3)
+            .map(|_| {
+                let baseline = RwLockDirectoryArena::new(words, jobs);
+                let wall = run(&|state: &[u32]| {
+                    baseline.intern(state);
+                });
+                assert_eq!(baseline.len.load(Ordering::Relaxed), TOTAL);
+                wall
+            })
+            .min()
+            .expect("three fills");
+
+        let throughput = |wall: std::time::Duration| TOTAL as f64 / wall.as_secs_f64().max(1e-9);
+        eprintln!(
+            "[X1]   jobs={jobs}: id-block {:.2}M states/s vs rwlock-dir {:.2}M states/s ({:.2}x)",
+            throughput(sharded_wall) / 1e6,
+            throughput(baseline_wall) / 1e6,
+            throughput(sharded_wall) / throughput(baseline_wall).max(1e-9),
+        );
+    }
+}
+
 fn bench_state_space(c: &mut Criterion) {
     report_sweep_shape();
     report_kernel_comparison();
     report_parallel_scaling();
+    report_directory_contention();
     let mut group = c.benchmark_group("state_space");
     group.sample_size(10);
 

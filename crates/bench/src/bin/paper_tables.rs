@@ -257,15 +257,16 @@ fn experiment_xp() {
         let sequential_wall = started.elapsed();
         println!("{name}:");
         println!(
-            "  {:<8} {:>12} {:>12} {:>10} {:>8}",
-            "jobs", "wall (ms)", "visited", "speedup", "oracle"
+            "  {:<8} {:>12} {:>12} {:>10} {:>8} {:>8}",
+            "jobs", "wall (ms)", "visited", "speedup", "steals", "oracle"
         );
         println!(
-            "  {:<8} {:>12.1} {:>12} {:>10} {:>8}",
+            "  {:<8} {:>12.1} {:>12} {:>10} {:>8} {:>8}",
             "seq",
             sequential_wall.as_secs_f64() * 1e3,
             sequential.stats.states_visited,
             "1.00x",
+            "-",
             "-"
         );
         for jobs in [1usize, 2, 4] {
@@ -282,11 +283,12 @@ fn experiment_xp() {
                         Err(_) => "FAIL",
                     };
                     println!(
-                        "  {:<8} {:>12.1} {:>12} {:>9.2}x {:>8}",
+                        "  {:<8} {:>12.1} {:>12} {:>9.2}x {:>8} {:>8}",
                         jobs,
                         wall.as_secs_f64() * 1e3,
                         synthesis.stats.states_visited,
                         sequential_wall.as_secs_f64() / wall.as_secs_f64().max(1e-9),
+                        synthesis.stats.steals,
                         oracle
                     );
                 }

@@ -11,8 +11,9 @@ pub enum SynthesizeError {
     /// final marking: no feasible pre-runtime schedule exists under the
     /// configured delay mode.
     Infeasible {
-        /// Search counters at exhaustion.
-        stats: SearchStats,
+        /// Search counters at exhaustion (boxed to keep the hot-path
+        /// `Result` small: errors are cold, the `Ok` branch is not).
+        stats: Box<SearchStats>,
         /// Names of tasks observed missing their deadline in pruned
         /// states — the usual root cause, useful for diagnostics.
         missed_tasks: Vec<String>,
@@ -20,12 +21,12 @@ pub enum SynthesizeError {
     /// The configured state budget was exceeded before a verdict.
     StateLimitExceeded {
         /// Search counters at abort time.
-        stats: SearchStats,
+        stats: Box<SearchStats>,
     },
     /// The configured time budget was exceeded before a verdict.
     TimeLimitExceeded {
         /// Search counters at abort time.
-        stats: SearchStats,
+        stats: Box<SearchStats>,
     },
 }
 
@@ -35,7 +36,7 @@ impl SynthesizeError {
         match self {
             SynthesizeError::Infeasible { stats, .. }
             | SynthesizeError::StateLimitExceeded { stats }
-            | SynthesizeError::TimeLimitExceeded { stats } => stats,
+            | SynthesizeError::TimeLimitExceeded { stats } => stats.as_ref(),
         }
     }
 }
@@ -87,7 +88,7 @@ mod tests {
             ..SearchStats::default()
         };
         let e = SynthesizeError::Infeasible {
-            stats: stats.clone(),
+            stats: Box::new(stats.clone()),
             missed_tasks: vec!["PMC".into()],
         };
         assert!(e.to_string().contains("no feasible schedule"));
@@ -95,10 +96,12 @@ mod tests {
         assert_eq!(e.stats().states_visited, 42);
 
         let e = SynthesizeError::StateLimitExceeded {
-            stats: stats.clone(),
+            stats: Box::new(stats.clone()),
         };
         assert!(e.to_string().contains("state limit"));
-        let e = SynthesizeError::TimeLimitExceeded { stats };
+        let e = SynthesizeError::TimeLimitExceeded {
+            stats: Box::new(stats),
+        };
         assert!(e.to_string().contains("time limit"));
     }
 

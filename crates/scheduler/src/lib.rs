@@ -40,7 +40,7 @@
 
 mod config;
 mod error;
-mod parallel;
+pub mod parallel;
 pub mod reference;
 mod schedule;
 mod search;

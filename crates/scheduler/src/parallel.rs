@@ -1,22 +1,34 @@
-//! Multi-core schedule synthesis: a work-distributing parallel DFS over
-//! the shared sharded state kernel.
+//! Multi-core schedule synthesis: a work-stealing parallel DFS over the
+//! shared sharded state kernel.
 //!
 //! [`synthesize_parallel`] distributes root-level DFS subtrees (one work
 //! item per ordered root candidate) across
 //! [`std::thread::scope`] workers. Every worker runs the same
 //! depth-first loop as the sequential [`synthesize`](crate::synthesize) —
-//! identical candidate generation through
-//! [`candidates_from_packed`](crate::search), identical pruning rules —
+//! identical candidate generation (the shared `candidates_from_packed`
+//! core of the search module), identical pruning rules —
 //! but states are interned into one shared
-//! [`ShardedArena`](ezrt_tpn::ShardedArena) and proven-dead states are
+//! [`ShardedArena`] and proven-dead states are
 //! memoized in one shared atomic bitset, so a subtree one worker proves
 //! fruitless is pruned by every other worker from then on.
 //!
-//! Work distribution is dynamic: when a worker goes hungry (the shared
-//! queue is empty), busy workers split their **shallowest** unexplored
-//! sibling candidates off as new work items — frontier-level splitting,
-//! shallow first, because shallow siblings root the largest unexplored
-//! subtrees.
+//! ## Work distribution: per-worker steal-half deques
+//!
+//! Each worker owns a deque of work items. The owner pushes and pops at
+//! the back (LIFO — freshly donated, deeper items first, for locality);
+//! a worker whose own deque runs dry becomes a **thief**: it scans the
+//! other deques and steals **half** of a victim's items from the front —
+//! the oldest, shallowest items, which root the largest unexplored
+//! subtrees. The hot path (local pop, steal) only ever takes one deque's
+//! lock; the process-wide mutex+condvar pair of the predecessor design
+//! survives only as the *parking* protocol for workers that find every
+//! deque empty, off the hot path entirely.
+//!
+//! Donation is unchanged from the predecessor protocol, just retargeted:
+//! when a worker observes hungry peers, it splits its **shallowest**
+//! unexplored sibling candidates off as new work items into its *own*
+//! deque (shallow first, because shallow siblings root the largest
+//! unexplored subtrees) and wakes the sleepers, who steal from it.
 //!
 //! ## Determinism contract
 //!
@@ -31,6 +43,32 @@
 //!   as `ezrt_core::Project` does).
 //! * Infeasibility verdicts do not race: the space is exhausted by all
 //!   workers together before `Infeasible` is reported.
+//!
+//! # Examples
+//!
+//! A two-worker synthesis over the paper's Figure 3 task set; the result
+//! carries the aggregated [`SearchStats`], including the number of
+//! steal-half transfers the run needed:
+//!
+//! ```
+//! use ezrt_compose::translate;
+//! use ezrt_scheduler::{synthesize_parallel, Parallelism, SchedulerConfig};
+//! use ezrt_spec::corpus::figure3_spec;
+//!
+//! # fn main() -> Result<(), ezrt_scheduler::SynthesizeError> {
+//! let config = SchedulerConfig {
+//!     parallelism: Parallelism::new(2),
+//!     ..SchedulerConfig::default()
+//! };
+//! let synthesis = synthesize_parallel(&translate(&figure3_spec()), &config)?;
+//! assert!(synthesis.schedule.is_feasible());
+//! assert_eq!(synthesis.stats.jobs, 2);
+//! // A first-descent-solvable set rarely needs stealing, but the
+//! // counter is always present (and 0 on the sequential path).
+//! let _ = synthesis.stats.steals;
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::config::SchedulerConfig;
 use crate::error::SynthesizeError;
@@ -137,10 +175,84 @@ enum Verdict {
     TimeLimit,
 }
 
-struct WorkQueue {
-    items: VecDeque<WorkItem>,
+/// The parking coordination state: how many workers are asleep waiting
+/// for work, and whether the search space is globally exhausted. Touched
+/// only when a worker finds every deque empty (or wakes sleepers after a
+/// donation) — never on the local pop / steal hot path.
+struct Coord {
     idle: usize,
     finished: bool,
+}
+
+/// Per-worker work-stealing deques. Owners push and pop at the back;
+/// thieves steal half from the front (the oldest — and therefore
+/// shallowest — items, which root the largest unexplored subtrees,
+/// transplanting the shallowest-first donation policy into the steal).
+///
+/// `pending` tracks the total queued items across all deques; it is
+/// updated while holding the lock of the deque being mutated, so it can
+/// never underflow, and parking workers consult it (under the coord
+/// lock) to close the sleep/wake race without scanning every deque.
+struct StealDeques {
+    deques: Vec<Mutex<VecDeque<WorkItem>>>,
+    pending: AtomicUsize,
+}
+
+impl StealDeques {
+    fn new(workers: usize) -> Self {
+        StealDeques {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    /// Pops from the back of `me`'s own deque.
+    fn pop_local(&self, me: usize) -> Option<WorkItem> {
+        let mut deque = self.deques[me].lock().expect("work deque poisoned");
+        let item = deque.pop_back();
+        if item.is_some() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+        item
+    }
+
+    /// Scans the other deques (rotating from `me + 1`) and steals half of
+    /// the first non-empty victim's items from the front. The first
+    /// stolen item is returned to run immediately; the rest land in
+    /// `me`'s deque.
+    fn steal_into(&self, me: usize) -> Option<WorkItem> {
+        let workers = self.deques.len();
+        for k in 1..workers {
+            let victim = (me + k) % workers;
+            let mut taken: VecDeque<WorkItem> = {
+                let mut deque = self.deques[victim].lock().expect("work deque poisoned");
+                let available = deque.len();
+                if available == 0 {
+                    continue;
+                }
+                let take = available.div_ceil(2);
+                self.pending.fetch_sub(take, Ordering::SeqCst);
+                deque.drain(..take).collect()
+            };
+            let first = taken.pop_front().expect("stole at least one item");
+            if !taken.is_empty() {
+                let moved = taken.len();
+                let mut mine = self.deques[me].lock().expect("work deque poisoned");
+                mine.extend(taken);
+                self.pending.fetch_add(moved, Ordering::SeqCst);
+            }
+            return Some(first);
+        }
+        None
+    }
+
+    /// Appends `items` to the back of `owner`'s deque.
+    fn push(&self, owner: usize, items: Vec<WorkItem>) {
+        let mut deque = self.deques[owner].lock().expect("work deque poisoned");
+        let n = items.len();
+        deque.extend(items);
+        self.pending.fetch_add(n, Ordering::SeqCst);
+    }
 }
 
 /// State shared by all workers of one parallel synthesis.
@@ -149,11 +261,15 @@ struct Shared<'a> {
     config: &'a SchedulerConfig,
     arena: ShardedArena,
     dead: AtomicDeadSet,
-    queue: Mutex<WorkQueue>,
+    deques: StealDeques,
+    coord: Mutex<Coord>,
     signal: Condvar,
-    /// Workers currently blocked waiting for work — the starvation signal
-    /// busy workers poll to decide when to split their frontier.
+    /// Workers currently looking for work or parked — the starvation
+    /// signal busy workers poll to decide when to split their frontier.
     hungry: AtomicUsize,
+    /// Steal-half transfers performed, aggregated into
+    /// [`SearchStats::steals`].
+    steals: AtomicUsize,
     /// Total states visited across workers (seeded with 1 for `s0`),
     /// checked against `config.max_states`.
     states: AtomicUsize,
@@ -166,35 +282,64 @@ struct Shared<'a> {
 }
 
 impl Shared<'_> {
-    /// Blocks until a work item, a stop flag, or global exhaustion (all
-    /// workers idle with an empty queue).
-    fn next_item(&self) -> Option<WorkItem> {
-        let mut queue = self.queue.lock().expect("work queue poisoned");
+    /// Returns `me`'s next work item: own deque first, then a steal-half
+    /// from a victim, then park until a donation or global exhaustion
+    /// (all workers parked with zero pending items).
+    fn next_item(&self, me: usize) -> Option<WorkItem> {
         loop {
-            if self.stop.load(Ordering::Acquire) || queue.finished {
+            if self.stop.load(Ordering::Acquire) {
                 return None;
             }
-            if let Some(item) = queue.items.pop_front() {
+            if let Some(item) = self.deques.pop_local(me) {
                 return Some(item);
             }
-            queue.idle += 1;
-            if queue.idle == self.jobs {
-                queue.finished = true;
+            self.hungry.fetch_add(1, Ordering::SeqCst);
+            let stolen = self.deques.steal_into(me);
+            self.hungry.fetch_sub(1, Ordering::SeqCst);
+            if let Some(item) = stolen {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(item);
+            }
+            // Park. The pending re-check under the coord lock closes the
+            // race with a concurrent push: a pusher bumps `pending`
+            // before taking the coord lock to wake sleepers, so either
+            // this worker sees pending > 0 here and retries the steal, or
+            // it is already in `wait` when the pusher notifies.
+            let mut coord = self.coord.lock().expect("coordination lock poisoned");
+            if self.stop.load(Ordering::Acquire) || coord.finished {
+                return None;
+            }
+            if self.deques.pending.load(Ordering::SeqCst) > 0 {
+                continue;
+            }
+            coord.idle += 1;
+            if coord.idle == self.jobs {
+                coord.finished = true;
                 self.signal.notify_all();
                 return None;
             }
-            self.hungry.fetch_add(1, Ordering::Relaxed);
-            queue = self.signal.wait(queue).expect("work queue poisoned");
-            self.hungry.fetch_sub(1, Ordering::Relaxed);
-            queue.idle -= 1;
+            self.hungry.fetch_add(1, Ordering::SeqCst);
+            coord = self.signal.wait(coord).expect("coordination lock poisoned");
+            self.hungry.fetch_sub(1, Ordering::SeqCst);
+            coord.idle -= 1;
         }
     }
 
-    fn push_work(&self, items: Vec<WorkItem>) {
-        let mut queue = self.queue.lock().expect("work queue poisoned");
-        queue.items.extend(items);
-        drop(queue);
-        self.signal.notify_all();
+    /// Pushes donated items into `owner`'s own deque and wakes any parked
+    /// workers so they can steal them.
+    fn push_work(&self, owner: usize, items: Vec<WorkItem>) {
+        if items.is_empty() {
+            return;
+        }
+        self.deques.push(owner, items);
+        // Taking (and dropping) the coord lock orders this wakeup after
+        // any in-flight parker's pending re-check; see `next_item`.
+        let coord = self.coord.lock().expect("coordination lock poisoned");
+        let sleepers = coord.idle > 0;
+        drop(coord);
+        if sleepers {
+            self.signal.notify_all();
+        }
     }
 
     /// Records a verdict and raises the stop flag. A feasible schedule
@@ -215,11 +360,11 @@ impl Shared<'_> {
                 *slot = Some(verdict);
             }
         }
-        // Take the queue lock around the stop store so a worker that just
+        // Take the coord lock around the stop store so a worker that just
         // checked the flag cannot fall asleep and miss the wakeup.
-        let queue = self.queue.lock().expect("work queue poisoned");
+        let coord = self.coord.lock().expect("coordination lock poisoned");
         self.stop.store(true, Ordering::Release);
-        drop(queue);
+        drop(coord);
         self.signal.notify_all();
     }
 }
@@ -229,7 +374,7 @@ impl Shared<'_> {
 /// otherwise never be woken — the dead worker still counts as busy, so
 /// `idle` can never reach `jobs` and `std::thread::scope` would block
 /// joining them forever. On a panicking drop this raises the stop flag
-/// (under the queue lock, same lost-wakeup discipline as
+/// (under the coord lock, same lost-wakeup discipline as
 /// [`Shared::finish`]) and wakes everyone, letting the panic propagate
 /// out of the scope as a crash with its diagnostic.
 struct PanicGuard<'a, 'b>(&'a Shared<'b>);
@@ -237,10 +382,10 @@ struct PanicGuard<'a, 'b>(&'a Shared<'b>);
 impl Drop for PanicGuard<'_, '_> {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            // A poisoned queue mutex means the panicker held it — waiters
+            // A poisoned coord mutex means the panicker held it — waiters
             // then unwind out of `wait` on their own; entering anyway is
             // still the right wake-up protocol.
-            let guard = match self.0.queue.lock() {
+            let guard = match self.0.coord.lock() {
                 Ok(guard) => guard,
                 Err(poisoned) => poisoned.into_inner(),
             };
@@ -345,36 +490,50 @@ pub fn synthesize_parallel(
 
     let s0_words = Arc::new(s0_words);
     let empty_path = Arc::new(Vec::new());
+    // Id-block allocation leaves at most one partially issued block per
+    // shard, so the dead-set (indexed by id, not by state count) is
+    // pre-sized for the budget plus that bounded slack.
+    let id_slack = arena.shard_count() * ShardedArena::ID_BLOCK;
     let shared = Shared {
         tasknet,
         config,
         arena,
-        dead: AtomicDeadSet::with_bit_capacity(config.max_states),
-        queue: Mutex::new(WorkQueue {
-            items: root_labels
-                .iter()
-                .map(|&label| WorkItem {
-                    parent_id: s0,
-                    parent_words: Arc::clone(&s0_words),
-                    label,
-                    now: 0,
-                    path: Arc::clone(&empty_path),
-                })
-                .collect(),
+        dead: AtomicDeadSet::with_bit_capacity(config.max_states + id_slack),
+        deques: StealDeques::new(jobs),
+        coord: Mutex::new(Coord {
             idle: 0,
             finished: root_labels.is_empty(),
         }),
         signal: Condvar::new(),
         hungry: AtomicUsize::new(0),
+        steals: AtomicUsize::new(0),
         states: AtomicUsize::new(1),
         stop: AtomicBool::new(false),
         outcome: Mutex::new(None),
         started,
         jobs,
     };
+    // Seed the deques round-robin so every worker starts with local work
+    // (in candidate order, so worker 0 leads with the heuristically best
+    // root and no deque begins empty while another holds everything).
+    for (i, &label) in root_labels.iter().enumerate() {
+        shared.deques.push(
+            i % jobs,
+            vec![WorkItem {
+                parent_id: s0,
+                parent_words: Arc::clone(&s0_words),
+                label,
+                now: 0,
+                path: Arc::clone(&empty_path),
+            }],
+        );
+    }
 
     let locals: Vec<WorkerLocal> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..jobs).map(|_| scope.spawn(|| worker(&shared))).collect();
+        let shared = &shared;
+        let handles: Vec<_> = (0..jobs)
+            .map(|me| scope.spawn(move || worker(shared, me)))
+            .collect();
         handles
             .into_iter()
             .map(|handle| handle.join().expect("synthesis worker panicked"))
@@ -388,6 +547,7 @@ pub fn synthesize_parallel(
         dead_set_bytes: shared.dead.resident_bytes() + shared.arena.resident_bytes(),
         elapsed: started.elapsed(),
         jobs,
+        steals: shared.steals.load(Ordering::Relaxed),
         ..SearchStats::default()
     };
     let mut missed = MissedTasks::new(task_count);
@@ -412,18 +572,22 @@ pub fn synthesize_parallel(
             );
             Ok(Synthesis { schedule, stats })
         }
-        Some(Verdict::StateLimit) => Err(SynthesizeError::StateLimitExceeded { stats }),
-        Some(Verdict::TimeLimit) => Err(SynthesizeError::TimeLimitExceeded { stats }),
+        Some(Verdict::StateLimit) => Err(SynthesizeError::StateLimitExceeded {
+            stats: Box::new(stats),
+        }),
+        Some(Verdict::TimeLimit) => Err(SynthesizeError::TimeLimitExceeded {
+            stats: Box::new(stats),
+        }),
         None => Err(SynthesizeError::Infeasible {
             missed_tasks: missed.sorted_names(tasknet),
-            stats,
+            stats: Box::new(stats),
         }),
     }
 }
 
-/// One worker: pop work items, run the DFS under each, split the
-/// shallowest frontier when peers starve, stop on the shared flag.
-fn worker(shared: &Shared<'_>) -> WorkerLocal {
+/// One worker: pop or steal work items, run the DFS under each, split
+/// the shallowest frontier when peers starve, stop on the shared flag.
+fn worker(shared: &Shared<'_>, me: usize) -> WorkerLocal {
     let _panic_guard = PanicGuard(shared);
     let tasknet = shared.tasknet;
     let config = shared.config;
@@ -440,7 +604,7 @@ fn worker(shared: &Shared<'_>) -> WorkerLocal {
     let mut counters = InstanceCounters::new(tasknet.spec().task_count());
     let mut ticks: u64 = 0;
 
-    'items: while let Some(item) = shared.next_item() {
+    'items: while let Some(item) = shared.next_item(me) {
         // Rebuild the path-dependent EDF counters for this subtree's
         // prefix, then seed frame 0 with the item's single candidate.
         counters.reset();
@@ -474,7 +638,7 @@ fn worker(shared: &Shared<'_>) -> WorkerLocal {
                 break 'items;
             }
             if ticks.is_multiple_of(64) && shared.hungry.load(Ordering::Relaxed) > 0 {
-                donate(shared, &mut frames, depth, &path, base_len);
+                donate(shared, me, &mut frames, depth, &path, base_len);
             }
 
             if depth == 0 {
@@ -575,11 +739,13 @@ fn worker(shared: &Shared<'_>) -> WorkerLocal {
 }
 
 /// Splits unexplored sibling candidates off the donor's stack into the
-/// shared queue: the shallowest donatable frame goes first (it roots the
-/// largest unexplored subtrees); the deepest frame keeps one candidate so
-/// the donor itself never starves.
+/// donor's **own** deque (parked thieves steal them from its front): the
+/// shallowest donatable frame goes first (it roots the largest unexplored
+/// subtrees); the deepest frame keeps one candidate so the donor itself
+/// never starves.
 fn donate(
     shared: &Shared<'_>,
+    me: usize,
     frames: &mut [PFrame],
     depth: usize,
     path: &[ScheduledFiring],
@@ -613,7 +779,7 @@ fn donate(
         break;
     }
     if !donated.is_empty() {
-        shared.push_work(donated);
+        shared.push_work(me, donated);
     }
 }
 

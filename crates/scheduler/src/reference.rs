@@ -82,13 +82,17 @@ pub fn synthesize_reference(
             stats.elapsed = started.elapsed();
             stats.dead_states = dead.len();
             stats.dead_set_bytes = dead_bytes(&dead);
-            return Err(SynthesizeError::StateLimitExceeded { stats });
+            return Err(SynthesizeError::StateLimitExceeded {
+                stats: Box::new(stats),
+            });
         }
         if ticks.is_multiple_of(4096) && started.elapsed() > config.max_time {
             stats.elapsed = started.elapsed();
             stats.dead_states = dead.len();
             stats.dead_set_bytes = dead_bytes(&dead);
-            return Err(SynthesizeError::TimeLimitExceeded { stats });
+            return Err(SynthesizeError::TimeLimitExceeded {
+                stats: Box::new(stats),
+            });
         }
 
         let Some(frame) = frames.last_mut() else {
@@ -99,7 +103,7 @@ pub fn synthesize_reference(
             let mut missed: Vec<String> = missed_task_names.into_iter().collect();
             missed.sort();
             return Err(SynthesizeError::Infeasible {
-                stats,
+                stats: Box::new(stats),
                 missed_tasks: missed,
             });
         };

@@ -236,18 +236,22 @@ pub fn synthesize(
         ticks += 1;
         if stats.states_visited > config.max_states {
             finish_stats(&mut stats, &dead, &explorer);
-            return Err(SynthesizeError::StateLimitExceeded { stats });
+            return Err(SynthesizeError::StateLimitExceeded {
+                stats: Box::new(stats),
+            });
         }
         if ticks.is_multiple_of(4096) && started.elapsed() > config.max_time {
             finish_stats(&mut stats, &dead, &explorer);
-            return Err(SynthesizeError::TimeLimitExceeded { stats });
+            return Err(SynthesizeError::TimeLimitExceeded {
+                stats: Box::new(stats),
+            });
         }
 
         if depth == 0 {
             finish_stats(&mut stats, &dead, &explorer);
             stats.schedule_length = 0;
             return Err(SynthesizeError::Infeasible {
-                stats,
+                stats: Box::new(stats),
                 missed_tasks: missed.sorted_names(tasknet),
             });
         }

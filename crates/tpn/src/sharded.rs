@@ -4,25 +4,77 @@
 //! [`StateArena`](crate::StateArena) is single-threaded by construction —
 //! one slab, one probe table, `&mut self` interning. Parallel exploration
 //! needs the *same* dedup guarantees (a state is stored exactly once, ids
-//! are dense and stable) while many workers intern concurrently. This
-//! module provides that as a [`ShardedArena`]: `N` independent slab+table
-//! shards keyed by the high bits of the state hash, each behind its own
-//! mutex, plus a global append-only directory that assigns **globally
-//! dense** [`StateId`]s in interning order. Two workers interning the same
-//! state always race on the same shard, so exactly one of them observes
+//! are stable, id space stays compact) while many workers intern
+//! concurrently. This module provides that as a [`ShardedArena`]: `N`
+//! independent slab+table shards keyed by the high bits of the state
+//! hash, each behind its own mutex. Two workers interning the same state
+//! always race on the same shard, so exactly one of them observes
 //! `fresh == true` — the property every parallel explorer's "first visit"
 //! logic rests on.
+//!
+//! [`StateId`]s are assigned from **per-shard id blocks**: each shard
+//! claims dense ranges of [`ShardedArena::ID_BLOCK`] consecutive ids from
+//! one global atomic cursor and hands them out — under its own lock, with
+//! no global synchronization — as it interns fresh states. The previous
+//! design appended one entry to a global `RwLock<Vec<u64>>` directory per
+//! fresh state, which serialized every interning worker on one write
+//! lock; the block scheme touches global state once per `ID_BLOCK` fresh
+//! states per shard, so interning throughput keeps scaling past ~8
+//! workers. The price is that the id space is no longer perfectly dense:
+//! each shard's *current* block may be partially used, leaving at most
+//! `shard_count() × (ID_BLOCK − 1)` unissued ids overall (see
+//! [`id_upper_bound`](ShardedArena::id_upper_bound)) — a bounded, small
+//! slack that id-indexed side tables (the schedulers' atomic dead-set)
+//! absorb as a few spare bits.
 //!
 //! Workers do not share scratch state: each holds a [`WorkerExplorer`], a
 //! cheap handle bundling the net, a reference to the shared arena and
 //! private successor buffers. Firing reads the parent's packed words from
 //! the worker's own frame (never from the arena), so in the steady state a
 //! worker only touches shared memory to intern a successor (one shard
-//! lock) and, for fresh states, to append one directory entry.
+//! lock).
+//!
+//! # Examples
+//!
+//! Concurrent interning agrees on ids and reports each distinct state
+//! fresh exactly once:
+//!
+//! ```
+//! use ezrt_tpn::{ShardedArena, StateLayout, TimeInterval, TpnBuilder};
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! # fn main() -> Result<(), ezrt_tpn::BuildNetError> {
+//! let mut b = TpnBuilder::new("tiny");
+//! let p = b.place_with_tokens("p", 1);
+//! let t = b.transition("t", TimeInterval::exact(1));
+//! b.arc_place_to_transition(p, t, 1);
+//! let net = b.build()?;
+//!
+//! let arena = ShardedArena::new(StateLayout::of(&net), 2);
+//! let fresh_count = AtomicUsize::new(0);
+//! std::thread::scope(|scope| {
+//!     for _ in 0..2 {
+//!         scope.spawn(|| {
+//!             let mut state = vec![0u32; arena.layout().words()];
+//!             for i in 0..100u32 {
+//!                 state[0] = i;
+//!                 let (_, fresh) = arena.intern(&state);
+//!                 if fresh {
+//!                     fresh_count.fetch_add(1, Ordering::Relaxed);
+//!                 }
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(fresh_count.load(Ordering::Relaxed), 100);
+//! assert_eq!(arena.len(), 100);
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::arena::{hash_words, StateId, StateLayout, EMPTY_SLOT};
 use crate::{DelayMode, Time, TimeBound, TimePetriNet, TransitionId};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 
 /// Worker-count configuration shared by every parallel entry point in the
@@ -79,6 +131,11 @@ struct Shard {
     /// Open-addressing table of *local* indices; `EMPTY_SLOT` is free.
     table: Vec<u32>,
     mask: usize,
+    /// Next global id this shard may assign out of its current id block.
+    /// Equal to `block_end` when no block is held (including initially).
+    block_next: u32,
+    /// One past the last id of the shard's current block.
+    block_end: u32,
 }
 
 impl Shard {
@@ -90,6 +147,8 @@ impl Shard {
             globals: Vec::new(),
             table: vec![EMPTY_SLOT; capacity],
             mask: capacity - 1,
+            block_next: 0,
+            block_end: 0,
         }
     }
 
@@ -116,20 +175,89 @@ impl Shard {
     }
 }
 
-/// Directory entry packing: shard index in the high 16 bits, local slab
-/// index in the low 48.
+/// Block-table entry packing: shard index in the high 16 bits, the base
+/// *local* slab index of the block's first state in the low 48.
 const LOCAL_BITS: u32 = 48;
 const LOCAL_MASK: u64 = (1 << LOCAL_BITS) - 1;
 
+/// Sentinel for a block-table slot that has been allocated but whose
+/// owning shard has not published its entry yet (never observable for ids
+/// actually returned by [`ShardedArena::intern`]).
+const UNCLAIMED_BLOCK: u64 = u64::MAX;
+
+/// The id-block table: maps a block index (`id / ID_BLOCK`) to the shard
+/// that owns the block and the shard-local slab index of the block's
+/// first state. Written once per claimed block (under the claiming
+/// shard's lock), read by [`ShardedArena::read_into`].
+///
+/// The slots live behind a `RwLock` only so the table can grow; the
+/// per-slot values are atomics, so both the once-per-block publish and
+/// every lookup run under the read lock (uncontended in the steady
+/// state). The write lock is taken once per geometric growth step.
+#[derive(Debug)]
+struct BlockTable {
+    slots: RwLock<Vec<AtomicU64>>,
+}
+
+impl BlockTable {
+    fn new() -> Self {
+        BlockTable {
+            slots: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Publishes `entry` for `block`, growing the table as needed.
+    fn publish(&self, block: usize, entry: u64) {
+        loop {
+            {
+                let slots = self.slots.read().expect("block table poisoned");
+                if let Some(slot) = slots.get(block) {
+                    slot.store(entry, Ordering::Release);
+                    return;
+                }
+            }
+            let mut slots = self.slots.write().expect("block table poisoned");
+            if block >= slots.len() {
+                let grown = (block + 1).max(slots.len() * 2).max(64);
+                let missing = grown - slots.len();
+                slots.extend(
+                    std::iter::repeat_with(|| AtomicU64::new(UNCLAIMED_BLOCK)).take(missing),
+                );
+            }
+        }
+    }
+
+    /// The published entry of `block`, if any.
+    fn get(&self, block: usize) -> Option<u64> {
+        let slots = self.slots.read().expect("block table poisoned");
+        let entry = slots.get(block)?.load(Ordering::Acquire);
+        (entry != UNCLAIMED_BLOCK).then_some(entry)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.slots.read().expect("block table poisoned").capacity()
+            * std::mem::size_of::<AtomicU64>()
+    }
+}
+
 /// A concurrently internable state arena: `N` independent
-/// slab-plus-probe-table shards keyed by state hash, handing out globally
-/// dense, stable [`StateId`]s.
+/// slab-plus-probe-table shards keyed by state hash, handing out stable
+/// [`StateId`]s from per-shard id blocks.
 ///
 /// Interning takes one shard mutex (hash-routed, so contention spreads
-/// across shards) and, for *fresh* states only, one short append under the
-/// directory write lock that assigns the next dense id. Duplicate hits —
-/// the common case in saturating explorations — never touch the
-/// directory.
+/// across shards). Fresh states receive the next id of the shard's
+/// current **id block** — a dense range of [`ID_BLOCK`](Self::ID_BLOCK)
+/// ids claimed from one global atomic cursor, so the global directory
+/// traffic of the predecessor design (one `RwLock` write per fresh state)
+/// is amortized down to one cursor bump and one block-table publish per
+/// `ID_BLOCK` fresh states per shard. Duplicate hits — the common case in
+/// saturating explorations — touch nothing but the shard.
+///
+/// Ids are stable and unique, and the id space is *compact* rather than
+/// perfectly dense: every shard's current block may be partially used, so
+/// at most `shard_count() × (ID_BLOCK − 1)` ids below
+/// [`id_upper_bound`](Self::id_upper_bound) are never issued. Id-indexed
+/// side tables should size by `id_upper_bound`, not [`len`](Self::len).
 ///
 /// Unlike [`StateArena`](crate::StateArena), reads copy out
 /// ([`read_into`](Self::read_into)) instead of borrowing: states live
@@ -166,13 +294,23 @@ pub struct ShardedArena {
     layout: StateLayout,
     shards: Vec<Mutex<Shard>>,
     shard_mask: u64,
-    /// Global id → packed `(shard, local)` location, in interning order.
-    directory: RwLock<Vec<u64>>,
-    /// Mirror of `directory.len()` for lock-free length queries.
+    /// Block index → `(shard, base local index)`, published once per block.
+    blocks: BlockTable,
+    /// The next unclaimed block index; `fetch_add` is the only global
+    /// synchronization on the fresh-state path, once per `ID_BLOCK`
+    /// fresh states per shard.
+    next_block: AtomicUsize,
+    /// Count of distinct interned states (not the id-space size; see
+    /// [`id_upper_bound`](Self::id_upper_bound)).
     len: AtomicUsize,
 }
 
 impl ShardedArena {
+    /// Ids per block: the granularity at which shards claim dense id
+    /// ranges from the global cursor. Also the divisor of the
+    /// id-space slack bound `shard_count() × (ID_BLOCK − 1)`.
+    pub const ID_BLOCK: usize = 64;
+
     /// An empty arena with a shard count sized for `workers` concurrent
     /// interners (shards are over-provisioned 4× and rounded to a power of
     /// two so hash routing is a mask).
@@ -182,7 +320,8 @@ impl ShardedArena {
             layout,
             shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
             shard_mask: shards as u64 - 1,
-            directory: RwLock::new(Vec::new()),
+            blocks: BlockTable::new(),
+            next_block: AtomicUsize::new(0),
             len: AtomicUsize::new(0),
         }
     }
@@ -197,7 +336,9 @@ impl ShardedArena {
         self.shards.len()
     }
 
-    /// Number of distinct states interned so far.
+    /// Number of distinct states interned so far. This counts *states*,
+    /// not ids: because ids are block-allocated, some ids below
+    /// [`id_upper_bound`](Self::id_upper_bound) may never be issued.
     pub fn len(&self) -> usize {
         self.len.load(Ordering::Acquire)
     }
@@ -207,10 +348,25 @@ impl ShardedArena {
         self.len() == 0
     }
 
-    /// Interns `state`, returning its globally dense id and whether it was
-    /// freshly inserted. When several workers intern the same state
-    /// concurrently, they all receive the same id and exactly one receives
+    /// One past the largest [`StateId`] index this arena can have issued
+    /// so far: every claimed block counted in full. Id-indexed side
+    /// tables (dead-set bitvectors, depth maps) should size by this; the
+    /// slack over [`len`](Self::len) is bounded by
+    /// `shard_count() × (ID_BLOCK − 1)` — one partial block per shard.
+    pub fn id_upper_bound(&self) -> usize {
+        self.next_block.load(Ordering::Acquire) * Self::ID_BLOCK
+    }
+
+    /// Interns `state`, returning its id and whether it was freshly
+    /// inserted. When several workers intern the same state concurrently,
+    /// they all receive the same id and exactly one receives
     /// `fresh == true`.
+    ///
+    /// Fresh ids come from the owning shard's current id block; a new
+    /// block is claimed from the global cursor only when the current one
+    /// is exhausted, so in the steady state this takes exactly one shard
+    /// lock and no global synchronization beyond one `fetch_add` on the
+    /// state counter.
     ///
     /// # Panics
     ///
@@ -230,23 +386,28 @@ impl ShardedArena {
             let entry = shard.table[slot];
             if entry == EMPTY_SLOT {
                 let local = shard.hashes.len();
+                if shard.block_next == shard.block_end {
+                    // Current block exhausted (or none yet): claim the
+                    // next dense id range and publish where it lives.
+                    // Publishing before the first id of the block escapes
+                    // this shard lock keeps `read_into` race-free.
+                    let block = self.next_block.fetch_add(1, Ordering::AcqRel);
+                    self.blocks
+                        .publish(block, ((shard_index as u64) << LOCAL_BITS) | local as u64);
+                    shard.block_next =
+                        u32::try_from(block * Self::ID_BLOCK).expect("state id space exhausted");
+                    shard.block_end = shard.block_next + Self::ID_BLOCK as u32;
+                }
+                let global = shard.block_next;
+                shard.block_next += 1;
                 shard.slab.extend_from_slice(state);
                 shard.hashes.push(hash);
-                let global = {
-                    let mut directory = self
-                        .directory
-                        .write()
-                        .expect("arena directory lock poisoned");
-                    let id = directory.len();
-                    directory.push(((shard_index as u64) << LOCAL_BITS) | local as u64);
-                    self.len.store(directory.len(), Ordering::Release);
-                    id as u32
-                };
                 shard.globals.push(global);
                 shard.table[slot] = local as u32;
                 if shard.hashes.len() * 10 >= shard.table.len() * 7 {
                     shard.grow();
                 }
+                self.len.fetch_add(1, Ordering::AcqRel);
                 return (StateId::from_index(global as usize), true);
             }
             let candidate = entry as usize;
@@ -264,26 +425,40 @@ impl ShardedArena {
     /// Copies the packed words of an interned state into `out` (cleared
     /// first).
     ///
+    /// Within a block, ids and shard-local slab indices advance in
+    /// lockstep (both are assigned under the same shard lock), so the
+    /// lookup is the block table's `(shard, base local)` entry plus the
+    /// id's offset into its block.
+    ///
     /// # Panics
     ///
-    /// Panics if `id` was not produced by this arena.
+    /// Panics if `id` was not produced by this arena's
+    /// [`intern`](Self::intern) (best effort: an id inside a claimed but
+    /// not fully issued block range may not be detected).
     pub fn read_into(&self, id: StateId, out: &mut Vec<u32>) {
+        let block = id.index() / Self::ID_BLOCK;
+        let offset = id.index() % Self::ID_BLOCK;
         let entry = self
-            .directory
-            .read()
-            .expect("arena directory lock poisoned")[id.index()];
+            .blocks
+            .get(block)
+            .expect("state id not produced by this arena");
         let shard_index = (entry >> LOCAL_BITS) as usize;
-        let local = (entry & LOCAL_MASK) as usize;
+        let local = (entry & LOCAL_MASK) as usize + offset;
         let words = self.layout.words();
         let shard = self.shards[shard_index]
             .lock()
             .expect("arena shard lock poisoned");
+        let start = local * words;
+        assert!(
+            start + words <= shard.slab.len(),
+            "state id not produced by this arena"
+        );
         out.clear();
-        out.extend_from_slice(&shard.slab[local * words..(local + 1) * words]);
+        out.extend_from_slice(&shard.slab[start..start + words]);
     }
 
     /// Approximate resident size in bytes: every shard's slab, hash cache,
-    /// id map and probe table, plus the global directory. Interned states
+    /// id map and probe table, plus the id-block table. Interned states
     /// are never evicted, so the current size is also the peak.
     pub fn resident_bytes(&self) -> usize {
         let shards: usize = self
@@ -295,13 +470,7 @@ impl ShardedArena {
                     .resident_bytes()
             })
             .sum();
-        let directory = self
-            .directory
-            .read()
-            .expect("arena directory lock poisoned")
-            .capacity()
-            * std::mem::size_of::<u64>();
-        shards + directory
+        shards + self.blocks.resident_bytes()
     }
 }
 
@@ -453,7 +622,7 @@ mod tests {
     }
 
     #[test]
-    fn interning_dedups_and_assigns_dense_ids() {
+    fn interning_dedups_and_assigns_unique_bounded_ids() {
         let arena = ShardedArena::new(layout(), 4);
         let words = arena.layout().words();
         let mut seen = Vec::new();
@@ -466,16 +635,107 @@ mod tests {
             seen.push((id, state));
         }
         assert_eq!(arena.len(), 100);
-        // Ids are dense: every index in 0..100 is assigned exactly once.
+        // Ids are unique and live below the advertised upper bound.
         let mut indexes: Vec<usize> = seen.iter().map(|(id, _)| id.index()).collect();
         indexes.sort_unstable();
-        assert_eq!(indexes, (0..100).collect::<Vec<_>>());
+        indexes.dedup();
+        assert_eq!(indexes.len(), 100, "ids are unique");
+        assert!(indexes[99] < arena.id_upper_bound());
+        // The id-space slack is bounded: at most one partial block per
+        // shard is outstanding.
+        assert!(
+            arena.id_upper_bound() - arena.len()
+                <= arena.shard_count() * (ShardedArena::ID_BLOCK - 1)
+        );
         let mut out = Vec::new();
         for (id, state) in &seen {
             arena.read_into(*id, &mut out);
             assert_eq!(&out, state);
         }
         assert!(arena.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn single_worker_interning_stays_compact_across_many_blocks() {
+        // Enough states that every shard cycles through several id
+        // blocks: ids stay unique and the id space compact (bounded
+        // slack), even though states hash-route across all shards.
+        let arena = ShardedArena::new(layout(), 1);
+        let words = arena.layout().words();
+        let n = 8 * arena.shard_count() * ShardedArena::ID_BLOCK;
+        let mut ids = Vec::new();
+        for i in 0..n as u32 {
+            let mut state = vec![0u32; words];
+            state[0] = i;
+            state[1] = i.wrapping_mul(0x9e37);
+            ids.push(arena.intern(&state).0.index());
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        assert_eq!(arena.len(), n);
+        assert!(arena.id_upper_bound() >= n);
+        assert!(arena.id_upper_bound() - n <= arena.shard_count() * (ShardedArena::ID_BLOCK - 1));
+    }
+
+    #[test]
+    fn contended_interning_never_aliases_ids_across_blocks() {
+        // The regression this guards: two distinct states must never
+        // receive the same id (an id block handed to two shards, or an
+        // id-to-local offset drifting out of lockstep would both surface
+        // here as an id collision or a read_into mismatch).
+        let net = chain_net(1);
+        let arena = ShardedArena::new(StateLayout::of(&net), 8);
+        let words = arena.layout().words();
+        let per_thread = 4 * ShardedArena::ID_BLOCK as u32 * 8;
+        let observed: Vec<Vec<(StateId, u32)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8u32)
+                .map(|worker| {
+                    let arena = &arena;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for i in 0..per_thread {
+                            // Overlapping ranges: every state is interned
+                            // by two workers racing on the same shard.
+                            let value = i + (worker % 2) * (per_thread / 2);
+                            let mut state = vec![0u32; words];
+                            state[0] = value;
+                            state[1] = value.rotate_left(13);
+                            let (id, _) = arena.intern(&state);
+                            out.push((id, value));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut id_to_value: std::collections::HashMap<usize, u32> =
+            std::collections::HashMap::new();
+        let mut distinct_values: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for (id, value) in observed.into_iter().flatten() {
+            if let Some(&prior) = id_to_value.get(&id.index()) {
+                assert_eq!(
+                    prior,
+                    value,
+                    "id {} issued for two distinct states",
+                    id.index()
+                );
+            } else {
+                id_to_value.insert(id.index(), value);
+            }
+            distinct_values.insert(value);
+            arena.read_into(id, &mut out);
+            assert_eq!(out[0], value, "read_into returned a different state");
+        }
+        assert_eq!(arena.len(), distinct_values.len());
+        assert_eq!(id_to_value.len(), distinct_values.len());
+        assert!(
+            arena.id_upper_bound() - arena.len()
+                <= arena.shard_count() * (ShardedArena::ID_BLOCK - 1),
+            "id-space slack exceeded the one-partial-block-per-shard bound"
+        );
     }
 
     #[test]

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Offline markdown link check: every repo-relative link target in the
+# top-level docs must exist. External (http/https/mailto) links are
+# skipped — the build must work without network — as are pure #anchors.
+#
+# Usage: scripts/check-markdown-links.sh [file.md ...]
+# With no arguments, checks the standard top-level documents.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+    files=(README.md ARCHITECTURE.md ROADMAP.md CHANGES.md)
+    for optional in PAPER.md PAPERS.md SNIPPETS.md EXPERIMENTS.md ISSUE.md; do
+        [ -f "$optional" ] && files+=("$optional")
+    done
+fi
+
+fail=0
+for file in "${files[@]}"; do
+    if [ ! -f "$file" ]; then
+        echo "MISSING FILE: $file" >&2
+        fail=1
+        continue
+    fi
+    # Extract inline links `](target)`; strip the wrapper.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:*) continue ;;
+        '#'*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -z "$path" ] && continue
+        if [ ! -e "$path" ]; then
+            echo "$file: broken link -> $target" >&2
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$file" | sed 's/^](//; s/)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "markdown link check FAILED" >&2
+    exit 1
+fi
+echo "markdown link check OK (${#files[@]} files)"

@@ -195,7 +195,8 @@ fn schedule(project: &Project, json: bool) -> Result<(), String> {
                     "  \"wall_time_ms\": {:.3},",
                     stats.elapsed.as_secs_f64() * 1e3
                 );
-                println!("  \"jobs\": {}", stats.jobs);
+                println!("  \"jobs\": {},", stats.jobs);
+                println!("  \"steals\": {}", stats.steals);
                 println!("}}");
             }
             return Err(format!("schedule synthesis failed: {error}"));
@@ -224,6 +225,7 @@ fn schedule(project: &Project, json: bool) -> Result<(), String> {
             stats.elapsed.as_secs_f64() * 1e3
         );
         println!("  \"jobs\": {},", stats.jobs);
+        println!("  \"steals\": {},", stats.steals);
         println!("  \"violations\": {}", violations.len());
         println!("}}");
         return Ok(());
@@ -237,6 +239,7 @@ fn schedule(project: &Project, json: bool) -> Result<(), String> {
     println!("  backtracks       {}", outcome.stats.backtracks);
     println!("  elapsed          {:?}", outcome.stats.elapsed);
     println!("  jobs             {}", outcome.stats.jobs);
+    println!("  steals           {}", outcome.stats.steals);
     println!("  validator        {} violation(s)", violations.len());
     for violation in violations {
         println!("    {violation}");

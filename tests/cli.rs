@@ -92,6 +92,7 @@ fn schedule_json_emits_machine_readable_stats() {
         "\"peak_dead_set_bytes\"",
         "\"wall_time_ms\"",
         "\"jobs\": 1",
+        "\"steals\": 0",
         "\"violations\": 0",
     ] {
         assert!(stdout.contains(key), "missing {key} in {stdout}");
@@ -118,6 +119,7 @@ fn jobs_flag_runs_the_parallel_engine() {
     assert!(output.status.success());
     let stdout = String::from_utf8(output.stdout).unwrap();
     assert!(stdout.contains("\"jobs\": 2"), "{stdout}");
+    assert!(stdout.contains("\"steals\":"), "{stdout}");
     assert!(stdout.contains("\"violations\": 0"), "{stdout}");
 
     let bad = ezrt()

@@ -1,0 +1,122 @@
+//! Experiment X6 — service throughput: requests/second through the
+//! `ezrt serve` HTTP front end over loopback, cached hits versus
+//! uncached misses on the paper's mine-pump specification.
+//!
+//! The uncached arm posts a fresh spec per request (the name is part of
+//! the canonical digest, so renaming forces a miss and a full
+//! synthesis); the cached arm re-posts one spec whose result is
+//! resident. The gap is the whole point of the result cache: a CI loop
+//! or editing session re-submitting the same model should pay HTTP +
+//! lookup, not HTTP + state-space search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ezrt_server::{Server, ServerConfig};
+use std::hint::black_box;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn post_schedule(addr: SocketAddr, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    let head = format!(
+        "POST /v1/schedule HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    assert!(
+        response.starts_with("HTTP/1.1 200"),
+        "unexpected response: {}",
+        response.lines().next().unwrap_or_default()
+    );
+    response
+}
+
+/// A mine-pump document whose digest is unique per `index` (the spec
+/// name participates in the canonical serialization).
+fn mine_pump_variant(index: usize) -> String {
+    let document = ezrt_dsl::to_xml(&ezrt_spec::corpus::mine_pump());
+    document.replacen(
+        "name=\"mine-pump\"",
+        &format!("name=\"mine-pump-{index}\""),
+        1,
+    )
+}
+
+fn report_cached_vs_uncached(addr: SocketAddr) {
+    let base = mine_pump_variant(usize::MAX);
+
+    // Prime the cached arm (and warm the connection path).
+    let primed = post_schedule(addr, &base);
+    assert!(primed.contains("\"cache\": \"miss\""), "{primed}");
+
+    const UNCACHED_REQUESTS: usize = 20;
+    let started = Instant::now();
+    for index in 0..UNCACHED_REQUESTS {
+        let response = post_schedule(addr, &mine_pump_variant(index));
+        debug_assert!(response.contains("\"cache\": \"miss\""));
+    }
+    let uncached_wall = started.elapsed();
+    let uncached_rps = UNCACHED_REQUESTS as f64 / uncached_wall.as_secs_f64();
+
+    const CACHED_REQUESTS: usize = 400;
+    let started = Instant::now();
+    for _ in 0..CACHED_REQUESTS {
+        black_box(post_schedule(addr, &base));
+    }
+    let cached_wall = started.elapsed();
+    let cached_rps = CACHED_REQUESTS as f64 / cached_wall.as_secs_f64();
+
+    let speedup = cached_rps / uncached_rps.max(1e-9);
+    eprintln!(
+        "[X6] server throughput (mine pump, loopback): \
+         uncached {uncached_rps:.0} req/s ({:.2} ms/req) vs cached {cached_rps:.0} req/s \
+         ({:.3} ms/req) — {speedup:.1}x{}",
+        uncached_wall.as_secs_f64() * 1e3 / UNCACHED_REQUESTS as f64,
+        cached_wall.as_secs_f64() * 1e3 / CACHED_REQUESTS as f64,
+        if speedup >= 10.0 {
+            ""
+        } else {
+            "  (below the 10x cache target!)"
+        },
+    );
+}
+
+fn bench_server_throughput(c: &mut Criterion) {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            cache_capacity: 4096,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    report_cached_vs_uncached(addr);
+
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(20);
+    let base = mine_pump_variant(usize::MAX); // resident since the report
+    group.bench_function("schedule_cached_hit", |b| {
+        b.iter(|| black_box(post_schedule(addr, &base)))
+    });
+    let fresh_index = std::sync::atomic::AtomicUsize::new(1_000_000);
+    group.bench_function("schedule_uncached_miss", |b| {
+        b.iter(|| {
+            let index = fresh_index.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            black_box(post_schedule(addr, &mine_pump_variant(index)))
+        })
+    });
+    group.finish();
+
+    server.stop();
+}
+
+criterion_group!(benches, bench_server_throughput);
+criterion_main!(benches);

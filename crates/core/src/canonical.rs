@@ -1,0 +1,228 @@
+//! Canonical byte serialization of a specification plus its scheduler
+//! configuration — the stable pre-image of `ezrt-server`'s spec digests.
+//!
+//! Two XML documents that parse to the same [`EzSpec`] (whitespace,
+//! attribute order, escaping choices) produce the same byte stream, so
+//! they map to the same cache key. The stream covers everything that
+//! can change a synthesis *result*: every metamodel field of the spec
+//! and the result-relevant scheduler knobs (branch ordering, delay
+//! mode, partial-order reduction, state/time budgets). It deliberately
+//! excludes [`Parallelism`](ezrt_scheduler::Parallelism): worker count
+//! only changes how fast a miss is computed, never which key it
+//! belongs to, so cached results are shared across `--jobs` values.
+//!
+//! The encoding is self-delimiting (length-prefixed strings, tagged
+//! sections, fixed-width little-endian integers), so no two distinct
+//! specifications can collide byte-wise by concatenation tricks. The
+//! leading version tag makes any future format change alter every
+//! digest deliberately rather than silently.
+
+use ezrt_scheduler::{BranchOrdering, SchedulerConfig};
+use ezrt_spec::EzSpec;
+use ezrt_tpn::DelayMode;
+
+/// Format version tag; bump when the encoding changes.
+const VERSION: &[u8] = b"ezrt-canon-v1";
+
+/// Section tags, one per metamodel region, so a decoder (or a human
+/// with a hex dump) can tell where each part begins.
+mod tag {
+    pub const SPEC: u8 = 0x01;
+    pub const TASK: u8 = 0x02;
+    pub const PROCESSOR: u8 = 0x03;
+    pub const MESSAGE: u8 = 0x04;
+    pub const PRECEDES: u8 = 0x05;
+    pub const EXCLUDES: u8 = 0x06;
+    pub const CONFIG: u8 = 0x07;
+}
+
+/// Serializes `spec` + `config` into the canonical byte stream.
+pub(crate) fn canonical_bytes(spec: &EzSpec, config: &SchedulerConfig) -> Vec<u8> {
+    let mut out = Canon::default();
+    out.bytes.extend_from_slice(VERSION);
+
+    out.tag(tag::SPEC);
+    out.str(spec.name());
+    out.flag(spec.dispatcher_overhead());
+    out.u64(spec.task_count() as u64);
+    out.u64(spec.processors().count() as u64);
+    out.u64(spec.messages().count() as u64);
+
+    for (_, processor) in spec.processors() {
+        out.tag(tag::PROCESSOR);
+        out.str(processor.name());
+    }
+    for (_, task) in spec.tasks() {
+        out.tag(tag::TASK);
+        out.str(task.name());
+        let timing = task.timing();
+        out.u64(timing.phase);
+        out.u64(timing.release);
+        out.u64(timing.computation);
+        out.u64(timing.deadline);
+        out.u64(timing.period);
+        out.u64(match task.method() {
+            ezrt_spec::SchedulingMethod::NonPreemptive => 0,
+            ezrt_spec::SchedulingMethod::Preemptive => 1,
+        });
+        out.u64(task.processor().index() as u64);
+        out.u64(task.energy());
+        match task.code() {
+            Some(code) => {
+                out.flag(true);
+                out.str(code.content());
+            }
+            None => out.flag(false),
+        }
+    }
+    for (_, message) in spec.messages() {
+        out.tag(tag::MESSAGE);
+        out.str(message.name());
+        out.str(message.bus());
+        out.u64(message.sender().index() as u64);
+        out.u64(message.receiver().index() as u64);
+        out.u64(message.grant_bus());
+        out.u64(message.communication());
+    }
+    out.tag(tag::PRECEDES);
+    out.u64(spec.precedences().len() as u64);
+    for &(predecessor, successor) in spec.precedences() {
+        out.u64(predecessor.index() as u64);
+        out.u64(successor.index() as u64);
+    }
+    out.tag(tag::EXCLUDES);
+    out.u64(spec.exclusions().len() as u64);
+    for &(a, b) in spec.exclusions() {
+        out.u64(a.index() as u64);
+        out.u64(b.index() as u64);
+    }
+
+    out.tag(tag::CONFIG);
+    out.u64(match config.ordering {
+        BranchOrdering::Edf => 0,
+        BranchOrdering::Fifo => 1,
+    });
+    out.u64(match config.delay_mode {
+        DelayMode::Earliest => 0,
+        DelayMode::Corners => 1,
+        DelayMode::Full => 2,
+    });
+    out.flag(config.partial_order_reduction);
+    out.u64(config.max_states as u64);
+    out.u64(config.max_time.as_secs());
+    out.u64(u64::from(config.max_time.subsec_nanos()));
+    // config.parallelism intentionally not serialized — see module docs.
+
+    out.bytes
+}
+
+/// The little writer: tagged sections, length-prefixed strings,
+/// fixed-width little-endian integers.
+#[derive(Default)]
+struct Canon {
+    bytes: Vec<u8>,
+}
+
+impl Canon {
+    fn tag(&mut self, tag: u8) {
+        self.bytes.push(tag);
+    }
+
+    fn u64(&mut self, value: u64) {
+        self.bytes.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn flag(&mut self, value: bool) {
+        self.bytes.push(u8::from(value));
+    }
+
+    fn str(&mut self, text: &str) {
+        self.u64(text.len() as u64);
+        self.bytes.extend_from_slice(text.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezrt_scheduler::Parallelism;
+    use ezrt_spec::corpus::{mine_pump, small_control};
+    use ezrt_spec::SpecBuilder;
+
+    #[test]
+    fn identical_inputs_give_identical_bytes() {
+        let config = SchedulerConfig::default();
+        assert_eq!(
+            canonical_bytes(&small_control(), &config),
+            canonical_bytes(&small_control(), &config)
+        );
+    }
+
+    #[test]
+    fn different_specs_give_different_bytes() {
+        let config = SchedulerConfig::default();
+        assert_ne!(
+            canonical_bytes(&small_control(), &config),
+            canonical_bytes(&mine_pump(), &config)
+        );
+    }
+
+    #[test]
+    fn every_result_relevant_config_knob_is_covered() {
+        let spec = small_control();
+        let base = canonical_bytes(&spec, &SchedulerConfig::default());
+        let variants = [
+            SchedulerConfig {
+                ordering: BranchOrdering::Fifo,
+                ..SchedulerConfig::default()
+            },
+            SchedulerConfig {
+                delay_mode: DelayMode::Corners,
+                ..SchedulerConfig::default()
+            },
+            SchedulerConfig {
+                partial_order_reduction: false,
+                ..SchedulerConfig::default()
+            },
+            SchedulerConfig {
+                max_states: 7,
+                ..SchedulerConfig::default()
+            },
+            SchedulerConfig {
+                max_time: std::time::Duration::from_secs(1),
+                ..SchedulerConfig::default()
+            },
+        ];
+        for variant in variants {
+            assert_ne!(base, canonical_bytes(&spec, &variant), "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn parallelism_is_excluded() {
+        let spec = small_control();
+        let parallel = SchedulerConfig {
+            parallelism: Parallelism::new(8),
+            ..SchedulerConfig::default()
+        };
+        assert_eq!(
+            canonical_bytes(&spec, &SchedulerConfig::default()),
+            canonical_bytes(&spec, &parallel)
+        );
+    }
+
+    #[test]
+    fn task_rename_changes_the_bytes() {
+        let config = SchedulerConfig::default();
+        let build = |name: &str| {
+            SpecBuilder::new("two")
+                .task(name, |t| t.computation(1).deadline(4).period(10))
+                .build()
+                .unwrap()
+        };
+        assert_ne!(
+            canonical_bytes(&build("a"), &config),
+            canonical_bytes(&build("b"), &config)
+        );
+    }
+}

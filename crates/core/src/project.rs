@@ -72,6 +72,20 @@ impl Project {
         translate(&self.spec)
     }
 
+    /// Canonical byte serialization of the parsed specification plus
+    /// the result-relevant scheduler configuration (branch ordering,
+    /// delay mode, partial-order reduction, budgets) — the stable
+    /// pre-image `ezrt-server` digests into cache keys.
+    ///
+    /// Two XML documents that parse to the same specification
+    /// (whitespace, attribute order) serialize identically, and
+    /// [`Parallelism`] is deliberately excluded: the worker count only
+    /// changes how fast a result is computed, never which result it is
+    /// keyed under.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        crate::canonical::canonical_bytes(&self.spec, &self.config)
+    }
+
     /// Serializes the specification back to the XML DSL.
     pub fn to_dsl(&self) -> String {
         ezrt_dsl::to_xml(&self.spec)

@@ -1,0 +1,507 @@
+//! The content-addressed result cache: digest → `Arc<SynthesisOutcome>`
+//! behind N mutex-guarded shards (the same sharding shape as
+//! `ezrt_tpn::ShardedArena`), with **singleflight** in-flight
+//! coalescing and size-bounded LRU eviction.
+//!
+//! Singleflight: when several requests arrive for the same digest while
+//! no entry exists, exactly one of them runs the synthesis; the others
+//! block on the in-flight slot and receive the same `Arc` when it
+//! completes. A completed entry is served without blocking anyone.
+//!
+//! Reporting: a request served from a *completed* entry is a `hit`;
+//! a request that started **or waited on** an in-flight synthesis is a
+//! `miss` (its latency included the search), so all concurrent
+//! first-requests for one digest produce byte-identical responses.
+
+use crate::digest::SpecDigest;
+use crate::report::{self, JsonFields};
+use ezrt_core::Project;
+use ezrt_scheduler::{FeasibleSchedule, SearchStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Everything one synthesis run produced, cached under its digest: the
+/// schedule (when feasible), the search statistics, the replay verdict
+/// of the net-semantics oracle, and the pre-rendered flat-JSON fields
+/// every surface serves.
+#[derive(Debug)]
+pub struct SynthesisOutcome {
+    /// The digest this outcome is keyed under.
+    pub digest: SpecDigest,
+    /// Whether a feasible schedule was found.
+    pub feasible: bool,
+    /// The shared flat-JSON field list (`ezrt schedule --json` plus
+    /// `spec_digest`); the server appends its `cache` field per
+    /// response, so cached bodies stay byte-identical per lookup kind.
+    pub fields: JsonFields,
+    /// The search counters of the run that produced this outcome.
+    pub stats: SearchStats,
+    /// `Some(true)` when the schedule replayed cleanly through the
+    /// `ezrt_sim::replay` net-semantics oracle, `Some(false)` when it
+    /// did not (a kernel bug), `None` for infeasible outcomes.
+    pub replay_ok: Option<bool>,
+    /// The feasible firing schedule, kept so future endpoints (code
+    /// generation, Gantt) can serve from cache without re-searching.
+    pub schedule: Option<FeasibleSchedule>,
+}
+
+/// Runs the synthesis for `project` and packages the result for the
+/// cache: search, spec-level validation (the `violations` field),
+/// net-level replay verdict, rendered JSON fields.
+pub fn compute_outcome(project: &Project, digest: SpecDigest) -> SynthesisOutcome {
+    match project.synthesize() {
+        Ok(outcome) => {
+            let replay_ok = ezrt_sim::replay::replay(&outcome.tasknet, &outcome.schedule).is_ok();
+            let fields = report::success_fields(&digest, &outcome);
+            SynthesisOutcome {
+                digest,
+                feasible: true,
+                fields,
+                stats: outcome.stats.clone(),
+                replay_ok: Some(replay_ok),
+                schedule: Some(outcome.schedule),
+            }
+        }
+        Err(error) => SynthesisOutcome {
+            digest,
+            feasible: false,
+            fields: report::failure_fields(&digest, &error),
+            stats: error.stats().clone(),
+            replay_ok: None,
+            schedule: None,
+        },
+    }
+}
+
+/// How a [`ResultCache::get_or_compute`] call was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Served from a completed cache entry.
+    Hit,
+    /// This call ran the synthesis.
+    Miss,
+    /// This call waited on another call's in-flight synthesis.
+    Joined,
+}
+
+impl Lookup {
+    /// The `cache` field value: `"hit"` for completed entries, `"miss"`
+    /// whenever the request's latency included a synthesis
+    /// ([`Miss`](Self::Miss) and [`Joined`](Self::Joined) alike — so
+    /// concurrent identical
+    /// requests all serve byte-identical bodies).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Lookup::Hit => "hit",
+            Lookup::Miss | Lookup::Joined => "miss",
+        }
+    }
+}
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests served from a completed entry.
+    pub hits: u64,
+    /// Synthesis runs started (one per singleflight group).
+    pub misses: u64,
+    /// Requests that waited on another request's in-flight synthesis.
+    pub joined: u64,
+    /// Entries evicted under LRU pressure.
+    pub evictions: u64,
+    /// Completed entries currently resident.
+    pub entries: usize,
+    /// Syntheses currently in flight.
+    pub inflight: usize,
+    /// The configured entry bound (0 = caching disabled).
+    pub capacity: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    outcome: Arc<SynthesisOutcome>,
+    /// Global LRU clock value at the last hit or insert.
+    last_used: u64,
+}
+
+/// The in-flight slot concurrent requests rendezvous on.
+#[derive(Debug)]
+struct Inflight {
+    slot: Mutex<InflightSlot>,
+    completed: Condvar,
+}
+
+#[derive(Debug)]
+enum InflightSlot {
+    Pending,
+    Done(Arc<SynthesisOutcome>),
+    /// The computing call panicked; waiters retry from scratch.
+    Abandoned,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<SpecDigest, Entry>,
+    inflight: HashMap<SpecDigest, Arc<Inflight>>,
+}
+
+/// The sharded singleflight LRU cache. See the [module docs](self).
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_mask: u64,
+    /// Total completed-entry bound, spread evenly over the shards;
+    /// zero disables storing (singleflight coalescing still applies).
+    capacity: usize,
+    per_shard_capacity: usize,
+    /// Global LRU clock, bumped on every hit and insert.
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    joined: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache bounded to `capacity` completed entries across `shards`
+    /// mutex-guarded shards (rounded up to a power of two, minimum 1).
+    /// `capacity == 0` disables storing entirely: every request misses,
+    /// but concurrent identical requests still coalesce onto one
+    /// in-flight synthesis.
+    pub fn new(capacity: usize, shards: usize) -> ResultCache {
+        let shards = shards.max(1).next_power_of_two();
+        ResultCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_mask: shards as u64 - 1,
+            capacity,
+            per_shard_capacity: capacity.div_ceil(shards),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            joined: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, digest: &SpecDigest) -> &Mutex<Shard> {
+        // Route on the high bits of the 64-bit half, like the arena.
+        &self.shards[((digest.fnv64() >> 48) & self.shard_mask) as usize]
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Looks `digest` up, running `compute` under singleflight on a
+    /// miss: of all concurrent callers for one absent digest, exactly
+    /// one executes `compute`; the rest block and share its `Arc`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic out of `compute` to its own caller only;
+    /// waiting callers observe the abandoned slot and retry (one of
+    /// them becomes the next computer).
+    pub fn get_or_compute<F>(
+        &self,
+        digest: SpecDigest,
+        compute: F,
+    ) -> (Arc<SynthesisOutcome>, Lookup)
+    where
+        F: FnOnce() -> SynthesisOutcome,
+    {
+        let mut compute = Some(compute);
+        loop {
+            let flight = {
+                let mut shard = self.shard(&digest).lock().expect("cache shard poisoned");
+                if let Some(entry) = shard.entries.get_mut(&digest) {
+                    entry.last_used = self.next_tick();
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (Arc::clone(&entry.outcome), Lookup::Hit);
+                }
+                match shard.inflight.get(&digest) {
+                    Some(flight) => Arc::clone(flight),
+                    None => {
+                        let flight = Arc::new(Inflight {
+                            slot: Mutex::new(InflightSlot::Pending),
+                            completed: Condvar::new(),
+                        });
+                        shard.inflight.insert(digest, Arc::clone(&flight));
+                        drop(shard);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        let outcome = self.run_compute(
+                            digest,
+                            &flight,
+                            compute.take().expect("compute consumed once"),
+                        );
+                        return (outcome, Lookup::Miss);
+                    }
+                }
+            };
+            // Wait for the in-flight synthesis outside any shard lock.
+            let mut slot = flight.slot.lock().expect("inflight slot poisoned");
+            loop {
+                match &*slot {
+                    InflightSlot::Pending => {
+                        slot = flight.completed.wait(slot).expect("inflight slot poisoned");
+                    }
+                    InflightSlot::Done(outcome) => {
+                        self.joined.fetch_add(1, Ordering::Relaxed);
+                        return (Arc::clone(outcome), Lookup::Joined);
+                    }
+                    InflightSlot::Abandoned => break, // retry from the top
+                }
+            }
+        }
+    }
+
+    /// Runs `compute` for an in-flight slot this call owns, publishes
+    /// the result, and cleans the slot up even if `compute` panics.
+    fn run_compute<F>(
+        &self,
+        digest: SpecDigest,
+        flight: &Arc<Inflight>,
+        compute: F,
+    ) -> Arc<SynthesisOutcome>
+    where
+        F: FnOnce() -> SynthesisOutcome,
+    {
+        /// Unwind guard: if `compute` panics, mark the slot abandoned
+        /// and wake the waiters so they retry instead of hanging.
+        struct Abandon<'a> {
+            cache: &'a ResultCache,
+            digest: SpecDigest,
+            flight: &'a Arc<Inflight>,
+            armed: bool,
+        }
+        impl Drop for Abandon<'_> {
+            fn drop(&mut self) {
+                if !self.armed {
+                    return;
+                }
+                let mut shard = self
+                    .cache
+                    .shard(&self.digest)
+                    .lock()
+                    .expect("cache shard poisoned");
+                shard.inflight.remove(&self.digest);
+                drop(shard);
+                let mut slot = self.flight.slot.lock().expect("inflight slot poisoned");
+                *slot = InflightSlot::Abandoned;
+                self.flight.completed.notify_all();
+            }
+        }
+
+        let mut guard = Abandon {
+            cache: self,
+            digest,
+            flight,
+            armed: true,
+        };
+        let outcome = Arc::new(compute());
+        guard.armed = false;
+
+        let mut shard = self.shard(&digest).lock().expect("cache shard poisoned");
+        if self.capacity > 0 {
+            let tick = self.next_tick();
+            shard.entries.insert(
+                digest,
+                Entry {
+                    outcome: Arc::clone(&outcome),
+                    last_used: tick,
+                },
+            );
+            while shard.entries.len() > self.per_shard_capacity {
+                let oldest = shard
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, entry)| entry.last_used)
+                    .map(|(digest, _)| *digest)
+                    .expect("non-empty over-capacity shard");
+                shard.entries.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.inflight.remove(&digest);
+        drop(shard);
+
+        let mut slot = flight.slot.lock().expect("inflight slot poisoned");
+        *slot = InflightSlot::Done(Arc::clone(&outcome));
+        flight.completed.notify_all();
+        outcome
+    }
+
+    /// A consistent-enough snapshot of the counters (entry and inflight
+    /// counts sum over shards without a global lock).
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0;
+        let mut inflight = 0;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            entries += shard.entries.len();
+            inflight += shard.inflight.len();
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            joined: self.joined.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            inflight,
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezrt_spec::corpus::small_control;
+    use ezrt_spec::SpecBuilder;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    fn digest_of(byte: u8) -> SpecDigest {
+        SpecDigest::of(&[byte])
+    }
+
+    fn stub_outcome(digest: SpecDigest) -> SynthesisOutcome {
+        SynthesisOutcome {
+            digest,
+            feasible: true,
+            fields: vec![("feasible", "true".to_owned())],
+            stats: SearchStats::default(),
+            replay_ok: Some(true),
+            schedule: None,
+        }
+    }
+
+    #[test]
+    fn hit_after_miss_shares_the_arc() {
+        let cache = ResultCache::new(8, 2);
+        let d = digest_of(1);
+        let (first, lookup) = cache.get_or_compute(d, || stub_outcome(d));
+        assert_eq!(lookup, Lookup::Miss);
+        let (second, lookup) = cache.get_or_compute(d, || panic!("must not recompute"));
+        assert_eq!(lookup, Lookup::Hit);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn singleflight_runs_compute_exactly_once() {
+        let cache = ResultCache::new(8, 2);
+        let d = digest_of(2);
+        let runs = AtomicUsize::new(0);
+        let threads = 6;
+        let barrier = Barrier::new(threads);
+        let outcomes: Vec<(u64, Lookup)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        let (outcome, lookup) = cache.get_or_compute(d, || {
+                            runs.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open long enough that the
+                            // other threads must join it.
+                            std::thread::sleep(std::time::Duration::from_millis(150));
+                            stub_outcome(d)
+                        });
+                        (Arc::as_ptr(&outcome) as u64, lookup)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "one synthesis ran");
+        let first_ptr = outcomes[0].0;
+        assert!(outcomes.iter().all(|(ptr, _)| *ptr == first_ptr));
+        assert_eq!(
+            outcomes.iter().filter(|(_, l)| *l == Lookup::Miss).count(),
+            1
+        );
+        assert!(outcomes
+            .iter()
+            .all(|(_, l)| matches!(l, Lookup::Miss | Lookup::Joined)));
+        assert!(outcomes.iter().all(|(_, l)| l.as_str() == "miss"));
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.joined, threads as u64 - 1);
+        assert_eq!(stats.inflight, 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_digest() {
+        // One shard so the LRU order is fully deterministic.
+        let cache = ResultCache::new(2, 1);
+        let (a, b, c) = (digest_of(10), digest_of(11), digest_of(12));
+        cache.get_or_compute(a, || stub_outcome(a));
+        cache.get_or_compute(b, || stub_outcome(b));
+        // Touch `a` so `b` is now the oldest.
+        assert_eq!(cache.get_or_compute(a, || stub_outcome(a)).1, Lookup::Hit);
+        cache.get_or_compute(c, || stub_outcome(c)); // evicts b
+        assert_eq!(cache.get_or_compute(a, || stub_outcome(a)).1, Lookup::Hit);
+        assert_eq!(cache.get_or_compute(b, || stub_outcome(b)).1, Lookup::Miss);
+        let stats = cache.stats();
+        assert!(stats.evictions >= 2, "b evicted, then a or c: {stats:?}");
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let cache = ResultCache::new(0, 1);
+        let d = digest_of(20);
+        assert_eq!(cache.get_or_compute(d, || stub_outcome(d)).1, Lookup::Miss);
+        assert_eq!(cache.get_or_compute(d, || stub_outcome(d)).1, Lookup::Miss);
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.misses, stats.hits), (0, 2, 0));
+    }
+
+    #[test]
+    fn panicking_compute_abandons_the_flight_without_wedging() {
+        let cache = ResultCache::new(8, 1);
+        let d = digest_of(30);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_compute(d, || panic!("synthesis exploded"));
+        }));
+        assert!(panicked.is_err());
+        // The digest is not wedged: the next call computes normally.
+        let (_, lookup) = cache.get_or_compute(d, || stub_outcome(d));
+        assert_eq!(lookup, Lookup::Miss);
+        assert_eq!(cache.stats().inflight, 0);
+    }
+
+    #[test]
+    fn compute_outcome_packages_success_and_failure() {
+        use crate::digest::project_digest;
+        use ezrt_core::Project;
+        use ezrt_scheduler::SchedulerConfig;
+
+        let project = Project::new(small_control());
+        let digest = project_digest(&project);
+        let outcome = compute_outcome(&project, digest);
+        assert!(outcome.feasible);
+        assert_eq!(outcome.replay_ok, Some(true));
+        assert!(outcome.schedule.is_some());
+        assert_eq!(outcome.fields[0], ("feasible", "true".to_owned()));
+
+        let overload = SpecBuilder::new("overload")
+            .task("x", |t| t.computation(3).deadline(4).period(4))
+            .task("y", |t| t.computation(2).deadline(4).period(4))
+            .build()
+            .unwrap();
+        let project = Project::new(overload);
+        let digest = project_digest(&project);
+        let outcome = compute_outcome(&project, digest);
+        assert!(!outcome.feasible);
+        assert_eq!(outcome.replay_ok, None);
+        assert!(outcome.schedule.is_none());
+        let config_digest =
+            project_digest(&Project::new(small_control()).with_config(SchedulerConfig {
+                max_states: 1,
+                ..SchedulerConfig::default()
+            }));
+        assert_ne!(digest, config_digest);
+    }
+}

@@ -1,0 +1,146 @@
+//! Canonical spec digests: stable FNV-1a 64+128 over
+//! [`Project::canonical_bytes`](ezrt_core::Project::canonical_bytes).
+//!
+//! The digest is the cache key of the synthesis service and the join
+//! key between `ezrt schedule --json`, `ezrt batch --json` and the
+//! HTTP responses. Because the pre-image is the *parsed* specification
+//! (plus the result-relevant scheduler knobs), any two XML documents
+//! that differ only in whitespace, attribute order or escaping map to
+//! the same digest; anything that can change the synthesis result maps
+//! to a different one.
+//!
+//! FNV-1a is used because it is trivially stable: no per-process seed,
+//! no platform dependence, the same 48 hex characters from any build
+//! on any host. The 64-bit and 128-bit variants are computed over the
+//! same stream and concatenated, so an accidental 64-bit collision
+//! still yields distinct keys unless the 128-bit halves collide too.
+
+use ezrt_core::Project;
+use std::fmt;
+
+const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// A 192-bit content digest of a canonical spec serialization: the
+/// FNV-1a/128 and FNV-1a/64 hashes of the same byte stream.
+///
+/// Renders as 48 lowercase hex characters (128-bit half first); the
+/// rendered form is what appears in `spec_digest` JSON fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpecDigest {
+    fnv128: u128,
+    fnv64: u64,
+}
+
+impl SpecDigest {
+    /// Digests a canonical byte stream.
+    pub fn of(bytes: &[u8]) -> SpecDigest {
+        let mut h64 = FNV64_OFFSET;
+        let mut h128 = FNV128_OFFSET;
+        for &byte in bytes {
+            h64 = (h64 ^ u64::from(byte)).wrapping_mul(FNV64_PRIME);
+            h128 = (h128 ^ u128::from(byte)).wrapping_mul(FNV128_PRIME);
+        }
+        SpecDigest {
+            fnv128: h128,
+            fnv64: h64,
+        }
+    }
+
+    /// The 64-bit half — used by the cache to route digests to shards.
+    pub fn fnv64(&self) -> u64 {
+        self.fnv64
+    }
+
+    /// The 128-bit half.
+    pub fn fnv128(&self) -> u128 {
+        self.fnv128
+    }
+
+    /// The 48-hex-character rendering (128-bit half, then 64-bit half).
+    pub fn to_hex(&self) -> String {
+        format!("{:032x}{:016x}", self.fnv128, self.fnv64)
+    }
+}
+
+impl fmt::Display for SpecDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}{:016x}", self.fnv128, self.fnv64)
+    }
+}
+
+/// The digest of a project's spec + scheduler configuration — the cache
+/// key its synthesis result is stored under.
+pub fn project_digest(project: &Project) -> SpecDigest {
+    SpecDigest::of(&project.canonical_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezrt_scheduler::SchedulerConfig;
+    use ezrt_spec::corpus::{mine_pump, small_control};
+    use ezrt_tpn::DelayMode;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // FNV-1a of the empty input is the offset basis.
+        let empty = SpecDigest::of(b"");
+        assert_eq!(empty.fnv64(), FNV64_OFFSET);
+        assert_eq!(empty.fnv128(), FNV128_OFFSET);
+        // Published FNV-1a/64 test vector.
+        assert_eq!(SpecDigest::of(b"a").fnv64(), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn hex_is_48_lowercase_characters() {
+        let hex = project_digest(&Project::new(small_control())).to_hex();
+        assert_eq!(hex.len(), 48);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(hex, hex.to_lowercase());
+        assert_eq!(
+            hex,
+            project_digest(&Project::new(small_control())).to_string()
+        );
+    }
+
+    #[test]
+    fn digest_is_stable_across_parses_and_whitespace() {
+        let spec = small_control();
+        let document = ezrt_dsl::to_xml(&spec);
+        // Injecting whitespace between attributes / around tags leaves
+        // the parsed spec — and therefore the digest — unchanged.
+        let noisy = document
+            .replace("><", ">\n\t <")
+            .replace(" name=", "\n   name=");
+        let original = Project::from_dsl(&document).expect("own dsl reloads");
+        let reparsed = Project::from_dsl(&noisy).expect("noisy dsl reloads");
+        assert_eq!(project_digest(&original), project_digest(&reparsed));
+        assert_eq!(
+            project_digest(&original),
+            project_digest(&Project::new(spec))
+        );
+    }
+
+    #[test]
+    fn digest_separates_specs_and_configs() {
+        let small = project_digest(&Project::new(small_control()));
+        let pump = project_digest(&Project::new(mine_pump()));
+        assert_ne!(small, pump);
+
+        let full = Project::new(small_control()).with_config(SchedulerConfig {
+            delay_mode: DelayMode::Full,
+            ..SchedulerConfig::default()
+        });
+        assert_ne!(small, project_digest(&full));
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_digest() {
+        let sequential = project_digest(&Project::new(small_control()));
+        let parallel = project_digest(&Project::new(small_control()).with_jobs(8));
+        assert_eq!(sequential, parallel);
+    }
+}

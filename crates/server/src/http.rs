@@ -1,0 +1,541 @@
+//! The std-only HTTP/1.1 front end: `std::net::TcpListener`, a fixed
+//! accept/worker pool, hand-rolled request parsing — no new
+//! dependencies, no `unsafe`.
+//!
+//! Endpoints (all bodies are JSON):
+//!
+//! | method | path           | behaviour                                        |
+//! |--------|----------------|--------------------------------------------------|
+//! | POST   | `/v1/schedule` | spec XML body → the `ezrt schedule --json` object plus `spec_digest` and `cache: "hit"\|"miss"`; `?jobs=N` overrides the synthesis worker count for a miss |
+//! | POST   | `/v1/check`    | spec XML body → parse/validation verdict and spec summary |
+//! | GET    | `/v1/healthz`  | liveness probe                                   |
+//! | GET    | `/v1/stats`    | request and cache counters                       |
+//! | POST   | `/v1/shutdown` | graceful stop: drain workers, join threads       |
+//!
+//! One accept thread pushes connections onto a condvar-guarded queue;
+//! `workers` threads pop and serve one request per connection
+//! (`Connection: close`). Synthesis parallelism is per request — the
+//! server reuses the engine's [`Parallelism`] type, so a single POST
+//! can fan its search out over `jobs` threads while the pool keeps
+//! accepting.
+
+use crate::cache::{compute_outcome, ResultCache};
+use crate::digest::project_digest;
+use crate::report::{self, JsonFields};
+use ezrt_core::Project;
+use ezrt_scheduler::SchedulerConfig;
+use ezrt_tpn::Parallelism;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Upper bound on a request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body (spec XML documents are small).
+const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+/// Per-connection socket timeout: a stalled client cannot pin a worker.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Upper bound on the client-supplied `?jobs=N`: a request may not
+/// conscript more synthesis threads than this, no matter what it asks
+/// for — an unbounded value would let one POST spawn arbitrarily many
+/// threads and size the sharded arena for them.
+const MAX_REQUEST_JOBS: usize = 64;
+
+/// Configuration of [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The base scheduler configuration; its `parallelism` is the
+    /// default per-request synthesis worker count (the CLI's `--jobs`),
+    /// overridable per request with `?jobs=N`.
+    pub scheduler: SchedulerConfig,
+    /// Connection worker threads (each serves one request at a time).
+    pub workers: usize,
+    /// Result-cache bound in completed entries; 0 disables storing
+    /// (singleflight coalescing still applies).
+    pub cache_capacity: usize,
+    /// Cache shard count; 0 picks the default (8).
+    pub cache_shards: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            scheduler: SchedulerConfig::default(),
+            workers: 4,
+            cache_capacity: 1024,
+            cache_shards: 0,
+        }
+    }
+}
+
+/// Shared server state: the cache, the connection queue, the counters.
+#[derive(Debug)]
+struct Shared {
+    addr: SocketAddr,
+    running: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_ready: Condvar,
+    cache: ResultCache,
+    scheduler: SchedulerConfig,
+    workers: usize,
+    started: Instant,
+    requests: AtomicU64,
+    schedule_requests: AtomicU64,
+    http_errors: AtomicU64,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        if self.running.swap(false, Ordering::SeqCst) {
+            // Wake the accept thread out of its blocking accept() with
+            // a throwaway loopback connection, and the workers out of
+            // their queue wait. A wildcard bind (0.0.0.0 / ::) is not a
+            // connectable destination everywhere — substitute the
+            // loopback address of the same family.
+            let mut wake = self.addr;
+            if wake.ip().is_unspecified() {
+                wake.set_ip(match wake.ip() {
+                    std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                    std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+                });
+            }
+            let _ = TcpStream::connect(wake);
+            self.queue_ready.notify_all();
+        }
+    }
+}
+
+/// A running synthesis service. Dropping the handle without calling
+/// [`stop`](Self::stop) or [`wait`](Self::wait) detaches the threads;
+/// both consuming methods join every thread before returning, which is
+/// what the clean-shutdown tests assert on.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// spawns the accept thread plus the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the address cannot be
+    /// parsed or bound.
+    pub fn start(addr: &str, config: ServerConfig) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(addr).map_err(|error| format!("cannot bind {addr}: {error}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|error| format!("cannot resolve local address: {error}"))?;
+        let shards = if config.cache_shards == 0 {
+            8
+        } else {
+            config.cache_shards
+        };
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            addr: local,
+            running: AtomicBool::new(true),
+            queue: Mutex::new(VecDeque::new()),
+            queue_ready: Condvar::new(),
+            cache: ResultCache::new(config.cache_capacity, shards),
+            scheduler: config.scheduler,
+            workers,
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            schedule_requests: AtomicU64::new(0),
+            http_errors: AtomicU64::new(0),
+        });
+
+        let mut threads = Vec::with_capacity(workers + 1);
+        let accept_shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("ezrt-accept".to_owned())
+                .spawn(move || accept_loop(listener, &accept_shared))
+                .map_err(|error| format!("cannot spawn accept thread: {error}"))?,
+        );
+        for index in 0..workers {
+            let worker_shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ezrt-worker-{index}"))
+                    .spawn(move || worker_loop(&worker_shared))
+                    .map_err(|error| format!("cannot spawn worker thread: {error}"))?,
+            );
+        }
+        Ok(Server { shared, threads })
+    }
+
+    /// The bound address (with the OS-assigned port when `:0` was
+    /// requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Initiates shutdown and joins every server thread.
+    pub fn stop(mut self) {
+        self.shared.request_shutdown();
+        self.join_threads();
+    }
+
+    /// Blocks until a `POST /v1/shutdown` flips the running flag, then
+    /// joins every thread.
+    pub fn wait(mut self) {
+        // The accept thread exits exactly when running turns false, so
+        // its join handle is the natural "until shutdown" wait.
+        if !self.threads.is_empty() {
+            let _ = self.threads.remove(0).join();
+        }
+        self.shared.request_shutdown(); // no-op if already requested
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if !shared.running.load(Ordering::SeqCst) {
+            break; // the shutdown wake-up connection lands here
+        }
+        match stream {
+            Ok(stream) => {
+                let mut queue = shared.queue.lock().expect("queue poisoned");
+                queue.push_back(stream);
+                drop(queue);
+                shared.queue_ready.notify_one();
+            }
+            Err(_) => continue,
+        }
+    }
+    // Unblock the workers so they can observe the flag and drain out.
+    shared.queue_ready.notify_all();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if !shared.running.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.queue_ready.wait(queue).expect("queue poisoned");
+            }
+        };
+        let Some(stream) = stream else {
+            return; // shutdown: queue drained, flag down
+        };
+        handle_connection(shared, stream);
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    let response = match read_request(&mut stream) {
+        // A panicking handler (a kernel bug surfacing through a replay
+        // assert, say) must not shrink the pool and must still answer
+        // the client: catch the unwind and convert it to a 500.
+        Ok(request) => {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(shared, &request)))
+                .unwrap_or_else(|_| {
+                    Response::error(500, "internal error while handling the request")
+                })
+        }
+        Err(error) => error,
+    };
+    if response.status >= 400 {
+        shared.http_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = write_response(&mut stream, &response);
+}
+
+/// A parsed request: method, path (query split off), raw body.
+struct Request {
+    method: String,
+    path: String,
+    query: String,
+    body: Vec<u8>,
+}
+
+/// A response about to be serialized; `body` is always JSON.
+struct Response {
+    status: u16,
+    body: String,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Response {
+        Response { status, body }
+    }
+
+    fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            format!("{{\n  \"error\": {}\n}}", report::json_string(message)),
+        )
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads and parses one HTTP/1.1 request. Returns a ready error
+/// `Response` on malformed input so the caller can reply uniformly.
+fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    // Byte-at-a-time until CRLFCRLF: heads are tiny and this keeps the
+    // parser trivially correct about not over-reading into the body.
+    while !head.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(Response::error(400, "connection closed mid-request")),
+            Ok(_) => head.push(byte[0]),
+            Err(_) => return Err(Response::error(408, "timed out reading request head")),
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(Response::error(413, "request head too large"));
+        }
+    }
+    let head = String::from_utf8(head).map_err(|_| Response::error(400, "non-UTF-8 header"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(Response::error(400, "malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(Response::error(400, "unsupported protocol version"));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| Response::error(400, "invalid Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(Response::error(413, "request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|_| Response::error(400, "connection closed mid-body"))?;
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_owned(), query.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+    Ok(Request {
+        method: method.to_owned(),
+        path,
+        query,
+        body,
+    })
+}
+
+fn route(shared: &Shared, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/v1/healthz") => Response::json(200, "{\n  \"status\": \"ok\"\n}".to_owned()),
+        ("GET", "/v1/stats") => stats(shared),
+        ("POST", "/v1/schedule") => schedule(shared, request),
+        ("POST", "/v1/check") => check(request),
+        ("POST", "/v1/shutdown") => {
+            shared.request_shutdown();
+            Response::json(200, "{\n  \"status\": \"shutting down\"\n}".to_owned())
+        }
+        (_, "/v1/healthz" | "/v1/stats" | "/v1/schedule" | "/v1/check" | "/v1/shutdown") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "not found"),
+    }
+}
+
+/// Parses the spec XML body into a project carrying the server's base
+/// scheduler configuration with the request's effective `jobs`.
+fn parse_project(shared: &Shared, request: &Request) -> Result<Project, Response> {
+    let xml = std::str::from_utf8(&request.body)
+        .map_err(|_| Response::error(400, "spec body is not UTF-8"))?;
+    let jobs = match query_value(&request.query, "jobs") {
+        None => shared.scheduler.parallelism,
+        Some(value) => value
+            .parse::<usize>()
+            .ok()
+            .filter(|&jobs| (1..=MAX_REQUEST_JOBS).contains(&jobs))
+            .map(Parallelism::new)
+            .ok_or_else(|| {
+                Response::error(
+                    400,
+                    &format!("jobs expects a number in 1..={MAX_REQUEST_JOBS}, found {value:?}"),
+                )
+            })?,
+    };
+    let project = Project::from_dsl(xml)
+        .map_err(|error| Response::error(400, &error.to_string()))?
+        .with_config(SchedulerConfig {
+            parallelism: jobs,
+            ..shared.scheduler.clone()
+        });
+    Ok(project)
+}
+
+fn schedule(shared: &Shared, request: &Request) -> Response {
+    shared.schedule_requests.fetch_add(1, Ordering::Relaxed);
+    let project = match parse_project(shared, request) {
+        Ok(project) => project,
+        Err(response) => return response,
+    };
+    let digest = project_digest(&project);
+    let (outcome, lookup) = shared
+        .cache
+        .get_or_compute(digest, || compute_outcome(&project, digest));
+    let mut fields: JsonFields = outcome.fields.clone();
+    fields.push(("cache", report::json_string(lookup.as_str())));
+    // Infeasibility is a successful analysis with a negative verdict,
+    // so it is 200 like any other completed synthesis.
+    Response::json(200, report::render_pretty(&fields))
+}
+
+fn check(request: &Request) -> Response {
+    let xml = match std::str::from_utf8(&request.body) {
+        Ok(xml) => xml,
+        Err(_) => return Response::error(400, "spec body is not UTF-8"),
+    };
+    let project = match Project::from_dsl(xml) {
+        Ok(project) => project,
+        Err(error) => {
+            return Response::json(
+                400,
+                format!(
+                    "{{\n  \"ok\": false,\n  \"error\": {}\n}}",
+                    report::json_string(&error.to_string())
+                ),
+            )
+        }
+    };
+    let spec = project.spec();
+    let fields: JsonFields = vec![
+        ("ok", "true".to_owned()),
+        (
+            "spec_digest",
+            report::json_string(&project_digest(&project).to_hex()),
+        ),
+        ("name", report::json_string(spec.name())),
+        ("tasks", spec.task_count().to_string()),
+        ("processors", spec.processors().count().to_string()),
+        ("messages", spec.messages().count().to_string()),
+        ("hyperperiod", spec.hyperperiod().to_string()),
+        ("total_instances", spec.total_instances().to_string()),
+    ];
+    Response::json(200, report::render_pretty(&fields))
+}
+
+fn stats(shared: &Shared) -> Response {
+    let cache = shared.cache.stats();
+    let fields: JsonFields = vec![
+        ("status", "\"ok\"".to_owned()),
+        (
+            "uptime_ms",
+            format!("{:.3}", shared.started.elapsed().as_secs_f64() * 1e3),
+        ),
+        ("workers", shared.workers.to_string()),
+        (
+            "default_jobs",
+            shared.scheduler.parallelism.jobs().to_string(),
+        ),
+        (
+            "requests",
+            shared.requests.load(Ordering::Relaxed).to_string(),
+        ),
+        (
+            "schedule_requests",
+            shared.schedule_requests.load(Ordering::Relaxed).to_string(),
+        ),
+        (
+            "http_errors",
+            shared.http_errors.load(Ordering::Relaxed).to_string(),
+        ),
+        ("cache_capacity", cache.capacity.to_string()),
+        ("cache_entries", cache.entries.to_string()),
+        ("cache_inflight", cache.inflight.to_string()),
+        ("cache_hits", cache.hits.to_string()),
+        ("cache_misses", cache.misses.to_string()),
+        ("cache_joined", cache.joined.to_string()),
+        ("cache_evictions", cache.evictions.to_string()),
+    ];
+    Response::json(200, report::render_pretty(&fields))
+}
+
+/// Extracts `key=value` from a raw query string (no percent-decoding —
+/// the only recognized parameter is numeric).
+fn query_value<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(name, _)| *name == key)
+        .map(|(_, value)| value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_values_parse() {
+        assert_eq!(query_value("jobs=4", "jobs"), Some("4"));
+        assert_eq!(query_value("a=1&jobs=2", "jobs"), Some("2"));
+        assert_eq!(query_value("", "jobs"), None);
+        assert_eq!(query_value("jobs", "jobs"), None);
+    }
+
+    #[test]
+    fn status_texts_cover_the_emitted_codes() {
+        for code in [200, 400, 404, 405, 408, 413, 500] {
+            assert_ne!(status_text(code), "Unknown");
+        }
+    }
+}

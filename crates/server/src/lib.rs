@@ -1,0 +1,59 @@
+//! The ezRealtime synthesis **service**: the one-shot `spec → schedule`
+//! pipeline of [`ezrt_core::Project`] turned into a long-lived,
+//! cache-fronted server plus an offline batch mode.
+//!
+//! The original ezRealtime is a one-shot Eclipse flow. In a CI loop or
+//! a model-editing session the same (or a near-identical) specification
+//! is synthesized over and over; this crate makes the repeat case a
+//! lookup instead of a search:
+//!
+//! * [`digest`] — a stable FNV-1a 64+128 digest over the canonical
+//!   serialization of the parsed spec + scheduler configuration
+//!   ([`Project::canonical_bytes`](ezrt_core::Project::canonical_bytes)),
+//!   so semantically identical XML documents (whitespace, attribute
+//!   order) map to one cache key;
+//! * [`cache`] — a sharded, singleflight [`ResultCache`]: digest →
+//!   `Arc<SynthesisOutcome>` behind per-shard mutexes, where concurrent
+//!   requests for the same digest block on a single in-flight synthesis,
+//!   with size-bounded LRU eviction and hit/miss/join/eviction counters;
+//! * [`http`] — a std-only HTTP/1.1 front end (`std::net::TcpListener`,
+//!   hand-rolled request parsing, zero new dependencies) exposing
+//!   `POST /v1/schedule`, `POST /v1/check`, `GET /v1/healthz`,
+//!   `GET /v1/stats` and `POST /v1/shutdown` over a fixed worker pool;
+//! * [`batch`] — offline fan-out of a directory of spec files through
+//!   the *same* queue + cache, one JSON line per spec;
+//! * [`report`] — the flat-JSON rendering shared with `ezrt schedule
+//!   --json`, so CLI and server outputs are byte-identical and
+//!   join-able by `spec_digest`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ezrt_server::cache::{compute_outcome, ResultCache};
+//! use ezrt_server::digest::project_digest;
+//! use ezrt_core::Project;
+//! use ezrt_spec::corpus::small_control;
+//!
+//! let cache = ResultCache::new(64, 4);
+//! let project = Project::new(small_control());
+//! let digest = project_digest(&project);
+//!
+//! let (first, lookup) = cache.get_or_compute(digest, || compute_outcome(&project, digest));
+//! assert_eq!(lookup.as_str(), "miss");
+//! let (second, lookup) = cache.get_or_compute(digest, || compute_outcome(&project, digest));
+//! assert_eq!(lookup.as_str(), "hit");
+//! assert!(std::sync::Arc::ptr_eq(&first, &second));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod digest;
+pub mod http;
+pub mod report;
+
+pub use cache::{CacheStats, Lookup, ResultCache, SynthesisOutcome};
+pub use digest::SpecDigest;
+pub use http::{Server, ServerConfig};

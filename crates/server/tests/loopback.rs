@@ -1,0 +1,309 @@
+//! Loopback integration tests for the HTTP synthesis service: a real
+//! `TcpListener` on an ephemeral port, a std-only test client, and the
+//! cache behaviours the service exists for — singleflight coalescing,
+//! hit/miss reporting, LRU eviction.
+
+use ezrt_server::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Barrier;
+use std::time::Duration;
+
+/// Sends one HTTP/1.1 request and returns `(status, body)`.
+fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    request_on(stream, method, target, body)
+}
+
+/// Same, over an already-open connection (the singleflight stress test
+/// pre-connects so all requests are in flight together).
+fn request_on(mut stream: TcpStream, method: &str, target: &str, body: &str) -> (u16, String) {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Extracts the rendered value of `key` from a flat JSON body.
+fn field<'a>(body: &'a str, key: &str) -> &'a str {
+    let marker = format!("\"{key}\": ");
+    let start = body.find(&marker).unwrap_or_else(|| {
+        panic!("missing {key} in {body}");
+    }) + marker.len();
+    // One field per line in the pretty rendering: value runs to the
+    // end of the line, minus the separating comma.
+    let rest = &body[start..];
+    let end = rest.find('\n').unwrap_or(rest.len());
+    rest[..end].trim_end().trim_end_matches(',')
+}
+
+fn server(config: ServerConfig) -> Server {
+    Server::start("127.0.0.1:0", config).expect("server starts")
+}
+
+fn small_control_xml() -> String {
+    ezrt_dsl::to_xml(&ezrt_spec::corpus::small_control())
+}
+
+/// A one-task spec whose only distinguishing feature is its name —
+/// cheap to synthesize, distinct digest per name.
+fn tiny_spec_xml(name: &str) -> String {
+    let spec = ezrt_spec::SpecBuilder::new(name)
+        .task("t", |t| t.computation(1).deadline(4).period(4))
+        .build()
+        .expect("tiny spec");
+    ezrt_dsl::to_xml(&spec)
+}
+
+/// A workload whose synthesis takes long enough (tens of thousands of
+/// states against a tight state budget) that concurrently posted
+/// identical requests must join the first one's in-flight search.
+fn heavy_spec_xml() -> String {
+    let spec = ezrt_spec::generate::synthetic_spec(
+        &ezrt_spec::generate::WorkloadConfig {
+            tasks: 10,
+            total_utilization: 0.55,
+            periods: vec![50, 100, 200, 400],
+            preemptive_fraction: 0.0,
+            precedence_probability: 0.1,
+            exclusion_probability: 0.1,
+            constrained_deadlines: true,
+        },
+        11, // the bench's infeasible sweep seed: exhaustion-shaped search
+    );
+    ezrt_dsl::to_xml(&spec)
+}
+
+#[test]
+fn healthz_stats_and_routing() {
+    let server = server(ServerConfig::default());
+    let addr = server.addr();
+
+    let (status, body) = request(addr, "GET", "/v1/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\": \"ok\""), "{body}");
+
+    let (status, body) = request(addr, "GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+    for key in [
+        "uptime_ms",
+        "workers",
+        "cache_hits",
+        "cache_misses",
+        "cache_joined",
+        "cache_evictions",
+        "cache_inflight",
+    ] {
+        assert!(
+            body.contains(&format!("\"{key}\": ")),
+            "missing {key}: {body}"
+        );
+    }
+
+    let (status, _) = request(addr, "GET", "/v1/nonsense", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/v1/schedule", "");
+    assert_eq!(status, 405);
+    let (status, body) = request(addr, "POST", "/v1/schedule", "<nonsense/>");
+    assert_eq!(status, 400);
+    assert!(body.contains("\"error\": "), "{body}");
+    let (status, _) = request(addr, "POST", "/v1/schedule?jobs=zero", &small_control_xml());
+    assert_eq!(status, 400);
+    // The per-request worker count is bounded: a client cannot make one
+    // POST spawn an arbitrary number of synthesis threads.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/schedule?jobs=1000000",
+        &small_control_xml(),
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("jobs expects"), "{body}");
+
+    server.stop();
+}
+
+#[test]
+fn schedule_misses_then_hits_with_a_stable_digest() {
+    let server = server(ServerConfig::default());
+    let addr = server.addr();
+    let xml = small_control_xml();
+
+    let (status, first) = request(addr, "POST", "/v1/schedule", &xml);
+    assert_eq!(status, 200);
+    assert_eq!(field(&first, "feasible"), "true");
+    assert_eq!(field(&first, "cache"), "\"miss\"");
+    let digest = field(&first, "spec_digest").to_owned();
+    assert_eq!(digest.len(), 50, "48 hex chars plus quotes: {digest}");
+
+    // Same document, extra whitespace: same digest, served from cache.
+    let noisy = xml.replace("><", ">\n  <");
+    let (status, second) = request(addr, "POST", "/v1/schedule", &noisy);
+    assert_eq!(status, 200);
+    assert_eq!(field(&second, "cache"), "\"hit\"");
+    assert_eq!(field(&second, "spec_digest"), digest);
+    // Identical bodies except the cache field.
+    assert_eq!(
+        first.replace("\"cache\": \"miss\"", ""),
+        second.replace("\"cache\": \"hit\"", "")
+    );
+
+    // The digest joins with the CLI-side computation.
+    let project = ezrt_core::Project::from_dsl(&xml).expect("spec parses");
+    let expected = ezrt_server::digest::project_digest(&project).to_hex();
+    assert_eq!(digest, format!("\"{expected}\""));
+
+    // /v1/check reports the same digest for the same document.
+    let (status, check) = request(addr, "POST", "/v1/check", &noisy);
+    assert_eq!(status, 200);
+    assert_eq!(field(&check, "ok"), "true");
+    assert_eq!(field(&check, "spec_digest"), digest);
+    assert_eq!(field(&check, "tasks"), "4");
+
+    server.stop();
+}
+
+#[test]
+fn concurrent_identical_requests_singleflight_onto_one_synthesis() {
+    // A tight state budget bounds the search: the synthesis fails fast
+    // and deterministically after ~40k states, long enough (hundreds of
+    // milliseconds unoptimized) that every concurrently posted request
+    // joins the first one's flight.
+    let threads = 6;
+    let server = server(ServerConfig {
+        scheduler: ezrt_scheduler::SchedulerConfig {
+            max_states: 40_000,
+            ..ezrt_scheduler::SchedulerConfig::default()
+        },
+        workers: threads + 2,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let xml = heavy_spec_xml();
+
+    // Pre-connect so all requests hit worker threads simultaneously.
+    let streams: Vec<TcpStream> = (0..threads)
+        .map(|_| TcpStream::connect(addr).expect("connect"))
+        .collect();
+    let barrier = Barrier::new(threads);
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .into_iter()
+            .map(|stream| {
+                let barrier = &barrier;
+                let xml = &xml;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let (status, body) = request_on(stream, "POST", "/v1/schedule", xml);
+                    assert_eq!(status, 200);
+                    body
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Exactly one synthesis ran; every response is byte-identical.
+    let (_, stats) = request(addr, "GET", "/v1/stats", "");
+    assert_eq!(field(&stats, "cache_misses"), "1", "{stats}");
+    assert_eq!(
+        field(&stats, "cache_joined"),
+        (threads - 1).to_string(),
+        "{stats}"
+    );
+    assert_eq!(field(&stats, "cache_inflight"), "0", "{stats}");
+    for body in &bodies[1..] {
+        assert_eq!(body, &bodies[0], "all singleflight bodies identical");
+    }
+    assert_eq!(field(&bodies[0], "cache"), "\"miss\"");
+    assert_eq!(field(&bodies[0], "feasible"), "false");
+
+    // A later request is a plain cache hit.
+    let (_, after) = request(addr, "POST", "/v1/schedule", &xml);
+    assert_eq!(field(&after, "cache"), "\"hit\"");
+
+    server.stop();
+}
+
+#[test]
+fn lru_pressure_re_misses_an_evicted_digest() {
+    // One shard and two entries keep the LRU order fully deterministic.
+    let server = server(ServerConfig {
+        cache_capacity: 2,
+        cache_shards: 1,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let (a, b, c) = (tiny_spec_xml("a"), tiny_spec_xml("b"), tiny_spec_xml("c"));
+
+    assert_eq!(
+        field(&request(addr, "POST", "/v1/schedule", &a).1, "cache"),
+        "\"miss\""
+    );
+    assert_eq!(
+        field(&request(addr, "POST", "/v1/schedule", &b).1, "cache"),
+        "\"miss\""
+    );
+    assert_eq!(
+        field(&request(addr, "POST", "/v1/schedule", &a).1, "cache"),
+        "\"hit\""
+    );
+    // Third distinct digest: evicts b (the least recently used).
+    assert_eq!(
+        field(&request(addr, "POST", "/v1/schedule", &c).1, "cache"),
+        "\"miss\""
+    );
+    assert_eq!(
+        field(&request(addr, "POST", "/v1/schedule", &a).1, "cache"),
+        "\"hit\""
+    );
+    // b was evicted under pressure, so it misses again.
+    assert_eq!(
+        field(&request(addr, "POST", "/v1/schedule", &b).1, "cache"),
+        "\"miss\""
+    );
+
+    let (_, stats) = request(addr, "GET", "/v1/stats", "");
+    assert_eq!(field(&stats, "cache_entries"), "2", "{stats}");
+    let evictions: u64 = field(&stats, "cache_evictions").parse().expect("number");
+    assert!(evictions >= 2, "{stats}");
+
+    server.stop();
+}
+
+#[test]
+fn jobs_query_parallelizes_a_miss_and_shares_the_entry() {
+    let server = server(ServerConfig::default());
+    let addr = server.addr();
+    let xml = small_control_xml();
+
+    let (status, first) = request(addr, "POST", "/v1/schedule?jobs=2", &xml);
+    assert_eq!(status, 200);
+    assert_eq!(field(&first, "jobs"), "2");
+    assert_eq!(field(&first, "cache"), "\"miss\"");
+
+    // The digest ignores jobs, so a jobs=1 request for the same spec is
+    // a hit — and reports the cached run's worker count.
+    let (_, second) = request(addr, "POST", "/v1/schedule", &xml);
+    assert_eq!(field(&second, "cache"), "\"hit\"");
+    assert_eq!(field(&second, "jobs"), "2");
+
+    server.stop();
+}

@@ -16,17 +16,26 @@
 //! ezrt compare   spec.xml             pre-runtime vs online schedulers
 //! ezrt analyze   spec.xml             utilization, demand-bound and RTA verdicts
 //! ezrt invariants spec.xml            place invariants of the translated net
+//! ezrt serve     --addr HOST:PORT     run the HTTP synthesis service
+//! ezrt batch     specs-dir            synthesize a directory, one JSON row per spec
 //! ```
 //!
 //! The global `--jobs N` flag runs the synthesis on `N` worker threads
 //! (default 1, the sequential search); `ezrt schedule --json` emits the
-//! search statistics as one flat JSON object for scripting.
+//! search statistics as one flat JSON object for scripting, including
+//! the `spec_digest` cache key the server and batch rows share, so the
+//! three surfaces are join-able by key.
 //!
 //! All output goes to stdout so results compose with shell pipelines;
 //! diagnostics go to stderr and failures exit nonzero.
 
 use ezrealtime::codegen::Target;
 use ezrealtime::core::Project;
+use ezrealtime::server::batch::{run_batch, BatchOptions};
+use ezrealtime::server::cache::ResultCache;
+use ezrealtime::server::digest::project_digest;
+use ezrealtime::server::report;
+use ezrealtime::server::{Server, ServerConfig};
 use ezrealtime::sim::{simulate_online, OnlinePolicy};
 use std::process::ExitCode;
 
@@ -60,8 +69,19 @@ fn run(args: &[String]) -> Result<(), String> {
         println!("{}", usage());
         return Ok(());
     }
+    // serve and batch take no spec-file argument; route them before the
+    // common load-one-spec path.
+    if command == "serve" {
+        if json {
+            return Err("--json is only supported by `ezrt schedule` and `ezrt batch`".to_owned());
+        }
+        return serve(&mut args, jobs);
+    }
+    if command == "batch" {
+        return batch(&mut args, jobs, json);
+    }
     if json && command != "schedule" {
-        return Err("--json is only supported by `ezrt schedule`".to_owned());
+        return Err("--json is only supported by `ezrt schedule` and `ezrt batch`".to_owned());
     }
     let path = args.get(1).ok_or_else(usage)?;
     let document = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -96,6 +116,8 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 /// Removes `--flag value` from `args`, returning the value when present.
+/// A repeated flag is an error — silently honouring one of two
+/// contradictory values (`--jobs 2 --jobs 4`) would be a footgun.
 fn take_option_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
     let Some(at) = args.iter().position(|a| a == flag) else {
         return Ok(None);
@@ -105,6 +127,9 @@ fn take_option_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String
     }
     let value = args.remove(at + 1);
     args.remove(at);
+    if args.iter().any(|a| a == flag) {
+        return Err(format!("{flag} may only be given once"));
+    }
     Ok(Some(value))
 }
 
@@ -132,10 +157,106 @@ fn usage() -> String {
      \x20 compare   pre-runtime synthesis vs online EDF/RM/DM baselines\n\
      \x20 analyze   analytical schedulability: utilization, demand bound, RTA\n\
      \x20 invariants place invariants (Farkas) of the translated Petri net\n\
+     service commands (no spec.xml argument):\n\
+     \x20 serve     --addr HOST:PORT [--cache-cap N] [--workers W]\n\
+     \x20           run the HTTP synthesis service (POST /v1/schedule,\n\
+     \x20           POST /v1/check, GET /v1/healthz, GET /v1/stats,\n\
+     \x20           POST /v1/shutdown); results are cached by spec digest\n\
+     \x20 batch     <dir> [--json] synthesize every *.xml spec under dir\n\
+     \x20           through the same digest cache, one row per spec\n\
+     \x20           (--jobs fans out files; per-spec search stays sequential)\n\
      global flags:\n\
      \x20 --jobs N  synthesis worker threads (default 1 = sequential;\n\
      \x20           N > 1 races DFS subtrees, first feasible schedule wins)"
         .to_owned()
+}
+
+/// `ezrt serve --addr HOST:PORT [--cache-cap N] [--workers W]`: the
+/// long-lived HTTP synthesis service. The global `--jobs` becomes the
+/// default per-request synthesis parallelism (overridable per request
+/// with `?jobs=N`); `--workers` sizes the connection pool.
+fn serve(args: &mut Vec<String>, jobs: usize) -> Result<(), String> {
+    let addr = take_option_value(args, "--addr")?
+        .ok_or_else(|| format!("serve requires --addr HOST:PORT\n{}", usage()))?;
+    let cache_capacity = match take_option_value(args, "--cache-cap")? {
+        Some(value) => value
+            .parse::<usize>()
+            .map_err(|_| format!("--cache-cap expects a number of entries, found {value:?}"))?,
+        None => 1024,
+    };
+    let workers = match take_option_value(args, "--workers")? {
+        Some(value) => value
+            .parse::<usize>()
+            .ok()
+            .filter(|&workers| workers >= 1)
+            .ok_or_else(|| format!("--workers expects a positive number, found {value:?}"))?,
+        None => 4,
+    };
+    if let Some(extra) = args.get(1) {
+        return Err(format!("serve: unexpected argument {extra:?}"));
+    }
+    let config = ServerConfig {
+        scheduler: ezrealtime::scheduler::SchedulerConfig {
+            parallelism: ezrealtime::scheduler::Parallelism::new(jobs),
+            ..ezrealtime::scheduler::SchedulerConfig::default()
+        },
+        workers,
+        cache_capacity,
+        cache_shards: 0,
+    };
+    let server = Server::start(&addr, config)?;
+    println!("ezrt serve: listening on http://{}", server.addr());
+    println!(
+        "ezrt serve: {workers} worker(s), {jobs} default job(s), cache capacity {cache_capacity}"
+    );
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    server.wait(); // until POST /v1/shutdown; joins every thread
+    println!("ezrt serve: shut down cleanly");
+    Ok(())
+}
+
+/// `ezrt batch <dir> [--json]`: synthesize every `*.xml` spec under a
+/// directory through the same queue + digest cache as the server, one
+/// row per spec. `--jobs` fans the *files* out; each file's synthesis
+/// runs the sequential engine so rows are deterministic and match
+/// standalone `ezrt schedule --json` runs field for field.
+fn batch(args: &mut [String], jobs: usize, json: bool) -> Result<(), String> {
+    let dir = args
+        .get(1)
+        .ok_or_else(|| format!("batch requires a spec directory\n{}", usage()))?;
+    if let Some(extra) = args.get(2) {
+        return Err(format!("batch: unexpected argument {extra:?}"));
+    }
+    let options = BatchOptions {
+        fanout: ezrealtime::scheduler::Parallelism::new(jobs),
+        ..BatchOptions::default()
+    };
+    let cache = ResultCache::new(options.cache_capacity, 8);
+    let rows = run_batch(std::path::Path::new(dir), &options, &cache)?;
+    let mut failures = 0usize;
+    for row in &rows {
+        if json {
+            println!("{}", row.line);
+        } else if row.ok {
+            // A terse human summary; the full counters live in --json.
+            let verdict = if row.line.contains("\"feasible\": true") {
+                "feasible"
+            } else {
+                "infeasible"
+            };
+            println!("{:<28} {verdict}", row.file);
+        } else {
+            println!("{:<28} ERROR", row.file);
+        }
+        if !row.ok {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} spec(s) failed to load"));
+    }
+    Ok(())
 }
 
 fn synthesize(project: &Project) -> Result<ezrealtime::core::Outcome, String> {
@@ -175,62 +296,41 @@ fn check(project: &Project) -> Result<(), String> {
 }
 
 fn schedule(project: &Project, json: bool) -> Result<(), String> {
+    // The digest is the cache key of `ezrt serve` and the join key
+    // across schedule/batch/server outputs; it covers the parsed spec
+    // plus the result-relevant scheduler knobs (never `--jobs`).
+    let digest = project_digest(project);
     let outcome = match project.synthesize() {
         Ok(outcome) => outcome,
         Err(error) => {
             // The scripting contract holds on failure too: one JSON
             // object on stdout (feasible: false plus the search
             // counters), the human-readable diagnostic on stderr, and a
-            // nonzero exit either way.
+            // nonzero exit either way. The rendering is shared with the
+            // server's `/v1/schedule` responses (`ezrt_server::report`).
             if json {
-                let stats = error.stats();
-                println!("{{");
-                println!("  \"feasible\": false,");
-                println!("  \"error\": \"{}\",", json_escape(&error.to_string()));
-                println!("  \"states_visited\": {},", stats.states_visited);
-                println!("  \"dead_states\": {},", stats.dead_states);
-                println!("  \"peak_dead_set_bytes\": {},", stats.dead_set_bytes);
-                println!("  \"states_per_second\": {:.1},", stats.states_per_second());
                 println!(
-                    "  \"wall_time_ms\": {:.3},",
-                    stats.elapsed.as_secs_f64() * 1e3
+                    "{}",
+                    report::render_pretty(&report::failure_fields(&digest, &error))
                 );
-                println!("  \"jobs\": {},", stats.jobs);
-                println!("  \"steals\": {}", stats.steals);
-                println!("}}");
             }
             return Err(format!("schedule synthesis failed: {error}"));
         }
     };
-    let violations = outcome.validate();
     if json {
-        // Hand-rolled JSON (the workspace builds offline, without serde):
-        // one flat object so bench trajectories can be scripted with jq.
-        let stats = &outcome.stats;
-        println!("{{");
-        println!("  \"feasible\": true,");
-        println!("  \"firings\": {},", outcome.schedule.firings().len());
-        println!("  \"makespan\": {},", outcome.schedule.makespan());
-        println!("  \"states_visited\": {},", stats.states_visited);
-        println!("  \"minimum_states\": {},", stats.minimum_states());
-        println!("  \"overhead_ratio\": {:.6},", stats.overhead_ratio());
-        println!("  \"backtracks\": {},", stats.backtracks);
-        println!("  \"pruned_misses\": {},", stats.pruned_misses);
-        println!("  \"pruned_dead\": {},", stats.pruned_dead);
-        println!("  \"dead_states\": {},", stats.dead_states);
-        println!("  \"peak_dead_set_bytes\": {},", stats.dead_set_bytes);
-        println!("  \"states_per_second\": {:.1},", stats.states_per_second());
+        // Hand-rolled JSON (the workspace builds offline, without
+        // serde): one flat object so bench trajectories can be scripted
+        // with jq — rendered by the same `ezrt_server::report` code the
+        // HTTP service uses, so the two outputs are byte-identical.
         println!(
-            "  \"wall_time_ms\": {:.3},",
-            stats.elapsed.as_secs_f64() * 1e3
+            "{}",
+            report::render_pretty(&report::success_fields(&digest, &outcome))
         );
-        println!("  \"jobs\": {},", stats.jobs);
-        println!("  \"steals\": {},", stats.steals);
-        println!("  \"violations\": {}", violations.len());
-        println!("}}");
         return Ok(());
     }
+    let violations = outcome.validate();
     println!("feasible schedule found");
+    println!("  spec digest      {digest}");
     println!("  firings          {}", outcome.schedule.firings().len());
     println!("  makespan         {}", outcome.schedule.makespan());
     println!("  states visited   {}", outcome.stats.states_visited);
@@ -418,23 +518,6 @@ fn invariants(project: &Project) -> Result<(), String> {
         println!("  {} = {}", terms.join(" + "), invariant.value(net));
     }
     Ok(())
-}
-
-/// Escapes a string for inclusion in a JSON string literal.
-fn json_escape(text: &str) -> String {
-    let mut escaped = String::with_capacity(text.len());
-    for c in text.chars() {
-        match c {
-            '"' => escaped.push_str("\\\""),
-            '\\' => escaped.push_str("\\\\"),
-            '\n' => escaped.push_str("\\n"),
-            '\r' => escaped.push_str("\\r"),
-            '\t' => escaped.push_str("\\t"),
-            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
-            c => escaped.push(c),
-        }
-    }
-    escaped
 }
 
 fn parse_number(arg: Option<&String>, default: u64) -> Result<u64, String> {

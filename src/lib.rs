@@ -22,6 +22,9 @@
 //! * [`dsl`] — the `<rt:ez-spec>` XML language (paper Fig. 7).
 //! * [`pnml`] — PNML ISO/IEC 15909-2 interchange (paper §4.1).
 //! * [`core`] — the end-to-end [`core::Project`] pipeline (paper Fig. 6).
+//! * [`server`] — the synthesis service: canonical spec digests, the
+//!   singleflight result cache, the std-only HTTP front end (`ezrt
+//!   serve`) and batch fan-out (`ezrt batch`).
 //!
 //! # Quickstart
 //!
@@ -49,6 +52,7 @@ pub use ezrt_core as core;
 pub use ezrt_dsl as dsl;
 pub use ezrt_pnml as pnml;
 pub use ezrt_scheduler as scheduler;
+pub use ezrt_server as server;
 pub use ezrt_sim as sim;
 pub use ezrt_spec as spec;
 pub use ezrt_tpn as tpn;

@@ -283,6 +283,219 @@ fn invariants_lists_resource_conservation_laws() {
 }
 
 #[test]
+fn repeated_flags_are_rejected() {
+    let file = spec_file();
+    for flags in [
+        &["--jobs", "2", "--jobs", "4"][..],
+        &["--jobs", "2", "--jobs", "2"][..],
+    ] {
+        let output = ezrt()
+            .args(flags)
+            .args(["schedule", file.path.to_str().unwrap()])
+            .output()
+            .expect("runs");
+        assert!(!output.status.success(), "{flags:?} must be rejected");
+        let stderr = String::from_utf8(output.stderr).unwrap();
+        assert!(stderr.contains("--jobs may only be given once"), "{stderr}");
+    }
+}
+
+#[test]
+fn schedule_json_reports_the_spec_digest() {
+    let file = spec_file();
+    let output = ezrt()
+        .args(["schedule", file.path.to_str().unwrap(), "--json"])
+        .output()
+        .expect("runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let fields = parse_flat_json(&stdout);
+    let digest = &fields
+        .iter()
+        .find(|(key, _)| key == "spec_digest")
+        .expect("spec_digest field")
+        .1;
+    let hex = digest.trim_matches('"');
+    assert_eq!(hex.len(), 48, "{digest}");
+    assert!(hex.chars().all(|c| c.is_ascii_hexdigit()), "{digest}");
+
+    // The digest is stable across runs and across `--jobs` (it keys a
+    // shared result cache), so outputs are join-able by it.
+    let again = ezrt()
+        .args([
+            "--jobs",
+            "2",
+            "schedule",
+            file.path.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8(again.stdout).unwrap();
+    assert!(
+        stdout.contains(&format!("\"spec_digest\": {digest}")),
+        "{stdout}"
+    );
+}
+
+/// Parses one flat JSON object (the only shape the CLI emits) into
+/// ordered key → raw-value pairs, respecting quoted strings.
+fn parse_flat_json(text: &str) -> Vec<(String, String)> {
+    let text = text.trim();
+    assert!(
+        text.starts_with('{') && text.ends_with('}'),
+        "not a flat object: {text}"
+    );
+    let mut fields = Vec::new();
+    let mut chars = text[1..text.len() - 1].chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            break;
+        }
+        assert_eq!(chars.next(), Some('"'), "key must be quoted: {text}");
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '"' {
+                break;
+            }
+            key.push(c);
+        }
+        while matches!(chars.peek(), Some(c) if c.is_whitespace() || *c == ':') {
+            chars.next();
+        }
+        let mut value = String::new();
+        if chars.peek() == Some(&'"') {
+            value.push(chars.next().unwrap());
+            let mut escaped = false;
+            for c in chars.by_ref() {
+                value.push(c);
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    break;
+                }
+            }
+        } else {
+            while matches!(chars.peek(), Some(c) if !c.is_whitespace() && *c != ',') {
+                value.push(chars.next().unwrap());
+            }
+        }
+        fields.push((key, value));
+    }
+    fields
+}
+
+/// `ezrt batch --json` rows must match standalone `ezrt schedule
+/// --json` runs field for field: the same key sequence (plus the
+/// batch-only `file` and `cache` envelope) and identical values for
+/// every deterministic field, at any fan-out width.
+#[test]
+fn batch_rows_match_per_file_schedule_json() {
+    let small = ezrealtime::dsl::to_xml(&ezrealtime::spec::corpus::small_control());
+    let overload = ezrealtime::dsl::to_xml(
+        &ezrealtime::spec::SpecBuilder::new("overload")
+            .task("x", |t| t.computation(3).deadline(4).period(4))
+            .task("y", |t| t.computation(2).deadline(4).period(4))
+            .build()
+            .unwrap(),
+    );
+    let dir = std::env::temp_dir().join(format!("ezrt_cli_batch_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("batch dir");
+    std::fs::write(dir.join("a_small.xml"), &small).expect("spec");
+    std::fs::write(dir.join("b_overload.xml"), &overload).expect("spec");
+    std::fs::write(dir.join("c_dup_small.xml"), &small).expect("spec");
+
+    // Timing-dependent fields vary run to run; everything else must
+    // not (per-file batch synthesis is always the sequential engine).
+    let deterministic = |key: &str| key != "states_per_second" && key != "wall_time_ms";
+
+    for jobs in ["1", "3"] {
+        let output = ezrt()
+            .args(["--jobs", jobs, "batch", dir.to_str().unwrap(), "--json"])
+            .output()
+            .expect("runs");
+        assert!(output.status.success(), "jobs={jobs}");
+        let stdout = String::from_utf8(output.stdout).unwrap();
+        let rows: Vec<&str> = stdout.lines().collect();
+        assert_eq!(rows.len(), 3, "{stdout}");
+
+        for (row, file) in rows
+            .iter()
+            .zip(["a_small.xml", "b_overload.xml", "c_dup_small.xml"])
+        {
+            let row_fields = parse_flat_json(row);
+            assert_eq!(row_fields[0].0, "file");
+            assert_eq!(row_fields[0].1, format!("\"{file}\""));
+            assert_eq!(row_fields.last().unwrap().0, "cache");
+
+            let standalone = ezrt()
+                .args(["schedule", dir.join(file).to_str().unwrap(), "--json"])
+                .output()
+                .expect("runs");
+            let schedule_fields = parse_flat_json(&String::from_utf8(standalone.stdout).unwrap());
+
+            // Field-for-field: same keys in the same order…
+            let row_keys: Vec<&str> = row_fields[1..row_fields.len() - 1]
+                .iter()
+                .map(|(key, _)| key.as_str())
+                .collect();
+            let schedule_keys: Vec<&str> = schedule_fields
+                .iter()
+                .map(|(key, _)| key.as_str())
+                .collect();
+            assert_eq!(row_keys, schedule_keys, "{file} (jobs={jobs})");
+            // …and identical deterministic values.
+            for ((key, row_value), (_, schedule_value)) in row_fields[1..row_fields.len() - 1]
+                .iter()
+                .zip(&schedule_fields)
+            {
+                if deterministic(key) {
+                    assert_eq!(
+                        row_value, schedule_value,
+                        "{file} field {key} (jobs={jobs})"
+                    );
+                }
+            }
+        }
+        // Within one sequential batch the duplicate spec hits the cache
+        // of its first occurrence.
+        if jobs == "1" {
+            assert!(rows[0].contains("\"cache\": \"miss\""), "{stdout}");
+            assert!(rows[2].contains("\"cache\": \"hit\""), "{stdout}");
+        }
+    }
+
+    // Human mode summarizes one line per file and still exits zero.
+    let human = ezrt()
+        .args(["batch", dir.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(human.status.success());
+    let stdout = String::from_utf8(human.stdout).unwrap();
+    assert!(stdout.contains("a_small.xml"), "{stdout}");
+    assert!(stdout.contains("infeasible"), "{stdout}");
+
+    // An unreadable spec yields a nonzero exit but still a row per file.
+    std::fs::write(dir.join("d_bad.xml"), "<nonsense/>").expect("spec");
+    let bad = ezrt()
+        .args(["batch", dir.to_str().unwrap(), "--json"])
+        .output()
+        .expect("runs");
+    assert!(!bad.status.success());
+    let stdout = String::from_utf8(bad.stdout).unwrap();
+    assert_eq!(stdout.lines().count(), 4, "{stdout}");
+    assert!(stdout.contains("\"error\": "), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn help_prints_usage_successfully() {
     let output = ezrt().arg("--help").output().expect("runs");
     assert!(output.status.success());

@@ -63,6 +63,26 @@ impl SpecDigest {
     pub fn to_hex(&self) -> String {
         format!("{:032x}{:016x}", self.fnv128, self.fnv64)
     }
+
+    /// Parses the 48-hex-character rendering back into a digest — the
+    /// inverse of [`to_hex`](Self::to_hex). Returns `None` for anything
+    /// that is not exactly 48 hex characters.
+    pub fn from_hex(text: &str) -> Option<SpecDigest> {
+        if text.len() != 48 || !text.chars().all(|c| c.is_ascii_hexdigit()) {
+            return None;
+        }
+        Some(SpecDigest {
+            fnv128: u128::from_str_radix(&text[..32], 16).ok()?,
+            fnv64: u64::from_str_radix(&text[32..], 16).ok()?,
+        })
+    }
+
+    /// Reassembles a digest from its two halves — the disk-cache codec's
+    /// decode path. Pairs with [`fnv128`](Self::fnv128) and
+    /// [`fnv64`](Self::fnv64).
+    pub fn from_halves(fnv128: u128, fnv64: u64) -> SpecDigest {
+        SpecDigest { fnv128, fnv64 }
+    }
 }
 
 impl fmt::Display for SpecDigest {
@@ -135,6 +155,19 @@ mod tests {
             ..SchedulerConfig::default()
         });
         assert_ne!(small, project_digest(&full));
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_junk() {
+        let digest = project_digest(&Project::new(small_control()));
+        assert_eq!(SpecDigest::from_hex(&digest.to_hex()), Some(digest));
+        assert_eq!(
+            SpecDigest::from_halves(digest.fnv128(), digest.fnv64()),
+            digest
+        );
+        assert_eq!(SpecDigest::from_hex(""), None);
+        assert_eq!(SpecDigest::from_hex(&"0".repeat(47)), None);
+        assert_eq!(SpecDigest::from_hex(&"g".repeat(48)), None);
     }
 
     #[test]

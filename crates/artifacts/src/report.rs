@@ -93,6 +93,38 @@ pub fn failure_fields(digest: &SpecDigest, error: &SynthesizeError) -> JsonField
     ]
 }
 
+/// Every field key the outcome renderers above can emit, as `'static`
+/// strings. The disk-cache codec decodes keys through this table so a
+/// persisted [`JsonFields`] list can be rebuilt without leaking memory;
+/// an unknown key means the file was written by an incompatible build
+/// and the entry is discarded (re-synthesized) rather than guessed at.
+pub const FIELD_KEYS: &[&str] = &[
+    "feasible",
+    "spec_digest",
+    "error",
+    "firings",
+    "makespan",
+    "states_visited",
+    "minimum_states",
+    "overhead_ratio",
+    "backtracks",
+    "pruned_misses",
+    "pruned_dead",
+    "dead_states",
+    "peak_dead_set_bytes",
+    "states_per_second",
+    "wall_time_ms",
+    "jobs",
+    "steals",
+    "violations",
+];
+
+/// Interns `name` to its `'static` counterpart in [`FIELD_KEYS`], or
+/// `None` when the key is not one the renderers emit.
+pub fn static_key(name: &str) -> Option<&'static str> {
+    FIELD_KEYS.iter().find(|key| **key == name).copied()
+}
+
 /// Renders the fields as the CLI's pretty flat object: one key per
 /// line, two-space indent, no trailing comma, no trailing newline.
 pub fn render_pretty(fields: &[(&'static str, String)]) -> String {
@@ -155,6 +187,26 @@ mod tests {
         assert!(!line.contains('\n'));
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"makespan\": "));
+    }
+
+    #[test]
+    fn every_rendered_key_is_internable() {
+        let project = Project::new(small_control());
+        let digest = project_digest(&project);
+        let outcome = project.synthesize().expect("feasible");
+        for (key, _) in success_fields(&digest, &outcome) {
+            assert_eq!(static_key(key), Some(key), "success key {key}");
+        }
+        use ezrt_scheduler::SchedulerConfig;
+        let failing = Project::new(small_control()).with_config(SchedulerConfig {
+            max_states: 1,
+            ..SchedulerConfig::default()
+        });
+        let error = failing.synthesize().expect_err("state budget of one");
+        for (key, _) in failure_fields(&digest, &error) {
+            assert_eq!(static_key(key), Some(key), "failure key {key}");
+        }
+        assert_eq!(static_key("not-a-field"), None);
     }
 
     #[test]

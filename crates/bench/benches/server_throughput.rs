@@ -1,40 +1,113 @@
 //! Experiment X6 — service throughput: requests/second through the
 //! `ezrt serve` HTTP front end over loopback, cached hits versus
-//! uncached misses on the paper's mine-pump specification.
+//! uncached misses on the paper's mine-pump specification, plus the
+//! artifact tiers: memory hit vs disk-tier hit vs full-synthesis miss
+//! for `POST /v1/table`.
 //!
-//! The uncached arm posts a fresh spec per request (the name is part of
+//! The uncached arms post a fresh spec per request (the name is part of
 //! the canonical digest, so renaming forces a miss and a full
-//! synthesis); the cached arm re-posts one spec whose result is
-//! resident. The gap is the whole point of the result cache: a CI loop
-//! or editing session re-submitting the same model should pay HTTP +
-//! lookup, not HTTP + state-space search.
+//! synthesis); the cached arms re-post one resident spec. The client
+//! keeps its connection alive (`Content-Length`-delimited reads,
+//! transparent reconnect when the server recycles a connection at its
+//! per-connection request cap), so the measured gap is lookup cost, not
+//! connection setup.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ezrt_server::{Server, ServerConfig};
 use std::hint::black_box;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
-fn post_schedule(addr: SocketAddr, body: &str) -> String {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(120)))
-        .expect("read timeout");
-    let head = format!(
-        "POST /v1/schedule HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes()).expect("write head");
-    stream.write_all(body.as_bytes()).expect("write body");
-    let mut response = String::new();
-    stream.read_to_string(&mut response).expect("read response");
-    assert!(
-        response.starts_with("HTTP/1.1 200"),
-        "unexpected response: {}",
-        response.lines().next().unwrap_or_default()
-    );
-    response
+/// A keep-alive HTTP client: one persistent connection, responses read
+/// exactly by `Content-Length`, reconnecting when the server announces
+/// `Connection: close` (its per-connection request cap).
+struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    fn new(addr: SocketAddr) -> Client {
+        Client { addr, stream: None }
+    }
+
+    fn connect(addr: SocketAddr) -> TcpStream {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("read timeout");
+        // Without TCP_NODELAY, Nagle + delayed ACK stall each
+        // request/response round-trip by tens of milliseconds.
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+    }
+
+    fn request(&mut self, method: &str, target: &str, body: &str) -> String {
+        // A held connection may have been idle-closed by the server
+        // (KEEP_ALIVE_IDLE) between bench phases — retry once on a
+        // fresh connection instead of panicking on the stale one.
+        if let Some(mut stream) = self.stream.take() {
+            if let Some((body, close)) = Self::try_request(&mut stream, method, target, body) {
+                if !close {
+                    self.stream = Some(stream);
+                }
+                return body;
+            }
+        }
+        let mut stream = Self::connect(self.addr);
+        let (body, close) =
+            Self::try_request(&mut stream, method, target, body).expect("fresh-connection request");
+        if !close {
+            self.stream = Some(stream);
+        }
+        body
+    }
+
+    /// One request/response exchange; `None` on any transport failure
+    /// (so the caller can reconnect), a panic on a non-200 status (a
+    /// real server-side problem the bench must not paper over).
+    fn try_request(
+        stream: &mut TcpStream,
+        method: &str,
+        target: &str,
+        body: &str,
+    ) -> Option<(String, bool)> {
+        let mut message = format!(
+            "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        message.extend_from_slice(body.as_bytes());
+        stream.write_all(&message).ok()?;
+
+        let mut raw = Vec::new();
+        let mut byte = [0u8; 1];
+        while !raw.ends_with(b"\r\n\r\n") {
+            match stream.read(&mut byte) {
+                Ok(0) | Err(_) => return None,
+                Ok(_) => raw.push(byte[0]),
+            }
+        }
+        let head = String::from_utf8(raw).expect("UTF-8 headers");
+        assert!(
+            head.starts_with("HTTP/1.1 200"),
+            "unexpected response: {}",
+            head.lines().next().unwrap_or_default()
+        );
+        let content_length: usize = head
+            .lines()
+            .find_map(|line| line.strip_prefix("Content-Length: "))
+            .and_then(|value| value.trim().parse().ok())
+            .expect("Content-Length header");
+        let mut body = vec![0u8; content_length];
+        stream.read_exact(&mut body).ok()?;
+        Some((
+            String::from_utf8(body).expect("UTF-8 body"),
+            head.contains("Connection: close"),
+        ))
+    }
 }
 
 /// A mine-pump document whose digest is unique per `index` (the spec
@@ -48,36 +121,39 @@ fn mine_pump_variant(index: usize) -> String {
     )
 }
 
+fn rps(requests: usize, wall: Duration) -> f64 {
+    requests as f64 / wall.as_secs_f64()
+}
+
 fn report_cached_vs_uncached(addr: SocketAddr) {
+    let mut client = Client::new(addr);
     let base = mine_pump_variant(usize::MAX);
 
     // Prime the cached arm (and warm the connection path).
-    let primed = post_schedule(addr, &base);
+    let primed = client.request("POST", "/v1/schedule", &base);
     assert!(primed.contains("\"cache\": \"miss\""), "{primed}");
 
     const UNCACHED_REQUESTS: usize = 20;
     let started = Instant::now();
     for index in 0..UNCACHED_REQUESTS {
-        let response = post_schedule(addr, &mine_pump_variant(index));
+        let response = client.request("POST", "/v1/schedule", &mine_pump_variant(index));
         debug_assert!(response.contains("\"cache\": \"miss\""));
     }
-    let uncached_wall = started.elapsed();
-    let uncached_rps = UNCACHED_REQUESTS as f64 / uncached_wall.as_secs_f64();
+    let uncached_rps = rps(UNCACHED_REQUESTS, started.elapsed());
 
     const CACHED_REQUESTS: usize = 400;
     let started = Instant::now();
     for _ in 0..CACHED_REQUESTS {
-        black_box(post_schedule(addr, &base));
+        black_box(client.request("POST", "/v1/schedule", &base));
     }
     let cached_wall = started.elapsed();
-    let cached_rps = CACHED_REQUESTS as f64 / cached_wall.as_secs_f64();
+    let cached_rps = rps(CACHED_REQUESTS, cached_wall);
 
     let speedup = cached_rps / uncached_rps.max(1e-9);
     eprintln!(
-        "[X6] server throughput (mine pump, loopback): \
-         uncached {uncached_rps:.0} req/s ({:.2} ms/req) vs cached {cached_rps:.0} req/s \
-         ({:.3} ms/req) — {speedup:.1}x{}",
-        uncached_wall.as_secs_f64() * 1e3 / UNCACHED_REQUESTS as f64,
+        "[X6] server throughput (mine pump, loopback, keep-alive): \
+         uncached {uncached_rps:.0} req/s vs cached {cached_rps:.0} req/s \
+         ({:.3} ms/hit) — {speedup:.1}x{}",
         cached_wall.as_secs_f64() * 1e3 / CACHED_REQUESTS as f64,
         if speedup >= 10.0 {
             ""
@@ -87,7 +163,81 @@ fn report_cached_vs_uncached(addr: SocketAddr) {
     );
 }
 
+/// The artifact tiers on `POST /v1/table`: a full-synthesis miss, a
+/// memory hit, and a disk-tier hit (a server with zero memory capacity
+/// over a warm `--cache-dir`, so every request decodes the persisted
+/// outcome and re-renders — the restarted-server steady state).
+fn report_artifact_tiers(cache_dir: &Path) {
+    let base = mine_pump_variant(usize::MAX);
+
+    let memory_server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            cache_capacity: 4096,
+            cache_dir: Some(cache_dir.to_path_buf()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("memory-tier server starts");
+    let mut client = Client::new(memory_server.addr());
+
+    const MISS_REQUESTS: usize = 10;
+    let started = Instant::now();
+    for index in 0..MISS_REQUESTS {
+        black_box(client.request("POST", "/v1/table", &mine_pump_variant(1_000 + index)));
+    }
+    let miss_rps = rps(MISS_REQUESTS, started.elapsed());
+
+    // Prime, then measure pure memory hits.
+    client.request("POST", "/v1/table", &base);
+    const HIT_REQUESTS: usize = 300;
+    let started = Instant::now();
+    for _ in 0..HIT_REQUESTS {
+        black_box(client.request("POST", "/v1/table", &base));
+    }
+    let memory_rps = rps(HIT_REQUESTS, started.elapsed());
+    drop(client);
+    memory_server.stop();
+
+    // Zero memory capacity over the same (now warm) directory: every
+    // request is a disk revival, never a synthesis.
+    let disk_server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            cache_capacity: 0,
+            cache_dir: Some(cache_dir.to_path_buf()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("disk-tier server starts");
+    let mut client = Client::new(disk_server.addr());
+    const DISK_REQUESTS: usize = 100;
+    let started = Instant::now();
+    for _ in 0..DISK_REQUESTS {
+        black_box(client.request("POST", "/v1/table", &base));
+    }
+    let disk_rps = rps(DISK_REQUESTS, started.elapsed());
+    let stats = client.request("GET", "/v1/stats", "");
+    assert!(
+        stats.contains("\"cache_misses\": 0"),
+        "disk-tier arm must never synthesize: {stats}"
+    );
+    drop(client);
+    disk_server.stop();
+
+    eprintln!(
+        "[X6b] artifact tiers (POST /v1/table, mine pump): \
+         miss {miss_rps:.0} req/s vs disk hit {disk_rps:.0} req/s vs \
+         memory hit {memory_rps:.0} req/s — disk {:.0}x over miss, memory {:.1}x over disk",
+        disk_rps / miss_rps.max(1e-9),
+        memory_rps / disk_rps.max(1e-9),
+    );
+}
+
 fn bench_server_throughput(c: &mut Criterion) {
+    let cache_dir = std::env::temp_dir().join(format!("ezrt_bench_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
     let server = Server::start(
         "127.0.0.1:0",
         ServerConfig {
@@ -99,23 +249,34 @@ fn bench_server_throughput(c: &mut Criterion) {
     let addr = server.addr();
 
     report_cached_vs_uncached(addr);
+    report_artifact_tiers(&cache_dir);
 
     let mut group = c.benchmark_group("server_throughput");
     group.sample_size(20);
     let base = mine_pump_variant(usize::MAX); // resident since the report
+    let client = std::cell::RefCell::new(Client::new(addr));
     group.bench_function("schedule_cached_hit", |b| {
-        b.iter(|| black_box(post_schedule(addr, &base)))
+        b.iter(|| black_box(client.borrow_mut().request("POST", "/v1/schedule", &base)))
+    });
+    group.bench_function("table_cached_hit", |b| {
+        b.iter(|| black_box(client.borrow_mut().request("POST", "/v1/table", &base)))
     });
     let fresh_index = std::sync::atomic::AtomicUsize::new(1_000_000);
     group.bench_function("schedule_uncached_miss", |b| {
         b.iter(|| {
             let index = fresh_index.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            black_box(post_schedule(addr, &mine_pump_variant(index)))
+            black_box(client.borrow_mut().request(
+                "POST",
+                "/v1/schedule",
+                &mine_pump_variant(index),
+            ))
         })
     });
     group.finish();
+    drop(client);
 
     server.stop();
+    let _ = std::fs::remove_dir_all(&cache_dir);
 }
 
 criterion_group!(benches, bench_server_throughput);

@@ -153,10 +153,41 @@ pub struct Outcome {
     pub table: ScheduleTable,
 }
 
+/// The owned pieces of an [`Outcome`], for layers that rehome them into
+/// their own types (the artifact layer's `SynthesisOutcome` keeps the
+/// spec and schedule for cache persistence and re-derives the rest).
+#[derive(Debug, Clone)]
+pub struct OutcomeParts {
+    /// The specification the outcome belongs to.
+    pub spec: EzSpec,
+    /// The translated net with its semantic maps.
+    pub tasknet: TaskNet,
+    /// The feasible firing schedule.
+    pub schedule: FeasibleSchedule,
+    /// Search statistics.
+    pub stats: SearchStats,
+    /// The task-level execution timeline.
+    pub timeline: Timeline,
+    /// The Fig. 8 schedule table.
+    pub table: ScheduleTable,
+}
+
 impl Outcome {
     /// The specification the outcome belongs to.
     pub fn spec(&self) -> &EzSpec {
         &self.spec
+    }
+
+    /// Decomposes the outcome into its owned parts.
+    pub fn into_parts(self) -> OutcomeParts {
+        OutcomeParts {
+            spec: self.spec,
+            tasknet: self.tasknet,
+            schedule: self.schedule,
+            stats: self.stats,
+            timeline: self.timeline,
+            table: self.table,
+        }
     }
 
     /// Generates the scheduled C code for `target` (paper §4.4.2).

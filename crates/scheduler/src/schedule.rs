@@ -41,12 +41,22 @@ impl FeasibleSchedule {
         FeasibleSchedule { firings }
     }
 
-    /// Assembles a schedule from raw firings without searching. Intended
-    /// for tests and benchmark fixtures; real schedules come from
+    /// Assembles a schedule from raw firings **without searching**,
+    /// bypassing the feasible-by-construction guarantee — the caller
+    /// owns the feasibility obligation. The disk-cache decode path
+    /// (`ezrt_artifacts::codec`) uses this and then replays the result
+    /// through the `ezrt_sim::replay` net-semantics oracle before
+    /// trusting it; anything else should get schedules from
     /// [`synthesize`](crate::synthesize).
+    pub fn from_firings(firings: Vec<ScheduledFiring>) -> Self {
+        FeasibleSchedule { firings }
+    }
+
+    /// [`from_firings`](Self::from_firings) under its historical
+    /// test-fixture name.
     #[doc(hidden)]
     pub fn new_for_tests(firings: Vec<ScheduledFiring>) -> Self {
-        FeasibleSchedule { firings }
+        Self::from_firings(firings)
     }
 
     /// The firings in order.

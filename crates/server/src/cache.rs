@@ -1,84 +1,44 @@
 //! The content-addressed result cache: digest → `Arc<SynthesisOutcome>`
 //! behind N mutex-guarded shards (the same sharding shape as
 //! `ezrt_tpn::ShardedArena`), with **singleflight** in-flight
-//! coalescing and size-bounded LRU eviction.
+//! coalescing, size-bounded LRU eviction, and an optional
+//! **disk tier** ([`DiskTier`]) entries spill to and warm-start from.
 //!
 //! Singleflight: when several requests arrive for the same digest while
 //! no entry exists, exactly one of them runs the synthesis; the others
 //! block on the in-flight slot and receive the same `Arc` when it
 //! completes. A completed entry is served without blocking anyone.
 //!
-//! Reporting: a request served from a *completed* entry is a `hit`;
-//! a request that started **or waited on** an in-flight synthesis is a
-//! `miss` (its latency included the search), so all concurrent
-//! first-requests for one digest produce byte-identical responses.
+//! Tiering: a request that misses memory consults the disk tier (when
+//! configured) before synthesizing — still under the singleflight slot,
+//! so concurrent requests share one disk load exactly as they would
+//! share one synthesis. A fresh synthesis is persisted to disk after it
+//! completes, so a restarted process (or another process sharing the
+//! directory) finds it.
+//!
+//! Reporting: a request served from a *completed* memory entry is a
+//! `hit`; one revived from the disk tier is a `disk`; a request that
+//! started **or waited on** an in-flight synthesis is a `miss` (its
+//! latency included the search). Joiners always report the flight
+//! owner's resolution (`miss` for a synthesis, `disk` for a revival),
+//! so all concurrent first-requests for one digest produce
+//! byte-identical responses.
 
 use crate::digest::SpecDigest;
-use crate::report::{self, JsonFields};
-use ezrt_core::Project;
-use ezrt_scheduler::{FeasibleSchedule, SearchStats};
+use crate::disk::{DiskStats, DiskTier};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-/// Everything one synthesis run produced, cached under its digest: the
-/// schedule (when feasible), the search statistics, the replay verdict
-/// of the net-semantics oracle, and the pre-rendered flat-JSON fields
-/// every surface serves.
-#[derive(Debug)]
-pub struct SynthesisOutcome {
-    /// The digest this outcome is keyed under.
-    pub digest: SpecDigest,
-    /// Whether a feasible schedule was found.
-    pub feasible: bool,
-    /// The shared flat-JSON field list (`ezrt schedule --json` plus
-    /// `spec_digest`); the server appends its `cache` field per
-    /// response, so cached bodies stay byte-identical per lookup kind.
-    pub fields: JsonFields,
-    /// The search counters of the run that produced this outcome.
-    pub stats: SearchStats,
-    /// `Some(true)` when the schedule replayed cleanly through the
-    /// `ezrt_sim::replay` net-semantics oracle, `Some(false)` when it
-    /// did not (a kernel bug), `None` for infeasible outcomes.
-    pub replay_ok: Option<bool>,
-    /// The feasible firing schedule, kept so future endpoints (code
-    /// generation, Gantt) can serve from cache without re-searching.
-    pub schedule: Option<FeasibleSchedule>,
-}
-
-/// Runs the synthesis for `project` and packages the result for the
-/// cache: search, spec-level validation (the `violations` field),
-/// net-level replay verdict, rendered JSON fields.
-pub fn compute_outcome(project: &Project, digest: SpecDigest) -> SynthesisOutcome {
-    match project.synthesize() {
-        Ok(outcome) => {
-            let replay_ok = ezrt_sim::replay::replay(&outcome.tasknet, &outcome.schedule).is_ok();
-            let fields = report::success_fields(&digest, &outcome);
-            SynthesisOutcome {
-                digest,
-                feasible: true,
-                fields,
-                stats: outcome.stats.clone(),
-                replay_ok: Some(replay_ok),
-                schedule: Some(outcome.schedule),
-            }
-        }
-        Err(error) => SynthesisOutcome {
-            digest,
-            feasible: false,
-            fields: report::failure_fields(&digest, &error),
-            stats: error.stats().clone(),
-            replay_ok: None,
-            schedule: None,
-        },
-    }
-}
+pub use ezrt_artifacts::outcome::{compute_outcome, SynthesisOutcome};
 
 /// How a [`ResultCache::get_or_compute`] call was served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Lookup {
-    /// Served from a completed cache entry.
+    /// Served from a completed in-memory cache entry.
     Hit,
+    /// Revived from the disk tier (no synthesis ran).
+    Disk,
     /// This call ran the synthesis.
     Miss,
     /// This call waited on another call's in-flight synthesis.
@@ -86,14 +46,16 @@ pub enum Lookup {
 }
 
 impl Lookup {
-    /// The `cache` field value: `"hit"` for completed entries, `"miss"`
-    /// whenever the request's latency included a synthesis
-    /// ([`Miss`](Self::Miss) and [`Joined`](Self::Joined) alike — so
-    /// concurrent identical
+    /// The `cache` field value: `"hit"` for completed memory entries,
+    /// `"disk"` for entries revived from the disk tier (whether this
+    /// call ran the revival or joined it), `"miss"` whenever the
+    /// request's latency included a synthesis ([`Miss`](Self::Miss)
+    /// and [`Joined`](Self::Joined) alike — so concurrent identical
     /// requests all serve byte-identical bodies).
     pub fn as_str(self) -> &'static str {
         match self {
             Lookup::Hit => "hit",
+            Lookup::Disk => "disk",
             Lookup::Miss | Lookup::Joined => "miss",
         }
     }
@@ -102,19 +64,21 @@ impl Lookup {
 /// A point-in-time snapshot of the cache counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Requests served from a completed entry.
+    /// Requests served from a completed memory entry.
     pub hits: u64,
+    /// Requests revived from the disk tier without a synthesis.
+    pub disk_hits: u64,
     /// Synthesis runs started (one per singleflight group).
     pub misses: u64,
     /// Requests that waited on another request's in-flight synthesis.
     pub joined: u64,
     /// Entries evicted under LRU pressure.
     pub evictions: u64,
-    /// Completed entries currently resident.
+    /// Completed entries currently resident in memory.
     pub entries: usize,
     /// Syntheses currently in flight.
     pub inflight: usize,
-    /// The configured entry bound (0 = caching disabled).
+    /// The configured entry bound (0 = memory caching disabled).
     pub capacity: usize,
 }
 
@@ -135,7 +99,10 @@ struct Inflight {
 #[derive(Debug)]
 enum InflightSlot {
     Pending,
-    Done(Arc<SynthesisOutcome>),
+    /// The finished outcome plus how the owner resolved it
+    /// ([`Lookup::Miss`] or [`Lookup::Disk`]) — joiners report the same
+    /// resolution so all coalesced responses carry one `cache` value.
+    Done(Arc<SynthesisOutcome>, Lookup),
     /// The computing call panicked; waiters retry from scratch.
     Abandoned,
 }
@@ -146,7 +113,8 @@ struct Shard {
     inflight: HashMap<SpecDigest, Arc<Inflight>>,
 }
 
-/// The sharded singleflight LRU cache. See the [module docs](self).
+/// The sharded singleflight LRU cache with an optional disk tier. See
+/// the [module docs](self).
 #[derive(Debug)]
 pub struct ResultCache {
     shards: Vec<Mutex<Shard>>,
@@ -155,33 +123,51 @@ pub struct ResultCache {
     /// zero disables storing (singleflight coalescing still applies).
     capacity: usize,
     per_shard_capacity: usize,
+    /// The persistent tier, when configured.
+    disk: Option<DiskTier>,
     /// Global LRU clock, bumped on every hit and insert.
     tick: AtomicU64,
     hits: AtomicU64,
+    disk_hits: AtomicU64,
     misses: AtomicU64,
     joined: AtomicU64,
     evictions: AtomicU64,
 }
 
 impl ResultCache {
-    /// A cache bounded to `capacity` completed entries across `shards`
-    /// mutex-guarded shards (rounded up to a power of two, minimum 1).
-    /// `capacity == 0` disables storing entirely: every request misses,
-    /// but concurrent identical requests still coalesce onto one
-    /// in-flight synthesis.
+    /// A memory-only cache bounded to `capacity` completed entries
+    /// across `shards` mutex-guarded shards (rounded up to a power of
+    /// two, minimum 1). `capacity == 0` disables storing entirely:
+    /// every request misses, but concurrent identical requests still
+    /// coalesce onto one in-flight synthesis.
     pub fn new(capacity: usize, shards: usize) -> ResultCache {
+        ResultCache::with_disk(capacity, shards, None)
+    }
+
+    /// Same, with an optional disk tier misses consult (and completed
+    /// syntheses persist to) — `--cache-dir`. The disk tier works even
+    /// with `capacity == 0`: nothing is retained in memory, but every
+    /// request after the first is a disk revival instead of a search.
+    pub fn with_disk(capacity: usize, shards: usize, disk: Option<DiskTier>) -> ResultCache {
         let shards = shards.max(1).next_power_of_two();
         ResultCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             shard_mask: shards as u64 - 1,
             capacity,
             per_shard_capacity: capacity.div_ceil(shards),
+            disk,
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             joined: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The disk tier's counters, when one is configured.
+    pub fn disk_stats(&self) -> Option<DiskStats> {
+        self.disk.as_ref().map(DiskTier::stats)
     }
 
     fn shard(&self, digest: &SpecDigest) -> &Mutex<Shard> {
@@ -195,7 +181,8 @@ impl ResultCache {
 
     /// Looks `digest` up, running `compute` under singleflight on a
     /// miss: of all concurrent callers for one absent digest, exactly
-    /// one executes `compute`; the rest block and share its `Arc`.
+    /// one executes `compute` (or revives the disk entry); the rest
+    /// block and share its `Arc`.
     ///
     /// # Panics
     ///
@@ -228,13 +215,28 @@ impl ResultCache {
                         });
                         shard.inflight.insert(digest, Arc::clone(&flight));
                         drop(shard);
-                        self.misses.fetch_add(1, Ordering::Relaxed);
-                        let outcome = self.run_compute(
-                            digest,
-                            &flight,
-                            compute.take().expect("compute consumed once"),
-                        );
-                        return (outcome, Lookup::Miss);
+                        // The disk tier is consulted *inside* the
+                        // guarded flight, so concurrent requests share
+                        // one load exactly as they would share one
+                        // synthesis — and a panic anywhere in the
+                        // decode/revival path abandons the slot instead
+                        // of wedging the digest forever.
+                        let produce = compute.take().expect("compute consumed once");
+                        let (outcome, lookup) = self.run_compute(digest, &flight, || {
+                            if let Some(revived) = self.disk.as_ref().and_then(|d| d.load(&digest))
+                            {
+                                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                                return (revived, Lookup::Disk);
+                            }
+                            self.misses.fetch_add(1, Ordering::Relaxed);
+                            (produce(), Lookup::Miss)
+                        });
+                        if lookup == Lookup::Miss {
+                            if let Some(disk) = &self.disk {
+                                disk.store(&outcome);
+                            }
+                        }
+                        return (outcome, lookup);
                     }
                 }
             };
@@ -245,9 +247,18 @@ impl ResultCache {
                     InflightSlot::Pending => {
                         slot = flight.completed.wait(slot).expect("inflight slot poisoned");
                     }
-                    InflightSlot::Done(outcome) => {
+                    InflightSlot::Done(outcome, resolved) => {
                         self.joined.fetch_add(1, Ordering::Relaxed);
-                        return (Arc::clone(outcome), Lookup::Joined);
+                        // Report the owner's resolution so every
+                        // coalesced response is byte-identical: a
+                        // joined synthesis is a "miss" (the latency
+                        // included the search), a joined disk revival
+                        // is a "disk".
+                        let lookup = match resolved {
+                            Lookup::Disk => Lookup::Disk,
+                            _ => Lookup::Joined,
+                        };
+                        return (Arc::clone(outcome), lookup);
                     }
                     InflightSlot::Abandoned => break, // retry from the top
                 }
@@ -255,16 +266,37 @@ impl ResultCache {
         }
     }
 
-    /// Runs `compute` for an in-flight slot this call owns, publishes
-    /// the result, and cleans the slot up even if `compute` panics.
+    /// Read-only lookup for the artifact endpoints: a completed memory
+    /// entry, else a disk revival (published into memory), else `None`.
+    /// Never joins an in-flight synthesis and never computes — an
+    /// in-flight digest with no disk entry reads as absent.
+    pub fn lookup(&self, digest: SpecDigest) -> Option<(Arc<SynthesisOutcome>, Lookup)> {
+        {
+            let mut shard = self.shard(&digest).lock().expect("cache shard poisoned");
+            if let Some(entry) = shard.entries.get_mut(&digest) {
+                entry.last_used = self.next_tick();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some((Arc::clone(&entry.outcome), Lookup::Hit));
+            }
+        }
+        let revived = self.disk.as_ref().and_then(|d| d.load(&digest))?;
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        let outcome = Arc::new(revived);
+        self.insert_completed(digest, &outcome);
+        Some((outcome, Lookup::Disk))
+    }
+
+    /// Runs `produce` (disk revival or synthesis) for an in-flight slot
+    /// this call owns, publishes the result with its resolution, and
+    /// cleans the slot up even if `produce` panics.
     fn run_compute<F>(
         &self,
         digest: SpecDigest,
         flight: &Arc<Inflight>,
-        compute: F,
-    ) -> Arc<SynthesisOutcome>
+        produce: F,
+    ) -> (Arc<SynthesisOutcome>, Lookup)
     where
-        F: FnOnce() -> SynthesisOutcome,
+        F: FnOnce() -> (SynthesisOutcome, Lookup),
     {
         /// Unwind guard: if `compute` panics, mark the slot abandoned
         /// and wake the waiters so they retry instead of hanging.
@@ -298,37 +330,46 @@ impl ResultCache {
             flight,
             armed: true,
         };
-        let outcome = Arc::new(compute());
+        let (outcome, lookup) = produce();
+        let outcome = Arc::new(outcome);
         guard.armed = false;
 
+        self.insert_completed(digest, &outcome);
         let mut shard = self.shard(&digest).lock().expect("cache shard poisoned");
-        if self.capacity > 0 {
-            let tick = self.next_tick();
-            shard.entries.insert(
-                digest,
-                Entry {
-                    outcome: Arc::clone(&outcome),
-                    last_used: tick,
-                },
-            );
-            while shard.entries.len() > self.per_shard_capacity {
-                let oldest = shard
-                    .entries
-                    .iter()
-                    .min_by_key(|(_, entry)| entry.last_used)
-                    .map(|(digest, _)| *digest)
-                    .expect("non-empty over-capacity shard");
-                shard.entries.remove(&oldest);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-            }
-        }
         shard.inflight.remove(&digest);
         drop(shard);
 
         let mut slot = flight.slot.lock().expect("inflight slot poisoned");
-        *slot = InflightSlot::Done(Arc::clone(&outcome));
+        *slot = InflightSlot::Done(Arc::clone(&outcome), lookup);
         flight.completed.notify_all();
-        outcome
+        (outcome, lookup)
+    }
+
+    /// Inserts a completed outcome into its memory shard (when memory
+    /// caching is enabled), LRU-evicting over capacity.
+    fn insert_completed(&self, digest: SpecDigest, outcome: &Arc<SynthesisOutcome>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let tick = self.next_tick();
+        let mut shard = self.shard(&digest).lock().expect("cache shard poisoned");
+        shard.entries.insert(
+            digest,
+            Entry {
+                outcome: Arc::clone(outcome),
+                last_used: tick,
+            },
+        );
+        while shard.entries.len() > self.per_shard_capacity {
+            let oldest = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(digest, _)| *digest)
+                .expect("non-empty over-capacity shard");
+            shard.entries.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// A consistent-enough snapshot of the counters (entry and inflight
@@ -343,6 +384,7 @@ impl ResultCache {
         }
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             joined: self.joined.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
@@ -356,8 +398,6 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ezrt_spec::corpus::small_control;
-    use ezrt_spec::SpecBuilder;
     use std::sync::atomic::AtomicUsize;
     use std::sync::Barrier;
 
@@ -369,10 +409,11 @@ mod tests {
         SynthesisOutcome {
             digest,
             feasible: true,
+            error: None,
             fields: vec![("feasible", "true".to_owned())],
-            stats: SearchStats::default(),
+            stats: ezrt_scheduler::SearchStats::default(),
             replay_ok: Some(true),
-            schedule: None,
+            solution: None,
         }
     }
 
@@ -387,6 +428,8 @@ mod tests {
         assert!(Arc::ptr_eq(&first, &second));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.disk_hits, 0);
+        assert_eq!(cache.disk_stats(), None);
     }
 
     #[test]
@@ -473,35 +516,13 @@ mod tests {
     }
 
     #[test]
-    fn compute_outcome_packages_success_and_failure() {
-        use crate::digest::project_digest;
-        use ezrt_core::Project;
-        use ezrt_scheduler::SchedulerConfig;
-
-        let project = Project::new(small_control());
-        let digest = project_digest(&project);
-        let outcome = compute_outcome(&project, digest);
-        assert!(outcome.feasible);
-        assert_eq!(outcome.replay_ok, Some(true));
-        assert!(outcome.schedule.is_some());
-        assert_eq!(outcome.fields[0], ("feasible", "true".to_owned()));
-
-        let overload = SpecBuilder::new("overload")
-            .task("x", |t| t.computation(3).deadline(4).period(4))
-            .task("y", |t| t.computation(2).deadline(4).period(4))
-            .build()
-            .unwrap();
-        let project = Project::new(overload);
-        let digest = project_digest(&project);
-        let outcome = compute_outcome(&project, digest);
-        assert!(!outcome.feasible);
-        assert_eq!(outcome.replay_ok, None);
-        assert!(outcome.schedule.is_none());
-        let config_digest =
-            project_digest(&Project::new(small_control()).with_config(SchedulerConfig {
-                max_states: 1,
-                ..SchedulerConfig::default()
-            }));
-        assert_ne!(digest, config_digest);
+    fn lookup_serves_memory_entries_and_reads_through_to_nothing() {
+        let cache = ResultCache::new(8, 1);
+        let d = digest_of(40);
+        assert!(cache.lookup(d).is_none(), "absent digest");
+        cache.get_or_compute(d, || stub_outcome(d));
+        let (outcome, lookup) = cache.lookup(d).expect("resident");
+        assert_eq!(lookup, Lookup::Hit);
+        assert_eq!(outcome.digest, d);
     }
 }

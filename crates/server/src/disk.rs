@@ -1,0 +1,208 @@
+//! The disk cache tier: [`SynthesisOutcome`]s spilled to a directory as
+//! versioned, length-prefixed, checksummed files keyed by the canonical
+//! [`SpecDigest`] — so a restarted `ezrt serve`, a later one-shot CLI
+//! run, or a CI fleet sharing one `--cache-dir` warm-starts without
+//! re-searching.
+//!
+//! Robustness contract:
+//!
+//! * **Writes are atomic**: each entry is written to a process-unique
+//!   temporary file in the same directory, then renamed over the final
+//!   `<digest>.ezrtc` name. Concurrent writers of one digest race on
+//!   the rename; whichever lands last wins, and both candidates are
+//!   complete, valid files — a reader can never observe a half-written
+//!   entry under the final name.
+//! * **Loads are verified**: the envelope (magic, version tag,
+//!   declared length, FNV-1a checksum — see [`ezrt_artifacts::codec`])
+//!   is checked before any field is trusted, and the decoded digest
+//!   must match the file's name. Truncated, corrupted, stale-version
+//!   or misnamed files are ignored (counted in
+//!   [`DiskStats::load_errors`]) and the caller re-synthesizes.
+//! * **Errors are non-fatal**: a failed write (full disk, permissions)
+//!   only bumps [`DiskStats::write_errors`]; the in-memory tier keeps
+//!   serving.
+
+use crate::cache::SynthesisOutcome;
+use crate::digest::SpecDigest;
+use ezrt_artifacts::codec;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// File extension of cache entries.
+const ENTRY_EXTENSION: &str = "ezrtc";
+
+/// Counters of one [`DiskTier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskStats {
+    /// Entries successfully loaded and decoded.
+    pub loads: u64,
+    /// Lookups that found no file (a clean miss).
+    pub load_misses: u64,
+    /// Files that existed but failed verification or decoding (and
+    /// were ignored).
+    pub load_errors: u64,
+    /// Entries successfully written.
+    pub writes: u64,
+    /// Failed writes (ignored; the memory tier keeps serving).
+    pub write_errors: u64,
+}
+
+/// A directory of persisted synthesis outcomes. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct DiskTier {
+    dir: PathBuf,
+    /// Uniquifies temp-file names within this process.
+    sequence: AtomicU64,
+    loads: AtomicU64,
+    load_misses: AtomicU64,
+    load_errors: AtomicU64,
+    writes: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+impl DiskTier {
+    /// Opens (creating if needed) `dir` as a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the directory cannot be
+    /// created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<DiskTier, String> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|error| format!("cannot create cache dir {}: {error}", dir.display()))?;
+        Ok(DiskTier {
+            dir,
+            sequence: AtomicU64::new(0),
+            loads: AtomicU64::new(0),
+            load_misses: AtomicU64::new(0),
+            load_errors: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The path an entry for `digest` lives at.
+    pub fn entry_path(&self, digest: &SpecDigest) -> PathBuf {
+        self.dir.join(format!("{digest}.{ENTRY_EXTENSION}"))
+    }
+
+    /// Loads and verifies the entry for `digest`. `None` means "behave
+    /// as if the file did not exist" — absent, truncated, corrupt,
+    /// stale-version and misnamed files all land here (the latter
+    /// three bump [`DiskStats::load_errors`]).
+    pub fn load(&self, digest: &SpecDigest) -> Option<SynthesisOutcome> {
+        let bytes = match std::fs::read(self.entry_path(digest)) {
+            Ok(bytes) => bytes,
+            Err(error) if error.kind() == std::io::ErrorKind::NotFound => {
+                self.load_misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Err(_) => {
+                self.load_errors.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match codec::decode_file(&bytes) {
+            Ok(outcome) if outcome.digest == *digest => {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+                Some(outcome)
+            }
+            Ok(_) | Err(_) => {
+                // Misnamed (digest mismatch) or failed verification:
+                // ignore and let the caller re-synthesize.
+                self.load_errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists `outcome` under its digest: write a temporary file,
+    /// then rename it over the final name. Failures are counted, never
+    /// propagated.
+    pub fn store(&self, outcome: &SynthesisOutcome) {
+        let unique = self.sequence.fetch_add(1, Ordering::Relaxed);
+        let temp = self.dir.join(format!(
+            ".tmp-{}-{}-{unique}",
+            outcome.digest,
+            std::process::id()
+        ));
+        let finish = std::fs::write(&temp, codec::encode_file(outcome))
+            .and_then(|()| std::fs::rename(&temp, self.entry_path(&outcome.digest)));
+        match finish {
+            Ok(()) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                let _ = std::fs::remove_file(&temp);
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            loads: self.loads.load(Ordering::Relaxed),
+            load_misses: self.load_misses.load(Ordering::Relaxed),
+            load_errors: self.load_errors.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezrt_artifacts::compute_outcome;
+    use ezrt_artifacts::digest::project_digest;
+    use ezrt_core::Project;
+    use ezrt_spec::corpus::small_control;
+
+    fn temp_tier(name: &str) -> DiskTier {
+        let dir =
+            std::env::temp_dir().join(format!("ezrt_disk_unit_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DiskTier::open(dir).expect("tier opens")
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let tier = temp_tier("roundtrip");
+        let project = Project::new(small_control());
+        let digest = project_digest(&project);
+        assert!(tier.load(&digest).is_none());
+        assert_eq!(tier.stats().load_misses, 1);
+
+        let outcome = compute_outcome(&project, digest);
+        tier.store(&outcome);
+        let loaded = tier.load(&digest).expect("entry loads");
+        assert_eq!(loaded.digest, digest);
+        assert_eq!(loaded.fields, outcome.fields);
+        let stats = tier.stats();
+        assert_eq!((stats.writes, stats.loads, stats.load_errors), (1, 1, 0));
+        let _ = std::fs::remove_dir_all(tier.dir());
+    }
+
+    #[test]
+    fn misnamed_entries_are_ignored() {
+        let tier = temp_tier("misnamed");
+        let project = Project::new(small_control());
+        let digest = project_digest(&project);
+        let outcome = compute_outcome(&project, digest);
+        tier.store(&outcome);
+        // Copy the valid entry under a different digest's name.
+        let other = SpecDigest::of(b"some other spec entirely");
+        std::fs::copy(tier.entry_path(&digest), tier.entry_path(&other)).expect("copy");
+        assert!(tier.load(&other).is_none(), "digest mismatch is corrupt");
+        assert_eq!(tier.stats().load_errors, 1);
+        let _ = std::fs::remove_dir_all(tier.dir());
+    }
+}

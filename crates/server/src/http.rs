@@ -2,32 +2,49 @@
 //! accept/worker pool, hand-rolled request parsing — no new
 //! dependencies, no `unsafe`.
 //!
-//! Endpoints (all bodies are JSON):
+//! Endpoints:
 //!
 //! | method | path           | behaviour                                        |
 //! |--------|----------------|--------------------------------------------------|
-//! | POST   | `/v1/schedule` | spec XML body → the `ezrt schedule --json` object plus `spec_digest` and `cache: "hit"\|"miss"`; `?jobs=N` overrides the synthesis worker count for a miss |
+//! | POST   | `/v1/schedule` | spec XML body → the `ezrt schedule --json` object plus `spec_digest` and `cache: "hit"\|"disk"\|"miss"`; `?jobs=N` overrides the synthesis worker count for a miss |
 //! | POST   | `/v1/check`    | spec XML body → parse/validation verdict and spec summary |
+//! | POST   | `/v1/table`    | spec XML body → the Fig. 8 schedule table (C array), byte-identical to `ezrt table` |
+//! | POST   | `/v1/codegen`  | spec XML body → the generated C translation unit; `?target=<t>` picks the target (default `posix_sim`) |
+//! | POST   | `/v1/gantt`    | spec XML body → the ASCII timeline over the default window |
+//! | GET    | `/v1/artifact/<digest>/<kind>` | any artifact of an already-synthesized digest, straight from the memory or disk cache (404 when absent; never synthesizes) |
 //! | GET    | `/v1/healthz`  | liveness probe                                   |
-//! | GET    | `/v1/stats`    | request and cache counters                       |
+//! | GET    | `/v1/stats`    | request, connection and cache counters           |
 //! | POST   | `/v1/shutdown` | graceful stop: drain workers, join threads       |
 //!
-//! One accept thread pushes connections onto a condvar-guarded queue;
-//! `workers` threads pop and serve one request per connection
-//! (`Connection: close`). Synthesis parallelism is per request — the
-//! server reuses the engine's [`Parallelism`] type, so a single POST
-//! can fan its search out over `jobs` threads while the pool keeps
-//! accepting.
+//! Artifact bodies (`table`, `codegen`, `gantt`, `pnml`, `report-json`)
+//! are rendered by `ezrt_artifacts::render` — the same code path as the
+//! CLI — so they carry no per-response envelope; cache provenance and
+//! the digest ride in `X-Ezrt-Cache` / `X-Ezrt-Digest` headers instead.
+//!
+//! **Connection handling.** One accept thread pushes connections onto a
+//! condvar-guarded queue drained by `workers` threads. HTTP/1.1
+//! connections are **kept alive** (idle timeout [`KEEP_ALIVE_IDLE`],
+//! at most [`MAX_CONNECTION_REQUESTS`] requests per connection);
+//! `Connection: close` and HTTP/1.0 get one request per connection as
+//! before. When the pending-connection queue exceeds
+//! [`ServerConfig::max_pending`], new connections are **shed** with
+//! `503 Retry-After` instead of queueing unboundedly. Synthesis
+//! parallelism is per request — the server reuses the engine's
+//! [`Parallelism`] type, so a single POST can fan its search out over
+//! `jobs` threads while the pool keeps accepting.
 
-use crate::cache::{compute_outcome, ResultCache};
-use crate::digest::project_digest;
+use crate::cache::{compute_outcome, Lookup, ResultCache, SynthesisOutcome};
+use crate::digest::{project_digest, SpecDigest};
+use crate::disk::DiskTier;
 use crate::report::{self, JsonFields};
+use ezrt_artifacts::{render, ArtifactKind, RenderError};
 use ezrt_core::Project;
 use ezrt_scheduler::SchedulerConfig;
 use ezrt_tpn::Parallelism;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -38,6 +55,13 @@ const MAX_HEAD_BYTES: usize = 16 * 1024;
 const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 /// Per-connection socket timeout: a stalled client cannot pin a worker.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// How long a kept-alive connection may sit idle between requests
+/// before the worker closes it and moves on.
+pub const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
+/// Per-connection request cap: after this many requests the server
+/// answers with `Connection: close` and recycles the worker, so one
+/// immortal client cannot monopolize a pool slot forever.
+pub const MAX_CONNECTION_REQUESTS: u64 = 100;
 /// Upper bound on the client-supplied `?jobs=N`: a request may not
 /// conscript more synthesis threads than this, no matter what it asks
 /// for — an unbounded value would let one POST spawn arbitrarily many
@@ -51,13 +75,19 @@ pub struct ServerConfig {
     /// default per-request synthesis worker count (the CLI's `--jobs`),
     /// overridable per request with `?jobs=N`.
     pub scheduler: SchedulerConfig,
-    /// Connection worker threads (each serves one request at a time).
+    /// Connection worker threads (each serves one connection at a time).
     pub workers: usize,
-    /// Result-cache bound in completed entries; 0 disables storing
-    /// (singleflight coalescing still applies).
+    /// Result-cache bound in completed entries; 0 disables memory
+    /// storing (singleflight coalescing still applies).
     pub cache_capacity: usize,
     /// Cache shard count; 0 picks the default (8).
     pub cache_shards: usize,
+    /// Disk cache directory (`--cache-dir`): when set, synthesis
+    /// results persist here and a restarted server warm-starts from it.
+    pub cache_dir: Option<PathBuf>,
+    /// Accept-queue bound (`--max-pending`): connections beyond this
+    /// many pending are shed with `503 Retry-After`. 0 means unbounded.
+    pub max_pending: usize,
 }
 
 impl Default for ServerConfig {
@@ -67,9 +97,16 @@ impl Default for ServerConfig {
             workers: 4,
             cache_capacity: 1024,
             cache_shards: 0,
+            cache_dir: None,
+            max_pending: 128,
         }
     }
 }
+
+/// How many connections awaiting their 503 may queue for the shedder
+/// thread before the server stops writing 503s and just drops new
+/// arrivals — the bounded last resort when even shedding is saturated.
+const MAX_SHED_BACKLOG: usize = 128;
 
 /// Shared server state: the cache, the connection queue, the counters.
 #[derive(Debug)]
@@ -78,12 +115,21 @@ struct Shared {
     running: AtomicBool,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_ready: Condvar,
+    /// Connections awaiting a `503 Retry-After`, handed off by the
+    /// accept thread so the (blocking) write + lingering close never
+    /// runs on it.
+    shed_queue: Mutex<VecDeque<TcpStream>>,
+    shed_ready: Condvar,
     cache: ResultCache,
     scheduler: SchedulerConfig,
     workers: usize,
+    max_pending: usize,
     started: Instant,
+    connections: AtomicU64,
+    shed_connections: AtomicU64,
     requests: AtomicU64,
     schedule_requests: AtomicU64,
+    artifact_requests: AtomicU64,
     http_errors: AtomicU64,
 }
 
@@ -104,6 +150,7 @@ impl Shared {
             }
             let _ = TcpStream::connect(wake);
             self.queue_ready.notify_all();
+            self.shed_ready.notify_all();
         }
     }
 }
@@ -125,7 +172,7 @@ impl Server {
     /// # Errors
     ///
     /// Returns a human-readable message when the address cannot be
-    /// parsed or bound.
+    /// parsed or bound, or the cache directory cannot be created.
     pub fn start(addr: &str, config: ServerConfig) -> Result<Server, String> {
         let listener =
             TcpListener::bind(addr).map_err(|error| format!("cannot bind {addr}: {error}"))?;
@@ -137,28 +184,45 @@ impl Server {
         } else {
             config.cache_shards
         };
+        let disk = match &config.cache_dir {
+            Some(dir) => Some(DiskTier::open(dir)?),
+            None => None,
+        };
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             addr: local,
             running: AtomicBool::new(true),
             queue: Mutex::new(VecDeque::new()),
             queue_ready: Condvar::new(),
-            cache: ResultCache::new(config.cache_capacity, shards),
+            shed_queue: Mutex::new(VecDeque::new()),
+            shed_ready: Condvar::new(),
+            cache: ResultCache::with_disk(config.cache_capacity, shards, disk),
             scheduler: config.scheduler,
             workers,
+            max_pending: config.max_pending,
             started: Instant::now(),
+            connections: AtomicU64::new(0),
+            shed_connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             schedule_requests: AtomicU64::new(0),
+            artifact_requests: AtomicU64::new(0),
             http_errors: AtomicU64::new(0),
         });
 
-        let mut threads = Vec::with_capacity(workers + 1);
+        let mut threads = Vec::with_capacity(workers + 2);
         let accept_shared = Arc::clone(&shared);
         threads.push(
             std::thread::Builder::new()
                 .name("ezrt-accept".to_owned())
                 .spawn(move || accept_loop(listener, &accept_shared))
                 .map_err(|error| format!("cannot spawn accept thread: {error}"))?,
+        );
+        let shed_shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("ezrt-shed".to_owned())
+                .spawn(move || shed_loop(&shed_shared))
+                .map_err(|error| format!("cannot spawn shed thread: {error}"))?,
         );
         for index in 0..workers {
             let worker_shared = Arc::clone(&shared);
@@ -211,6 +275,25 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
         match stream {
             Ok(stream) => {
                 let mut queue = shared.queue.lock().expect("queue poisoned");
+                if shared.max_pending > 0 && queue.len() >= shared.max_pending {
+                    // Bounded accept queue: shed instead of queueing
+                    // unboundedly, so tail latency under overload stays
+                    // the queue bound, not the backlog length. The 503
+                    // write happens on the dedicated shed thread — the
+                    // accept loop must never block on a client, which
+                    // is exactly what a shed-worthy overload produces.
+                    drop(queue);
+                    shared.shed_connections.fetch_add(1, Ordering::Relaxed);
+                    let mut sheds = shared.shed_queue.lock().expect("shed queue poisoned");
+                    if sheds.len() < MAX_SHED_BACKLOG {
+                        sheds.push_back(stream);
+                        drop(sheds);
+                        shared.shed_ready.notify_one();
+                    }
+                    // else: drop the stream outright — at this depth of
+                    // overload even a polite 503 is unaffordable.
+                    continue;
+                }
                 queue.push_back(stream);
                 drop(queue);
                 shared.queue_ready.notify_one();
@@ -220,6 +303,62 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
     }
     // Unblock the workers so they can observe the flag and drain out.
     shared.queue_ready.notify_all();
+}
+
+/// The dedicated shed thread: pops connections the accept loop marked
+/// for shedding and answers each with `503 Retry-After` (plus the
+/// lingering close), so the blocking socket I/O never runs on the
+/// accept thread. Exits when `running` drops; any still-queued sheds
+/// are simply dropped.
+fn shed_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut sheds = shared.shed_queue.lock().expect("shed queue poisoned");
+            loop {
+                if !shared.running.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(stream) = sheds.pop_front() {
+                    break stream;
+                }
+                sheds = shared.shed_ready.wait(sheds).expect("shed queue poisoned");
+            }
+        };
+        shed(stream);
+    }
+}
+
+/// Answers a shed connection with `503 Retry-After` without reading its
+/// request (the client has not necessarily sent one yet).
+fn shed(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut response = Response::error(503, "accept queue full; retry shortly");
+    response.retry_after = Some(1);
+    if write_response(&mut stream, &response, true).is_err() {
+        return;
+    }
+    linger_close(&mut stream);
+}
+
+/// Closes a connection that may still have unread request bytes in its
+/// receive queue. A plain close there makes the kernel send RST — which
+/// can destroy the just-written response in flight before the client
+/// reads it. Send FIN, then drain briefly until the client closes its
+/// side. The drain is bounded by a wall-clock deadline (~250 ms total,
+/// short read timeouts), not a read count, so a client trickling one
+/// byte per read cannot stall the calling thread (a connection worker,
+/// or the shed thread during overload) for long.
+fn linger_close(stream: &mut TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let deadline = Instant::now() + Duration::from_millis(250);
+    let mut discard = [0u8; 4096];
+    while Instant::now() < deadline {
+        match stream.read(&mut discard) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
 }
 
 fn worker_loop(shared: &Shared) {
@@ -244,44 +383,86 @@ fn worker_loop(shared: &Shared) {
 }
 
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    shared.connections.fetch_add(1, Ordering::Relaxed);
+    // Keep-alive turns each connection into a request/response ping-pong
+    // of small writes; without TCP_NODELAY, Nagle holds every second
+    // write until the peer's (possibly delayed) ACK, stalling loopback
+    // round-trips by tens of milliseconds.
+    let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    shared.requests.fetch_add(1, Ordering::Relaxed);
-    let response = match read_request(&mut stream) {
+    let mut served: u64 = 0;
+    loop {
+        let first = served == 0;
+        // The first request gets the full IO timeout; an idle kept-alive
+        // connection is closed sooner so it cannot pin a worker.
+        let _ = stream.set_read_timeout(Some(if first { IO_TIMEOUT } else { KEEP_ALIVE_IDLE }));
+        let request = match read_request(&mut stream, first) {
+            Ok(Some(request)) => request,
+            Ok(None) => break, // clean close or idle timeout between requests
+            Err(response) => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                shared.http_errors.fetch_add(1, Ordering::Relaxed);
+                // Parse errors answer before the body was consumed, so
+                // a plain close would RST the error response away.
+                if write_response(&mut stream, &response, true).is_ok() {
+                    linger_close(&mut stream);
+                }
+                break;
+            }
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        served += 1;
         // A panicking handler (a kernel bug surfacing through a replay
         // assert, say) must not shrink the pool and must still answer
         // the client: catch the unwind and convert it to a 500.
-        Ok(request) => {
+        let response =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(shared, &request)))
                 .unwrap_or_else(|_| {
                     Response::error(500, "internal error while handling the request")
-                })
+                });
+        if response.status >= 400 {
+            shared.http_errors.fetch_add(1, Ordering::Relaxed);
         }
-        Err(error) => error,
-    };
-    if response.status >= 400 {
-        shared.http_errors.fetch_add(1, Ordering::Relaxed);
+        let close = !request.keep_alive
+            || served >= MAX_CONNECTION_REQUESTS
+            || !shared.running.load(Ordering::SeqCst);
+        if write_response(&mut stream, &response, close).is_err() || close {
+            break;
+        }
     }
-    let _ = write_response(&mut stream, &response);
 }
 
-/// A parsed request: method, path (query split off), raw body.
+/// A parsed request: method, path (query split off), raw body, and
+/// whether the connection should be kept alive afterwards.
 struct Request {
     method: String,
     path: String,
     query: String,
     body: Vec<u8>,
+    keep_alive: bool,
 }
 
-/// A response about to be serialized; `body` is always JSON.
+/// A response about to be serialized.
 struct Response {
     status: u16,
+    /// The `Content-Type` header value.
+    content_type: &'static str,
+    /// Extra response headers (artifact provenance).
+    headers: Vec<(&'static str, String)>,
+    /// `Retry-After` seconds (503 shedding).
+    retry_after: Option<u32>,
     body: String,
 }
 
 impl Response {
     fn json(status: u16, body: String) -> Response {
-        Response { status, body }
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            retry_after: None,
+            body,
+        }
     }
 
     fn error(status: u16, message: &str) -> Response {
@@ -299,35 +480,54 @@ fn status_text(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
-fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+fn write_response(stream: &mut TcpStream, response: &Response, close: bool) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         response.status,
         status_text(response.status),
+        response.content_type,
         response.body.len(),
     );
+    for (name, value) in &response.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    if let Some(seconds) = response.retry_after {
+        head.push_str(&format!("Retry-After: {seconds}\r\n"));
+    }
+    head.push_str(if close {
+        "Connection: close\r\n\r\n"
+    } else {
+        "Connection: keep-alive\r\n\r\n"
+    });
     stream.write_all(head.as_bytes())?;
     stream.write_all(response.body.as_bytes())?;
     stream.flush()
 }
 
-/// Reads and parses one HTTP/1.1 request. Returns a ready error
-/// `Response` on malformed input so the caller can reply uniformly.
-fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
+/// Reads and parses one HTTP/1.1 request. `Ok(None)` is a clean end of
+/// the connection: the peer closed (or went idle past the keep-alive
+/// timeout) *between* requests, so nothing should be written back.
+/// `Err` carries a ready error `Response` for malformed input.
+fn read_request(stream: &mut TcpStream, first: bool) -> Result<Option<Request>, Response> {
     let mut head = Vec::new();
     let mut byte = [0u8; 1];
     // Byte-at-a-time until CRLFCRLF: heads are tiny and this keeps the
     // parser trivially correct about not over-reading into the body.
     while !head.ends_with(b"\r\n\r\n") {
         match stream.read(&mut byte) {
+            Ok(0) if head.is_empty() => return Ok(None),
             Ok(0) => return Err(Response::error(400, "connection closed mid-request")),
             Ok(_) => head.push(byte[0]),
+            Err(_) if head.is_empty() && !first => return Ok(None), // idle keep-alive
             Err(_) => return Err(Response::error(408, "timed out reading request head")),
         }
         if head.len() > MAX_HEAD_BYTES {
@@ -345,6 +545,9 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
     if !version.starts_with("HTTP/1.") {
         return Err(Response::error(400, "unsupported protocol version"));
     }
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+    // Connection header overrides either way.
+    let mut keep_alive = version == "HTTP/1.1";
     let mut content_length = 0usize;
     for line in lines {
         if line.is_empty() {
@@ -356,6 +559,23 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
                     .trim()
                     .parse()
                     .map_err(|_| Response::error(400, "invalid Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                // Chunked bodies are not parsed; silently ignoring the
+                // header would leave the chunk stream unread and desync
+                // the framing of a kept-alive connection (the next
+                // "request line" would be a chunk size). Refuse and
+                // close instead.
+                return Err(Response::error(
+                    501,
+                    "Transfer-Encoding is not supported; send Content-Length",
+                ));
+            } else if name.eq_ignore_ascii_case("connection") {
+                let value = value.trim();
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
@@ -370,27 +590,48 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
         Some((path, query)) => (path.to_owned(), query.to_owned()),
         None => (target.to_owned(), String::new()),
     };
-    Ok(Request {
+    Ok(Some(Request {
         method: method.to_owned(),
         path,
         query,
         body,
-    })
+        keep_alive,
+    }))
 }
 
 fn route(shared: &Shared, request: &Request) -> Response {
+    if let Some(rest) = request.path.strip_prefix("/v1/artifact/") {
+        return match request.method.as_str() {
+            "GET" => artifact_get(shared, rest),
+            _ => Response::error(405, "method not allowed"),
+        };
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/v1/healthz") => Response::json(200, "{\n  \"status\": \"ok\"\n}".to_owned()),
         ("GET", "/v1/stats") => stats(shared),
         ("POST", "/v1/schedule") => schedule(shared, request),
         ("POST", "/v1/check") => check(request),
+        ("POST", "/v1/table") => artifact_post(shared, request, ArtifactKind::Table),
+        ("POST", "/v1/codegen") => {
+            let kind = match query_value(&request.query, "target") {
+                None => ArtifactKind::Codegen(ezrt_codegen::Target::PosixSim),
+                Some(target) => match ArtifactKind::parse(&format!("codegen:{target}")) {
+                    Ok(kind) => kind,
+                    Err(message) => return Response::error(400, &message),
+                },
+            };
+            artifact_post(shared, request, kind)
+        }
+        ("POST", "/v1/gantt") => artifact_post(shared, request, ArtifactKind::Gantt),
         ("POST", "/v1/shutdown") => {
             shared.request_shutdown();
             Response::json(200, "{\n  \"status\": \"shutting down\"\n}".to_owned())
         }
-        (_, "/v1/healthz" | "/v1/stats" | "/v1/schedule" | "/v1/check" | "/v1/shutdown") => {
-            Response::error(405, "method not allowed")
-        }
+        (
+            _,
+            "/v1/healthz" | "/v1/stats" | "/v1/schedule" | "/v1/check" | "/v1/table"
+            | "/v1/codegen" | "/v1/gantt" | "/v1/shutdown",
+        ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "not found"),
     }
 }
@@ -440,6 +681,66 @@ fn schedule(shared: &Shared, request: &Request) -> Response {
     Response::json(200, report::render_pretty(&fields))
 }
 
+/// `GET /v1/artifact/<digest>/<kind>`: serve an artifact of an already
+/// synthesized digest straight from the (memory or disk) cache. Never
+/// synthesizes — an unknown digest is a 404, not a queued search.
+fn artifact_get(shared: &Shared, rest: &str) -> Response {
+    shared.artifact_requests.fetch_add(1, Ordering::Relaxed);
+    let Some((digest_hex, kind_text)) = rest.split_once('/') else {
+        return Response::error(400, "expected /v1/artifact/<digest>/<kind>");
+    };
+    let Some(digest) = SpecDigest::from_hex(digest_hex) else {
+        return Response::error(400, "digest must be 48 hex characters");
+    };
+    let kind = match ArtifactKind::parse(kind_text) {
+        Ok(kind) => kind,
+        Err(message) => return Response::error(400, &message),
+    };
+    let Some((outcome, lookup)) = shared.cache.lookup(digest) else {
+        return Response::error(
+            404,
+            &format!("no cached outcome for digest {digest}; POST the spec first"),
+        );
+    };
+    respond_artifact(&outcome, kind, lookup)
+}
+
+/// `POST /v1/table|/v1/codegen|/v1/gantt`: synthesize (through the
+/// cache) and render one artifact of the posted spec.
+fn artifact_post(shared: &Shared, request: &Request, kind: ArtifactKind) -> Response {
+    shared.artifact_requests.fetch_add(1, Ordering::Relaxed);
+    let project = match parse_project(shared, request) {
+        Ok(project) => project,
+        Err(response) => return response,
+    };
+    let digest = project_digest(&project);
+    let (outcome, lookup) = shared
+        .cache
+        .get_or_compute(digest, || compute_outcome(&project, digest));
+    respond_artifact(&outcome, kind, lookup)
+}
+
+/// Renders `kind` from a cached outcome: the artifact bytes verbatim as
+/// the body (byte-identical to the CLI), provenance in headers.
+fn respond_artifact(outcome: &SynthesisOutcome, kind: ArtifactKind, lookup: Lookup) -> Response {
+    match render(outcome, kind) {
+        Ok(artifact) => Response {
+            status: 200,
+            content_type: artifact.content_type,
+            headers: vec![
+                ("X-Ezrt-Digest", outcome.digest.to_hex()),
+                ("X-Ezrt-Artifact", kind.to_string()),
+                ("X-Ezrt-Cache", lookup.as_str().to_owned()),
+            ],
+            retry_after: None,
+            body: artifact.text,
+        },
+        // The spec is fine but holds no feasible schedule: a semantic
+        // conflict with the requested artifact, not a bad request.
+        Err(error @ RenderError::Infeasible { .. }) => Response::error(409, &error.to_string()),
+    }
+}
+
 fn check(request: &Request) -> Response {
     let xml = match std::str::from_utf8(&request.body) {
         Ok(xml) => xml,
@@ -476,6 +777,9 @@ fn check(request: &Request) -> Response {
 
 fn stats(shared: &Shared) -> Response {
     let cache = shared.cache.stats();
+    let disk = shared.cache.disk_stats().unwrap_or_default();
+    let connections = shared.connections.load(Ordering::Relaxed);
+    let requests = shared.requests.load(Ordering::Relaxed);
     let fields: JsonFields = vec![
         ("status", "\"ok\"".to_owned()),
         (
@@ -487,13 +791,24 @@ fn stats(shared: &Shared) -> Response {
             "default_jobs",
             shared.scheduler.parallelism.jobs().to_string(),
         ),
+        ("connections", connections.to_string()),
+        ("requests", requests.to_string()),
         (
-            "requests",
-            shared.requests.load(Ordering::Relaxed).to_string(),
+            "requests_per_connection",
+            format!("{:.3}", requests as f64 / connections.max(1) as f64),
+        ),
+        ("max_pending", shared.max_pending.to_string()),
+        (
+            "shed_connections",
+            shared.shed_connections.load(Ordering::Relaxed).to_string(),
         ),
         (
             "schedule_requests",
             shared.schedule_requests.load(Ordering::Relaxed).to_string(),
+        ),
+        (
+            "artifact_requests",
+            shared.artifact_requests.load(Ordering::Relaxed).to_string(),
         ),
         (
             "http_errors",
@@ -503,15 +818,18 @@ fn stats(shared: &Shared) -> Response {
         ("cache_entries", cache.entries.to_string()),
         ("cache_inflight", cache.inflight.to_string()),
         ("cache_hits", cache.hits.to_string()),
+        ("cache_disk_hits", cache.disk_hits.to_string()),
         ("cache_misses", cache.misses.to_string()),
         ("cache_joined", cache.joined.to_string()),
         ("cache_evictions", cache.evictions.to_string()),
+        ("disk_writes", disk.writes.to_string()),
+        ("disk_load_errors", disk.load_errors.to_string()),
     ];
     Response::json(200, report::render_pretty(&fields))
 }
 
 /// Extracts `key=value` from a raw query string (no percent-decoding —
-/// the only recognized parameter is numeric).
+/// the recognized parameters are numeric or simple identifiers).
 fn query_value<'a>(query: &'a str, key: &str) -> Option<&'a str> {
     query
         .split('&')
@@ -528,13 +846,14 @@ mod tests {
     fn query_values_parse() {
         assert_eq!(query_value("jobs=4", "jobs"), Some("4"));
         assert_eq!(query_value("a=1&jobs=2", "jobs"), Some("2"));
+        assert_eq!(query_value("target=i8051", "target"), Some("i8051"));
         assert_eq!(query_value("", "jobs"), None);
         assert_eq!(query_value("jobs", "jobs"), None);
     }
 
     #[test]
     fn status_texts_cover_the_emitted_codes() {
-        for code in [200, 400, 404, 405, 408, 413, 500] {
+        for code in [200, 400, 404, 405, 408, 409, 413, 500, 501, 503] {
             assert_ne!(status_text(code), "Unknown");
         }
     }

@@ -11,20 +11,28 @@
 //!   serialization of the parsed spec + scheduler configuration
 //!   ([`Project::canonical_bytes`](ezrt_core::Project::canonical_bytes)),
 //!   so semantically identical XML documents (whitespace, attribute
-//!   order) map to one cache key;
+//!   order) map to one cache key (lives in `ezrt_artifacts`,
+//!   re-exported here);
 //! * [`cache`] — a sharded, singleflight [`ResultCache`]: digest →
 //!   `Arc<SynthesisOutcome>` behind per-shard mutexes, where concurrent
 //!   requests for the same digest block on a single in-flight synthesis,
 //!   with size-bounded LRU eviction and hit/miss/join/eviction counters;
+//! * [`disk`] — the persistent tier ([`DiskTier`], `--cache-dir`):
+//!   entries spill to versioned, checksummed files keyed by the digest,
+//!   so a restarted server (or a CI fleet sharing a directory)
+//!   warm-starts without re-searching;
 //! * [`http`] — a std-only HTTP/1.1 front end (`std::net::TcpListener`,
-//!   hand-rolled request parsing, zero new dependencies) exposing
-//!   `POST /v1/schedule`, `POST /v1/check`, `GET /v1/healthz`,
+//!   hand-rolled request parsing, zero new dependencies, keep-alive
+//!   connections, a bounded accept queue with 503 shedding) exposing
+//!   `POST /v1/schedule`, `POST /v1/check`, `POST /v1/table`,
+//!   `POST /v1/codegen`, `POST /v1/gantt`,
+//!   `GET /v1/artifact/<digest>/<kind>`, `GET /v1/healthz`,
 //!   `GET /v1/stats` and `POST /v1/shutdown` over a fixed worker pool;
 //! * [`batch`] — offline fan-out of a directory of spec files through
 //!   the *same* queue + cache, one JSON line per spec;
 //! * [`report`] — the flat-JSON rendering shared with `ezrt schedule
-//!   --json`, so CLI and server outputs are byte-identical and
-//!   join-able by `spec_digest`.
+//!   --json` (also rehomed to `ezrt_artifacts`), so CLI and server
+//!   outputs are byte-identical and join-able by `spec_digest`.
 //!
 //! # Examples
 //!
@@ -50,10 +58,15 @@
 
 pub mod batch;
 pub mod cache;
-pub mod digest;
+pub mod disk;
 pub mod http;
-pub mod report;
+
+// The digest and flat-JSON report live in the artifact layer now
+// (`ezrt_artifacts`), shared with the CLI renderers; re-exported here
+// so service code and its callers keep their historical paths.
+pub use ezrt_artifacts::{digest, report};
 
 pub use cache::{CacheStats, Lookup, ResultCache, SynthesisOutcome};
 pub use digest::SpecDigest;
+pub use disk::{DiskStats, DiskTier};
 pub use http::{Server, ServerConfig};

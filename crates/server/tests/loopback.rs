@@ -16,13 +16,15 @@ fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, St
 }
 
 /// Same, over an already-open connection (the singleflight stress test
-/// pre-connects so all requests are in flight together).
+/// pre-connects so all requests are in flight together). Sends
+/// `Connection: close` so `read_to_string` sees EOF right after the
+/// response; the keep-alive path has its own test below.
 fn request_on(mut stream: TcpStream, method: &str, target: &str, body: &str) -> (u16, String) {
     stream
         .set_read_timeout(Some(Duration::from_secs(120)))
         .expect("read timeout");
     let head = format!(
-        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes()).expect("write head");
@@ -288,6 +290,56 @@ fn lru_pressure_re_misses_an_evicted_digest() {
     server.stop();
 }
 
+/// A keep-alive client: sends one request on an open connection and
+/// reads exactly one response by honouring `Content-Length`, returning
+/// the parsed pieces plus whether the server announced a close.
+fn keep_alive_request(
+    stream: &mut TcpStream,
+    method: &str,
+    target: &str,
+    body: &str,
+) -> (u16, String, String, bool) {
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    read_one_response(stream)
+}
+
+/// Reads one `Content-Length`-delimited response: `(status, headers,
+/// body, server_will_close)`.
+fn read_one_response(stream: &mut TcpStream) -> (u16, String, String, bool) {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte).expect("read header byte");
+        assert!(n > 0, "connection closed mid-header");
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).expect("UTF-8 headers");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .expect("status line");
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| line.strip_prefix("Content-Length: "))
+        .and_then(|value| value.trim().parse().ok())
+        .expect("Content-Length header");
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("read body");
+    let close = head.contains("Connection: close");
+    (
+        status,
+        head,
+        String::from_utf8(body).expect("UTF-8 body"),
+        close,
+    )
+}
+
 #[test]
 fn jobs_query_parallelizes_a_miss_and_shares_the_entry() {
     let server = server(ServerConfig::default());
@@ -304,6 +356,276 @@ fn jobs_query_parallelizes_a_miss_and_shares_the_entry() {
     let (_, second) = request(addr, "POST", "/v1/schedule", &xml);
     assert_eq!(field(&second, "cache"), "\"hit\"");
     assert_eq!(field(&second, "jobs"), "2");
+
+    server.stop();
+}
+
+#[test]
+fn http11_connections_are_kept_alive_and_counted() {
+    let server = server(ServerConfig::default());
+    let addr = server.addr();
+    let xml = small_control_xml();
+
+    // Four requests down one HTTP/1.1 connection (no Connection header:
+    // keep-alive is the protocol default).
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    for _ in 0..2 {
+        let (status, _, body, close) = keep_alive_request(&mut stream, "GET", "/v1/healthz", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\""), "{body}");
+        assert!(!close, "healthz must not close a keep-alive connection");
+    }
+    let (status, _, body, close) = keep_alive_request(&mut stream, "POST", "/v1/schedule", &xml);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"feasible\": true"), "{body}");
+    assert!(!close, "schedule must not close a keep-alive connection");
+    // An explicit Connection: close is honoured on the same connection.
+    let head =
+        "GET /v1/healthz HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+    stream
+        .write_all(head.as_bytes())
+        .expect("write close request");
+    let (status, _, _, close) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(close, "explicit Connection: close must be honoured");
+    // The server actually closes: the next read sees EOF.
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).expect("EOF"), 0);
+    drop(stream);
+
+    // One connection carried 4 requests; the stats request makes 5 over
+    // 2 connections.
+    let (_, stats) = request(addr, "GET", "/v1/stats", "");
+    assert_eq!(field(&stats, "connections"), "2", "{stats}");
+    assert_eq!(field(&stats, "requests"), "5", "{stats}");
+    assert_eq!(field(&stats, "requests_per_connection"), "2.500", "{stats}");
+
+    server.stop();
+}
+
+#[test]
+fn keep_alive_connections_are_capped_per_connection() {
+    let server = server(ServerConfig::default());
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    let cap = ezrt_server::http::MAX_CONNECTION_REQUESTS;
+    for served in 1..=cap {
+        let (status, _, _, close) = keep_alive_request(&mut stream, "GET", "/v1/healthz", "");
+        assert_eq!(status, 200);
+        assert_eq!(
+            close,
+            served == cap,
+            "request {served}/{cap} announced the wrong connection fate"
+        );
+    }
+    let mut rest = Vec::new();
+    assert_eq!(
+        stream.read_to_end(&mut rest).expect("EOF after the cap"),
+        0,
+        "the server must close after {cap} requests"
+    );
+
+    server.stop();
+}
+
+#[test]
+fn overload_is_shed_with_503_retry_after() {
+    // One worker, a queue bound of one: while the worker chews on a
+    // slow synthesis, the first extra connection queues and the second
+    // must be shed instead of queueing unboundedly.
+    let server = server(ServerConfig {
+        scheduler: ezrt_scheduler::SchedulerConfig {
+            max_states: 40_000,
+            ..ezrt_scheduler::SchedulerConfig::default()
+        },
+        workers: 1,
+        max_pending: 1,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let xml = heavy_spec_xml();
+
+    // Occupy the single worker: the busy request is fully written
+    // before anything else connects, so the worker deterministically
+    // picks it (the oldest queued connection) and starts synthesizing.
+    let mut busy = TcpStream::connect(addr).expect("connect busy");
+    busy.set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    let head = format!(
+        "POST /v1/schedule HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        xml.len()
+    );
+    busy.write_all(head.as_bytes()).expect("write busy head");
+    busy.write_all(xml.as_bytes()).expect("write busy body");
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Fills the accept queue (the worker is busy, nobody pops).
+    let queued = TcpStream::connect(addr).expect("connect queued");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Over the bound: shed on accept, before any request bytes.
+    let mut shed = TcpStream::connect(addr).expect("connect shed");
+    shed.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let (status, head, body, close) = read_one_response(&mut shed);
+    assert_eq!(status, 503, "{body}");
+    assert!(head.contains("Retry-After: 1"), "{head}");
+    assert!(close, "shed connections are closed");
+    assert!(body.contains("accept queue full"), "{body}");
+
+    drop(queued); // the worker will see EOF and move on
+    let mut raw = String::new();
+    busy.read_to_string(&mut raw).expect("busy response");
+    assert!(raw.starts_with("HTTP/1.1 200"), "busy response: {raw}");
+
+    // The worker may still be draining the queued connection, so a
+    // stats request can itself be shed for a moment — retry briefly.
+    let stats = (0..100)
+        .find_map(|_| {
+            let (status, body) = request(addr, "GET", "/v1/stats", "");
+            if status == 200 {
+                return Some(body);
+            }
+            std::thread::sleep(Duration::from_millis(100));
+            None
+        })
+        .expect("stats eventually served after the backlog drains");
+    let shed_count: u64 = field(&stats, "shed_connections").parse().expect("number");
+    assert!(shed_count >= 1, "{stats}");
+    assert_eq!(field(&stats, "max_pending"), "1", "{stats}");
+
+    server.stop();
+}
+
+#[test]
+fn artifact_endpoints_serve_from_the_cache() {
+    let server = server(ServerConfig::default());
+    let addr = server.addr();
+    let xml = small_control_xml();
+
+    let artifact_post = |target: &str, body: &str| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("read timeout");
+        keep_alive_request(&mut stream, "POST", target, body)
+    };
+    let artifact_get = |target: &str| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("read timeout");
+        keep_alive_request(&mut stream, "GET", target, "")
+    };
+
+    // POST /v1/table: the artifact bytes verbatim, provenance in headers.
+    let (status, head, table_miss, _) = artifact_post("/v1/table", &xml);
+    assert_eq!(status, 200);
+    assert!(
+        table_miss.starts_with("struct ScheduleItem scheduleTable"),
+        "{table_miss}"
+    );
+    assert!(head.contains("Content-Type: text/plain"), "{head}");
+    assert!(head.contains("X-Ezrt-Cache: miss"), "{head}");
+    let digest = head
+        .lines()
+        .find_map(|line| line.strip_prefix("X-Ezrt-Digest: "))
+        .expect("digest header")
+        .trim()
+        .to_owned();
+    assert_eq!(digest.len(), 48, "{digest}");
+
+    // Re-POST: served from cache, byte-identical body.
+    let (_, head, table_hit, _) = artifact_post("/v1/table", &xml);
+    assert!(head.contains("X-Ezrt-Cache: hit"), "{head}");
+    assert_eq!(table_miss, table_hit);
+
+    // Codegen with a target; gantt.
+    let (status, head, code, _) = artifact_post("/v1/codegen?target=i8051", &xml);
+    assert_eq!(status, 200);
+    assert!(code.contains("__interrupt(1)"), "{code}");
+    assert!(head.contains("X-Ezrt-Artifact: codegen:i8051"), "{head}");
+    let (status, _, gantt, _) = artifact_post("/v1/gantt", &xml);
+    assert_eq!(status, 200);
+    assert!(gantt.contains('#'), "{gantt}");
+
+    // GET /v1/artifact/<digest>/<kind>: straight from the cache.
+    let (status, head, report, _) = artifact_get(&format!("/v1/artifact/{digest}/report-json"));
+    assert_eq!(status, 200);
+    assert!(head.contains("Content-Type: application/json"), "{head}");
+    assert!(head.contains("X-Ezrt-Cache: hit"), "{head}");
+    assert!(report.contains("\"feasible\": true"), "{report}");
+    assert!(report.contains(&digest), "{report}");
+    let (status, _, pnml, _) = artifact_get(&format!("/v1/artifact/{digest}/pnml"));
+    assert_eq!(status, 200);
+    assert!(pnml.contains("<pnml"), "{pnml}");
+    let (status, _, same_table, _) = artifact_get(&format!("/v1/artifact/{digest}/table"));
+    assert_eq!(status, 200);
+    assert_eq!(same_table, table_miss, "GET and POST table bodies agree");
+
+    // Unknown digest: 404, never a synthesis.
+    let unknown = "0".repeat(48);
+    let (status, _, body, _) = artifact_get(&format!("/v1/artifact/{unknown}/table"));
+    assert_eq!(status, 404, "{body}");
+    // Bad digest / bad kind / bad method: 400/400/405.
+    let (status, _, _, _) = artifact_get("/v1/artifact/nothex/table");
+    assert_eq!(status, 400);
+    let (status, _, body, _) = artifact_get(&format!("/v1/artifact/{digest}/sbom"));
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown artifact kind"), "{body}");
+    let (status, _, _, _) = artifact_post(&format!("/v1/artifact/{digest}/table"), "");
+    assert_eq!(status, 405);
+    let (status, _, body, _) = artifact_post("/v1/codegen?target=z80", &xml);
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown target"), "{body}");
+
+    // An infeasible spec renders no schedule-dependent artifact: 409.
+    let overload = ezrt_dsl::to_xml(
+        &ezrt_spec::SpecBuilder::new("overload")
+            .task("x", |t| t.computation(3).deadline(4).period(4))
+            .task("y", |t| t.computation(2).deadline(4).period(4))
+            .build()
+            .unwrap(),
+    );
+    let (status, _, body, _) = artifact_post("/v1/table", &overload);
+    assert_eq!(status, 409);
+    assert!(body.contains("no feasible schedule"), "{body}");
+
+    server.stop();
+}
+
+#[test]
+fn chunked_requests_are_refused_with_a_readable_501() {
+    let server = server(ServerConfig::default());
+    let addr = server.addr();
+    let xml = small_control_xml();
+
+    // The client ships the whole request — headers announcing chunked
+    // plus a body the server will never parse. The 501 must survive the
+    // unread bytes (lingering close), not be destroyed by an RST.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let head = format!(
+        "POST /v1/schedule HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nTransfer-Encoding: chunked\r\n\r\n",
+        xml.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(xml.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .expect("the 501 must survive the unread body");
+    assert!(raw.starts_with("HTTP/1.1 501"), "{raw}");
+    assert!(raw.contains("Transfer-Encoding"), "{raw}");
 
     server.stop();
 }

@@ -26,18 +26,28 @@
 //! the `spec_digest` cache key the server and batch rows share, so the
 //! three surfaces are join-able by key.
 //!
+//! The artifact commands (`schedule`, `table`, `codegen`, `gantt`,
+//! `pnml`) render through the shared `ezrt_artifacts` layer — the same
+//! code path as the HTTP artifact endpoints, so CLI bytes and server
+//! bodies are identical for one spec digest. The global `--cache-dir
+//! DIR` flag points them (and `serve`/`batch`) at a persistent digest
+//! store: a result synthesized by any surface is reused by every other.
+//!
 //! All output goes to stdout so results compose with shell pipelines;
 //! diagnostics go to stderr and failures exit nonzero.
 
+use ezrealtime::artifacts::{compute_outcome, render, ArtifactKind, SynthesisOutcome};
 use ezrealtime::codegen::Target;
 use ezrealtime::core::Project;
 use ezrealtime::server::batch::{run_batch, BatchOptions};
 use ezrealtime::server::cache::ResultCache;
 use ezrealtime::server::digest::project_digest;
+use ezrealtime::server::disk::DiskTier;
 use ezrealtime::server::report;
 use ezrealtime::server::{Server, ServerConfig};
 use ezrealtime::sim::{simulate_online, OnlinePolicy};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +71,8 @@ fn run(args: &[String]) -> Result<(), String> {
         None => 1,
     };
     let json = take_flag(&mut args, "--json");
+    let cache_dir = take_option_value(&mut args, "--cache-dir")?;
+    let cache_dir = cache_dir.as_deref();
 
     let Some(command) = args.first() else {
         return Err(usage());
@@ -75,13 +87,25 @@ fn run(args: &[String]) -> Result<(), String> {
         if json {
             return Err("--json is only supported by `ezrt schedule` and `ezrt batch`".to_owned());
         }
-        return serve(&mut args, jobs);
+        return serve(&mut args, jobs, cache_dir);
     }
     if command == "batch" {
-        return batch(&mut args, jobs, json);
+        return batch(&mut args, jobs, json, cache_dir);
     }
     if json && command != "schedule" {
         return Err("--json is only supported by `ezrt schedule` and `ezrt batch`".to_owned());
+    }
+    if cache_dir.is_some()
+        && !matches!(
+            command.as_str(),
+            "schedule" | "table" | "codegen" | "gantt" | "pnml"
+        )
+    {
+        return Err(
+            "--cache-dir is only supported by schedule, table, codegen, gantt, pnml, serve \
+             and batch"
+                .to_owned(),
+        );
     }
     let path = args.get(1).ok_or_else(usage)?;
     let document = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -91,15 +115,11 @@ fn run(args: &[String]) -> Result<(), String> {
 
     match command.as_str() {
         "check" => check(&project),
-        "schedule" => schedule(&project, json),
-        "gantt" => gantt(&project, args.get(2), args.get(3)),
-        "table" => table(&project),
-        "codegen" => codegen(&project, args.get(2)),
-        "pnml" => {
-            let outcome = synthesize(&project)?;
-            println!("{}", outcome.to_pnml());
-            Ok(())
-        }
+        "schedule" => schedule(&project, json, cache_dir),
+        "gantt" => gantt(&project, args.get(2), args.get(3), cache_dir),
+        "table" => artifact(&project, ArtifactKind::Table, cache_dir),
+        "codegen" => codegen(&project, args.get(2), cache_dir),
+        "pnml" => artifact(&project, ArtifactKind::Pnml, cache_dir),
         "dot" => {
             println!(
                 "{}",
@@ -143,7 +163,7 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
 }
 
 fn usage() -> String {
-    "usage: ezrt [--jobs N] <command> <spec.xml> [args]\n\
+    "usage: ezrt [--jobs N] [--cache-dir DIR] <command> <spec.xml> [args]\n\
      commands:\n\
      \x20 check     validate the specification\n\
      \x20 schedule  synthesize the pre-runtime schedule and print statistics\n\
@@ -159,23 +179,30 @@ fn usage() -> String {
      \x20 invariants place invariants (Farkas) of the translated Petri net\n\
      service commands (no spec.xml argument):\n\
      \x20 serve     --addr HOST:PORT [--cache-cap N] [--workers W]\n\
-     \x20           run the HTTP synthesis service (POST /v1/schedule,\n\
-     \x20           POST /v1/check, GET /v1/healthz, GET /v1/stats,\n\
-     \x20           POST /v1/shutdown); results are cached by spec digest\n\
+     \x20           [--max-pending N] run the HTTP synthesis service\n\
+     \x20           (POST /v1/schedule|/v1/check|/v1/table|/v1/codegen|/v1/gantt,\n\
+     \x20           GET /v1/artifact/<digest>/<kind>, GET /v1/healthz,\n\
+     \x20           GET /v1/stats, POST /v1/shutdown); results are cached\n\
+     \x20           by spec digest\n\
      \x20 batch     <dir> [--json] synthesize every *.xml spec under dir\n\
      \x20           through the same digest cache, one row per spec\n\
      \x20           (--jobs fans out files; per-spec search stays sequential)\n\
      global flags:\n\
-     \x20 --jobs N  synthesis worker threads (default 1 = sequential;\n\
-     \x20           N > 1 races DFS subtrees, first feasible schedule wins)"
+     \x20 --jobs N        synthesis worker threads (default 1 = sequential;\n\
+     \x20                 N > 1 races DFS subtrees, first feasible schedule wins)\n\
+     \x20 --cache-dir DIR persistent digest store shared by schedule/table/\n\
+     \x20                 codegen/gantt/pnml, serve and batch: results found\n\
+     \x20                 there are reused, fresh results are written back"
         .to_owned()
 }
 
-/// `ezrt serve --addr HOST:PORT [--cache-cap N] [--workers W]`: the
-/// long-lived HTTP synthesis service. The global `--jobs` becomes the
-/// default per-request synthesis parallelism (overridable per request
-/// with `?jobs=N`); `--workers` sizes the connection pool.
-fn serve(args: &mut Vec<String>, jobs: usize) -> Result<(), String> {
+/// `ezrt serve --addr HOST:PORT [--cache-cap N] [--workers W]
+/// [--max-pending N]`: the long-lived HTTP synthesis service. The
+/// global `--jobs` becomes the default per-request synthesis
+/// parallelism (overridable per request with `?jobs=N`); `--workers`
+/// sizes the connection pool; the global `--cache-dir` adds the
+/// persistent cache tier.
+fn serve(args: &mut Vec<String>, jobs: usize, cache_dir: Option<&str>) -> Result<(), String> {
     let addr = take_option_value(args, "--addr")?
         .ok_or_else(|| format!("serve requires --addr HOST:PORT\n{}", usage()))?;
     let cache_capacity = match take_option_value(args, "--cache-cap")? {
@@ -192,6 +219,12 @@ fn serve(args: &mut Vec<String>, jobs: usize) -> Result<(), String> {
             .ok_or_else(|| format!("--workers expects a positive number, found {value:?}"))?,
         None => 4,
     };
+    let max_pending = match take_option_value(args, "--max-pending")? {
+        Some(value) => value.parse::<usize>().map_err(|_| {
+            format!("--max-pending expects a number of connections, found {value:?}")
+        })?,
+        None => 128,
+    };
     if let Some(extra) = args.get(1) {
         return Err(format!("serve: unexpected argument {extra:?}"));
     }
@@ -203,12 +236,17 @@ fn serve(args: &mut Vec<String>, jobs: usize) -> Result<(), String> {
         workers,
         cache_capacity,
         cache_shards: 0,
+        cache_dir: cache_dir.map(std::path::PathBuf::from),
+        max_pending,
     };
     let server = Server::start(&addr, config)?;
     println!("ezrt serve: listening on http://{}", server.addr());
     println!(
         "ezrt serve: {workers} worker(s), {jobs} default job(s), cache capacity {cache_capacity}"
     );
+    if let Some(dir) = cache_dir {
+        println!("ezrt serve: persistent cache at {dir}");
+    }
     use std::io::Write;
     let _ = std::io::stdout().flush();
     server.wait(); // until POST /v1/shutdown; joins every thread
@@ -221,7 +259,12 @@ fn serve(args: &mut Vec<String>, jobs: usize) -> Result<(), String> {
 /// row per spec. `--jobs` fans the *files* out; each file's synthesis
 /// runs the sequential engine so rows are deterministic and match
 /// standalone `ezrt schedule --json` runs field for field.
-fn batch(args: &mut [String], jobs: usize, json: bool) -> Result<(), String> {
+fn batch(
+    args: &mut [String],
+    jobs: usize,
+    json: bool,
+    cache_dir: Option<&str>,
+) -> Result<(), String> {
     let dir = args
         .get(1)
         .ok_or_else(|| format!("batch requires a spec directory\n{}", usage()))?;
@@ -232,7 +275,11 @@ fn batch(args: &mut [String], jobs: usize, json: bool) -> Result<(), String> {
         fanout: ezrealtime::scheduler::Parallelism::new(jobs),
         ..BatchOptions::default()
     };
-    let cache = ResultCache::new(options.cache_capacity, 8);
+    let disk = match cache_dir {
+        Some(dir) => Some(DiskTier::open(dir)?),
+        None => None,
+    };
+    let cache = ResultCache::with_disk(options.cache_capacity, 8, disk);
     let rows = run_batch(std::path::Path::new(dir), &options, &cache)?;
     let mut failures = 0usize;
     for row in &rows {
@@ -295,44 +342,84 @@ fn check(project: &Project) -> Result<(), String> {
     Ok(())
 }
 
-fn schedule(project: &Project, json: bool) -> Result<(), String> {
+/// Obtains the synthesis outcome for `project` through the shared
+/// artifact pipeline: with `--cache-dir` the persistent store is
+/// consulted first (a prior run by any surface — CLI, `ezrt serve`,
+/// `ezrt batch` — is reused without re-searching) and fresh results
+/// are written back; without it the outcome is computed directly, by
+/// the exact code the server's cache would run on a miss.
+fn cached_outcome(
+    project: &Project,
+    cache_dir: Option<&str>,
+) -> Result<Arc<SynthesisOutcome>, String> {
+    let digest = project_digest(project);
+    let tier = match cache_dir {
+        Some(dir) => Some(DiskTier::open(dir)?),
+        None => None,
+    };
+    if let Some(revived) = tier.as_ref().and_then(|tier| tier.load(&digest)) {
+        return Ok(Arc::new(revived));
+    }
+    let outcome = compute_outcome(project, digest);
+    if let Some(tier) = &tier {
+        tier.store(&outcome);
+    }
+    Ok(Arc::new(outcome))
+}
+
+/// The `feasible: false` exit path shared by the artifact commands —
+/// the render layer's own message, so `schedule`/`gantt` say exactly
+/// what `table`/`codegen`/`pnml` (and the HTTP 409) say.
+fn infeasible_error(outcome: &SynthesisOutcome) -> String {
+    ezrealtime::artifacts::RenderError::Infeasible {
+        error: outcome.error.clone(),
+    }
+    .to_string()
+}
+
+/// Renders one artifact of the synthesized (or cache-revived) outcome
+/// to stdout — `ezrt table`, `ezrt pnml`, `ezrt codegen` and the
+/// default-window `ezrt gantt` all land here, emitting byte-identical
+/// output to the corresponding HTTP artifact endpoint.
+fn artifact(project: &Project, kind: ArtifactKind, cache_dir: Option<&str>) -> Result<(), String> {
+    let outcome = cached_outcome(project, cache_dir)?;
+    let artifact = render(&outcome, kind).map_err(|error| error.to_string())?;
+    print!("{}", artifact.text);
+    Ok(())
+}
+
+fn schedule(project: &Project, json: bool, cache_dir: Option<&str>) -> Result<(), String> {
     // The digest is the cache key of `ezrt serve` and the join key
     // across schedule/batch/server outputs; it covers the parsed spec
     // plus the result-relevant scheduler knobs (never `--jobs`).
-    let digest = project_digest(project);
-    let outcome = match project.synthesize() {
-        Ok(outcome) => outcome,
-        Err(error) => {
-            // The scripting contract holds on failure too: one JSON
-            // object on stdout (feasible: false plus the search
-            // counters), the human-readable diagnostic on stderr, and a
-            // nonzero exit either way. The rendering is shared with the
-            // server's `/v1/schedule` responses (`ezrt_server::report`).
-            if json {
-                println!(
-                    "{}",
-                    report::render_pretty(&report::failure_fields(&digest, &error))
-                );
-            }
-            return Err(format!("schedule synthesis failed: {error}"));
-        }
-    };
+    let outcome = cached_outcome(project, cache_dir)?;
     if json {
         // Hand-rolled JSON (the workspace builds offline, without
         // serde): one flat object so bench trajectories can be scripted
-        // with jq — rendered by the same `ezrt_server::report` code the
-        // HTTP service uses, so the two outputs are byte-identical.
-        println!(
-            "{}",
-            report::render_pretty(&report::success_fields(&digest, &outcome))
-        );
+        // with jq — rendered by the same `ezrt_artifacts::report` code
+        // the HTTP service uses, so the two outputs are byte-identical.
+        // The scripting contract holds on failure too: one JSON object
+        // on stdout (feasible: false plus the search counters), the
+        // human-readable diagnostic on stderr, a nonzero exit.
+        println!("{}", report::render_pretty(&outcome.fields));
+        if !outcome.feasible {
+            return Err(infeasible_error(&outcome));
+        }
         return Ok(());
     }
-    let violations = outcome.validate();
+    let Some(solution) = outcome.solution.as_ref() else {
+        return Err(infeasible_error(&outcome));
+    };
+    let violations = outcome
+        .fields
+        .iter()
+        .find(|(key, _)| *key == "violations")
+        .map(|(_, value)| value.as_str())
+        .unwrap_or("0");
     println!("feasible schedule found");
-    println!("  spec digest      {digest}");
-    println!("  firings          {}", outcome.schedule.firings().len());
-    println!("  makespan         {}", outcome.schedule.makespan());
+    println!("  spec digest      {}", outcome.digest);
+    println!("  firings          {}", solution.schedule().firings().len());
+    println!("  makespan         {}", solution.schedule().makespan());
     println!("  states visited   {}", outcome.stats.states_visited);
     println!("  minimum states   {}", outcome.stats.minimum_states());
     println!("  overhead ratio   {:.4}", outcome.stats.overhead_ratio());
@@ -340,49 +427,54 @@ fn schedule(project: &Project, json: bool) -> Result<(), String> {
     println!("  elapsed          {:?}", outcome.stats.elapsed);
     println!("  jobs             {}", outcome.stats.jobs);
     println!("  steals           {}", outcome.stats.steals);
-    println!("  validator        {} violation(s)", violations.len());
-    for violation in violations {
-        println!("    {violation}");
+    println!("  validator        {violations} violation(s)");
+    if violations != "0" {
+        // A nonzero count signals a kernel bug; name the constraints.
+        for violation in solution.validate() {
+            println!("    {violation}");
+        }
     }
     Ok(())
 }
 
-fn gantt(project: &Project, from: Option<&String>, to: Option<&String>) -> Result<(), String> {
-    let outcome = synthesize(project)?;
+fn gantt(
+    project: &Project,
+    from: Option<&String>,
+    to: Option<&String>,
+    cache_dir: Option<&str>,
+) -> Result<(), String> {
+    // The no-argument form is the canonical `gantt` artifact; explicit
+    // windows render the same timeline over a custom range.
+    if from.is_none() && to.is_none() {
+        return artifact(project, ArtifactKind::Gantt, cache_dir);
+    }
     let from = parse_number(from, 0)?;
     let default_to = (from + 120).min(project.spec().hyperperiod().max(from + 1));
     let to = parse_number(to, default_to)?;
     if to <= from {
         return Err("gantt window must be non-empty".to_owned());
     }
-    print!("{}", outcome.gantt(from, to));
-    Ok(())
-}
-
-fn table(project: &Project) -> Result<(), String> {
-    let outcome = synthesize(project)?;
-    print!("{}", outcome.table.to_c_array());
-    Ok(())
-}
-
-fn codegen(project: &Project, target: Option<&String>) -> Result<(), String> {
-    let target = match target.map(String::as_str) {
-        None | Some("posix_sim") => Target::PosixSim,
-        Some("generic") => Target::GenericBareMetal,
-        Some("i8051") => Target::I8051,
-        Some("avr8") => Target::Avr8,
-        Some("arm9") => Target::Arm9,
-        Some("m68k") => Target::M68k,
-        Some("x86") => Target::X86Bare,
-        Some(other) => return Err(format!("unknown target {other:?}")),
+    let outcome = cached_outcome(project, cache_dir)?;
+    let Some(solution) = outcome.solution.as_ref() else {
+        return Err(infeasible_error(&outcome));
     };
-    let outcome = synthesize(project)?;
-    let code = outcome.generate_code(target);
-    println!("/* ===== {} ===== */", code.header_name);
-    println!("{}", code.header);
-    println!("/* ===== {} ===== */", code.source_name);
-    println!("{}", code.source);
+    print!("{}", solution.gantt_window(from, to));
     Ok(())
+}
+
+fn codegen(
+    project: &Project,
+    target: Option<&String>,
+    cache_dir: Option<&str>,
+) -> Result<(), String> {
+    // Target names are owned by `ArtifactKind::parse` — the same table
+    // the HTTP `?target=` parameter goes through, so both surfaces
+    // accept exactly the same spellings.
+    let kind = match target {
+        None => ArtifactKind::Codegen(Target::PosixSim),
+        Some(target) => ArtifactKind::parse(&format!("codegen:{target}"))?,
+    };
+    artifact(project, kind, cache_dir)
 }
 
 fn simulate(project: &Project, periods: Option<&String>) -> Result<(), String> {

@@ -22,9 +22,14 @@
 //! * [`dsl`] — the `<rt:ez-spec>` XML language (paper Fig. 7).
 //! * [`pnml`] — PNML ISO/IEC 15909-2 interchange (paper §4.1).
 //! * [`core`] — the end-to-end [`core::Project`] pipeline (paper Fig. 6).
+//! * [`artifacts`] — the artifact layer: every output of a synthesis
+//!   (report JSON, schedule table, generated C, Gantt, PNML) rendered
+//!   as a pure function of one cached outcome, plus the disk-cache
+//!   codec.
 //! * [`server`] — the synthesis service: canonical spec digests, the
-//!   singleflight result cache, the std-only HTTP front end (`ezrt
-//!   serve`) and batch fan-out (`ezrt batch`).
+//!   singleflight result cache with its persistent disk tier, the
+//!   std-only HTTP front end (`ezrt serve`, keep-alive, artifact
+//!   endpoints) and batch fan-out (`ezrt batch`).
 //!
 //! # Quickstart
 //!
@@ -46,6 +51,7 @@
 //! # }
 //! ```
 
+pub use ezrt_artifacts as artifacts;
 pub use ezrt_codegen as codegen;
 pub use ezrt_compose as compose;
 pub use ezrt_core as core;

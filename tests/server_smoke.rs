@@ -15,7 +15,7 @@ fn request(addr: &str, method: &str, target: &str, body: &str) -> (u16, String) 
         .set_read_timeout(Some(Duration::from_secs(60)))
         .expect("read timeout");
     let head = format!(
-        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes()).expect("write head");

@@ -102,17 +102,27 @@ fn contended_exhaustion_proofs_agree_and_terminate() {
 /// parking until a donation lands in a peer's deque and stealing then).
 /// Across rounds of the infeasible exhaustion — which cannot first-win
 /// terminate early — at least one steal must be observed.
+///
+/// Whether a given round steals depends on how the OS interleaves the
+/// workers: on a single-core host a round can finish with every item
+/// consumed by its own deque's owner. Each round is milliseconds, so
+/// the test retries (up to a generous bound) and stops at the first
+/// observed steal — zero steals across *all* rounds is the regression
+/// signal, a slow first round is not.
 #[test]
 fn steals_are_observed_under_worker_surplus() {
     let spec = overload_spec();
     let tasknet = translate(&spec);
     let mut total_steals = 0usize;
-    for _ in 0..5 {
+    for _ in 0..50 {
         let err = synthesize_parallel(&tasknet, &config_with_jobs(8)).unwrap_err();
         total_steals += err.stats().steals;
+        if total_steals > 0 {
+            return;
+        }
     }
     assert!(
         total_steals > 0,
-        "8 workers over a narrow root frontier never stole work"
+        "8 workers over a narrow root frontier never stole work in 50 rounds"
     );
 }

@@ -1,0 +1,144 @@
+//! End-to-end warm-restart smoke test of `ezrt serve --cache-dir`: boot
+//! the real binary twice over one cache directory and assert the second
+//! boot serves a previously synthesized spec from the disk tier with
+//! **zero** synthesis calls (`cache_misses == 0` in `/v1/stats`) —
+//! the CI warm-restart step runs this under `RUST_TEST_THREADS=1`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn request(addr: &str, method: &str, target: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to ezrt serve");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn field<'a>(body: &'a str, key: &str) -> &'a str {
+    let marker = format!("\"{key}\": ");
+    let start = body
+        .find(&marker)
+        .unwrap_or_else(|| panic!("missing {key} in {body}"))
+        + marker.len();
+    let rest = &body[start..];
+    let end = rest.find('\n').unwrap_or(rest.len());
+    rest[..end].trim_end().trim_end_matches(',')
+}
+
+/// Boots `ezrt serve --cache-dir <dir>` and returns the child, its
+/// announced loopback address, and the stdout reader — which must stay
+/// alive until the child exits: dropping it closes the pipe, and the
+/// server's own shutdown banner would die on EPIPE.
+fn boot(cache_dir: &str) -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ezrt"))
+        .args([
+            "--cache-dir",
+            cache_dir,
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("ezrt serve spawns");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("banner line");
+    let addr = banner
+        .trim()
+        .rsplit("http://")
+        .next()
+        .expect("address in banner")
+        .to_owned();
+    assert!(
+        addr.starts_with("127.0.0.1:"),
+        "unexpected banner {banner:?}"
+    );
+    (child, addr, stdout)
+}
+
+fn shutdown(mut child: Child, addr: &str, mut stdout: BufReader<std::process::ChildStdout>) {
+    let (status, _) = request(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(exit) => {
+                assert!(exit.success(), "serve exited with {exit:?}");
+                let mut rest = String::new();
+                stdout.read_to_string(&mut rest).expect("drain stdout");
+                assert!(rest.contains("shut down cleanly"), "stdout tail: {rest:?}");
+                return;
+            }
+            None if Instant::now() >= deadline => {
+                let _ = child.kill();
+                panic!("ezrt serve did not exit after /v1/shutdown");
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+#[test]
+fn second_boot_serves_from_the_cache_dir_with_zero_misses() {
+    let dir = std::env::temp_dir().join(format!("ezrt_warm_restart_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_arg = dir.to_str().expect("utf-8 temp path").to_owned();
+    let spec = ezrealtime::dsl::to_xml(&ezrealtime::spec::corpus::small_control());
+
+    // Boot 1: a cold miss, persisted to the cache dir on the way out.
+    let (child, addr, stdout) = boot(&dir_arg);
+    let (status, cold) = request(&addr, "POST", "/v1/schedule", &spec);
+    assert_eq!(status, 200);
+    assert_eq!(field(&cold, "cache"), "\"miss\"");
+    let digest = field(&cold, "spec_digest").trim_matches('"').to_owned();
+    shutdown(child, &addr, stdout);
+
+    // Boot 2: the same spec revives from disk — zero synthesis calls.
+    let (child, addr, stdout) = boot(&dir_arg);
+    let (status, warm) = request(&addr, "POST", "/v1/schedule", &spec);
+    assert_eq!(status, 200);
+    assert_eq!(field(&warm, "cache"), "\"disk\"");
+    assert_eq!(
+        cold.replace("\"cache\": \"miss\"", ""),
+        warm.replace("\"cache\": \"disk\"", ""),
+        "the warm boot serves the cold boot's outcome verbatim"
+    );
+    // Artifacts of the persisted digest are available immediately.
+    let (status, table) = request(&addr, "GET", &format!("/v1/artifact/{digest}/table"), "");
+    assert_eq!(status, 200);
+    assert!(
+        table.starts_with("struct ScheduleItem scheduleTable"),
+        "{table}"
+    );
+    let (_, stats) = request(&addr, "GET", "/v1/stats", "");
+    assert_eq!(field(&stats, "cache_misses"), "0", "{stats}");
+    let disk_hits: u64 = field(&stats, "cache_disk_hits").parse().expect("number");
+    assert!(disk_hits >= 1, "{stats}");
+    shutdown(child, &addr, stdout);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

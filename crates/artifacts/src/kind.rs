@@ -78,13 +78,14 @@ impl ArtifactKind {
         }
     }
 
-    /// The MIME content type the HTTP front end serves this kind under.
+    /// The MIME content type the HTTP front end serves this kind under:
+    /// the table and generated code are C source, the Gantt chart is
+    /// plain text, the report is JSON, the net is XML (PNML).
     pub fn content_type(&self) -> &'static str {
         match self {
             ArtifactKind::ReportJson => "application/json",
-            ArtifactKind::Table | ArtifactKind::Codegen(_) | ArtifactKind::Gantt => {
-                "text/plain; charset=utf-8"
-            }
+            ArtifactKind::Table | ArtifactKind::Codegen(_) => "text/x-csrc; charset=utf-8",
+            ArtifactKind::Gantt => "text/plain; charset=utf-8",
             ArtifactKind::Pnml => "application/xml",
         }
     }
@@ -138,6 +139,24 @@ mod tests {
         let error = ArtifactKind::parse("codegen:z80").expect_err("unknown target");
         assert!(error.contains("unknown target"), "{error}");
         assert!(error.contains("posix_sim"), "{error}");
+    }
+
+    #[test]
+    fn content_types_are_per_kind() {
+        assert_eq!(ArtifactKind::ReportJson.content_type(), "application/json");
+        assert_eq!(
+            ArtifactKind::Table.content_type(),
+            "text/x-csrc; charset=utf-8"
+        );
+        assert_eq!(
+            ArtifactKind::Codegen(Target::I8051).content_type(),
+            "text/x-csrc; charset=utf-8"
+        );
+        assert_eq!(
+            ArtifactKind::Gantt.content_type(),
+            "text/plain; charset=utf-8"
+        );
+        assert_eq!(ArtifactKind::Pnml.content_type(), "application/xml");
     }
 
     #[test]

@@ -26,6 +26,8 @@
 
 use crate::digest::SpecDigest;
 use crate::disk::{DiskStats, DiskTier};
+use crate::rendered::{RenderedArtifact, RenderedCache, RenderedStats};
+use ezrt_artifacts::{ArtifactKind, RenderError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -125,6 +127,9 @@ pub struct ResultCache {
     per_shard_capacity: usize,
     /// The persistent tier, when configured.
     disk: Option<DiskTier>,
+    /// The rendered-byte tier: `(digest, kind) → Arc<[u8]>`, so a hot
+    /// artifact hit is an `Arc` clone instead of a re-render.
+    rendered: RenderedCache,
     /// Global LRU clock, bumped on every hit and insert.
     tick: AtomicU64,
     hits: AtomicU64,
@@ -156,6 +161,10 @@ impl ResultCache {
             capacity,
             per_shard_capacity: capacity.div_ceil(shards),
             disk,
+            // Several artifact kinds render per outcome, so the
+            // rendered tier holds a multiple of the outcome bound;
+            // disabling the outcome tier disables this one too.
+            rendered: RenderedCache::new(capacity.saturating_mul(4), shards),
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
@@ -168,6 +177,30 @@ impl ResultCache {
     /// The disk tier's counters, when one is configured.
     pub fn disk_stats(&self) -> Option<DiskStats> {
         self.disk.as_ref().map(DiskTier::stats)
+    }
+
+    /// The rendered-byte tier's counters.
+    pub fn rendered_stats(&self) -> RenderedStats {
+        self.rendered.stats()
+    }
+
+    /// Serves `kind` of `outcome` through the rendered-byte tier: a
+    /// resident `(digest, kind)` entry is an `Arc` clone, a miss runs
+    /// `ezrt_artifacts::render` once and memoizes the bytes. Every
+    /// artifact surface — the HTTP endpoints, the CLI artifact
+    /// commands, batch — funnels through here, so hot artifact bytes
+    /// are built once per process no matter which surface asks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`RenderError`] when the kind requires a
+    /// feasible schedule and the outcome has none.
+    pub fn render_artifact(
+        &self,
+        outcome: &SynthesisOutcome,
+        kind: ArtifactKind,
+    ) -> Result<RenderedArtifact, RenderError> {
+        self.rendered.get_or_render(outcome, kind)
     }
 
     fn shard(&self, digest: &SpecDigest) -> &Mutex<Shard> {
@@ -513,6 +546,27 @@ mod tests {
         let (_, lookup) = cache.get_or_compute(d, || stub_outcome(d));
         assert_eq!(lookup, Lookup::Miss);
         assert_eq!(cache.stats().inflight, 0);
+    }
+
+    #[test]
+    fn render_artifact_funnels_through_the_rendered_tier() {
+        let cache = ResultCache::new(8, 2);
+        let d = digest_of(50);
+        let (outcome, _) = cache.get_or_compute(d, || stub_outcome(d));
+        let first = cache
+            .render_artifact(&outcome, ArtifactKind::ReportJson)
+            .expect("report renders");
+        assert!(!first.cached);
+        let second = cache
+            .render_artifact(&outcome, ArtifactKind::ReportJson)
+            .expect("report renders");
+        assert!(second.cached);
+        assert!(Arc::ptr_eq(&first.bytes, &second.bytes));
+        let rendered = cache.rendered_stats();
+        assert_eq!((rendered.hits, rendered.misses), (1, 1));
+        assert_eq!(rendered.capacity, 32, "4 kinds-worth per outcome slot");
+        // A zero-capacity result cache disables the rendered tier too.
+        assert_eq!(ResultCache::new(0, 1).rendered_stats().capacity, 0);
     }
 
     #[test]

@@ -11,33 +11,52 @@
 //! | POST   | `/v1/table`    | spec XML body → the Fig. 8 schedule table (C array), byte-identical to `ezrt table` |
 //! | POST   | `/v1/codegen`  | spec XML body → the generated C translation unit; `?target=<t>` picks the target (default `posix_sim`) |
 //! | POST   | `/v1/gantt`    | spec XML body → the ASCII timeline over the default window |
-//! | GET    | `/v1/artifact/<digest>/<kind>` | any artifact of an already-synthesized digest, straight from the memory or disk cache (404 when absent; never synthesizes) |
+//! | GET    | `/v1/artifact/<digest>/<kind>` | any artifact of an already-synthesized digest, straight from the rendered-byte, memory or disk cache (404 when absent; never synthesizes) |
 //! | GET    | `/v1/healthz`  | liveness probe                                   |
-//! | GET    | `/v1/stats`    | request, connection and cache counters           |
+//! | GET    | `/v1/stats`    | request, connection and cache counters (all three cache tiers) |
 //! | POST   | `/v1/shutdown` | graceful stop: drain workers, join threads       |
 //!
-//! Artifact bodies (`table`, `codegen`, `gantt`, `pnml`, `report-json`)
-//! are rendered by `ezrt_artifacts::render` — the same code path as the
-//! CLI — so they carry no per-response envelope; cache provenance and
-//! the digest ride in `X-Ezrt-Cache` / `X-Ezrt-Digest` headers instead.
+//! `HEAD` is accepted wherever `GET` is, and additionally on the POST
+//! spec routes (`/v1/schedule`, `/v1/check`, `/v1/table`,
+//! `/v1/codegen`, `/v1/gantt`, with the spec as the request body): the
+//! response carries exactly the headers the full request would
+//! (including `Content-Length` of the would-be body) and no body.
+//!
+//! **Conditional requests.** Artifacts are immutable per digest (every
+//! body is a pure render of a digest-keyed outcome), so artifact and
+//! report responses carry a strong validator `ETag: "<digest>:<kind>"`.
+//! A request whose `If-None-Match` lists that tag (or `*`) is answered
+//! `304 Not Modified` — same `ETag`, `Content-Length: 0`, no body — so
+//! a repeat client pays ~100 header bytes instead of the artifact.
+//! Artifact bodies are served from the rendered-byte tier
+//! ([`RenderedCache`](crate::rendered::RenderedCache)): a hot `(digest,
+//! kind)` hit is an `Arc` clone of the cached bytes, not a re-render;
+//! `X-Ezrt-Rendered: hit|miss` reports which happened. Cache provenance
+//! and the digest ride in `X-Ezrt-Cache` / `X-Ezrt-Digest` headers as
+//! before.
 //!
 //! **Connection handling.** One accept thread pushes connections onto a
 //! condvar-guarded queue drained by `workers` threads. HTTP/1.1
 //! connections are **kept alive** (idle timeout [`KEEP_ALIVE_IDLE`],
-//! at most [`MAX_CONNECTION_REQUESTS`] requests per connection);
-//! `Connection: close` and HTTP/1.0 get one request per connection as
-//! before. When the pending-connection queue exceeds
-//! [`ServerConfig::max_pending`], new connections are **shed** with
-//! `503 Retry-After` instead of queueing unboundedly. Synthesis
-//! parallelism is per request — the server reuses the engine's
-//! [`Parallelism`] type, so a single POST can fan its search out over
-//! `jobs` threads while the pool keeps accepting.
+//! at most [`MAX_CONNECTION_REQUESTS`] requests per connection) and
+//! **pipelined**: each socket read drains into a per-connection buffer,
+//! every complete buffered request is parsed and routed without another
+//! read, and the responses queue in an output buffer written — in
+//! request order — before the next blocking read. A client that writes
+//! N requests in one TCP segment gets N in-order responses for (ideally)
+//! one read and one write syscall. `Connection: close` and HTTP/1.0 get
+//! one request per connection as before. When the pending-connection
+//! queue exceeds [`ServerConfig::max_pending`], new connections are
+//! **shed** with `503 Retry-After` instead of queueing unboundedly.
+//! Synthesis parallelism is per request — the server reuses the
+//! engine's [`Parallelism`] type, so a single POST can fan its search
+//! out over `jobs` threads while the pool keeps accepting.
 
 use crate::cache::{compute_outcome, Lookup, ResultCache, SynthesisOutcome};
 use crate::digest::{project_digest, SpecDigest};
 use crate::disk::DiskTier;
 use crate::report::{self, JsonFields};
-use ezrt_artifacts::{render, ArtifactKind, RenderError};
+use ezrt_artifacts::{ArtifactKind, RenderError};
 use ezrt_core::Project;
 use ezrt_scheduler::SchedulerConfig;
 use ezrt_tpn::Parallelism;
@@ -55,6 +74,8 @@ const MAX_HEAD_BYTES: usize = 16 * 1024;
 const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 /// Per-connection socket timeout: a stalled client cannot pin a worker.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// How much a single socket read may pull into the connection buffer.
+const READ_CHUNK: usize = 16 * 1024;
 /// How long a kept-alive connection may sit idle between requests
 /// before the worker closes it and moves on.
 pub const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
@@ -85,6 +106,10 @@ pub struct ServerConfig {
     /// Disk cache directory (`--cache-dir`): when set, synthesis
     /// results persist here and a restarted server warm-starts from it.
     pub cache_dir: Option<PathBuf>,
+    /// Disk cache byte budget (`--cache-max-bytes`): when set alongside
+    /// `cache_dir`, an mtime-LRU sweep keeps the directory under this
+    /// many bytes (enforced at startup and after every write).
+    pub cache_max_bytes: Option<u64>,
     /// Accept-queue bound (`--max-pending`): connections beyond this
     /// many pending are shed with `503 Retry-After`. 0 means unbounded.
     pub max_pending: usize,
@@ -98,6 +123,7 @@ impl Default for ServerConfig {
             cache_capacity: 1024,
             cache_shards: 0,
             cache_dir: None,
+            cache_max_bytes: None,
             max_pending: 128,
         }
     }
@@ -131,6 +157,8 @@ struct Shared {
     schedule_requests: AtomicU64,
     artifact_requests: AtomicU64,
     http_errors: AtomicU64,
+    /// `304 Not Modified` responses (conditional hits).
+    not_modified: AtomicU64,
 }
 
 impl Shared {
@@ -185,7 +213,7 @@ impl Server {
             config.cache_shards
         };
         let disk = match &config.cache_dir {
-            Some(dir) => Some(DiskTier::open(dir)?),
+            Some(dir) => Some(DiskTier::open_with_budget(dir, config.cache_max_bytes)?),
             None => None,
         };
         let workers = config.workers.max(1);
@@ -207,6 +235,7 @@ impl Server {
             schedule_requests: AtomicU64::new(0),
             artifact_requests: AtomicU64::new(0),
             http_errors: AtomicU64::new(0),
+            not_modified: AtomicU64::new(0),
         });
 
         let mut threads = Vec::with_capacity(workers + 2);
@@ -382,7 +411,114 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+/// One kept-alive connection's I/O state: unconsumed request bytes in
+/// `buffer` (where pipelined requests queue up), encoded responses in
+/// `out`.
+///
+/// The framing invariant that makes pipelining deadlock-free: `out` is
+/// flushed before **any** blocking socket read ([`fill`](Self::fill) is
+/// the only reader, and it flushes first). Parsing a request that is
+/// already buffered touches no socket at all — so N requests arriving
+/// in one segment are answered with all N responses in one write, and
+/// the worker never sleeps on a client that is itself waiting for our
+/// queued responses.
+struct Connection {
+    stream: TcpStream,
+    buffer: Vec<u8>,
+    out: Vec<u8>,
+}
+
+impl Connection {
+    fn new(stream: TcpStream) -> Connection {
+        Connection {
+            stream,
+            buffer: Vec::new(),
+            out: Vec::new(),
+        }
+    }
+
+    /// Writes every queued response byte to the socket.
+    fn flush(&mut self) -> std::io::Result<()> {
+        if !self.out.is_empty() {
+            self.stream.write_all(&self.out)?;
+            self.stream.flush()?;
+            self.out.clear();
+        }
+        Ok(())
+    }
+
+    /// Flushes queued responses, then reads one chunk off the socket
+    /// into the buffer. Returns the number of bytes read (0 = EOF).
+    fn fill(&mut self) -> std::io::Result<usize> {
+        self.flush()?;
+        let mut chunk = [0u8; READ_CHUNK];
+        let count = self.stream.read(&mut chunk)?;
+        self.buffer.extend_from_slice(&chunk[..count]);
+        Ok(count)
+    }
+
+    /// Serializes `response` onto the output queue (written on the next
+    /// flush, in request order).
+    fn enqueue(&mut self, response: &Response, close: bool, head_only: bool) {
+        encode_response(&mut self.out, response, close, head_only);
+    }
+
+    /// Parses the next request: from the buffer alone when one is fully
+    /// buffered (the pipelined case), reading more only as needed.
+    /// `Ok(None)` is a clean end of the connection — the peer closed
+    /// (or went idle past the keep-alive timeout) *between* requests,
+    /// so nothing should be written back. `Err` carries a ready error
+    /// `Response` for malformed input.
+    fn next_request(&mut self, first: bool) -> Result<Option<Request>, Response> {
+        let head_len = loop {
+            if let Some(position) = self
+                .buffer
+                .windows(4)
+                .position(|window| window == b"\r\n\r\n")
+            {
+                break position + 4;
+            }
+            // No terminator anywhere in the buffer, so every buffered
+            // byte belongs to this head.
+            if self.buffer.len() > MAX_HEAD_BYTES {
+                return Err(Response::error(413, "request head too large"));
+            }
+            match self.fill() {
+                Ok(0) if self.buffer.is_empty() => return Ok(None),
+                Ok(0) => return Err(Response::error(400, "connection closed mid-request")),
+                Ok(_) => {}
+                Err(_) if self.buffer.is_empty() && !first => return Ok(None), // idle keep-alive
+                Err(_) => return Err(Response::error(408, "timed out reading request head")),
+            }
+        };
+        let head = std::str::from_utf8(&self.buffer[..head_len])
+            .map_err(|_| Response::error(400, "non-UTF-8 header"))?;
+        let head = parse_head(head)?;
+        if head.content_length > MAX_BODY_BYTES {
+            return Err(Response::error(413, "request body too large"));
+        }
+        let total = head_len + head.content_length;
+        while self.buffer.len() < total {
+            match self.fill() {
+                Ok(0) => return Err(Response::error(400, "connection closed mid-body")),
+                Ok(_) => {}
+                Err(_) => return Err(Response::error(400, "connection closed mid-body")),
+            }
+        }
+        let body = self.buffer[head_len..total].to_vec();
+        self.buffer.drain(..total);
+        Ok(Some(Request {
+            method: head.method,
+            path: head.path,
+            query: head.query,
+            body,
+            keep_alive: head.keep_alive,
+            if_none_match: head.if_none_match,
+        }))
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
     shared.connections.fetch_add(1, Ordering::Relaxed);
     // Keep-alive turns each connection into a request/response ping-pong
     // of small writes; without TCP_NODELAY, Nagle holds every second
@@ -390,28 +526,38 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     // round-trips by tens of milliseconds.
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut conn = Connection::new(stream);
     let mut served: u64 = 0;
     loop {
         let first = served == 0;
         // The first request gets the full IO timeout; an idle kept-alive
         // connection is closed sooner so it cannot pin a worker.
-        let _ = stream.set_read_timeout(Some(if first { IO_TIMEOUT } else { KEEP_ALIVE_IDLE }));
-        let request = match read_request(&mut stream, first) {
+        let _ =
+            conn.stream
+                .set_read_timeout(Some(if first { IO_TIMEOUT } else { KEEP_ALIVE_IDLE }));
+        let request = match conn.next_request(first) {
             Ok(Some(request)) => request,
-            Ok(None) => break, // clean close or idle timeout between requests
+            Ok(None) => {
+                // Clean close or idle timeout between requests; any
+                // still-queued responses were flushed before the read.
+                let _ = conn.flush();
+                break;
+            }
             Err(response) => {
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 shared.http_errors.fetch_add(1, Ordering::Relaxed);
                 // Parse errors answer before the body was consumed, so
                 // a plain close would RST the error response away.
-                if write_response(&mut stream, &response, true).is_ok() {
-                    linger_close(&mut stream);
+                conn.enqueue(&response, true, false);
+                if conn.flush().is_ok() {
+                    linger_close(&mut conn.stream);
                 }
                 break;
             }
         };
         shared.requests.fetch_add(1, Ordering::Relaxed);
         served += 1;
+        let head_only = request.method == "HEAD";
         // A panicking handler (a kernel bug surfacing through a replay
         // assert, say) must not shrink the pool and must still answer
         // the client: catch the unwind and convert it to a 500.
@@ -423,118 +569,54 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         if response.status >= 400 {
             shared.http_errors.fetch_add(1, Ordering::Relaxed);
         }
+        if response.status == 304 {
+            shared.not_modified.fetch_add(1, Ordering::Relaxed);
+        }
         let close = !request.keep_alive
             || served >= MAX_CONNECTION_REQUESTS
             || !shared.running.load(Ordering::SeqCst);
-        if write_response(&mut stream, &response, close).is_err() || close {
+        conn.enqueue(&response, close, head_only);
+        if close {
+            // The client may still have pipelined requests in flight
+            // past the per-connection cap; linger so the final response
+            // is not RST away with them.
+            if conn.flush().is_ok() && !conn.buffer.is_empty() {
+                linger_close(&mut conn.stream);
+            }
             break;
         }
+        // Keep-alive: loop. If another request is already buffered it
+        // is parsed without touching the socket (the pipelined case);
+        // otherwise the next fill() flushes the queued responses first.
     }
 }
 
-/// A parsed request: method, path (query split off), raw body, and
-/// whether the connection should be kept alive afterwards.
+/// A parsed request: method, path (query split off), raw body,
+/// conditional validator, and whether the connection should be kept
+/// alive afterwards.
 struct Request {
     method: String,
     path: String,
     query: String,
     body: Vec<u8>,
     keep_alive: bool,
+    /// The raw `If-None-Match` header value, when present.
+    if_none_match: Option<String>,
 }
 
-/// A response about to be serialized.
-struct Response {
-    status: u16,
-    /// The `Content-Type` header value.
-    content_type: &'static str,
-    /// Extra response headers (artifact provenance).
-    headers: Vec<(&'static str, String)>,
-    /// `Retry-After` seconds (503 shedding).
-    retry_after: Option<u32>,
-    body: String,
+/// The parsed request head, before the body is drained.
+struct Head {
+    method: String,
+    path: String,
+    query: String,
+    keep_alive: bool,
+    content_length: usize,
+    if_none_match: Option<String>,
 }
 
-impl Response {
-    fn json(status: u16, body: String) -> Response {
-        Response {
-            status,
-            content_type: "application/json",
-            headers: Vec::new(),
-            retry_after: None,
-            body,
-        }
-    }
-
-    fn error(status: u16, message: &str) -> Response {
-        Response::json(
-            status,
-            format!("{{\n  \"error\": {}\n}}", report::json_string(message)),
-        )
-    }
-}
-
-fn status_text(status: u16) -> &'static str {
-    match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        408 => "Request Timeout",
-        409 => "Conflict",
-        413 => "Payload Too Large",
-        500 => "Internal Server Error",
-        501 => "Not Implemented",
-        503 => "Service Unavailable",
-        _ => "Unknown",
-    }
-}
-
-fn write_response(stream: &mut TcpStream, response: &Response, close: bool) -> std::io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
-        response.status,
-        status_text(response.status),
-        response.content_type,
-        response.body.len(),
-    );
-    for (name, value) in &response.headers {
-        head.push_str(&format!("{name}: {value}\r\n"));
-    }
-    if let Some(seconds) = response.retry_after {
-        head.push_str(&format!("Retry-After: {seconds}\r\n"));
-    }
-    head.push_str(if close {
-        "Connection: close\r\n\r\n"
-    } else {
-        "Connection: keep-alive\r\n\r\n"
-    });
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(response.body.as_bytes())?;
-    stream.flush()
-}
-
-/// Reads and parses one HTTP/1.1 request. `Ok(None)` is a clean end of
-/// the connection: the peer closed (or went idle past the keep-alive
-/// timeout) *between* requests, so nothing should be written back.
-/// `Err` carries a ready error `Response` for malformed input.
-fn read_request(stream: &mut TcpStream, first: bool) -> Result<Option<Request>, Response> {
-    let mut head = Vec::new();
-    let mut byte = [0u8; 1];
-    // Byte-at-a-time until CRLFCRLF: heads are tiny and this keeps the
-    // parser trivially correct about not over-reading into the body.
-    while !head.ends_with(b"\r\n\r\n") {
-        match stream.read(&mut byte) {
-            Ok(0) if head.is_empty() => return Ok(None),
-            Ok(0) => return Err(Response::error(400, "connection closed mid-request")),
-            Ok(_) => head.push(byte[0]),
-            Err(_) if head.is_empty() && !first => return Ok(None), // idle keep-alive
-            Err(_) => return Err(Response::error(408, "timed out reading request head")),
-        }
-        if head.len() > MAX_HEAD_BYTES {
-            return Err(Response::error(413, "request head too large"));
-        }
-    }
-    let head = String::from_utf8(head).map_err(|_| Response::error(400, "non-UTF-8 header"))?;
+/// Parses a request head (request line + headers, including the final
+/// CRLFCRLF) into its routed parts.
+fn parse_head(head: &str) -> Result<Head, Response> {
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split(' ');
@@ -549,6 +631,7 @@ fn read_request(stream: &mut TcpStream, first: bool) -> Result<Option<Request>, 
     // Connection header overrides either way.
     let mut keep_alive = version == "HTTP/1.1";
     let mut content_length = 0usize;
+    let mut if_none_match = None;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -569,6 +652,8 @@ fn read_request(stream: &mut TcpStream, first: bool) -> Result<Option<Request>, 
                     501,
                     "Transfer-Encoding is not supported; send Content-Length",
                 ));
+            } else if name.eq_ignore_ascii_case("if-none-match") {
+                if_none_match = Some(value.trim().to_owned());
             } else if name.eq_ignore_ascii_case("connection") {
                 let value = value.trim();
                 if value.eq_ignore_ascii_case("close") {
@@ -579,34 +664,180 @@ fn read_request(stream: &mut TcpStream, first: bool) -> Result<Option<Request>, 
             }
         }
     }
-    if content_length > MAX_BODY_BYTES {
-        return Err(Response::error(413, "request body too large"));
-    }
-    let mut body = vec![0u8; content_length];
-    stream
-        .read_exact(&mut body)
-        .map_err(|_| Response::error(400, "connection closed mid-body"))?;
     let (path, query) = match target.split_once('?') {
         Some((path, query)) => (path.to_owned(), query.to_owned()),
         None => (target.to_owned(), String::new()),
     };
-    Ok(Some(Request {
+    Ok(Head {
         method: method.to_owned(),
         path,
         query,
-        body,
         keep_alive,
-    }))
+        content_length,
+        if_none_match,
+    })
+}
+
+/// A response body: owned text (reports, errors) or bytes shared with
+/// the rendered-byte cache (no copy on an artifact hit).
+enum Body {
+    Text(String),
+    Shared(Arc<[u8]>),
+}
+
+impl Body {
+    fn as_bytes(&self) -> &[u8] {
+        match self {
+            Body::Text(text) => text.as_bytes(),
+            Body::Shared(bytes) => bytes,
+        }
+    }
+}
+
+/// A response about to be serialized.
+struct Response {
+    status: u16,
+    /// The `Content-Type` header value.
+    content_type: &'static str,
+    /// The strong validator (`ETag: "<digest>:<kind>"`), when the
+    /// resource is digest-addressed.
+    etag: Option<String>,
+    /// Extra response headers (artifact provenance).
+    headers: Vec<(&'static str, String)>,
+    /// `Retry-After` seconds (503 shedding).
+    retry_after: Option<u32>,
+    body: Body,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            etag: None,
+            headers: Vec::new(),
+            retry_after: None,
+            body: Body::Text(body),
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            format!("{{\n  \"error\": {}\n}}", report::json_string(message)),
+        )
+    }
+
+    /// A header-only `304 Not Modified`: same `ETag` the full response
+    /// would carry, `Content-Length: 0`, no body.
+    fn not_modified(content_type: &'static str, etag: String) -> Response {
+        Response {
+            status: 304,
+            content_type,
+            etag: Some(etag),
+            headers: Vec::new(),
+            retry_after: None,
+            body: Body::Text(String::new()),
+        }
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes one response onto `out`. `head_only` (HEAD requests)
+/// writes exactly the headers the full response would — including the
+/// `Content-Length` of the suppressed body — and no body bytes.
+fn encode_response(out: &mut Vec<u8>, response: &Response, close: bool, head_only: bool) {
+    let body = response.body.as_bytes();
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        body.len(),
+    );
+    if let Some(etag) = &response.etag {
+        head.push_str(&format!("ETag: {etag}\r\n"));
+    }
+    for (name, value) in &response.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    if let Some(seconds) = response.retry_after {
+        head.push_str(&format!("Retry-After: {seconds}\r\n"));
+    }
+    head.push_str(if close {
+        "Connection: close\r\n\r\n"
+    } else {
+        "Connection: keep-alive\r\n\r\n"
+    });
+    out.extend_from_slice(head.as_bytes());
+    if !head_only {
+        out.extend_from_slice(body);
+    }
+}
+
+/// Writes one response straight to a stream (the shed path, which has
+/// no per-connection buffers).
+fn write_response(stream: &mut TcpStream, response: &Response, close: bool) -> std::io::Result<()> {
+    let mut out = Vec::new();
+    encode_response(&mut out, response, close, false);
+    stream.write_all(&out)?;
+    stream.flush()
+}
+
+/// The strong validator for a digest-addressed resource: artifacts are
+/// pure functions of `(digest, kind)`, so the pair *is* the entity tag.
+fn artifact_etag(digest: &SpecDigest, kind: ArtifactKind) -> String {
+    format!("\"{digest}:{kind}\"")
+}
+
+/// Whether an `If-None-Match` header value matches `etag` (strong
+/// comparison over a comma-separated candidate list; `*` matches any
+/// existing representation).
+fn if_none_match_hit(header: Option<&str>, etag: &str) -> bool {
+    let Some(header) = header else { return false };
+    header
+        .split(',')
+        .map(str::trim)
+        .any(|candidate| candidate == "*" || candidate == etag)
 }
 
 fn route(shared: &Shared, request: &Request) -> Response {
+    // HEAD answers like the underlying route, minus the body (the
+    // suppression happens in the response writer, so handlers run
+    // unchanged and headers stay identical). GET routes are the normal
+    // case; the POST spec routes accept it too, so a client can probe
+    // an artifact's headers without downloading it. `/v1/shutdown`
+    // deliberately stays POST-only — a HEAD must never cause effects.
+    let method = match request.method.as_str() {
+        "HEAD" => match request.path.as_str() {
+            "/v1/schedule" | "/v1/check" | "/v1/table" | "/v1/codegen" | "/v1/gantt" => "POST",
+            _ => "GET",
+        },
+        other => other,
+    };
     if let Some(rest) = request.path.strip_prefix("/v1/artifact/") {
-        return match request.method.as_str() {
-            "GET" => artifact_get(shared, rest),
+        return match method {
+            "GET" => artifact_get(shared, rest, request),
             _ => Response::error(405, "method not allowed"),
         };
     }
-    match (request.method.as_str(), request.path.as_str()) {
+    match (method, request.path.as_str()) {
         ("GET", "/v1/healthz") => Response::json(200, "{\n  \"status\": \"ok\"\n}".to_owned()),
         ("GET", "/v1/stats") => stats(shared),
         ("POST", "/v1/schedule") => schedule(shared, request),
@@ -671,6 +902,17 @@ fn schedule(shared: &Shared, request: &Request) -> Response {
         Err(response) => return response,
     };
     let digest = project_digest(&project);
+    // The report is addressed by the digest alone (the volatile `cache`
+    // provenance field is not part of the resource), so a matching tag
+    // proves the client's copy is current before any lookup or
+    // synthesis happens — the conditional fast path does zero cache
+    // work.
+    let etag = artifact_etag(&digest, ArtifactKind::ReportJson);
+    if if_none_match_hit(request.if_none_match.as_deref(), &etag) {
+        let mut response = Response::not_modified("application/json", etag);
+        response.headers.push(("X-Ezrt-Digest", digest.to_hex()));
+        return response;
+    }
     let (outcome, lookup) = shared
         .cache
         .get_or_compute(digest, || compute_outcome(&project, digest));
@@ -678,13 +920,21 @@ fn schedule(shared: &Shared, request: &Request) -> Response {
     fields.push(("cache", report::json_string(lookup.as_str())));
     // Infeasibility is a successful analysis with a negative verdict,
     // so it is 200 like any other completed synthesis.
-    Response::json(200, report::render_pretty(&fields))
+    let mut response = Response::json(200, report::render_pretty(&fields));
+    response.etag = Some(etag);
+    response.headers.push(("X-Ezrt-Digest", digest.to_hex()));
+    response
+        .headers
+        .push(("X-Ezrt-Cache", lookup.as_str().to_owned()));
+    response
 }
 
 /// `GET /v1/artifact/<digest>/<kind>`: serve an artifact of an already
-/// synthesized digest straight from the (memory or disk) cache. Never
-/// synthesizes — an unknown digest is a 404, not a queued search.
-fn artifact_get(shared: &Shared, rest: &str) -> Response {
+/// synthesized digest straight from the (rendered, memory or disk)
+/// cache. Never synthesizes — an unknown digest is a 404, not a queued
+/// search (and not a 304: a conditional request still requires the
+/// resource to exist here).
+fn artifact_get(shared: &Shared, rest: &str, request: &Request) -> Response {
     shared.artifact_requests.fetch_add(1, Ordering::Relaxed);
     let Some((digest_hex, kind_text)) = rest.split_once('/') else {
         return Response::error(400, "expected /v1/artifact/<digest>/<kind>");
@@ -702,7 +952,7 @@ fn artifact_get(shared: &Shared, rest: &str) -> Response {
             &format!("no cached outcome for digest {digest}; POST the spec first"),
         );
     };
-    respond_artifact(&outcome, kind, lookup)
+    respond_artifact(shared, &outcome, kind, lookup, request)
 }
 
 /// `POST /v1/table|/v1/codegen|/v1/gantt`: synthesize (through the
@@ -717,23 +967,54 @@ fn artifact_post(shared: &Shared, request: &Request, kind: ArtifactKind) -> Resp
     let (outcome, lookup) = shared
         .cache
         .get_or_compute(digest, || compute_outcome(&project, digest));
-    respond_artifact(&outcome, kind, lookup)
+    respond_artifact(shared, &outcome, kind, lookup, request)
 }
 
-/// Renders `kind` from a cached outcome: the artifact bytes verbatim as
-/// the body (byte-identical to the CLI), provenance in headers.
-fn respond_artifact(outcome: &SynthesisOutcome, kind: ArtifactKind, lookup: Lookup) -> Response {
-    match render(outcome, kind) {
+/// Serves `kind` of a cached outcome: a conditional hit is a
+/// header-only 304 (no render at all), everything else goes through the
+/// rendered-byte tier — the body is an `Arc` clone of the cached bytes
+/// on a hit, byte-identical to the CLI either way. Provenance rides in
+/// headers: `X-Ezrt-Cache` for the outcome tier, `X-Ezrt-Rendered` for
+/// the byte tier.
+fn respond_artifact(
+    shared: &Shared,
+    outcome: &SynthesisOutcome,
+    kind: ArtifactKind,
+    lookup: Lookup,
+    request: &Request,
+) -> Response {
+    let etag = artifact_etag(&outcome.digest, kind);
+    // The tag alone proves the client's copy is current (artifacts are
+    // immutable per digest) — but only when a representation exists:
+    // a kind that needs a schedule still answers 409 for an infeasible
+    // outcome, conditional or not.
+    if (outcome.feasible || !kind.requires_schedule())
+        && if_none_match_hit(request.if_none_match.as_deref(), &etag)
+    {
+        let mut response = Response::not_modified(kind.content_type(), etag);
+        response.headers = vec![
+            ("X-Ezrt-Digest", outcome.digest.to_hex()),
+            ("X-Ezrt-Artifact", kind.to_string()),
+            ("X-Ezrt-Cache", lookup.as_str().to_owned()),
+        ];
+        return response;
+    }
+    match shared.cache.render_artifact(outcome, kind) {
         Ok(artifact) => Response {
             status: 200,
             content_type: artifact.content_type,
+            etag: Some(etag),
             headers: vec![
                 ("X-Ezrt-Digest", outcome.digest.to_hex()),
                 ("X-Ezrt-Artifact", kind.to_string()),
                 ("X-Ezrt-Cache", lookup.as_str().to_owned()),
+                (
+                    "X-Ezrt-Rendered",
+                    if artifact.cached { "hit" } else { "miss" }.to_owned(),
+                ),
             ],
             retry_after: None,
-            body: artifact.text,
+            body: Body::Shared(artifact.bytes),
         },
         // The spec is fine but holds no feasible schedule: a semantic
         // conflict with the requested artifact, not a bad request.
@@ -778,6 +1059,7 @@ fn check(request: &Request) -> Response {
 fn stats(shared: &Shared) -> Response {
     let cache = shared.cache.stats();
     let disk = shared.cache.disk_stats().unwrap_or_default();
+    let rendered = shared.cache.rendered_stats();
     let connections = shared.connections.load(Ordering::Relaxed);
     let requests = shared.requests.load(Ordering::Relaxed);
     let fields: JsonFields = vec![
@@ -814,6 +1096,10 @@ fn stats(shared: &Shared) -> Response {
             "http_errors",
             shared.http_errors.load(Ordering::Relaxed).to_string(),
         ),
+        (
+            "not_modified",
+            shared.not_modified.load(Ordering::Relaxed).to_string(),
+        ),
         ("cache_capacity", cache.capacity.to_string()),
         ("cache_entries", cache.entries.to_string()),
         ("cache_inflight", cache.inflight.to_string()),
@@ -822,8 +1108,20 @@ fn stats(shared: &Shared) -> Response {
         ("cache_misses", cache.misses.to_string()),
         ("cache_joined", cache.joined.to_string()),
         ("cache_evictions", cache.evictions.to_string()),
+        ("rendered_capacity", rendered.capacity.to_string()),
+        ("rendered_entries", rendered.entries.to_string()),
+        ("rendered_hits", rendered.hits.to_string()),
+        ("rendered_misses", rendered.misses.to_string()),
+        ("rendered_evictions", rendered.evictions.to_string()),
+        ("rendered_bytes", rendered.bytes.to_string()),
         ("disk_writes", disk.writes.to_string()),
         ("disk_load_errors", disk.load_errors.to_string()),
+        ("disk_gc_evicted", disk.gc_evicted.to_string()),
+        ("disk_gc_reaped", disk.gc_reaped.to_string()),
+        (
+            "disk_gc_reclaimed_bytes",
+            disk.gc_reclaimed_bytes.to_string(),
+        ),
     ];
     Response::json(200, report::render_pretty(&fields))
 }
@@ -853,8 +1151,46 @@ mod tests {
 
     #[test]
     fn status_texts_cover_the_emitted_codes() {
-        for code in [200, 400, 404, 405, 408, 409, 413, 500, 501, 503] {
+        for code in [200, 304, 400, 404, 405, 408, 409, 413, 500, 501, 503] {
             assert_ne!(status_text(code), "Unknown");
         }
+    }
+
+    #[test]
+    fn if_none_match_comparison_is_strong_and_list_aware() {
+        let etag = "\"abc:table\"";
+        assert!(if_none_match_hit(Some("\"abc:table\""), etag));
+        assert!(if_none_match_hit(Some("\"x\", \"abc:table\""), etag));
+        assert!(if_none_match_hit(Some("*"), etag));
+        assert!(!if_none_match_hit(Some("\"abc:gantt\""), etag));
+        assert!(!if_none_match_hit(Some("abc:table"), etag), "unquoted");
+        assert!(!if_none_match_hit(None, etag));
+    }
+
+    #[test]
+    fn head_encoding_keeps_the_full_content_length_and_drops_the_body() {
+        let response = Response::json(200, "{\"a\": 1}".to_owned());
+        let mut full = Vec::new();
+        encode_response(&mut full, &response, false, false);
+        let mut head = Vec::new();
+        encode_response(&mut head, &response, false, true);
+        let full = String::from_utf8(full).unwrap();
+        let head = String::from_utf8(head).unwrap();
+        assert!(full.ends_with("{\"a\": 1}"));
+        assert!(head.ends_with("\r\n\r\n"), "no body bytes");
+        assert_eq!(full.strip_suffix("{\"a\": 1}").unwrap(), head);
+        assert!(head.contains("Content-Length: 8\r\n"), "{head}");
+    }
+
+    #[test]
+    fn not_modified_encodes_header_only_with_the_etag() {
+        let response = Response::not_modified("application/json", "\"d:report-json\"".to_owned());
+        let mut out = Vec::new();
+        encode_response(&mut out, &response, false, false);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 304 Not Modified\r\n"));
+        assert!(text.contains("ETag: \"d:report-json\"\r\n"));
+        assert!(text.contains("Content-Length: 0\r\n"));
+        assert!(text.ends_with("\r\n\r\n"), "no body");
     }
 }

@@ -17,13 +17,24 @@
 //!   `Arc<SynthesisOutcome>` behind per-shard mutexes, where concurrent
 //!   requests for the same digest block on a single in-flight synthesis,
 //!   with size-bounded LRU eviction and hit/miss/join/eviction counters;
+//! * [`rendered`] — the rendered-byte tier ([`RenderedCache`]):
+//!   `(digest, kind) → Arc<[u8]>` behind the same sharding, so a
+//!   repeat artifact request is a lookup plus one write instead of a
+//!   re-render — shared by the HTTP routes, the `--cache-dir` CLI
+//!   one-shots and batch via `ResultCache::render_artifact`;
 //! * [`disk`] — the persistent tier ([`DiskTier`], `--cache-dir`):
 //!   entries spill to versioned, checksummed files keyed by the digest,
 //!   so a restarted server (or a CI fleet sharing a directory)
-//!   warm-starts without re-searching;
+//!   warm-starts without re-searching; an optional byte budget
+//!   (`--cache-max-bytes`) keeps the store bounded with an mtime-LRU
+//!   sweep after every write;
 //! * [`http`] — a std-only HTTP/1.1 front end (`std::net::TcpListener`,
 //!   hand-rolled request parsing, zero new dependencies, keep-alive
-//!   connections, a bounded accept queue with 503 shedding) exposing
+//!   **pipelined** connections — buffered requests are drained before
+//!   any blocking read, responses leave in order — conditional
+//!   requests (strong `ETag: "<digest>:<kind>"`, `If-None-Match` →
+//!   header-only `304`), `HEAD` on every readable route, and a bounded
+//!   accept queue with 503 shedding) exposing
 //!   `POST /v1/schedule`, `POST /v1/check`, `POST /v1/table`,
 //!   `POST /v1/codegen`, `POST /v1/gantt`,
 //!   `GET /v1/artifact/<digest>/<kind>`, `GET /v1/healthz`,
@@ -60,6 +71,7 @@ pub mod batch;
 pub mod cache;
 pub mod disk;
 pub mod http;
+pub mod rendered;
 
 // The digest and flat-JSON report live in the artifact layer now
 // (`ezrt_artifacts`), shared with the CLI renderers; re-exported here
@@ -70,3 +82,4 @@ pub use cache::{CacheStats, Lookup, ResultCache, SynthesisOutcome};
 pub use digest::SpecDigest;
 pub use disk::{DiskStats, DiskTier};
 pub use http::{Server, ServerConfig};
+pub use rendered::{RenderedArtifact, RenderedCache, RenderedStats};

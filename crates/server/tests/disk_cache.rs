@@ -157,6 +157,105 @@ fn concurrent_writers_on_one_dir_never_corrupt_the_entry() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Synthesizes an arbitrary spec through `cache`, returning the lookup.
+fn drive_spec(cache: &ResultCache, spec: ezrt_spec::EzSpec) -> Lookup {
+    let project = ezrt_core::Project::new(spec);
+    let digest = project_digest(&project);
+    let (outcome, lookup) = cache.get_or_compute(digest, || compute_outcome(&project, digest));
+    assert_eq!(outcome.digest, digest);
+    lookup
+}
+
+/// Total size of the `.ezrtc` entries under `dir`.
+fn store_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .expect("read dir")
+        .filter_map(|entry| entry.ok())
+        .filter(|entry| entry.path().extension().is_some_and(|ext| ext == "ezrtc"))
+        .filter_map(|entry| entry.metadata().ok())
+        .map(|meta| meta.len())
+        .sum()
+}
+
+#[test]
+fn budgeted_concurrent_writers_keep_the_store_inside_the_byte_budget() {
+    let specs: [fn() -> ezrt_spec::EzSpec; 5] = [
+        ezrt_spec::corpus::small_control,
+        ezrt_spec::corpus::mine_pump,
+        ezrt_spec::corpus::figure3_spec,
+        ezrt_spec::corpus::figure4_spec,
+        ezrt_spec::corpus::figure8_spec,
+    ];
+
+    // Measure the five entries once, unbudgeted, to pick a budget that
+    // holds the largest entry but not the whole corpus.
+    let scratch = temp_dir("gc_scratch");
+    let sizer = disk_cache(&scratch);
+    let mut largest = 0;
+    for spec in specs {
+        drive_spec(&sizer, spec());
+    }
+    for entry in std::fs::read_dir(&scratch).expect("read dir").flatten() {
+        largest = largest.max(entry.metadata().expect("metadata").len());
+    }
+    let total = store_bytes(&scratch);
+    let budget = largest.max(total / 2);
+    assert!(budget < total, "the budget must force evictions");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // Five budgeted writers (as five processes would be), each writing
+    // a different spec into one directory, every write followed by a
+    // sweep racing the other writers' sweeps.
+    let dir = temp_dir("gc_writers");
+    std::fs::create_dir_all(&dir).expect("dir");
+    let barrier = std::sync::Barrier::new(specs.len());
+    let gc_evicted: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|spec| {
+                scope.spawn(|| {
+                    let tier = DiskTier::open_with_budget(&dir, Some(budget)).expect("tier opens");
+                    let cache = ResultCache::with_disk(64, 1, Some(tier));
+                    barrier.wait();
+                    assert!(matches!(
+                        drive_spec(&cache, spec()),
+                        Lookup::Miss | Lookup::Disk
+                    ));
+                    cache.disk_stats().unwrap().gc_evicted
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("writer")).sum()
+    });
+
+    // Whatever interleaving of writes and sweeps happened: the store is
+    // inside the budget, somebody evicted, no temp files leaked, and
+    // every surviving entry is intact.
+    assert!(
+        store_bytes(&dir) <= budget,
+        "store {} > budget {budget}",
+        store_bytes(&dir)
+    );
+    assert!(gc_evicted >= 1, "the budget must have forced an eviction");
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(|entry| entry.ok())
+        .filter(|entry| entry.file_name().to_string_lossy().starts_with(".tmp-"))
+        .collect();
+    assert!(leftovers.is_empty(), "{leftovers:?}");
+    let survivor = disk_cache(&dir);
+    for spec in specs {
+        // Evicted entries re-miss; survivors revive. Neither may be a
+        // load error (a sweep must never leave a torn file behind).
+        assert!(matches!(
+            drive_spec(&survivor, spec()),
+            Lookup::Miss | Lookup::Disk
+        ));
+    }
+    assert_eq!(survivor.disk_stats().unwrap().load_errors, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Minimal `Connection: close` HTTP client (same shape as loopback.rs).
 fn request(addr: std::net::SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");

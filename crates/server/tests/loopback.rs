@@ -112,6 +112,14 @@ fn healthz_stats_and_routing() {
         "cache_joined",
         "cache_evictions",
         "cache_inflight",
+        "not_modified",
+        "rendered_hits",
+        "rendered_misses",
+        "rendered_evictions",
+        "rendered_bytes",
+        "disk_gc_evicted",
+        "disk_gc_reaped",
+        "disk_gc_reclaimed_bytes",
     ] {
         assert!(
             body.contains(&format!("\"{key}\": ")),
@@ -532,8 +540,12 @@ fn artifact_endpoints_serve_from_the_cache() {
         table_miss.starts_with("struct ScheduleItem scheduleTable"),
         "{table_miss}"
     );
-    assert!(head.contains("Content-Type: text/plain"), "{head}");
+    assert!(
+        head.contains("Content-Type: text/x-csrc; charset=utf-8"),
+        "{head}"
+    );
     assert!(head.contains("X-Ezrt-Cache: miss"), "{head}");
+    assert!(head.contains("X-Ezrt-Rendered: miss"), "{head}");
     let digest = head
         .lines()
         .find_map(|line| line.strip_prefix("X-Ezrt-Digest: "))
@@ -542,19 +554,29 @@ fn artifact_endpoints_serve_from_the_cache() {
         .to_owned();
     assert_eq!(digest.len(), 48, "{digest}");
 
-    // Re-POST: served from cache, byte-identical body.
+    // Re-POST: served from cache, byte-identical body, and the bytes
+    // themselves come out of the rendered tier this time.
     let (_, head, table_hit, _) = artifact_post("/v1/table", &xml);
     assert!(head.contains("X-Ezrt-Cache: hit"), "{head}");
+    assert!(head.contains("X-Ezrt-Rendered: hit"), "{head}");
     assert_eq!(table_miss, table_hit);
 
-    // Codegen with a target; gantt.
+    // Codegen with a target; gantt. Content types are per kind.
     let (status, head, code, _) = artifact_post("/v1/codegen?target=i8051", &xml);
     assert_eq!(status, 200);
     assert!(code.contains("__interrupt(1)"), "{code}");
     assert!(head.contains("X-Ezrt-Artifact: codegen:i8051"), "{head}");
-    let (status, _, gantt, _) = artifact_post("/v1/gantt", &xml);
+    assert!(
+        head.contains("Content-Type: text/x-csrc; charset=utf-8"),
+        "{head}"
+    );
+    let (status, head, gantt, _) = artifact_post("/v1/gantt", &xml);
     assert_eq!(status, 200);
     assert!(gantt.contains('#'), "{gantt}");
+    assert!(
+        head.contains("Content-Type: text/plain; charset=utf-8"),
+        "{head}"
+    );
 
     // GET /v1/artifact/<digest>/<kind>: straight from the cache.
     let (status, head, report, _) = artifact_get(&format!("/v1/artifact/{digest}/report-json"));
@@ -563,9 +585,10 @@ fn artifact_endpoints_serve_from_the_cache() {
     assert!(head.contains("X-Ezrt-Cache: hit"), "{head}");
     assert!(report.contains("\"feasible\": true"), "{report}");
     assert!(report.contains(&digest), "{report}");
-    let (status, _, pnml, _) = artifact_get(&format!("/v1/artifact/{digest}/pnml"));
+    let (status, head, pnml, _) = artifact_get(&format!("/v1/artifact/{digest}/pnml"));
     assert_eq!(status, 200);
     assert!(pnml.contains("<pnml"), "{pnml}");
+    assert!(head.contains("Content-Type: application/xml"), "{head}");
     let (status, _, same_table, _) = artifact_get(&format!("/v1/artifact/{digest}/table"));
     assert_eq!(status, 200);
     assert_eq!(same_table, table_miss, "GET and POST table bodies agree");
@@ -597,6 +620,316 @@ fn artifact_endpoints_serve_from_the_cache() {
     let (status, _, body, _) = artifact_post("/v1/table", &overload);
     assert_eq!(status, 409);
     assert!(body.contains("no feasible schedule"), "{body}");
+
+    server.stop();
+}
+
+/// Extracts one header's value from a raw response head.
+fn header<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    let prefix = format!("{name}: ");
+    head.lines()
+        .find_map(|line| line.strip_prefix(prefix.as_str()))
+        .map(str::trim)
+}
+
+/// Sends one request with extra headers over an open keep-alive
+/// connection and reads one `Content-Length`-delimited response.
+fn request_with_headers(
+    stream: &mut TcpStream,
+    method: &str,
+    target: &str,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> (u16, String, String, bool) {
+    let mut head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    read_one_response(stream)
+}
+
+/// Sends one `Connection: close` request and reads to EOF, returning
+/// `(status, raw head, body)`. This is the only safe way to read a
+/// `HEAD` response — its `Content-Length` describes the suppressed
+/// body, so reading by length would hang.
+fn close_request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    let mut head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .expect("status line");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("head/body split");
+    (status, head.to_owned(), body.to_owned())
+}
+
+#[test]
+fn conditional_requests_answer_304_with_the_same_etag() {
+    let server = server(ServerConfig::default());
+    let addr = server.addr();
+    let xml = small_control_xml();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+
+    // Prime: the full response carries the strong validator.
+    let (status, head, table, _) = keep_alive_request(&mut stream, "POST", "/v1/table", &xml);
+    assert_eq!(status, 200);
+    let digest = header(&head, "X-Ezrt-Digest").expect("digest").to_owned();
+    let etag = header(&head, "ETag").expect("etag").to_owned();
+    assert_eq!(etag, format!("\"{digest}:table\""));
+
+    // If-None-Match hit on the GET route: header-only 304, same tag.
+    let target = format!("/v1/artifact/{digest}/table");
+    let (status, head, body, _) =
+        request_with_headers(&mut stream, "GET", &target, &[("If-None-Match", &etag)], "");
+    assert_eq!(status, 304, "{head}");
+    assert!(body.is_empty(), "304 carries no body");
+    assert_eq!(header(&head, "ETag"), Some(etag.as_str()));
+    assert_eq!(header(&head, "Content-Length"), Some("0"));
+    assert_eq!(header(&head, "X-Ezrt-Artifact"), Some("table"));
+
+    // A tag list and `*` both match; a stale tag does not.
+    let list = format!("\"nope\", {etag}");
+    let (status, _, _, _) = request_with_headers(
+        &mut stream,
+        "GET",
+        &target,
+        &[("If-None-Match", list.as_str())],
+        "",
+    );
+    assert_eq!(status, 304);
+    let (status, _, _, _) =
+        request_with_headers(&mut stream, "GET", &target, &[("If-None-Match", "*")], "");
+    assert_eq!(status, 304);
+    let (status, head, body, _) = request_with_headers(
+        &mut stream,
+        "GET",
+        &target,
+        &[("If-None-Match", "\"stale:table\"")],
+        "",
+    );
+    assert_eq!(status, 200, "mismatched tag gets the full body");
+    assert_eq!(body, table);
+    assert_eq!(header(&head, "ETag"), Some(etag.as_str()));
+    assert_eq!(header(&head, "X-Ezrt-Rendered"), Some("hit"));
+
+    // The POST artifact routes are conditional too.
+    let (status, _, body, _) = request_with_headers(
+        &mut stream,
+        "POST",
+        "/v1/table",
+        &[("If-None-Match", &etag)],
+        &xml,
+    );
+    assert_eq!(status, 304);
+    assert!(body.is_empty());
+
+    // ... and so is the schedule report, under its own kind tag.
+    let report_etag = format!("\"{digest}:report-json\"");
+    let (status, head, body, _) = request_with_headers(
+        &mut stream,
+        "POST",
+        "/v1/schedule",
+        &[("If-None-Match", report_etag.as_str())],
+        &xml,
+    );
+    assert_eq!(status, 304);
+    assert!(body.is_empty());
+    assert_eq!(header(&head, "ETag"), Some(report_etag.as_str()));
+
+    let (_, stats) = request(addr, "GET", "/v1/stats", "");
+    let not_modified: u64 = field(&stats, "not_modified").parse().expect("number");
+    assert_eq!(not_modified, 5, "{stats}");
+
+    server.stop();
+}
+
+#[test]
+fn head_requests_mirror_the_full_response_headers_with_zero_body() {
+    let server = server(ServerConfig::default());
+    let addr = server.addr();
+    let xml = small_control_xml();
+
+    // Prime the cache (outcome + rendered bytes) and learn the digest.
+    let (status, full) = request(addr, "POST", "/v1/table", &xml);
+    assert_eq!(status, 200);
+    let (_, stats_body) = request(addr, "POST", "/v1/schedule", &xml);
+    let digest = field(&stats_body, "spec_digest")
+        .trim_matches('"')
+        .to_owned();
+
+    // GET vs HEAD on the artifact route: byte-identical heads (status
+    // line, Content-Length of the would-be body, ETag, provenance), no
+    // body on the HEAD.
+    let target = format!("/v1/artifact/{digest}/table");
+    let (status, get_head, get_body) = close_request(addr, "GET", &target, &[], "");
+    assert_eq!(status, 200);
+    assert_eq!(get_body, full);
+    let (status, head_head, head_body) = close_request(addr, "HEAD", &target, &[], "");
+    assert_eq!(status, 200);
+    assert!(head_body.is_empty(), "HEAD carries no body");
+    assert_eq!(get_head, head_head, "HEAD headers mirror GET exactly");
+    assert_eq!(
+        header(&head_head, "Content-Length"),
+        Some(full.len().to_string().as_str()),
+        "HEAD announces the suppressed body's length"
+    );
+
+    // HEAD parity holds on the POST artifact routes too (spec body
+    // attached, headers of the would-be POST response, no body).
+    let (status, post_head, post_body) = close_request(addr, "POST", "/v1/table", &[], &xml);
+    assert_eq!(status, 200);
+    assert_eq!(post_body, full);
+    let (status, head_head, head_body) = close_request(addr, "HEAD", "/v1/table", &[], &xml);
+    assert_eq!(status, 200);
+    assert!(head_body.is_empty());
+    assert_eq!(post_head, head_head, "HEAD mirrors the POST headers");
+
+    // Conditional HEAD: the 304 short-circuit applies as usual.
+    let etag = header(&post_head, "ETag").expect("etag").to_owned();
+    let (status, cond_head, cond_body) =
+        close_request(addr, "HEAD", &target, &[("If-None-Match", &etag)], "");
+    assert_eq!(status, 304);
+    assert!(cond_body.is_empty());
+    assert_eq!(header(&cond_head, "ETag"), Some(etag.as_str()));
+
+    // HEAD must never cause effects: the shutdown route refuses it and
+    // the server keeps serving.
+    let (status, _, _) = close_request(addr, "HEAD", "/v1/shutdown", &[], "");
+    assert_eq!(status, 405);
+    let (status, _) = request(addr, "GET", "/v1/healthz", "");
+    assert_eq!(status, 200, "the server survived a HEAD /v1/shutdown");
+
+    server.stop();
+}
+
+#[test]
+fn pipelined_bursts_are_answered_in_order_on_one_connection() {
+    let server = server(ServerConfig::default());
+    let addr = server.addr();
+    let xml = small_control_xml();
+
+    // Prime the digest so the artifact GETs below are pure cache work.
+    let (status, first) = request(addr, "POST", "/v1/schedule", &xml);
+    assert_eq!(status, 200);
+    let digest = field(&first, "spec_digest").trim_matches('"').to_owned();
+
+    // One write carrying six requests: five GETs and a POST with a
+    // body. The server must answer all six, in order, on the one
+    // connection — the per-request kinds make any reordering visible.
+    let kinds = ["report-json", "table", "gantt", "pnml", "table"];
+    let mut burst = Vec::new();
+    for kind in kinds {
+        burst.extend_from_slice(
+            format!(
+                "GET /v1/artifact/{digest}/{kind} HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\n\r\n"
+            )
+            .as_bytes(),
+        );
+    }
+    burst.extend_from_slice(
+        format!(
+            "POST /v1/schedule HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+            xml.len()
+        )
+        .as_bytes(),
+    );
+    burst.extend_from_slice(xml.as_bytes());
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    stream.write_all(&burst).expect("write burst");
+
+    let mut bodies = Vec::new();
+    for kind in kinds {
+        let (status, head, body, close) = read_one_response(&mut stream);
+        assert_eq!(status, 200, "{head}");
+        assert_eq!(
+            header(&head, "X-Ezrt-Artifact"),
+            Some(kind),
+            "responses must arrive in request order"
+        );
+        assert!(!close);
+        bodies.push(body);
+    }
+    assert!(bodies[0].contains("\"feasible\": true"), "{}", bodies[0]);
+    assert!(
+        bodies[1].starts_with("struct ScheduleItem"),
+        "{}",
+        bodies[1]
+    );
+    assert_eq!(bodies[1], bodies[4], "same kind, same bytes");
+    let (status, _, schedule_body, close) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    assert_eq!(field(&schedule_body, "cache"), "\"hit\"");
+    assert!(!close);
+
+    // The connection is still a normal keep-alive connection.
+    let (status, _, body, close) = keep_alive_request(&mut stream, "GET", "/v1/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\""), "{body}");
+    assert!(!close);
+
+    // All 7 pipelined requests rode one connection.
+    let (_, stats) = request(addr, "GET", "/v1/stats", "");
+    assert_eq!(field(&stats, "connections"), "3", "{stats}");
+    assert_eq!(field(&stats, "requests"), "9", "{stats}");
+
+    server.stop();
+}
+
+#[test]
+fn a_pipelined_burst_ending_in_close_gets_every_response() {
+    let server = server(ServerConfig::default());
+    let addr = server.addr();
+
+    // Three healthz probes in one segment, the last one closing.
+    let probe = "GET /v1/healthz HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\n\r\n";
+    let mut burst = probe.repeat(2).into_bytes();
+    burst.extend_from_slice(
+        b"GET /v1/healthz HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+    );
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    stream.write_all(&burst).expect("write burst");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read to EOF");
+    assert_eq!(raw.matches("HTTP/1.1 200 OK").count(), 3, "{raw}");
+    assert_eq!(raw.matches("Connection: keep-alive").count(), 2, "{raw}");
+    assert_eq!(raw.matches("Connection: close").count(), 1, "{raw}");
 
     server.stop();
 }

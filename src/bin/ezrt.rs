@@ -36,7 +36,7 @@
 //! All output goes to stdout so results compose with shell pipelines;
 //! diagnostics go to stderr and failures exit nonzero.
 
-use ezrealtime::artifacts::{compute_outcome, render, ArtifactKind, SynthesisOutcome};
+use ezrealtime::artifacts::{compute_outcome, ArtifactKind, SynthesisOutcome};
 use ezrealtime::codegen::Target;
 use ezrealtime::core::Project;
 use ezrealtime::server::batch::{run_batch, BatchOptions};
@@ -73,6 +73,15 @@ fn run(args: &[String]) -> Result<(), String> {
     let json = take_flag(&mut args, "--json");
     let cache_dir = take_option_value(&mut args, "--cache-dir")?;
     let cache_dir = cache_dir.as_deref();
+    let cache_max_bytes = match take_option_value(&mut args, "--cache-max-bytes")? {
+        Some(value) => Some(value.parse::<u64>().map_err(|_| {
+            format!("--cache-max-bytes expects a number of bytes, found {value:?}")
+        })?),
+        None => None,
+    };
+    if cache_max_bytes.is_some() && cache_dir.is_none() {
+        return Err("--cache-max-bytes requires --cache-dir".to_owned());
+    }
 
     let Some(command) = args.first() else {
         return Err(usage());
@@ -87,10 +96,10 @@ fn run(args: &[String]) -> Result<(), String> {
         if json {
             return Err("--json is only supported by `ezrt schedule` and `ezrt batch`".to_owned());
         }
-        return serve(&mut args, jobs, cache_dir);
+        return serve(&mut args, jobs, cache_dir, cache_max_bytes);
     }
     if command == "batch" {
-        return batch(&mut args, jobs, json, cache_dir);
+        return batch(&mut args, jobs, json, cache_dir, cache_max_bytes);
     }
     if json && command != "schedule" {
         return Err("--json is only supported by `ezrt schedule` and `ezrt batch`".to_owned());
@@ -112,14 +121,18 @@ fn run(args: &[String]) -> Result<(), String> {
     let project = Project::from_dsl(&document)
         .map_err(|e| format!("{path}: {e}"))?
         .with_jobs(jobs);
+    // The one-shot commands share the server's cache type so every
+    // surface funnels through the same tiers: outcome memory + optional
+    // disk, and the rendered-byte tier behind the artifact commands.
+    let cache = artifact_cache(cache_dir, cache_max_bytes)?;
 
     match command.as_str() {
         "check" => check(&project),
-        "schedule" => schedule(&project, json, cache_dir),
-        "gantt" => gantt(&project, args.get(2), args.get(3), cache_dir),
-        "table" => artifact(&project, ArtifactKind::Table, cache_dir),
-        "codegen" => codegen(&project, args.get(2), cache_dir),
-        "pnml" => artifact(&project, ArtifactKind::Pnml, cache_dir),
+        "schedule" => schedule(&project, json, &cache),
+        "gantt" => gantt(&project, args.get(2), args.get(3), &cache),
+        "table" => artifact(&project, ArtifactKind::Table, &cache),
+        "codegen" => codegen(&project, args.get(2), &cache),
+        "pnml" => artifact(&project, ArtifactKind::Pnml, &cache),
         "dot" => {
             println!(
                 "{}",
@@ -163,7 +176,7 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
 }
 
 fn usage() -> String {
-    "usage: ezrt [--jobs N] [--cache-dir DIR] <command> <spec.xml> [args]\n\
+    "usage: ezrt [--jobs N] [--cache-dir DIR] [--cache-max-bytes B] <command> <spec.xml> [args]\n\
      commands:\n\
      \x20 check     validate the specification\n\
      \x20 schedule  synthesize the pre-runtime schedule and print statistics\n\
@@ -192,7 +205,10 @@ fn usage() -> String {
      \x20                 N > 1 races DFS subtrees, first feasible schedule wins)\n\
      \x20 --cache-dir DIR persistent digest store shared by schedule/table/\n\
      \x20                 codegen/gantt/pnml, serve and batch: results found\n\
-     \x20                 there are reused, fresh results are written back"
+     \x20                 there are reused, fresh results are written back\n\
+     \x20 --cache-max-bytes B  keep the --cache-dir store under B bytes\n\
+     \x20                 (mtime-LRU sweep at startup and after writes;\n\
+     \x20                 stale temp files and misnamed entries are reaped)"
         .to_owned()
 }
 
@@ -202,7 +218,12 @@ fn usage() -> String {
 /// parallelism (overridable per request with `?jobs=N`); `--workers`
 /// sizes the connection pool; the global `--cache-dir` adds the
 /// persistent cache tier.
-fn serve(args: &mut Vec<String>, jobs: usize, cache_dir: Option<&str>) -> Result<(), String> {
+fn serve(
+    args: &mut Vec<String>,
+    jobs: usize,
+    cache_dir: Option<&str>,
+    cache_max_bytes: Option<u64>,
+) -> Result<(), String> {
     let addr = take_option_value(args, "--addr")?
         .ok_or_else(|| format!("serve requires --addr HOST:PORT\n{}", usage()))?;
     let cache_capacity = match take_option_value(args, "--cache-cap")? {
@@ -237,6 +258,7 @@ fn serve(args: &mut Vec<String>, jobs: usize, cache_dir: Option<&str>) -> Result
         cache_capacity,
         cache_shards: 0,
         cache_dir: cache_dir.map(std::path::PathBuf::from),
+        cache_max_bytes,
         max_pending,
     };
     let server = Server::start(&addr, config)?;
@@ -264,6 +286,7 @@ fn batch(
     jobs: usize,
     json: bool,
     cache_dir: Option<&str>,
+    cache_max_bytes: Option<u64>,
 ) -> Result<(), String> {
     let dir = args
         .get(1)
@@ -276,7 +299,7 @@ fn batch(
         ..BatchOptions::default()
     };
     let disk = match cache_dir {
-        Some(dir) => Some(DiskTier::open(dir)?),
+        Some(dir) => Some(DiskTier::open_with_budget(dir, cache_max_bytes)?),
         None => None,
     };
     let cache = ResultCache::with_disk(options.cache_capacity, 8, disk);
@@ -342,29 +365,35 @@ fn check(project: &Project) -> Result<(), String> {
     Ok(())
 }
 
-/// Obtains the synthesis outcome for `project` through the shared
-/// artifact pipeline: with `--cache-dir` the persistent store is
-/// consulted first (a prior run by any surface — CLI, `ezrt serve`,
-/// `ezrt batch` — is reused without re-searching) and fresh results
-/// are written back; without it the outcome is computed directly, by
-/// the exact code the server's cache would run on a miss.
-fn cached_outcome(
-    project: &Project,
+/// Builds the cache the one-shot commands run through: the server's
+/// [`ResultCache`] (outcome memory tier + rendered-byte tier), backed
+/// by the `--cache-dir` disk store when given — so a result synthesized
+/// by any surface (CLI, `ezrt serve`, `ezrt batch`) is reused by every
+/// other, and `--cache-max-bytes` garbage-collects the shared
+/// directory on open and after writes.
+fn artifact_cache(
     cache_dir: Option<&str>,
-) -> Result<Arc<SynthesisOutcome>, String> {
-    let digest = project_digest(project);
+    cache_max_bytes: Option<u64>,
+) -> Result<ResultCache, String> {
     let tier = match cache_dir {
-        Some(dir) => Some(DiskTier::open(dir)?),
+        Some(dir) => Some(DiskTier::open_with_budget(dir, cache_max_bytes)?),
         None => None,
     };
-    if let Some(revived) = tier.as_ref().and_then(|tier| tier.load(&digest)) {
-        return Ok(Arc::new(revived));
-    }
-    let outcome = compute_outcome(project, digest);
-    if let Some(tier) = &tier {
-        tier.store(&outcome);
-    }
-    Ok(Arc::new(outcome))
+    // A one-shot process holds few outcomes; the tiers are sized for
+    // one spec and its artifacts.
+    Ok(ResultCache::with_disk(16, 1, tier))
+}
+
+/// Obtains the synthesis outcome for `project` through the shared
+/// artifact pipeline: the persistent store (when configured) is
+/// consulted first — a prior run by any surface is reused without
+/// re-searching — and fresh results are written back; otherwise the
+/// outcome is computed by the exact code the server's cache runs on a
+/// miss.
+fn cached_outcome(cache: &ResultCache, project: &Project) -> Arc<SynthesisOutcome> {
+    let digest = project_digest(project);
+    let (outcome, _lookup) = cache.get_or_compute(digest, || compute_outcome(project, digest));
+    outcome
 }
 
 /// The `feasible: false` exit path shared by the artifact commands —
@@ -380,19 +409,23 @@ fn infeasible_error(outcome: &SynthesisOutcome) -> String {
 /// Renders one artifact of the synthesized (or cache-revived) outcome
 /// to stdout — `ezrt table`, `ezrt pnml`, `ezrt codegen` and the
 /// default-window `ezrt gantt` all land here, emitting byte-identical
-/// output to the corresponding HTTP artifact endpoint.
-fn artifact(project: &Project, kind: ArtifactKind, cache_dir: Option<&str>) -> Result<(), String> {
-    let outcome = cached_outcome(project, cache_dir)?;
-    let artifact = render(&outcome, kind).map_err(|error| error.to_string())?;
-    print!("{}", artifact.text);
+/// output to the corresponding HTTP artifact endpoint (and going
+/// through the same rendered-byte tier).
+fn artifact(project: &Project, kind: ArtifactKind, cache: &ResultCache) -> Result<(), String> {
+    let outcome = cached_outcome(cache, project);
+    let artifact = cache
+        .render_artifact(&outcome, kind)
+        .map_err(|error| error.to_string())?;
+    // Every artifact is UTF-8 text by construction.
+    print!("{}", String::from_utf8_lossy(&artifact.bytes));
     Ok(())
 }
 
-fn schedule(project: &Project, json: bool, cache_dir: Option<&str>) -> Result<(), String> {
+fn schedule(project: &Project, json: bool, cache: &ResultCache) -> Result<(), String> {
     // The digest is the cache key of `ezrt serve` and the join key
     // across schedule/batch/server outputs; it covers the parsed spec
     // plus the result-relevant scheduler knobs (never `--jobs`).
-    let outcome = cached_outcome(project, cache_dir)?;
+    let outcome = cached_outcome(cache, project);
     if json {
         // Hand-rolled JSON (the workspace builds offline, without
         // serde): one flat object so bench trajectories can be scripted
@@ -441,12 +474,12 @@ fn gantt(
     project: &Project,
     from: Option<&String>,
     to: Option<&String>,
-    cache_dir: Option<&str>,
+    cache: &ResultCache,
 ) -> Result<(), String> {
     // The no-argument form is the canonical `gantt` artifact; explicit
     // windows render the same timeline over a custom range.
     if from.is_none() && to.is_none() {
-        return artifact(project, ArtifactKind::Gantt, cache_dir);
+        return artifact(project, ArtifactKind::Gantt, cache);
     }
     let from = parse_number(from, 0)?;
     let default_to = (from + 120).min(project.spec().hyperperiod().max(from + 1));
@@ -454,7 +487,7 @@ fn gantt(
     if to <= from {
         return Err("gantt window must be non-empty".to_owned());
     }
-    let outcome = cached_outcome(project, cache_dir)?;
+    let outcome = cached_outcome(cache, project);
     let Some(solution) = outcome.solution.as_ref() else {
         return Err(infeasible_error(&outcome));
     };
@@ -462,11 +495,7 @@ fn gantt(
     Ok(())
 }
 
-fn codegen(
-    project: &Project,
-    target: Option<&String>,
-    cache_dir: Option<&str>,
-) -> Result<(), String> {
+fn codegen(project: &Project, target: Option<&String>, cache: &ResultCache) -> Result<(), String> {
     // Target names are owned by `ArtifactKind::parse` — the same table
     // the HTTP `?target=` parameter goes through, so both surfaces
     // accept exactly the same spellings.
@@ -474,7 +503,7 @@ fn codegen(
         None => ArtifactKind::Codegen(Target::PosixSim),
         Some(target) => ArtifactKind::parse(&format!("codegen:{target}"))?,
     };
-    artifact(project, kind, cache_dir)
+    artifact(project, kind, cache)
 }
 
 fn simulate(project: &Project, periods: Option<&String>) -> Result<(), String> {

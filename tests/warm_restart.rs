@@ -10,14 +10,31 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 fn request(addr: &str, method: &str, target: &str, body: &str) -> (u16, String) {
+    let (status, _, body) = request_with(addr, method, target, &[], body);
+    (status, body)
+}
+
+/// One `Connection: close` request with extra headers, returning
+/// `(status, raw response head, body)`.
+fn request_with(
+    addr: &str,
+    method: &str,
+    target: &str,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect to ezrt serve");
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
         .expect("read timeout");
-    let head = format!(
-        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes()).expect("write head");
     stream.write_all(body.as_bytes()).expect("write body");
     let mut raw = String::new();
@@ -27,11 +44,16 @@ fn request(addr: &str, method: &str, target: &str, body: &str) -> (u16, String) 
         .nth(1)
         .and_then(|code| code.parse().ok())
         .expect("status line");
-    let body = raw
-        .split_once("\r\n\r\n")
-        .map(|(_, body)| body.to_owned())
-        .unwrap_or_default();
-    (status, body)
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    (status, head.to_owned(), body.to_owned())
+}
+
+/// Extracts one header's value from a raw response head.
+fn header<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    let prefix = format!("{name}: ");
+    head.lines()
+        .find_map(|line| line.strip_prefix(prefix.as_str()))
+        .map(str::trim)
 }
 
 fn field<'a>(body: &'a str, key: &str) -> &'a str {
@@ -110,15 +132,45 @@ fn second_boot_serves_from_the_cache_dir_with_zero_misses() {
     let spec = ezrealtime::dsl::to_xml(&ezrealtime::spec::corpus::small_control());
 
     // Boot 1: a cold miss, persisted to the cache dir on the way out.
+    // The response carries the strong validator for the re-request.
     let (child, addr, stdout) = boot(&dir_arg);
-    let (status, cold) = request(&addr, "POST", "/v1/schedule", &spec);
+    let (status, cold_head, cold) = request_with(&addr, "POST", "/v1/schedule", &[], &spec);
     assert_eq!(status, 200);
     assert_eq!(field(&cold, "cache"), "\"miss\"");
     let digest = field(&cold, "spec_digest").trim_matches('"').to_owned();
+    let etag = header(&cold_head, "ETag").expect("etag").to_owned();
+    assert_eq!(etag, format!("\"{digest}:report-json\""));
     shutdown(child, &addr, stdout);
 
-    // Boot 2: the same spec revives from disk — zero synthesis calls.
+    // Boot 2, first contact: a conditional re-request with boot 1's
+    // validator. The restarted server answers 304 from the digest alone
+    // — header-only, zero cache work, zero synthesis calls.
     let (child, addr, stdout) = boot(&dir_arg);
+    let (status, cond_head, cond_body) = request_with(
+        &addr,
+        "POST",
+        "/v1/schedule",
+        &[("If-None-Match", &etag)],
+        &spec,
+    );
+    assert_eq!(status, 304, "{cond_head}");
+    assert!(cond_body.is_empty(), "a 304 carries no body");
+    assert_eq!(header(&cond_head, "ETag"), Some(etag.as_str()));
+    let (_, stats) = request(&addr, "GET", "/v1/stats", "");
+    assert_eq!(field(&stats, "not_modified"), "1", "{stats}");
+    assert_eq!(
+        field(&stats, "cache_misses"),
+        "0",
+        "the 304 must not have synthesized: {stats}"
+    );
+    assert_eq!(
+        field(&stats, "cache_disk_hits"),
+        "0",
+        "the 304 must not even have touched the disk tier: {stats}"
+    );
+
+    // Boot 2, full fetch: the same spec revives from disk — zero
+    // synthesis calls.
     let (status, warm) = request(&addr, "POST", "/v1/schedule", &spec);
     assert_eq!(status, 200);
     assert_eq!(field(&warm, "cache"), "\"disk\"");
@@ -140,5 +192,79 @@ fn second_boot_serves_from_the_cache_dir_with_zero_misses() {
     assert!(disk_hits >= 1, "{stats}");
     shutdown(child, &addr, stdout);
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_pipelined_burst_gets_every_response_in_order() {
+    let dir = std::env::temp_dir().join(format!("ezrt_pipeline_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_arg = dir.to_str().expect("utf-8 temp path").to_owned();
+    let spec = ezrealtime::dsl::to_xml(&ezrealtime::spec::corpus::small_control());
+
+    let (child, addr, stdout) = boot(&dir_arg);
+    // Prime the digest so the burst's artifact GETs are pure cache work.
+    let (status, primed) = request(&addr, "POST", "/v1/schedule", &spec);
+    assert_eq!(status, 200);
+    let digest = field(&primed, "spec_digest").trim_matches('"').to_owned();
+
+    // Five requests in ONE write — four keep-alive, the last closing —
+    // must come back as five in-order responses on the one connection.
+    let mut burst = Vec::new();
+    for target in [
+        "/v1/healthz".to_owned(),
+        format!("/v1/artifact/{digest}/table"),
+        format!("/v1/artifact/{digest}/pnml"),
+    ] {
+        burst.extend_from_slice(
+            format!("GET {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\n\r\n")
+                .as_bytes(),
+        );
+    }
+    burst.extend_from_slice(
+        format!(
+            "POST /v1/schedule HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+            spec.len()
+        )
+        .as_bytes(),
+    );
+    burst.extend_from_slice(spec.as_bytes());
+    burst.extend_from_slice(
+        b"GET /v1/stats HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+    );
+
+    let mut stream = TcpStream::connect(&addr).expect("connect to ezrt serve");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    stream.write_all(&burst).expect("write burst");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read responses");
+
+    assert_eq!(
+        raw.matches("HTTP/1.1 200 OK").count(),
+        5,
+        "five pipelined requests, five responses: {raw}"
+    );
+    // One distinctive marker per response, found in request order.
+    let markers = [
+        "\"ok\"",              // healthz
+        "struct ScheduleItem", // table artifact
+        "<pnml",               // pnml artifact
+        "\"spec_digest\"",     // schedule report
+        "\"connections\"",     // stats
+    ];
+    let mut last = 0;
+    for marker in markers {
+        let at = raw[last..]
+            .find(marker)
+            .unwrap_or_else(|| panic!("{marker} out of order in {raw}"));
+        last += at + marker.len();
+    }
+    // All five responses rode the single connection.
+    let stats_body = &raw[raw.rfind("\r\n\r\n").expect("stats body") + 4..];
+    assert_eq!(field(stats_body, "connections"), "2", "{stats_body}");
+
+    shutdown(child, &addr, stdout);
     let _ = std::fs::remove_dir_all(&dir);
 }

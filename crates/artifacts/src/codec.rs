@@ -36,8 +36,10 @@ use std::time::Duration;
 pub const MAGIC: &[u8; 8] = b"EZRTCHE\0";
 
 /// The format version; bump on any encoding change so older files are
-/// discarded (and re-synthesized) instead of misread.
-pub const FORMAT_VERSION: u32 = 1;
+/// discarded (and re-synthesized) instead of misread. Version 2 added
+/// the incremental-synthesis counters (`incr_*`) to the stats block and
+/// the sub-digest report fields.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why a cache file could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -149,6 +151,9 @@ fn encode_payload(outcome: &SynthesisOutcome) -> Vec<u8> {
     w.u128(stats.elapsed.as_nanos());
     w.u64(stats.jobs as u64);
     w.u64(stats.steals as u64);
+    w.u64(stats.incr_seed_hits as u64);
+    w.u64(stats.incr_replayed as u64);
+    w.u64(stats.incr_states_saved as u64);
 
     match &outcome.solution {
         None => w.u8(0),
@@ -204,6 +209,9 @@ fn decode_payload(payload: &[u8]) -> Result<SynthesisOutcome, CodecError> {
         elapsed: duration_from_nanos(r.u128()?),
         jobs: r.u64()? as usize,
         steals: r.u64()? as usize,
+        incr_seed_hits: r.u64()? as usize,
+        incr_replayed: r.u64()? as usize,
+        incr_states_saved: r.u64()? as usize,
     };
 
     let solution = match r.u8()? {

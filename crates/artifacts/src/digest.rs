@@ -97,6 +97,43 @@ pub fn project_digest(project: &Project) -> SpecDigest {
     SpecDigest::of(&project.canonical_bytes())
 }
 
+/// Per-task sub-digests, in specification order: `(task name, digest of
+/// the task's canonical sub-stream)`. A task's sub-digest covers its own
+/// timing and the *shape* of its relations (partners by name), so two
+/// specs diff structurally by comparing these lists — a timing edit on
+/// one task changes exactly that task's entry, and reordering tasks in
+/// the XML changes none of them.
+pub fn task_subdigests(project: &Project) -> Vec<(String, SpecDigest)> {
+    project
+        .task_canonical_bytes()
+        .into_iter()
+        .map(|(name, bytes)| (name, SpecDigest::of(&bytes)))
+        .collect()
+}
+
+/// The digest of a project's *structure* — task set, relation shape,
+/// per-task instance counts and the result-relevant config, timing
+/// elided. Specs that differ only in task timing share this digest; the
+/// server's nearest-ancestor index keys warm-start candidates on it.
+pub fn structure_digest(project: &Project) -> SpecDigest {
+    SpecDigest::of(&project.structure_bytes())
+}
+
+/// Renders sub-digests as the flat `name=hex,name=hex` form the JSON
+/// report carries (flat-JSON surfaces have no nested objects).
+pub fn format_task_subdigests(subdigests: &[(String, SpecDigest)]) -> String {
+    let mut out = String::new();
+    for (index, (name, digest)) in subdigests.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str(name);
+        out.push('=');
+        out.push_str(&digest.to_hex());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

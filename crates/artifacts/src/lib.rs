@@ -56,7 +56,9 @@ pub mod outcome;
 pub mod render;
 pub mod report;
 
-pub use digest::{project_digest, SpecDigest};
+pub use digest::{
+    format_task_subdigests, project_digest, structure_digest, task_subdigests, SpecDigest,
+};
 pub use kind::ArtifactKind;
-pub use outcome::{compute_outcome, Solution, SynthesisOutcome};
+pub use outcome::{compute_outcome, compute_outcome_incremental, Solution, SynthesisOutcome};
 pub use render::{default_gantt_window, render, Artifact, RenderError};

@@ -137,10 +137,46 @@ impl Solution {
 /// net-level replay verdict, rendered JSON fields, and the solution the
 /// artifact renderers consume.
 pub fn compute_outcome(project: &Project, digest: SpecDigest) -> SynthesisOutcome {
-    match project.synthesize() {
+    package(project, digest, project.synthesize())
+}
+
+/// [`compute_outcome`] warm-started from an `ancestor` outcome: the
+/// ancestor's schedule prefix seeds the search through
+/// [`Project::synthesize_incremental`], and
+/// [`SearchStats::incr_states_saved`] is filled in from the ancestor's
+/// own state count before the report fields render. Ancestors without a
+/// feasible solution have nothing to seed with and fall back to a cold
+/// [`compute_outcome`].
+pub fn compute_outcome_incremental(
+    project: &Project,
+    digest: SpecDigest,
+    ancestor: &SynthesisOutcome,
+) -> SynthesisOutcome {
+    let Some(prev) = ancestor.solution.as_ref() else {
+        return compute_outcome(project, digest);
+    };
+    let mut result = project.synthesize_incremental(prev.schedule());
+    if let Ok(outcome) = result.as_mut() {
+        if outcome.stats.incr_seed_hits > 0 {
+            outcome.stats.incr_states_saved = ancestor
+                .stats
+                .states_visited
+                .saturating_sub(outcome.stats.states_visited);
+        }
+    }
+    package(project, digest, result)
+}
+
+/// Packages a synthesis verdict for the cache.
+fn package(
+    project: &Project,
+    digest: SpecDigest,
+    result: Result<ezrt_core::Outcome, ezrt_scheduler::SynthesizeError>,
+) -> SynthesisOutcome {
+    match result {
         Ok(outcome) => {
             let replay_ok = ezrt_sim::replay::replay(&outcome.tasknet, &outcome.schedule).is_ok();
-            let fields = report::success_fields(&digest, &outcome);
+            let fields = report::success_fields(&digest, project, &outcome);
             let parts = outcome.into_parts();
             SynthesisOutcome {
                 digest,

@@ -7,8 +7,8 @@
 //! `spec_digest` field. The server appends one extra `cache` field and
 //! batch mode prepends a `file` field; everything in between is shared.
 
-use crate::digest::SpecDigest;
-use ezrt_core::Outcome;
+use crate::digest::{format_task_subdigests, structure_digest, task_subdigests, SpecDigest};
+use ezrt_core::{Outcome, Project};
 use ezrt_scheduler::SynthesizeError;
 
 /// An ordered list of `(key, rendered JSON value)` pairs — the one flat
@@ -37,14 +37,26 @@ pub fn json_string(text: &str) -> String {
 
 /// The field list for a successful synthesis: the `ezrt schedule
 /// --json` contract (one flat object, search counters included), plus
-/// the digest key. `violations` re-checks the timeline against the
-/// specification with the net-independent validator.
-pub fn success_fields(digest: &SpecDigest, outcome: &Outcome) -> JsonFields {
+/// the digest keys. `violations` re-checks the timeline against the
+/// specification with the net-independent validator;
+/// `structure_digest` and the flat `task_subdigests` map let external
+/// tools diff two specs structurally without re-implementing
+/// canonicalization; the `incr_*` counters describe the warm start that
+/// produced the result (all zero on cold runs).
+pub fn success_fields(digest: &SpecDigest, project: &Project, outcome: &Outcome) -> JsonFields {
     let stats = &outcome.stats;
     let violations = outcome.validate().len();
     vec![
         ("feasible", "true".to_owned()),
         ("spec_digest", json_string(&digest.to_hex())),
+        (
+            "structure_digest",
+            json_string(&structure_digest(project).to_hex()),
+        ),
+        (
+            "task_subdigests",
+            json_string(&format_task_subdigests(&task_subdigests(project))),
+        ),
         ("firings", outcome.schedule.firings().len().to_string()),
         ("makespan", outcome.schedule.makespan().to_string()),
         ("states_visited", stats.states_visited.to_string()),
@@ -65,6 +77,9 @@ pub fn success_fields(digest: &SpecDigest, outcome: &Outcome) -> JsonFields {
         ),
         ("jobs", stats.jobs.to_string()),
         ("steals", stats.steals.to_string()),
+        ("incr_seed_hits", stats.incr_seed_hits.to_string()),
+        ("incr_replayed", stats.incr_replayed.to_string()),
+        ("incr_states_saved", stats.incr_states_saved.to_string()),
         ("violations", violations.to_string()),
     ]
 }
@@ -101,6 +116,8 @@ pub fn failure_fields(digest: &SpecDigest, error: &SynthesizeError) -> JsonField
 pub const FIELD_KEYS: &[&str] = &[
     "feasible",
     "spec_digest",
+    "structure_digest",
+    "task_subdigests",
     "error",
     "firings",
     "makespan",
@@ -116,6 +133,9 @@ pub const FIELD_KEYS: &[&str] = &[
     "wall_time_ms",
     "jobs",
     "steals",
+    "incr_seed_hits",
+    "incr_replayed",
+    "incr_states_saved",
     "violations",
 ];
 
@@ -169,7 +189,7 @@ mod tests {
         let project = Project::new(small_control());
         let digest = project_digest(&project);
         let outcome = project.synthesize().expect("feasible");
-        let text = render_pretty(&success_fields(&digest, &outcome));
+        let text = render_pretty(&success_fields(&digest, &project, &outcome));
         assert!(text.starts_with("{\n"));
         assert!(text.ends_with('}'));
         assert!(!text.contains(",\n}"));
@@ -183,7 +203,7 @@ mod tests {
         let project = Project::new(small_control());
         let digest = project_digest(&project);
         let outcome = project.synthesize().expect("feasible");
-        let line = render_compact(&success_fields(&digest, &outcome));
+        let line = render_compact(&success_fields(&digest, &project, &outcome));
         assert!(!line.contains('\n'));
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"makespan\": "));
@@ -194,7 +214,7 @@ mod tests {
         let project = Project::new(small_control());
         let digest = project_digest(&project);
         let outcome = project.synthesize().expect("feasible");
-        for (key, _) in success_fields(&digest, &outcome) {
+        for (key, _) in success_fields(&digest, &project, &outcome) {
             assert_eq!(static_key(key), Some(key), "success key {key}");
         }
         use ezrt_scheduler::SchedulerConfig;

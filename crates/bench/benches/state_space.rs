@@ -128,6 +128,82 @@ fn report_parallel_scaling() {
     }
 }
 
+/// Loosens (`delta > 0`) or tightens (`delta < 0`) the first
+/// `<deadline>N</deadline>` element of a spec document by `|delta|` —
+/// the one-task edit of a design loop.
+fn nudge_first_deadline(xml: &str, delta: i64) -> String {
+    let key = "<deadline>";
+    let at = xml.find(key).expect("a deadline element") + key.len();
+    let end = at + xml[at..].find('<').expect("closing tag");
+    let value: i64 = xml[at..end].trim().parse().expect("numeric deadline");
+    format!("{}{}{}", &xml[..at], (value + delta).max(1), &xml[end..])
+}
+
+/// Experiment: incremental synthesis. Each workload is synthesized
+/// cold, then one deadline is loosened (and, separately, tightened) and
+/// the edited spec is solved both cold and warm-started from the
+/// previous schedule's legal prefix — the comparison the server's
+/// ancestor index buys an edit loop. Also reports the unchanged-spec
+/// resubmission, which must do zero fresh search work.
+fn report_incremental() {
+    use ezrt_scheduler::synthesize_seeded;
+
+    eprintln!("[X1] incremental synthesis: warm start vs cold after a one-deadline edit:");
+    let sweep_tasks = *SWEEP_TASK_COUNTS.last().expect("sweep sizes");
+    for (name, spec) in [
+        ("mine pump", ezrt_spec::corpus::mine_pump()),
+        (
+            "10-task sweep",
+            sweep_spec(sweep_tasks, ezrt_bench::SWEEP_FEASIBLE_SEED),
+        ),
+    ] {
+        let tasknet = translate(&spec);
+        let config = SchedulerConfig::default();
+        let Ok(ancestor) = synthesize(&tasknet, &config) else {
+            continue;
+        };
+
+        let resubmitted = synthesize_seeded(&tasknet, &config, ancestor.schedule.firings())
+            .expect("resubmission stays feasible");
+        eprintln!(
+            "[X1]   {name}, unchanged resubmission: {} fresh states, {} firings replayed",
+            resubmitted.stats.states_visited, resubmitted.stats.incr_replayed,
+        );
+
+        for (edit, delta) in [("loosened", 1i64), ("tightened", -1i64)] {
+            let xml = nudge_first_deadline(&ezrt_dsl::to_xml(&spec), delta);
+            let Ok(edited) = ezrt_dsl::from_xml(&xml) else {
+                eprintln!("[X1]   {name}, {edit} deadline: edit no longer validates");
+                continue;
+            };
+            let edited_net = translate(&edited);
+            let started = Instant::now();
+            let cold = synthesize(&edited_net, &config);
+            let cold_wall = started.elapsed();
+            let started = Instant::now();
+            let warm = synthesize_seeded(&edited_net, &config, ancestor.schedule.firings());
+            let warm_wall = started.elapsed();
+            match (cold, warm) {
+                (Ok(cold), Ok(warm)) => {
+                    ezrt_sim::replay::replay(&edited_net, &warm.schedule)
+                        .expect("warm-started schedule must replay through the net oracle");
+                    eprintln!(
+                        "[X1]   {name}, {edit} deadline: cold {} states / {:.2} ms vs warm {} states / {:.2} ms ({:.0}% of cold states, {} firings replayed)",
+                        cold.stats.states_visited,
+                        cold_wall.as_secs_f64() * 1e3,
+                        warm.stats.states_visited,
+                        warm_wall.as_secs_f64() * 1e3,
+                        100.0 * warm.stats.states_visited as f64
+                            / cold.stats.states_visited.max(1) as f64,
+                        warm.stats.incr_replayed,
+                    );
+                }
+                _ => eprintln!("[X1]   {name}, {edit} deadline: infeasible after the edit"),
+            }
+        }
+    }
+}
+
 /// A baseline replica of the PR 2 interning design: the same per-shard
 /// slab+probe-table structure as `ShardedArena`, but with the global
 /// **`RwLock<Vec<u64>>` directory appended once per fresh state** — the
@@ -326,6 +402,7 @@ fn bench_state_space(c: &mut Criterion) {
     report_sweep_shape();
     report_kernel_comparison();
     report_parallel_scaling();
+    report_incremental();
     report_directory_contention();
     let mut group = c.benchmark_group("state_space");
     group.sample_size(10);
@@ -361,6 +438,32 @@ fn bench_state_space(c: &mut Criterion) {
             &tasks,
             |b, _| b.iter(|| black_box(synthesize_parallel(black_box(&tasknet), &config))),
         );
+    }
+    // The edit-loop arm: the mine pump with one loosened deadline,
+    // solved cold versus warm-started from the unedited spec's cached
+    // schedule — exactly what the server's ancestor hit hands to the
+    // seeded search, so the two rows are the end-to-end miss-after-edit
+    // comparison.
+    {
+        use ezrt_scheduler::synthesize_seeded;
+        let spec = ezrt_spec::corpus::mine_pump();
+        let config = SchedulerConfig::default();
+        let ancestor = synthesize(&translate(&spec), &config).expect("mine pump is feasible");
+        let edited = ezrt_dsl::from_xml(&nudge_first_deadline(&ezrt_dsl::to_xml(&spec), 1))
+            .expect("edited mine pump parses");
+        let edited_net = translate(&edited);
+        group.bench_function("mine_pump_edit_cold", |b| {
+            b.iter(|| black_box(synthesize(black_box(&edited_net), &config)))
+        });
+        group.bench_function("mine_pump_edit_warm", |b| {
+            b.iter(|| {
+                black_box(synthesize_seeded(
+                    black_box(&edited_net),
+                    &config,
+                    ancestor.schedule.firings(),
+                ))
+            })
+        });
     }
     group.finish();
 }

@@ -18,11 +18,17 @@
 //! digest deliberately rather than silently.
 
 use ezrt_scheduler::{BranchOrdering, SchedulerConfig};
-use ezrt_spec::EzSpec;
+use ezrt_spec::{EzSpec, TaskId};
 use ezrt_tpn::DelayMode;
 
 /// Format version tag; bump when the encoding changes.
 const VERSION: &[u8] = b"ezrt-canon-v1";
+
+/// Format version tag of the per-task sub-digest pre-image.
+const TASK_VERSION: &[u8] = b"ezrt-task-v1";
+
+/// Format version tag of the structure-digest pre-image.
+const STRUCTURE_VERSION: &[u8] = b"ezrt-struct-v1";
 
 /// Section tags, one per metamodel region, so a decoder (or a human
 /// with a hex dump) can tell where each part begins.
@@ -97,6 +103,146 @@ pub(crate) fn canonical_bytes(spec: &EzSpec, config: &SchedulerConfig) -> Vec<u8
         out.u64(b.index() as u64);
     }
 
+    write_config(&mut out, config);
+    out.bytes
+}
+
+/// Serializes one task's sub-digest pre-image: the task's own timing and
+/// attributes plus the *shape* of its relations, with every partner
+/// referenced **by name** (never by index). Name-based references make
+/// the bytes invariant under task reordering in the source document, and
+/// excluding partner timing means a timing edit on task `x` changes
+/// exactly `x`'s sub-digest — the property the structural spec diff in
+/// [`Project::changed_tasks`](crate::Project::changed_tasks) relies on.
+///
+/// Message parameters (`grant_bus`, `communication`) are timing that
+/// constrains *both* endpoints, so they appear in both endpoints'
+/// sub-digests.
+pub(crate) fn task_bytes(spec: &EzSpec, id: TaskId) -> Vec<u8> {
+    let task = spec.task(id);
+    let mut out = Canon::default();
+    out.bytes.extend_from_slice(TASK_VERSION);
+
+    out.tag(tag::TASK);
+    out.str(task.name());
+    let timing = task.timing();
+    out.u64(timing.phase);
+    out.u64(timing.release);
+    out.u64(timing.computation);
+    out.u64(timing.deadline);
+    out.u64(timing.period);
+    out.u64(match task.method() {
+        ezrt_spec::SchedulingMethod::NonPreemptive => 0,
+        ezrt_spec::SchedulingMethod::Preemptive => 1,
+    });
+    out.str(spec.processor(task.processor()).name());
+    out.u64(task.energy());
+    match task.code() {
+        Some(code) => {
+            out.flag(true);
+            out.str(code.content());
+        }
+        None => out.flag(false),
+    }
+
+    out.tag(tag::PRECEDES);
+    out.sorted_names(spec.predecessors(id).map(|p| spec.task(p).name()));
+    out.sorted_names(spec.successors(id).map(|s| spec.task(s).name()));
+    out.tag(tag::EXCLUDES);
+    out.sorted_names(spec.exclusion_partners(id).map(|p| spec.task(p).name()));
+
+    out.tag(tag::MESSAGE);
+    let mut incident: Vec<_> = spec
+        .messages()
+        .filter(|&(_, m)| m.sender() == id || m.receiver() == id)
+        .map(|(_, m)| m)
+        .collect();
+    incident.sort_by_key(|m| m.name());
+    out.u64(incident.len() as u64);
+    for message in incident {
+        out.str(message.name());
+        out.str(message.bus());
+        out.flag(message.sender() == id);
+        let partner = if message.sender() == id {
+            message.receiver()
+        } else {
+            message.sender()
+        };
+        out.str(spec.task(partner).name());
+        out.u64(message.grant_bus());
+        out.u64(message.communication());
+    }
+
+    out.bytes
+}
+
+/// Serializes the *structure* of `spec` + `config`: the task set, the
+/// relation shape and the result-relevant scheduler knobs, with all
+/// timing values elided and every entity sorted by name. Two specs that
+/// differ only in task timing share structure bytes — the property the
+/// server's nearest-ancestor index keys on. Per-task instance counts
+/// `N(t) = hyperperiod / period` **are** included: a period edit reshapes
+/// the translated net, so warm-starting across it would be pointless.
+///
+/// The spec *name* is deliberately excluded — a renamed copy of a model
+/// is the same search problem.
+pub(crate) fn structure_bytes(spec: &EzSpec, config: &SchedulerConfig) -> Vec<u8> {
+    let mut out = Canon::default();
+    out.bytes.extend_from_slice(STRUCTURE_VERSION);
+
+    out.tag(tag::SPEC);
+    out.flag(spec.dispatcher_overhead());
+    out.sorted_names(spec.processors().map(|(_, p)| p.name()));
+
+    let mut tasks: Vec<_> = spec.tasks().collect();
+    tasks.sort_by_key(|&(_, task)| task.name());
+    out.u64(tasks.len() as u64);
+    for (id, task) in tasks {
+        out.tag(tag::TASK);
+        out.str(task.name());
+        out.u64(match task.method() {
+            ezrt_spec::SchedulingMethod::NonPreemptive => 0,
+            ezrt_spec::SchedulingMethod::Preemptive => 1,
+        });
+        out.str(spec.processor(task.processor()).name());
+        out.u64(spec.instances_of(id));
+    }
+
+    out.tag(tag::PRECEDES);
+    out.sorted_name_pairs(
+        spec.precedences()
+            .iter()
+            .map(|&(a, b)| (spec.task(a).name(), spec.task(b).name())),
+    );
+    out.tag(tag::EXCLUDES);
+    // Exclusion is symmetric: normalize each pair before sorting.
+    out.sorted_name_pairs(spec.exclusions().iter().map(|&(a, b)| {
+        let (a, b) = (spec.task(a).name(), spec.task(b).name());
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }));
+
+    out.tag(tag::MESSAGE);
+    let mut messages: Vec<_> = spec.messages().map(|(_, m)| m).collect();
+    messages.sort_by_key(|m| m.name());
+    out.u64(messages.len() as u64);
+    for message in messages {
+        out.str(message.name());
+        out.str(message.bus());
+        out.str(spec.task(message.sender()).name());
+        out.str(spec.task(message.receiver()).name());
+    }
+
+    write_config(&mut out, config);
+    out.bytes
+}
+
+/// The result-relevant scheduler knobs, shared verbatim between the full
+/// canonical stream and the structure stream.
+fn write_config(out: &mut Canon, config: &SchedulerConfig) {
     out.tag(tag::CONFIG);
     out.u64(match config.ordering {
         BranchOrdering::Edf => 0,
@@ -112,8 +258,6 @@ pub(crate) fn canonical_bytes(spec: &EzSpec, config: &SchedulerConfig) -> Vec<u8
     out.u64(config.max_time.as_secs());
     out.u64(u64::from(config.max_time.subsec_nanos()));
     // config.parallelism intentionally not serialized — see module docs.
-
-    out.bytes
 }
 
 /// The little writer: tagged sections, length-prefixed strings,
@@ -139,6 +283,28 @@ impl Canon {
     fn str(&mut self, text: &str) {
         self.u64(text.len() as u64);
         self.bytes.extend_from_slice(text.as_bytes());
+    }
+
+    /// A count-prefixed, lexicographically sorted name list — the
+    /// order-erasing building block of the reorder-invariant streams.
+    fn sorted_names<'a>(&mut self, names: impl Iterator<Item = &'a str>) {
+        let mut names: Vec<&str> = names.collect();
+        names.sort_unstable();
+        self.u64(names.len() as u64);
+        for name in names {
+            self.str(name);
+        }
+    }
+
+    /// A count-prefixed, sorted list of name pairs.
+    fn sorted_name_pairs<'a>(&mut self, pairs: impl Iterator<Item = (&'a str, &'a str)>) {
+        let mut pairs: Vec<(&str, &str)> = pairs.collect();
+        pairs.sort_unstable();
+        self.u64(pairs.len() as u64);
+        for (a, b) in pairs {
+            self.str(a);
+            self.str(b);
+        }
     }
 }
 

@@ -5,8 +5,8 @@ use ezrt_compose::{translate, TaskNet};
 use ezrt_dsl::ParseDslError;
 use ezrt_scheduler::validate::ScheduleViolation;
 use ezrt_scheduler::{
-    synthesize, synthesize_parallel, FeasibleSchedule, Parallelism, SchedulerConfig, SearchStats,
-    SynthesizeError, Timeline,
+    synthesize, synthesize_parallel, synthesize_seeded, FeasibleSchedule, Parallelism,
+    SchedulerConfig, SearchStats, SynthesizeError, Timeline,
 };
 use ezrt_sim::dispatch::{execute, DispatchConfig};
 use ezrt_sim::ExecutionReport;
@@ -86,6 +86,68 @@ impl Project {
         crate::canonical::canonical_bytes(&self.spec, &self.config)
     }
 
+    /// Per-task canonical byte slices, in specification order: each
+    /// entry is `(task name, sub-digest pre-image)` covering that task's
+    /// own timing and attributes plus the shape of its relations with
+    /// partners referenced by *name*. The bytes are invariant under task
+    /// reordering and XML formatting, and a timing edit on one task
+    /// changes exactly that task's entry — so two specs diff
+    /// structurally by comparing these slices, no parsing heuristics.
+    pub fn task_canonical_bytes(&self) -> Vec<(String, Vec<u8>)> {
+        self.spec
+            .tasks()
+            .map(|(id, task)| {
+                (
+                    task.name().to_owned(),
+                    crate::canonical::task_bytes(&self.spec, id),
+                )
+            })
+            .collect()
+    }
+
+    /// Canonical bytes of the specification's *structure* — task set,
+    /// relation shape, per-task instance counts and the result-relevant
+    /// config — with all timing values elided. Specs that differ only in
+    /// task timing share structure bytes; the server's nearest-ancestor
+    /// index keys warm-start candidates on the digest of this stream.
+    pub fn structure_bytes(&self) -> Vec<u8> {
+        crate::canonical::structure_bytes(&self.spec, &self.config)
+    }
+
+    /// The names of tasks whose sub-digest pre-image differs between
+    /// this project's specification and `prev`, sorted. Tasks present on
+    /// only one side count as changed. An empty result means every task
+    /// is structurally and temporally identical across the two specs.
+    pub fn changed_tasks(&self, prev: &EzSpec) -> Vec<String> {
+        let theirs: std::collections::HashMap<&str, Vec<u8>> = prev
+            .tasks()
+            .map(|(id, task)| (task.name(), crate::canonical::task_bytes(prev, id)))
+            .collect();
+        let mut changed: Vec<String> = Vec::new();
+        let mut matched = 0usize;
+        for (id, task) in self.spec.tasks() {
+            match theirs.get(task.name()) {
+                Some(bytes) => {
+                    matched += 1;
+                    if *bytes != crate::canonical::task_bytes(&self.spec, id) {
+                        changed.push(task.name().to_owned());
+                    }
+                }
+                None => changed.push(task.name().to_owned()),
+            }
+        }
+        // Tasks that exist only in `prev`.
+        if matched < theirs.len() {
+            for (_, task) in prev.tasks() {
+                if self.spec.task_by_name(task.name()).is_none() {
+                    changed.push(task.name().to_owned());
+                }
+            }
+        }
+        changed.sort();
+        changed
+    }
+
     /// Serializes the specification back to the XML DSL.
     pub fn to_dsl(&self) -> String {
         ezrt_dsl::to_xml(&self.spec)
@@ -124,6 +186,58 @@ impl Project {
             }
             synthesis
         };
+        let timeline = Timeline::from_schedule(&tasknet, &synthesis.schedule);
+        let table = ScheduleTable::from_timeline(&self.spec, &timeline);
+        Ok(Outcome {
+            spec: self.spec.clone(),
+            tasknet,
+            schedule: synthesis.schedule,
+            stats: synthesis.stats,
+            timeline,
+            table,
+        })
+    }
+
+    /// Incremental synthesis warm-started from a prior schedule: `prev`
+    /// is handed to the seeded search whole, which first tries a verbatim
+    /// oracle replay (one linear pass, no search machinery) and otherwise
+    /// truncates the seed at its first illegal step, re-validates every
+    /// replayed firing as an ordinary DFS candidate and searches on from
+    /// the replayed frontier. For an unchanged spec the whole schedule
+    /// replays and the search visits zero new states; after a small
+    /// timing edit the prefix typically covers everything up to the
+    /// first genuinely affected firing.
+    ///
+    /// Sound by construction: seeding only permutes branch order at the
+    /// replayed frames, so feasibility, infeasibility and budget
+    /// verdicts are the same as cold synthesis would produce — and as a
+    /// belt-and-braces check any seeded result is replayed end-to-end
+    /// through the oracle here, falling back to a cold
+    /// [`synthesize`](Self::synthesize) on rejection (never expected).
+    ///
+    /// The seeded path is sequential; configurations asking for more
+    /// than one job route to the cold parallel engine, which beats
+    /// prefix reuse at its own game on big misses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesizeError`] when no feasible schedule exists or a
+    /// search budget is exhausted — the same verdicts cold synthesis
+    /// would return.
+    pub fn synthesize_incremental(
+        &self,
+        prev: &FeasibleSchedule,
+    ) -> Result<Outcome, SynthesizeError> {
+        if !self.config.parallelism.is_sequential() {
+            return self.synthesize();
+        }
+        let tasknet = translate(&self.spec);
+        let synthesis = synthesize_seeded(&tasknet, &self.config, prev.firings())?;
+        if synthesis.stats.incr_seed_hits > 0
+            && ezrt_sim::replay::replay(&tasknet, &synthesis.schedule).is_err()
+        {
+            return self.synthesize();
+        }
         let timeline = Timeline::from_schedule(&tasknet, &synthesis.schedule);
         let table = ScheduleTable::from_timeline(&self.spec, &timeline);
         Ok(Outcome {

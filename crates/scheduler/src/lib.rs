@@ -53,6 +53,6 @@ pub use error::SynthesizeError;
 pub use parallel::synthesize_parallel;
 pub use reference::synthesize_reference;
 pub use schedule::{FeasibleSchedule, ScheduledFiring};
-pub use search::{synthesize, Synthesis};
+pub use search::{synthesize, synthesize_seeded, Synthesis};
 pub use stats::SearchStats;
 pub use timeline::{Slice, Timeline};

@@ -190,8 +190,124 @@ pub fn synthesize(
     tasknet: &TaskNet,
     config: &SchedulerConfig,
 ) -> Result<Synthesis, SynthesizeError> {
+    synthesize_with_seed(tasknet, config, &[])
+}
+
+/// [`synthesize`] warm-started from a prior schedule's legal prefix.
+///
+/// The seed is first replayed verbatim against the oracle checks alone —
+/// raw `FT(s)`/`FD_s(t)` legality, miss-freedom, final marking — and when
+/// the whole run still goes through (an unchanged or loosened spec) that
+/// replay *is* the result: one linear pass, no DFS setup, `incr_replayed`
+/// firings and zero visited states. Otherwise the seeded DFS takes over:
+/// each seeded firing is accepted only if it is an ordinary member of the
+/// current frame's candidate list — the same `FT(s)`/`FD_s(t)` expansion,
+/// partial-order reduction and delay-mode filtering a cold search applies
+/// — and its successor is re-checked for deadline misses. Accepted
+/// firings are moved to the *front* of their frame's branch order and the
+/// DFS resumes from the replayed frontier; the rest of each frame is left
+/// exactly as a cold search would order it. Seeding therefore only
+/// permutes branch order at the replayed frames: the search still covers
+/// the same space, so `Infeasible` and budget verdicts remain sound, and
+/// a fully rejected seed (`incr_replayed == 0`) runs byte-identically to
+/// [`synthesize`].
+///
+/// On seeded runs [`SearchStats::states_visited`] counts only states the
+/// search generated *beyond* the replayed prefix (zero when the seed
+/// replays to the final marking), and the `max_states` budget applies to
+/// those fresh states. The seeded path is sequential.
+///
+/// # Errors
+///
+/// The same verdicts as [`synthesize`]: [`SynthesizeError::Infeasible`]
+/// or a budget error.
+pub fn synthesize_seeded(
+    tasknet: &TaskNet,
+    config: &SchedulerConfig,
+    seed: &[ScheduledFiring],
+) -> Result<Synthesis, SynthesizeError> {
+    synthesize_with_seed(tasknet, config, seed)
+}
+
+/// Replays `seed` verbatim on a fresh explorer with the *oracle* checks
+/// only — raw `FT(s)`/`FD_s(t)` legality, no deadline-miss place marked,
+/// final marking `MF` reached — and returns the replayed schedule when
+/// the whole run goes through (truncated early if a step already reaches
+/// `MF`). This costs one domain scan per step instead of the seeded
+/// DFS's full candidate construction, so resubmitting an unchanged (or
+/// loosened) spec is strictly cheaper than a cold search, not just
+/// smaller in states. Any `FT`/`FD`-legal miss-free run to `MF` is a
+/// feasible schedule by Def. 3.2 — branch-ordering and partial-order
+/// filters only shape *search* order — so skipping them here cannot
+/// admit an invalid result.
+fn replay_seed_verbatim(
+    tasknet: &TaskNet,
+    seed: &[ScheduledFiring],
+) -> Option<Vec<ScheduledFiring>> {
+    let net = tasknet.net();
+    let mut explorer = Explorer::new(net);
+    let mut domains: Vec<(TransitionId, Time, TimeBound)> = Vec::new();
+    let mut state = explorer.intern_initial();
+    let mut now: Time = 0;
+    let mut path = Vec::with_capacity(seed.len());
+
+    for firing in seed {
+        if firing.transition.index() >= net.transition_count() {
+            return None;
+        }
+        explorer.fireable_domains_into(state, &mut domains);
+        let &(_, dlb, upper) = domains.iter().find(|&&(t, _, _)| t == firing.transition)?;
+        if firing.delay < dlb || TimeBound::Finite(firing.delay) > upper {
+            return None;
+        }
+        let (next, _) = explorer.fire(state, firing.transition, firing.delay);
+        let packed = explorer.state(next);
+        if tasknet.has_deadline_miss_packed(packed) {
+            return None;
+        }
+        now += firing.delay;
+        path.push(ScheduledFiring {
+            transition: firing.transition,
+            role: tasknet.role(firing.transition),
+            delay: firing.delay,
+            at: now,
+        });
+        if tasknet.is_final_packed(packed) {
+            return Some(path);
+        }
+        state = next;
+    }
+    None
+}
+
+fn synthesize_with_seed(
+    tasknet: &TaskNet,
+    config: &SchedulerConfig,
+    seed: &[ScheduledFiring],
+) -> Result<Synthesis, SynthesizeError> {
     let net = tasknet.net();
     let started = Instant::now();
+
+    // Fast path: when the prior schedule still runs through verbatim —
+    // the overwhelmingly common case in an edit loop (unchanged spec, or
+    // a loosened constraint) — the oracle replay above settles it in one
+    // linear pass and the DFS machinery below is never set up.
+    if !seed.is_empty() {
+        if let Some(path) = replay_seed_verbatim(tasknet, seed) {
+            let mut stats = SearchStats {
+                minimum_firings: tasknet.minimum_firing_count(),
+                incr_seed_hits: 1,
+                incr_replayed: path.len(),
+                schedule_length: path.len(),
+                ..SearchStats::default()
+            };
+            stats.elapsed = started.elapsed();
+            return Ok(Synthesis {
+                schedule: FeasibleSchedule::new(path),
+                stats,
+            });
+        }
+    }
     let mut stats = SearchStats {
         minimum_firings: tasknet.minimum_firing_count(),
         ..SearchStats::default()
@@ -227,6 +343,90 @@ pub fn synthesize(
         stats.dead_states = dead.len();
         stats.dead_set_bytes = dead.resident_bytes() + explorer.arena().resident_bytes();
     };
+
+    // Warm-start replay: force each seeded firing to the front of its
+    // frame's branch order, as long as it stays a legal candidate and its
+    // successor is miss-free. A firing that fails either check leaves its
+    // frame untouched, so the continuation from that frame is exactly the
+    // cold search's. Replayed frames keep their remaining candidates in
+    // cold order behind the seed, preserving completeness.
+    let mut replayed = 0usize;
+    for firing in seed {
+        if firing.transition.index() >= net.transition_count() {
+            break;
+        }
+        let frame = &mut frames[depth - 1];
+        let frame_state = frame.state.expect("active frames hold a state");
+        let Some(pos) = frame
+            .candidates
+            .iter()
+            .position(|&(t, q)| t == firing.transition && q == firing.delay)
+        else {
+            break;
+        };
+        let now = frame.now + firing.delay;
+        let (next_state, _) = explorer.fire(frame_state, firing.transition, firing.delay);
+        let packed = explorer.state(next_state);
+        if tasknet.has_deadline_miss_packed(packed) {
+            break;
+        }
+        let role = tasknet.role(firing.transition);
+        let accepted = ScheduledFiring {
+            transition: firing.transition,
+            role,
+            delay: firing.delay,
+            at: now,
+        };
+        if tasknet.is_final_packed(packed) {
+            // The whole prior schedule is still feasible verbatim: no
+            // fresh state was searched at all.
+            path.push(accepted);
+            stats.states_visited = 0;
+            stats.incr_seed_hits = 1;
+            stats.incr_replayed = replayed + 1;
+            stats.schedule_length = path.len();
+            finish_stats(&mut stats, &dead, &explorer);
+            return Ok(Synthesis {
+                schedule: FeasibleSchedule::new(path),
+                stats,
+            });
+        }
+        let candidate = frame.candidates.remove(pos);
+        frame.candidates.insert(0, candidate);
+        frame.next = 1;
+        counters.apply(role);
+        if depth == frames.len() {
+            frames.push(Frame::default());
+        }
+        let frame = &mut frames[depth];
+        frame.state = Some(next_state);
+        frame.next = 0;
+        frame.now = now;
+        candidates_into(
+            tasknet,
+            &explorer,
+            next_state,
+            config,
+            &counters,
+            &mut domains,
+            &mut frame.candidates,
+        );
+        path.push(accepted);
+        depth += 1;
+        replayed += 1;
+        if frames[depth - 1].candidates.is_empty() {
+            // Replayed into a non-final deadlock (possible after an
+            // edit); the main loop backtracks out of it normally.
+            break;
+        }
+    }
+    if replayed > 0 {
+        stats.incr_seed_hits = 1;
+        stats.incr_replayed = replayed;
+        // From here on, count only states the search adds on top of the
+        // replayed prefix.
+        stats.states_visited = 0;
+    }
 
     loop {
         // Budget checks. The time budget is gated on the loop tick, not on
@@ -555,6 +755,69 @@ mod tests {
             .firings_where(|r| *r == TransitionRole::Grant(a))
             .count();
         assert!(grants > 2, "TaskA granted {grants} times");
+    }
+
+    #[test]
+    fn seeded_search_replays_a_full_seed_without_visiting_states() {
+        let tasknet = translate(&small_control());
+        let config = SchedulerConfig::default();
+        let cold = synthesize(&tasknet, &config).expect("feasible");
+        let seeded =
+            synthesize_seeded(&tasknet, &config, cold.schedule.firings()).expect("feasible");
+        assert_eq!(seeded.schedule, cold.schedule);
+        assert_eq!(seeded.stats.states_visited, 0);
+        assert_eq!(seeded.stats.incr_seed_hits, 1);
+        assert_eq!(seeded.stats.incr_replayed, cold.schedule.firings().len());
+    }
+
+    #[test]
+    fn seeded_search_with_a_rejected_seed_matches_the_cold_run() {
+        let tasknet = translate(&small_control());
+        let config = SchedulerConfig::default();
+        let cold = synthesize(&tasknet, &config).expect("feasible");
+        // A seed whose first step is not a candidate (foreign transition
+        // index) is rejected outright: the run must be byte-identical to
+        // the cold search, counters included.
+        let foreign = vec![ScheduledFiring {
+            transition: ezrt_tpn::TransitionId::from_index(tasknet.net().transition_count() + 1),
+            role: TransitionRole::Fork,
+            delay: 0,
+            at: 0,
+        }];
+        let seeded = synthesize_seeded(&tasknet, &config, &foreign).expect("feasible");
+        assert_eq!(seeded.schedule, cold.schedule);
+        assert_eq!(seeded.stats.states_visited, cold.stats.states_visited);
+        assert_eq!(seeded.stats.backtracks, cold.stats.backtracks);
+        assert_eq!(seeded.stats.incr_seed_hits, 0);
+        assert_eq!(seeded.stats.incr_replayed, 0);
+    }
+
+    #[test]
+    fn seeded_search_recovers_from_a_partially_legal_seed() {
+        let tasknet = translate(&figure8_spec());
+        let config = SchedulerConfig::default();
+        let cold = synthesize(&tasknet, &config).expect("feasible");
+        // Seed with a strict prefix of the known solution: the search
+        // must extend it to a full feasible schedule and explore at most
+        // what the cold run explored.
+        let half = cold.schedule.firings().len() / 2;
+        let seeded = synthesize_seeded(&tasknet, &config, &cold.schedule.firings()[..half])
+            .expect("feasible");
+        assert_eq!(seeded.schedule, cold.schedule);
+        assert_eq!(seeded.stats.incr_seed_hits, 1);
+        assert_eq!(seeded.stats.incr_replayed, half);
+        assert!(seeded.stats.states_visited <= cold.stats.states_visited);
+    }
+
+    #[test]
+    fn empty_seed_is_exactly_the_cold_search() {
+        let tasknet = translate(&small_control());
+        let config = SchedulerConfig::default();
+        let cold = synthesize(&tasknet, &config).expect("feasible");
+        let seeded = synthesize_seeded(&tasknet, &config, &[]).expect("feasible");
+        assert_eq!(seeded.schedule, cold.schedule);
+        assert_eq!(seeded.stats.states_visited, cold.stats.states_visited);
+        assert_eq!(seeded.stats.incr_seed_hits, 0);
     }
 
     #[test]

@@ -28,11 +28,11 @@ use crate::digest::SpecDigest;
 use crate::disk::{DiskStats, DiskTier};
 use crate::rendered::{RenderedArtifact, RenderedCache, RenderedStats};
 use ezrt_artifacts::{ArtifactKind, RenderError};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-pub use ezrt_artifacts::outcome::{compute_outcome, SynthesisOutcome};
+pub use ezrt_artifacts::outcome::{compute_outcome, compute_outcome_incremental, SynthesisOutcome};
 
 /// How a [`ResultCache::get_or_compute`] call was served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +115,54 @@ struct Shard {
     inflight: HashMap<SpecDigest, Arc<Inflight>>,
 }
 
+/// The most recent full digests per structure a structure can map to.
+const ANCESTORS_PER_STRUCTURE: usize = 8;
+
+/// The most distinct structures the ancestor index retains.
+const ANCESTOR_STRUCTURES: usize = 256;
+
+/// The nearest-ancestor index: *structure* digest (task set + relation
+/// shape, timing elided) → the most recent full digests seen with that
+/// structure. On a full-digest miss the server asks this index for
+/// prior outcomes of the same structure and warm-starts synthesis from
+/// the closest one (fewest changed tasks). Bounded on both axes —
+/// structures are dropped oldest-first, digests per structure
+/// newest-first-capped — and memory-only: warm starts are a latency
+/// optimization, so the index is rebuilt organically after a restart.
+#[derive(Debug, Default)]
+struct AncestorIndex {
+    by_structure: HashMap<SpecDigest, VecDeque<SpecDigest>>,
+    /// Structure insertion order, oldest first, for bounding.
+    order: VecDeque<SpecDigest>,
+}
+
+impl AncestorIndex {
+    fn note(&mut self, structure: SpecDigest, digest: SpecDigest) {
+        let recents = match self.by_structure.get_mut(&structure) {
+            Some(recents) => recents,
+            None => {
+                while self.order.len() >= ANCESTOR_STRUCTURES {
+                    if let Some(oldest) = self.order.pop_front() {
+                        self.by_structure.remove(&oldest);
+                    }
+                }
+                self.order.push_back(structure);
+                self.by_structure.entry(structure).or_default()
+            }
+        };
+        recents.retain(|&d| d != digest);
+        recents.push_front(digest);
+        recents.truncate(ANCESTORS_PER_STRUCTURE);
+    }
+
+    fn candidates(&self, structure: &SpecDigest) -> Vec<SpecDigest> {
+        self.by_structure
+            .get(structure)
+            .map(|recents| recents.iter().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
 /// The sharded singleflight LRU cache with an optional disk tier. See
 /// the [module docs](self).
 #[derive(Debug)]
@@ -130,6 +178,8 @@ pub struct ResultCache {
     /// The rendered-byte tier: `(digest, kind) → Arc<[u8]>`, so a hot
     /// artifact hit is an `Arc` clone instead of a re-render.
     rendered: RenderedCache,
+    /// The nearest-ancestor warm-start index (see [`AncestorIndex`]).
+    ancestors: Mutex<AncestorIndex>,
     /// Global LRU clock, bumped on every hit and insert.
     tick: AtomicU64,
     hits: AtomicU64,
@@ -165,6 +215,7 @@ impl ResultCache {
             // rendered tier holds a multiple of the outcome bound;
             // disabling the outcome tier disables this one too.
             rendered: RenderedCache::new(capacity.saturating_mul(4), shards),
+            ancestors: Mutex::new(AncestorIndex::default()),
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
@@ -297,6 +348,27 @@ impl ResultCache {
                 }
             }
         }
+    }
+
+    /// Records that `digest` (a full spec digest with a completed
+    /// outcome) was seen with `structure`, making it a warm-start
+    /// candidate for future same-structure misses. Most recent first;
+    /// bounded on both axes.
+    pub fn note_ancestor(&self, structure: SpecDigest, digest: SpecDigest) {
+        self.ancestors
+            .lock()
+            .expect("ancestor index poisoned")
+            .note(structure, digest);
+    }
+
+    /// The recent full digests recorded for `structure`, most recent
+    /// first — the warm-start candidates a miss for a same-structure
+    /// spec may seed from. Empty when the structure is unknown.
+    pub fn ancestor_candidates(&self, structure: &SpecDigest) -> Vec<SpecDigest> {
+        self.ancestors
+            .lock()
+            .expect("ancestor index poisoned")
+            .candidates(structure)
     }
 
     /// Read-only lookup for the artifact endpoints: a completed memory
@@ -567,6 +639,38 @@ mod tests {
         assert_eq!(rendered.capacity, 32, "4 kinds-worth per outcome slot");
         // A zero-capacity result cache disables the rendered tier too.
         assert_eq!(ResultCache::new(0, 1).rendered_stats().capacity, 0);
+    }
+
+    #[test]
+    fn ancestor_index_orders_dedupes_and_bounds() {
+        let cache = ResultCache::new(8, 1);
+        let structure = digest_of(60);
+        assert!(cache.ancestor_candidates(&structure).is_empty());
+
+        // Most recent first, duplicates move to the front.
+        cache.note_ancestor(structure, digest_of(61));
+        cache.note_ancestor(structure, digest_of(62));
+        cache.note_ancestor(structure, digest_of(61));
+        assert_eq!(
+            cache.ancestor_candidates(&structure),
+            vec![digest_of(61), digest_of(62)]
+        );
+
+        // Per-structure bound: only the newest ANCESTORS_PER_STRUCTURE.
+        for byte in 100..120 {
+            cache.note_ancestor(structure, digest_of(byte));
+        }
+        let candidates = cache.ancestor_candidates(&structure);
+        assert_eq!(candidates.len(), ANCESTORS_PER_STRUCTURE);
+        assert_eq!(candidates[0], digest_of(119));
+
+        // Structure bound: the oldest structure is dropped.
+        for byte in 0..=u8::MAX {
+            for high in 0..2u8 {
+                cache.note_ancestor(SpecDigest::of(&[high, byte]), digest_of(1));
+            }
+        }
+        assert!(cache.ancestor_candidates(&structure).is_empty());
     }
 
     #[test]

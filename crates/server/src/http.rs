@@ -6,7 +6,7 @@
 //!
 //! | method | path           | behaviour                                        |
 //! |--------|----------------|--------------------------------------------------|
-//! | POST   | `/v1/schedule` | spec XML body → the `ezrt schedule --json` object plus `spec_digest` and `cache: "hit"\|"disk"\|"miss"`; `?jobs=N` overrides the synthesis worker count for a miss |
+//! | POST   | `/v1/schedule` | spec XML body → the `ezrt schedule --json` object plus `spec_digest` and `cache: "hit"\|"disk"\|"miss"`; `?jobs=N` overrides the synthesis worker count for a miss; `?warm=<digest>` seeds a miss's search from that cached schedule (without the hint, a miss consults the structural ancestor index automatically) |
 //! | POST   | `/v1/check`    | spec XML body → parse/validation verdict and spec summary |
 //! | POST   | `/v1/table`    | spec XML body → the Fig. 8 schedule table (C array), byte-identical to `ezrt table` |
 //! | POST   | `/v1/codegen`  | spec XML body → the generated C translation unit; `?target=<t>` picks the target (default `posix_sim`) |
@@ -52,8 +52,10 @@
 //! engine's [`Parallelism`] type, so a single POST can fan its search
 //! out over `jobs` threads while the pool keeps accepting.
 
-use crate::cache::{compute_outcome, Lookup, ResultCache, SynthesisOutcome};
-use crate::digest::{project_digest, SpecDigest};
+use crate::cache::{
+    compute_outcome, compute_outcome_incremental, Lookup, ResultCache, SynthesisOutcome,
+};
+use crate::digest::{project_digest, structure_digest, SpecDigest};
 use crate::disk::DiskTier;
 use crate::report::{self, JsonFields};
 use ezrt_artifacts::{ArtifactKind, RenderError};
@@ -159,6 +161,14 @@ struct Shared {
     http_errors: AtomicU64,
     /// `304 Not Modified` responses (conditional hits).
     not_modified: AtomicU64,
+    /// Schedule misses whose search was warm-started from an ancestor's
+    /// schedule prefix (cold misses and cache hits do not count).
+    incr_seed_hits: AtomicU64,
+    /// Total seeded firings accepted by warm-started searches.
+    incr_replayed: AtomicU64,
+    /// Total states warm starts avoided visiting, summed over seeded
+    /// misses (`ancestor.states_visited - states_visited` per miss).
+    incr_states_saved: AtomicU64,
 }
 
 impl Shared {
@@ -236,6 +246,9 @@ impl Server {
             artifact_requests: AtomicU64::new(0),
             http_errors: AtomicU64::new(0),
             not_modified: AtomicU64::new(0),
+            incr_seed_hits: AtomicU64::new(0),
+            incr_replayed: AtomicU64::new(0),
+            incr_states_saved: AtomicU64::new(0),
         });
 
         let mut threads = Vec::with_capacity(workers + 2);
@@ -913,9 +926,39 @@ fn schedule(shared: &Shared, request: &Request) -> Response {
         response.headers.push(("X-Ezrt-Digest", digest.to_hex()));
         return response;
     }
-    let (outcome, lookup) = shared
-        .cache
-        .get_or_compute(digest, || compute_outcome(&project, digest));
+    let warm_hint = match query_value(&request.query, "warm") {
+        Some(text) => match SpecDigest::from_hex(text) {
+            Some(warm) => Some(warm),
+            None => return Response::error(400, "warm must be a 48-hex-character digest"),
+        },
+        None => None,
+    };
+    let structure = structure_digest(&project);
+    let (outcome, lookup) = shared.cache.get_or_compute(digest, || {
+        match warm_ancestor(shared, &project, digest, structure, warm_hint) {
+            Some(ancestor) => compute_outcome_incremental(&project, digest, &ancestor),
+            None => compute_outcome(&project, digest),
+        }
+    });
+    // Only the flight that ran the search reports its warm-start
+    // counters (joiners and cache hits would double-count them), and
+    // only outcomes that actually hold a schedule become warm-start
+    // ancestors for later structural neighbours.
+    if lookup == Lookup::Miss {
+        let stats = &outcome.stats;
+        shared
+            .incr_seed_hits
+            .fetch_add(stats.incr_seed_hits as u64, Ordering::Relaxed);
+        shared
+            .incr_replayed
+            .fetch_add(stats.incr_replayed as u64, Ordering::Relaxed);
+        shared
+            .incr_states_saved
+            .fetch_add(stats.incr_states_saved as u64, Ordering::Relaxed);
+    }
+    if outcome.feasible && matches!(lookup, Lookup::Miss | Lookup::Disk) {
+        shared.cache.note_ancestor(structure, digest);
+    }
     let mut fields: JsonFields = outcome.fields.clone();
     fields.push(("cache", report::json_string(lookup.as_str())));
     // Infeasibility is a successful analysis with a negative verdict,
@@ -927,6 +970,48 @@ fn schedule(shared: &Shared, request: &Request) -> Response {
         .headers
         .push(("X-Ezrt-Cache", lookup.as_str().to_owned()));
     response
+}
+
+/// Resolves the warm-start ancestor for a schedule-cache miss: the
+/// explicit `warm=<digest>` hint when it names a cached feasible
+/// outcome, otherwise the nearest ancestor from the structure index —
+/// among cached outcomes sharing this spec's structure digest, the one
+/// whose spec differs in the fewest task sub-digests, ties going to the
+/// most recently computed. Runs inside the singleflight compute (misses
+/// only), so hits and joiners never pay for it.
+fn warm_ancestor(
+    shared: &Shared,
+    project: &Project,
+    digest: SpecDigest,
+    structure: SpecDigest,
+    hint: Option<SpecDigest>,
+) -> Option<Arc<SynthesisOutcome>> {
+    if let Some(warm) = hint {
+        if warm == digest {
+            return None;
+        }
+        let (outcome, _) = shared.cache.lookup(warm)?;
+        return outcome.solution.is_some().then_some(outcome);
+    }
+    let mut best: Option<(usize, Arc<SynthesisOutcome>)> = None;
+    for candidate in shared.cache.ancestor_candidates(&structure) {
+        if candidate == digest {
+            continue;
+        }
+        let Some((outcome, _)) = shared.cache.lookup(candidate) else {
+            continue;
+        };
+        let Some(solution) = outcome.solution.as_ref() else {
+            continue;
+        };
+        let changed = project.changed_tasks(solution.spec()).len();
+        // Candidates arrive most-recent-first, so a strict `<` keeps
+        // the most recent among equally-close ancestors.
+        if best.as_ref().is_none_or(|(fewest, _)| changed < *fewest) {
+            best = Some((changed, outcome));
+        }
+    }
+    best.map(|(_, outcome)| outcome)
 }
 
 /// `GET /v1/artifact/<digest>/<kind>`: serve an artifact of an already
@@ -1099,6 +1184,18 @@ fn stats(shared: &Shared) -> Response {
         (
             "not_modified",
             shared.not_modified.load(Ordering::Relaxed).to_string(),
+        ),
+        (
+            "incr_seed_hits",
+            shared.incr_seed_hits.load(Ordering::Relaxed).to_string(),
+        ),
+        (
+            "incr_replayed",
+            shared.incr_replayed.load(Ordering::Relaxed).to_string(),
+        ),
+        (
+            "incr_states_saved",
+            shared.incr_states_saved.load(Ordering::Relaxed).to_string(),
         ),
         ("cache_capacity", cache.capacity.to_string()),
         ("cache_entries", cache.entries.to_string()),

@@ -716,6 +716,12 @@ fn conditional_requests_answer_304_with_the_same_etag() {
     assert_eq!(header(&head, "ETag"), Some(etag.as_str()));
     assert_eq!(header(&head, "Content-Length"), Some("0"));
     assert_eq!(header(&head, "X-Ezrt-Artifact"), Some("table"));
+    // A 304 still declares the representation's media type.
+    assert_eq!(
+        header(&head, "Content-Type"),
+        Some("text/x-csrc; charset=utf-8"),
+        "{head}"
+    );
 
     // A tag list and `*` both match; a stale tag does not.
     let list = format!("\"nope\", {etag}");
@@ -765,6 +771,7 @@ fn conditional_requests_answer_304_with_the_same_etag() {
     assert_eq!(status, 304);
     assert!(body.is_empty());
     assert_eq!(header(&head, "ETag"), Some(report_etag.as_str()));
+    assert_eq!(header(&head, "Content-Type"), Some("application/json"));
 
     let (_, stats) = request(addr, "GET", "/v1/stats", "");
     let not_modified: u64 = field(&stats, "not_modified").parse().expect("number");
@@ -930,6 +937,51 @@ fn a_pipelined_burst_ending_in_close_gets_every_response() {
     assert_eq!(raw.matches("HTTP/1.1 200 OK").count(), 3, "{raw}");
     assert_eq!(raw.matches("Connection: keep-alive").count(), 2, "{raw}");
     assert_eq!(raw.matches("Connection: close").count(), 1, "{raw}");
+
+    server.stop();
+}
+
+#[test]
+fn every_error_path_carries_a_json_content_type() {
+    let server = server(ServerConfig::default());
+    let addr = server.addr();
+    let infeasible = ezrt_dsl::to_xml(
+        &ezrt_spec::SpecBuilder::new("overloaded")
+            .task("x", |t| t.computation(3).deadline(4).period(4))
+            .task("y", |t| t.computation(2).deadline(4).period(4))
+            .build()
+            .expect("overloaded spec"),
+    );
+
+    // One representative per error family: unknown route, malformed
+    // digest, unknown digest, unparsable spec, malformed warm hint,
+    // and the 409 of a schedule-shaped artifact on an infeasible spec.
+    let cases: &[(&str, &str, &str, u16)] = &[
+        ("GET", "/v1/nope", "", 404),
+        ("GET", "/v1/artifact/xyz/table", "", 400),
+        (
+            "GET",
+            "/v1/artifact/000000000000000000000000000000000000000000000000/table",
+            "",
+            404,
+        ),
+        ("POST", "/v1/schedule", "<not-a-spec/>", 400),
+        ("POST", "/v1/schedule?warm=xyz", &tiny_spec_xml("w"), 400),
+        ("POST", "/v1/table", &infeasible, 409),
+    ];
+    for (method, target, body, expected) in cases {
+        let (status, head, body) = close_request(addr, method, target, &[], body);
+        assert_eq!(status, *expected, "{method} {target}: {head}");
+        assert_eq!(
+            header(&head, "Content-Type"),
+            Some("application/json"),
+            "{method} {target}: {head}"
+        );
+        assert!(
+            body.starts_with('{') && body.contains("\"error\""),
+            "{method} {target}: {body}"
+        );
+    }
 
     server.stop();
 }

@@ -11,7 +11,7 @@
 //! the explorer without allocating per step.
 
 use ezrt_compose::TaskNet;
-use ezrt_scheduler::FeasibleSchedule;
+use ezrt_scheduler::{FeasibleSchedule, ScheduledFiring};
 use ezrt_tpn::reachability::Explorer;
 use ezrt_tpn::{Time, TimeBound, TransitionId};
 use std::fmt;
@@ -136,6 +136,44 @@ pub fn replay(tasknet: &TaskNet, schedule: &FeasibleSchedule) -> Result<ReplayRe
     })
 }
 
+/// The length of the longest prefix of `firings` that replays legally on
+/// `tasknet` from the initial state — each step a member of `FT(s)` with
+/// a delay inside `FD_s(t)` — stopping early after a step that already
+/// reaches the final marking `MF` (a complete run needs no extension).
+///
+/// This is the oracle half of incremental synthesis: a schedule cached
+/// for a *previous* version of a spec is truncated here to the part that
+/// is still meaningful on the *edited* spec's net, and the truncated
+/// prefix seeds the DFS (which re-validates every step again as an
+/// ordinary search candidate). Firings that reference transitions beyond
+/// the net's range — possible when an edit shrank the net — simply end
+/// the prefix; nothing here panics on foreign schedules.
+pub fn replay_prefix(tasknet: &TaskNet, firings: &[ScheduledFiring]) -> usize {
+    let mut explorer = Explorer::new(tasknet.net());
+    let mut domains = Vec::new();
+    let mut state = explorer.intern_initial();
+
+    for (step, firing) in firings.iter().enumerate() {
+        if firing.transition.index() >= tasknet.net().transition_count() {
+            return step;
+        }
+        explorer.fireable_domains_into(state, &mut domains);
+        let Some(&(_, dlb, upper)) = domains.iter().find(|&&(t, _, _)| t == firing.transition)
+        else {
+            return step;
+        };
+        if firing.delay < dlb || TimeBound::Finite(firing.delay) > upper {
+            return step;
+        }
+        let (next, _) = explorer.fire(state, firing.transition, firing.delay);
+        state = next;
+        if tasknet.is_final_packed(explorer.state(state)) {
+            return step + 1;
+        }
+    }
+    firings.len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +240,35 @@ mod tests {
             matches!(err, ReplayError::NotFireable { step: 1, .. }),
             "{err}"
         );
+    }
+
+    #[test]
+    fn replay_prefix_accepts_a_full_own_schedule() {
+        let tasknet = translate(&mine_pump());
+        let synthesis = synthesize(&tasknet, &SchedulerConfig::default()).expect("feasible");
+        let firings = synthesis.schedule.firings();
+        assert_eq!(replay_prefix(&tasknet, firings), firings.len());
+    }
+
+    #[test]
+    fn replay_prefix_truncates_at_the_first_illegal_step() {
+        let tasknet = translate(&small_control());
+        let synthesis = synthesize(&tasknet, &SchedulerConfig::default()).expect("feasible");
+
+        // A corrupted delay mid-schedule ends the prefix right there.
+        let mut firings = synthesis.schedule.firings().to_vec();
+        let mid = firings.len() / 2;
+        firings[mid].delay += 1_000_000;
+        assert_eq!(replay_prefix(&tasknet, &firings), mid);
+
+        // A transition index beyond the net's range — a schedule cached
+        // for a bigger spec — ends the prefix without panicking.
+        let mut foreign = synthesis.schedule.firings().to_vec();
+        foreign[0].transition = TransitionId::from_index(tasknet.net().transition_count() + 3);
+        assert_eq!(replay_prefix(&tasknet, &foreign), 0);
+
+        // The empty seed replays trivially.
+        assert_eq!(replay_prefix(&tasknet, &[]), 0);
     }
 
     #[test]

@@ -36,7 +36,9 @@
 //! All output goes to stdout so results compose with shell pipelines;
 //! diagnostics go to stderr and failures exit nonzero.
 
-use ezrealtime::artifacts::{compute_outcome, ArtifactKind, SynthesisOutcome};
+use ezrealtime::artifacts::{
+    compute_outcome, compute_outcome_incremental, ArtifactKind, SpecDigest, SynthesisOutcome,
+};
 use ezrealtime::codegen::Target;
 use ezrealtime::core::Project;
 use ezrealtime::server::batch::{run_batch, BatchOptions};
@@ -82,6 +84,7 @@ fn run(args: &[String]) -> Result<(), String> {
     if cache_max_bytes.is_some() && cache_dir.is_none() {
         return Err("--cache-max-bytes requires --cache-dir".to_owned());
     }
+    let warm_from = take_option_value(&mut args, "--warm-from")?;
 
     let Some(command) = args.first() else {
         return Err(usage());
@@ -89,6 +92,9 @@ fn run(args: &[String]) -> Result<(), String> {
     if command == "--help" || command == "-h" || command == "help" {
         println!("{}", usage());
         return Ok(());
+    }
+    if warm_from.is_some() && command != "schedule" {
+        return Err("--warm-from is only supported by `ezrt schedule`".to_owned());
     }
     // serve and batch take no spec-file argument; route them before the
     // common load-one-spec path.
@@ -128,7 +134,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
     match command.as_str() {
         "check" => check(&project),
-        "schedule" => schedule(&project, json, &cache),
+        "schedule" => schedule(&project, json, &cache, warm_from.as_deref()),
         "gantt" => gantt(&project, args.get(2), args.get(3), &cache),
         "table" => artifact(&project, ArtifactKind::Table, &cache),
         "codegen" => codegen(&project, args.get(2), &cache),
@@ -180,7 +186,9 @@ fn usage() -> String {
      commands:\n\
      \x20 check     validate the specification\n\
      \x20 schedule  synthesize the pre-runtime schedule and print statistics\n\
-     \x20           (--json: machine-readable SearchStats on stdout)\n\
+     \x20           (--json: machine-readable SearchStats on stdout;\n\
+     \x20           --warm-from <file|digest>: seed the search from that\n\
+     \x20           earlier spec's cached schedule prefix)\n\
      \x20 gantt     [from to] print an ASCII timeline (default first 120 units)\n\
      \x20 table     print the schedule table as a C array (paper Fig. 8)\n\
      \x20 codegen   [target] emit scheduled C code (posix_sim|generic|i8051|avr8|arm9|m68k|x86)\n\
@@ -421,11 +429,67 @@ fn artifact(project: &Project, kind: ArtifactKind, cache: &ResultCache) -> Resul
     Ok(())
 }
 
-fn schedule(project: &Project, json: bool, cache: &ResultCache) -> Result<(), String> {
+/// Resolves `--warm-from <file|digest>` to the ancestor outcome whose
+/// schedule prefix seeds this run's search. A 48-hex argument is a
+/// digest looked up in the (memory or `--cache-dir`) cache — absence
+/// warns to stderr and runs cold, so scripted edit loops never fail on
+/// an evicted ancestor. Anything else is a spec file: it is synthesized
+/// through the same cache (a prior run is revived, not re-searched)
+/// under the same scheduler config, then used as the ancestor.
+fn warm_from_ancestor(
+    cache: &ResultCache,
+    project: &Project,
+    warm_from: &str,
+) -> Result<Option<Arc<SynthesisOutcome>>, String> {
+    if let Some(digest) = SpecDigest::from_hex(warm_from) {
+        match cache.lookup(digest) {
+            Some((outcome, _)) if outcome.solution.is_some() => return Ok(Some(outcome)),
+            Some(_) => {
+                eprintln!("ezrt: --warm-from {warm_from} holds no feasible schedule; running cold");
+                return Ok(None);
+            }
+            None => {
+                eprintln!("ezrt: --warm-from {warm_from} is not in the cache; running cold");
+                return Ok(None);
+            }
+        }
+    }
+    let document = std::fs::read_to_string(warm_from)
+        .map_err(|e| format!("cannot read --warm-from {warm_from}: {e}"))?;
+    let previous = Project::from_dsl(&document)
+        .map_err(|e| format!("{warm_from}: {e}"))?
+        .with_config(project.config().clone());
+    let outcome = cached_outcome(cache, &previous);
+    if outcome.solution.is_none() {
+        eprintln!("ezrt: --warm-from {warm_from} has no feasible schedule; running cold");
+        return Ok(None);
+    }
+    Ok(Some(outcome))
+}
+
+fn schedule(
+    project: &Project,
+    json: bool,
+    cache: &ResultCache,
+    warm_from: Option<&str>,
+) -> Result<(), String> {
     // The digest is the cache key of `ezrt serve` and the join key
     // across schedule/batch/server outputs; it covers the parsed spec
     // plus the result-relevant scheduler knobs (never `--jobs`).
-    let outcome = cached_outcome(cache, project);
+    let ancestor = match warm_from {
+        Some(source) => warm_from_ancestor(cache, project, source)?,
+        None => None,
+    };
+    let outcome = match ancestor {
+        Some(ancestor) => {
+            let digest = project_digest(project);
+            let (outcome, _) = cache.get_or_compute(digest, || {
+                compute_outcome_incremental(project, digest, &ancestor)
+            });
+            outcome
+        }
+        None => cached_outcome(cache, project),
+    };
     if json {
         // Hand-rolled JSON (the workspace builds offline, without
         // serde): one flat object so bench trajectories can be scripted

@@ -1,0 +1,179 @@
+//! End-to-end edit-loop smoke test of incremental synthesis over the
+//! real binary: boot `ezrt serve`, synthesize the mine pump, nudge one
+//! deadline in the XML, re-post — the miss for the edited spec must
+//! warm-start from the first outcome (`incr_seed_hits == 1` in both the
+//! response and `/v1/stats`) and visit strictly fewer states than the
+//! cold run of the same edited spec. The CI edit-loop step runs this
+//! under `RUST_TEST_THREADS=1`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn request(addr: &str, method: &str, target: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to ezrt serve");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn field<'a>(body: &'a str, key: &str) -> &'a str {
+    let marker = format!("\"{key}\": ");
+    let start = body
+        .find(&marker)
+        .unwrap_or_else(|| panic!("missing {key} in {body}"))
+        + marker.len();
+    let rest = &body[start..];
+    let end = rest.find('\n').unwrap_or(rest.len());
+    rest[..end].trim_end().trim_end_matches(',')
+}
+
+fn boot() -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ezrt"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("ezrt serve spawns");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("banner line");
+    let addr = banner
+        .trim()
+        .rsplit("http://")
+        .next()
+        .expect("address in banner")
+        .to_owned();
+    assert!(
+        addr.starts_with("127.0.0.1:"),
+        "unexpected banner {banner:?}"
+    );
+    (child, addr, stdout)
+}
+
+fn shutdown(mut child: Child, addr: &str, mut stdout: BufReader<std::process::ChildStdout>) {
+    let (status, _) = request(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(exit) => {
+                assert!(exit.success(), "serve exited with {exit:?}");
+                let mut rest = String::new();
+                stdout.read_to_string(&mut rest).expect("drain stdout");
+                return;
+            }
+            None if Instant::now() >= deadline => {
+                let _ = child.kill();
+                panic!("ezrt serve did not exit after /v1/shutdown");
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Loosens the first `<deadline>N</deadline>` by one time unit — the
+/// smallest spec edit a design loop makes.
+fn nudge_first_deadline(xml: &str) -> String {
+    let key = "<deadline>";
+    let at = xml.find(key).expect("a deadline element") + key.len();
+    let end = at + xml[at..].find('<').expect("closing tag");
+    let value: u64 = xml[at..end].trim().parse().expect("numeric deadline");
+    format!("{}{}{}", &xml[..at], value + 1, &xml[end..])
+}
+
+#[test]
+fn an_edited_spec_warm_starts_from_its_ancestor() {
+    let spec = ezrealtime::dsl::to_xml(&ezrealtime::spec::corpus::mine_pump());
+    let edited = nudge_first_deadline(&spec);
+    assert_ne!(spec, edited);
+
+    // Cold baseline for the *edited* spec, on its own server so no
+    // ancestor exists: this is what the warm start must beat.
+    let (child, addr, stdout) = boot();
+    let (status, cold) = request(&addr, "POST", "/v1/schedule", &edited);
+    assert_eq!(status, 200);
+    assert_eq!(field(&cold, "cache"), "\"miss\"");
+    assert_eq!(field(&cold, "incr_seed_hits"), "0");
+    let cold_states: u64 = field(&cold, "states_visited").parse().expect("number");
+    shutdown(child, &addr, stdout);
+
+    // The edit loop: synthesize the original, then re-post the edited
+    // spec. The structure digest is unchanged by a timing edit, so the
+    // second miss finds the first outcome in the ancestor index and
+    // seeds its search from the cached schedule prefix — no `warm=`
+    // hint needed.
+    let (child, addr, stdout) = boot();
+    let (status, original) = request(&addr, "POST", "/v1/schedule", &spec);
+    assert_eq!(status, 200);
+    assert_eq!(field(&original, "feasible"), "true");
+    assert_eq!(
+        field(&original, "structure_digest"),
+        field(&cold, "structure_digest"),
+        "a timing edit must not move the structure digest"
+    );
+
+    let (status, warm) = request(&addr, "POST", "/v1/schedule", &edited);
+    assert_eq!(status, 200);
+    assert_eq!(field(&warm, "feasible"), "true");
+    assert_eq!(field(&warm, "cache"), "\"miss\"");
+    assert_eq!(field(&warm, "incr_seed_hits"), "1", "{warm}");
+    let warm_states: u64 = field(&warm, "states_visited").parse().expect("number");
+    assert!(
+        warm_states < cold_states,
+        "warm start must visit strictly fewer states: {warm_states} vs {cold_states}"
+    );
+    let replayed: u64 = field(&warm, "incr_replayed").parse().expect("number");
+    assert!(replayed > 0, "{warm}");
+    // `incr_states_saved` is measured against the *ancestor's* run.
+    let ancestor_states: u64 = field(&original, "states_visited").parse().expect("number");
+    let saved: u64 = field(&warm, "incr_states_saved").parse().expect("number");
+    assert_eq!(saved, ancestor_states - warm_states, "{warm}");
+
+    // The service counters aggregate the same story.
+    let (_, stats) = request(&addr, "GET", "/v1/stats", "");
+    assert_eq!(field(&stats, "incr_seed_hits"), "1", "{stats}");
+    assert_eq!(
+        field(&stats, "incr_replayed"),
+        replayed.to_string(),
+        "{stats}"
+    );
+
+    // An explicit warm hint behaves like the automatic lookup: the
+    // digest of the original seeds a third, tightened variant.
+    let digest = field(&original, "spec_digest").trim_matches('"').to_owned();
+    let twice = nudge_first_deadline(&edited);
+    let (status, hinted) = request(
+        &addr,
+        "POST",
+        &format!("/v1/schedule?warm={digest}"),
+        &twice,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(field(&hinted, "incr_seed_hits"), "1", "{hinted}");
+
+    // A malformed hint is rejected before any synthesis.
+    let (status, _) = request(&addr, "POST", "/v1/schedule?warm=xyz", &twice);
+    assert_eq!(status, 400);
+
+    shutdown(child, &addr, stdout);
+}

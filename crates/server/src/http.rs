@@ -58,9 +58,11 @@ use crate::cache::{
 use crate::digest::{project_digest, structure_digest, SpecDigest};
 use crate::disk::DiskTier;
 use crate::report::{self, JsonFields};
+use crate::sweep::{run_sweep, SweepOptions};
 use ezrt_artifacts::{ArtifactKind, RenderError};
 use ezrt_core::Project;
 use ezrt_scheduler::SchedulerConfig;
+use ezrt_spec::sweep::SweepGrid;
 use ezrt_tpn::Parallelism;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -158,6 +160,11 @@ struct Shared {
     requests: AtomicU64,
     schedule_requests: AtomicU64,
     artifact_requests: AtomicU64,
+    /// `POST /v1/sweep` requests (any status).
+    sweep_requests: AtomicU64,
+    /// Grid points expanded by completed sweeps (rows rendered,
+    /// including invalid points).
+    sweep_points: AtomicU64,
     http_errors: AtomicU64,
     /// `304 Not Modified` responses (conditional hits).
     not_modified: AtomicU64,
@@ -244,6 +251,8 @@ impl Server {
             requests: AtomicU64::new(0),
             schedule_requests: AtomicU64::new(0),
             artifact_requests: AtomicU64::new(0),
+            sweep_requests: AtomicU64::new(0),
+            sweep_points: AtomicU64::new(0),
             http_errors: AtomicU64::new(0),
             not_modified: AtomicU64::new(0),
             incr_seed_hits: AtomicU64::new(0),
@@ -839,7 +848,8 @@ fn route(shared: &Shared, request: &Request) -> Response {
     // deliberately stays POST-only — a HEAD must never cause effects.
     let method = match request.method.as_str() {
         "HEAD" => match request.path.as_str() {
-            "/v1/schedule" | "/v1/check" | "/v1/table" | "/v1/codegen" | "/v1/gantt" => "POST",
+            "/v1/schedule" | "/v1/check" | "/v1/table" | "/v1/codegen" | "/v1/gantt"
+            | "/v1/sweep" => "POST",
             _ => "GET",
         },
         other => other,
@@ -867,6 +877,7 @@ fn route(shared: &Shared, request: &Request) -> Response {
             artifact_post(shared, request, kind)
         }
         ("POST", "/v1/gantt") => artifact_post(shared, request, ArtifactKind::Gantt),
+        ("POST", "/v1/sweep") => sweep(shared, request),
         ("POST", "/v1/shutdown") => {
             shared.request_shutdown();
             Response::json(200, "{\n  \"status\": \"shutting down\"\n}".to_owned())
@@ -874,7 +885,7 @@ fn route(shared: &Shared, request: &Request) -> Response {
         (
             _,
             "/v1/healthz" | "/v1/stats" | "/v1/schedule" | "/v1/check" | "/v1/table"
-            | "/v1/codegen" | "/v1/gantt" | "/v1/shutdown",
+            | "/v1/codegen" | "/v1/gantt" | "/v1/sweep" | "/v1/shutdown",
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "not found"),
     }
@@ -969,6 +980,58 @@ fn schedule(shared: &Shared, request: &Request) -> Response {
     response
         .headers
         .push(("X-Ezrt-Cache", lookup.as_str().to_owned()));
+    response
+}
+
+/// `POST /v1/sweep?grid=...`: the base spec in the body, the grid in
+/// the query, one deterministic JSON row per grid point in the body —
+/// byte-identical to `ezrt sweep` on the same inputs. `?jobs=` widens
+/// the point fan-out (per-point synthesis stays sequential), so it can
+/// never change the rows; wall-clock and dedup provenance travel in
+/// `X-Ezrt-Sweep-*` headers, never in the body.
+fn sweep(shared: &Shared, request: &Request) -> Response {
+    shared.sweep_requests.fetch_add(1, Ordering::Relaxed);
+    let project = match parse_project(shared, request) {
+        Ok(project) => project,
+        Err(response) => return response,
+    };
+    let Some(grid_text) = query_value(&request.query, "grid") else {
+        return Response::error(
+            400,
+            "sweep requires a ?grid= parameter, e.g. grid=periods:100,150;deadlines:75,100",
+        );
+    };
+    let grid = match SweepGrid::parse(grid_text) {
+        Ok(grid) => grid,
+        Err(message) => return Response::error(400, &message),
+    };
+    let options = SweepOptions {
+        fanout: project.config().parallelism,
+        scheduler: shared.scheduler.clone(),
+    };
+    // Oversize grids come back from the engine as the only error it
+    // reports; everything per-point is a row, not a failure.
+    let report = match run_sweep(project.spec(), &grid, &options, &shared.cache) {
+        Ok(report) => report,
+        Err(message) => return Response::error(400, &message),
+    };
+    shared
+        .sweep_points
+        .fetch_add(report.rows.len() as u64, Ordering::Relaxed);
+    let mut response = Response::json(200, report.render());
+    response.content_type = "application/x-ndjson";
+    response
+        .headers
+        .push(("X-Ezrt-Digest", report.base_digest.to_hex()));
+    response
+        .headers
+        .push(("X-Ezrt-Sweep-Points", report.rows.len().to_string()));
+    response
+        .headers
+        .push(("X-Ezrt-Sweep-Unique", report.unique_digests.to_string()));
+    response
+        .headers
+        .push(("X-Ezrt-Sweep-Feasible", report.feasible.to_string()));
     response
 }
 
@@ -1176,6 +1239,14 @@ fn stats(shared: &Shared) -> Response {
         (
             "artifact_requests",
             shared.artifact_requests.load(Ordering::Relaxed).to_string(),
+        ),
+        (
+            "sweep_requests",
+            shared.sweep_requests.load(Ordering::Relaxed).to_string(),
+        ),
+        (
+            "sweep_points",
+            shared.sweep_points.load(Ordering::Relaxed).to_string(),
         ),
         (
             "http_errors",

@@ -36,11 +36,16 @@
 //!   header-only `304`), `HEAD` on every readable route, and a bounded
 //!   accept queue with 503 shedding) exposing
 //!   `POST /v1/schedule`, `POST /v1/check`, `POST /v1/table`,
-//!   `POST /v1/codegen`, `POST /v1/gantt`,
+//!   `POST /v1/codegen`, `POST /v1/gantt`, `POST /v1/sweep`,
 //!   `GET /v1/artifact/<digest>/<kind>`, `GET /v1/healthz`,
 //!   `GET /v1/stats` and `POST /v1/shutdown` over a fixed worker pool;
 //! * [`batch`] — offline fan-out of a directory of spec files through
 //!   the *same* queue + cache, one JSON line per spec;
+//! * [`sweep`] — the feasibility-frontier engine: a base spec crossed
+//!   with a parameter grid (`ezrt sweep`, `POST /v1/sweep`), every
+//!   point warm-started from the base outcome and deduplicated through
+//!   the digest cache, rows byte-identical across surfaces and fan-out
+//!   widths;
 //! * [`report`] — the flat-JSON rendering shared with `ezrt schedule
 //!   --json` (also rehomed to `ezrt_artifacts`), so CLI and server
 //!   outputs are byte-identical and join-able by `spec_digest`.
@@ -72,6 +77,7 @@ pub mod cache;
 pub mod disk;
 pub mod http;
 pub mod rendered;
+pub mod sweep;
 
 // The digest and flat-JSON report live in the artifact layer now
 // (`ezrt_artifacts`), shared with the CLI renderers; re-exported here

@@ -1014,3 +1014,84 @@ fn chunked_requests_are_refused_with_a_readable_501() {
 
     server.stop();
 }
+
+#[test]
+fn sweep_rows_are_deterministic_and_deduplicated() {
+    let server = server(ServerConfig::default());
+    let addr = server.addr();
+    let xml = small_control_xml();
+    // The grid separators (`:`, `;`, `,`) travel in the query string
+    // unescaped — the parser splits parameters on `&` only.
+    let target = "/v1/sweep?grid=periods:100,150;deadlines:75,100";
+
+    let (status, head, first) = close_request(addr, "POST", target, &[], &xml);
+    assert_eq!(status, 200, "{head}");
+    assert_eq!(header(&head, "Content-Type"), Some("application/x-ndjson"));
+    assert_eq!(first.lines().count(), 4, "{first}");
+    assert_eq!(header(&head, "X-Ezrt-Sweep-Points"), Some("4"));
+    assert_eq!(header(&head, "X-Ezrt-Sweep-Unique"), Some("4"));
+    assert_eq!(header(&head, "X-Ezrt-Sweep-Feasible"), Some("4"));
+    // The identity point (100/100, no jitter) reproduces the base spec
+    // bit-for-bit, so its row digest is the advertised base digest.
+    let base = header(&head, "X-Ezrt-Digest").expect("base digest");
+    let identity = first
+        .lines()
+        .find(|line| line.contains("\"point\": \"periods=100 deadlines=100 jitter=0\""))
+        .expect("identity row");
+    assert!(identity.contains(base), "{identity}");
+
+    // Byte-identical across a repeat request (every point now a cache
+    // hit) and across a wider fan-out: rows never encode cache luck or
+    // thread scheduling.
+    let (status, _, second) = close_request(addr, "POST", target, &[], &xml);
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "repeat sweep must be byte-identical");
+    let wide = format!("{target}&jobs=4");
+    let (status, _, third) = close_request(addr, "POST", &wide, &[], &xml);
+    assert_eq!(status, 200);
+    assert_eq!(first, third, "fan-out width must not change the rows");
+
+    // The second identical sweep resolved every point from the digest
+    // cache: exactly the 4 unique grid points were ever synthesized.
+    let (status, body) = request(addr, "GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+    assert_eq!(field(&body, "sweep_requests"), "3");
+    assert_eq!(field(&body, "sweep_points"), "12");
+    assert_eq!(field(&body, "cache_misses"), "4");
+
+    // HEAD parity: same headers, suppressed body.
+    let (status, head_head, head_body) = close_request(addr, "HEAD", target, &[], &xml);
+    assert_eq!(status, 200);
+    assert!(head_body.is_empty(), "HEAD carries no body");
+    assert_eq!(header(&head_head, "X-Ezrt-Sweep-Points"), Some("4"));
+
+    server.stop();
+}
+
+#[test]
+fn sweep_refuses_missing_malformed_and_oversized_grids() {
+    let server = server(ServerConfig::default());
+    let addr = server.addr();
+    let xml = small_control_xml();
+
+    let (status, _, body) = close_request(addr, "POST", "/v1/sweep", &[], &xml);
+    assert_eq!(status, 400);
+    assert!(body.contains("grid"), "{body}");
+
+    let (status, _, body) = close_request(addr, "POST", "/v1/sweep?grid=phases:1,2", &[], &xml);
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown axis"), "{body}");
+
+    // 257 jitter values expand past MAX_SWEEP_POINTS; the request is
+    // refused before any synthesis happens.
+    let jitters: Vec<String> = (0..257u32).map(|j| j.to_string()).collect();
+    let oversize = format!("/v1/sweep?grid=jitter:{}", jitters.join(","));
+    let (status, _, body) = close_request(addr, "POST", &oversize, &[], &xml);
+    assert_eq!(status, 400);
+    assert!(body.contains("maximum"), "{body}");
+    let (status, stats) = request(addr, "GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+    assert_eq!(field(&stats, "cache_misses"), "0");
+
+    server.stop();
+}

@@ -285,9 +285,15 @@ impl SpecBuilder {
                 .ok_or_else(|| ValidateSpecError::UnknownTask(name.to_owned()))
         };
 
+        // Deduplicated like exclusions below: a repeated PRECEDES edge
+        // adds no constraint, but a duplicate pair would collide in the
+        // translated net's per-edge place names.
         let mut precedences = Vec::with_capacity(self.precedences.len());
         for (from, to) in &self.precedences {
-            precedences.push((task_id(&self.tasks, from)?, task_id(&self.tasks, to)?));
+            let pair = (task_id(&self.tasks, from)?, task_id(&self.tasks, to)?);
+            if !precedences.contains(&pair) {
+                precedences.push(pair);
+            }
         }
         let mut exclusions = Vec::with_capacity(self.exclusions.len());
         for (a, b) in &self.exclusions {
@@ -356,6 +362,9 @@ pub(crate) fn validate(spec: &EzSpec) -> Result<(), ValidateSpecError> {
             task: t.name.clone(),
             detail,
         };
+        if timing.period == 0 {
+            return Err(fail("period must be at least 1".into()));
+        }
         if timing.computation == 0 {
             return Err(fail("computation time must be at least 1".into()));
         }
@@ -486,6 +495,23 @@ mod tests {
     }
 
     #[test]
+    fn rejects_zero_period_with_a_typed_error() {
+        // A task that never sets its period must fail validation by
+        // name, not surface later as a scheduler panic.
+        let err = SpecBuilder::new("p")
+            .task("a", |t| t.computation(1).deadline(1))
+            .build()
+            .unwrap_err();
+        match err {
+            ValidateSpecError::BadTiming { task, detail } => {
+                assert_eq!(task, "a");
+                assert!(detail.contains("period"), "{detail}");
+            }
+            other => panic!("expected BadTiming, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_zero_computation() {
         let err = SpecBuilder::new("z")
             .task("a", |t| t.deadline(5).period(10))
@@ -581,6 +607,18 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, ValidateSpecError::PrecedenceCycle(_)));
+    }
+
+    #[test]
+    fn precedences_are_deduplicated() {
+        // A repeated edge adds no constraint — and a duplicate pair
+        // would collide in the translated net's per-edge place names.
+        let spec = base()
+            .precedes("a", "b")
+            .precedes("a", "b")
+            .build()
+            .unwrap();
+        assert_eq!(spec.precedences().len(), 1);
     }
 
     #[test]

@@ -1,13 +1,20 @@
-//! Seeded synthetic workload generation for benchmarks.
+//! Seeded synthetic workload generation: random workloads, named spec
+//! *families*, and structured mutators.
 //!
-//! The paper evaluates on a single case study; the benchmark harness of
-//! this reproduction adds scalability sweeps over synthetic task sets. Task
-//! utilizations are drawn with the standard **UUniFast** algorithm (Bini &
-//! Buttazzo), periods from a harmonic-friendly pool (so hyper-periods stay
-//! small), and optional precedence/exclusion relations are sprinkled over
-//! same-period task pairs.
+//! The paper evaluates on a single case study; this reproduction adds
+//! programmatic scenario construction in three tiers. [`synthetic_spec`]
+//! draws a random workload (UUniFast utilizations, harmonic-friendly
+//! period pool, sprinkled relations). [`family_spec`] produces the named
+//! [`Family`] shapes — harmonic and near-harmonic periodic sets,
+//! precedence chains and diamonds, exclusion cliques, multiprocessor
+//! placements — each reproducible from a `u64` seed. [`Mutation`] applies
+//! one structured edit (scale periods, tighten a deadline, add release
+//! jitter, drop or add a relation) to an existing spec and names the
+//! tasks the edit can touch, which the structural sub-digest machinery
+//! verifies edit by edit.
 
-use crate::{EzSpec, SchedulingMethod, SpecBuilder, Time};
+use crate::model::TimingConstraints;
+use crate::{EzSpec, SchedulingMethod, SpecBuilder, TaskId, Time, ValidateSpecError};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -169,6 +176,552 @@ pub fn synthetic_spec(config: &WorkloadConfig, seed: u64) -> EzSpec {
         .expect("generator output satisfies all validation rules by construction")
 }
 
+/// A named specification family: a parameterized shape that
+/// [`family_spec`] instantiates deterministically from a `u64` seed.
+///
+/// Every family produces a spec that passes the full validation suite;
+/// feasibility is *not* guaranteed — overloaded instances are exactly
+/// what the frontier sweeps go looking for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Family {
+    /// Independent periodic tasks whose periods are `base_period · 2^k`
+    /// — small hyper-periods, the friendly end of the spectrum.
+    Harmonic {
+        /// Number of tasks.
+        tasks: usize,
+        /// The smallest period; others are power-of-two multiples.
+        base_period: Time,
+        /// Target total utilization split with UUniFast.
+        utilization: f64,
+    },
+    /// Harmonic periods perturbed by a small additive offset, so the
+    /// hyper-period (and the state space) grows sharply.
+    NearHarmonic {
+        /// Number of tasks.
+        tasks: usize,
+        /// The smallest period before perturbation.
+        base_period: Time,
+        /// Target total utilization split with UUniFast.
+        utilization: f64,
+    },
+    /// `t0 → t1 → … → t(n-1)`: one precedence chain, all tasks sharing
+    /// one period (the validation suite requires equal periods on
+    /// precedence pairs).
+    PrecedenceChain {
+        /// Chain length (number of tasks).
+        length: usize,
+        /// The shared period.
+        period: Time,
+        /// Target total utilization split with UUniFast.
+        utilization: f64,
+    },
+    /// A fork–join: one source precedes `width` middle tasks, each of
+    /// which precedes one sink.
+    PrecedenceDiamond {
+        /// Number of middle tasks between source and sink.
+        width: usize,
+        /// The shared period.
+        period: Time,
+        /// Target total utilization split with UUniFast.
+        utilization: f64,
+    },
+    /// Tasks that pairwise exclude each other — the paper's critical
+    /// sections, taken to the clique extreme.
+    ExclusionClique {
+        /// Number of mutually exclusive tasks.
+        tasks: usize,
+        /// The shared period.
+        period: Time,
+        /// Target total utilization split with UUniFast.
+        utilization: f64,
+    },
+    /// Independent tasks placed across `processors` CPUs by a seeded
+    /// draw.
+    Multiprocessor {
+        /// Number of tasks.
+        tasks: usize,
+        /// Number of processors (`cpu0` … `cpuN-1`).
+        processors: usize,
+        /// The shared period.
+        period: Time,
+        /// Target *aggregate* utilization across all processors.
+        utilization: f64,
+    },
+}
+
+impl Family {
+    /// The family's stable name, used in generated spec names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Harmonic { .. } => "harmonic",
+            Family::NearHarmonic { .. } => "near-harmonic",
+            Family::PrecedenceChain { .. } => "chain",
+            Family::PrecedenceDiamond { .. } => "diamond",
+            Family::ExclusionClique { .. } => "clique",
+            Family::Multiprocessor { .. } => "multiprocessor",
+        }
+    }
+}
+
+/// Instantiates a [`Family`] deterministically: the same `(family,
+/// seed)` pair always produces the same validated [`EzSpec`].
+///
+/// # Panics
+///
+/// Panics if the family's task count is zero, its period/base period is
+/// zero, its utilization is not positive, or a multiprocessor family
+/// names zero processors.
+///
+/// # Examples
+///
+/// ```
+/// use ezrt_spec::generate::{family_spec, Family};
+///
+/// let family = Family::PrecedenceChain { length: 3, period: 20, utilization: 0.5 };
+/// let spec = family_spec(&family, 7);
+/// assert_eq!(spec.task_count(), 3);
+/// assert_eq!(spec.precedences().len(), 2);
+/// assert_eq!(spec, family_spec(&family, 7), "deterministic per seed");
+/// ```
+pub fn family_spec(family: &Family, seed: u64) -> EzSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let name = format!("{}-{seed}", family.name());
+    // c_i targets u_i·p_i but stays inside [1, p_i] so `c ≤ d ≤ p`
+    // always holds with implicit deadlines.
+    let computation = |u: f64, period: Time| ((u * period as f64).round() as Time).clamp(1, period);
+    match *family {
+        Family::Harmonic {
+            tasks,
+            base_period,
+            utilization,
+        }
+        | Family::NearHarmonic {
+            tasks,
+            base_period,
+            utilization,
+        } => {
+            assert!(base_period > 0, "base period must be at least 1");
+            let near = matches!(family, Family::NearHarmonic { .. });
+            let utilizations = uunifast(tasks, utilization, &mut rng);
+            let mut builder = SpecBuilder::new(name);
+            for (i, u) in utilizations.iter().enumerate() {
+                let mut period = base_period << rng.gen_range(0..3u32);
+                if near {
+                    // The additive offset breaks the power-of-two
+                    // ladder, so periods are pairwise near-coprime and
+                    // the hyper-period balloons.
+                    period += rng.gen_range(0..=base_period / 8);
+                }
+                let c = computation(*u, period);
+                builder = builder.task(format!("task{i}"), move |t| {
+                    t.computation(c).deadline(period).period(period)
+                });
+            }
+            builder.build()
+        }
+        Family::PrecedenceChain {
+            length,
+            period,
+            utilization,
+        } => {
+            assert!(period > 0, "period must be at least 1");
+            let utilizations = uunifast(length, utilization, &mut rng);
+            let mut builder = SpecBuilder::new(name);
+            for (i, u) in utilizations.iter().enumerate() {
+                let c = computation(*u, period);
+                builder = builder.task(format!("stage{i}"), move |t| {
+                    t.computation(c).deadline(period).period(period)
+                });
+            }
+            for i in 1..length {
+                builder = builder.precedes(format!("stage{}", i - 1), format!("stage{i}"));
+            }
+            builder.build()
+        }
+        Family::PrecedenceDiamond {
+            width,
+            period,
+            utilization,
+        } => {
+            assert!(width > 0, "diamond needs at least one middle task");
+            assert!(period > 0, "period must be at least 1");
+            let utilizations = uunifast(width + 2, utilization, &mut rng);
+            let mut builder = SpecBuilder::new(name);
+            let task_name = |i: usize| match i {
+                0 => "source".to_owned(),
+                i if i == width + 1 => "sink".to_owned(),
+                i => format!("mid{}", i - 1),
+            };
+            for (i, u) in utilizations.iter().enumerate() {
+                let c = computation(*u, period);
+                builder = builder.task(task_name(i), move |t| {
+                    t.computation(c).deadline(period).period(period)
+                });
+            }
+            // Grouped by source task — the order the DSL printer
+            // emits, so print → parse preserves the edge list exactly.
+            for i in 1..=width {
+                builder = builder.precedes("source", task_name(i));
+            }
+            for i in 1..=width {
+                builder = builder.precedes(task_name(i), "sink");
+            }
+            builder.build()
+        }
+        Family::ExclusionClique {
+            tasks,
+            period,
+            utilization,
+        } => {
+            assert!(period > 0, "period must be at least 1");
+            let utilizations = uunifast(tasks, utilization, &mut rng);
+            let mut builder = SpecBuilder::new(name);
+            for (i, u) in utilizations.iter().enumerate() {
+                let c = computation(*u, period);
+                builder = builder.task(format!("crit{i}"), move |t| {
+                    t.computation(c).deadline(period).period(period)
+                });
+            }
+            for i in 0..tasks {
+                for j in (i + 1)..tasks {
+                    builder = builder.excludes(format!("crit{i}"), format!("crit{j}"));
+                }
+            }
+            builder.build()
+        }
+        Family::Multiprocessor {
+            tasks,
+            processors,
+            period,
+            utilization,
+        } => {
+            assert!(processors > 0, "multiprocessor family needs a processor");
+            assert!(period > 0, "period must be at least 1");
+            let utilizations = uunifast(tasks, utilization, &mut rng);
+            let mut builder = SpecBuilder::new(name);
+            for p in 0..processors {
+                builder = builder.processor(format!("cpu{p}"));
+            }
+            for (i, u) in utilizations.iter().enumerate() {
+                let c = computation(*u, period);
+                let cpu = format!("cpu{}", rng.gen_range(0..processors));
+                builder = builder.task(format!("task{i}"), move |t| {
+                    t.computation(c)
+                        .deadline(period)
+                        .period(period)
+                        .on_processor(cpu)
+                });
+            }
+            builder.build()
+        }
+    }
+    .expect("family generators construct valid specs by construction")
+}
+
+/// One structured edit of an existing specification.
+///
+/// [`Mutation::apply`] rebuilds the spec through [`SpecBuilder`] with
+/// the edit in place, so the result passes the full validation suite or
+/// the edit is rejected with the same typed error a hand-written spec
+/// would get. [`Mutation::touched`] names the tasks whose structural
+/// sub-digest the edit *may* change — a superset of the actual diff,
+/// which the incremental-synthesis tests check against
+/// `Project::changed_tasks`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mutation {
+    /// Scales every period to `percent`% of its value (floored at 1),
+    /// clamping deadlines back under the new period. Uniform scaling
+    /// preserves period equality on precedence and message pairs.
+    ScalePeriods {
+        /// New period as a percentage of the old (100 = identity).
+        percent: u64,
+    },
+    /// Scales one task's deadline to `percent`% of its value, clamped
+    /// into the valid window `[release + computation, period]` — total
+    /// on valid specs.
+    TightenDeadline {
+        /// The task to edit.
+        task: String,
+        /// New deadline as a percentage of the old.
+        percent: u64,
+    },
+    /// Adds `jitter` to one task's release time. Rejected when the
+    /// release window no longer fits the deadline.
+    AddReleaseJitter {
+        /// The task to edit.
+        task: String,
+        /// Extra release delay in time units.
+        jitter: Time,
+    },
+    /// Drops one relation edge — precedences first, then exclusions,
+    /// indexed modulo the combined count (identity on relation-free
+    /// specs).
+    DropRelation {
+        /// Index into the concatenated precedence + exclusion list.
+        index: usize,
+    },
+    /// Adds `from PRECEDES to`. Rejected on unknown tasks, period
+    /// mismatch, self-relations or cycles.
+    AddPrecedence {
+        /// Predecessor task name.
+        from: String,
+        /// Successor task name.
+        to: String,
+    },
+    /// Adds a (symmetric) exclusion between `a` and `b`. Duplicate
+    /// edges deduplicate silently.
+    AddExclusion {
+        /// One side of the exclusion.
+        a: String,
+        /// The other side.
+        b: String,
+    },
+}
+
+impl Mutation {
+    /// Applies the edit, re-validating the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`ValidateSpecError`] a hand-built spec with
+    /// the edited values would: an unknown task name, a timing window
+    /// that no longer closes, a period mismatch or a precedence cycle.
+    pub fn apply(&self, spec: &EzSpec) -> Result<EzSpec, ValidateSpecError> {
+        let mut timings: Vec<TimingConstraints> =
+            spec.tasks().map(|(_, task)| task.timing()).collect();
+        let (mut precedences, mut exclusions) = relation_names(spec);
+        match self {
+            Mutation::ScalePeriods { percent } => {
+                for timing in &mut timings {
+                    let period = (timing.period.saturating_mul(*percent) / 100).max(1);
+                    timing.deadline = timing.deadline.min(period);
+                    timing.period = period;
+                }
+            }
+            Mutation::TightenDeadline { task, percent } => {
+                let id = spec
+                    .task_id(task)
+                    .ok_or_else(|| ValidateSpecError::UnknownTask(task.clone()))?;
+                let timing = &mut timings[id.index()];
+                let floor = timing.release + timing.computation;
+                timing.deadline =
+                    (timing.deadline.saturating_mul(*percent) / 100).clamp(floor, timing.period);
+            }
+            Mutation::AddReleaseJitter { task, jitter } => {
+                let id = spec
+                    .task_id(task)
+                    .ok_or_else(|| ValidateSpecError::UnknownTask(task.clone()))?;
+                timings[id.index()].release = timings[id.index()].release.saturating_add(*jitter);
+            }
+            Mutation::DropRelation { index } => {
+                let total = precedences.len() + exclusions.len();
+                if total > 0 {
+                    let index = index % total;
+                    if index < precedences.len() {
+                        precedences.remove(index);
+                    } else {
+                        exclusions.remove(index - precedences.len());
+                    }
+                }
+            }
+            Mutation::AddPrecedence { from, to } => {
+                precedences.push((from.clone(), to.clone()));
+            }
+            Mutation::AddExclusion { a, b } => {
+                exclusions.push((a.clone(), b.clone()));
+            }
+        }
+        rebuild(spec, &timings, &precedences, &exclusions)
+    }
+
+    /// The names of the tasks whose sub-digest this edit may change —
+    /// a (sorted, deduplicated) superset of the actual structural diff.
+    pub fn touched(&self, spec: &EzSpec) -> Vec<String> {
+        let mut touched: Vec<String> = match self {
+            Mutation::ScalePeriods { percent } if *percent == 100 => Vec::new(),
+            Mutation::ScalePeriods { .. } => {
+                spec.tasks().map(|(_, t)| t.name().to_owned()).collect()
+            }
+            Mutation::TightenDeadline { task, .. } | Mutation::AddReleaseJitter { task, .. } => {
+                vec![task.clone()]
+            }
+            Mutation::DropRelation { index } => {
+                let (precedences, exclusions) = relation_names(spec);
+                let total = precedences.len() + exclusions.len();
+                if total == 0 {
+                    Vec::new()
+                } else {
+                    let index = index % total;
+                    let (a, b) = if index < precedences.len() {
+                        precedences[index].clone()
+                    } else {
+                        exclusions[index - precedences.len()].clone()
+                    };
+                    vec![a, b]
+                }
+            }
+            Mutation::AddPrecedence { from, to } => vec![from.clone(), to.clone()],
+            Mutation::AddExclusion { a, b } => vec![a.clone(), b.clone()],
+        };
+        touched.sort();
+        touched.dedup();
+        touched
+    }
+}
+
+/// Draws one [`Mutation`] for `spec`, deterministically per seed. Edits
+/// that need a task pair prefer same-period pairs (the only ones that
+/// can pass validation) and fall back to a deadline edit when the spec
+/// has none.
+pub fn random_mutation(spec: &EzSpec, seed: u64) -> Mutation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let task_name = |rng: &mut StdRng| {
+        let index = rng.gen_range(0..spec.task_count());
+        spec.task(TaskId::from_index(index)).name().to_owned()
+    };
+    let same_period_pairs: Vec<(String, String)> = {
+        let tasks: Vec<(&str, Time)> = spec
+            .tasks()
+            .map(|(_, t)| (t.name(), t.timing().period))
+            .collect();
+        let mut pairs = Vec::new();
+        for i in 0..tasks.len() {
+            for j in (i + 1)..tasks.len() {
+                if tasks[i].1 == tasks[j].1 {
+                    pairs.push((tasks[i].0.to_owned(), tasks[j].0.to_owned()));
+                }
+            }
+        }
+        pairs
+    };
+    // Pairs already carrying the relation are excluded up front: a
+    // duplicate edge would be deduplicated away at rebuild, turning the
+    // "mutation" into an identity.
+    let (precedences, exclusions) = relation_names(spec);
+    let has_precedence = |a: &str, b: &str| {
+        precedences
+            .iter()
+            .any(|(from, to)| (from == a && to == b) || (from == b && to == a))
+    };
+    let has_exclusion = |a: &str, b: &str| {
+        exclusions
+            .iter()
+            .any(|(x, y)| (x == a && y == b) || (x == b && y == a))
+    };
+    match rng.gen_range(0..6u32) {
+        0 => Mutation::ScalePeriods {
+            percent: rng.gen_range(50..=200),
+        },
+        1 => Mutation::TightenDeadline {
+            task: task_name(&mut rng),
+            percent: rng.gen_range(25..=100),
+        },
+        2 => Mutation::AddReleaseJitter {
+            task: task_name(&mut rng),
+            jitter: rng.gen_range(0..=3),
+        },
+        3 => Mutation::DropRelation {
+            index: rng.gen::<u32>() as usize,
+        },
+        kind => {
+            let fresh: Vec<&(String, String)> = same_period_pairs
+                .iter()
+                .filter(|(a, b)| {
+                    if kind == 4 {
+                        !has_precedence(a, b)
+                    } else {
+                        !has_exclusion(a, b)
+                    }
+                })
+                .collect();
+            match fresh.choose(&mut rng) {
+                Some((a, b)) if kind == 4 => Mutation::AddPrecedence {
+                    from: a.clone(),
+                    to: b.clone(),
+                },
+                Some((a, b)) => Mutation::AddExclusion {
+                    a: a.clone(),
+                    b: b.clone(),
+                },
+                None => Mutation::TightenDeadline {
+                    task: task_name(&mut rng),
+                    percent: rng.gen_range(25..=100),
+                },
+            }
+        }
+    }
+}
+
+/// A relation edge list expressed as task-name pairs.
+type NamePairs = Vec<(String, String)>;
+
+/// The spec's relation edges as name pairs, in declaration order.
+pub(crate) fn relation_names(spec: &EzSpec) -> (NamePairs, NamePairs) {
+    let name = |id: TaskId| spec.task(id).name().to_owned();
+    let precedences = spec
+        .precedences()
+        .iter()
+        .map(|&(from, to)| (name(from), name(to)))
+        .collect();
+    let exclusions = spec
+        .exclusions()
+        .iter()
+        .map(|&(a, b)| (name(a), name(b)))
+        .collect();
+    (precedences, exclusions)
+}
+
+/// Rebuilds `spec` through [`SpecBuilder`] with per-task timing
+/// overrides (in task order) and a replaced relation set, re-running
+/// the full validation suite. Processors, placements, methods, energy,
+/// code and messages carry over unchanged.
+pub(crate) fn rebuild(
+    spec: &EzSpec,
+    timings: &[TimingConstraints],
+    precedences: &[(String, String)],
+    exclusions: &[(String, String)],
+) -> Result<EzSpec, ValidateSpecError> {
+    let mut builder = SpecBuilder::new(spec.name()).dispatcher_overhead(spec.dispatcher_overhead());
+    for (_, processor) in spec.processors() {
+        builder = builder.processor(processor.name());
+    }
+    for ((_, task), timing) in spec.tasks().zip(timings) {
+        let timing = *timing;
+        let method = task.method();
+        let processor = spec.processor(task.processor()).name().to_owned();
+        let energy = task.energy();
+        let code = task.code().map(|c| c.content().to_owned());
+        builder = builder.task(task.name(), move |t| {
+            let t = t
+                .timing(timing)
+                .method(method)
+                .on_processor(processor)
+                .energy(energy);
+            match code {
+                Some(code) => t.code(code),
+                None => t,
+            }
+        });
+    }
+    for (from, to) in precedences {
+        builder = builder.precedes(from.clone(), to.clone());
+    }
+    for (a, b) in exclusions {
+        builder = builder.excludes(a.clone(), b.clone());
+    }
+    for (_, message) in spec.messages() {
+        builder = builder.message(
+            message.name(),
+            spec.task(message.sender()).name(),
+            spec.task(message.receiver()).name(),
+            message.bus(),
+            message.grant_bus(),
+            message.communication(),
+        );
+    }
+    builder.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,5 +810,305 @@ mod tests {
             ..WorkloadConfig::default()
         };
         let _ = synthetic_spec(&config, 0);
+    }
+
+    fn sample_families() -> Vec<Family> {
+        vec![
+            Family::Harmonic {
+                tasks: 4,
+                base_period: 10,
+                utilization: 0.5,
+            },
+            Family::NearHarmonic {
+                tasks: 4,
+                base_period: 16,
+                utilization: 0.5,
+            },
+            Family::PrecedenceChain {
+                length: 4,
+                period: 20,
+                utilization: 0.6,
+            },
+            Family::PrecedenceDiamond {
+                width: 3,
+                period: 20,
+                utilization: 0.6,
+            },
+            Family::ExclusionClique {
+                tasks: 4,
+                period: 20,
+                utilization: 0.5,
+            },
+            Family::Multiprocessor {
+                tasks: 5,
+                processors: 3,
+                period: 20,
+                utilization: 1.2,
+            },
+        ]
+    }
+
+    #[test]
+    fn families_are_valid_and_deterministic_per_seed() {
+        for family in sample_families() {
+            for seed in 0..8 {
+                let spec = family_spec(&family, seed);
+                assert!(
+                    spec.validate().is_ok(),
+                    "{} seed {seed} invalid",
+                    family.name()
+                );
+                assert_eq!(
+                    spec,
+                    family_spec(&family, seed),
+                    "{} seed {seed} not deterministic",
+                    family.name()
+                );
+            }
+            assert_ne!(family_spec(&family, 1), family_spec(&family, 2));
+        }
+    }
+
+    #[test]
+    fn family_shapes_match_their_names() {
+        let chain = family_spec(
+            &Family::PrecedenceChain {
+                length: 5,
+                period: 20,
+                utilization: 0.5,
+            },
+            3,
+        );
+        assert_eq!(chain.precedences().len(), 4);
+        let diamond = family_spec(
+            &Family::PrecedenceDiamond {
+                width: 3,
+                period: 20,
+                utilization: 0.5,
+            },
+            3,
+        );
+        assert_eq!(diamond.task_count(), 5);
+        assert_eq!(diamond.precedences().len(), 6);
+        let clique = family_spec(
+            &Family::ExclusionClique {
+                tasks: 4,
+                period: 20,
+                utilization: 0.5,
+            },
+            3,
+        );
+        assert_eq!(clique.exclusions().len(), 6);
+        let placed = family_spec(
+            &Family::Multiprocessor {
+                tasks: 8,
+                processors: 3,
+                period: 20,
+                utilization: 1.5,
+            },
+            3,
+        );
+        assert_eq!(placed.processors().count(), 3);
+        let near = family_spec(
+            &Family::NearHarmonic {
+                tasks: 6,
+                base_period: 16,
+                utilization: 0.5,
+            },
+            5,
+        );
+        let harmonic = family_spec(
+            &Family::Harmonic {
+                tasks: 6,
+                base_period: 16,
+                utilization: 0.5,
+            },
+            5,
+        );
+        assert!(near.hyperperiod() >= harmonic.hyperperiod());
+    }
+
+    #[test]
+    fn scale_periods_is_uniform_and_identity_at_100() {
+        let spec = family_spec(
+            &Family::PrecedenceChain {
+                length: 3,
+                period: 20,
+                utilization: 0.5,
+            },
+            1,
+        );
+        let identity = Mutation::ScalePeriods { percent: 100 };
+        assert_eq!(identity.apply(&spec).unwrap(), spec);
+        assert!(identity.touched(&spec).is_empty());
+        let doubled = Mutation::ScalePeriods { percent: 200 }
+            .apply(&spec)
+            .unwrap();
+        for (_, task) in doubled.tasks() {
+            assert_eq!(task.timing().period, 40);
+        }
+        // Uniform scaling keeps precedence pairs on equal periods, so
+        // the rebuilt spec re-validates.
+        assert_eq!(doubled.precedences().len(), 2);
+    }
+
+    #[test]
+    fn tighten_deadline_clamps_into_the_valid_window() {
+        let spec = SpecBuilder::new("clamp")
+            .task("a", |t| t.release(2).computation(3).deadline(10).period(20))
+            .build()
+            .unwrap();
+        // 10% of 10 = 1, below release + computation = 5 → clamped.
+        let tightened = Mutation::TightenDeadline {
+            task: "a".into(),
+            percent: 10,
+        }
+        .apply(&spec)
+        .unwrap();
+        assert_eq!(tightened.task_by_name("a").unwrap().timing().deadline, 5);
+        // 300% of 10 = 30, above the period → clamped to 20.
+        let loosened = Mutation::TightenDeadline {
+            task: "a".into(),
+            percent: 300,
+        }
+        .apply(&spec)
+        .unwrap();
+        assert_eq!(loosened.task_by_name("a").unwrap().timing().deadline, 20);
+    }
+
+    #[test]
+    fn mutations_reject_with_typed_errors() {
+        let spec = family_spec(
+            &Family::PrecedenceChain {
+                length: 3,
+                period: 20,
+                utilization: 0.5,
+            },
+            1,
+        );
+        assert!(matches!(
+            Mutation::TightenDeadline {
+                task: "ghost".into(),
+                percent: 50
+            }
+            .apply(&spec),
+            Err(ValidateSpecError::UnknownTask(_))
+        ));
+        // Closing the chain is a cycle.
+        assert!(matches!(
+            Mutation::AddPrecedence {
+                from: "stage2".into(),
+                to: "stage0".into()
+            }
+            .apply(&spec),
+            Err(ValidateSpecError::PrecedenceCycle(_))
+        ));
+        // A release pushed past the deadline no longer fits.
+        assert!(matches!(
+            Mutation::AddReleaseJitter {
+                task: "stage0".into(),
+                jitter: 1000
+            }
+            .apply(&spec),
+            Err(ValidateSpecError::BadTiming { .. })
+        ));
+    }
+
+    #[test]
+    fn drop_relation_wraps_and_is_identity_without_relations() {
+        let spec = family_spec(
+            &Family::PrecedenceChain {
+                length: 3,
+                period: 20,
+                utilization: 0.5,
+            },
+            1,
+        );
+        let dropped = Mutation::DropRelation { index: 7 }.apply(&spec).unwrap();
+        assert_eq!(dropped.precedences().len(), 1, "7 % 2 = 1 dropped edge 1");
+        let bare = SpecBuilder::new("bare")
+            .task("a", |t| t.computation(1).deadline(5).period(10))
+            .build()
+            .unwrap();
+        assert_eq!(
+            Mutation::DropRelation { index: 3 }.apply(&bare).unwrap(),
+            bare
+        );
+        assert!(Mutation::DropRelation { index: 3 }
+            .touched(&bare)
+            .is_empty());
+    }
+
+    #[test]
+    fn touched_names_both_relation_endpoints() {
+        let spec = family_spec(
+            &Family::ExclusionClique {
+                tasks: 3,
+                period: 20,
+                utilization: 0.5,
+            },
+            1,
+        );
+        let touched = Mutation::DropRelation { index: 0 }.touched(&spec);
+        assert_eq!(touched, vec!["crit0".to_owned(), "crit1".to_owned()]);
+        let touched = Mutation::AddPrecedence {
+            from: "crit2".into(),
+            to: "crit0".into(),
+        }
+        .touched(&spec);
+        assert_eq!(touched, vec!["crit0".to_owned(), "crit2".to_owned()]);
+    }
+
+    #[test]
+    fn random_mutations_are_deterministic_and_mostly_applicable() {
+        let spec = family_spec(
+            &Family::ExclusionClique {
+                tasks: 4,
+                period: 20,
+                utilization: 0.5,
+            },
+            2,
+        );
+        let mut applied = 0;
+        for seed in 0..64 {
+            let mutation = random_mutation(&spec, seed);
+            assert_eq!(mutation, random_mutation(&spec, seed));
+            if mutation.apply(&spec).is_ok() {
+                applied += 1;
+            }
+        }
+        assert!(applied >= 32, "only {applied}/64 mutations applied");
+    }
+
+    #[test]
+    fn rebuild_preserves_placements_and_messages() {
+        let spec = SpecBuilder::new("carry")
+            .processor("arm9")
+            .task("tx", |t| {
+                t.computation(1)
+                    .deadline(5)
+                    .period(10)
+                    .on_processor("arm9")
+                    .preemptive()
+                    .energy(3)
+                    .code("send();")
+            })
+            .task("rx", |t| t.computation(1).deadline(9).period(10))
+            .message("frame", "tx", "rx", "can0", 1, 2)
+            .build()
+            .unwrap();
+        let unchanged = Mutation::ScalePeriods { percent: 100 }
+            .apply(&spec)
+            .unwrap();
+        assert_eq!(unchanged, spec);
+        let scaled = Mutation::ScalePeriods { percent: 200 }
+            .apply(&spec)
+            .unwrap();
+        let tx = scaled.task_by_name("tx").unwrap();
+        assert_eq!(scaled.processor(tx.processor()).name(), "arm9");
+        assert_eq!(tx.method(), SchedulingMethod::Preemptive);
+        assert_eq!(tx.energy(), 3);
+        assert_eq!(tx.code().unwrap().content(), "send();");
+        assert_eq!(scaled.messages().count(), 1);
     }
 }

@@ -58,6 +58,7 @@ mod error;
 pub mod generate;
 pub mod hyperperiod;
 mod model;
+pub mod sweep;
 
 pub use builder::{SpecBuilder, TaskBuilder, DEFAULT_PROCESSOR};
 pub use error::ValidateSpecError;

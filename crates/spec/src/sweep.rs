@@ -1,0 +1,286 @@
+//! Parameter grids over a base specification: the input half of the
+//! feasibility-frontier sweeps.
+//!
+//! A [`SweepGrid`] names up to three axes — period scale, deadline
+//! scale (both in percent) and absolute release jitter — each with an
+//! explicit value list. [`SweepGrid::points`] expands the Cartesian
+//! product in a fixed lexicographic order (periods outermost, jitter
+//! innermost), and [`SweepPoint::apply`] derives the concrete spec for
+//! one point by rebuilding the base through the validating
+//! [`SpecBuilder`](crate::SpecBuilder) path. The whole pipeline is
+//! pure: same base + same grid → same point list → same derived specs,
+//! which is what lets the sweep engine promise byte-identical frontier
+//! rows regardless of how the points fan out over worker threads.
+//!
+//! Grid text looks like `periods:100,150;deadlines:75,100;jitter:0,2` —
+//! axes split on `;`, an axis names its values after `:`, values split
+//! on `,`. Omitted axes default to the identity (`100`% scales, `0`
+//! jitter). The identity point `periods=100 deadlines=100 jitter=0`
+//! reproduces the base spec bit for bit, so its digest (and any cached
+//! outcome) is shared with non-sweep requests for the same spec.
+
+use crate::model::TimingConstraints;
+use crate::{generate, EzSpec, Time, ValidateSpecError};
+
+/// Upper bound on the number of points one grid may expand to: the CLI
+/// refuses larger grids and the HTTP front end answers 400, keeping one
+/// request from pinning a server for minutes.
+pub const MAX_SWEEP_POINTS: usize = 256;
+
+/// A parsed parameter grid; see the module docs for the text syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepGrid {
+    periods: Vec<u64>,
+    deadlines: Vec<u64>,
+    jitters: Vec<Time>,
+}
+
+impl SweepGrid {
+    /// Parses grid text like `periods:100,150;deadlines:75,100`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on an unknown or repeated axis,
+    /// a malformed value, or an empty axis.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ezrt_spec::sweep::SweepGrid;
+    ///
+    /// let grid = SweepGrid::parse("periods:100,150;jitter:0,1,2").unwrap();
+    /// assert_eq!(grid.len(), 6);
+    /// assert!(SweepGrid::parse("volume:11").is_err());
+    /// ```
+    pub fn parse(text: &str) -> Result<SweepGrid, String> {
+        let mut periods: Option<Vec<u64>> = None;
+        let mut deadlines: Option<Vec<u64>> = None;
+        let mut jitters: Option<Vec<Time>> = None;
+        for axis in text.split(';') {
+            let axis = axis.trim();
+            let Some((name, values)) = axis.split_once(':') else {
+                return Err(format!(
+                    "axis `{axis}` must look like `name:v1,v2` (axes separated by `;`)"
+                ));
+            };
+            let name = name.trim();
+            let values: Vec<u64> = values
+                .split(',')
+                .map(|value| {
+                    let value = value.trim();
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad value `{value}` on axis `{name}`"))
+                })
+                .collect::<Result<_, _>>()?;
+            let slot = match name {
+                "periods" => &mut periods,
+                "deadlines" => &mut deadlines,
+                "jitter" => &mut jitters,
+                other => {
+                    return Err(format!(
+                        "unknown axis `{other}` (expected periods, deadlines or jitter)"
+                    ))
+                }
+            };
+            if slot.is_some() {
+                return Err(format!("axis `{name}` given twice"));
+            }
+            *slot = Some(values);
+        }
+        Ok(SweepGrid {
+            periods: periods.unwrap_or_else(|| vec![100]),
+            deadlines: deadlines.unwrap_or_else(|| vec![100]),
+            jitters: jitters.unwrap_or_else(|| vec![0]),
+        })
+    }
+
+    /// The number of points the grid expands to.
+    pub fn len(&self) -> usize {
+        self.periods.len() * self.deadlines.len() * self.jitters.len()
+    }
+
+    /// Whether the grid expands to no points (an axis was given with no
+    /// values — `parse` never produces this, omitted axes default to
+    /// the identity).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the Cartesian product, periods outermost and jitter
+    /// innermost, each axis in its declared value order.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        let mut points = Vec::with_capacity(self.len());
+        for &periods_percent in &self.periods {
+            for &deadlines_percent in &self.deadlines {
+                for &jitter in &self.jitters {
+                    points.push(SweepPoint {
+                        periods_percent,
+                        deadlines_percent,
+                        jitter,
+                    });
+                }
+            }
+        }
+        points
+    }
+}
+
+/// One grid point: the parameter triple applied to the base spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SweepPoint {
+    /// Period scale in percent (100 = unchanged).
+    pub periods_percent: u64,
+    /// Deadline scale in percent, clamped into the valid window.
+    pub deadlines_percent: u64,
+    /// Absolute extra release delay in time units.
+    pub jitter: Time,
+}
+
+impl SweepPoint {
+    /// The point that reproduces the base spec exactly.
+    pub const IDENTITY: SweepPoint = SweepPoint {
+        periods_percent: 100,
+        deadlines_percent: 100,
+        jitter: 0,
+    };
+
+    /// A stable human-readable label, used as the `point` field of
+    /// frontier rows.
+    pub fn label(&self) -> String {
+        format!(
+            "periods={} deadlines={} jitter={}",
+            self.periods_percent, self.deadlines_percent, self.jitter
+        )
+    }
+
+    /// Derives the concrete spec for this point. Per task, in order:
+    /// the period is scaled (`p' = max(1, p·pp/100)`), the jitter is
+    /// added to the release, and the deadline is scaled then clamped
+    /// into `[release' + computation, p']` so mild scalings stay valid.
+    /// Points that leave no legal window (the period shrunk below the
+    /// release window, say) fail validation with the usual typed error
+    /// — the sweep engine reports those as `invalid` rows, not crashes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ValidateSpecError`] of the first task whose
+    /// transformed timing no longer closes.
+    pub fn apply(&self, base: &EzSpec) -> Result<EzSpec, ValidateSpecError> {
+        let timings: Vec<TimingConstraints> = base
+            .tasks()
+            .map(|(_, task)| {
+                let t = task.timing();
+                let period = (t.period.saturating_mul(self.periods_percent) / 100).max(1);
+                let release = t.release.saturating_add(self.jitter);
+                let floor = release.saturating_add(t.computation);
+                let deadline = (t.deadline.saturating_mul(self.deadlines_percent) / 100)
+                    .max(floor)
+                    .min(period);
+                TimingConstraints {
+                    phase: t.phase,
+                    release,
+                    computation: t.computation,
+                    deadline,
+                    period,
+                }
+            })
+            .collect();
+        let (precedences, exclusions) = generate::relation_names(base);
+        generate::rebuild(base, &timings, &precedences, &exclusions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::small_control;
+    use crate::SpecBuilder;
+
+    #[test]
+    fn parse_expands_lexicographically_with_identity_defaults() {
+        let grid = SweepGrid::parse("periods:100,150;deadlines:75,100").unwrap();
+        assert_eq!(grid.len(), 4);
+        assert!(!grid.is_empty());
+        let points: Vec<String> = grid.points().iter().map(SweepPoint::label).collect();
+        assert_eq!(
+            points,
+            [
+                "periods=100 deadlines=75 jitter=0",
+                "periods=100 deadlines=100 jitter=0",
+                "periods=150 deadlines=75 jitter=0",
+                "periods=150 deadlines=100 jitter=0",
+            ]
+        );
+        // A jitter-only grid defaults the scales to the identity.
+        let grid = SweepGrid::parse("jitter:0,1").unwrap();
+        assert_eq!(grid.points()[0], SweepPoint::IDENTITY);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_grids() {
+        assert!(SweepGrid::parse("volume:11").is_err());
+        assert!(SweepGrid::parse("periods").is_err());
+        assert!(SweepGrid::parse("periods:ten").is_err());
+        assert!(SweepGrid::parse("periods:100;periods:150").is_err());
+        assert!(SweepGrid::parse("periods:").is_err());
+    }
+
+    #[test]
+    fn identity_point_reproduces_the_base_spec() {
+        let base = small_control();
+        assert_eq!(SweepPoint::IDENTITY.apply(&base).unwrap(), base);
+    }
+
+    #[test]
+    fn scaling_preserves_validity_and_relation_periods() {
+        let base = small_control();
+        for point in SweepGrid::parse("periods:50,100,200;deadlines:50,100;jitter:0,1")
+            .unwrap()
+            .points()
+        {
+            match point.apply(&base) {
+                Ok(spec) => assert!(spec.validate().is_ok(), "{}", point.label()),
+                // Shrinking may close a window; that is a typed error,
+                // not a panic.
+                Err(error) => assert!(!error.to_string().is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_points_fail_with_typed_errors() {
+        let base = SpecBuilder::new("tight")
+            .task("a", |t| t.computation(8).deadline(10).period(10))
+            .build()
+            .unwrap();
+        // Scaling the period to 50% leaves p' = 5 < c = 8.
+        let err = SweepPoint {
+            periods_percent: 50,
+            deadlines_percent: 100,
+            jitter: 0,
+        }
+        .apply(&base)
+        .unwrap_err();
+        assert!(matches!(err, crate::ValidateSpecError::BadTiming { .. }));
+    }
+
+    #[test]
+    fn deadline_scaling_clamps_into_the_window() {
+        let base = SpecBuilder::new("clamp")
+            .task("a", |t| t.release(2).computation(3).deadline(10).period(20))
+            .build()
+            .unwrap();
+        let spec = SweepPoint {
+            periods_percent: 100,
+            deadlines_percent: 10,
+            jitter: 1,
+        }
+        .apply(&base)
+        .unwrap();
+        let t = spec.task_by_name("a").unwrap().timing();
+        // 10% of 10 = 1, clamped up to release' + c = 3 + 3 = 6.
+        assert_eq!(t.release, 3);
+        assert_eq!(t.deadline, 6);
+    }
+}

@@ -16,6 +16,7 @@
 //! ezrt compare   spec.xml             pre-runtime vs online schedulers
 //! ezrt analyze   spec.xml             utilization, demand-bound and RTA verdicts
 //! ezrt invariants spec.xml            place invariants of the translated net
+//! ezrt sweep     spec.xml --grid G    feasibility frontier over a parameter grid
 //! ezrt serve     --addr HOST:PORT     run the HTTP synthesis service
 //! ezrt batch     specs-dir            synthesize a directory, one JSON row per spec
 //! ```
@@ -46,8 +47,10 @@ use ezrealtime::server::cache::ResultCache;
 use ezrealtime::server::digest::project_digest;
 use ezrealtime::server::disk::DiskTier;
 use ezrealtime::server::report;
+use ezrealtime::server::sweep::{run_sweep, SweepOptions};
 use ezrealtime::server::{Server, ServerConfig};
 use ezrealtime::sim::{simulate_online, OnlinePolicy};
+use ezrealtime::spec::sweep::SweepGrid;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -85,6 +88,7 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("--cache-max-bytes requires --cache-dir".to_owned());
     }
     let warm_from = take_option_value(&mut args, "--warm-from")?;
+    let grid = take_option_value(&mut args, "--grid")?;
 
     let Some(command) = args.first() else {
         return Err(usage());
@@ -95,6 +99,9 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if warm_from.is_some() && command != "schedule" {
         return Err("--warm-from is only supported by `ezrt schedule`".to_owned());
+    }
+    if grid.is_some() && command != "sweep" {
+        return Err("--grid is only supported by `ezrt sweep`".to_owned());
     }
     // serve and batch take no spec-file argument; route them before the
     // common load-one-spec path.
@@ -113,12 +120,12 @@ fn run(args: &[String]) -> Result<(), String> {
     if cache_dir.is_some()
         && !matches!(
             command.as_str(),
-            "schedule" | "table" | "codegen" | "gantt" | "pnml"
+            "schedule" | "table" | "codegen" | "gantt" | "pnml" | "sweep"
         )
     {
         return Err(
-            "--cache-dir is only supported by schedule, table, codegen, gantt, pnml, serve \
-             and batch"
+            "--cache-dir is only supported by schedule, table, codegen, gantt, pnml, sweep, \
+             serve and batch"
                 .to_owned(),
         );
     }
@@ -147,6 +154,12 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "simulate" => simulate(&project, args.get(2)),
+        "sweep" => {
+            if let Some(extra) = args.get(2) {
+                return Err(format!("sweep: unexpected argument {extra:?}"));
+            }
+            sweep(&project, grid.as_deref(), &cache)
+        }
         "compare" => compare(&project),
         "analyze" => analyze(&project),
         "invariants" => invariants(&project),
@@ -198,10 +211,18 @@ fn usage() -> String {
      \x20 compare   pre-runtime synthesis vs online EDF/RM/DM baselines\n\
      \x20 analyze   analytical schedulability: utilization, demand bound, RTA\n\
      \x20 invariants place invariants (Farkas) of the translated Petri net\n\
+     \x20 sweep     --grid \"periods:100,150;deadlines:75,100;jitter:0,2\"\n\
+     \x20           feasibility frontier: cross the spec with the grid\n\
+     \x20           (percent scales for periods/deadlines, absolute release\n\
+     \x20           jitter), one JSON row per point on stdout; points are\n\
+     \x20           deduplicated by digest and warm-started from the base\n\
+     \x20           spec's outcome (--jobs fans out points; rows are\n\
+     \x20           byte-identical regardless of fan-out)\n\
      service commands (no spec.xml argument):\n\
      \x20 serve     --addr HOST:PORT [--cache-cap N] [--workers W]\n\
      \x20           [--max-pending N] run the HTTP synthesis service\n\
      \x20           (POST /v1/schedule|/v1/check|/v1/table|/v1/codegen|/v1/gantt,\n\
+     \x20           POST /v1/sweep?grid=...,\n\
      \x20           GET /v1/artifact/<digest>/<kind>, GET /v1/healthz,\n\
      \x20           GET /v1/stats, POST /v1/shutdown); results are cached\n\
      \x20           by spec digest\n\
@@ -212,8 +233,8 @@ fn usage() -> String {
      \x20 --jobs N        synthesis worker threads (default 1 = sequential;\n\
      \x20                 N > 1 races DFS subtrees, first feasible schedule wins)\n\
      \x20 --cache-dir DIR persistent digest store shared by schedule/table/\n\
-     \x20                 codegen/gantt/pnml, serve and batch: results found\n\
-     \x20                 there are reused, fresh results are written back\n\
+     \x20                 codegen/gantt/pnml/sweep, serve and batch: results\n\
+     \x20                 found there are reused, fresh results are written back\n\
      \x20 --cache-max-bytes B  keep the --cache-dir store under B bytes\n\
      \x20                 (mtime-LRU sweep at startup and after writes;\n\
      \x20                 stale temp files and misnamed entries are reaped)"
@@ -593,6 +614,41 @@ fn simulate(project: &Project, periods: Option<&String>) -> Result<(), String> {
             stats.max
         );
     }
+    Ok(())
+}
+
+/// `ezrt sweep spec.xml --grid "periods:100,150;deadlines:75,100"`:
+/// expand the grid against the base spec and print the feasibility
+/// frontier, one JSON row per point on stdout. Rows carry only
+/// deterministic fields; the wall-clock / dedup summary goes to stderr
+/// so two runs of the same sweep stay byte-identical on stdout.
+fn sweep(project: &Project, grid: Option<&str>, cache: &ResultCache) -> Result<(), String> {
+    let grid_text = grid.ok_or_else(|| {
+        format!(
+            "sweep requires --grid, e.g. --grid \"periods:100,150;deadlines:75,100\"\n{}",
+            usage()
+        )
+    })?;
+    let grid = SweepGrid::parse(grid_text)?;
+    let started = std::time::Instant::now();
+    // The global --jobs fans points out across threads; per-point
+    // synthesis stays sequential inside run_sweep so the rows do not
+    // depend on the fan-out width.
+    let options = SweepOptions {
+        fanout: project.config().parallelism,
+        scheduler: project.config().clone(),
+    };
+    let report = run_sweep(project.spec(), &grid, &options, cache)?;
+    print!("{}", report.render());
+    eprintln!(
+        "swept {} point(s): {} unique spec(s), {} feasible, {} invalid, base {} ({} ms)",
+        report.rows.len(),
+        report.unique_digests,
+        report.feasible,
+        report.invalid,
+        report.base_digest.to_hex(),
+        started.elapsed().as_millis()
+    );
     Ok(())
 }
 

@@ -8,8 +8,11 @@
 use ezrealtime::artifacts::{project_digest, structure_digest, task_subdigests};
 use ezrealtime::core::Project;
 use ezrealtime::dsl::to_xml;
+use ezrealtime::scheduler::SchedulerConfig;
 use ezrealtime::spec::corpus::mine_pump;
-use ezrealtime::spec::generate::{synthetic_spec, WorkloadConfig};
+use ezrealtime::spec::generate::{
+    family_spec, random_mutation, synthetic_spec, Family, WorkloadConfig,
+};
 use ezrealtime::spec::{EzSpec, SpecBuilder};
 use proptest::prelude::*;
 
@@ -150,6 +153,77 @@ proptest! {
         let reparsed = Project::from_dsl(&noisy).expect("noisy dsl reloads");
         prop_assert_eq!(task_subdigests(&original), task_subdigests(&reparsed));
         prop_assert_eq!(structure_digest(&original), structure_digest(&reparsed));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The full edit loop on random workloads: a structured mutation of
+    /// a generated spec, warm-started from the unmutated spec's
+    /// schedule, (1) reports a diff inside the mutation's declared
+    /// blast radius, (2) agrees with the cold search on the verdict,
+    /// (3) never visits more states than the cold search, and (4) when
+    /// feasible passes the validator and the net-semantics oracle.
+    #[test]
+    fn random_mutations_warm_start_soundly(
+        tasks in 2usize..5,
+        base_period in 10u64..24,
+        utilization in 0.2f64..0.6,
+        spec_seed in any::<u64>(),
+        mutation_seed in any::<u64>(),
+    ) {
+        let family = Family::Harmonic { tasks, base_period, utilization };
+        let base = family_spec(&family, spec_seed);
+        let mutation = random_mutation(&base, mutation_seed);
+        let Ok(mutated) = mutation.apply(&base) else {
+            // A rejected edit (deadline window collapsed, …) is a valid
+            // draw: the typed error is the whole contract.
+            return Ok(());
+        };
+        let label = format!("spec {spec_seed} mutation {mutation:?}");
+
+        // The reported diff stays inside the mutation's declared
+        // blast radius.
+        let config = SchedulerConfig { max_states: 200_000, ..SchedulerConfig::default() };
+        let before = Project::new(base).with_config(config.clone());
+        let after = Project::new(mutated).with_config(config);
+        let changed = before.changed_tasks(after.spec());
+        let touched = mutation.touched(before.spec());
+        for task in &changed {
+            prop_assert!(touched.contains(task), "{}: {} outside {:?}", label, task, touched);
+        }
+
+        let Ok(ancestor) = before.synthesize() else {
+            return Ok(()); // no schedule to warm-start from
+        };
+        let cold = after.synthesize();
+        let warm = after.synthesize_incremental(&ancestor.schedule);
+        prop_assert_eq!(
+            warm.is_ok(), cold.is_ok(),
+            "{}: warm and cold verdicts diverge", label
+        );
+        match (warm, cold) {
+            (Ok(warm), Ok(cold)) => {
+                prop_assert!(
+                    warm.stats.states_visited <= cold.stats.states_visited,
+                    "{}: warm visited {} states, cold {}",
+                    label, warm.stats.states_visited, cold.stats.states_visited
+                );
+                let violations = warm.validate();
+                prop_assert!(violations.is_empty(), "{}: {:?}", label, violations);
+                let replay = ezrealtime::sim::replay::replay(&warm.tasknet, &warm.schedule);
+                prop_assert!(replay.is_ok(), "{}: oracle rejects warm schedule", label);
+            }
+            (Err(warm), Err(cold)) => {
+                prop_assert_eq!(
+                    std::mem::discriminant(&warm),
+                    std::mem::discriminant(&cold),
+                    "{}: failure kinds diverge: {} vs {}", label, warm, cold
+                );
+            }
+            _ => unreachable!("verdict agreement asserted above"),
+        }
     }
 }
 

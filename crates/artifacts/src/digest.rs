@@ -94,6 +94,7 @@ impl fmt::Display for SpecDigest {
 /// The digest of a project's spec + scheduler configuration — the cache
 /// key its synthesis result is stored under.
 pub fn project_digest(project: &Project) -> SpecDigest {
+    let _span = ezrt_obs::span("digest");
     SpecDigest::of(&project.canonical_bytes())
 }
 

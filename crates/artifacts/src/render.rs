@@ -66,6 +66,7 @@ pub fn default_gantt_window(hyperperiod: u64) -> (u64, u64) {
 /// feasible schedule and the outcome has none. `report-json` always
 /// renders (it carries the failure verdict itself).
 pub fn render(outcome: &SynthesisOutcome, kind: ArtifactKind) -> Result<Artifact, RenderError> {
+    let _span = ezrt_obs::span("render");
     let text = match kind {
         ArtifactKind::ReportJson => {
             let mut text = report::render_pretty(&outcome.fields);

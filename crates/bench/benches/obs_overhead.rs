@@ -1,0 +1,156 @@
+//! Experiment O1 — observability overhead guard: the cost of the
+//! instrumentation added for `/v1/metrics` and `--trace`, measured on
+//! the paths it rides.
+//!
+//! The claim under guard: with tracing **disabled** (the server's
+//! steady state — only the CLI `--trace` flag ever enables it), a
+//! [`ezrt_obs::span`] call is one relaxed atomic load and must stay in
+//! the low single-digit nanoseconds; counters and histograms are one
+//! relaxed RMW each. The end-to-end arm re-runs the X6
+//! `schedule_cached_hit` loop (mine pump over loopback keep-alive) with
+//! tracing off and again with tracing on — the two must be
+//! indistinguishable at request granularity, since a cached hit crosses
+//! only a handful of span sites.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ezrt_server::{Server, ServerConfig};
+use std::hint::black_box;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A keep-alive client that reconnects when the server recycles the
+/// connection at its per-connection request cap (`Connection: close`),
+/// so the measured arm is the request path, not connection churn.
+struct Client {
+    addr: std::net::SocketAddr,
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> TcpStream {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("read timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+    }
+
+    fn new(addr: std::net::SocketAddr) -> Client {
+        Client {
+            addr,
+            stream: Client::connect(addr),
+        }
+    }
+
+    /// One `POST /v1/schedule` exchange; reconnects once on transport
+    /// failure or a server-announced close.
+    fn post_schedule(&mut self, body: &str) -> String {
+        if let Some(response) = Self::try_post(&mut self.stream, body) {
+            return response;
+        }
+        self.stream = Client::connect(self.addr);
+        Self::try_post(&mut self.stream, body).expect("fresh-connection request")
+    }
+
+    fn try_post(stream: &mut TcpStream, body: &str) -> Option<String> {
+        let head = format!(
+            "POST /v1/schedule HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).ok()?;
+        stream.write_all(body.as_bytes()).ok()?;
+        let mut raw = Vec::new();
+        let mut byte = [0u8; 1];
+        while !raw.ends_with(b"\r\n\r\n") {
+            match stream.read(&mut byte) {
+                Ok(0) | Err(_) => return None,
+                Ok(_) => raw.push(byte[0]),
+            }
+        }
+        let headers = String::from_utf8(raw).expect("UTF-8 headers");
+        let content_length: usize = headers
+            .lines()
+            .find_map(|line| line.strip_prefix("Content-Length: "))
+            .and_then(|value| value.trim().parse().ok())
+            .expect("Content-Length header");
+        let mut body = vec![0u8; content_length];
+        stream.read_exact(&mut body).ok()?;
+        let body = String::from_utf8(body).expect("UTF-8 body");
+        if headers.contains("Connection: close") {
+            None // cap reached: caller reconnects before the next request
+        } else {
+            Some(body)
+        }
+    }
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+
+    // The disabled span: the guard this bench exists for. One relaxed
+    // AtomicBool load per call site on every hot path in the workspace.
+    ezrt_obs::set_tracing(false);
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| black_box(ezrt_obs::span(black_box("bench"))))
+    });
+
+    // The enabled span: two Instant reads plus two bounded-buffer
+    // pushes. Only `--trace` runs ever pay this.
+    ezrt_obs::set_tracing(true);
+    group.bench_function("span_enabled", |b| {
+        b.iter(|| black_box(ezrt_obs::span(black_box("bench"))))
+    });
+    ezrt_obs::set_tracing(false);
+    let _ = ezrt_obs::drain_spans();
+
+    // Metric cells: one relaxed RMW (counter) and two (histogram:
+    // bucket + sum).
+    let registry = ezrt_obs::Registry::new();
+    let counter = registry.counter("bench_requests_total", "bench counter");
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    let histogram = registry.histogram("bench_latency_micros", "bench histogram");
+    let mut value = 0u64;
+    group.bench_function("histogram_observe", |b| {
+        b.iter(|| {
+            value = value.wrapping_add(997);
+            histogram.observe(black_box(value));
+        })
+    });
+
+    // End-to-end guard: the X6 mine-pump cached hit with tracing off
+    // (production) vs on. The span sites on a hit are parse/digest/
+    // cache/render — a visible gap here means the disabled path grew a
+    // real cost.
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            cache_capacity: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let mut client = Client::new(server.addr());
+    let spec = ezrt_dsl::to_xml(&ezrt_spec::corpus::mine_pump());
+    let primed = client.post_schedule(&spec);
+    assert!(primed.contains("\"cache\": \"miss\""), "{primed}");
+
+    group.bench_function("mine_pump_hit_tracing_disabled", |b| {
+        b.iter(|| black_box(client.post_schedule(&spec)))
+    });
+    ezrt_obs::set_tracing(true);
+    group.bench_function("mine_pump_hit_tracing_enabled", |b| {
+        b.iter(|| black_box(client.post_schedule(&spec)))
+    });
+    ezrt_obs::set_tracing(false);
+    let _ = ezrt_obs::drain_spans();
+
+    group.finish();
+    drop(client);
+    server.stop();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -38,6 +38,7 @@ impl Project {
     /// Returns [`ParseDslError`] when the document is malformed or the
     /// specification fails validation.
     pub fn from_dsl(document: &str) -> Result<Self, ParseDslError> {
+        let _span = ezrt_obs::span("parse-dsl");
         Ok(Project::new(ezrt_dsl::from_xml(document)?))
     }
 
@@ -173,11 +174,16 @@ impl Project {
     /// Panics if a parallel-found schedule fails the replay oracle — a
     /// kernel bug, never a property of the specification.
     pub fn synthesize(&self) -> Result<Outcome, SynthesizeError> {
-        let tasknet = translate(&self.spec);
+        let _span = ezrt_obs::span("synthesize");
+        let tasknet = {
+            let _span = ezrt_obs::span("translate");
+            translate(&self.spec)
+        };
         let synthesis = if self.config.parallelism.is_sequential() {
             synthesize(&tasknet, &self.config)?
         } else {
             let synthesis = synthesize_parallel(&tasknet, &self.config)?;
+            let _span = ezrt_obs::span("replay-oracle");
             if let Err(error) = ezrt_sim::replay::replay(&tasknet, &synthesis.schedule) {
                 panic!(
                     "parallel synthesis produced a schedule the net-level replay oracle \
@@ -186,6 +192,7 @@ impl Project {
             }
             synthesis
         };
+        let _derive = ezrt_obs::span("derive");
         let timeline = Timeline::from_schedule(&tasknet, &synthesis.schedule);
         let table = ScheduleTable::from_timeline(&self.spec, &timeline);
         Ok(Outcome {
@@ -231,13 +238,18 @@ impl Project {
         if !self.config.parallelism.is_sequential() {
             return self.synthesize();
         }
-        let tasknet = translate(&self.spec);
+        let _span = ezrt_obs::span("synthesize-incremental");
+        let tasknet = {
+            let _span = ezrt_obs::span("translate");
+            translate(&self.spec)
+        };
         let synthesis = synthesize_seeded(&tasknet, &self.config, prev.firings())?;
         if synthesis.stats.incr_seed_hits > 0
             && ezrt_sim::replay::replay(&tasknet, &synthesis.schedule).is_err()
         {
             return self.synthesize();
         }
+        let _derive = ezrt_obs::span("derive");
         let timeline = Timeline::from_schedule(&tasknet, &synthesis.schedule);
         let table = ScheduleTable::from_timeline(&self.spec, &timeline);
         Ok(Outcome {

@@ -40,6 +40,7 @@
 
 mod config;
 mod error;
+mod obs;
 pub mod parallel;
 pub mod reference;
 mod schedule;

@@ -319,6 +319,9 @@ impl Shared<'_> {
                 return None;
             }
             self.hungry.fetch_add(1, Ordering::SeqCst);
+            // Off the hot path by construction: a worker only gets here
+            // with every deque empty.
+            crate::obs::engine_metrics().donation_stalls.inc();
             coord = self.signal.wait(coord).expect("coordination lock poisoned");
             self.hungry.fetch_sub(1, Ordering::SeqCst);
             coord.idle -= 1;
@@ -464,8 +467,22 @@ pub fn synthesize_parallel(
     config: &SchedulerConfig,
 ) -> Result<Synthesis, SynthesizeError> {
     if config.parallelism.is_sequential() {
+        // The sequential path records its own run metrics.
         return crate::search::synthesize(tasknet, config);
     }
+    let _span = ezrt_obs::span("parallel-search");
+    let result = synthesize_parallel_inner(tasknet, config);
+    match &result {
+        Ok(synthesis) => crate::obs::record_search(&synthesis.stats),
+        Err(error) => crate::obs::record_search(error.stats()),
+    }
+    result
+}
+
+fn synthesize_parallel_inner(
+    tasknet: &TaskNet,
+    config: &SchedulerConfig,
+) -> Result<Synthesis, SynthesizeError> {
     let jobs = config.parallelism.jobs();
     let net = tasknet.net();
     let started = Instant::now();
@@ -603,6 +620,7 @@ fn worker(shared: &Shared<'_>, me: usize) -> WorkerLocal {
     let mut domains: Vec<(TransitionId, Time, TimeBound)> = Vec::new();
     let mut counters = InstanceCounters::new(tasknet.spec().task_count());
     let mut ticks: u64 = 0;
+    let engine = crate::obs::engine_metrics();
 
     'items: while let Some(item) = shared.next_item(me) {
         // Rebuild the path-dependent EDF counters for this subtree's
@@ -630,6 +648,9 @@ fn worker(shared: &Shared<'_>, me: usize) -> WorkerLocal {
 
         loop {
             ticks += 1;
+            if ticks.is_multiple_of(crate::obs::DEPTH_SAMPLE_TICKS) {
+                engine.frontier_depth.observe((base_len + depth) as u64);
+            }
             if shared.stop.load(Ordering::Acquire) {
                 break 'items;
             }

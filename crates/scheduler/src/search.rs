@@ -285,6 +285,24 @@ fn synthesize_with_seed(
     config: &SchedulerConfig,
     seed: &[ScheduledFiring],
 ) -> Result<Synthesis, SynthesizeError> {
+    let _span = ezrt_obs::span(if seed.is_empty() {
+        "search"
+    } else {
+        "seeded-search"
+    });
+    let result = synthesize_with_seed_inner(tasknet, config, seed);
+    match &result {
+        Ok(synthesis) => crate::obs::record_search(&synthesis.stats),
+        Err(error) => crate::obs::record_search(error.stats()),
+    }
+    result
+}
+
+fn synthesize_with_seed_inner(
+    tasknet: &TaskNet,
+    config: &SchedulerConfig,
+    seed: &[ScheduledFiring],
+) -> Result<Synthesis, SynthesizeError> {
     let net = tasknet.net();
     let started = Instant::now();
 
@@ -428,12 +446,16 @@ fn synthesize_with_seed(
         stats.states_visited = 0;
     }
 
+    let engine = crate::obs::engine_metrics();
     loop {
         // Budget checks. The time budget is gated on the loop tick, not on
         // `states_visited`: long pruning streaks (dead-set hits, deadline
         // misses) advance the tick every iteration but may not visit any
         // fresh state, and must still hit the check.
         ticks += 1;
+        if ticks.is_multiple_of(crate::obs::DEPTH_SAMPLE_TICKS) {
+            engine.frontier_depth.observe(depth as u64);
+        }
         if stats.states_visited > config.max_states {
             finish_stats(&mut stats, &dead, &explorer);
             return Err(SynthesizeError::StateLimitExceeded {

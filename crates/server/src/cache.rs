@@ -28,6 +28,7 @@ use crate::digest::SpecDigest;
 use crate::disk::{DiskStats, DiskTier};
 use crate::rendered::{RenderedArtifact, RenderedCache, RenderedStats};
 use ezrt_artifacts::{ArtifactKind, RenderError};
+use ezrt_obs::{Counter, Registry};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -182,11 +183,14 @@ pub struct ResultCache {
     ancestors: Mutex<AncestorIndex>,
     /// Global LRU clock, bumped on every hit and insert.
     tick: AtomicU64,
-    hits: AtomicU64,
-    disk_hits: AtomicU64,
-    misses: AtomicU64,
-    joined: AtomicU64,
-    evictions: AtomicU64,
+    // Per-instance observability cells (`ezrt_obs::Counter` is the
+    // same relaxed `AtomicU64` the hand-rolled counters were, behind a
+    // cloneable handle a `Registry` can render).
+    hits: Counter,
+    disk_hits: Counter,
+    misses: Counter,
+    joined: Counter,
+    evictions: Counter,
 }
 
 impl ResultCache {
@@ -217,11 +221,46 @@ impl ResultCache {
             rendered: RenderedCache::new(capacity.saturating_mul(4), shards),
             ancestors: Mutex::new(AncestorIndex::default()),
             tick: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            disk_hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            joined: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Counter::new(),
+            disk_hits: Counter::new(),
+            misses: Counter::new(),
+            joined: Counter::new(),
+            evictions: Counter::new(),
+        }
+    }
+
+    /// Registers this cache's counters — all three tiers — into
+    /// `registry` for Prometheus exposition. The cells stay owned by
+    /// the cache (per-instance counts), the registry just renders them.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter(
+            "ezrt_cache_hits_total",
+            "Requests served from a completed in-memory cache entry.",
+            &self.hits,
+        );
+        registry.register_counter(
+            "ezrt_cache_disk_hits_total",
+            "Requests revived from the disk tier without a synthesis.",
+            &self.disk_hits,
+        );
+        registry.register_counter(
+            "ezrt_cache_misses_total",
+            "Synthesis runs started (one per singleflight group).",
+            &self.misses,
+        );
+        registry.register_counter(
+            "ezrt_cache_joined_total",
+            "Requests that waited on another request's in-flight synthesis.",
+            &self.joined,
+        );
+        registry.register_counter(
+            "ezrt_cache_evictions_total",
+            "Outcome entries evicted under LRU pressure.",
+            &self.evictions,
+        );
+        self.rendered.register_metrics(registry);
+        if let Some(disk) = &self.disk {
+            disk.register_metrics(registry);
         }
     }
 
@@ -287,7 +326,7 @@ impl ResultCache {
                 let mut shard = self.shard(&digest).lock().expect("cache shard poisoned");
                 if let Some(entry) = shard.entries.get_mut(&digest) {
                     entry.last_used = self.next_tick();
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
                     return (Arc::clone(&entry.outcome), Lookup::Hit);
                 }
                 match shard.inflight.get(&digest) {
@@ -309,10 +348,10 @@ impl ResultCache {
                         let (outcome, lookup) = self.run_compute(digest, &flight, || {
                             if let Some(revived) = self.disk.as_ref().and_then(|d| d.load(&digest))
                             {
-                                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                                self.disk_hits.inc();
                                 return (revived, Lookup::Disk);
                             }
-                            self.misses.fetch_add(1, Ordering::Relaxed);
+                            self.misses.inc();
                             (produce(), Lookup::Miss)
                         });
                         if lookup == Lookup::Miss {
@@ -332,7 +371,7 @@ impl ResultCache {
                         slot = flight.completed.wait(slot).expect("inflight slot poisoned");
                     }
                     InflightSlot::Done(outcome, resolved) => {
-                        self.joined.fetch_add(1, Ordering::Relaxed);
+                        self.joined.inc();
                         // Report the owner's resolution so every
                         // coalesced response is byte-identical: a
                         // joined synthesis is a "miss" (the latency
@@ -380,12 +419,12 @@ impl ResultCache {
             let mut shard = self.shard(&digest).lock().expect("cache shard poisoned");
             if let Some(entry) = shard.entries.get_mut(&digest) {
                 entry.last_used = self.next_tick();
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 return Some((Arc::clone(&entry.outcome), Lookup::Hit));
             }
         }
         let revived = self.disk.as_ref().and_then(|d| d.load(&digest))?;
-        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        self.disk_hits.inc();
         let outcome = Arc::new(revived);
         self.insert_completed(digest, &outcome);
         Some((outcome, Lookup::Disk))
@@ -473,7 +512,7 @@ impl ResultCache {
                 .map(|(digest, _)| *digest)
                 .expect("non-empty over-capacity shard");
             shard.entries.remove(&oldest);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
     }
 
@@ -488,11 +527,11 @@ impl ResultCache {
             inflight += shard.inflight.len();
         }
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            disk_hits: self.disk_hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            joined: self.joined.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            disk_hits: self.disk_hits.get(),
+            misses: self.misses.get(),
+            joined: self.joined.get(),
+            evictions: self.evictions.get(),
             entries,
             inflight,
             capacity: self.capacity,

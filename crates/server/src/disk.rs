@@ -34,6 +34,7 @@
 use crate::cache::SynthesisOutcome;
 use crate::digest::SpecDigest;
 use ezrt_artifacts::codec;
+use ezrt_obs::{Counter, Registry};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, SystemTime};
@@ -79,14 +80,14 @@ pub struct DiskTier {
     max_bytes: Option<u64>,
     /// Uniquifies temp-file names within this process.
     sequence: AtomicU64,
-    loads: AtomicU64,
-    load_misses: AtomicU64,
-    load_errors: AtomicU64,
-    writes: AtomicU64,
-    write_errors: AtomicU64,
-    gc_evicted: AtomicU64,
-    gc_reaped: AtomicU64,
-    gc_reclaimed_bytes: AtomicU64,
+    loads: Counter,
+    load_misses: Counter,
+    load_errors: Counter,
+    writes: Counter,
+    write_errors: Counter,
+    gc_evicted: Counter,
+    gc_reaped: Counter,
+    gc_reclaimed_bytes: Counter,
 }
 
 impl DiskTier {
@@ -123,17 +124,62 @@ impl DiskTier {
             dir,
             max_bytes,
             sequence: AtomicU64::new(0),
-            loads: AtomicU64::new(0),
-            load_misses: AtomicU64::new(0),
-            load_errors: AtomicU64::new(0),
-            writes: AtomicU64::new(0),
-            write_errors: AtomicU64::new(0),
-            gc_evicted: AtomicU64::new(0),
-            gc_reaped: AtomicU64::new(0),
-            gc_reclaimed_bytes: AtomicU64::new(0),
+            loads: Counter::new(),
+            load_misses: Counter::new(),
+            load_errors: Counter::new(),
+            writes: Counter::new(),
+            write_errors: Counter::new(),
+            gc_evicted: Counter::new(),
+            gc_reaped: Counter::new(),
+            gc_reclaimed_bytes: Counter::new(),
         };
         tier.sweep();
         Ok(tier)
+    }
+
+    /// Registers the disk tier's counters — including the GC sweep
+    /// family — into `registry` for Prometheus exposition.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter(
+            "ezrt_disk_loads_total",
+            "Disk-tier entries successfully loaded and decoded.",
+            &self.loads,
+        );
+        registry.register_counter(
+            "ezrt_disk_load_misses_total",
+            "Disk-tier lookups that found no file.",
+            &self.load_misses,
+        );
+        registry.register_counter(
+            "ezrt_disk_load_errors_total",
+            "Disk-tier files that failed verification or decoding.",
+            &self.load_errors,
+        );
+        registry.register_counter(
+            "ezrt_disk_writes_total",
+            "Disk-tier entries successfully written.",
+            &self.writes,
+        );
+        registry.register_counter(
+            "ezrt_disk_write_errors_total",
+            "Disk-tier writes that failed (ignored, memory tier keeps serving).",
+            &self.write_errors,
+        );
+        registry.register_counter(
+            "ezrt_disk_gc_evicted_total",
+            "Valid disk entries evicted by the byte-budget sweep.",
+            &self.gc_evicted,
+        );
+        registry.register_counter(
+            "ezrt_disk_gc_reaped_total",
+            "Stale temp files and misnamed entries reaped by sweeps.",
+            &self.gc_reaped,
+        );
+        registry.register_counter(
+            "ezrt_disk_gc_reclaimed_bytes_total",
+            "Total bytes reclaimed by disk-tier sweeps.",
+            &self.gc_reclaimed_bytes,
+        );
     }
 
     /// The configured byte budget, when one is set.
@@ -159,23 +205,23 @@ impl DiskTier {
         let bytes = match std::fs::read(self.entry_path(digest)) {
             Ok(bytes) => bytes,
             Err(error) if error.kind() == std::io::ErrorKind::NotFound => {
-                self.load_misses.fetch_add(1, Ordering::Relaxed);
+                self.load_misses.inc();
                 return None;
             }
             Err(_) => {
-                self.load_errors.fetch_add(1, Ordering::Relaxed);
+                self.load_errors.inc();
                 return None;
             }
         };
         match codec::decode_file(&bytes) {
             Ok(outcome) if outcome.digest == *digest => {
-                self.loads.fetch_add(1, Ordering::Relaxed);
+                self.loads.inc();
                 Some(outcome)
             }
             Ok(_) | Err(_) => {
                 // Misnamed (digest mismatch) or failed verification:
                 // ignore and let the caller re-synthesize.
-                self.load_errors.fetch_add(1, Ordering::Relaxed);
+                self.load_errors.inc();
                 None
             }
         }
@@ -195,7 +241,7 @@ impl DiskTier {
             .and_then(|()| std::fs::rename(&temp, self.entry_path(&outcome.digest)));
         match finish {
             Ok(()) => {
-                self.writes.fetch_add(1, Ordering::Relaxed);
+                self.writes.inc();
                 // Keep the store inside its budget: GC after every
                 // write (the sweep is a no-op scan when under budget).
                 if self.max_bytes.is_some() {
@@ -204,7 +250,7 @@ impl DiskTier {
             }
             Err(_) => {
                 let _ = std::fs::remove_file(&temp);
-                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                self.write_errors.inc();
             }
         }
     }
@@ -271,8 +317,8 @@ impl DiskTier {
             }
             total = total.saturating_sub(len);
             if std::fs::remove_file(&path).is_ok() {
-                self.gc_evicted.fetch_add(1, Ordering::Relaxed);
-                self.gc_reclaimed_bytes.fetch_add(len, Ordering::Relaxed);
+                self.gc_evicted.inc();
+                self.gc_reclaimed_bytes.add(len);
             }
         }
     }
@@ -280,22 +326,22 @@ impl DiskTier {
     /// Removes one reap candidate, counting it when the removal stuck.
     fn reap(&self, path: &Path, len: u64) {
         if std::fs::remove_file(path).is_ok() {
-            self.gc_reaped.fetch_add(1, Ordering::Relaxed);
-            self.gc_reclaimed_bytes.fetch_add(len, Ordering::Relaxed);
+            self.gc_reaped.inc();
+            self.gc_reclaimed_bytes.add(len);
         }
     }
 
     /// A snapshot of the counters.
     pub fn stats(&self) -> DiskStats {
         DiskStats {
-            loads: self.loads.load(Ordering::Relaxed),
-            load_misses: self.load_misses.load(Ordering::Relaxed),
-            load_errors: self.load_errors.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            write_errors: self.write_errors.load(Ordering::Relaxed),
-            gc_evicted: self.gc_evicted.load(Ordering::Relaxed),
-            gc_reaped: self.gc_reaped.load(Ordering::Relaxed),
-            gc_reclaimed_bytes: self.gc_reclaimed_bytes.load(Ordering::Relaxed),
+            loads: self.loads.get(),
+            load_misses: self.load_misses.get(),
+            load_errors: self.load_errors.get(),
+            writes: self.writes.get(),
+            write_errors: self.write_errors.get(),
+            gc_evicted: self.gc_evicted.get(),
+            gc_reaped: self.gc_reaped.get(),
+            gc_reclaimed_bytes: self.gc_reclaimed_bytes.get(),
         }
     }
 }

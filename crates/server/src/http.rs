@@ -12,8 +12,10 @@
 //! | POST   | `/v1/codegen`  | spec XML body → the generated C translation unit; `?target=<t>` picks the target (default `posix_sim`) |
 //! | POST   | `/v1/gantt`    | spec XML body → the ASCII timeline over the default window |
 //! | GET    | `/v1/artifact/<digest>/<kind>` | any artifact of an already-synthesized digest, straight from the rendered-byte, memory or disk cache (404 when absent; never synthesizes) |
+//! | POST   | `/v1/sweep`    | spec XML body + `?grid=` → one NDJSON row per grid point, byte-identical to `ezrt sweep` |
 //! | GET    | `/v1/healthz`  | liveness probe                                   |
 //! | GET    | `/v1/stats`    | request, connection and cache counters (all three cache tiers) |
+//! | GET    | `/v1/metrics`  | Prometheus text exposition of every counter, gauge and histogram (server registry + process-wide engine registry) |
 //! | POST   | `/v1/shutdown` | graceful stop: drain workers, join threads       |
 //!
 //! `HEAD` is accepted wherever `GET` is, and additionally on the POST
@@ -51,6 +53,14 @@
 //! Synthesis parallelism is per request — the server reuses the
 //! engine's [`Parallelism`] type, so a single POST can fan its search
 //! out over `jobs` threads while the pool keeps accepting.
+//!
+//! **Observability.** Every routed response carries a `Server-Timing`
+//! header with per-phase durations (parse, digest, cache, warm, search,
+//! render — whichever ran) plus the total; artifact-bearing responses
+//! add `X-Ezrt-Elapsed-Micros`. The same phases feed per-phase
+//! histograms exposed at `/v1/metrics`, and an optional NDJSON access
+//! log ([`ServerConfig::log_file`]) records one line per routed
+//! request.
 
 use crate::cache::{
     compute_outcome, compute_outcome_incremental, Lookup, ResultCache, SynthesisOutcome,
@@ -61,14 +71,15 @@ use crate::report::{self, JsonFields};
 use crate::sweep::{run_sweep, SweepOptions};
 use ezrt_artifacts::{ArtifactKind, RenderError};
 use ezrt_core::Project;
+use ezrt_obs::{Counter, Gauge, Histogram, Registry};
 use ezrt_scheduler::SchedulerConfig;
 use ezrt_spec::sweep::SweepGrid;
 use ezrt_tpn::Parallelism;
 use std::collections::VecDeque;
-use std::io::{Read, Write};
+use std::io::{LineWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -117,6 +128,10 @@ pub struct ServerConfig {
     /// Accept-queue bound (`--max-pending`): connections beyond this
     /// many pending are shed with `503 Retry-After`. 0 means unbounded.
     pub max_pending: usize,
+    /// NDJSON access-log path (`--log-file`): when set, every routed
+    /// request appends one line-buffered JSON object (route, status,
+    /// digest, cache tier, per-phase micros).
+    pub log_file: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -129,6 +144,7 @@ impl Default for ServerConfig {
             cache_dir: None,
             cache_max_bytes: None,
             max_pending: 128,
+            log_file: None,
         }
     }
 }
@@ -155,30 +171,268 @@ struct Shared {
     workers: usize,
     max_pending: usize,
     started: Instant,
-    connections: AtomicU64,
-    shed_connections: AtomicU64,
-    requests: AtomicU64,
-    schedule_requests: AtomicU64,
-    artifact_requests: AtomicU64,
+    /// The per-server metrics registry `GET /v1/metrics` renders
+    /// (merged with the process-wide engine registry at scrape time).
+    registry: Registry,
+    /// Per-request latency/size histograms, registered in `registry`.
+    metrics: HttpMetrics,
+    /// Scrape-time gauges (entry counts, resident bytes), set from a
+    /// [`StatsSnapshot`] on each `/v1/metrics` render.
+    gauges: ServerGauges,
+    /// The NDJSON access log (`--log-file`), line-buffered.
+    log: Option<Mutex<LineWriter<std::fs::File>>>,
+    connections: Counter,
+    shed_connections: Counter,
+    requests: Counter,
+    schedule_requests: Counter,
+    artifact_requests: Counter,
     /// `POST /v1/sweep` requests (any status).
-    sweep_requests: AtomicU64,
+    sweep_requests: Counter,
     /// Grid points expanded by completed sweeps (rows rendered,
     /// including invalid points).
-    sweep_points: AtomicU64,
-    http_errors: AtomicU64,
+    sweep_points: Counter,
+    http_errors: Counter,
     /// `304 Not Modified` responses (conditional hits).
-    not_modified: AtomicU64,
+    not_modified: Counter,
     /// Schedule misses whose search was warm-started from an ancestor's
     /// schedule prefix (cold misses and cache hits do not count).
-    incr_seed_hits: AtomicU64,
+    incr_seed_hits: Counter,
     /// Total seeded firings accepted by warm-started searches.
-    incr_replayed: AtomicU64,
+    incr_replayed: Counter,
     /// Total states warm starts avoided visiting, summed over seeded
     /// misses (`ancestor.states_visited - states_visited` per miss).
-    incr_states_saved: AtomicU64,
+    incr_states_saved: Counter,
+}
+
+/// The HTTP layer's latency and size histograms (all microseconds
+/// except `response_bytes`). Created through the registry, so they are
+/// registered the moment the server starts.
+#[derive(Debug)]
+struct HttpMetrics {
+    /// Total routed-request duration (parse through enqueue).
+    request_micros: Histogram,
+    /// Socket write+flush duration per non-pipelined response batch.
+    write_micros: Histogram,
+    /// Response body sizes.
+    response_bytes: Histogram,
+    /// Per-phase durations, same names as the `Server-Timing` header.
+    phase_parse: Histogram,
+    phase_digest: Histogram,
+    phase_cache: Histogram,
+    phase_warm: Histogram,
+    phase_search: Histogram,
+    phase_render: Histogram,
+}
+
+impl HttpMetrics {
+    fn register(registry: &Registry) -> HttpMetrics {
+        HttpMetrics {
+            request_micros: registry.histogram(
+                "ezrt_http_request_micros",
+                "Routed request duration in microseconds (parse through response enqueue).",
+            ),
+            write_micros: registry.histogram(
+                "ezrt_http_write_micros",
+                "Socket write+flush duration in microseconds per response batch.",
+            ),
+            response_bytes: registry
+                .histogram("ezrt_http_response_bytes", "Response body sizes in bytes."),
+            phase_parse: registry.histogram(
+                "ezrt_phase_parse_micros",
+                "Spec parse phase duration in microseconds.",
+            ),
+            phase_digest: registry.histogram(
+                "ezrt_phase_digest_micros",
+                "Digest computation phase duration in microseconds.",
+            ),
+            phase_cache: registry.histogram(
+                "ezrt_phase_cache_micros",
+                "Cache lookup/coordination phase duration in microseconds.",
+            ),
+            phase_warm: registry.histogram(
+                "ezrt_phase_warm_micros",
+                "Warm-start ancestor resolution phase duration in microseconds.",
+            ),
+            phase_search: registry.histogram(
+                "ezrt_phase_search_micros",
+                "Synthesis/search phase duration in microseconds.",
+            ),
+            phase_render: registry.histogram(
+                "ezrt_phase_render_micros",
+                "Artifact render phase duration in microseconds.",
+            ),
+        }
+    }
+
+    fn phase(&self, name: &str) -> Option<&Histogram> {
+        match name {
+            "parse" => Some(&self.phase_parse),
+            "digest" => Some(&self.phase_digest),
+            "cache" => Some(&self.phase_cache),
+            "warm" => Some(&self.phase_warm),
+            "search" => Some(&self.phase_search),
+            "render" => Some(&self.phase_render),
+            _ => None,
+        }
+    }
+}
+
+/// Gauges `/v1/metrics` sets from a fresh [`StatsSnapshot`] at scrape
+/// time (resident counts move both ways, so they cannot be counters).
+#[derive(Debug)]
+struct ServerGauges {
+    uptime_seconds: Gauge,
+    workers: Gauge,
+    cache_entries: Gauge,
+    cache_inflight: Gauge,
+    cache_capacity: Gauge,
+    rendered_entries: Gauge,
+    rendered_bytes: Gauge,
+    rendered_capacity: Gauge,
+}
+
+impl ServerGauges {
+    fn register(registry: &Registry) -> ServerGauges {
+        ServerGauges {
+            uptime_seconds: registry
+                .gauge("ezrt_uptime_seconds", "Seconds since the server started."),
+            workers: registry.gauge("ezrt_http_workers", "Connection worker threads."),
+            cache_entries: registry.gauge(
+                "ezrt_cache_entries",
+                "Completed outcomes resident in the memory tier.",
+            ),
+            cache_inflight: registry.gauge("ezrt_cache_inflight", "Syntheses currently in flight."),
+            cache_capacity: registry.gauge(
+                "ezrt_cache_capacity",
+                "Configured outcome-entry bound (0 = memory tier disabled).",
+            ),
+            rendered_entries: registry.gauge(
+                "ezrt_rendered_entries",
+                "Rendered artifacts resident in the byte tier.",
+            ),
+            rendered_bytes: registry.gauge(
+                "ezrt_rendered_bytes",
+                "Bytes resident across all rendered entries.",
+            ),
+            rendered_capacity: registry.gauge(
+                "ezrt_rendered_capacity",
+                "Configured rendered-entry bound (0 = byte tier disabled).",
+            ),
+        }
+    }
+
+    fn set_from(&self, snapshot: &StatsSnapshot) {
+        self.uptime_seconds.set(snapshot.uptime.as_secs());
+        self.workers.set(snapshot.workers as u64);
+        self.cache_entries.set(snapshot.cache.entries as u64);
+        self.cache_inflight.set(snapshot.cache.inflight as u64);
+        self.cache_capacity.set(snapshot.cache.capacity as u64);
+        self.rendered_entries.set(snapshot.rendered.entries as u64);
+        self.rendered_bytes.set(snapshot.rendered.bytes);
+        self.rendered_capacity
+            .set(snapshot.rendered.capacity as u64);
+    }
+}
+
+/// One gather of every value `/v1/stats` and `/v1/metrics` expose:
+/// each counter cell is read exactly once per response, so one rendered
+/// body cannot contradict itself by re-reading a moving counter
+/// mid-render (the old field-by-field reads under traffic could).
+struct StatsSnapshot {
+    uptime: Duration,
+    workers: usize,
+    default_jobs: usize,
+    max_pending: usize,
+    connections: u64,
+    requests: u64,
+    shed_connections: u64,
+    schedule_requests: u64,
+    artifact_requests: u64,
+    sweep_requests: u64,
+    sweep_points: u64,
+    http_errors: u64,
+    not_modified: u64,
+    incr_seed_hits: u64,
+    incr_replayed: u64,
+    incr_states_saved: u64,
+    cache: crate::cache::CacheStats,
+    rendered: crate::rendered::RenderedStats,
+    disk: crate::disk::DiskStats,
 }
 
 impl Shared {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            uptime: self.started.elapsed(),
+            workers: self.workers,
+            default_jobs: self.scheduler.parallelism.jobs(),
+            max_pending: self.max_pending,
+            connections: self.connections.get(),
+            requests: self.requests.get(),
+            shed_connections: self.shed_connections.get(),
+            schedule_requests: self.schedule_requests.get(),
+            artifact_requests: self.artifact_requests.get(),
+            sweep_requests: self.sweep_requests.get(),
+            sweep_points: self.sweep_points.get(),
+            http_errors: self.http_errors.get(),
+            not_modified: self.not_modified.get(),
+            incr_seed_hits: self.incr_seed_hits.get(),
+            incr_replayed: self.incr_replayed.get(),
+            incr_states_saved: self.incr_states_saved.get(),
+            cache: self.cache.stats(),
+            rendered: self.cache.rendered_stats(),
+            disk: self.cache.disk_stats().unwrap_or_default(),
+        }
+    }
+
+    /// Appends one NDJSON line for a routed request to the access log,
+    /// when one is configured. Schema (one object per line): `t_micros`
+    /// (since server start), `method`, `path`, `status`, `digest`,
+    /// `cache`, `rendered` (absent when the response carries no such
+    /// header), `phases` (name → micros, in call order),
+    /// `elapsed_micros`, `write_micros` (0 when the flush was deferred
+    /// to a pipelined batch), `bytes`.
+    fn log_request(
+        &self,
+        request: &Request,
+        response: &Response,
+        timing: &RequestTiming,
+        write_micros: u64,
+    ) {
+        let Some(log) = &self.log else { return };
+        let mut line = String::with_capacity(256);
+        line.push_str(&format!(
+            "{{\"t_micros\":{},\"method\":{},\"path\":{},\"status\":{}",
+            self.started.elapsed().as_micros(),
+            report::json_string(&request.method),
+            report::json_string(&request.path),
+            response.status,
+        ));
+        for (key, header) in [
+            ("digest", "X-Ezrt-Digest"),
+            ("cache", "X-Ezrt-Cache"),
+            ("rendered", "X-Ezrt-Rendered"),
+        ] {
+            if let Some(value) = header_value(response, header) {
+                line.push_str(&format!(",\"{key}\":{}", report::json_string(value)));
+            }
+        }
+        line.push_str(",\"phases\":{");
+        for (index, (name, micros)) in timing.phases.iter().enumerate() {
+            if index > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("\"{name}\":{micros}"));
+        }
+        line.push_str(&format!(
+            "}},\"elapsed_micros\":{},\"write_micros\":{write_micros},\"bytes\":{}}}",
+            timing.elapsed_micros(),
+            response.body.as_bytes().len(),
+        ));
+        let mut writer = log.lock().expect("access log poisoned");
+        let _ = writeln!(writer, "{line}");
+    }
+
     fn request_shutdown(&self) {
         if self.running.swap(false, Ordering::SeqCst) {
             // Wake the accept thread out of its blocking accept() with
@@ -234,6 +488,23 @@ impl Server {
             None => None,
         };
         let workers = config.workers.max(1);
+        let log = match &config.log_file {
+            Some(path) => {
+                let file = std::fs::File::options()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|error| format!("cannot open log file {}: {error}", path.display()))?;
+                Some(Mutex::new(LineWriter::new(file)))
+            }
+            None => None,
+        };
+        let registry = Registry::new();
+        let metrics = HttpMetrics::register(&registry);
+        let gauges = ServerGauges::register(&registry);
+        let cache = ResultCache::with_disk(config.cache_capacity, shards, disk);
+        cache.register_metrics(&registry);
+        let counter = |name, help| registry.counter(name, help);
         let shared = Arc::new(Shared {
             addr: local,
             running: AtomicBool::new(true),
@@ -241,23 +512,60 @@ impl Server {
             queue_ready: Condvar::new(),
             shed_queue: Mutex::new(VecDeque::new()),
             shed_ready: Condvar::new(),
-            cache: ResultCache::with_disk(config.cache_capacity, shards, disk),
+            cache,
             scheduler: config.scheduler,
             workers,
             max_pending: config.max_pending,
             started: Instant::now(),
-            connections: AtomicU64::new(0),
-            shed_connections: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
-            schedule_requests: AtomicU64::new(0),
-            artifact_requests: AtomicU64::new(0),
-            sweep_requests: AtomicU64::new(0),
-            sweep_points: AtomicU64::new(0),
-            http_errors: AtomicU64::new(0),
-            not_modified: AtomicU64::new(0),
-            incr_seed_hits: AtomicU64::new(0),
-            incr_replayed: AtomicU64::new(0),
-            incr_states_saved: AtomicU64::new(0),
+            connections: counter(
+                "ezrt_http_connections_total",
+                "Connections accepted into the worker queue.",
+            ),
+            shed_connections: counter(
+                "ezrt_http_shed_connections_total",
+                "Connections shed with 503 because the accept queue was full.",
+            ),
+            requests: counter("ezrt_http_requests_total", "HTTP requests parsed."),
+            schedule_requests: counter(
+                "ezrt_http_schedule_requests_total",
+                "POST /v1/schedule requests.",
+            ),
+            artifact_requests: counter(
+                "ezrt_http_artifact_requests_total",
+                "Artifact requests (GET /v1/artifact and the artifact POST routes).",
+            ),
+            sweep_requests: counter(
+                "ezrt_sweep_requests_total",
+                "POST /v1/sweep requests (any status).",
+            ),
+            sweep_points: counter(
+                "ezrt_sweep_points_total",
+                "Grid points expanded by completed sweeps.",
+            ),
+            http_errors: counter(
+                "ezrt_http_errors_total",
+                "Responses with status 400 or above.",
+            ),
+            not_modified: counter(
+                "ezrt_http_not_modified_total",
+                "304 Not Modified responses (conditional hits).",
+            ),
+            incr_seed_hits: counter(
+                "ezrt_incr_seed_hits_total",
+                "Schedule misses warm-started from an ancestor's schedule prefix.",
+            ),
+            incr_replayed: counter(
+                "ezrt_incr_replayed_total",
+                "Seeded firings accepted by warm-started searches.",
+            ),
+            incr_states_saved: counter(
+                "ezrt_incr_states_saved_total",
+                "States warm starts avoided visiting, summed over seeded misses.",
+            ),
+            registry,
+            metrics,
+            gauges,
+            log,
         });
 
         let mut threads = Vec::with_capacity(workers + 2);
@@ -334,7 +642,7 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
                     // accept loop must never block on a client, which
                     // is exactly what a shed-worthy overload produces.
                     drop(queue);
-                    shared.shed_connections.fetch_add(1, Ordering::Relaxed);
+                    shared.shed_connections.inc();
                     let mut sheds = shared.shed_queue.lock().expect("shed queue poisoned");
                     if sheds.len() < MAX_SHED_BACKLOG {
                         sheds.push_back(stream);
@@ -541,7 +849,7 @@ impl Connection {
 }
 
 fn handle_connection(shared: &Shared, stream: TcpStream) {
-    shared.connections.fetch_add(1, Ordering::Relaxed);
+    shared.connections.inc();
     // Keep-alive turns each connection into a request/response ping-pong
     // of small writes; without TCP_NODELAY, Nagle holds every second
     // write until the peer's (possibly delayed) ACK, stalling loopback
@@ -566,8 +874,8 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                 break;
             }
             Err(response) => {
-                shared.requests.fetch_add(1, Ordering::Relaxed);
-                shared.http_errors.fetch_add(1, Ordering::Relaxed);
+                shared.requests.inc();
+                shared.http_errors.inc();
                 // Parse errors answer before the body was consumed, so
                 // a plain close would RST the error response away.
                 conn.enqueue(&response, true, false);
@@ -577,32 +885,70 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                 break;
             }
         };
-        shared.requests.fetch_add(1, Ordering::Relaxed);
+        shared.requests.inc();
         served += 1;
         let head_only = request.method == "HEAD";
+        let mut timing = RequestTiming::new();
         // A panicking handler (a kernel bug surfacing through a replay
         // assert, say) must not shrink the pool and must still answer
         // the client: catch the unwind and convert it to a 500.
-        let response =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(shared, &request)))
-                .unwrap_or_else(|_| {
-                    Response::error(500, "internal error while handling the request")
-                });
+        let mut response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            route(shared, &request, &mut timing)
+        }))
+        .unwrap_or_else(|_| Response::error(500, "internal error while handling the request"));
         if response.status >= 400 {
-            shared.http_errors.fetch_add(1, Ordering::Relaxed);
+            shared.http_errors.inc();
         }
         if response.status == 304 {
-            shared.not_modified.fetch_add(1, Ordering::Relaxed);
+            shared.not_modified.inc();
         }
+        // Observability: total + phase histograms, then the phase
+        // breakdown as a `Server-Timing` header and — on the
+        // digest-addressed routes, recognizable by their provenance
+        // header — the total as `X-Ezrt-Elapsed-Micros`.
+        let elapsed_micros = timing.elapsed_micros();
+        shared.metrics.request_micros.observe(elapsed_micros);
+        shared
+            .metrics
+            .response_bytes
+            .observe(response.body.as_bytes().len() as u64);
+        for (name, micros) in &timing.phases {
+            if let Some(histogram) = shared.metrics.phase(name) {
+                histogram.observe(*micros);
+            }
+        }
+        if header_value(&response, "X-Ezrt-Cache").is_some() {
+            response
+                .headers
+                .push(("X-Ezrt-Elapsed-Micros", elapsed_micros.to_string()));
+        }
+        response
+            .headers
+            .push(("Server-Timing", timing.server_timing()));
         let close = !request.keep_alive
             || served >= MAX_CONNECTION_REQUESTS
             || !shared.running.load(Ordering::SeqCst);
         conn.enqueue(&response, close, head_only);
+        // Flush eagerly when no pipelined request is waiting in the
+        // buffer (the next read would flush anyway), so the write cost
+        // lands on the request that caused it; a pipelined batch defers
+        // to one flush whose cost the batch's last request reports.
+        let mut write_micros = 0;
+        let flushed = if close || conn.buffer.is_empty() {
+            let write_started = Instant::now();
+            let result = conn.flush();
+            write_micros = write_started.elapsed().as_micros() as u64;
+            shared.metrics.write_micros.observe(write_micros);
+            Some(result)
+        } else {
+            None
+        };
+        shared.log_request(&request, &response, &timing, write_micros);
         if close {
             // The client may still have pipelined requests in flight
             // past the per-connection cap; linger so the final response
             // is not RST away with them.
-            if conn.flush().is_ok() && !conn.buffer.is_empty() {
+            if matches!(flushed, Some(Ok(()))) && !conn.buffer.is_empty() {
                 linger_close(&mut conn.stream);
             }
             break;
@@ -764,6 +1110,65 @@ impl Response {
     }
 }
 
+/// Wall-clock accounting for one routed request: total elapsed plus
+/// named phase durations in call order. Rendered as a `Server-Timing`
+/// response header (`name;dur=<ms>`), fed into the per-phase
+/// histograms, and written to the access log.
+struct RequestTiming {
+    started: Instant,
+    /// `(phase name, duration in micros)`, in the order measured.
+    phases: Vec<(&'static str, u64)>,
+}
+
+impl RequestTiming {
+    fn new() -> RequestTiming {
+        RequestTiming {
+            started: Instant::now(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Records a phase measured externally.
+    fn phase(&mut self, name: &'static str, micros: u64) {
+        self.phases.push((name, micros));
+    }
+
+    /// Times `body` as phase `name`.
+    fn time<T>(&mut self, name: &'static str, body: impl FnOnce() -> T) -> T {
+        let started = Instant::now();
+        let value = body();
+        self.phase(name, started.elapsed().as_micros() as u64);
+        value
+    }
+
+    fn elapsed_micros(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// The `Server-Timing` header value: every phase plus the running
+    /// total, durations in milliseconds per the header's spec.
+    fn server_timing(&self) -> String {
+        let mut value = String::new();
+        for (name, micros) in &self.phases {
+            value.push_str(&format!("{name};dur={:.3}, ", *micros as f64 / 1e3));
+        }
+        value.push_str(&format!(
+            "total;dur={:.3}",
+            self.elapsed_micros() as f64 / 1e3
+        ));
+        value
+    }
+}
+
+/// The value of the first extra header named `name`, when present.
+fn header_value<'a>(response: &'a Response, name: &str) -> Option<&'a str> {
+    response
+        .headers
+        .iter()
+        .find(|(header, _)| *header == name)
+        .map(|(_, value)| value.as_str())
+}
+
 fn status_text(status: u16) -> &'static str {
     match status {
         200 => "OK",
@@ -839,7 +1244,7 @@ fn if_none_match_hit(header: Option<&str>, etag: &str) -> bool {
         .any(|candidate| candidate == "*" || candidate == etag)
 }
 
-fn route(shared: &Shared, request: &Request) -> Response {
+fn route(shared: &Shared, request: &Request, timing: &mut RequestTiming) -> Response {
     // HEAD answers like the underlying route, minus the body (the
     // suppression happens in the response writer, so handlers run
     // unchanged and headers stay identical). GET routes are the normal
@@ -856,16 +1261,17 @@ fn route(shared: &Shared, request: &Request) -> Response {
     };
     if let Some(rest) = request.path.strip_prefix("/v1/artifact/") {
         return match method {
-            "GET" => artifact_get(shared, rest, request),
+            "GET" => artifact_get(shared, rest, request, timing),
             _ => Response::error(405, "method not allowed"),
         };
     }
     match (method, request.path.as_str()) {
         ("GET", "/v1/healthz") => Response::json(200, "{\n  \"status\": \"ok\"\n}".to_owned()),
         ("GET", "/v1/stats") => stats(shared),
-        ("POST", "/v1/schedule") => schedule(shared, request),
-        ("POST", "/v1/check") => check(request),
-        ("POST", "/v1/table") => artifact_post(shared, request, ArtifactKind::Table),
+        ("GET", "/v1/metrics") => metrics(shared),
+        ("POST", "/v1/schedule") => schedule(shared, request, timing),
+        ("POST", "/v1/check") => check(request, timing),
+        ("POST", "/v1/table") => artifact_post(shared, request, ArtifactKind::Table, timing),
         ("POST", "/v1/codegen") => {
             let kind = match query_value(&request.query, "target") {
                 None => ArtifactKind::Codegen(ezrt_codegen::Target::PosixSim),
@@ -874,18 +1280,18 @@ fn route(shared: &Shared, request: &Request) -> Response {
                     Err(message) => return Response::error(400, &message),
                 },
             };
-            artifact_post(shared, request, kind)
+            artifact_post(shared, request, kind, timing)
         }
-        ("POST", "/v1/gantt") => artifact_post(shared, request, ArtifactKind::Gantt),
-        ("POST", "/v1/sweep") => sweep(shared, request),
+        ("POST", "/v1/gantt") => artifact_post(shared, request, ArtifactKind::Gantt, timing),
+        ("POST", "/v1/sweep") => sweep(shared, request, timing),
         ("POST", "/v1/shutdown") => {
             shared.request_shutdown();
             Response::json(200, "{\n  \"status\": \"shutting down\"\n}".to_owned())
         }
         (
             _,
-            "/v1/healthz" | "/v1/stats" | "/v1/schedule" | "/v1/check" | "/v1/table"
-            | "/v1/codegen" | "/v1/gantt" | "/v1/sweep" | "/v1/shutdown",
+            "/v1/healthz" | "/v1/stats" | "/v1/metrics" | "/v1/schedule" | "/v1/check"
+            | "/v1/table" | "/v1/codegen" | "/v1/gantt" | "/v1/sweep" | "/v1/shutdown",
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "not found"),
     }
@@ -919,13 +1325,13 @@ fn parse_project(shared: &Shared, request: &Request) -> Result<Project, Response
     Ok(project)
 }
 
-fn schedule(shared: &Shared, request: &Request) -> Response {
-    shared.schedule_requests.fetch_add(1, Ordering::Relaxed);
-    let project = match parse_project(shared, request) {
+fn schedule(shared: &Shared, request: &Request, timing: &mut RequestTiming) -> Response {
+    shared.schedule_requests.inc();
+    let project = match timing.time("parse", || parse_project(shared, request)) {
         Ok(project) => project,
         Err(response) => return response,
     };
-    let digest = project_digest(&project);
+    let digest = timing.time("digest", || project_digest(&project));
     // The report is addressed by the digest alone (the volatile `cache`
     // provenance field is not part of the resource), so a matching tag
     // proves the client's copy is current before any lookup or
@@ -945,27 +1351,42 @@ fn schedule(shared: &Shared, request: &Request) -> Response {
         None => None,
     };
     let structure = structure_digest(&project);
+    // Misses run the closure on this thread, so the warm-start and
+    // search costs are measured inside it and subtracted from the
+    // surrounding lookup to leave the pure cache-coordination time.
+    let warm_micros = std::cell::Cell::new(0u64);
+    let search_micros = std::cell::Cell::new(0u64);
+    let lookup_started = Instant::now();
     let (outcome, lookup) = shared.cache.get_or_compute(digest, || {
-        match warm_ancestor(shared, &project, digest, structure, warm_hint) {
+        let warm_started = Instant::now();
+        let ancestor = warm_ancestor(shared, &project, digest, structure, warm_hint);
+        warm_micros.set(warm_started.elapsed().as_micros() as u64);
+        let search_started = Instant::now();
+        let outcome = match ancestor {
             Some(ancestor) => compute_outcome_incremental(&project, digest, &ancestor),
             None => compute_outcome(&project, digest),
-        }
+        };
+        search_micros.set(search_started.elapsed().as_micros() as u64);
+        outcome
     });
+    let lookup_micros = lookup_started.elapsed().as_micros() as u64;
+    timing.phase(
+        "cache",
+        lookup_micros.saturating_sub(warm_micros.get() + search_micros.get()),
+    );
+    if lookup == Lookup::Miss {
+        timing.phase("warm", warm_micros.get());
+        timing.phase("search", search_micros.get());
+    }
     // Only the flight that ran the search reports its warm-start
     // counters (joiners and cache hits would double-count them), and
     // only outcomes that actually hold a schedule become warm-start
     // ancestors for later structural neighbours.
     if lookup == Lookup::Miss {
         let stats = &outcome.stats;
-        shared
-            .incr_seed_hits
-            .fetch_add(stats.incr_seed_hits as u64, Ordering::Relaxed);
-        shared
-            .incr_replayed
-            .fetch_add(stats.incr_replayed as u64, Ordering::Relaxed);
-        shared
-            .incr_states_saved
-            .fetch_add(stats.incr_states_saved as u64, Ordering::Relaxed);
+        shared.incr_seed_hits.add(stats.incr_seed_hits as u64);
+        shared.incr_replayed.add(stats.incr_replayed as u64);
+        shared.incr_states_saved.add(stats.incr_states_saved as u64);
     }
     if outcome.feasible && matches!(lookup, Lookup::Miss | Lookup::Disk) {
         shared.cache.note_ancestor(structure, digest);
@@ -989,9 +1410,9 @@ fn schedule(shared: &Shared, request: &Request) -> Response {
 /// the point fan-out (per-point synthesis stays sequential), so it can
 /// never change the rows; wall-clock and dedup provenance travel in
 /// `X-Ezrt-Sweep-*` headers, never in the body.
-fn sweep(shared: &Shared, request: &Request) -> Response {
-    shared.sweep_requests.fetch_add(1, Ordering::Relaxed);
-    let project = match parse_project(shared, request) {
+fn sweep(shared: &Shared, request: &Request, timing: &mut RequestTiming) -> Response {
+    shared.sweep_requests.inc();
+    let project = match timing.time("parse", || parse_project(shared, request)) {
         Ok(project) => project,
         Err(response) => return response,
     };
@@ -1011,13 +1432,13 @@ fn sweep(shared: &Shared, request: &Request) -> Response {
     };
     // Oversize grids come back from the engine as the only error it
     // reports; everything per-point is a row, not a failure.
-    let report = match run_sweep(project.spec(), &grid, &options, &shared.cache) {
+    let report = match timing.time("search", || {
+        run_sweep(project.spec(), &grid, &options, &shared.cache)
+    }) {
         Ok(report) => report,
         Err(message) => return Response::error(400, &message),
     };
-    shared
-        .sweep_points
-        .fetch_add(report.rows.len() as u64, Ordering::Relaxed);
+    shared.sweep_points.add(report.rows.len() as u64);
     let mut response = Response::json(200, report.render());
     response.content_type = "application/x-ndjson";
     response
@@ -1082,8 +1503,13 @@ fn warm_ancestor(
 /// cache. Never synthesizes — an unknown digest is a 404, not a queued
 /// search (and not a 304: a conditional request still requires the
 /// resource to exist here).
-fn artifact_get(shared: &Shared, rest: &str, request: &Request) -> Response {
-    shared.artifact_requests.fetch_add(1, Ordering::Relaxed);
+fn artifact_get(
+    shared: &Shared,
+    rest: &str,
+    request: &Request,
+    timing: &mut RequestTiming,
+) -> Response {
+    shared.artifact_requests.inc();
     let Some((digest_hex, kind_text)) = rest.split_once('/') else {
         return Response::error(400, "expected /v1/artifact/<digest>/<kind>");
     };
@@ -1094,28 +1520,44 @@ fn artifact_get(shared: &Shared, rest: &str, request: &Request) -> Response {
         Ok(kind) => kind,
         Err(message) => return Response::error(400, &message),
     };
-    let Some((outcome, lookup)) = shared.cache.lookup(digest) else {
+    let lookup_result = timing.time("cache", || shared.cache.lookup(digest));
+    let Some((outcome, lookup)) = lookup_result else {
         return Response::error(
             404,
             &format!("no cached outcome for digest {digest}; POST the spec first"),
         );
     };
-    respond_artifact(shared, &outcome, kind, lookup, request)
+    respond_artifact(shared, &outcome, kind, lookup, request, timing)
 }
 
 /// `POST /v1/table|/v1/codegen|/v1/gantt`: synthesize (through the
 /// cache) and render one artifact of the posted spec.
-fn artifact_post(shared: &Shared, request: &Request, kind: ArtifactKind) -> Response {
-    shared.artifact_requests.fetch_add(1, Ordering::Relaxed);
-    let project = match parse_project(shared, request) {
+fn artifact_post(
+    shared: &Shared,
+    request: &Request,
+    kind: ArtifactKind,
+    timing: &mut RequestTiming,
+) -> Response {
+    shared.artifact_requests.inc();
+    let project = match timing.time("parse", || parse_project(shared, request)) {
         Ok(project) => project,
         Err(response) => return response,
     };
-    let digest = project_digest(&project);
-    let (outcome, lookup) = shared
-        .cache
-        .get_or_compute(digest, || compute_outcome(&project, digest));
-    respond_artifact(shared, &outcome, kind, lookup, request)
+    let digest = timing.time("digest", || project_digest(&project));
+    let search_micros = std::cell::Cell::new(0u64);
+    let lookup_started = Instant::now();
+    let (outcome, lookup) = shared.cache.get_or_compute(digest, || {
+        let search_started = Instant::now();
+        let outcome = compute_outcome(&project, digest);
+        search_micros.set(search_started.elapsed().as_micros() as u64);
+        outcome
+    });
+    let lookup_micros = lookup_started.elapsed().as_micros() as u64;
+    timing.phase("cache", lookup_micros.saturating_sub(search_micros.get()));
+    if lookup == Lookup::Miss {
+        timing.phase("search", search_micros.get());
+    }
+    respond_artifact(shared, &outcome, kind, lookup, request, timing)
 }
 
 /// Serves `kind` of a cached outcome: a conditional hit is a
@@ -1130,6 +1572,7 @@ fn respond_artifact(
     kind: ArtifactKind,
     lookup: Lookup,
     request: &Request,
+    timing: &mut RequestTiming,
 ) -> Response {
     let etag = artifact_etag(&outcome.digest, kind);
     // The tag alone proves the client's copy is current (artifacts are
@@ -1147,7 +1590,7 @@ fn respond_artifact(
         ];
         return response;
     }
-    match shared.cache.render_artifact(outcome, kind) {
+    match timing.time("render", || shared.cache.render_artifact(outcome, kind)) {
         Ok(artifact) => Response {
             status: 200,
             content_type: artifact.content_type,
@@ -1170,12 +1613,12 @@ fn respond_artifact(
     }
 }
 
-fn check(request: &Request) -> Response {
+fn check(request: &Request, timing: &mut RequestTiming) -> Response {
     let xml = match std::str::from_utf8(&request.body) {
         Ok(xml) => xml,
         Err(_) => return Response::error(400, "spec body is not UTF-8"),
     };
-    let project = match Project::from_dsl(xml) {
+    let project = match timing.time("parse", || Project::from_dsl(xml)) {
         Ok(project) => project,
         Err(error) => {
             return Response::json(
@@ -1204,94 +1647,76 @@ fn check(request: &Request) -> Response {
     Response::json(200, report::render_pretty(&fields))
 }
 
+/// `GET /v1/stats`: the human-facing JSON counters, rendered from one
+/// [`StatsSnapshot`] so every field reflects the same instant. The
+/// field list, order and formatting are frozen — clients parse this.
 fn stats(shared: &Shared) -> Response {
-    let cache = shared.cache.stats();
-    let disk = shared.cache.disk_stats().unwrap_or_default();
-    let rendered = shared.cache.rendered_stats();
-    let connections = shared.connections.load(Ordering::Relaxed);
-    let requests = shared.requests.load(Ordering::Relaxed);
+    let snap = shared.snapshot();
     let fields: JsonFields = vec![
         ("status", "\"ok\"".to_owned()),
         (
             "uptime_ms",
-            format!("{:.3}", shared.started.elapsed().as_secs_f64() * 1e3),
+            format!("{:.3}", snap.uptime.as_secs_f64() * 1e3),
         ),
-        ("workers", shared.workers.to_string()),
-        (
-            "default_jobs",
-            shared.scheduler.parallelism.jobs().to_string(),
-        ),
-        ("connections", connections.to_string()),
-        ("requests", requests.to_string()),
+        ("workers", snap.workers.to_string()),
+        ("default_jobs", snap.default_jobs.to_string()),
+        ("connections", snap.connections.to_string()),
+        ("requests", snap.requests.to_string()),
         (
             "requests_per_connection",
-            format!("{:.3}", requests as f64 / connections.max(1) as f64),
+            format!(
+                "{:.3}",
+                snap.requests as f64 / snap.connections.max(1) as f64
+            ),
         ),
-        ("max_pending", shared.max_pending.to_string()),
-        (
-            "shed_connections",
-            shared.shed_connections.load(Ordering::Relaxed).to_string(),
-        ),
-        (
-            "schedule_requests",
-            shared.schedule_requests.load(Ordering::Relaxed).to_string(),
-        ),
-        (
-            "artifact_requests",
-            shared.artifact_requests.load(Ordering::Relaxed).to_string(),
-        ),
-        (
-            "sweep_requests",
-            shared.sweep_requests.load(Ordering::Relaxed).to_string(),
-        ),
-        (
-            "sweep_points",
-            shared.sweep_points.load(Ordering::Relaxed).to_string(),
-        ),
-        (
-            "http_errors",
-            shared.http_errors.load(Ordering::Relaxed).to_string(),
-        ),
-        (
-            "not_modified",
-            shared.not_modified.load(Ordering::Relaxed).to_string(),
-        ),
-        (
-            "incr_seed_hits",
-            shared.incr_seed_hits.load(Ordering::Relaxed).to_string(),
-        ),
-        (
-            "incr_replayed",
-            shared.incr_replayed.load(Ordering::Relaxed).to_string(),
-        ),
-        (
-            "incr_states_saved",
-            shared.incr_states_saved.load(Ordering::Relaxed).to_string(),
-        ),
-        ("cache_capacity", cache.capacity.to_string()),
-        ("cache_entries", cache.entries.to_string()),
-        ("cache_inflight", cache.inflight.to_string()),
-        ("cache_hits", cache.hits.to_string()),
-        ("cache_disk_hits", cache.disk_hits.to_string()),
-        ("cache_misses", cache.misses.to_string()),
-        ("cache_joined", cache.joined.to_string()),
-        ("cache_evictions", cache.evictions.to_string()),
-        ("rendered_capacity", rendered.capacity.to_string()),
-        ("rendered_entries", rendered.entries.to_string()),
-        ("rendered_hits", rendered.hits.to_string()),
-        ("rendered_misses", rendered.misses.to_string()),
-        ("rendered_evictions", rendered.evictions.to_string()),
-        ("rendered_bytes", rendered.bytes.to_string()),
-        ("disk_writes", disk.writes.to_string()),
-        ("disk_load_errors", disk.load_errors.to_string()),
-        ("disk_gc_evicted", disk.gc_evicted.to_string()),
-        ("disk_gc_reaped", disk.gc_reaped.to_string()),
+        ("max_pending", snap.max_pending.to_string()),
+        ("shed_connections", snap.shed_connections.to_string()),
+        ("schedule_requests", snap.schedule_requests.to_string()),
+        ("artifact_requests", snap.artifact_requests.to_string()),
+        ("sweep_requests", snap.sweep_requests.to_string()),
+        ("sweep_points", snap.sweep_points.to_string()),
+        ("http_errors", snap.http_errors.to_string()),
+        ("not_modified", snap.not_modified.to_string()),
+        ("incr_seed_hits", snap.incr_seed_hits.to_string()),
+        ("incr_replayed", snap.incr_replayed.to_string()),
+        ("incr_states_saved", snap.incr_states_saved.to_string()),
+        ("cache_capacity", snap.cache.capacity.to_string()),
+        ("cache_entries", snap.cache.entries.to_string()),
+        ("cache_inflight", snap.cache.inflight.to_string()),
+        ("cache_hits", snap.cache.hits.to_string()),
+        ("cache_disk_hits", snap.cache.disk_hits.to_string()),
+        ("cache_misses", snap.cache.misses.to_string()),
+        ("cache_joined", snap.cache.joined.to_string()),
+        ("cache_evictions", snap.cache.evictions.to_string()),
+        ("rendered_capacity", snap.rendered.capacity.to_string()),
+        ("rendered_entries", snap.rendered.entries.to_string()),
+        ("rendered_hits", snap.rendered.hits.to_string()),
+        ("rendered_misses", snap.rendered.misses.to_string()),
+        ("rendered_evictions", snap.rendered.evictions.to_string()),
+        ("rendered_bytes", snap.rendered.bytes.to_string()),
+        ("disk_writes", snap.disk.writes.to_string()),
+        ("disk_load_errors", snap.disk.load_errors.to_string()),
+        ("disk_gc_evicted", snap.disk.gc_evicted.to_string()),
+        ("disk_gc_reaped", snap.disk.gc_reaped.to_string()),
         (
             "disk_gc_reclaimed_bytes",
-            disk.gc_reclaimed_bytes.to_string(),
+            snap.disk.gc_reclaimed_bytes.to_string(),
         ),
     ];
     Response::json(200, report::render_pretty(&fields))
+}
+
+/// `GET /v1/metrics`: Prometheus text exposition (version 0.0.4) of the
+/// per-server registry merged with the process-wide engine registry.
+/// Scrape-time gauges are refreshed from a [`StatsSnapshot`] first, so
+/// counters and gauges in one scrape agree.
+fn metrics(shared: &Shared) -> Response {
+    let snap = shared.snapshot();
+    shared.gauges.set_from(&snap);
+    let text = ezrt_obs::render_prometheus(&[&shared.registry, ezrt_obs::global()]);
+    let mut response = Response::json(200, text);
+    response.content_type = "text/plain; version=0.0.4";
+    response
 }
 
 /// Extracts `key=value` from a raw query string (no percent-decoding —

@@ -38,7 +38,10 @@
 //!   `POST /v1/schedule`, `POST /v1/check`, `POST /v1/table`,
 //!   `POST /v1/codegen`, `POST /v1/gantt`, `POST /v1/sweep`,
 //!   `GET /v1/artifact/<digest>/<kind>`, `GET /v1/healthz`,
-//!   `GET /v1/stats` and `POST /v1/shutdown` over a fixed worker pool;
+//!   `GET /v1/stats`, `GET /v1/metrics` (Prometheus text exposition of
+//!   the `ezrt_obs` registries) and `POST /v1/shutdown` over a fixed
+//!   worker pool, with per-phase `Server-Timing` headers and an
+//!   optional NDJSON access log;
 //! * [`batch`] — offline fan-out of a directory of spec files through
 //!   the *same* queue + cache, one JSON line per spec;
 //! * [`sweep`] — the feasibility-frontier engine: a base spec crossed

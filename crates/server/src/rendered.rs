@@ -22,6 +22,7 @@
 use crate::cache::SynthesisOutcome;
 use crate::digest::SpecDigest;
 use ezrt_artifacts::{render, ArtifactKind, RenderError};
+use ezrt_obs::{Counter, Registry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -79,10 +80,11 @@ pub struct RenderedCache {
     per_shard_capacity: usize,
     /// Global LRU clock, bumped on every hit and insert.
     tick: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
     /// Resident rendered bytes, maintained on insert/replace/evict.
+    /// A gauge, not a counter — it shrinks on evictions.
     bytes: AtomicU64,
 }
 
@@ -99,11 +101,32 @@ impl RenderedCache {
             capacity,
             per_shard_capacity: capacity.div_ceil(shards),
             tick: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
             bytes: AtomicU64::new(0),
         }
+    }
+
+    /// Registers the rendered tier's counters into `registry`. The
+    /// resident entry/byte gauges are scrape-time values taken from
+    /// [`stats`](Self::stats) instead.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter(
+            "ezrt_rendered_hits_total",
+            "Artifact requests served from a resident rendered entry.",
+            &self.hits,
+        );
+        registry.register_counter(
+            "ezrt_rendered_misses_total",
+            "Artifact requests that ran the render.",
+            &self.misses,
+        );
+        registry.register_counter(
+            "ezrt_rendered_evictions_total",
+            "Rendered entries evicted under LRU pressure.",
+            &self.evictions,
+        );
     }
 
     fn shard(&self, key: &Key) -> &Mutex<HashMap<Key, Entry>> {
@@ -131,7 +154,7 @@ impl RenderedCache {
             let mut shard = self.shard(&key).lock().expect("rendered shard poisoned");
             if let Some(entry) = shard.get_mut(&key) {
                 entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 return Ok(RenderedArtifact {
                     kind,
                     content_type: kind.content_type(),
@@ -143,7 +166,7 @@ impl RenderedCache {
         // Render outside the shard lock: purity makes a racing double
         // render harmless (identical bytes, last insert wins).
         let artifact = render(outcome, kind)?;
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let bytes: Arc<[u8]> = artifact.text.into_bytes().into();
         if self.capacity > 0 {
             self.insert(key, &bytes);
@@ -182,7 +205,7 @@ impl RenderedCache {
                 self.bytes
                     .fetch_sub(evicted.bytes.len() as u64, Ordering::Relaxed);
             }
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
     }
 
@@ -194,9 +217,9 @@ impl RenderedCache {
             entries += shard.lock().expect("rendered shard poisoned").len();
         }
         RenderedStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
             entries,
             bytes: self.bytes.load(Ordering::Relaxed),
             capacity: self.capacity,

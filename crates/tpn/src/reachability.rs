@@ -310,6 +310,7 @@ pub fn explore(
     mode: DelayMode,
     limits: ExplorationLimits,
 ) -> ReachabilityReport {
+    let _span = ezrt_obs::span("explore");
     let mut explorer = Explorer::new(net);
     let mut queue: VecDeque<(StateId, usize)> = VecDeque::new();
     let mut edges: Vec<SuccessorEdge> = Vec::new();
@@ -611,6 +612,7 @@ pub fn explore_parallel(
     if parallelism.is_sequential() {
         return explore(net, mode, limits);
     }
+    let _span = ezrt_obs::span("explore-parallel");
     let jobs = parallelism.jobs();
     let place_count = net.layout().place_count();
     let arena = ShardedArena::new(net.layout(), jobs);

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Validates a Prometheus text exposition (format 0.0.4) as served by
+# `GET /v1/metrics`: every sample belongs to a family announced by a
+# `# TYPE` line, `# HELP` precedes its `# TYPE`, family names arrive in
+# sorted order, sample values parse as numbers, and every histogram's
+# `+Inf` bucket equals its `_count`. Offline, awk-only — the CI smoke
+# step pipes a live scrape through it.
+#
+# Usage: scripts/check-prometheus.sh [exposition.txt]
+# With no argument, reads stdin.
+set -euo pipefail
+
+awk '
+function fail(msg) { printf "line %d: %s: %s\n", NR, msg, $0 > "/dev/stderr"; bad = 1 }
+/^# HELP / {
+    name = $3
+    if (name <= last_family) fail("families out of sorted order")
+    helped = name
+    next
+}
+/^# TYPE / {
+    name = $3; kind = $4
+    if (helped != name) fail("TYPE without preceding HELP")
+    if (kind != "counter" && kind != "gauge" && kind != "histogram") fail("unknown type")
+    type[name] = kind
+    last_family = name
+    families++
+    next
+}
+/^#/ { next }
+/^$/ { next }
+{
+    # Sample line: name{labels} value — value is the last field.
+    value = $NF
+    if (value !~ /^[+-]?[0-9]+([.][0-9]+)?([eE][+-]?[0-9]+)?$/ && value != "+Inf" && value != "NaN")
+        fail("unparseable sample value")
+    key = $1
+    sub(/\{.*/, "", key)
+    base = key
+    sub(/_bucket$/, "", base); sub(/_sum$/, "", base); sub(/_count$/, "", base)
+    if (key in type) base = key
+    if (!(base in type)) fail("sample outside any announced family")
+    samples++
+    if ($1 ~ /_bucket\{le="\+Inf"\}/) { sub(/_bucket$/, "", key); inf[key] = value }
+    if (key ~ /_count$/) { sub(/_count$/, "", key); count[key] = value }
+}
+END {
+    for (name in type) {
+        if (type[name] == "histogram") {
+            if (!(name in inf)) { printf "histogram %s has no +Inf bucket\n", name > "/dev/stderr"; bad = 1 }
+            else if (inf[name] != count[name]) {
+                printf "histogram %s: +Inf bucket %s != _count %s\n", name, inf[name], count[name] > "/dev/stderr"
+                bad = 1
+            }
+        }
+    }
+    if (families == 0 || samples == 0) { print "empty exposition" > "/dev/stderr"; bad = 1 }
+    if (bad) { print "prometheus exposition check FAILED" > "/dev/stderr"; exit 1 }
+    printf "prometheus exposition OK (%d families, %d samples)\n", families, samples
+}
+' "${1:--}"

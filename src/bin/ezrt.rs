@@ -89,6 +89,8 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     let warm_from = take_option_value(&mut args, "--warm-from")?;
     let grid = take_option_value(&mut args, "--grid")?;
+    let trace = take_flag(&mut args, "--trace");
+    let log_file = take_option_value(&mut args, "--log-file")?;
 
     let Some(command) = args.first() else {
         return Err(usage());
@@ -103,16 +105,37 @@ fn run(args: &[String]) -> Result<(), String> {
     if grid.is_some() && command != "sweep" {
         return Err("--grid is only supported by `ezrt sweep`".to_owned());
     }
+    if log_file.is_some() && command != "serve" {
+        return Err("--log-file is only supported by `ezrt serve`".to_owned());
+    }
+    if trace && command == "serve" {
+        return Err(
+            "--trace is for one-shot commands; `ezrt serve` exposes GET /v1/metrics instead"
+                .to_owned(),
+        );
+    }
+    if trace {
+        ezrealtime::obs::set_tracing(true);
+    }
     // serve and batch take no spec-file argument; route them before the
     // common load-one-spec path.
     if command == "serve" {
         if json {
             return Err("--json is only supported by `ezrt schedule` and `ezrt batch`".to_owned());
         }
-        return serve(&mut args, jobs, cache_dir, cache_max_bytes);
+        return serve(
+            &mut args,
+            jobs,
+            cache_dir,
+            cache_max_bytes,
+            log_file.as_deref(),
+        );
     }
     if command == "batch" {
-        return batch(&mut args, jobs, json, cache_dir, cache_max_bytes);
+        return finish_trace(
+            trace,
+            batch(&mut args, jobs, json, cache_dir, cache_max_bytes),
+        );
     }
     if json && command != "schedule" {
         return Err("--json is only supported by `ezrt schedule` and `ezrt batch`".to_owned());
@@ -139,7 +162,7 @@ fn run(args: &[String]) -> Result<(), String> {
     // disk, and the rendered-byte tier behind the artifact commands.
     let cache = artifact_cache(cache_dir, cache_max_bytes)?;
 
-    match command.as_str() {
+    let result = match command.as_str() {
         "check" => check(&project),
         "schedule" => schedule(&project, json, &cache, warm_from.as_deref()),
         "gantt" => gantt(&project, args.get(2), args.get(3), &cache),
@@ -164,7 +187,26 @@ fn run(args: &[String]) -> Result<(), String> {
         "analyze" => analyze(&project),
         "invariants" => invariants(&project),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    finish_trace(trace, result)
+}
+
+/// Prints the aggregated span tree of a `--trace` run to **stderr** —
+/// never stdout, whose bytes are the artifact contract shared with the
+/// HTTP surface — then passes the command result through.
+fn finish_trace(trace: bool, result: Result<(), String>) -> Result<(), String> {
+    if trace {
+        let tree = ezrealtime::obs::drain_spans();
+        eprintln!("ezrt trace:");
+        if tree.is_empty() {
+            eprintln!("  (no spans recorded)");
+        } else {
+            for line in tree.render().lines() {
+                eprintln!("  {line}");
+            }
+        }
     }
+    result
 }
 
 /// Removes `--flag value` from `args`, returning the value when present.
@@ -224,8 +266,9 @@ fn usage() -> String {
      \x20           (POST /v1/schedule|/v1/check|/v1/table|/v1/codegen|/v1/gantt,\n\
      \x20           POST /v1/sweep?grid=...,\n\
      \x20           GET /v1/artifact/<digest>/<kind>, GET /v1/healthz,\n\
-     \x20           GET /v1/stats, POST /v1/shutdown); results are cached\n\
-     \x20           by spec digest\n\
+     \x20           GET /v1/stats, GET /v1/metrics, POST /v1/shutdown);\n\
+     \x20           results are cached by spec digest; --log-file FILE\n\
+     \x20           appends one NDJSON access-log line per request\n\
      \x20 batch     <dir> [--json] synthesize every *.xml spec under dir\n\
      \x20           through the same digest cache, one row per spec\n\
      \x20           (--jobs fans out files; per-spec search stays sequential)\n\
@@ -237,7 +280,10 @@ fn usage() -> String {
      \x20                 found there are reused, fresh results are written back\n\
      \x20 --cache-max-bytes B  keep the --cache-dir store under B bytes\n\
      \x20                 (mtime-LRU sweep at startup and after writes;\n\
-     \x20                 stale temp files and misnamed entries are reaped)"
+     \x20                 stale temp files and misnamed entries are reaped)\n\
+     \x20 --trace         one-shot commands only: print the aggregated\n\
+     \x20                 span tree (parse, translate, search, render, ...)\n\
+     \x20                 to stderr after the command; stdout is unchanged"
         .to_owned()
 }
 
@@ -252,6 +298,7 @@ fn serve(
     jobs: usize,
     cache_dir: Option<&str>,
     cache_max_bytes: Option<u64>,
+    log_file: Option<&str>,
 ) -> Result<(), String> {
     let addr = take_option_value(args, "--addr")?
         .ok_or_else(|| format!("serve requires --addr HOST:PORT\n{}", usage()))?;
@@ -289,6 +336,7 @@ fn serve(
         cache_dir: cache_dir.map(std::path::PathBuf::from),
         cache_max_bytes,
         max_pending,
+        log_file: log_file.map(std::path::PathBuf::from),
     };
     let server = Server::start(&addr, config)?;
     println!("ezrt serve: listening on http://{}", server.addr());
@@ -297,6 +345,9 @@ fn serve(
     );
     if let Some(dir) = cache_dir {
         println!("ezrt serve: persistent cache at {dir}");
+    }
+    if let Some(path) = log_file {
+        println!("ezrt serve: access log at {path}");
     }
     use std::io::Write;
     let _ = std::io::stdout().flush();

@@ -56,6 +56,7 @@ pub use ezrt_codegen as codegen;
 pub use ezrt_compose as compose;
 pub use ezrt_core as core;
 pub use ezrt_dsl as dsl;
+pub use ezrt_obs as obs;
 pub use ezrt_pnml as pnml;
 pub use ezrt_scheduler as scheduler;
 pub use ezrt_server as server;

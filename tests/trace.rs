@@ -1,0 +1,86 @@
+//! The `--trace` surface: span-tree determinism for the sequential
+//! engine (same spec, same `--jobs 1` run → byte-identical tree
+//! *structure*; durations of course vary) and the CLI contract that
+//! `--trace` writes the tree to stderr while stdout stays the artifact
+//! byte stream.
+
+use std::process::Command;
+
+fn ezrt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ezrt"))
+}
+
+fn spec_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/feasible__diamond.xml")
+}
+
+/// One traced sequential synthesis, returning the duration-free span
+/// structure. In-process (not through the binary) so the tree is the
+/// library's own, not filtered through CLI formatting.
+fn traced_structure(document: &str) -> String {
+    ezrealtime::obs::set_tracing(true);
+    let project = ezrealtime::core::Project::from_dsl(document)
+        .expect("corpus spec parses")
+        .with_jobs(1);
+    let outcome = project.synthesize().expect("corpus spec is feasible");
+    drop(outcome);
+    ezrealtime::obs::set_tracing(false);
+    ezrealtime::obs::drain_spans().structure()
+}
+
+#[test]
+fn sequential_span_tree_structure_is_deterministic() {
+    let document = std::fs::read_to_string(spec_path()).expect("read corpus spec");
+    let first = traced_structure(&document);
+    assert!(
+        first.contains("synthesize"),
+        "missing synthesize span:\n{first}"
+    );
+    for child in ["translate", "search", "derive"] {
+        assert!(first.contains(child), "missing {child} span:\n{first}");
+    }
+    let second = traced_structure(&document);
+    assert_eq!(
+        first, second,
+        "the --jobs 1 span tree must be run-to-run identical"
+    );
+}
+
+#[test]
+fn cli_trace_prints_to_stderr_and_leaves_stdout_unchanged() {
+    let spec = spec_path();
+    let spec = spec.to_str().expect("utf-8 path");
+
+    let plain = ezrt()
+        .args(["table", spec])
+        .output()
+        .expect("ezrt table runs");
+    assert!(plain.status.success());
+    assert!(plain.stderr.is_empty(), "untraced runs keep stderr silent");
+
+    let traced = ezrt()
+        .args(["--trace", "table", spec])
+        .output()
+        .expect("ezrt --trace table runs");
+    assert!(traced.status.success());
+    // stdout is the artifact contract (shared byte-for-byte with the
+    // HTTP surface): --trace must not perturb it. `table` output
+    // carries no wall-clock fields, so the comparison is exact.
+    assert_eq!(
+        plain.stdout, traced.stdout,
+        "--trace changed the artifact bytes"
+    );
+    let stderr = String::from_utf8(traced.stderr).expect("UTF-8 stderr");
+    assert!(stderr.contains("ezrt trace:"), "{stderr}");
+    for span in ["parse-dsl", "digest", "synthesize", "search", "render"] {
+        assert!(stderr.contains(span), "missing {span} span in:\n{stderr}");
+    }
+
+    // serve is long-running and scrapes via /v1/metrics instead; the
+    // flag combination is rejected up front.
+    let refused = ezrt()
+        .args(["--trace", "serve", "--addr", "127.0.0.1:0"])
+        .output()
+        .expect("ezrt --trace serve runs");
+    assert!(!refused.status.success());
+}

@@ -38,8 +38,9 @@ pub const MAGIC: &[u8; 8] = b"EZRTCHE\0";
 /// The format version; bump on any encoding change so older files are
 /// discarded (and re-synthesized) instead of misread. Version 2 added
 /// the incremental-synthesis counters (`incr_*`) to the stats block and
-/// the sub-digest report fields.
-pub const FORMAT_VERSION: u32 = 2;
+/// the sub-digest report fields; version 3 added the partial-order
+/// reduction counters (`por_*`).
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Why a cache file could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -154,6 +155,9 @@ fn encode_payload(outcome: &SynthesisOutcome) -> Vec<u8> {
     w.u64(stats.incr_seed_hits as u64);
     w.u64(stats.incr_replayed as u64);
     w.u64(stats.incr_states_saved as u64);
+    w.u64(stats.por_stubborn_skips as u64);
+    w.u64(stats.por_sleep_skips as u64);
+    w.u64(stats.por_overlap_skips as u64);
 
     match &outcome.solution {
         None => w.u8(0),
@@ -212,6 +216,9 @@ fn decode_payload(payload: &[u8]) -> Result<SynthesisOutcome, CodecError> {
         incr_seed_hits: r.u64()? as usize,
         incr_replayed: r.u64()? as usize,
         incr_states_saved: r.u64()? as usize,
+        por_stubborn_skips: r.u64()? as usize,
+        por_sleep_skips: r.u64()? as usize,
+        por_overlap_skips: r.u64()? as usize,
     };
 
     let solution = match r.u8()? {

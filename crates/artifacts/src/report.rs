@@ -80,6 +80,9 @@ pub fn success_fields(digest: &SpecDigest, project: &Project, outcome: &Outcome)
         ("incr_seed_hits", stats.incr_seed_hits.to_string()),
         ("incr_replayed", stats.incr_replayed.to_string()),
         ("incr_states_saved", stats.incr_states_saved.to_string()),
+        ("por_stubborn_skips", stats.por_stubborn_skips.to_string()),
+        ("por_sleep_skips", stats.por_sleep_skips.to_string()),
+        ("por_overlap_skips", stats.por_overlap_skips.to_string()),
         ("violations", violations.to_string()),
     ]
 }
@@ -105,6 +108,9 @@ pub fn failure_fields(digest: &SpecDigest, error: &SynthesizeError) -> JsonField
         ),
         ("jobs", stats.jobs.to_string()),
         ("steals", stats.steals.to_string()),
+        ("por_stubborn_skips", stats.por_stubborn_skips.to_string()),
+        ("por_sleep_skips", stats.por_sleep_skips.to_string()),
+        ("por_overlap_skips", stats.por_overlap_skips.to_string()),
     ]
 }
 
@@ -136,6 +142,9 @@ pub const FIELD_KEYS: &[&str] = &[
     "incr_seed_hits",
     "incr_replayed",
     "incr_states_saved",
+    "por_stubborn_skips",
+    "por_sleep_skips",
+    "por_overlap_skips",
     "violations",
 ];
 

@@ -2,43 +2,34 @@
 //! devices the paper leans on:
 //!
 //! * X2: the partial-order reduction (Lilius-style pruning, §4.4.1)
-//!   on versus off;
+//!   at its three strengths — `off`, the `classic` all-or-nothing
+//!   class rule, and the default `stubborn`+sleep-set reduction;
 //! * X3: EDF branch ordering versus naive FIFO ordering.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ezrt_bench::{sweep_spec, SWEEP_SEEDS};
 use ezrt_compose::translate;
-use ezrt_scheduler::{synthesize, synthesize_reference, BranchOrdering, SchedulerConfig};
+use ezrt_scheduler::{synthesize, synthesize_reference, BranchOrdering, PorLevel, SchedulerConfig};
 use ezrt_spec::corpus::small_control;
 use std::hint::black_box;
 
+const POR_LEVELS: [PorLevel; 3] = [PorLevel::Stubborn, PorLevel::Classic, PorLevel::Off];
+
 fn report_ablation_shape() {
     let specs: Vec<_> = SWEEP_SEEDS.iter().map(|&s| sweep_spec(6, s)).collect();
-    let mut rows: Vec<(&str, SchedulerConfig)> = vec![
-        ("por=on,  edf", SchedulerConfig::default()),
-        (
-            "por=off, edf",
-            SchedulerConfig {
-                partial_order_reduction: false,
-                ..SchedulerConfig::default()
-            },
-        ),
-        (
-            "por=on,  fifo",
-            SchedulerConfig {
-                ordering: BranchOrdering::Fifo,
-                ..SchedulerConfig::default()
-            },
-        ),
-        (
-            "por=off, fifo",
-            SchedulerConfig {
-                partial_order_reduction: false,
-                ordering: BranchOrdering::Fifo,
-                ..SchedulerConfig::default()
-            },
-        ),
-    ];
+    let mut rows: Vec<(String, SchedulerConfig)> = Vec::new();
+    for ordering in [BranchOrdering::Edf, BranchOrdering::Fifo] {
+        for por in POR_LEVELS {
+            rows.push((
+                format!("por={:<8} {ordering:?}", por.name()),
+                SchedulerConfig {
+                    por,
+                    ordering,
+                    ..SchedulerConfig::default()
+                },
+            ));
+        }
+    }
     for (label, config) in rows.iter_mut() {
         config.max_states = 2_000_000;
         let mut visited = 0usize;
@@ -62,30 +53,36 @@ fn report_ablation_shape() {
 /// POR earns its keep on simultaneous-arrival waves: the mine pump
 /// releases all 10 tasks at t = 0 and six more at every 500-boundary,
 /// and without the reduction the search wanders the permutation lattice
-/// of those independent arrival firings.
+/// of those independent arrival firings. (Stubborn matches classic here
+/// — the pump's residual branching is genuinely dependent grant
+/// arbitration — which is itself a §4.4.1 data point.)
 fn report_mine_pump_por() {
     use ezrt_spec::corpus::mine_pump;
     let tasknet = translate(&mine_pump());
-    for (label, por) in [("por=on", true), ("por=off", false)] {
+    for por in POR_LEVELS {
         let config = SchedulerConfig {
-            partial_order_reduction: por,
+            por,
             max_states: 5_000_000,
             ..SchedulerConfig::default()
         };
         match synthesize(&tasknet, &config) {
             Ok(s) => eprintln!(
-                "[X2] mine pump {label}: visited {} (minimum {})",
+                "[X2] mine pump por={}: visited {} (minimum {}, stubborn skips {}, sleep skips {})",
+                por.name(),
                 s.stats.states_visited,
-                s.stats.minimum_states()
+                s.stats.minimum_states(),
+                s.stats.por_stubborn_skips,
+                s.stats.por_sleep_skips,
             ),
-            Err(e) => eprintln!("[X2] mine pump {label}: {e}"),
+            Err(e) => eprintln!("[X2] mine pump por={}: {e}", por.name()),
         }
     }
 }
 
-/// Exhaustive-search cost (infeasibility proof) with and without the
-/// reduction: the delta equals the arrival-permutation lattice the
-/// reduction collapses (2^k − k for k simultaneous arrivals).
+/// Exhaustive-search cost (infeasibility proof) at each reduction level:
+/// the classic-vs-off delta equals the arrival-permutation lattice the
+/// class rule collapses (2^k − k for k simultaneous arrivals), and
+/// stubborn trims the partially conflicting classes classic bails on.
 fn report_infeasibility_proof_cost() {
     use ezrt_spec::SpecBuilder;
     let mut b = SpecBuilder::new("overload8");
@@ -96,15 +93,16 @@ fn report_infeasibility_proof_cost() {
     }
     let spec = b.build().expect("valid but overloaded");
     let tasknet = translate(&spec);
-    for (label, por) in [("por=on ", true), ("por=off", false)] {
+    for por in POR_LEVELS {
         let config = SchedulerConfig {
-            partial_order_reduction: por,
+            por,
             max_states: 5_000_000,
             ..SchedulerConfig::default()
         };
         if let Err(e) = synthesize(&tasknet, &config) {
             eprintln!(
-                "[X2] infeasibility proof {label}: visited {}",
+                "[X2] infeasibility proof por={:<8}: visited {}",
+                por.name(),
                 e.stats().states_visited
             );
         }
@@ -112,13 +110,18 @@ fn report_infeasibility_proof_cost() {
 }
 
 /// X6 — the packed-kernel ablation: the same search with the preserved
-/// value-typed kernel versus the packed one, on the mine pump. Both visit
-/// identical states (equivalence-tested), so the throughput delta is
-/// purely the state representation and duplicate detection.
+/// value-typed kernel versus the packed one, on the mine pump. The
+/// reference engine implements the classic reduction, so both sides run
+/// `por=classic` and visit identical states (equivalence-tested); the
+/// throughput delta is purely the state representation and duplicate
+/// detection.
 fn report_kernel_ablation() {
     use ezrt_spec::corpus::mine_pump;
     let tasknet = translate(&mine_pump());
-    let config = SchedulerConfig::default();
+    let config = SchedulerConfig {
+        por: PorLevel::Classic,
+        ..SchedulerConfig::default()
+    };
     let packed = synthesize(&tasknet, &config);
     let reference = synthesize_reference(&tasknet, &config);
     if let (Ok(packed), Ok(reference)) = (packed, reference) {
@@ -142,18 +145,16 @@ fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
     group.sample_size(20);
 
-    group.bench_function("por_on_edf", |b| {
-        let config = SchedulerConfig::default();
-        b.iter(|| black_box(synthesize(black_box(&tasknet), &config).expect("feasible")))
-    });
-    group.bench_function("por_off_edf", |b| {
-        let config = SchedulerConfig {
-            partial_order_reduction: false,
-            ..SchedulerConfig::default()
-        };
-        b.iter(|| black_box(synthesize(black_box(&tasknet), &config).expect("feasible")))
-    });
-    group.bench_function("por_on_fifo", |b| {
+    for por in POR_LEVELS {
+        group.bench_function(format!("por_{}_edf", por.name()), |b| {
+            let config = SchedulerConfig {
+                por,
+                ..SchedulerConfig::default()
+            };
+            b.iter(|| black_box(synthesize(black_box(&tasknet), &config).expect("feasible")))
+        });
+    }
+    group.bench_function("por_stubborn_fifo", |b| {
         let config = SchedulerConfig {
             ordering: BranchOrdering::Fifo,
             ..SchedulerConfig::default()

@@ -12,7 +12,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ezrt_bench::{sweep_spec, SWEEP_SEEDS, SWEEP_TASK_COUNTS};
 use ezrt_compose::translate;
 use ezrt_scheduler::{
-    synthesize, synthesize_parallel, synthesize_reference, Parallelism, SchedulerConfig,
+    synthesize, synthesize_parallel, synthesize_reference, Parallelism, PorLevel, SchedulerConfig,
 };
 use ezrt_tpn::{ShardedArena, StateLayout, TimeInterval, TpnBuilder};
 use std::hint::black_box;
@@ -123,6 +123,48 @@ fn report_parallel_scaling() {
                 sequential_wall.as_secs_f64() / wall.as_secs_f64().max(1e-9),
                 visited,
                 if result.is_ok() { ", replay ok" } else { "" },
+            );
+        }
+    }
+}
+
+/// The stubborn-set reduction at and beyond one worker: classic versus
+/// stubborn state counts on the 10-task exhaustion proof, sequentially
+/// and at four workers sharing expansion summaries through the arena.
+/// The infeasible shape is where the reduction matters most — the proof
+/// must close the whole reduced space, so every pruned interleaving is
+/// a state the search never pays for.
+fn report_por_scaling() {
+    let tasks = *SWEEP_TASK_COUNTS.last().expect("sweep sizes");
+    let tasknet = translate(&sweep_spec(tasks, ezrt_bench::SWEEP_INFEASIBLE_SEED));
+    eprintln!("[X2] partial-order reduction ({tasks} tasks, infeasibility proof):");
+    for jobs in [1usize, 4] {
+        for por in [PorLevel::Classic, PorLevel::Stubborn] {
+            let config = SchedulerConfig {
+                por,
+                parallelism: Parallelism::new(jobs),
+                ..SchedulerConfig::default()
+            };
+            let started = Instant::now();
+            let result = if jobs > 1 {
+                synthesize_parallel(&tasknet, &config)
+            } else {
+                synthesize(&tasknet, &config)
+            };
+            let wall = started.elapsed();
+            let stats = match &result {
+                Ok(s) => &s.stats,
+                Err(e) => e.stats(),
+            };
+            eprintln!(
+                "[X2]   jobs={jobs} por={:<8}: {} states, {:.1} ms \
+                 (stubborn skips {}, sleep skips {}, overlap skips {})",
+                por.name(),
+                stats.states_visited,
+                wall.as_secs_f64() * 1e3,
+                stats.por_stubborn_skips,
+                stats.por_sleep_skips,
+                stats.por_overlap_skips,
             );
         }
     }
@@ -402,6 +444,7 @@ fn bench_state_space(c: &mut Criterion) {
     report_sweep_shape();
     report_kernel_comparison();
     report_parallel_scaling();
+    report_por_scaling();
     report_incremental();
     report_directory_contention();
     let mut group = c.benchmark_group("state_space");
@@ -437,6 +480,30 @@ fn bench_state_space(c: &mut Criterion) {
             BenchmarkId::new(format!("synthesize_parallel_j{jobs}"), tasks),
             &tasks,
             |b, _| b.iter(|| black_box(synthesize_parallel(black_box(&tasknet), &config))),
+        );
+    }
+    // The POR ablation arms on the largest size: the classic baseline
+    // next to the default stubborn rows above, sequentially and at four
+    // workers, so the reduction's wall-time effect is in every run.
+    {
+        let classic = SchedulerConfig {
+            por: PorLevel::Classic,
+            ..SchedulerConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("synthesize_classic", tasks),
+            &tasks,
+            |b, _| b.iter(|| black_box(synthesize(black_box(&tasknet), &classic))),
+        );
+        let classic_j4 = SchedulerConfig {
+            por: PorLevel::Classic,
+            parallelism: Parallelism::new(4),
+            ..SchedulerConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("synthesize_parallel_j4_classic", tasks),
+            &tasks,
+            |b, _| b.iter(|| black_box(synthesize_parallel(black_box(&tasknet), &classic_j4))),
         );
     }
     // The edit-loop arm: the mine pump with one loosened deadline,

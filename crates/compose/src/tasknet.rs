@@ -3,7 +3,7 @@
 
 use crate::roles::TransitionRole;
 use ezrt_spec::{EzSpec, ProcessorId, SchedulingMethod, TaskId};
-use ezrt_tpn::{Marking, PlaceId, TimePetriNet, TransitionId};
+use ezrt_tpn::{DependencyMatrix, Marking, PlaceId, TimePetriNet, TransitionId};
 
 /// The key transitions of one task's blocks, by role.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +47,8 @@ pub struct TaskNet {
     pub(crate) processor_places: Vec<PlaceId>,
     pub(crate) task_transitions: Vec<TaskTransitions>,
     pub(crate) instances: Vec<u64>,
+    pub(crate) deps: DependencyMatrix,
+    pub(crate) bookkeeping: Vec<u64>,
 }
 
 impl TaskNet {
@@ -86,6 +88,24 @@ impl TaskNet {
     /// Number of instances of `task` in the schedule period.
     pub fn instances_of(&self, task: TaskId) -> u64 {
         self.instances[task.index()]
+    }
+
+    /// The precomputed transition conflict/dependency relation: the
+    /// structural *share-an-input-place* conflicts of the net, with
+    /// same-task transitions additionally marked mutually dependent.
+    /// Built once at translation time; the searches' partial-order
+    /// reduction queries it with word operations instead of re-scanning
+    /// pre-sets per state.
+    pub fn deps(&self) -> &DependencyMatrix {
+        &self.deps
+    }
+
+    /// Whether `t`'s priority class is bookkeeping (memoized bitmask over
+    /// [`Priority::is_bookkeeping`](crate::Priority::is_bookkeeping), so
+    /// the search's per-state class check is one bit test).
+    #[inline]
+    pub fn is_bookkeeping_transition(&self, t: TransitionId) -> bool {
+        ezrt_tpn::por::test_bit(&self.bookkeeping, t.index())
     }
 
     /// The deadline-miss places `p_dm` (one per task).

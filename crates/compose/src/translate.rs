@@ -8,10 +8,11 @@
 //! the fork block; and v) generate the join block."*
 
 use crate::blocks::{add_fork, add_join, add_processor, add_task_blocks, Assembly, TaskBlocks};
+use crate::priority::Priority;
 use crate::relations::{add_exclusion, add_message, add_precedence, wire_release_chain, Stage};
 use crate::tasknet::{TaskNet, TaskTransitions};
 use ezrt_spec::EzSpec;
-use ezrt_tpn::Marking;
+use ezrt_tpn::{DependencyMatrix, Marking};
 use std::collections::BTreeMap;
 
 /// Translates a validated specification into a [`TaskNet`].
@@ -158,6 +159,40 @@ pub fn translate(spec: &EzSpec) -> TaskNet {
         })
         .collect();
 
+    // Partial-order-reduction precompute: the structural conflict matrix,
+    // extended so that transitions of one task are mutually dependent
+    // (they are program-ordered — a reduction must never commute them),
+    // plus the memoized bookkeeping-priority bitmask.
+    let mut deps = DependencyMatrix::from_net(&net);
+    let mut by_task: Vec<Vec<ezrt_tpn::TransitionId>> = vec![Vec::new(); spec.task_count()];
+    for (i, role) in roles.iter().enumerate() {
+        if let Some(task) = role.task() {
+            by_task[task.index()].push(ezrt_tpn::TransitionId::from_index(i));
+        }
+    }
+    for members in &by_task {
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                deps.mark_dependent(a, b);
+            }
+        }
+    }
+    let mut bookkeeping = vec![0u64; net.transition_count().div_ceil(64).max(1)];
+    let mut urgent = vec![0u64; net.transition_count().div_ceil(64).max(1)];
+    for (t, transition) in net.transitions() {
+        if Priority(transition.priority()).is_bookkeeping() {
+            ezrt_tpn::por::set_bit(&mut bookkeeping, t.index());
+            // The urgent cascades sleep-set maintenance reorders past are
+            // the forced [0, 0] bookkeeping firings; exact timed sources
+            // (arrivals) are bookkeeping too, but they advance time and
+            // thus never ride inside a cascade.
+            if transition.interval() == ezrt_tpn::TimeInterval::exact(0) {
+                ezrt_tpn::por::set_bit(&mut urgent, t.index());
+            }
+        }
+    }
+    deps.build_sleep_closure(&net, &urgent);
+
     TaskNet {
         net,
         spec: spec.clone(),
@@ -168,6 +203,8 @@ pub fn translate(spec: &EzSpec) -> TaskNet {
         processor_places,
         task_transitions,
         instances,
+        deps,
+        bookkeeping,
     }
 }
 

@@ -17,7 +17,7 @@
 //! leading version tag makes any future format change alter every
 //! digest deliberately rather than silently.
 
-use ezrt_scheduler::{BranchOrdering, SchedulerConfig};
+use ezrt_scheduler::{BranchOrdering, PorLevel, SchedulerConfig};
 use ezrt_spec::{EzSpec, TaskId};
 use ezrt_tpn::DelayMode;
 
@@ -253,7 +253,14 @@ fn write_config(out: &mut Canon, config: &SchedulerConfig) {
         DelayMode::Corners => 1,
         DelayMode::Full => 2,
     });
-    out.flag(config.partial_order_reduction);
+    // One byte in the slot the old `partial_order_reduction` flag used:
+    // `Off` = 0 and `Classic` = 1 reproduce the old false/true bytes, so
+    // pre-stubborn digests stay valid for the levels that existed then.
+    out.bytes.push(match config.por {
+        PorLevel::Off => 0,
+        PorLevel::Classic => 1,
+        PorLevel::Stubborn => 2,
+    });
     out.u64(config.max_states as u64);
     out.u64(config.max_time.as_secs());
     out.u64(u64::from(config.max_time.subsec_nanos()));
@@ -347,7 +354,11 @@ mod tests {
                 ..SchedulerConfig::default()
             },
             SchedulerConfig {
-                partial_order_reduction: false,
+                por: PorLevel::Off,
+                ..SchedulerConfig::default()
+            },
+            SchedulerConfig {
+                por: PorLevel::Classic,
                 ..SchedulerConfig::default()
             },
             SchedulerConfig {

@@ -17,20 +17,77 @@ pub enum BranchOrdering {
     Fifo,
 }
 
+/// Which partial-order reduction the search applies (paper §4.4.1's
+/// state-space reduction, at three strengths).
+///
+/// Every level preserves completeness: `Infeasible` and budget verdicts
+/// are identical across levels, and every returned schedule satisfies
+/// Def. 3.2 (the levels only prune *redundant interleavings* of commuting
+/// firings, never distinct outcomes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PorLevel {
+    /// No reduction: every fireable candidate is explored. The baseline
+    /// for the ablation benchmarks.
+    Off,
+    /// The all-or-nothing class rule: a fireable set that is one
+    /// bookkeeping priority class *and* pairwise conflict-free collapses
+    /// to its single earliest candidate. This is the level the preserved
+    /// value-typed reference engine implements, so equivalence tests pin
+    /// it.
+    Classic,
+    /// Stubborn-set + sleep-set reduction: partially conflicting
+    /// bookkeeping classes are cut down to a dependency-closed stubborn
+    /// subset (instead of classic's all-or-nothing bail-out), and sleep
+    /// sets threaded through the DFS skip sibling interleavings already
+    /// explored in a commuting order. Parallel workers additionally share
+    /// expansion summaries through the arena. Never explores more states
+    /// than [`Classic`](PorLevel::Classic); the default.
+    #[default]
+    Stubborn,
+}
+
+impl PorLevel {
+    /// Parses a CLI/query-string level name.
+    pub fn parse(value: &str) -> Option<PorLevel> {
+        match value {
+            "off" => Some(PorLevel::Off),
+            "classic" => Some(PorLevel::Classic),
+            "stubborn" => Some(PorLevel::Stubborn),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name (`off` | `classic` | `stubborn`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PorLevel::Off => "off",
+            PorLevel::Classic => "classic",
+            PorLevel::Stubborn => "stubborn",
+        }
+    }
+}
+
+impl std::fmt::Display for PorLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Configuration of [`synthesize`](crate::synthesize).
 ///
 /// # Examples
 ///
 /// ```
-/// use ezrt_scheduler::{SchedulerConfig, BranchOrdering};
+/// use ezrt_scheduler::{SchedulerConfig, BranchOrdering, PorLevel};
 /// use ezrt_tpn::reachability::DelayMode;
 ///
 /// let fast = SchedulerConfig::default();
 /// assert_eq!(fast.ordering, BranchOrdering::Edf);
-/// assert!(fast.partial_order_reduction);
+/// assert_eq!(fast.por, PorLevel::Stubborn);
 ///
 /// let exhaustive = SchedulerConfig {
 ///     delay_mode: DelayMode::Full,
+///     por: PorLevel::Off,
 ///     ..SchedulerConfig::default()
 /// };
 /// assert_eq!(exhaustive.delay_mode, DelayMode::Full);
@@ -46,9 +103,9 @@ pub struct SchedulerConfig {
     /// deliberate procrastination of releases at growing state-space
     /// cost.
     pub delay_mode: DelayMode,
-    /// Collapse independent bookkeeping firings into one canonical order
-    /// (the partial-order state-space reduction of paper §4.4.1).
-    pub partial_order_reduction: bool,
+    /// Which partial-order reduction prunes redundant interleavings of
+    /// commuting bookkeeping firings.
+    pub por: PorLevel,
     /// Abort after visiting this many states.
     pub max_states: usize,
     /// Abort after this much wall-clock time.
@@ -66,7 +123,7 @@ impl Default for SchedulerConfig {
         SchedulerConfig {
             ordering: BranchOrdering::Edf,
             delay_mode: DelayMode::Earliest,
-            partial_order_reduction: true,
+            por: PorLevel::Stubborn,
             max_states: 5_000_000,
             max_time: std::time::Duration::from_secs(300),
             parallelism: Parallelism::SEQUENTIAL,
@@ -83,7 +140,7 @@ mod tests {
         let config = SchedulerConfig::default();
         assert_eq!(config.ordering, BranchOrdering::Edf);
         assert_eq!(config.delay_mode, DelayMode::Earliest);
-        assert!(config.partial_order_reduction);
+        assert_eq!(config.por, PorLevel::Stubborn);
         assert!(config.max_states >= 1_000_000);
         assert!(config.parallelism.is_sequential(), "sequential by default");
     }
@@ -93,5 +150,14 @@ mod tests {
         let a = SchedulerConfig::default();
         let b = a.clone();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn por_levels_round_trip_their_names() {
+        for level in [PorLevel::Off, PorLevel::Classic, PorLevel::Stubborn] {
+            assert_eq!(PorLevel::parse(level.name()), Some(level));
+            assert_eq!(level.to_string(), level.name());
+        }
+        assert_eq!(PorLevel::parse("aggressive"), None);
     }
 }

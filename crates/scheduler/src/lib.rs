@@ -49,7 +49,7 @@ mod stats;
 pub mod timeline;
 pub mod validate;
 
-pub use config::{BranchOrdering, Parallelism, SchedulerConfig};
+pub use config::{BranchOrdering, Parallelism, PorLevel, SchedulerConfig};
 pub use error::SynthesizeError;
 pub use parallel::synthesize_parallel;
 pub use reference::synthesize_reference;

@@ -27,6 +27,12 @@ pub(crate) struct EngineMetrics {
     pub(crate) steals: Counter,
     /// `ezrt_search_donation_stalls_total`.
     pub(crate) donation_stalls: Counter,
+    /// `ezrt_search_por_stubborn_skips_total`.
+    pub(crate) por_stubborn_skips: Counter,
+    /// `ezrt_search_por_sleep_skips_total`.
+    pub(crate) por_sleep_skips: Counter,
+    /// `ezrt_search_por_overlap_skips_total`.
+    pub(crate) por_overlap_skips: Counter,
     /// `ezrt_search_states_per_second`.
     pub(crate) states_per_second: Histogram,
     /// `ezrt_search_frontier_depth`.
@@ -60,6 +66,18 @@ pub(crate) fn engine_metrics() -> &'static EngineMetrics {
                 "ezrt_search_donation_stalls_total",
                 "Times a parallel worker parked with every deque empty, waiting for a donation.",
             ),
+            por_stubborn_skips: registry.counter(
+                "ezrt_search_por_stubborn_skips_total",
+                "Candidates dropped by stubborn-set reduction, summed over all searches.",
+            ),
+            por_sleep_skips: registry.counter(
+                "ezrt_search_por_sleep_skips_total",
+                "Candidates dropped by sleep-set filtering, summed over all searches.",
+            ),
+            por_overlap_skips: registry.counter(
+                "ezrt_search_por_overlap_skips_total",
+                "Subtrees dropped by the shared expansion registry of parallel workers.",
+            ),
             states_per_second: registry.histogram(
                 "ezrt_search_states_per_second",
                 "Exploration throughput of completed searches, in states per second.",
@@ -83,6 +101,13 @@ pub(crate) fn record_search(stats: &SearchStats) {
     metrics.states.add(stats.states_visited as u64);
     metrics.backtracks.add(stats.backtracks as u64);
     metrics.steals.add(stats.steals as u64);
+    metrics
+        .por_stubborn_skips
+        .add(stats.por_stubborn_skips as u64);
+    metrics.por_sleep_skips.add(stats.por_sleep_skips as u64);
+    metrics
+        .por_overlap_skips
+        .add(stats.por_overlap_skips as u64);
     metrics
         .states_per_second
         .observe(stats.states_per_second() as u64);

@@ -70,15 +70,20 @@
 //! # }
 //! ```
 
-use crate::config::SchedulerConfig;
+use crate::config::{PorLevel, SchedulerConfig};
 use crate::error::SynthesizeError;
 use crate::schedule::{FeasibleSchedule, ScheduledFiring};
-use crate::search::{candidates_from_packed, InstanceCounters, MissedTasks, Synthesis};
+use crate::search::{
+    candidates_from_packed, child_sleep_into, InstanceCounters, MissedTasks, PorScratch, Synthesis,
+};
 use crate::stats::SearchStats;
 use crate::timeline::Timeline;
 use crate::validate;
 use ezrt_compose::TaskNet;
-use ezrt_tpn::{ShardedArena, StateId, Time, TimeBound, TransitionId, WorkerExplorer};
+use ezrt_tpn::{
+    ExpansionClaim, ExpansionRegistry, ShardedArena, StateId, Time, TimeBound, TransitionId,
+    WorkerExplorer,
+};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -166,6 +171,15 @@ struct WorkItem {
     now: Time,
     /// The firings from `s0` to the parent, in order.
     path: Arc<Vec<ScheduledFiring>>,
+    /// The sleep set the parent frame's candidates were generated under,
+    /// shared by every sibling item. Deliberately *without* the
+    /// equal-delay earlier-sibling additions an in-stack frame would get:
+    /// a smaller sleep is always sound (it only filters less), and adding
+    /// them would make a racing item defer its best candidate to a twin
+    /// another worker may reach much later — measurably slower on
+    /// feasible searches. Cross-item overlap is deduplicated by the
+    /// shared [`ExpansionRegistry`] instead.
+    sleep: Arc<Vec<u64>>,
 }
 
 /// How a finished search ended, before assembly into the public types.
@@ -261,6 +275,11 @@ struct Shared<'a> {
     config: &'a SchedulerConfig,
     arena: ShardedArena,
     dead: AtomicDeadSet,
+    /// Per-state expansion summaries (the sleep mask a state was expanded
+    /// under), published so a worker landing on a state a sibling already
+    /// expanded under a no-larger sleep set skips the whole subtree.
+    /// Consulted only at `PorLevel::Stubborn`.
+    registry: ExpansionRegistry,
     deques: StealDeques,
     coord: Mutex<Coord>,
     signal: Condvar,
@@ -408,6 +427,8 @@ struct PFrame {
     candidates: Vec<(TransitionId, Time)>,
     next: usize,
     now: Time,
+    /// The sleep set this frame's candidates were generated under.
+    sleep: Vec<u64>,
     /// Whether this worker is responsible for the state's dead-marking.
     /// `false` for work-item roots (siblings live in other items) and for
     /// frames that donated candidates away.
@@ -421,6 +442,9 @@ struct WorkerLocal {
     pruned_misses: usize,
     pruned_dead: usize,
     deadlocks: usize,
+    por_stubborn_skips: usize,
+    por_sleep_skips: usize,
+    por_overlap_skips: usize,
     missed: MissedTasks,
 }
 
@@ -496,11 +520,15 @@ fn synthesize_parallel_inner(
     // Root-level distribution: one work item per ordered root candidate.
     let mut domains: Vec<(TransitionId, Time, TimeBound)> = Vec::new();
     let mut root_labels: Vec<(TransitionId, Time)> = Vec::new();
-    candidates_from_packed(
+    let mut root_scratch = PorScratch::new();
+    let _root_info = candidates_from_packed(
         tasknet,
         &s0_words,
         config,
         &InstanceCounters::new(task_count),
+        &[],
+        true,
+        &mut root_scratch,
         &mut domains,
         &mut root_labels,
     );
@@ -516,6 +544,7 @@ fn synthesize_parallel_inner(
         config,
         arena,
         dead: AtomicDeadSet::with_bit_capacity(config.max_states + id_slack),
+        registry: ExpansionRegistry::new(jobs * 4),
         deques: StealDeques::new(jobs),
         coord: Mutex::new(Coord {
             idle: 0,
@@ -533,6 +562,7 @@ fn synthesize_parallel_inner(
     // Seed the deques round-robin so every worker starts with local work
     // (in candidate order, so worker 0 leads with the heuristically best
     // root and no deque begins empty while another holds everything).
+    let root_sleep: Arc<Vec<u64>> = Arc::new(Vec::new());
     for (i, &label) in root_labels.iter().enumerate() {
         shared.deques.push(
             i % jobs,
@@ -542,6 +572,7 @@ fn synthesize_parallel_inner(
                 label,
                 now: 0,
                 path: Arc::clone(&empty_path),
+                sleep: Arc::clone(&root_sleep),
             }],
         );
     }
@@ -561,10 +592,14 @@ fn synthesize_parallel_inner(
         states_visited: shared.states.load(Ordering::Relaxed),
         minimum_firings: tasknet.minimum_firing_count(),
         dead_states: shared.dead.len(),
-        dead_set_bytes: shared.dead.resident_bytes() + shared.arena.resident_bytes(),
+        dead_set_bytes: shared.dead.resident_bytes()
+            + shared.arena.resident_bytes()
+            + shared.registry.resident_bytes(),
         elapsed: started.elapsed(),
         jobs,
         steals: shared.steals.load(Ordering::Relaxed),
+        por_stubborn_skips: root_scratch.stubborn_skips,
+        por_sleep_skips: root_scratch.sleep_skips,
         ..SearchStats::default()
     };
     let mut missed = MissedTasks::new(task_count);
@@ -573,6 +608,9 @@ fn synthesize_parallel_inner(
         stats.pruned_misses += local.pruned_misses;
         stats.pruned_dead += local.pruned_dead;
         stats.deadlocks += local.deadlocks;
+        stats.por_stubborn_skips += local.por_stubborn_skips;
+        stats.por_sleep_skips += local.por_sleep_skips;
+        stats.por_overlap_skips += local.por_overlap_skips;
         missed.merge(&local.missed);
     }
 
@@ -614,11 +652,16 @@ fn worker(shared: &Shared<'_>, me: usize) -> WorkerLocal {
         pruned_misses: 0,
         pruned_dead: 0,
         deadlocks: 0,
+        por_stubborn_skips: 0,
+        por_sleep_skips: 0,
+        por_overlap_skips: 0,
         missed: MissedTasks::new(tasknet.spec().task_count()),
     };
     let mut frames: Vec<PFrame> = Vec::new();
     let mut domains: Vec<(TransitionId, Time, TimeBound)> = Vec::new();
     let mut counters = InstanceCounters::new(tasknet.spec().task_count());
+    let mut scratch = PorScratch::new();
+    let mut child_sleep: Vec<u64> = Vec::new();
     let mut ticks: u64 = 0;
     let engine = crate::obs::engine_metrics();
 
@@ -643,6 +686,8 @@ fn worker(shared: &Shared<'_>, me: usize) -> WorkerLocal {
         root.candidates.push(item.label);
         root.next = 0;
         root.now = item.now;
+        root.sleep.clear();
+        root.sleep.extend_from_slice(&item.sleep);
         root.owned = false;
         let mut depth = 1usize;
 
@@ -672,6 +717,12 @@ fn worker(shared: &Shared<'_>, me: usize) -> WorkerLocal {
                 let frame = &mut frames[depth - 1];
                 // Frame exhausted: dead if this worker owns the proof.
                 if frame.next >= frame.candidates.len() {
+                    // Sleep-assisted exhaustion still publishes a shared
+                    // dead mark: it is verdict-sound even while the
+                    // covering siblings are racing, because feasibility
+                    // from a state is prefix-independent, every slept
+                    // label is a live work item's (or in-stack frame's)
+                    // obligation, and obligations are never dropped.
                     if frame.owned {
                         shared
                             .dead
@@ -725,6 +776,35 @@ fn worker(shared: &Shared<'_>, me: usize) -> WorkerLocal {
                 break 'items;
             }
 
+            let parent = &frames[depth - 1];
+            child_sleep_into(
+                tasknet,
+                config,
+                &parent.sleep,
+                &parent.candidates[..parent.next - 1],
+                (transition, delay),
+                successor,
+                &mut scratch,
+                &mut child_sleep,
+            );
+            // Publish-or-skip through the shared registry: if a sibling
+            // already expanded this state under a sleep set no larger
+            // than ours, every candidate we would explore is already its
+            // obligation — drop the whole subtree. Guard: only when the
+            // parent frame still has other candidates. Skipping a frame's
+            // last candidate unwinds the whole stack, and on a feasible
+            // race (where the branch ordering's first choice is usually
+            // right) that trades one duplicated subtree for a deep detour
+            // through last-ranked siblings — duplicating, as the classic
+            // level would, is cheaper.
+            if config.por == PorLevel::Stubborn
+                && parent.next < parent.candidates.len()
+                && shared.registry.claim(next_state, &child_sleep) == ExpansionClaim::Covered
+            {
+                local.por_overlap_skips += 1;
+                continue;
+            }
+
             counters.apply(role);
             if depth == frames.len() {
                 frames.push(PFrame::default());
@@ -736,18 +816,27 @@ fn worker(shared: &Shared<'_>, me: usize) -> WorkerLocal {
             frame.next = 0;
             frame.now = now;
             frame.owned = true;
-            candidates_from_packed(
+            let info = candidates_from_packed(
                 tasknet,
                 &frame.words,
                 config,
                 &counters,
+                &child_sleep,
+                true,
+                &mut scratch,
                 &mut domains,
                 &mut frame.candidates,
             );
+            std::mem::swap(&mut frame.sleep, &mut child_sleep);
             if frame.candidates.is_empty() {
-                // Non-final deadlock: dead end.
                 counters.unapply(role);
-                local.deadlocks += 1;
+                if !info.fireable {
+                    // Non-final deadlock: dead end.
+                    local.deadlocks += 1;
+                }
+                // Sleep-covered or deadlocked: exhausted either way (see
+                // the exhaustion comment above for why the mark is sound
+                // while the covering siblings race).
                 shared.dead.insert(next_state);
                 continue;
             }
@@ -756,6 +845,8 @@ fn worker(shared: &Shared<'_>, me: usize) -> WorkerLocal {
             depth += 1;
         }
     }
+    local.por_stubborn_skips += scratch.stubborn_skips;
+    local.por_sleep_skips += scratch.sleep_skips;
     local
 }
 
@@ -781,9 +872,11 @@ fn donate(
             continue;
         }
         let start = frame.next + keep;
-        // One shared copy of the parent state and prefix for all siblings.
+        // One shared copy of the parent state, prefix and sleep set for
+        // all sibling items.
         let parent_words = Arc::new(frame.words.clone());
         let prefix = Arc::new(path[..base_len + i].to_vec());
+        let sleep = Arc::new(frame.sleep.clone());
         for &label in &frame.candidates[start..] {
             donated.push(WorkItem {
                 parent_id: frame.id.expect("active frames hold a state"),
@@ -791,6 +884,7 @@ fn donate(
                 label,
                 now: frame.now,
                 path: Arc::clone(&prefix),
+                sleep: Arc::clone(&sleep),
             });
         }
         frame.candidates.truncate(start);

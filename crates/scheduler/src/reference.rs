@@ -223,8 +223,10 @@ fn candidates(
     // definition. If that class is bookkeeping (forced [0,0] or exact
     // timed sources) and the members are pairwise conflict-free, their
     // firing order cannot affect reachable schedules — explore only the
-    // earliest-delay candidate.
-    if config.partial_order_reduction {
+    // earliest-delay candidate. The reference engine implements only the
+    // *classic* all-or-nothing rule: `PorLevel::Stubborn` is treated as
+    // classic here, so equivalence contracts pin `PorLevel::Classic`.
+    if config.por != crate::config::PorLevel::Off {
         let class = Priority(net.transition(fireable[0]).priority());
         if class.is_bookkeeping() && pairwise_independent(tasknet, &fireable) {
             let best = labels

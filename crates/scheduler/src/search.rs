@@ -10,12 +10,13 @@
 //! [`reference`](crate::reference) and the two are equivalence-tested to
 //! return byte-identical schedules.
 
-use crate::config::{BranchOrdering, SchedulerConfig};
+use crate::config::{BranchOrdering, PorLevel, SchedulerConfig};
 use crate::error::SynthesizeError;
 use crate::schedule::{FeasibleSchedule, ScheduledFiring};
 use crate::stats::SearchStats;
-use ezrt_compose::{Priority, TaskNet, TransitionRole};
+use ezrt_compose::{TaskNet, TransitionRole};
 use ezrt_spec::TaskId;
+use ezrt_tpn::por::{set_bit, test_bit};
 use ezrt_tpn::reachability::Explorer;
 use ezrt_tpn::{StateId, Time, TimeBound, TransitionId};
 use std::time::Instant;
@@ -31,13 +32,58 @@ pub struct Synthesis {
 }
 
 /// One DFS frame over interned states. Frames are pooled: popping a frame
-/// leaves its candidate vector allocated for the next push at that depth.
+/// leaves its candidate and sleep vectors allocated for the next push at
+/// that depth.
 #[derive(Default)]
 struct Frame {
     state: Option<StateId>,
     candidates: Vec<(TransitionId, Time)>,
     next: usize,
     now: Time,
+    /// The sleep set this frame's candidates were generated under
+    /// (packed transition mask; empty ⇔ nothing asleep).
+    sleep: Vec<u64>,
+}
+
+/// What [`candidates_from_packed`] learned about a frame beyond the
+/// candidate list itself.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FrameInfo {
+    /// Whether the raw fireable set `FT(s)` was non-empty. An empty
+    /// candidate list with `fireable == true` means every candidate was
+    /// asleep: the subtree is covered by a commuting sibling order, and
+    /// the state is exhausted *without* being a deadlock.
+    pub(crate) fireable: bool,
+    /// Whether the fireable class is bookkeeping priority.
+    pub(crate) bookkeeping: bool,
+}
+
+/// Reusable per-search scratch for the partial-order machinery: packed
+/// bitmask buffers for the fireable set and the stubborn closure (hoisted
+/// out of the per-state hot path), plus the reduction counters the
+/// buffers' owner accumulates.
+pub(crate) struct PorScratch {
+    fireable: Vec<u64>,
+    closure: Vec<u64>,
+    /// Enabled `(transition, dynamic upper bound)` pairs of the child
+    /// state, for the urgency-floor guard in [`child_sleep_into`].
+    dubs: Vec<(TransitionId, TimeBound)>,
+    /// Candidates dropped by stubborn-set reduction.
+    pub(crate) stubborn_skips: usize,
+    /// Candidates dropped because they were in a frame's sleep set.
+    pub(crate) sleep_skips: usize,
+}
+
+impl PorScratch {
+    pub(crate) fn new() -> Self {
+        PorScratch {
+            fireable: Vec::new(),
+            closure: Vec::new(),
+            dubs: Vec::new(),
+            stubborn_skips: 0,
+            sleep_skips: 0,
+        }
+    }
 }
 
 /// A dead-state index over dense [`StateId`]s: one bit per interned state.
@@ -335,6 +381,10 @@ fn synthesize_with_seed_inner(
     let mut counters = InstanceCounters::new(tasknet.spec().task_count());
     let mut missed = MissedTasks::new(tasknet.spec().task_count());
     let mut domains: Vec<(TransitionId, Time, TimeBound)> = Vec::new();
+    let mut scratch = PorScratch::new();
+    // The child-sleep staging buffer: computed against the parent frame,
+    // then swapped into the child (both hot-loop allocation-free).
+    let mut child_sleep: Vec<u64> = Vec::new();
 
     let s0 = explorer.intern_initial();
     stats.states_visited = 1;
@@ -348,6 +398,8 @@ fn synthesize_with_seed_inner(
         s0,
         config,
         &counters,
+        &[],
+        &mut scratch,
         &mut domains,
         &mut frames[0].candidates,
     );
@@ -356,11 +408,14 @@ fn synthesize_with_seed_inner(
     let mut path: Vec<ScheduledFiring> = Vec::new();
     let mut ticks: u64 = 0;
 
-    let finish_stats = |stats: &mut SearchStats, dead: &DeadSet, explorer: &Explorer<'_>| {
-        stats.elapsed = started.elapsed();
-        stats.dead_states = dead.len();
-        stats.dead_set_bytes = dead.resident_bytes() + explorer.arena().resident_bytes();
-    };
+    let finish_stats =
+        |stats: &mut SearchStats, dead: &DeadSet, explorer: &Explorer<'_>, scratch: &PorScratch| {
+            stats.elapsed = started.elapsed();
+            stats.dead_states = dead.len();
+            stats.dead_set_bytes = dead.resident_bytes() + explorer.arena().resident_bytes();
+            stats.por_stubborn_skips = scratch.stubborn_skips;
+            stats.por_sleep_skips = scratch.sleep_skips;
+        };
 
     // Warm-start replay: force each seeded firing to the front of its
     // frame's branch order, as long as it stays a legal candidate and its
@@ -403,7 +458,7 @@ fn synthesize_with_seed_inner(
             stats.incr_seed_hits = 1;
             stats.incr_replayed = replayed + 1;
             stats.schedule_length = path.len();
-            finish_stats(&mut stats, &dead, &explorer);
+            finish_stats(&mut stats, &dead, &explorer, &scratch);
             return Ok(Synthesis {
                 schedule: FeasibleSchedule::new(path),
                 stats,
@@ -413,6 +468,19 @@ fn synthesize_with_seed_inner(
         frame.candidates.insert(0, candidate);
         frame.next = 1;
         counters.apply(role);
+        // The seed firing is candidate 0 of its frame, so the child
+        // inherits no earlier-sibling sleep — only the parent's own.
+        let parent = &frames[depth - 1];
+        child_sleep_into(
+            tasknet,
+            config,
+            &parent.sleep,
+            &[],
+            (firing.transition, firing.delay),
+            packed,
+            &mut scratch,
+            &mut child_sleep,
+        );
         if depth == frames.len() {
             frames.push(Frame::default());
         }
@@ -426,9 +494,12 @@ fn synthesize_with_seed_inner(
             next_state,
             config,
             &counters,
+            &child_sleep,
+            &mut scratch,
             &mut domains,
             &mut frame.candidates,
         );
+        std::mem::swap(&mut frame.sleep, &mut child_sleep);
         path.push(accepted);
         depth += 1;
         replayed += 1;
@@ -457,20 +528,20 @@ fn synthesize_with_seed_inner(
             engine.frontier_depth.observe(depth as u64);
         }
         if stats.states_visited > config.max_states {
-            finish_stats(&mut stats, &dead, &explorer);
+            finish_stats(&mut stats, &dead, &explorer, &scratch);
             return Err(SynthesizeError::StateLimitExceeded {
                 stats: Box::new(stats),
             });
         }
         if ticks.is_multiple_of(4096) && started.elapsed() > config.max_time {
-            finish_stats(&mut stats, &dead, &explorer);
+            finish_stats(&mut stats, &dead, &explorer, &scratch);
             return Err(SynthesizeError::TimeLimitExceeded {
                 stats: Box::new(stats),
             });
         }
 
         if depth == 0 {
-            finish_stats(&mut stats, &dead, &explorer);
+            finish_stats(&mut stats, &dead, &explorer, &scratch);
             stats.schedule_length = 0;
             return Err(SynthesizeError::Infeasible {
                 stats: Box::new(stats),
@@ -523,7 +594,7 @@ fn synthesize_with_seed_inner(
         if tasknet.is_final_packed(packed) {
             path.push(firing);
             stats.schedule_length = path.len();
-            finish_stats(&mut stats, &dead, &explorer);
+            finish_stats(&mut stats, &dead, &explorer, &scratch);
             return Ok(Synthesis {
                 schedule: FeasibleSchedule::new(path),
                 stats,
@@ -531,6 +602,17 @@ fn synthesize_with_seed_inner(
         }
 
         counters.apply(role);
+        let parent = &frames[depth - 1];
+        child_sleep_into(
+            tasknet,
+            config,
+            &parent.sleep,
+            &parent.candidates[..parent.next - 1],
+            (transition, delay),
+            packed,
+            &mut scratch,
+            &mut child_sleep,
+        );
         if depth == frames.len() {
             frames.push(Frame::default());
         }
@@ -538,19 +620,28 @@ fn synthesize_with_seed_inner(
         frame.state = Some(next_state);
         frame.next = 0;
         frame.now = now;
-        candidates_into(
+        let info = candidates_into(
             tasknet,
             &explorer,
             next_state,
             config,
             &counters,
+            &child_sleep,
+            &mut scratch,
             &mut domains,
             &mut frame.candidates,
         );
+        std::mem::swap(&mut frame.sleep, &mut child_sleep);
         if frame.candidates.is_empty() {
-            // Non-final deadlock: dead end.
             counters.unapply(role);
-            stats.deadlocks += 1;
+            if !info.fireable {
+                // Non-final deadlock: dead end.
+                stats.deadlocks += 1;
+            }
+            // Otherwise every candidate was asleep: the subtree is
+            // covered by a commuting sibling order. Either way the state
+            // is exhausted — memoize it (the reachable TLTS is acyclic,
+            // so a sibling-order induction makes the dead-mark sound).
             dead.insert(next_state);
             continue;
         }
@@ -562,67 +653,180 @@ fn synthesize_with_seed_inner(
 
 /// Generates the ordered candidate labels of an interned state into the
 /// caller's reusable buffer: the fireable set `FT(s)`, expanded to
-/// `(t, q)` pairs per the delay mode, reduced by the bookkeeping
-/// partial-order rule, and sorted by the branch ordering.
+/// `(t, q)` pairs per the delay mode, filtered by the frame's sleep set,
+/// reduced by the configured partial-order rule, and sorted by the branch
+/// ordering.
+#[allow(clippy::too_many_arguments)]
 fn candidates_into(
     tasknet: &TaskNet,
     explorer: &Explorer<'_>,
     state: StateId,
     config: &SchedulerConfig,
     counters: &InstanceCounters,
+    sleep: &[u64],
+    scratch: &mut PorScratch,
     domains: &mut Vec<(TransitionId, Time, TimeBound)>,
     labels: &mut Vec<(TransitionId, Time)>,
-) {
+) -> FrameInfo {
     candidates_from_packed(
         tasknet,
         explorer.state(state),
         config,
         counters,
+        sleep,
+        false,
+        scratch,
         domains,
         labels,
-    );
+    )
 }
 
 /// [`candidates_into`] over raw packed state words — the shared core both
 /// the sequential DFS (through an [`Explorer`]-interned id) and the
 /// parallel workers (through their own frame-resident state copies) drive,
 /// so candidate order is identical by construction across kernels.
+/// `never_empty` is the parallel workers' refusal to let the sleep filter
+/// drain a frame (see the filter comment below); the sequential DFS
+/// passes `false`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn candidates_from_packed(
     tasknet: &TaskNet,
     state: &[u32],
     config: &SchedulerConfig,
     counters: &InstanceCounters,
+    sleep: &[u64],
+    never_empty: bool,
+    scratch: &mut PorScratch,
     domains: &mut Vec<(TransitionId, Time, TimeBound)>,
     labels: &mut Vec<(TransitionId, Time)>,
-) {
+) -> FrameInfo {
     labels.clear();
     let net = tasknet.net();
     net.fireable_domains_into(state, domains);
     if domains.is_empty() {
-        return;
+        return FrameInfo {
+            fireable: false,
+            bookkeeping: false,
+        };
     }
+    // FT(s) is a single priority class by construction (min-priority
+    // retention), so one memoized bit test classifies the whole frame.
+    let info = FrameInfo {
+        fireable: true,
+        bookkeeping: tasknet.is_bookkeeping_transition(domains[0].0),
+    };
 
     ezrt_tpn::reachability::expand_delay_labels(config.delay_mode, domains, labels);
 
-    // Partial-order reduction: FT(s) is a single priority class by
-    // definition. If that class is bookkeeping (forced [0,0] or exact
-    // timed sources) and the members are pairwise conflict-free, their
-    // firing order cannot affect reachable schedules — explore only the
-    // earliest-delay candidate.
-    if config.partial_order_reduction {
-        let class = Priority(net.transition(domains[0].0).priority());
-        if class.is_bookkeeping() && pairwise_independent(tasknet, domains) {
+    // Sleep filtering (stubborn level only): a sleeping candidate's
+    // delay-0 label replays an interleaving an earlier sibling order of
+    // some ancestor frame already covers — skip it outright. Only the
+    // delay-0 label is covered (the coverage is pinned to this instant),
+    // so later-delay labels of the same transition stay.
+    //
+    // `never_empty` (parallel workers) refuses a filter that would drain
+    // the frame: honoring a sleep set is always optional, and a racing
+    // worker that empties a frame unwinds its whole stack — on a feasible
+    // search that converts one skipped duplicate into a deep detour
+    // through subtrees the branch ordering ranked last. Duplicating the
+    // covered candidate (as the classic level would) is cheaper.
+    if config.por == PorLevel::Stubborn && !sleep.is_empty() {
+        let survives = |&(t, q): &(TransitionId, Time)| q != 0 || !test_bit(sleep, t.index());
+        if !never_empty || labels.iter().any(survives) {
+            let before = labels.len();
+            labels.retain(survives);
+            scratch.sleep_skips += before - labels.len();
+            if labels.is_empty() {
+                return info;
+            }
+        }
+    }
+
+    // Partial-order reduction on bookkeeping classes (forced [0,0] or
+    // exact timed sources; all members share one delay). Conflict-free
+    // classes collapse to the single earliest candidate — firing order
+    // cannot affect reachable schedules. At the stubborn level a
+    // *partially* conflicting class is additionally cut to a
+    // dependency-closed stubborn subset instead of classic's
+    // all-or-nothing bail-out to full expansion.
+    if config.por != PorLevel::Off && info.bookkeeping {
+        let deps = tasknet.deps();
+        let words = deps.words_per_row();
+        scratch.fireable.clear();
+        scratch.fireable.resize(words, 0);
+        for &(t, _) in labels.iter() {
+            set_bit(&mut scratch.fireable, t.index());
+        }
+        // Word-AND against the conflict rows replaces the predecessor's
+        // per-state O(n²) pre-set overlap scan (conflict diagonals are
+        // clear, so a row can be tested against the whole live mask).
+        let conflict_free = labels.iter().all(|&(t, _)| {
+            deps.conflict_row(t)
+                .iter()
+                .zip(&scratch.fireable)
+                .all(|(row, live)| row & live == 0)
+        });
+        if conflict_free {
             let best = labels
                 .iter()
                 .copied()
                 .min_by_key(|&(t, q)| (q, t.index()))
                 .expect("labels is non-empty");
+            if config.por == PorLevel::Stubborn {
+                scratch.stubborn_skips += labels.len() - 1;
+            }
             labels.clear();
             labels.push(best);
-            return;
+            return info;
+        }
+        if config.por == PorLevel::Stubborn {
+            sort_labels(tasknet, config, counters, labels);
+            // Stubborn closure seeded from the first-explored candidate:
+            // add every candidate dependent on a member until fixpoint.
+            // Candidates outside the closure are independent of every
+            // member, so their subtrees commute past the whole set and
+            // are reached through it — dropping them here loses nothing.
+            // `retain` keeps sorted order, so the first descent matches
+            // classic's.
+            scratch.closure.clear();
+            scratch.closure.resize(words, 0);
+            set_bit(&mut scratch.closure, labels[0].0.index());
+            loop {
+                let mut grew = false;
+                for &(t, _) in labels.iter() {
+                    if !test_bit(&scratch.closure, t.index())
+                        && deps
+                            .dep_row(t)
+                            .iter()
+                            .zip(&scratch.closure)
+                            .any(|(row, member)| row & member != 0)
+                    {
+                        set_bit(&mut scratch.closure, t.index());
+                        grew = true;
+                    }
+                }
+                if !grew {
+                    break;
+                }
+            }
+            let before = labels.len();
+            labels.retain(|&(t, _)| test_bit(&scratch.closure, t.index()));
+            scratch.stubborn_skips += before - labels.len();
+            return info;
         }
     }
 
+    sort_labels(tasknet, config, counters, labels);
+    info
+}
+
+/// Sorts candidate labels by the configured branch ordering.
+fn sort_labels(
+    tasknet: &TaskNet,
+    config: &SchedulerConfig,
+    counters: &InstanceCounters,
+    labels: &mut [(TransitionId, Time)],
+) {
     match config.ordering {
         BranchOrdering::Fifo => {
             labels.sort_by_key(|&(t, q)| (q, t.index()));
@@ -640,21 +844,114 @@ pub(crate) fn candidates_from_packed(
     }
 }
 
-/// Pairwise structural independence: no two fireable transitions share an
-/// input place, so firing one cannot disable another. Fireable sets are
-/// small, so the quadratic scan beats building a hash set per state.
-fn pairwise_independent(tasknet: &TaskNet, fireable: &[(TransitionId, Time, TimeBound)]) -> bool {
-    let net = tasknet.net();
-    for (i, &(a, _, _)) in fireable.iter().enumerate() {
-        for &(b, _, _) in &fireable[i + 1..] {
-            for &(p, _) in net.pre_set(a) {
-                if net.pre_set(b).iter().any(|&(q, _)| q == p) {
-                    return false;
+/// Computes the sleep set of the child reached by firing the label
+/// `fired` out of a frame, into `out` (cleared and resized to the matrix
+/// row width). Applies at the stubborn level only; below it the sleep
+/// set is always empty.
+///
+/// A sleep entry `b` means: *"firing `b` next, at this exact instant, is
+/// covered by an earlier sibling order of some ancestor frame"*. Three
+/// rules keep that claim true in a timed system with priorities:
+///
+/// * **Equal-delay additions** — an earlier sibling label `(b, q)` joins
+///   the child's sleep only when `q` equals the fired delay: both orders
+///   then fire `b` and the fired transition at the same absolute
+///   instants, which is what makes the two interleavings converge.
+/// * **Zero-delay persistence** — the parent's entries survive only when
+///   the fired delay is 0. Every entry is pending at delay 0 and its
+///   coverage is pinned to one absolute instant; once time advances,
+///   firing it would no longer replay the covered interleaving.
+/// * **Cascade-dependency invalidation** — everything in the fired
+///   transition's *sleep-dependency* row is removed: not just direct
+///   structural dependents, but (via
+///   [`DependencyMatrix::build_sleep_closure`]) anything whose urgent
+///   `[0, 0]` bookkeeping cascade interferes with the fired transition's
+///   cascade. The reordering argument swaps the sleeping transition past
+///   the fired one *and* past the bookkeeping firings it forces, so
+///   interference at cascade level breaks the swap. `fired` itself is
+///   removed by the diagonal.
+/// * **Urgency-floor guard** — a surviving entry `b` is dropped unless
+///   the child's minimum dynamic upper bound is still held by some
+///   enabled transition other than `b` and `b`'s conflict partners. The
+///   coverage argument replays the covered segment in a mirror state
+///   where `b` has already fired; if pending-`b` was the sole holder of
+///   `min DUB`, the mirror's urgency floor rises and admits a
+///   higher-priority class that evicts the segment's firings from
+///   `FT(s)` — a global coupling through the urgency filter that no
+///   structural relation sees, so it is re-checked dynamically against
+///   every child state.
+///
+/// [`DependencyMatrix::build_sleep_closure`]: ezrt_tpn::por::DependencyMatrix::build_sleep_closure
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn child_sleep_into(
+    tasknet: &TaskNet,
+    config: &SchedulerConfig,
+    parent_sleep: &[u64],
+    earlier: &[(TransitionId, Time)],
+    fired: (TransitionId, Time),
+    child_state: &[u32],
+    scratch: &mut PorScratch,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    if config.por != PorLevel::Stubborn {
+        return;
+    }
+    let deps = tasknet.deps();
+    let (fired_t, fired_q) = fired;
+    out.resize(deps.words_per_row(), 0);
+    for &(t, q) in earlier {
+        if q == fired_q {
+            set_bit(out, t.index());
+        }
+    }
+    if fired_q == 0 {
+        for (word, inherited) in out.iter_mut().zip(parent_sleep) {
+            *word |= inherited;
+        }
+    }
+    for (word, dependent) in out.iter_mut().zip(deps.sleep_dep_row(fired_t)) {
+        *word &= !dependent;
+    }
+    if out.iter().any(|&word| word != 0) {
+        // Urgency-floor guard: one enabled-set scan of the child, then a
+        // per-entry floor over the scan with the entry and its conflict
+        // partners masked out.
+        let net = tasknet.net();
+        let layout = net.layout();
+        scratch.dubs.clear();
+        let mut min_dub = TimeBound::Infinite;
+        for (t, transition) in net.transitions() {
+            if !net.is_enabled_packed(child_state, t) {
+                continue;
+            }
+            let dub = transition
+                .interval()
+                .dynamic_upper_bound(layout.clock(child_state, t));
+            min_dub = min_dub.min(dub);
+            scratch.dubs.push((t, dub));
+        }
+        for (word, entry) in out.iter_mut().enumerate() {
+            let mut bits = *entry;
+            while bits != 0 {
+                let b = TransitionId::from_index(word * 64 + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+                let conflicts = deps.conflict_row(b);
+                let floor = scratch
+                    .dubs
+                    .iter()
+                    .filter(|&&(z, _)| z != b && !test_bit(conflicts, z.index()))
+                    .map(|&(_, dub)| dub)
+                    .fold(TimeBound::Infinite, TimeBound::min);
+                if floor != min_dub {
+                    *entry &= !(1u64 << (b.index() % 64));
                 }
             }
         }
     }
-    true
+    if out.iter().all(|&word| word == 0) {
+        out.clear();
+    }
 }
 
 /// The absolute deadline of the task instance `t` advances — the EDF sort
@@ -695,6 +992,38 @@ mod tests {
 
     fn default_synthesis(spec: &ezrt_spec::EzSpec) -> Synthesis {
         synthesize(&translate(spec), &SchedulerConfig::default()).expect("feasible")
+    }
+
+    /// Regression pin for the near-harmonic sleep-soundness bug: the
+    /// generalized sleep rules once lost the only feasible schedule of
+    /// this spec because the slept compute transition was the sole holder
+    /// of the child's minimum dynamic upper bound — firing it first (the
+    /// covering order) raised the urgency floor and let the high-priority
+    /// arrival timer evict the release class from `FT(s)`. The
+    /// urgency-floor guard in [`child_sleep_into`] wakes such entries.
+    #[test]
+    fn stubborn_sleep_respects_urgency_floor() {
+        use ezrt_spec::generate::{family_spec, Family};
+        let spec = family_spec(
+            &Family::NearHarmonic {
+                tasks: 3,
+                base_period: 10,
+                utilization: 0.60,
+            },
+            4042907925473843452,
+        );
+        let tasknet = translate(&spec);
+        let synth = |por| {
+            let config = SchedulerConfig {
+                por,
+                max_states: 200_000,
+                ..SchedulerConfig::default()
+            };
+            synthesize(&tasknet, &config)
+        };
+        let classic = synth(PorLevel::Classic).expect("classic is feasible");
+        let stubborn = synth(PorLevel::Stubborn).expect("stubborn must stay feasible");
+        assert!(stubborn.stats.states_visited <= classic.stats.states_visited);
     }
 
     #[test]
@@ -889,7 +1218,7 @@ mod tests {
         let without = synthesize(
             &tasknet,
             &SchedulerConfig {
-                partial_order_reduction: false,
+                por: PorLevel::Off,
                 ..SchedulerConfig::default()
             },
         )

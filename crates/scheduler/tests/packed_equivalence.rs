@@ -5,7 +5,7 @@
 
 use ezrt_compose::translate;
 use ezrt_scheduler::{
-    synthesize, synthesize_reference, BranchOrdering, SchedulerConfig, SynthesizeError,
+    synthesize, synthesize_reference, BranchOrdering, PorLevel, SchedulerConfig, SynthesizeError,
 };
 use ezrt_spec::corpus::{figure3_spec, figure4_spec, figure8_spec, small_control};
 use ezrt_spec::generate::{synthetic_spec, WorkloadConfig};
@@ -13,6 +13,18 @@ use ezrt_spec::EzSpec;
 use ezrt_tpn::DelayMode;
 
 fn assert_equivalent(spec: &EzSpec, config: &SchedulerConfig, label: &str) {
+    // The reference engine only implements the classic all-or-nothing
+    // bookkeeping rule, so byte-identity is contracted at `Classic` (and
+    // `Off`); stubborn-set soundness is checked separately below.
+    let config = SchedulerConfig {
+        por: if config.por == PorLevel::Off {
+            PorLevel::Off
+        } else {
+            PorLevel::Classic
+        },
+        ..config.clone()
+    };
+    let config = &config;
     let tasknet = translate(spec);
     let packed = synthesize(&tasknet, config);
     let reference = synthesize_reference(&tasknet, config);
@@ -124,7 +136,7 @@ fn corpus_schedules_are_byte_identical_with_corner_delays() {
 #[test]
 fn schedules_are_byte_identical_without_partial_order_reduction() {
     let config = SchedulerConfig {
-        partial_order_reduction: false,
+        por: PorLevel::Off,
         ..SchedulerConfig::default()
     };
     for spec in [figure3_spec(), small_control()] {
@@ -149,6 +161,118 @@ fn state_limit_verdicts_are_identical() {
         ..SchedulerConfig::default()
     };
     assert_equivalent(&figure8_spec(), &config, "figure8 (state limit)");
+}
+
+/// Stubborn-set reduction is a strict refinement of the classic rule:
+/// same verdict and a state count that never exceeds the classic run,
+/// with schedules that still satisfy the spec's timing constraints.
+fn assert_stubborn_sound(spec: &EzSpec, base: &SchedulerConfig, label: &str) {
+    let tasknet = translate(spec);
+    let classic = synthesize(
+        &tasknet,
+        &SchedulerConfig {
+            por: PorLevel::Classic,
+            ..base.clone()
+        },
+    );
+    let stubborn = synthesize(
+        &tasknet,
+        &SchedulerConfig {
+            por: PorLevel::Stubborn,
+            ..base.clone()
+        },
+    );
+    match (stubborn, classic) {
+        (Ok(stubborn), Ok(classic)) => {
+            assert!(
+                stubborn.stats.states_visited <= classic.stats.states_visited,
+                "{label}: stubborn visited more states ({} vs {})",
+                stubborn.stats.states_visited,
+                classic.stats.states_visited
+            );
+            let timeline = ezrt_scheduler::Timeline::from_schedule(&tasknet, &stubborn.schedule);
+            let violations = ezrt_scheduler::validate::check(spec, &timeline);
+            assert!(
+                violations.is_empty(),
+                "{label}: stubborn schedule violates the spec: {violations:?}"
+            );
+        }
+        (Err(stubborn), Err(classic)) => {
+            if let (
+                SynthesizeError::Infeasible {
+                    missed_tasks: a, ..
+                },
+                SynthesizeError::Infeasible {
+                    missed_tasks: b, ..
+                },
+            ) = (&stubborn, &classic)
+            {
+                assert_eq!(a, b, "{label}: stubborn missed tasks diverge");
+            }
+        }
+        (stubborn, classic) => panic!(
+            "{label}: stubborn verdict diverges: stubborn ok={} classic ok={}",
+            stubborn.is_ok(),
+            classic.is_ok()
+        ),
+    }
+}
+
+#[test]
+fn stubborn_reduction_is_sound_on_the_corpus() {
+    for spec in [
+        figure3_spec(),
+        figure4_spec(),
+        figure8_spec(),
+        small_control(),
+    ] {
+        assert_stubborn_sound(&spec, &SchedulerConfig::default(), spec.name());
+    }
+}
+
+#[test]
+fn stubborn_reduction_is_sound_with_fifo_and_corners() {
+    for spec in [figure3_spec(), small_control()] {
+        assert_stubborn_sound(
+            &spec,
+            &SchedulerConfig {
+                ordering: BranchOrdering::Fifo,
+                ..SchedulerConfig::default()
+            },
+            &format!("{} (fifo)", spec.name()),
+        );
+        assert_stubborn_sound(
+            &spec,
+            &SchedulerConfig {
+                delay_mode: DelayMode::Corners,
+                ..SchedulerConfig::default()
+            },
+            &format!("{} (corners)", spec.name()),
+        );
+    }
+}
+
+#[test]
+fn stubborn_reduction_is_sound_on_synthetic_workloads() {
+    let base = SchedulerConfig {
+        max_states: 100_000,
+        ..SchedulerConfig::default()
+    };
+    for seed in [1u64, 7, 23, 51, 90] {
+        let spec = synthetic_spec(
+            &WorkloadConfig {
+                tasks: 5,
+                total_utilization: 0.6,
+                periods: vec![20, 40, 80],
+                precedence_probability: 0.2,
+                exclusion_probability: 0.2,
+                constrained_deadlines: true,
+                ..WorkloadConfig::default()
+            },
+            seed,
+        );
+        assert_stubborn_sound(&spec, &base, &format!("synthetic seed {seed}"));
+    }
 }
 
 #[test]

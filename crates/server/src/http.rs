@@ -6,7 +6,7 @@
 //!
 //! | method | path           | behaviour                                        |
 //! |--------|----------------|--------------------------------------------------|
-//! | POST   | `/v1/schedule` | spec XML body → the `ezrt schedule --json` object plus `spec_digest` and `cache: "hit"\|"disk"\|"miss"`; `?jobs=N` overrides the synthesis worker count for a miss; `?warm=<digest>` seeds a miss's search from that cached schedule (without the hint, a miss consults the structural ancestor index automatically) |
+//! | POST   | `/v1/schedule` | spec XML body → the `ezrt schedule --json` object plus `spec_digest` and `cache: "hit"\|"disk"\|"miss"`; `?jobs=N` overrides the synthesis worker count for a miss; `?por=off\|classic\|stubborn` overrides the partial-order reduction level (and, being result-relevant, keys its own cache entry); `?warm=<digest>` seeds a miss's search from that cached schedule (without the hint, a miss consults the structural ancestor index automatically) |
 //! | POST   | `/v1/check`    | spec XML body → parse/validation verdict and spec summary |
 //! | POST   | `/v1/table`    | spec XML body → the Fig. 8 schedule table (C array), byte-identical to `ezrt table` |
 //! | POST   | `/v1/codegen`  | spec XML body → the generated C translation unit; `?target=<t>` picks the target (default `posix_sim`) |
@@ -72,7 +72,7 @@ use crate::sweep::{run_sweep, SweepOptions};
 use ezrt_artifacts::{ArtifactKind, RenderError};
 use ezrt_core::Project;
 use ezrt_obs::{Counter, Gauge, Histogram, Registry};
-use ezrt_scheduler::SchedulerConfig;
+use ezrt_scheduler::{PorLevel, SchedulerConfig};
 use ezrt_spec::sweep::SweepGrid;
 use ezrt_tpn::Parallelism;
 use std::collections::VecDeque;
@@ -202,6 +202,14 @@ struct Shared {
     /// Total states warm starts avoided visiting, summed over seeded
     /// misses (`ancestor.states_visited - states_visited` per miss).
     incr_states_saved: Counter,
+    /// Candidates pruned from partially conflicting bookkeeping classes
+    /// by the stubborn-set rule, summed over schedule misses.
+    por_stubborn_skips: Counter,
+    /// Candidates filtered by sleep sets, summed over schedule misses.
+    por_sleep_skips: Counter,
+    /// Frontiers skipped because another worker's expansion summary
+    /// already covered them, summed over schedule misses.
+    por_overlap_skips: Counter,
 }
 
 /// The HTTP layer's latency and size histograms (all microseconds
@@ -342,6 +350,7 @@ struct StatsSnapshot {
     uptime: Duration,
     workers: usize,
     default_jobs: usize,
+    default_por: &'static str,
     max_pending: usize,
     connections: u64,
     requests: u64,
@@ -355,6 +364,9 @@ struct StatsSnapshot {
     incr_seed_hits: u64,
     incr_replayed: u64,
     incr_states_saved: u64,
+    por_stubborn_skips: u64,
+    por_sleep_skips: u64,
+    por_overlap_skips: u64,
     cache: crate::cache::CacheStats,
     rendered: crate::rendered::RenderedStats,
     disk: crate::disk::DiskStats,
@@ -366,6 +378,7 @@ impl Shared {
             uptime: self.started.elapsed(),
             workers: self.workers,
             default_jobs: self.scheduler.parallelism.jobs(),
+            default_por: self.scheduler.por.name(),
             max_pending: self.max_pending,
             connections: self.connections.get(),
             requests: self.requests.get(),
@@ -379,6 +392,9 @@ impl Shared {
             incr_seed_hits: self.incr_seed_hits.get(),
             incr_replayed: self.incr_replayed.get(),
             incr_states_saved: self.incr_states_saved.get(),
+            por_stubborn_skips: self.por_stubborn_skips.get(),
+            por_sleep_skips: self.por_sleep_skips.get(),
+            por_overlap_skips: self.por_overlap_skips.get(),
             cache: self.cache.stats(),
             rendered: self.cache.rendered_stats(),
             disk: self.cache.disk_stats().unwrap_or_default(),
@@ -561,6 +577,18 @@ impl Server {
             incr_states_saved: counter(
                 "ezrt_incr_states_saved_total",
                 "States warm starts avoided visiting, summed over seeded misses.",
+            ),
+            por_stubborn_skips: counter(
+                "ezrt_http_por_stubborn_skips_total",
+                "Candidates pruned by the stubborn-set rule, summed over schedule misses.",
+            ),
+            por_sleep_skips: counter(
+                "ezrt_http_por_sleep_skips_total",
+                "Candidates filtered by sleep sets, summed over schedule misses.",
+            ),
+            por_overlap_skips: counter(
+                "ezrt_http_por_overlap_skips_total",
+                "Frontiers skipped as covered by another worker, summed over schedule misses.",
             ),
             registry,
             metrics,
@@ -1298,7 +1326,10 @@ fn route(shared: &Shared, request: &Request, timing: &mut RequestTiming) -> Resp
 }
 
 /// Parses the spec XML body into a project carrying the server's base
-/// scheduler configuration with the request's effective `jobs`.
+/// scheduler configuration with the request's effective `jobs` and
+/// `por`. Note that `por` — unlike `jobs` — is part of the canonical
+/// config bytes, so requests at different levels key different cache
+/// entries.
 fn parse_project(shared: &Shared, request: &Request) -> Result<Project, Response> {
     let xml = std::str::from_utf8(&request.body)
         .map_err(|_| Response::error(400, "spec body is not UTF-8"))?;
@@ -1316,10 +1347,20 @@ fn parse_project(shared: &Shared, request: &Request) -> Result<Project, Response
                 )
             })?,
     };
+    let por = match query_value(&request.query, "por") {
+        None => shared.scheduler.por,
+        Some(value) => PorLevel::parse(value).ok_or_else(|| {
+            Response::error(
+                400,
+                &format!("por expects off|classic|stubborn, found {value:?}"),
+            )
+        })?,
+    };
     let project = Project::from_dsl(xml)
         .map_err(|error| Response::error(400, &error.to_string()))?
         .with_config(SchedulerConfig {
             parallelism: jobs,
+            por,
             ..shared.scheduler.clone()
         });
     Ok(project)
@@ -1387,6 +1428,11 @@ fn schedule(shared: &Shared, request: &Request, timing: &mut RequestTiming) -> R
         shared.incr_seed_hits.add(stats.incr_seed_hits as u64);
         shared.incr_replayed.add(stats.incr_replayed as u64);
         shared.incr_states_saved.add(stats.incr_states_saved as u64);
+        shared
+            .por_stubborn_skips
+            .add(stats.por_stubborn_skips as u64);
+        shared.por_sleep_skips.add(stats.por_sleep_skips as u64);
+        shared.por_overlap_skips.add(stats.por_overlap_skips as u64);
     }
     if outcome.feasible && matches!(lookup, Lookup::Miss | Lookup::Disk) {
         shared.cache.note_ancestor(structure, digest);
@@ -1660,6 +1706,7 @@ fn stats(shared: &Shared) -> Response {
         ),
         ("workers", snap.workers.to_string()),
         ("default_jobs", snap.default_jobs.to_string()),
+        ("default_por", report::json_string(snap.default_por)),
         ("connections", snap.connections.to_string()),
         ("requests", snap.requests.to_string()),
         (
@@ -1680,6 +1727,9 @@ fn stats(shared: &Shared) -> Response {
         ("incr_seed_hits", snap.incr_seed_hits.to_string()),
         ("incr_replayed", snap.incr_replayed.to_string()),
         ("incr_states_saved", snap.incr_states_saved.to_string()),
+        ("por_stubborn_skips", snap.por_stubborn_skips.to_string()),
+        ("por_sleep_skips", snap.por_sleep_skips.to_string()),
+        ("por_overlap_skips", snap.por_overlap_skips.to_string()),
         ("cache_capacity", snap.cache.capacity.to_string()),
         ("cache_entries", snap.cache.entries.to_string()),
         ("cache_inflight", snap.cache.inflight.to_string()),

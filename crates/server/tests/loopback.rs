@@ -107,6 +107,10 @@ fn healthz_stats_and_routing() {
     for key in [
         "uptime_ms",
         "workers",
+        "default_por",
+        "por_stubborn_skips",
+        "por_sleep_skips",
+        "por_overlap_skips",
         "cache_hits",
         "cache_misses",
         "cache_joined",
@@ -146,6 +150,47 @@ fn healthz_stats_and_routing() {
     );
     assert_eq!(status, 400);
     assert!(body.contains("jobs expects"), "{body}");
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/schedule?por=aggressive",
+        &small_control_xml(),
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("por expects"), "{body}");
+
+    server.stop();
+}
+
+#[test]
+fn por_query_selects_the_reduction_level() {
+    let server = server(ServerConfig::default());
+    let addr = server.addr();
+    let xml = small_control_xml();
+
+    // The reduction level is result-relevant, so each level keys its own
+    // cache entry — the digests must differ while the verdicts agree.
+    let (status, stubborn) = request(addr, "POST", "/v1/schedule?por=stubborn", &xml);
+    assert_eq!(status, 200);
+    let (status, classic) = request(addr, "POST", "/v1/schedule?por=classic", &xml);
+    assert_eq!(status, 200);
+    for body in [&stubborn, &classic] {
+        assert!(body.contains("\"feasible\": true"), "{body}");
+    }
+    assert_ne!(
+        field(&stubborn, "spec_digest"),
+        field(&classic, "spec_digest")
+    );
+
+    // Without the override the server default (stubborn) applies and the
+    // explicit request is a cache hit on the same digest.
+    let (status, default) = request(addr, "POST", "/v1/schedule", &xml);
+    assert_eq!(status, 200);
+    assert_eq!(
+        field(&default, "spec_digest"),
+        field(&stubborn, "spec_digest")
+    );
+    assert_eq!(field(&default, "cache"), "\"hit\"");
 
     server.stop();
 }

@@ -71,6 +71,7 @@ mod interval;
 pub mod invariants;
 mod marking;
 mod net;
+pub mod por;
 pub mod reachability;
 pub mod sharded;
 mod state;
@@ -81,6 +82,7 @@ pub use ids::{PlaceId, TransitionId};
 pub use interval::{TimeBound, TimeInterval};
 pub use marking::Marking;
 pub use net::{Place, TimePetriNet, TpnBuilder, Transition};
+pub use por::{DependencyMatrix, ExpansionClaim, ExpansionRegistry};
 pub use sharded::{Parallelism, ShardedArena, WorkerExplorer};
 pub use state::{Firing, State};
 

@@ -22,7 +22,9 @@
 //! ```
 //!
 //! The global `--jobs N` flag runs the synthesis on `N` worker threads
-//! (default 1, the sequential search); `ezrt schedule --json` emits the
+//! (default 1, the sequential search) and `--por off|classic|stubborn`
+//! selects the partial-order reduction level (default `stubborn`);
+//! `ezrt schedule --json` emits the
 //! search statistics as one flat JSON object for scripting, including
 //! the `spec_digest` cache key the server and batch rows share, so the
 //! three surfaces are join-able by key.
@@ -75,6 +77,11 @@ fn run(args: &[String]) -> Result<(), String> {
             .ok_or_else(|| format!("--jobs expects a positive number, found {value:?}"))?,
         None => 1,
     };
+    let por = match take_option_value(&mut args, "--por")? {
+        Some(value) => ezrealtime::scheduler::PorLevel::parse(&value)
+            .ok_or_else(|| format!("--por expects off|classic|stubborn, found {value:?}"))?,
+        None => ezrealtime::scheduler::PorLevel::default(),
+    };
     let json = take_flag(&mut args, "--json");
     let cache_dir = take_option_value(&mut args, "--cache-dir")?;
     let cache_dir = cache_dir.as_deref();
@@ -126,6 +133,7 @@ fn run(args: &[String]) -> Result<(), String> {
         return serve(
             &mut args,
             jobs,
+            por,
             cache_dir,
             cache_max_bytes,
             log_file.as_deref(),
@@ -134,7 +142,7 @@ fn run(args: &[String]) -> Result<(), String> {
     if command == "batch" {
         return finish_trace(
             trace,
-            batch(&mut args, jobs, json, cache_dir, cache_max_bytes),
+            batch(&mut args, jobs, por, json, cache_dir, cache_max_bytes),
         );
     }
     if json && command != "schedule" {
@@ -156,7 +164,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let document = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let project = Project::from_dsl(&document)
         .map_err(|e| format!("{path}: {e}"))?
-        .with_jobs(jobs);
+        .with_jobs(jobs)
+        .with_por(por);
     // The one-shot commands share the server's cache type so every
     // surface funnels through the same tiers: outcome memory + optional
     // disk, and the rendered-byte tier behind the artifact commands.
@@ -237,7 +246,7 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
 }
 
 fn usage() -> String {
-    "usage: ezrt [--jobs N] [--cache-dir DIR] [--cache-max-bytes B] <command> <spec.xml> [args]\n\
+    "usage: ezrt [--jobs N] [--por LEVEL] [--cache-dir DIR] [--cache-max-bytes B] <command> <spec.xml> [args]\n\
      commands:\n\
      \x20 check     validate the specification\n\
      \x20 schedule  synthesize the pre-runtime schedule and print statistics\n\
@@ -275,6 +284,10 @@ fn usage() -> String {
      global flags:\n\
      \x20 --jobs N        synthesis worker threads (default 1 = sequential;\n\
      \x20                 N > 1 races DFS subtrees, first feasible schedule wins)\n\
+     \x20 --por LEVEL     partial-order reduction: off | classic | stubborn\n\
+     \x20                 (default stubborn: stubborn + sleep sets; classic\n\
+     \x20                 reproduces the reference search byte-for-byte;\n\
+     \x20                 verdicts are identical at every level)\n\
      \x20 --cache-dir DIR persistent digest store shared by schedule/table/\n\
      \x20                 codegen/gantt/pnml/sweep, serve and batch: results\n\
      \x20                 found there are reused, fresh results are written back\n\
@@ -296,6 +309,7 @@ fn usage() -> String {
 fn serve(
     args: &mut Vec<String>,
     jobs: usize,
+    por: ezrealtime::scheduler::PorLevel,
     cache_dir: Option<&str>,
     cache_max_bytes: Option<u64>,
     log_file: Option<&str>,
@@ -328,6 +342,7 @@ fn serve(
     let config = ServerConfig {
         scheduler: ezrealtime::scheduler::SchedulerConfig {
             parallelism: ezrealtime::scheduler::Parallelism::new(jobs),
+            por,
             ..ezrealtime::scheduler::SchedulerConfig::default()
         },
         workers,
@@ -341,7 +356,8 @@ fn serve(
     let server = Server::start(&addr, config)?;
     println!("ezrt serve: listening on http://{}", server.addr());
     println!(
-        "ezrt serve: {workers} worker(s), {jobs} default job(s), cache capacity {cache_capacity}"
+        "ezrt serve: {workers} worker(s), {jobs} default job(s), por {por}, \
+         cache capacity {cache_capacity}"
     );
     if let Some(dir) = cache_dir {
         println!("ezrt serve: persistent cache at {dir}");
@@ -364,6 +380,7 @@ fn serve(
 fn batch(
     args: &mut [String],
     jobs: usize,
+    por: ezrealtime::scheduler::PorLevel,
     json: bool,
     cache_dir: Option<&str>,
     cache_max_bytes: Option<u64>,
@@ -376,6 +393,10 @@ fn batch(
     }
     let options = BatchOptions {
         fanout: ezrealtime::scheduler::Parallelism::new(jobs),
+        scheduler: ezrealtime::scheduler::SchedulerConfig {
+            por,
+            ..ezrealtime::scheduler::SchedulerConfig::default()
+        },
         ..BatchOptions::default()
     };
     let disk = match cache_dir {

@@ -11,8 +11,8 @@
 use ezrealtime::compose::translate;
 use ezrealtime::core::Project;
 use ezrealtime::scheduler::{
-    synthesize, synthesize_parallel, synthesize_reference, synthesize_seeded, SchedulerConfig,
-    SynthesizeError,
+    synthesize, synthesize_parallel, synthesize_reference, synthesize_seeded, PorLevel,
+    SchedulerConfig, SynthesizeError,
 };
 use ezrealtime::server::digest::project_digest;
 use ezrealtime::sim::replay;
@@ -66,9 +66,13 @@ fn family() -> impl Strategy<Value = (Family, u64)> {
 /// A budget generous enough that tiny specs always reach a real
 /// verdict: budget exhaustion would otherwise let two backends
 /// "diverge" merely by counting states differently near the cliff.
+/// Byte-identity against the reference kernel is contracted at the
+/// classic POR level (the only rule the reference implements); the
+/// stubborn level gets its own soundness arm below.
 fn config() -> SchedulerConfig {
     SchedulerConfig {
         max_states: 200_000,
+        por: PorLevel::Classic,
         ..SchedulerConfig::default()
     }
 }
@@ -127,6 +131,68 @@ proptest! {
                     label, packed.is_ok(), reference.is_ok()
                 );
             }
+        }
+
+        // Stubborn-set + sleep-set reduction must reach the same verdict
+        // and infeasibility proof as the classic rule while never
+        // visiting more states — and its schedules must satisfy the same
+        // simulation oracle.
+        let stubborn = synthesize(
+            &tasknet,
+            &SchedulerConfig { por: PorLevel::Stubborn, ..config.clone() },
+        );
+        match (&stubborn, &packed) {
+            (Ok(stubborn), Ok(classic)) => {
+                prop_assert!(
+                    stubborn.stats.states_visited <= classic.stats.states_visited,
+                    "{}: stubborn visited more states ({} vs {})",
+                    label, stubborn.stats.states_visited, classic.stats.states_visited
+                );
+                let report = replay(&tasknet, &stubborn.schedule)
+                    .map_err(|e| format!("{label}: oracle rejects stubborn schedule: {e}"));
+                prop_assert!(report.is_ok(), "{:?}", report);
+            }
+            (Err(stubborn), Err(classic)) => {
+                prop_assert_eq!(
+                    std::mem::discriminant(stubborn),
+                    std::mem::discriminant(classic),
+                    "{}: stubborn error kind diverges: {} vs {}", label, stubborn, classic
+                );
+                if let (
+                    SynthesizeError::Infeasible { missed_tasks: a, .. },
+                    SynthesizeError::Infeasible { missed_tasks: b, .. },
+                ) = (stubborn, classic)
+                {
+                    prop_assert_eq!(a, b, "{}: stubborn missed tasks", label);
+                }
+            }
+            (stubborn, classic) => {
+                prop_assert!(
+                    false,
+                    "{}: stubborn verdict diverges: stubborn ok={} classic ok={}",
+                    label, stubborn.is_ok(), classic.is_ok()
+                );
+            }
+        }
+
+        // The shared expansion registry must keep the parallel stubborn
+        // search sound: same verdict, oracle-clean schedules.
+        let parallel_stubborn = synthesize_parallel(
+            &tasknet,
+            &SchedulerConfig {
+                parallelism: Parallelism::new(3),
+                por: PorLevel::Stubborn,
+                ..config.clone()
+            },
+        );
+        prop_assert_eq!(
+            parallel_stubborn.is_ok(), packed.is_ok(),
+            "{}: parallel stubborn verdict diverges", label
+        );
+        if let Ok(parallel_stubborn) = &parallel_stubborn {
+            let report = replay(&tasknet, &parallel_stubborn.schedule)
+                .map_err(|e| format!("{label}: oracle rejects parallel stubborn schedule: {e}"));
+            prop_assert!(report.is_ok(), "{:?}", report);
         }
 
         // The racing parallel search may pick a different feasible
